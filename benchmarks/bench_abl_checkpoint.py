@@ -1,0 +1,163 @@
+"""ABL-CKPT — exploring from live state vs replaying history.
+
+Paper (section 2.3): "DiCE starts exploring from the current, live state
+because of the desire to (i) quickly detect potential faults, and (ii)
+avoid the overhead of replaying execution from initial state to reach a
+desired point in the code (as we expect a large history of inputs)."
+
+The key asymmetry: a long-running node's *input history* grows without
+bound (re-announcements, flaps, path changes) while its *state* stays
+bounded by the table size.  Replay-from-initial-state (what classic
+model-checking-style exploration must do) pays O(history); checkpoint
+resume pays O(state).  The sweep holds the table at a fixed size and
+grows the update history, showing replay cost climbing while the resume
+cost stays flat.
+"""
+
+import time
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.bgp.router import BgpRouter
+from repro.checkpoint.snapshot import Checkpoint
+from repro.core.isolation import restore_isolated
+from repro.net.node import NodeHost
+from repro.trace.routeviews import RouteViewsGenerator, TraceConfig
+from repro.trace.replay import TraceReplayer
+from repro.util.ip import Prefix
+
+#: Fixed table size; what grows is the input history, not the state.
+TABLE_PREFIXES = 2_000
+
+#: Update-history lengths (the paper's "large history of inputs").
+HISTORY_LENGTHS = (0, 4_000, 16_000)
+
+ROUTER_CONFIG = """
+router bgp 65010;
+router-id 10.0.0.1;
+neighbor internet { remote-as 64999; passive; }
+"""
+
+
+def make_trace(history_length):
+    return RouteViewsGenerator(
+        TraceConfig(
+            prefix_count=TABLE_PREFIXES,
+            update_count=history_length,
+            # Pure churn: re-announcements and flaps, no table growth.
+            p_reannounce=0.8, p_new_specific=0.0, p_withdraw=0.1, p_flap=0.1,
+        )
+    ).generate()
+
+
+def run_history(trace):
+    """Build a router and push the full dump + update history through it."""
+    host = NodeHost()
+    provider = host.add_node(
+        "provider", lambda n, e: BgpRouter(n, e, ROUTER_CONFIG)
+    )
+    host.add_node(
+        "internet",
+        lambda n, e: TraceReplayer(
+            n, e, host.sim, "provider", trace, local_as=64999, peer_as=65010
+        ),
+    )
+    host.add_link("provider", "internet", latency=0.001)
+    host.start()
+    host.run()
+    return host, provider
+
+
+@pytest.mark.benchmark(group="abl-checkpoint")
+@pytest.mark.parametrize("history", HISTORY_LENGTHS)
+def test_abl_checkpoint_vs_replay(benchmark, history, paper_rows):
+    trace = make_trace(history)
+    host, provider = run_history(trace)  # the live node, history applied
+    checkpoint = Checkpoint.capture(provider, f"abl-{history}")
+
+    def checkpoint_resume():
+        clone, _ = restore_isolated(checkpoint)
+        return clone
+
+    clone = benchmark.pedantic(checkpoint_resume, rounds=3, iterations=1)
+    resume_seconds = benchmark.stats.stats.mean
+    assert clone.table_size() == provider.table_size()
+
+    replay_started = time.perf_counter()
+    _, replayed = run_history(trace)  # replay-from-initial-state baseline
+    replay_seconds = time.perf_counter() - replay_started
+    assert replayed.table_size() == provider.table_size()
+
+    speedup = replay_seconds / max(resume_seconds, 1e-9)
+    paper_rows.add(
+        "ABL-CKPT",
+        f"history={history} updates: replay vs checkpoint-resume",
+        "replay prohibitively time-consuming",
+        f"{replay_seconds:.3f}s vs {resume_seconds:.3f}s ({speedup:.0f}x)",
+        note=f"table fixed at {TABLE_PREFIXES} prefixes",
+    )
+    assert replay_seconds > resume_seconds
+
+
+@pytest.mark.benchmark(group="abl-checkpoint")
+def test_abl_resume_cost_flat_in_history(benchmark, paper_rows):
+    """Replay cost grows with history; resume cost tracks state size only."""
+
+    def sweep():
+        resume_costs = {}
+        replay_costs = {}
+        for history in HISTORY_LENGTHS:
+            trace = make_trace(history)
+            host, provider = run_history(trace)
+            checkpoint = Checkpoint.capture(provider, f"flat-{history}")
+            started = time.perf_counter()
+            restore_isolated(checkpoint)
+            resume_costs[history] = time.perf_counter() - started
+            started = time.perf_counter()
+            run_history(trace)
+            replay_costs[history] = time.perf_counter() - started
+        return resume_costs, replay_costs
+
+    resume_costs, replay_costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    low, high = HISTORY_LENGTHS[0], HISTORY_LENGTHS[-1]
+    replay_growth = replay_costs[high] / max(replay_costs[low], 1e-9)
+    resume_growth = resume_costs[high] / max(resume_costs[low], 1e-9)
+    paper_rows.add(
+        "ABL-CKPT",
+        f"cost growth as history {low}->{high} updates (replay vs resume)",
+        "replay grows with history; resume does not",
+        f"{replay_growth:.1f}x vs {resume_growth:.1f}x",
+    )
+    assert replay_growth > 2 * resume_growth
+
+
+@pytest.mark.benchmark(group="abl-checkpoint")
+def test_abl_exploration_starts_from_live_state(benchmark, paper_rows):
+    """Clones really resume from *current* state, not initial state."""
+    trace = make_trace(1_000)
+    host, provider = run_history(trace)
+    # Live state advances past the trace: a fresh announcement arrives.
+    live_update = UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence([64999, 7777]), next_hop=3
+        ),
+        nlri=[NlriEntry.from_prefix(Prefix.parse("77.77.0.0/16"))],
+    )
+    provider.handle_update("internet", live_update)
+
+    checkpoint = Checkpoint.capture(provider, "fresh")
+
+    def resume():
+        clone, _ = restore_isolated(checkpoint)
+        return clone
+
+    clone = benchmark.pedantic(resume, rounds=3, iterations=1)
+    assert Prefix.parse("77.77.0.0/16") in clone.loc_rib
+    paper_rows.add(
+        "ABL-CKPT", "clone contains post-trace live state",
+        "explore from current, live state",
+        "yes (latest announcement present in clone RIB)",
+    )

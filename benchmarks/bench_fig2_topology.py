@@ -1,0 +1,87 @@
+"""FIG2 — the experimental topology: build, converge, load the table.
+
+Figure 2 shows the 3-router testbed: Customer -> Provider (DiCE-enabled)
+<- Rest-of-Internet, with the provider loading a full table from a
+RouteViews replay (319,355 prefixes in the paper; scaled here).  This
+benchmark measures topology construction + full-table convergence and
+verifies the structural properties every other experiment relies on.
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, build_scenario
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+SCALE = 5_000  # prefixes; the paper used 319,355 on a 48-core testbed
+
+
+def build_and_converge(prefix_count=SCALE, update_count=500):
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode="correct",
+            prefix_count=prefix_count,
+            update_count=update_count,
+        )
+    )
+    scenario.converge()
+    return scenario
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_full_table_load(benchmark, paper_rows):
+    scenario = benchmark.pedantic(build_and_converge, rounds=1, iterations=1)
+    table = scenario.provider_table_size
+    assert table >= SCALE * 0.97  # a few prefixes end withdrawn by the tail
+    assert sorted(scenario.provider.established_peers()) == ["customer", "internet"]
+    assert P("10.10.1.0/24") in scenario.provider.loc_rib
+    paper_rows.add(
+        "FIG2", "prefixes loaded from 'rest of the Internet'",
+        "319,355 (RouteViews eqix 2010-04-01)",
+        f"{table} (synthetic, scale parameter)",
+        note="scaled for pure-Python runtime",
+    )
+    paper_rows.add(
+        "FIG2", "topology",
+        "Customer - Provider(DiCE) - Internet",
+        "same 3-node layout, all sessions established",
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_update_processing_rate(benchmark, paper_rows):
+    """Raw live-path throughput: updates processed per wall second."""
+    scenario = build_and_converge(prefix_count=2_000, update_count=0)
+    provider = scenario.provider
+    replayer = scenario.replayer
+
+    from repro.bgp.messages import UpdateMessage
+    from repro.bgp.nlri import NlriEntry
+    from repro.trace.routeviews import RouteViewsGenerator, TraceConfig
+
+    extra = RouteViewsGenerator(
+        TraceConfig(prefix_count=1_000, update_count=0, seed=99)
+    ).generate()
+
+    updates = [
+        UpdateMessage(
+            attributes=record.attributes,
+            nlri=[NlriEntry.from_prefix(record.prefix)],
+        )
+        for record in extra.dump
+    ]
+
+    def process_batch():
+        for update in updates:
+            provider.handle_update("internet", update)
+
+    benchmark.pedantic(process_batch, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    rate = len(updates) / seconds
+    paper_rows.add(
+        "FIG2", "single-node update processing rate",
+        "n/a (C implementation)",
+        f"{rate:,.0f} updates/s",
+        note="pure-Python router, no exploration",
+    )

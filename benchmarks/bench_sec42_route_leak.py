@@ -1,0 +1,144 @@
+"""LEAK (section 4.2) — detecting route leaks / origin misconfiguration.
+
+Paper: "To replicate the IP prefix hijacking problem in our testbed, we
+misconfigured customer route filtering at the Provider AS ... Then, DiCE
+locally exercises all possible execution paths, which also include the
+'if' statements in the configured filters.  For each exploratory message,
+we check whether the announced route ... is accepted, and in this case we
+detect a potential hijack if that route overrides the origin AS of a
+route already in the routing table ... DiCE clearly states which prefix
+ranges can be leaked."
+
+The benchmark runs one DiCE round against each filter configuration and
+reports: leaks found (correct filter must yield zero), exploration
+executions, time to first detection, and the anycast-whitelist false
+positive filter.
+"""
+
+import time
+
+import pytest
+
+from repro.concolic.engine import ExplorationBudget
+from repro.core import ScenarioConfig, build_scenario
+
+SCALE = 3_000
+BUDGET = ExplorationBudget(max_executions=32)
+
+
+def run_leak_detection(filter_mode, anycast_whitelist=()):
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode=filter_mode,
+            prefix_count=SCALE,
+            update_count=200,
+            anycast_whitelist=list(anycast_whitelist),
+        )
+    )
+    scenario.converge()
+    started = time.perf_counter()
+    report = scenario.dice.run_round(peer="customer", budget=BUDGET)
+    detection_seconds = time.perf_counter() - started
+    return scenario, report, detection_seconds
+
+
+@pytest.mark.benchmark(group="sec42-leak")
+def test_sec42_correct_filter_finds_nothing(benchmark, paper_rows):
+    scenario, report, seconds = benchmark.pedantic(
+        run_leak_detection, args=("correct",), rounds=1, iterations=1
+    )
+    assert report.leaked_prefixes() == []
+    paper_rows.add(
+        "LEAK", "correct customer filter: leaks found",
+        "0 (filtering is the defense)", "0",
+        note=f"{report.exploration.executions} executions",
+    )
+
+
+@pytest.mark.benchmark(group="sec42-leak")
+def test_sec42_erroneous_filter_leak_detected(benchmark, paper_rows):
+    scenario, report, seconds = benchmark.pedantic(
+        run_leak_detection, args=("erroneous",), rounds=1, iterations=1
+    )
+    leaked = report.leaked_prefixes()
+    assert leaked
+    assert all(16 <= p.length <= 24 for p in leaked)  # exactly the filter hole
+    table = scenario.provider_table_size
+    paper_rows.add(
+        "LEAK", "erroneous filter: hijackable prefixes found",
+        "detected (prefix ranges reported)",
+        f"{len(leaked)} of {table} installed prefixes",
+        note=f"hole: /16../24 disjunct; {seconds:.1f}s incl. convergence",
+    )
+    paper_rows.add(
+        "LEAK", "erroneous filter: exploration cost",
+        "n/a",
+        f"{report.exploration.executions} executions, "
+        f"{report.exploration.solver_queries} solver queries",
+    )
+
+
+@pytest.mark.benchmark(group="sec42-leak")
+def test_sec42_missing_filter_leaks_everything_foreign(benchmark, paper_rows):
+    scenario, report, seconds = benchmark.pedantic(
+        run_leak_detection, args=("missing",), rounds=1, iterations=1
+    )
+    leaked = report.leaked_prefixes()
+    table = scenario.provider_table_size
+    # Everything not originated by the provider or customer is leakable.
+    foreign = sum(
+        1 for prefix, route in scenario.provider.loc_rib.items()
+        if route.origin_as() is not None and int(route.origin_as()) not in (65010, 65020)
+    )
+    coverage = len(leaked) / max(foreign, 1)
+    assert coverage > 0.95
+    paper_rows.add(
+        "LEAK", "missing filter (PCCW case): leakable prefixes",
+        "vast majority of traffic divertable",
+        f"{len(leaked)}/{foreign} foreign prefixes ({coverage:.0%})",
+        note="the YouTube incident's second compounded error",
+    )
+    paper_rows.add(
+        "LEAK", "time to full leak report",
+        "n/a", f"{seconds:.1f}s at {table}-prefix scale",
+    )
+
+
+@pytest.mark.benchmark(group="sec42-leak")
+def test_sec42_anycast_whitelist_filters_false_positives(benchmark, paper_rows):
+    # First find leaks, then whitelist a slice of them as anycast space.
+    _, base_report, _ = run_leak_detection("missing")
+    anycast = base_report.leaked_prefixes()[:25]
+
+    def with_whitelist():
+        return run_leak_detection("missing", anycast_whitelist=anycast)
+
+    scenario, report, _ = benchmark.pedantic(with_whitelist, rounds=1, iterations=1)
+    leaked = set(report.leaked_prefixes())
+    assert leaked.isdisjoint(set(anycast))
+    paper_rows.add(
+        "LEAK", "anycast whitelist suppresses false positives",
+        "DiCE can simply filter these out",
+        f"{len(anycast)} whitelisted prefixes absent from findings",
+    )
+
+
+@pytest.mark.benchmark(group="sec42-leak")
+def test_sec42_findings_are_actionable(benchmark, paper_rows):
+    """Each finding carries the data an operator needs for a filter fix."""
+    scenario, report, _ = benchmark.pedantic(
+        run_leak_detection, args=("erroneous",), rounds=1, iterations=1
+    )
+    findings = report.hijack_findings()
+    assert findings
+    sampled = findings[0]
+    assert sampled.prefix is not None
+    assert sampled.peer == "customer"
+    assert sampled.expected_origin not in (None, 65020)
+    assert sampled.observed_origin == 65020
+    assert dict(sampled.assignment)  # the concrete exploratory input
+    paper_rows.add(
+        "LEAK", "finding contents",
+        "states which prefix ranges can be leaked",
+        "prefix + victim origin + hijacker origin + concrete input",
+    )

@@ -1,0 +1,79 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark measures its subject with pytest-benchmark and *also*
+records the paper-comparison rows (claimed vs. measured) through the
+``paper_rows`` fixture; rows are printed in a single table at the end of
+the session and appended to ``benchmarks/results.json`` so EXPERIMENTS.md
+can be refreshed from a real run.
+"""
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+
+@dataclass
+class PaperRow:
+    """One claim-vs-measurement comparison."""
+
+    experiment: str
+    metric: str
+    paper_value: str
+    measured_value: str
+    note: str = ""
+
+
+class PaperComparison:
+    """Collects rows across the whole benchmark session."""
+
+    def __init__(self):
+        self.rows: List[PaperRow] = []
+
+    def add(self, experiment, metric, paper_value, measured_value, note=""):
+        self.rows.append(
+            PaperRow(experiment, metric, str(paper_value), str(measured_value), note)
+        )
+
+
+_collector = PaperComparison()
+
+
+@pytest.fixture
+def paper_rows():
+    """Record claim-vs-measured rows for the final comparison table."""
+    return _collector
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _collector.rows:
+        return
+    width = (14, 38, 30, 30)
+    header = ("experiment", "metric", "paper", "measured")
+    lines = ["", "=" * 120, "PAPER COMPARISON", "=" * 120]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(header, width))
+    )
+    lines.append("-" * 120)
+    for row in _collector.rows:
+        lines.append(
+            "  ".join(
+                str(v)[:w].ljust(w)
+                for v, w in zip(
+                    (row.experiment, row.metric, row.paper_value, row.measured_value),
+                    width,
+                )
+            )
+            + (f"  # {row.note}" if row.note else "")
+        )
+    lines.append("=" * 120)
+    print("\n".join(lines))
+    try:
+        with open(RESULTS_PATH, "w") as handle:
+            json.dump([asdict(row) for row in _collector.rows], handle, indent=2)
+    except OSError:
+        pass

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Using the concolic engine on its own (the paper's "Oasis" role).
+
+The engine is independent of BGP: any Python callable over declared
+symbolic integers can be explored.  This example walks through the
+pieces — concolic values, path conditions, predicate negation, search
+strategies, and solver statistics — on a small message-validation
+routine with a deliberately buried bug.
+
+Run:  python examples/concolic_playground.py
+"""
+
+from repro.concolic import (
+    ConcolicEngine,
+    ExplorationBudget,
+    InputSpec,
+    VarSpec,
+    make_strategy,
+    trace,
+)
+from repro.concolic.symbolic import SymInt
+
+
+def validate_packet(inputs):
+    """A toy packet validator with a crash hidden five branches deep."""
+    version = inputs.version
+    length = inputs.length
+    checksum = inputs.checksum
+    if version != 4:
+        return "bad-version"
+    if length < 20:
+        return "runt"
+    if length > 1500:
+        return "giant"
+    if (checksum & 0xFF) == 0:
+        return "zero-checksum"
+    if (length % 7 == 0) and (checksum >> 8) == 0xAB:
+        # The buried bug: an unchecked division.
+        return 1 // (length - 21)  # crashes when length == 21
+    return "accepted"
+
+
+def show_single_run() -> None:
+    print("--- one concolic run, recorded path condition ---")
+    x = SymInt.variable("version", 4, bits=8)
+    with trace() as recorder:
+        if x == 4:
+            pass
+        if x > 2:
+            pass
+    for branch in recorder.path:
+        print(f"  branch@{branch.site}: {branch.constraint!r} "
+              f"taken={branch.taken}")
+    negated = recorder.path.constraints_to_negate(1)
+    print(f"  query to flip branch 1: {[repr(c) for c in negated]}")
+
+
+def explore_with(strategy_name: str) -> None:
+    engine = ConcolicEngine()
+    spec = InputSpec([
+        VarSpec("version", bits=8, initial=4),
+        VarSpec("length", bits=16, initial=100),
+        VarSpec("checksum", bits=16, initial=0x1234),
+    ])
+    report = engine.explore(
+        validate_packet,
+        spec,
+        strategy=make_strategy(strategy_name),
+        budget=ExplorationBudget(max_executions=200),
+    )
+    outcomes = sorted(
+        {r.value for r in report.results if isinstance(r.value, str)}
+    )
+    print(f"\n--- strategy={strategy_name} ---")
+    print(f"  executions={report.executions} unique_paths={report.unique_paths} "
+          f"solver_queries={report.solver_queries}")
+    print(f"  outcomes reached: {outcomes}")
+    print(f"  crashes found: {len(report.crashes)}")
+    for crash in report.crashes[:1]:
+        print(f"    crash input: {crash.assignment} -> "
+              f"{type(crash.exception).__name__}: {crash.exception}")
+    stats = engine.solver.stats
+    print(f"  solver: {stats.queries} queries, {stats.sat} sat "
+          f"({stats.hint_hits} hint, {stats.linear_hits} linear, "
+          f"{stats.enumeration_hits} enum, {stats.search_hits} search), "
+          f"{stats.unsat_proved} proved unsat")
+
+
+def main() -> None:
+    show_single_run()
+    for strategy in ("generational", "dfs", "bfs", "random"):
+        explore_with(strategy)
+    print(
+        "\nEvery strategy corners the ZeroDivisionError at "
+        "length=21, checksum=0xAB__ — five symbolic branches deep — by "
+        "negating recorded predicates, never by blind fuzzing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Continuous online testing while the system runs (paper sections 2.3, 4.1).
+
+DiCE is an *online* approach: it explores continuously, alongside the
+deployed system, from checkpoints of live state.  This example replays a
+real-time (paced) update trace into the DiCE-enabled provider while the
+online scheduler fires exploration rounds every two simulated minutes,
+then reports what exploration cost and what it found — the deployment
+mode the paper's CPU measurements describe.
+
+Run:  python examples/online_monitoring.py
+"""
+
+from repro.concolic import ExplorationBudget
+from repro.core import (
+    OnlineScheduler,
+    ScenarioConfig,
+    ScheduleConfig,
+    build_scenario,
+)
+
+
+def main() -> None:
+    print("Starting the provider with a paced 15-minute update trace...")
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode="erroneous",
+            prefix_count=2_000,
+            update_count=250,
+            replay_compression=1.0,   # real-time pacing
+        )
+    )
+    # Load the table (the dump arrives immediately after session setup).
+    scenario.converge(run_until=1.0)
+    print(f"  table loaded: {scenario.provider_table_size} prefixes")
+
+    scheduler = OnlineScheduler(
+        scenario.host,
+        scenario.dice,
+        ScheduleConfig(
+            interval=120.0,                                  # every 2 sim-minutes
+            budget=ExplorationBudget(max_executions=16),
+            peer="customer",
+        ),
+    )
+    scheduler.start()
+    print("  online scheduler armed: one exploration round / 120 sim-seconds")
+
+    window_start = scenario.host.sim.now
+    updates_before = scenario.provider.counters["updates_received"]
+    scenario.converge(run_until=window_start + 900.0)        # the 15-min window
+    scheduler.stop()
+
+    updates = scenario.provider.counters["updates_received"] - updates_before
+    window = scenario.host.sim.now - window_start
+    print("\n--- 15-minute window summary ---")
+    print(f"  live updates processed: {updates} "
+          f"({updates / window:.3f}/sim-second)")
+    print(f"  exploration rounds fired: {scheduler.stats.rounds_fired}")
+    print(f"  exploration wall time: {scheduler.stats.wall_seconds:.2f}s "
+          f"(off the live path)")
+
+    dice = scenario.dice
+    print(f"  total exploratory executions: "
+          f"{sum(r.exploration.executions for r in dice.rounds)}")
+    leaked = dice.leaked_prefixes()
+    print(f"  distinct leakable prefixes found so far: {len(leaked)}")
+    for finding in dice.findings()[:3]:
+        print(f"    {finding.describe()}")
+
+    print(
+        "\nThe live router processed its trace undisturbed while DiCE, "
+        "from periodic checkpoints, accumulated the leak report round by "
+        "round — the paper's continuous online-testing loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: DiCE finds a route leak in a misconfigured provider.
+
+Builds the paper's Figure 2 testbed (Customer - Provider - Internet),
+loads a synthetic RouteViews table, runs one DiCE exploration round over
+the provider's UPDATE handler, and prints the prefixes the customer
+could hijack through the provider's broken filter.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.concolic import ExplorationBudget
+from repro.core import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    print("Building the Figure 2 testbed (erroneous customer filter)...")
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode="erroneous",   # the misconfiguration under test
+            prefix_count=2_000,        # scaled-down "rest of the Internet"
+            update_count=200,
+        )
+    )
+    scenario.converge()
+    print(f"  provider table: {scenario.provider_table_size} prefixes")
+    print(f"  established peers: {scenario.provider.established_peers()}")
+    print(f"  observed live inputs: {len(scenario.dice.observed)}")
+
+    print("\nRunning one DiCE exploration round on the customer session...")
+    report = scenario.dice.run_round(
+        peer="customer", budget=ExplorationBudget(max_executions=32)
+    )
+    assert report is not None
+    print(f"  executions: {report.exploration.executions}")
+    print(f"  unique paths: {report.exploration.unique_paths}")
+    print(f"  solver queries: {report.exploration.solver_queries}")
+    print(f"  wall time: {report.exploration.wall_seconds:.2f}s")
+
+    leaked = report.leaked_prefixes()
+    print(f"\nDiCE found {len(leaked)} hijackable prefixes. Examples:")
+    for finding in report.hijack_findings()[:5]:
+        print(f"  - {finding.describe()}")
+    if leaked:
+        print(
+            "\nOperator takeaway: the customer import filter accepts "
+            "foreign prefixes of length /16../24 — install a prefix-set "
+            "filter for the customer's address space."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Replicating the YouTube/Pakistan-Telecom hijack study (paper section 4.2).
+
+The 2008 incident had two compounded errors:
+
+1. Pakistan Telecom announced a more-specific route for YouTube's prefix
+   that it only meant to blackhole internally;
+2. its upstream provider, PCCW, had no customer route filters, so the
+   announcement spread Internet-wide and diverted YouTube's traffic.
+
+This example runs DiCE against the provider in three filtering
+configurations and shows that DiCE flags the hole *before* any incident:
+it reports exactly which installed prefixes the customer could hijack.
+
+Run:  python examples/route_leak_detection.py
+"""
+
+from repro.concolic import ExplorationBudget
+from repro.core import ScenarioConfig, build_scenario
+from repro.util.ip import Prefix
+
+
+def investigate(filter_mode: str) -> None:
+    banner = {
+        "correct": "correct customer filter (best common practice)",
+        "erroneous": "erroneous filter (partially correct, over-broad disjunct)",
+        "missing": "no filter at all (PCCW's mistake)",
+    }[filter_mode]
+    print(f"\n=== Provider with {banner} ===")
+
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode=filter_mode, prefix_count=2_000, update_count=150
+        )
+    )
+    scenario.converge()
+
+    report = scenario.dice.run_round(
+        peer="customer", budget=ExplorationBudget(max_executions=32)
+    )
+    assert report is not None
+    leaked = report.leaked_prefixes()
+    print(f"exploration: {report.exploration.executions} executions, "
+          f"{report.exploration.unique_paths} unique paths, "
+          f"{report.exploration.wall_seconds:.2f}s")
+    if not leaked:
+        print("DiCE result: no leakable prefixes — the filter holds.")
+        return
+    print(f"DiCE result: {len(leaked)} prefixes can be leaked by the customer.")
+    print("sample findings (victim prefix, rightful origin -> hijacker):")
+    for finding in report.hijack_findings()[:5]:
+        print(f"  {finding.prefix}  AS{finding.expected_origin} -> "
+              f"AS{finding.observed_origin}  via input {dict(finding.assignment)}")
+    # The sub-prefix (YouTube-style) case: a more-specific of an installed
+    # prefix is hijackable even though it is not itself in the table.
+    victims = [f.prefix for f in report.hijack_findings() if f.prefix]
+    coarse = [p for p in victims if p.length <= 20]
+    if coarse:
+        parent = coarse[0]
+        child = parent.subnets()[0]
+        print(f"\nsub-prefix check: {parent} is installed; a rogue more-specific "
+              f"{child} would also be accepted (longest-prefix match wins).")
+
+
+def main() -> None:
+    print("DiCE route-leak detection across provider filter configurations")
+    for mode in ("correct", "erroneous", "missing"):
+        investigate(mode)
+    print(
+        "\nSummary: with correct filtering nothing leaks; with the erroneous\n"
+        "filter the /16../24 hole leaks most of the table; with no filter\n"
+        "every foreign prefix is hijackable — the PCCW failure mode that\n"
+        "took YouTube offline. DiCE names the exact prefix ranges, which is\n"
+        "what the upstream operator needs to install the missing filter."
+    )
+
+
+if __name__ == "__main__":
+    main()

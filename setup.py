@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs (no `wheel` package available).
+
+The pip on this machine lacks the `wheel` backend needed for PEP 660
+editable wheels, so `pip install -e .` is routed through the legacy
+`setup.py develop` path (see the pip config in ~/.config/pip/pip.conf).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

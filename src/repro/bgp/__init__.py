@@ -1,0 +1,97 @@
+"""A from-scratch BGP-4 substrate (the paper's BIRD role).
+
+Wire codecs, RIBs, the decision process, a BIRD-like policy/config
+language with interpreter, the session FSM, and the router node.
+"""
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    PathAttributes,
+    decode_attributes,
+    encode_attributes,
+)
+from repro.bgp.config import NeighborConfig, RouterConfig, parse_config
+from repro.bgp.decision import DEFAULT_LOCAL_PREF, best_route, prefer, routes_equal
+from repro.bgp.fsm import Session, SessionFsm, SessionState
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    Message,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+from repro.bgp.nlri import NlriEntry, decode_nlri, encode_nlri
+from repro.bgp.policy import (
+    ACCEPT_ALL,
+    FilterAction,
+    FilterInterpreter,
+    FilterProgram,
+    FilterResult,
+    PrefixSet,
+    PrefixSpec,
+    REJECT_ALL,
+    RouteView,
+)
+from repro.bgp.rib import (
+    AdjRibIn,
+    AdjRibOut,
+    ChangeKind,
+    LocRib,
+    RibChange,
+    Route,
+    RouteSource,
+)
+from repro.bgp.router import BgpRouter, STATIC_LOCAL_PREF
+
+__all__ = [
+    "ACCEPT_ALL",
+    "AdjRibIn",
+    "AdjRibOut",
+    "AsPath",
+    "AsPathSegment",
+    "BgpRouter",
+    "ChangeKind",
+    "DEFAULT_LOCAL_PREF",
+    "FilterAction",
+    "FilterInterpreter",
+    "FilterProgram",
+    "FilterResult",
+    "KeepaliveMessage",
+    "LocRib",
+    "Message",
+    "NeighborConfig",
+    "NlriEntry",
+    "NotificationMessage",
+    "ORIGIN_EGP",
+    "ORIGIN_IGP",
+    "ORIGIN_INCOMPLETE",
+    "OpenMessage",
+    "PathAttributes",
+    "PrefixSet",
+    "PrefixSpec",
+    "REJECT_ALL",
+    "RibChange",
+    "Route",
+    "RouteSource",
+    "RouterConfig",
+    "RouteView",
+    "STATIC_LOCAL_PREF",
+    "Session",
+    "SessionFsm",
+    "SessionState",
+    "UpdateMessage",
+    "best_route",
+    "decode_attributes",
+    "decode_message",
+    "decode_nlri",
+    "encode_attributes",
+    "encode_nlri",
+    "parse_config",
+    "prefer",
+    "routes_equal",
+]

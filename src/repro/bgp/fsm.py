@@ -1,0 +1,181 @@
+"""The BGP session finite-state machine (RFC 4271 section 8, simplified).
+
+The simulator's links stand in for TCP, so the Connect/Active dance
+collapses: an active speaker sends OPEN immediately on start, a passive
+one answers with its own OPEN.  The state ladder kept is::
+
+    IDLE -> OPEN_SENT -> OPEN_CONFIRM -> ESTABLISHED
+
+with NOTIFICATION or hold-timer expiry dropping back to IDLE.  The FSM is
+a pure transition engine: handlers mutate the :class:`Session` record and
+return the messages to transmit, leaving all I/O to the router — which is
+what lets checkpoint clones replay FSM logic in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bgp.config import NeighborConfig
+from repro.bgp.messages import (
+    ERR_FSM,
+    ERR_HOLD_TIMER_EXPIRED,
+    ERR_OPEN_MESSAGE,
+    KeepaliveMessage,
+    Message,
+    NotificationMessage,
+    OpenMessage,
+)
+from repro.bgp.wire import as_concrete_int
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    OPEN_SENT = "open-sent"
+    OPEN_CONFIRM = "open-confirm"
+    ESTABLISHED = "established"
+
+
+@dataclass
+class Session:
+    """Per-peer session bookkeeping (picklable; part of checkpoints)."""
+
+    peer: NeighborConfig
+    state: SessionState = SessionState.IDLE
+    hold_time: int = 90
+    hold_deadline: Optional[float] = None
+    keepalive_interval: float = 30.0
+    remote_id: int = 0
+    established_at: Optional[float] = None
+    messages_in: int = 0
+    messages_out: int = 0
+    resets: int = 0
+
+    @property
+    def established(self) -> bool:
+        return self.state == SessionState.ESTABLISHED
+
+    def touch(self, now: float) -> None:
+        """Any received message restarts the hold timer."""
+        if self.hold_time > 0:
+            self.hold_deadline = now + self.hold_time
+
+
+class SessionFsm:
+    """Transition logic for one session."""
+
+    def __init__(self, session: Session, local_asn: int, router_id: int):
+        self.session = session
+        self.local_asn = local_asn
+        self.router_id = router_id
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _open_message(self) -> OpenMessage:
+        return OpenMessage(
+            my_as=self.local_asn,
+            hold_time=self.session.peer.hold_time,
+            bgp_identifier=self.router_id,
+        )
+
+    def _reset(self) -> None:
+        session = self.session
+        session.state = SessionState.IDLE
+        session.hold_deadline = None
+        session.established_at = None
+        session.resets += 1
+
+    # -- events -------------------------------------------------------------------
+
+    def start(self, now: float) -> List[Message]:
+        """Bring the session up; active side transmits its OPEN."""
+        session = self.session
+        if session.state != SessionState.IDLE:
+            return []
+        if session.peer.passive:
+            return []
+        session.state = SessionState.OPEN_SENT
+        session.touch(now)
+        return [self._open_message()]
+
+    def on_open(self, msg: OpenMessage, now: float) -> Tuple[List[Message], bool]:
+        """Handle a received OPEN; returns (replies, reached_established).
+
+        ``reached_established`` is always False here (establishment happens
+        on KEEPALIVE receipt) but kept in the signature for symmetry with
+        :meth:`on_keepalive`.
+        """
+        session = self.session
+        session.messages_in += 1
+        remote_as = as_concrete_int(msg.my_as)
+        if remote_as != session.peer.remote_as:
+            self._reset()
+            return (
+                [NotificationMessage(ERR_OPEN_MESSAGE, 2)],  # Bad Peer AS
+                False,
+            )
+        session.remote_id = as_concrete_int(msg.bgp_identifier)
+        negotiated = min(session.peer.hold_time, as_concrete_int(msg.hold_time))
+        session.hold_time = negotiated
+        session.touch(now)
+        if session.state == SessionState.IDLE:
+            # Passive side: answer with our OPEN plus a KEEPALIVE.
+            session.state = SessionState.OPEN_CONFIRM
+            return ([self._open_message(), KeepaliveMessage()], False)
+        if session.state == SessionState.OPEN_SENT:
+            session.state = SessionState.OPEN_CONFIRM
+            return ([KeepaliveMessage()], False)
+        # OPEN in OPEN_CONFIRM/ESTABLISHED is an FSM error.
+        self._reset()
+        return ([NotificationMessage(ERR_FSM, 0)], False)
+
+    def on_keepalive(self, now: float) -> Tuple[List[Message], bool]:
+        """Handle a received KEEPALIVE; may complete establishment."""
+        session = self.session
+        session.messages_in += 1
+        session.touch(now)
+        if session.state == SessionState.OPEN_CONFIRM:
+            session.state = SessionState.ESTABLISHED
+            session.established_at = now
+            return ([], True)
+        if session.state == SessionState.ESTABLISHED:
+            return ([], False)
+        # KEEPALIVE before OPEN exchange completes is an FSM error.
+        self._reset()
+        return ([NotificationMessage(ERR_FSM, 0)], False)
+
+    def on_notification(self, msg: NotificationMessage) -> None:
+        """Peer reported an error: tear the session down."""
+        self.session.messages_in += 1
+        self._reset()
+
+    def on_update_allowed(self, now: float) -> bool:
+        """UPDATEs are only legal in ESTABLISHED; otherwise reset."""
+        session = self.session
+        session.messages_in += 1
+        if session.state == SessionState.ESTABLISHED:
+            session.touch(now)
+            return True
+        self._reset()
+        return False
+
+    def check_hold_timer(self, now: float) -> List[Message]:
+        """If the hold timer expired, emit the NOTIFICATION and reset."""
+        session = self.session
+        if (
+            session.state != SessionState.IDLE
+            and session.hold_deadline is not None
+            and now > session.hold_deadline
+        ):
+            self._reset()
+            return [NotificationMessage(ERR_HOLD_TIMER_EXPIRED, 0)]
+        return []
+
+    def keepalive_tick(self, now: float) -> List[Message]:
+        """Periodic keepalive emission while established."""
+        if self.session.state in (SessionState.OPEN_CONFIRM, SessionState.ESTABLISHED):
+            self.session.messages_out += 1
+            return [KeepaliveMessage()]
+        return []

@@ -1,0 +1,101 @@
+"""Network Layer Reachability Information (NLRI) encoding.
+
+RFC 4271 section 4.3: each NLRI entry is a 1-byte prefix length followed
+by the minimum number of bytes holding the prefix.  The paper marks
+exactly these fields symbolic ("the NLRI region of the message contains
+the announced routes with their respective netmask lengths.  We mark
+these as symbolic", section 3.2), so the decoder is written to flow
+:class:`SymInt` values through untouched: parsing a symbolic buffer
+yields routes whose prefix/length are symbolic, and every later branch on
+them lands in the path condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.bgp.wire import Buffer, Cursor, as_concrete_int, concat
+from repro.concolic.symbolic import SymInt
+from repro.util.errors import WireFormatError
+from repro.util.ip import ADDR_BITS, Prefix
+
+IntLike = Union[int, SymInt]
+
+
+@dataclass
+class NlriEntry:
+    """One announced/withdrawn prefix, fields possibly symbolic.
+
+    ``network`` is the 32-bit prefix value (host bits may be nonzero on
+    the wire; semantic code masks them), ``length`` the mask length.
+    """
+
+    network: IntLike
+    length: IntLike
+
+    def to_prefix(self) -> Prefix:
+        """The canonical concrete prefix (concretizes symbolic fields)."""
+        return Prefix(as_concrete_int(self.network), as_concrete_int(self.length))
+
+    @classmethod
+    def from_prefix(cls, prefix: Prefix) -> "NlriEntry":
+        return cls(prefix.network, prefix.length)
+
+    def __str__(self) -> str:
+        return str(self.to_prefix())
+
+
+def nlri_wire_size(length: int) -> int:
+    """Bytes needed on the wire for a prefix of ``length`` bits."""
+    return (int(length) + 7) // 8
+
+
+def encode_nlri(entries: List[NlriEntry]) -> bytes:
+    """Encode entries to wire format (concretizing symbolic fields)."""
+    out = bytearray()
+    for entry in entries:
+        length = as_concrete_int(entry.length)
+        network = as_concrete_int(entry.network)
+        if not 0 <= length <= ADDR_BITS:
+            raise WireFormatError(f"invalid NLRI length {length}", code=3, subcode=10)
+        if not 0 <= network < (1 << ADDR_BITS):
+            raise WireFormatError(f"invalid NLRI network {network}", code=3, subcode=10)
+        out.append(length)
+        size = nlri_wire_size(length)
+        out.extend((network >> (ADDR_BITS - 8 * size)).to_bytes(size, "big") if size else b"")
+    return bytes(out)
+
+
+def decode_nlri(buffer: Buffer) -> List[NlriEntry]:
+    """Decode a full NLRI region (raises on trailing garbage).
+
+    On a symbolic buffer the per-entry length byte concretizes (it steers
+    how many bytes to read), while the prefix bytes remain symbolic.
+    """
+    cursor = Cursor(buffer)
+    entries: List[NlriEntry] = []
+    while not cursor.at_end():
+        length = cursor.read_u8()
+        if length > ADDR_BITS:  # symbolic-aware: this branch is recorded
+            raise WireFormatError(
+                f"NLRI length {as_concrete_int(length)} exceeds 32", code=3, subcode=10
+            )
+        size = nlri_wire_size(int(length))
+        if cursor.remaining < size:
+            raise WireFormatError("truncated NLRI entry", code=3, subcode=10)
+        network: IntLike = 0
+        if size:
+            network = cursor._field(cursor.position, size)
+            cursor.skip(size)
+            network = network << (ADDR_BITS - 8 * size)
+        entries.append(NlriEntry(network, length))
+    return entries
+
+
+def prefixes_to_nlri(prefixes: List[Prefix]) -> List[NlriEntry]:
+    return [NlriEntry.from_prefix(p) for p in prefixes]
+
+
+def nlri_to_prefixes(entries: List[NlriEntry]) -> List[Prefix]:
+    return [entry.to_prefix() for entry in entries]

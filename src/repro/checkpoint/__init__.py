@@ -1,0 +1,19 @@
+"""Fork-style checkpointing with copy-on-write page accounting."""
+
+from repro.checkpoint.manager import CheckpointManager, CloneRecord, MemoryReport
+from repro.checkpoint.snapshot import (
+    Checkpoint,
+    Checkpointable,
+    default_segments,
+    snapshot_pages,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "Checkpointable",
+    "CloneRecord",
+    "MemoryReport",
+    "default_segments",
+    "snapshot_pages",
+]

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operator-facing entry points over the library:
+
+* ``leak-check`` — build the Figure 2 testbed with a chosen filter mode
+  (or a user-supplied provider config) and run DiCE rounds, printing the
+  leakable prefix report;
+* ``explore`` — run the concolic engine over the provider's UPDATE
+  handler with explicit budgets/strategy and dump exploration stats;
+* ``trace-gen`` — synthesize a RouteViews-style trace to a file;
+* ``trace-info`` — summarize a trace file;
+* ``check-config`` — parse and validate a router configuration file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.concolic import ExplorationBudget, make_strategy
+from repro.core import ScenarioConfig, build_scenario
+from repro.trace.mrt import Trace
+from repro.trace.routeviews import TraceConfig, RouteViewsGenerator
+from repro.util.errors import ConfigError, ReproError
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--filter-mode", choices=("correct", "erroneous", "missing"),
+        default="erroneous", help="provider customer-filter configuration",
+    )
+    parser.add_argument("--prefixes", type=int, default=2_000,
+                        help="synthetic table size (paper: 319355)")
+    parser.add_argument("--updates", type=int, default=200,
+                        help="length of the update trace")
+    parser.add_argument("--seed", type=int, default=2010_04_01,
+                        help="deterministic experiment seed")
+
+
+def _build(args: argparse.Namespace):
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode=args.filter_mode,
+            prefix_count=args.prefixes,
+            update_count=args.updates,
+            seed=args.seed,
+        )
+    )
+    scenario.converge()
+    return scenario
+
+
+def cmd_leak_check(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    print(f"provider table: {scenario.provider_table_size} prefixes; "
+          f"peers: {scenario.provider.established_peers()}")
+    budget = ExplorationBudget(
+        max_executions=args.executions, max_solver_queries=args.executions * 16
+    )
+    for round_index in range(args.rounds):
+        report = scenario.dice.run_round(peer="customer", budget=budget)
+        if report is None:
+            print("no observed inputs to explore")
+            return 1
+        print(f"round {round_index + 1}: {report.exploration.executions} "
+              f"executions, {len(report.unique_findings())} findings")
+    leaked = scenario.dice.leaked_prefixes()
+    print(f"\nleakable prefixes: {len(leaked)}")
+    for finding in scenario.dice.findings()[:args.show]:
+        print(f"  {finding.describe()}")
+    if len(leaked) > args.show:
+        print(f"  ... and {len(leaked) - args.show} more")
+    return 0 if not leaked else 2  # nonzero exit signals findings, like linters
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    seed = scenario.dice.pick_seed("customer")
+    if seed is None:
+        print("no observed inputs")
+        return 1
+    peer, observed = seed
+    from repro.core.inputs import model_for
+
+    model = model_for(observed, args.policy)
+    report = scenario.dice.explorer.explore_update(
+        scenario.provider, peer, observed, model=model,
+        budget=ExplorationBudget(max_executions=args.executions),
+        strategy=make_strategy(args.strategy, seed=args.seed),
+    )
+    print("exploration summary:")
+    for key, value in report.summary().items():
+        print(f"  {key}: {value}")
+    print("engine coverage:",
+          f"{report.exploration.coverage.covered_outcomes} outcomes over",
+          f"{report.exploration.coverage.covered_sites} sites")
+    stats = scenario.dice.explorer.engine.solver.stats
+    print("solver:", stats.as_dict())
+    return 0
+
+
+def cmd_trace_gen(args: argparse.Namespace) -> int:
+    trace = RouteViewsGenerator(
+        TraceConfig(
+            prefix_count=args.prefixes,
+            update_count=args.updates,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    ).generate()
+    data = trace.serialize()
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {args.output}: {len(trace.dump)} dump records, "
+          f"{len(trace.updates)} updates, {len(data)} bytes")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    with open(args.trace, "rb") as handle:
+        trace = Trace.deserialize(handle.read())
+    origins = {r.origin_as() for r in trace.dump if r.origin_as() is not None}
+    lengths = {}
+    for record in trace.dump:
+        lengths[record.prefix.length] = lengths.get(record.prefix.length, 0) + 1
+    print(f"dump: {len(trace.dump)} prefixes, {len(origins)} origin ASes")
+    print(f"updates: {len(trace.updates)} over {trace.duration:.0f}s")
+    print("masklen mix:", ", ".join(
+        f"/{length}:{count}" for length, count in sorted(lengths.items())
+    ))
+    return 0
+
+
+def cmd_check_config(args: argparse.Namespace) -> int:
+    from repro.bgp.config import parse_config
+
+    with open(args.config) as handle:
+        text = handle.read()
+    try:
+        config = parse_config(text)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(f"ok: AS{config.asn}, {len(config.neighbors)} neighbors, "
+          f"{len(config.filters)} filters, {len(config.prefix_sets)} prefix sets, "
+          f"{len(config.networks)} originated networks")
+    for name, neighbor in config.neighbors.items():
+        print(f"  neighbor {name}: AS{neighbor.remote_as} "
+              f"import={neighbor.import_filter} export={neighbor.export_filter}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiCE: online testing of federated distributed systems",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    leak = commands.add_parser("leak-check", help="run DiCE route-leak detection")
+    _add_scenario_arguments(leak)
+    leak.add_argument("--rounds", type=int, default=1)
+    leak.add_argument("--executions", type=int, default=32,
+                      help="exploration budget per round")
+    leak.add_argument("--show", type=int, default=10,
+                      help="findings to print")
+    leak.set_defaults(func=cmd_leak_check)
+
+    explore = commands.add_parser("explore", help="raw exploration statistics")
+    _add_scenario_arguments(explore)
+    explore.add_argument("--executions", type=int, default=48)
+    explore.add_argument("--strategy", default="generational",
+                         choices=("generational", "dfs", "bfs", "random"))
+    explore.add_argument("--policy", default="selective",
+                         choices=("selective", "whole-message"))
+    explore.set_defaults(func=cmd_explore)
+
+    gen = commands.add_parser("trace-gen", help="synthesize a RouteViews-style trace")
+    gen.add_argument("output", help="output file")
+    gen.add_argument("--prefixes", type=int, default=20_000)
+    gen.add_argument("--updates", type=int, default=2_000)
+    gen.add_argument("--duration", type=float, default=900.0)
+    gen.add_argument("--seed", type=int, default=2010_04_01)
+    gen.set_defaults(func=cmd_trace_gen)
+
+    info = commands.add_parser("trace-info", help="summarize a trace file")
+    info.add_argument("trace", help="trace file")
+    info.set_defaults(func=cmd_trace_info)
+
+    check = commands.add_parser("check-config", help="validate a router config")
+    check.add_argument("config", help="configuration file")
+    check.set_defaults(func=cmd_check_config)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

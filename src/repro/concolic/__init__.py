@@ -1,0 +1,108 @@
+"""A from-scratch concolic execution engine (the paper's "Oasis" role).
+
+Public surface:
+
+* :class:`SymInt` / :class:`SymBool` / :class:`SymBytes` — concolic values,
+* :class:`InputSpec` / :class:`VarSpec` — symbolic input declarations,
+* :class:`ConcolicEngine` — single runs and systematic path exploration,
+* :class:`ConstraintSolver` — the composite constraint solver,
+* search strategies (:func:`make_strategy`) and coverage accounting,
+* :class:`Environment` implementations for exploration isolation.
+"""
+
+from repro.concolic.coverage import BranchCoverage
+from repro.concolic.engine import (
+    ConcolicEngine,
+    ExplorationBudget,
+    ExplorationReport,
+    ExplorationSession,
+    InputSpec,
+    PathBudgetExceeded,
+    SymbolicInputs,
+    TraceRecorder,
+    VarSpec,
+    trace,
+)
+from repro.concolic.env import (
+    CapturedMessage,
+    Environment,
+    ExplorationEnvironment,
+    RecordingEnvironment,
+    SealedEnvironment,
+)
+from repro.concolic.expr import (
+    BinOp,
+    Const,
+    EvalError,
+    Expr,
+    UnaryOp,
+    Var,
+    as_boolean,
+    make_binary,
+    make_unary,
+    negate,
+)
+from repro.concolic.path import Branch, ExecutionResult, PathCondition
+from repro.concolic.solver import Assignment, ConstraintSolver, SolverStats
+from repro.concolic.strategies import (
+    BreadthFirstStrategy,
+    Candidate,
+    DepthFirstStrategy,
+    GenerationalStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    STRATEGIES,
+    make_strategy,
+)
+from repro.concolic.symbolic import SymBool, SymBytes, SymInt, concrete_of, lift_int
+from repro.concolic.tracer import BranchSite, active_recorder
+
+__all__ = [
+    "Assignment",
+    "BinOp",
+    "Branch",
+    "BranchCoverage",
+    "BranchSite",
+    "BreadthFirstStrategy",
+    "Candidate",
+    "CapturedMessage",
+    "ConcolicEngine",
+    "Const",
+    "ConstraintSolver",
+    "DepthFirstStrategy",
+    "Environment",
+    "EvalError",
+    "ExecutionResult",
+    "ExplorationBudget",
+    "ExplorationEnvironment",
+    "ExplorationReport",
+    "ExplorationSession",
+    "Expr",
+    "GenerationalStrategy",
+    "InputSpec",
+    "PathBudgetExceeded",
+    "PathCondition",
+    "RandomStrategy",
+    "RecordingEnvironment",
+    "STRATEGIES",
+    "SealedEnvironment",
+    "SearchStrategy",
+    "SolverStats",
+    "SymBool",
+    "SymBytes",
+    "SymInt",
+    "SymbolicInputs",
+    "TraceRecorder",
+    "UnaryOp",
+    "Var",
+    "VarSpec",
+    "active_recorder",
+    "as_boolean",
+    "concrete_of",
+    "lift_int",
+    "make_binary",
+    "make_strategy",
+    "make_unary",
+    "negate",
+    "trace",
+]

@@ -1,0 +1,72 @@
+"""Branch and path coverage accounting for exploration runs.
+
+Coverage drives two things: the default search strategy prioritizes
+inputs that exercised new branch outcomes, and the paper's "aggregate set
+of constraints" (section 2.3) — branches discovered only in later runs
+must still get negated — falls out of observing every executed path here
+and letting the explorer enqueue negations for any outcome not yet
+attempted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.concolic.path import PathCondition
+from repro.concolic.tracer import BranchSite
+
+Outcome = Tuple[BranchSite, bool]
+
+
+@dataclass
+class BranchCoverage:
+    """Tracks which (branch site, direction) outcomes have been executed."""
+
+    outcomes: Set[Outcome] = field(default_factory=set)
+    site_hits: Counter = field(default_factory=Counter)
+    paths: Set[bytes] = field(default_factory=set)
+
+    def observe(self, path: PathCondition) -> int:
+        """Record a path; returns how many branch outcomes were new."""
+        new_outcomes = 0
+        for branch in path:
+            self.site_hits[branch.site] += 1
+            if branch.outcome_key not in self.outcomes:
+                self.outcomes.add(branch.outcome_key)
+                new_outcomes += 1
+        self.paths.add(path.signature())
+        return new_outcomes
+
+    def would_be_new(self, path: PathCondition) -> int:
+        """How many outcomes of ``path`` are uncovered, without recording."""
+        return sum(1 for b in path if b.outcome_key not in self.outcomes)
+
+    @property
+    def covered_outcomes(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def covered_sites(self) -> int:
+        return len({site for site, _ in self.outcomes})
+
+    @property
+    def fully_covered_sites(self) -> int:
+        """Sites where both directions of the branch have been executed."""
+        both = 0
+        sites = {site for site, _ in self.outcomes}
+        for site in sites:
+            if (site, True) in self.outcomes and (site, False) in self.outcomes:
+                both += 1
+        return both
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def site_summary(self) -> Dict[str, int]:
+        """Hit counts keyed by printable site, for reports."""
+        return {str(site): count for site, count in sorted(
+            self.site_hits.items(), key=lambda item: (item[0].file, item[0].line)
+        )}

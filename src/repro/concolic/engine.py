@@ -1,0 +1,460 @@
+"""The concolic execution engine: trace recording and path exploration.
+
+This module ties the pieces together into the loop of Figure 1:
+
+1. run the program on a concrete input, recording the branch constraints
+   encountered (:class:`TraceRecorder` + the symbolic values),
+2. pick a recorded branch, assert the path prefix plus the branch's
+   negation, and ask the solver for an input that flips it,
+3. run that input, merge the newly observed constraints into the
+   aggregate set, and repeat until the frontier or budget is exhausted.
+
+The program under test is any callable taking a :class:`SymbolicInputs`
+(DiCE wraps a cloned node's message handler in one; the unit tests use
+plain functions).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.concolic import tracer
+from repro.concolic.coverage import BranchCoverage
+from repro.concolic.expr import Expr, Const, make_binary
+from repro.concolic.path import ExecutionResult, PathCondition
+from repro.concolic.solver import ConstraintSolver, Interval
+from repro.concolic.strategies import (
+    Candidate,
+    CandidateQueue,
+    GenerationalStrategy,
+    SearchStrategy,
+)
+from repro.concolic.symbolic import SymInt
+from repro.concolic.tracer import BranchSite
+from repro.util.errors import ExplorationError, SymbolicError
+
+
+class PathBudgetExceeded(SymbolicError):
+    """Raised inside the program under test when the trace grows too long.
+
+    Aborting the run (rather than silently dropping constraints) keeps the
+    recorded path condition sound; the execution is reported as truncated.
+    """
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """Declaration of one symbolic input variable."""
+
+    name: str
+    bits: int = 32
+    initial: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.domain
+        if not lo <= self.initial <= hi:
+            raise SymbolicError(
+                f"initial value {self.initial} outside {self.name}'s "
+                f"{self.bits}-bit domain"
+            )
+
+    @property
+    def domain(self) -> Interval:
+        return (0, (1 << self.bits) - 1)
+
+
+class InputSpec:
+    """An ordered set of symbolic input declarations."""
+
+    def __init__(self, specs: Optional[Sequence[VarSpec]] = None):
+        self._specs: Dict[str, VarSpec] = {}
+        for spec in specs or ():
+            self.add(spec)
+
+    def add(self, spec: VarSpec) -> "InputSpec":
+        if spec.name in self._specs:
+            raise SymbolicError(f"duplicate symbolic variable {spec.name!r}")
+        self._specs[spec.name] = spec
+        return self
+
+    def declare(self, name: str, initial: int, bits: int = 32) -> "InputSpec":
+        return self.add(VarSpec(name, bits, initial))
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[VarSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def domains(self) -> Dict[str, Interval]:
+        return {spec.name: spec.domain for spec in self}
+
+    def initial_assignment(self) -> Dict[str, int]:
+        return {spec.name: spec.initial for spec in self}
+
+    def symbolize(self, assignment: Dict[str, int]) -> "SymbolicInputs":
+        """Build the symbolic view of ``assignment`` for one execution."""
+        values = {}
+        for spec in self:
+            concrete = assignment.get(spec.name, spec.initial)
+            values[spec.name] = SymInt.variable(spec.name, concrete, spec.bits)
+        return SymbolicInputs(values)
+
+
+class SymbolicInputs:
+    """The argument handed to the program under test.
+
+    Provides mapping access (``inputs["masklen"]``) and attribute access
+    (``inputs.masklen``) to the per-variable :class:`SymInt` values.
+    """
+
+    def __init__(self, values: Dict[str, SymInt]):
+        self._values = values
+
+    def __getitem__(self, name: str) -> SymInt:
+        return self._values[name]
+
+    def __getattr__(self, name: str) -> SymInt:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def concrete(self) -> Dict[str, int]:
+        return {name: value.concrete for name, value in self._values.items()}
+
+
+class TraceRecorder:
+    """Collects the path condition of one execution."""
+
+    def __init__(self, max_branches: int = 50_000, record_concretizations: bool = True):
+        self.path = PathCondition()
+        self.max_branches = max_branches
+        self.record_concretizations = record_concretizations
+        self.truncated = False
+
+    def record_branch(self, expr: Expr, outcome: bool, site: BranchSite) -> None:
+        if len(self.path) >= self.max_branches:
+            self.truncated = True
+            raise PathBudgetExceeded(
+                f"path exceeded {self.max_branches} branches at {site}"
+            )
+        self.path.append(site, expr, outcome)
+
+    def record_concretization(self, expr: Expr, value: int) -> None:
+        if not self.record_concretizations:
+            return
+        if len(self.path) >= self.max_branches:
+            self.truncated = True
+            raise PathBudgetExceeded("path budget exhausted in concretization")
+        constraint = make_binary("eq", expr, Const(value))
+        self.path.append(tracer.caller_site(), constraint, True, is_concretization=True)
+
+
+@contextmanager
+def trace(
+    max_branches: int = 50_000, record_concretizations: bool = True
+) -> Iterator[TraceRecorder]:
+    """Context manager installing a fresh recorder as the active trace."""
+    recorder = TraceRecorder(max_branches, record_concretizations)
+    token = tracer.install(recorder)
+    try:
+        yield recorder
+    finally:
+        tracer.restore(token)
+
+
+@dataclass
+class ExplorationBudget:
+    """Resource limits for one exploration session."""
+
+    max_executions: int = 256
+    max_solver_queries: int = 4096
+    max_seconds: Optional[float] = None
+    stop_on_crash: bool = False
+
+    def timer(self) -> Callable[[], bool]:
+        """Returns a callable that is True while wall-clock budget remains."""
+        if self.max_seconds is None:
+            return lambda: True
+        deadline = time.perf_counter() + self.max_seconds
+        return lambda: time.perf_counter() < deadline
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate outcome of an exploration session."""
+
+    executions: int = 0
+    unique_paths: int = 0
+    duplicate_paths: int = 0
+    truncated_paths: int = 0
+    crashes: List[ExecutionResult] = field(default_factory=list)
+    results: List[ExecutionResult] = field(default_factory=list)
+    coverage: BranchCoverage = field(default_factory=BranchCoverage)
+    solver_queries: int = 0
+    candidates_generated: int = 0
+    negations_skipped: int = 0
+    stop_reason: str = "frontier-exhausted"
+    wall_seconds: float = 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "executions": self.executions,
+            "unique_paths": self.unique_paths,
+            "duplicate_paths": self.duplicate_paths,
+            "truncated_paths": self.truncated_paths,
+            "crashes": len(self.crashes),
+            "covered_outcomes": self.coverage.covered_outcomes,
+            "covered_sites": self.coverage.covered_sites,
+            "solver_queries": self.solver_queries,
+            "candidates_generated": self.candidates_generated,
+            "negations_skipped": self.negations_skipped,
+            "stop_reason": self.stop_reason,
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+Program = Callable[[SymbolicInputs], object]
+ResultCallback = Callable[[ExecutionResult, Candidate], None]
+
+
+class ConcolicEngine:
+    """Runs programs concolically and explores their path space."""
+
+    def __init__(
+        self,
+        solver: Optional[ConstraintSolver] = None,
+        max_branches: int = 50_000,
+        record_concretizations: bool = True,
+        keep_results: bool = True,
+    ):
+        self.solver = solver or ConstraintSolver()
+        self.max_branches = max_branches
+        self.record_concretizations = record_concretizations
+        self.keep_results = keep_results
+
+    # -- single execution ----------------------------------------------------
+
+    def run(
+        self, program: Program, spec: InputSpec, assignment: Optional[Dict[str, int]] = None
+    ) -> ExecutionResult:
+        """One concolic execution of ``program`` under ``assignment``."""
+        env = dict(spec.initial_assignment())
+        if assignment:
+            env.update(assignment)
+        inputs = spec.symbolize(env)
+        started = time.perf_counter()
+        value: object = None
+        exception: Optional[BaseException] = None
+        with trace(self.max_branches, self.record_concretizations) as recorder:
+            try:
+                value = program(inputs)
+            except PathBudgetExceeded as exc:
+                exception = exc
+            except Exception as exc:  # noqa: BLE001 - faults are findings
+                exception = exc
+        duration = time.perf_counter() - started
+        return ExecutionResult(env, recorder.path, value, exception, duration)
+
+    # -- exploration ----------------------------------------------------------
+
+    def explore(
+        self,
+        program: Program,
+        spec: InputSpec,
+        strategy: Optional[SearchStrategy] = None,
+        budget: Optional[ExplorationBudget] = None,
+        on_result: Optional[ResultCallback] = None,
+        initial_assignments: Optional[Sequence[Dict[str, int]]] = None,
+        negate_concretizations: bool = False,
+    ) -> ExplorationReport:
+        """Systematically explore the program's paths from concrete seeds.
+
+        ``initial_assignments`` defaults to the spec's initial values; DiCE
+        passes the fields of an actually observed message (section 2.3).
+        ``on_result`` is invoked after every execution — fault checkers
+        hook in there.
+        """
+        session = ExplorationSession(
+            self, program, spec, strategy, budget, on_result,
+            initial_assignments, negate_concretizations,
+        )
+        while session.step():
+            pass
+        return session.finish()
+
+    def explore_many(
+        self,
+        jobs: Sequence[Tuple[Program, InputSpec]],
+        strategy: Optional[SearchStrategy] = None,
+        budget: Optional[ExplorationBudget] = None,
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ExplorationReport]:
+        """Run several explorations in parallel (cooperative round-robin).
+
+        The paper notes Oasis "can execute multiple explorations in
+        parallel"; Python's GIL makes threads pointless for CPU-bound
+        exploration, so parallelism here is deterministic interleaving:
+        each live session advances one execution per turn, sharing the
+        solver (and its statistics).  Budgets apply per session.
+        """
+        sessions = [
+            ExplorationSession(self, program, spec, strategy, budget, on_result)
+            for program, spec in jobs
+        ]
+        live = list(sessions)
+        while live:
+            still_running = []
+            for session in live:
+                if session.step():
+                    still_running.append(session)
+            live = still_running
+        return [session.finish() for session in sessions]
+
+
+class ExplorationSession:
+    """One in-progress exploration, advanced one execution per ``step``.
+
+    Extracting the loop body lets ``explore_many`` interleave sessions
+    and lets long-running callers (the online scheduler) yield between
+    executions without threads.
+    """
+
+    def __init__(
+        self,
+        engine: "ConcolicEngine",
+        program: Program,
+        spec: InputSpec,
+        strategy: Optional[SearchStrategy] = None,
+        budget: Optional[ExplorationBudget] = None,
+        on_result: Optional[ResultCallback] = None,
+        initial_assignments: Optional[Sequence[Dict[str, int]]] = None,
+        negate_concretizations: bool = False,
+    ):
+        if len(spec) == 0:
+            raise ExplorationError("input spec declares no symbolic variables")
+        self.engine = engine
+        self.program = program
+        self.spec = spec
+        self.strategy = strategy or GenerationalStrategy()
+        self.budget = budget or ExplorationBudget()
+        self.on_result = on_result
+        self.negate_concretizations = negate_concretizations
+        self.report = ExplorationReport()
+        self._queue = CandidateQueue()
+        self._seen_paths: set = set()
+        self._attempted: set = set()
+        self._domains = spec.domains()
+        self._time_left = self.budget.timer()
+        self._started = time.perf_counter()
+        self._stopped = False
+        for seed in initial_assignments or [spec.initial_assignment()]:
+            self._queue.push(-1e9, Candidate(dict(seed)))
+
+    @property
+    def done(self) -> bool:
+        return self._stopped or not self._queue
+
+    def step(self) -> bool:
+        """Execute one candidate; False when the session is finished."""
+        if self._stopped:
+            return False
+        report = self.report
+        if not self._queue:
+            return False
+        if report.executions >= self.budget.max_executions:
+            report.stop_reason = "execution-budget"
+            self._stopped = True
+            return False
+        if not self._time_left():
+            report.stop_reason = "time-budget"
+            self._stopped = True
+            return False
+
+        candidate = self._queue.pop()
+        result = self.engine.run(self.program, self.spec, candidate.assignment)
+        report.executions += 1
+        if self.engine.keep_results:
+            report.results.append(result)
+        if isinstance(result.exception, PathBudgetExceeded):
+            report.truncated_paths += 1
+        elif result.crashed:
+            report.crashes.append(result)
+            if self.budget.stop_on_crash:
+                report.stop_reason = "crash"
+                self._stopped = True
+                if self.on_result:
+                    self.on_result(result, candidate)
+                return False
+        signature = result.signature()
+        duplicate = signature in self._seen_paths
+        if duplicate:
+            report.duplicate_paths += 1
+        else:
+            self._seen_paths.add(signature)
+            report.unique_paths += 1
+        new_outcomes = report.coverage.observe(result.path)
+        if self.on_result:
+            self.on_result(result, candidate)
+        if duplicate:
+            return True
+
+        # Expand: negate every eligible branch not already attempted.
+        # This run's constraints join the aggregate set (section 2.3)
+        # because the attempted set persists across runs.
+        for branch in result.path.negation_targets(self.negate_concretizations):
+            key = result.path.prefix_signature(branch.index + 1, flip_last=True)
+            if key in self._attempted or key in self._seen_paths:
+                report.negations_skipped += 1
+                continue
+            if report.solver_queries >= self.budget.max_solver_queries:
+                report.stop_reason = "solver-budget"
+                self._stopped = True
+                return False
+            self._attempted.add(key)
+            report.solver_queries += 1
+            model = self.engine.solver.solve(
+                result.path.constraints_to_negate(branch.index),
+                self._domains,
+                hint=result.assignment,
+            )
+            if model is None:
+                continue
+            report.candidates_generated += 1
+            priority = self.strategy.priority(
+                result, branch, report.coverage, new_outcomes, candidate.generation
+            )
+            self._queue.push(
+                priority,
+                Candidate(
+                    model,
+                    generation=candidate.generation + 1,
+                    negated_index=branch.index,
+                    parent_signature=signature,
+                ),
+            )
+        return True
+
+    def finish(self) -> ExplorationReport:
+        """Seal and return the report (idempotent)."""
+        if self.report.executions >= self.budget.max_executions:
+            self.report.stop_reason = "execution-budget"
+        self.report.wall_seconds = time.perf_counter() - self._started
+        return self.report

@@ -1,0 +1,170 @@
+"""Environment models: how explored code interacts with the outside world.
+
+The paper modifies Oasis's filesystem/network model "to control the
+interactions of the program under test with the environment and ensure
+isolation from the running system" (section 3.2).  Here the node code is
+written against the small :class:`Environment` interface; the network
+simulator provides the live implementation, and exploration clones get an
+:class:`ExplorationEnvironment` that
+
+* **captures** outbound messages instead of delivering them (DiCE
+  "intercepts the messages generated during exploration", section 2.3),
+* serves a frozen virtual clock so explored code cannot observe live time,
+* backs file operations with an in-memory snapshot filesystem,
+* raises :class:`IsolationViolation` on anything that would escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import IsolationViolation
+
+
+@dataclass(frozen=True)
+class CapturedMessage:
+    """An outbound message intercepted during exploration."""
+
+    destination: str
+    payload: bytes
+    virtual_time: float
+
+
+class Environment:
+    """The world as seen by node code: network, clock, and files.
+
+    Node implementations must route *all* external interaction through
+    this interface; that single choke point is what makes checkpoint
+    clones safely explorable.
+    """
+
+    def send(self, destination: str, payload: bytes) -> None:
+        """Transmit ``payload`` to the named peer."""
+        raise NotImplementedError
+
+    def now(self) -> float:
+        """Current time in seconds (simulated or virtual)."""
+        raise NotImplementedError
+
+    def read_file(self, path: str) -> bytes:
+        """Read a configuration or state file."""
+        raise NotImplementedError
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Persist a state file."""
+        raise NotImplementedError
+
+    @property
+    def is_isolated(self) -> bool:
+        """True when running inside an exploration sandbox."""
+        return False
+
+
+class ExplorationEnvironment(Environment):
+    """The sandbox given to checkpoint clones during exploration.
+
+    Construction snapshots the file map; sends are captured in order; the
+    clock is frozen at the checkpoint instant (explored code observing
+    time sees the moment the checkpoint was taken, keeping exploration
+    deterministic).
+    """
+
+    def __init__(
+        self,
+        checkpoint_time: float = 0.0,
+        files: Optional[Dict[str, bytes]] = None,
+        allow_writes: bool = True,
+    ):
+        self._time = checkpoint_time
+        self._files: Dict[str, bytes] = dict(files or {})
+        self._allow_writes = allow_writes
+        self.captured: List[CapturedMessage] = []
+
+    def send(self, destination: str, payload: bytes) -> None:
+        self.captured.append(CapturedMessage(destination, bytes(payload), self._time))
+
+    def now(self) -> float:
+        return self._time
+
+    def advance(self, seconds: float) -> None:
+        """Advance the virtual clock (used by federated exploration)."""
+        if seconds < 0:
+            raise ValueError("cannot rewind the virtual clock")
+        self._time += seconds
+
+    def read_file(self, path: str) -> bytes:
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        return self._files[path]
+
+    def write_file(self, path: str, data: bytes) -> None:
+        if not self._allow_writes:
+            raise IsolationViolation(
+                f"exploration clone attempted to write {path!r} with writes disabled"
+            )
+        self._files[path] = bytes(data)
+
+    def drain_captured(self) -> List[CapturedMessage]:
+        """Return and clear the captured outbound messages."""
+        captured, self.captured = self.captured, []
+        return captured
+
+    @property
+    def is_isolated(self) -> bool:
+        return True
+
+
+class SealedEnvironment(Environment):
+    """An environment where *every* interaction is an isolation violation.
+
+    Installed on clones outside their explicit exploration windows, so a
+    stray callback firing at the wrong moment is caught immediately.
+    """
+
+    def __init__(self, reason: str = "clone is sealed"):
+        self._reason = reason
+
+    def _violate(self, action: str) -> Tuple[()]:
+        raise IsolationViolation(f"{action}: {self._reason}")
+
+    def send(self, destination: str, payload: bytes) -> None:
+        self._violate(f"send to {destination!r}")
+
+    def now(self) -> float:
+        self._violate("clock read")
+        raise AssertionError("unreachable")
+
+    def read_file(self, path: str) -> bytes:
+        self._violate(f"read of {path!r}")
+        raise AssertionError("unreachable")
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self._violate(f"write of {path!r}")
+
+    @property
+    def is_isolated(self) -> bool:
+        return True
+
+
+@dataclass
+class RecordingEnvironment(Environment):
+    """A live-side environment that records sends for assertions in tests."""
+
+    clock: float = 0.0
+    files: Dict[str, bytes] = field(default_factory=dict)
+    sent: List[CapturedMessage] = field(default_factory=list)
+
+    def send(self, destination: str, payload: bytes) -> None:
+        self.sent.append(CapturedMessage(destination, bytes(payload), self.clock))
+
+    def now(self) -> float:
+        return self.clock
+
+    def read_file(self, path: str) -> bytes:
+        if path not in self.files:
+            raise FileNotFoundError(path)
+        return self.files[path]
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self.files[path] = bytes(data)

@@ -1,0 +1,383 @@
+"""Symbolic expression DAG for the concolic engine.
+
+Expressions are immutable trees of :class:`Const`, :class:`Var`,
+:class:`UnaryOp` and :class:`BinOp` nodes built by the concolic values in
+:mod:`repro.concolic.symbolic` as the program under test computes.  The
+semantics are mathematical integers (Python ``int``); booleans are the
+integers 0 and 1.  Variables carry a declared bit width from which their
+finite domain is derived, so the solver never has to reason about unbounded
+values.
+
+Smart constructors (:func:`make_unary`, :func:`make_binary`) constant-fold
+eagerly: an operation whose operands are all constants yields a
+:class:`Const`, which keeps path conditions small and makes "is this branch
+actually symbolic?" a simple node-type check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
+
+from repro.util.errors import SymbolicError
+
+#: Shifts beyond this count abort evaluation rather than materializing
+#: astronomically large integers during solver search.
+MAX_SHIFT = 256
+
+
+class EvalError(SymbolicError):
+    """Evaluation failed (division by zero, oversized shift, free variable)."""
+
+
+class Expr:
+    """Base class for expression nodes.
+
+    Nodes cache their hash and free-variable set; equality is structural.
+    """
+
+    __slots__ = ("_hash", "_vars")
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names appearing in this expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under the assignment ``env`` (name -> int)."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    @property
+    def is_boolean(self) -> bool:
+        """True if this node is a comparison or logical connective."""
+        return False
+
+    def depth(self) -> int:
+        best = 0
+        for child in self.children():
+            best = max(best, child.depth())
+        return best + 1
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise SymbolicError(f"Const expects int, got {type(value).__name__}")
+        self.value = value
+        self._hash: Optional[int] = None
+        self._vars: Optional[FrozenSet[str]] = None
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("const", self.value))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """A named symbolic input with a declared bit width.
+
+    The width defines the variable's domain ``[0, 2**bits - 1]`` (symbolic
+    inputs model unsigned wire-format fields; signed quantities are handled
+    arithmetically by the code under test).
+    """
+
+    __slots__ = ("name", "bits")
+
+    def __init__(self, name: str, bits: int = 32):
+        if bits <= 0 or bits > 64:
+            raise SymbolicError(f"variable width must be 1..64 bits, got {bits}")
+        self.name = name
+        self.bits = bits
+        self._hash: Optional[int] = None
+        self._vars: Optional[FrozenSet[str]] = None
+
+    @property
+    def domain(self) -> Tuple[int, int]:
+        """The inclusive value range implied by the bit width."""
+        return (0, (1 << self.bits) - 1)
+
+    def variables(self) -> FrozenSet[str]:
+        if self._vars is None:
+            self._vars = frozenset((self.name,))
+        return self._vars
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise EvalError(f"no value for variable {self.name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Var)
+            and other.name == self.name
+            and other.bits == self.bits
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("var", self.name, self.bits))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def _shift_guard(count: int) -> int:
+    if count < 0:
+        raise EvalError("negative shift count")
+    if count > MAX_SHIFT:
+        raise EvalError(f"shift count {count} exceeds MAX_SHIFT")
+    return count
+
+
+def _floordiv(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("division by zero")
+    return a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a % b
+
+
+#: op tag -> (evaluator, is_boolean, commutative)
+BINARY_OPS: Dict[str, Tuple[Callable[[int, int], int], bool, bool]] = {
+    "add": (lambda a, b: a + b, False, True),
+    "sub": (lambda a, b: a - b, False, False),
+    "mul": (lambda a, b: a * b, False, True),
+    "floordiv": (_floordiv, False, False),
+    "mod": (_mod, False, False),
+    "and": (lambda a, b: a & b, False, True),
+    "or": (lambda a, b: a | b, False, True),
+    "xor": (lambda a, b: a ^ b, False, True),
+    "shl": (lambda a, b: a << _shift_guard(b), False, False),
+    "shr": (lambda a, b: a >> _shift_guard(b), False, False),
+    "eq": (lambda a, b: int(a == b), True, True),
+    "ne": (lambda a, b: int(a != b), True, True),
+    "lt": (lambda a, b: int(a < b), True, False),
+    "le": (lambda a, b: int(a <= b), True, False),
+    "gt": (lambda a, b: int(a > b), True, False),
+    "ge": (lambda a, b: int(a >= b), True, False),
+    "land": (lambda a, b: int(bool(a) and bool(b)), True, True),
+    "lor": (lambda a, b: int(bool(a) or bool(b)), True, True),
+}
+
+UNARY_OPS: Dict[str, Tuple[Callable[[int], int], bool]] = {
+    "neg": (lambda a: -a, False),
+    "inv": (lambda a: ~a, False),
+    "lnot": (lambda a: int(not a), True),
+    "bool": (lambda a: int(bool(a)), True),
+}
+
+#: Negation pairs used by :func:`negate`.
+_COMPARISON_NEGATION = {
+    "eq": "ne",
+    "ne": "eq",
+    "lt": "ge",
+    "ge": "lt",
+    "gt": "le",
+    "le": "gt",
+}
+
+
+class UnaryOp(Expr):
+    """Application of a unary operator."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in UNARY_OPS:
+            raise SymbolicError(f"unknown unary op {op!r}")
+        self.op = op
+        self.operand = operand
+        self._hash: Optional[int] = None
+        self._vars: Optional[FrozenSet[str]] = None
+
+    @property
+    def is_boolean(self) -> bool:
+        return UNARY_OPS[self.op][1]
+
+    def variables(self) -> FrozenSet[str]:
+        if self._vars is None:
+            self._vars = self.operand.variables()
+        return self._vars
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return UNARY_OPS[self.op][0](self.operand.evaluate(env))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, UnaryOp)
+            and other.op == self.op
+            and other.operand == self.operand
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("unary", self.op, self.operand))
+        return self._hash
+
+    def __repr__(self) -> str:
+        symbol = {"neg": "-", "inv": "~", "lnot": "!", "bool": "bool "}[self.op]
+        return f"{symbol}({self.operand!r})"
+
+
+class BinOp(Expr):
+    """Application of a binary operator."""
+
+    __slots__ = ("op", "left", "right")
+
+    _SYMBOLS = {
+        "add": "+", "sub": "-", "mul": "*", "floordiv": "//", "mod": "%",
+        "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+        "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+        "land": "&&", "lor": "||",
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in BINARY_OPS:
+            raise SymbolicError(f"unknown binary op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._hash: Optional[int] = None
+        self._vars: Optional[FrozenSet[str]] = None
+
+    @property
+    def is_boolean(self) -> bool:
+        return BINARY_OPS[self.op][1]
+
+    def variables(self) -> FrozenSet[str]:
+        if self._vars is None:
+            self._vars = self.left.variables() | self.right.variables()
+        return self._vars
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        func = BINARY_OPS[self.op][0]
+        return func(self.left.evaluate(env), self.right.evaluate(env))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("bin", self.op, self.left, self.right))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._SYMBOLS[self.op]} {self.right!r})"
+
+
+def make_unary(op: str, operand: Expr) -> Expr:
+    """Build a unary node, constant-folding if the operand is constant."""
+    if isinstance(operand, Const):
+        try:
+            return Const(UNARY_OPS[op][0](operand.value))
+        except EvalError:
+            pass
+    if op == "lnot" and isinstance(operand, UnaryOp) and operand.op == "lnot":
+        inner = operand.operand
+        if inner.is_boolean:
+            return inner
+    if op == "neg" and isinstance(operand, UnaryOp) and operand.op == "neg":
+        return operand.operand
+    return UnaryOp(op, operand)
+
+
+def make_binary(op: str, left: Expr, right: Expr) -> Expr:
+    """Build a binary node with eager constant folding and light identities."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        try:
+            return Const(BINARY_OPS[op][0](left.value, right.value))
+        except EvalError:
+            pass
+    # A handful of cheap identities that keep BGP path conditions compact.
+    if isinstance(right, Const):
+        if right.value == 0 and op in ("add", "sub", "or", "xor", "shl", "shr"):
+            return left
+        if right.value == 1 and op in ("mul", "floordiv"):
+            return left
+        if right.value == 0 and op == "mul":
+            return Const(0)
+    if isinstance(left, Const):
+        if left.value == 0 and op in ("add", "or", "xor"):
+            return right
+        if left.value == 1 and op == "mul":
+            return right
+        if left.value == 0 and op in ("mul", "and"):
+            return Const(0)
+    return BinOp(op, left, right)
+
+
+def negate(expr: Expr) -> Expr:
+    """The logical negation of a boolean expression.
+
+    Comparisons flip to their complementary operator, double negation
+    cancels, and anything else is wrapped in ``lnot``.  The result is what
+    the exploration loop feeds to the solver to force the other side of a
+    branch (Figure 1 of the paper).
+    """
+    if isinstance(expr, BinOp) and expr.op in _COMPARISON_NEGATION:
+        return BinOp(_COMPARISON_NEGATION[expr.op], expr.left, expr.right)
+    if isinstance(expr, UnaryOp) and expr.op == "lnot":
+        inner = expr.operand
+        return inner if inner.is_boolean else make_unary("bool", inner)
+    if isinstance(expr, Const):
+        return Const(int(not expr.value))
+    return make_unary("lnot", expr)
+
+
+def as_boolean(expr: Expr) -> Expr:
+    """Coerce an arithmetic expression to a boolean one (``expr != 0``)."""
+    if expr.is_boolean:
+        return expr
+    return make_binary("ne", expr, Const(0))
+
+
+def evaluate_bool(expr: Expr, env: Mapping[str, int]) -> bool:
+    """Evaluate a (boolean) expression to a Python bool."""
+    return bool(expr.evaluate(env))

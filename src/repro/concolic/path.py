@@ -1,0 +1,157 @@
+"""Path conditions: the per-execution record of symbolic branches.
+
+A run of the program under test produces an ordered list of
+:class:`Branch` records — one per branch whose condition involved symbolic
+input, in execution order.  The exploration loop (paper section 2.3) works
+on these records: to force execution down the other side of branch *i*, it
+asserts branches ``0..i-1`` as taken and the negation of branch *i*, and
+asks the solver for an input satisfying the conjunction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.concolic.expr import Expr, negate
+from repro.concolic.tracer import BranchSite
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One symbolic branch taken during an execution.
+
+    ``constraint`` is the branch condition as recorded; the constraint that
+    actually held during the run is ``constraint`` if ``taken`` else its
+    negation (:meth:`held_constraint`).  Concretization records (a symbolic
+    value forced concrete by an index/int context) appear as branches with
+    ``is_concretization=True``; they participate in the path condition but
+    are not negation targets by default.
+    """
+
+    index: int
+    site: BranchSite
+    constraint: Expr
+    taken: bool
+    is_concretization: bool = False
+
+    def held_constraint(self) -> Expr:
+        """The constraint form that was true during the execution."""
+        return self.constraint if self.taken else negate(self.constraint)
+
+    def negated_constraint(self) -> Expr:
+        """The constraint forcing the other side of this branch."""
+        return negate(self.constraint) if self.taken else self.constraint
+
+    @property
+    def outcome_key(self) -> Tuple[BranchSite, bool]:
+        """(site, taken) pair used for coverage accounting."""
+        return (self.site, self.taken)
+
+
+@dataclass
+class PathCondition:
+    """The ordered branch records of one execution."""
+
+    branches: List[Branch] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __iter__(self) -> Iterator[Branch]:
+        return iter(self.branches)
+
+    def __getitem__(self, index: int) -> Branch:
+        return self.branches[index]
+
+    def append(
+        self,
+        site: BranchSite,
+        constraint: Expr,
+        taken: bool,
+        is_concretization: bool = False,
+    ) -> Branch:
+        branch = Branch(len(self.branches), site, constraint, taken, is_concretization)
+        self.branches.append(branch)
+        return branch
+
+    def signature(self) -> bytes:
+        """A digest identifying the path by its (site, taken) sequence.
+
+        Two executions with the same signature took the same side of the
+        same branches in the same order; the explorer uses this to avoid
+        re-exploring paths it has already seen.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for branch in self.branches:
+            digest.update(branch.site.file.encode())
+            digest.update(branch.site.line.to_bytes(4, "big"))
+            digest.update(b"\x01" if branch.taken else b"\x00")
+        return digest.digest()
+
+    def prefix_signature(self, length: int, flip_last: bool = False) -> bytes:
+        """Signature of the first ``length`` branches.
+
+        With ``flip_last`` the final branch's direction is inverted — the
+        signature of the path a successful negation of branch
+        ``length - 1`` would begin with.  Used to deduplicate negation
+        attempts (the paper's aggregate constraint set).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for branch in self.branches[:length]:
+            taken = branch.taken
+            if flip_last and branch.index == length - 1:
+                taken = not taken
+            digest.update(branch.site.file.encode())
+            digest.update(branch.site.line.to_bytes(4, "big"))
+            digest.update(b"\x01" if taken else b"\x00")
+        return digest.digest()
+
+    def constraints_to_negate(self, index: int) -> List[Expr]:
+        """The solver query for forcing the other side of branch ``index``.
+
+        Returns the held constraints of branches ``0..index-1`` followed by
+        the negated constraint of branch ``index`` — the conjunction whose
+        model is the next input to try (Figure 1 of the paper).
+        """
+        if not 0 <= index < len(self.branches):
+            raise IndexError(f"branch index {index} out of range")
+        constraints = [b.held_constraint() for b in self.branches[:index]]
+        constraints.append(self.branches[index].negated_constraint())
+        return constraints
+
+    def held_constraints(self) -> List[Expr]:
+        """All constraints that held during this execution."""
+        return [branch.held_constraint() for branch in self.branches]
+
+    def negation_targets(
+        self, include_concretizations: bool = False
+    ) -> Iterator[Branch]:
+        """Branches eligible for negation, in execution order."""
+        for branch in self.branches:
+            if branch.is_concretization and not include_concretizations:
+                continue
+            yield branch
+
+    def sites(self) -> Sequence[BranchSite]:
+        return [branch.site for branch in self.branches]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one concolic run of the program produced."""
+
+    assignment: dict
+    path: PathCondition
+    value: object = None
+    exception: Optional[BaseException] = None
+    duration: float = 0.0
+
+    @property
+    def crashed(self) -> bool:
+        """True if the program under test raised instead of returning."""
+        return self.exception is not None
+
+    def signature(self) -> bytes:
+        return self.path.signature()

@@ -1,0 +1,35 @@
+"""Constraint solving for the concolic engine.
+
+The public entry point is :class:`ConstraintSolver`; the submodules expose
+the individual techniques (interval propagation, linear inversion, guided
+search) for testing and for the solver-ablation benchmark.
+"""
+
+from repro.concolic.solver.intervals import Interval, eval_interval, narrow, propagate
+from repro.concolic.solver.linear import NotLinear, linearize, solve_atom
+from repro.concolic.solver.search import (
+    branch_distance,
+    enumerate_variable,
+    local_search,
+    satisfies,
+    total_penalty,
+)
+from repro.concolic.solver.solver import Assignment, ConstraintSolver, SolverStats
+
+__all__ = [
+    "Assignment",
+    "ConstraintSolver",
+    "Interval",
+    "NotLinear",
+    "SolverStats",
+    "branch_distance",
+    "enumerate_variable",
+    "eval_interval",
+    "linearize",
+    "local_search",
+    "narrow",
+    "propagate",
+    "satisfies",
+    "solve_atom",
+    "total_penalty",
+]

@@ -1,0 +1,391 @@
+"""Interval (bounds) reasoning over symbolic expressions.
+
+All symbolic inputs are bounded wire-format fields, so every expression
+has a computable finite value interval.  The solver uses intervals in two
+ways:
+
+* **pruning** — if the interval of a constraint evaluates to definitely
+  false, the query is unsatisfiable and no search is attempted;
+* **narrowing** — asserting a comparison between a variable and an
+  expression shrinks the variable's candidate range, which makes the
+  downstream enumeration and randomized search dramatically cheaper.
+
+The arithmetic is deliberately conservative: when an operator's precise
+bounds are awkward (bitwise ops on possibly-negative ranges, division by
+an interval containing zero), we fall back to a wide-but-finite interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.concolic.expr import BinOp, Const, Expr, UnaryOp, Var
+
+Interval = Tuple[int, int]
+
+#: Fallback bound for operations whose tight interval is not worth computing.
+WIDE_BOUND = 1 << 70
+WIDE: Interval = (-WIDE_BOUND, WIDE_BOUND)
+
+#: The boolean interval.
+BOOL: Interval = (0, 1)
+
+
+def _mul_interval(a: Interval, b: Interval) -> Interval:
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(products), max(products))
+
+
+def _nonneg(iv: Interval) -> bool:
+    return iv[0] >= 0
+
+
+def _bit_ceiling(iv: Interval) -> int:
+    """Smallest ``2**k - 1`` covering the interval's upper bound."""
+    if iv[1] <= 0:
+        return 0
+    return (1 << iv[1].bit_length()) - 1
+
+
+def eval_interval(expr: Expr, domains: Dict[str, Interval]) -> Interval:
+    """A sound over-approximation of the values ``expr`` can take."""
+    if isinstance(expr, Const):
+        return (expr.value, expr.value)
+    if isinstance(expr, Var):
+        if expr.name in domains:
+            return domains[expr.name]
+        return expr.domain
+    if isinstance(expr, UnaryOp):
+        inner = eval_interval(expr.operand, domains)
+        if expr.op == "neg":
+            return (-inner[1], -inner[0])
+        if expr.op == "inv":
+            return (~inner[1], ~inner[0])
+        if expr.op == "lnot":
+            if inner == (0, 0):
+                return (1, 1)
+            if inner[0] > 0 or inner[1] < 0:
+                return (0, 0)
+            return BOOL
+        if expr.op == "bool":
+            if inner == (0, 0):
+                return (0, 0)
+            if inner[0] > 0 or inner[1] < 0:
+                return (1, 1)
+            return BOOL
+        return WIDE
+    if isinstance(expr, BinOp):
+        left = eval_interval(expr.left, domains)
+        right = eval_interval(expr.right, domains)
+        return _binop_interval(expr.op, left, right)
+    return WIDE
+
+
+def _binop_interval(op: str, left: Interval, right: Interval) -> Interval:
+    if op == "add":
+        return (left[0] + right[0], left[1] + right[1])
+    if op == "sub":
+        return (left[0] - right[1], left[1] - right[0])
+    if op == "mul":
+        return _mul_interval(left, right)
+    if op == "floordiv":
+        if right[0] > 0 or right[1] < 0:
+            candidates = (
+                left[0] // right[0], left[0] // right[1],
+                left[1] // right[0], left[1] // right[1],
+            )
+            return (min(candidates), max(candidates))
+        return WIDE
+    if op == "mod":
+        if right[0] > 0:
+            return (0, right[1] - 1) if _nonneg(left) or True else WIDE
+        return WIDE
+    if op == "and":
+        if _nonneg(left) and _nonneg(right):
+            return (0, min(left[1], right[1]))
+        return WIDE
+    if op == "or":
+        if _nonneg(left) and _nonneg(right):
+            return (max(left[0], right[0]), max(_bit_ceiling(left), _bit_ceiling(right)))
+        return WIDE
+    if op == "xor":
+        if _nonneg(left) and _nonneg(right):
+            return (0, max(_bit_ceiling(left), _bit_ceiling(right)))
+        return WIDE
+    if op == "shl":
+        if _nonneg(left) and _nonneg(right) and right[1] <= 64:
+            return (left[0] << right[0], left[1] << right[1])
+        return WIDE
+    if op == "shr":
+        if _nonneg(left) and _nonneg(right):
+            high_shift = min(right[1], 80)
+            return (left[0] >> high_shift, left[1] >> right[0])
+        return WIDE
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        return _comparison_interval(op, left, right)
+    if op == "land":
+        if left == (0, 0) or right == (0, 0):
+            return (0, 0)
+        if (left[0] > 0 or left[1] < 0) and (right[0] > 0 or right[1] < 0):
+            return (1, 1)
+        return BOOL
+    if op == "lor":
+        if left[0] > 0 or left[1] < 0 or right[0] > 0 or right[1] < 0:
+            return (1, 1)
+        if left == (0, 0) and right == (0, 0):
+            return (0, 0)
+        return BOOL
+    return WIDE
+
+
+def _comparison_interval(op: str, left: Interval, right: Interval) -> Interval:
+    disjoint_lt = left[1] < right[0]   # every left < every right
+    disjoint_gt = left[0] > right[1]   # every left > every right
+    if op == "eq":
+        if disjoint_lt or disjoint_gt:
+            return (0, 0)
+        if left[0] == left[1] == right[0] == right[1]:
+            return (1, 1)
+        return BOOL
+    if op == "ne":
+        if disjoint_lt or disjoint_gt:
+            return (1, 1)
+        if left[0] == left[1] == right[0] == right[1]:
+            return (0, 0)
+        return BOOL
+    if op == "lt":
+        if disjoint_lt:
+            return (1, 1)
+        if left[0] >= right[1]:
+            return (0, 0)
+        return BOOL
+    if op == "le":
+        if left[1] <= right[0]:
+            return (1, 1)
+        if disjoint_gt:
+            return (0, 0)
+        return BOOL
+    if op == "gt":
+        if disjoint_gt:
+            return (1, 1)
+        if left[1] <= right[0]:
+            return (0, 0)
+        return BOOL
+    if op == "ge":
+        if left[0] >= right[1]:
+            return (1, 1)
+        if disjoint_lt:
+            return (0, 0)
+        return BOOL
+    return BOOL
+
+
+def _intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    lo, hi = max(a[0], b[0]), min(a[1], b[1])
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def _narrow_var_against(
+    op: str, var: Var, other: Interval, domains: Dict[str, Interval]
+) -> Optional[bool]:
+    """Narrow ``var``'s domain assuming ``var OP other`` holds.
+
+    Returns True if the domain changed, False if not, None on contradiction.
+    """
+    current = domains.get(var.name, var.domain)
+    if op == "eq":
+        target = other
+    elif op == "lt":
+        target = (current[0], other[1] - 1)
+    elif op == "le":
+        target = (current[0], other[1])
+    elif op == "gt":
+        target = (other[0] + 1, current[1])
+    elif op == "ge":
+        target = (other[0], current[1])
+    elif op == "ne":
+        # Only narrows when the excluded value sits at a domain endpoint.
+        if other[0] == other[1]:
+            value = other[0]
+            if current[0] == current[1] == value:
+                return None
+            if value == current[0]:
+                target = (current[0] + 1, current[1])
+            elif value == current[1]:
+                target = (current[0], current[1] - 1)
+            else:
+                return False
+        else:
+            return False
+    else:
+        return False
+    narrowed = _intersect(current, target)
+    if narrowed is None:
+        return None
+    if narrowed != current:
+        domains[var.name] = narrowed
+        return True
+    return False
+
+
+_FLIP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+def _scaled_var(expr: Expr, domains: Dict[str, Interval]) -> Optional[tuple]:
+    """Recognize ``var >> k`` / ``var // k`` / ``var << k`` / ``var * k``.
+
+    Returns ``(var, numerator, denominator)`` meaning the expression
+    equals ``var * numerator // denominator`` — enough to map a bound on
+    the expression back to a bound on the variable.  These shapes are what
+    prefix-set matching compiles to (``network >> (32 - len)``), so
+    narrowing them is what makes leak-region analysis precise.
+    """
+    if not isinstance(expr, BinOp) or not isinstance(expr.left, Var):
+        return None
+    right = eval_interval(expr.right, domains)
+    if right[0] != right[1]:
+        return None
+    amount = right[0]
+    if expr.op == "shr" and 0 <= amount <= 64:
+        return (expr.left, 1, 1 << amount)
+    if expr.op == "floordiv" and amount > 0:
+        return (expr.left, 1, amount)
+    if expr.op == "shl" and 0 <= amount <= 64:
+        return (expr.left, 1 << amount, 1)
+    if expr.op == "mul" and amount > 0:
+        return (expr.left, amount, 1)
+    return None
+
+
+def _narrow_scaled(
+    op: str, var: Var, numerator: int, denominator: int,
+    other: Interval, domains: Dict[str, Interval],
+) -> Optional[bool]:
+    """Narrow ``var`` assuming ``var * numerator // denominator  OP  other``.
+
+    Only the non-negative case is handled (wire fields are unsigned).
+    """
+    current = domains.get(var.name, var.domain)
+    if current[0] < 0:
+        return False
+    # Value v of the scaled expression corresponds to var in
+    # [ceil(v * denominator / numerator), ((v+1) * denominator - 1) // numerator].
+    def var_lo(value: int) -> int:
+        return -((-value * denominator) // numerator)
+
+    def var_hi(value: int) -> int:
+        return ((value + 1) * denominator - 1) // numerator
+
+    if op == "eq":
+        target = (var_lo(other[0]), var_hi(other[1]))
+    elif op in ("le", "lt"):
+        hi = other[1] - (1 if op == "lt" else 0)
+        target = (current[0], var_hi(hi))
+    elif op in ("ge", "gt"):
+        lo = other[0] + (1 if op == "gt" else 0)
+        target = (var_lo(lo), current[1])
+    else:
+        return False
+    narrowed = _intersect(current, target)
+    if narrowed is None:
+        return None
+    if narrowed != current:
+        domains[var.name] = narrowed
+        return True
+    return False
+
+
+def narrow(constraint: Expr, domains: Dict[str, Interval]) -> Optional[bool]:
+    """Narrow ``domains`` in place assuming ``constraint`` holds.
+
+    Returns True if any domain changed, False if nothing changed, and None
+    if the constraint is unsatisfiable under the current domains.
+    """
+    interval = eval_interval(constraint, domains)
+    if interval == (0, 0):
+        return None
+    if isinstance(constraint, BinOp):
+        if constraint.op == "land":
+            left = narrow(constraint.left, domains)
+            if left is None:
+                return None
+            right = narrow(constraint.right, domains)
+            if right is None:
+                return None
+            return left or right
+        if constraint.op == "lor":
+            # If one side is definitely false, the other must hold.
+            left_iv = eval_interval(constraint.left, domains)
+            right_iv = eval_interval(constraint.right, domains)
+            if left_iv == (0, 0) and right_iv == (0, 0):
+                return None
+            if left_iv == (0, 0):
+                return narrow(constraint.right, domains)
+            if right_iv == (0, 0):
+                return narrow(constraint.left, domains)
+            return False
+        if constraint.op in _FLIP:
+            changed = False
+            if isinstance(constraint.left, Var):
+                other = eval_interval(constraint.right, domains)
+                result = _narrow_var_against(constraint.op, constraint.left, other, domains)
+                if result is None:
+                    return None
+                changed = changed or result
+            if isinstance(constraint.right, Var):
+                other = eval_interval(constraint.left, domains)
+                result = _narrow_var_against(
+                    _FLIP[constraint.op], constraint.right, other, domains
+                )
+                if result is None:
+                    return None
+                changed = changed or result
+            scaled = _scaled_var(constraint.left, domains)
+            if scaled is not None:
+                var, numerator, denominator = scaled
+                other = eval_interval(constraint.right, domains)
+                result = _narrow_scaled(
+                    constraint.op, var, numerator, denominator, other, domains
+                )
+                if result is None:
+                    return None
+                changed = changed or result
+            scaled = _scaled_var(constraint.right, domains)
+            if scaled is not None:
+                var, numerator, denominator = scaled
+                other = eval_interval(constraint.left, domains)
+                result = _narrow_scaled(
+                    _FLIP[constraint.op], var, numerator, denominator, other, domains
+                )
+                if result is None:
+                    return None
+                changed = changed or result
+            return changed
+    if isinstance(constraint, UnaryOp) and constraint.op == "lnot":
+        from repro.concolic.expr import negate
+
+        return narrow(negate(constraint.operand), domains)
+    return False
+
+
+def propagate(
+    constraints: list[Expr], domains: Dict[str, Interval], max_rounds: int = 16
+) -> Optional[Dict[str, Interval]]:
+    """Fixpoint domain narrowing over a conjunction of constraints.
+
+    Returns the narrowed copy of ``domains``, or None if any constraint is
+    definitely unsatisfiable (an UNSAT proof).
+    """
+    narrowed = dict(domains)
+    for _ in range(max_rounds):
+        changed = False
+        for constraint in constraints:
+            result = narrow(constraint, narrowed)
+            if result is None:
+                return None
+            changed = changed or result
+        if not changed:
+            break
+    return narrowed

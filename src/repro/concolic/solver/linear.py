@@ -1,0 +1,273 @@
+"""Exact solving for constraints linear in a single variable.
+
+In the concolic setting a solver query is "previous path prefix plus one
+negated branch", and the negated branch in BGP handler code is almost
+always a comparison whose sides are linear in one input field (``masklen
+> 24``, ``prefix >> 8 == 0x0A00``, ``attr_len + 4 <= remaining``...).
+Rewriting such an atom as ``a*x + b REL 0`` and inverting it directly is
+both faster and more reliable than search, so the composite solver tries
+this first.
+
+Shifts and multiplications by constants are treated as linear; ``x >> k``
+and ``x // k`` are handled by solving the scaled comparison and mapping
+back to the smallest/largest preimage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.concolic.expr import BinOp, Const, Expr, UnaryOp, Var
+
+from repro.concolic.solver.intervals import Interval
+
+
+class NotLinear(Exception):
+    """The expression is not linear in the target variable."""
+
+
+def linearize(expr: Expr, var: str, env: Dict[str, int]) -> Tuple[int, int]:
+    """Rewrite ``expr`` as ``a * var + b`` under ``env`` for other variables.
+
+    Raises :class:`NotLinear` when the expression depends on ``var``
+    through a non-linear operator.  Expressions not involving ``var`` at
+    all evaluate to ``(0, value)``.
+    """
+    if isinstance(expr, Const):
+        return (0, expr.value)
+    if isinstance(expr, Var):
+        if expr.name == var:
+            return (1, 0)
+        if expr.name in env:
+            return (0, env[expr.name])
+        raise NotLinear(f"unbound variable {expr.name}")
+    if isinstance(expr, UnaryOp):
+        if expr.op == "neg":
+            a, b = linearize(expr.operand, var, env)
+            return (-a, -b)
+        if var not in expr.variables():
+            return (0, expr.evaluate(env))
+        raise NotLinear(f"unary {expr.op} of target variable")
+    if isinstance(expr, BinOp):
+        if var not in expr.variables():
+            return (0, expr.evaluate(env))
+        if expr.op == "add":
+            a1, b1 = linearize(expr.left, var, env)
+            a2, b2 = linearize(expr.right, var, env)
+            return (a1 + a2, b1 + b2)
+        if expr.op == "sub":
+            a1, b1 = linearize(expr.left, var, env)
+            a2, b2 = linearize(expr.right, var, env)
+            return (a1 - a2, b1 - b2)
+        if expr.op == "mul":
+            left_has = var in expr.left.variables()
+            right_has = var in expr.right.variables()
+            if left_has and right_has:
+                raise NotLinear("product of two var-dependent terms")
+            if left_has:
+                scale = expr.right.evaluate(env)
+                a, b = linearize(expr.left, var, env)
+            else:
+                scale = expr.left.evaluate(env)
+                a, b = linearize(expr.right, var, env)
+            return (a * scale, b * scale)
+        if expr.op == "shl":
+            if var in expr.right.variables():
+                raise NotLinear("variable shift amount")
+            shift = expr.right.evaluate(env)
+            if shift < 0 or shift > 64:
+                raise NotLinear("unreasonable shift")
+            a, b = linearize(expr.left, var, env)
+            return (a << shift, b << shift)
+    raise NotLinear(f"unsupported node {type(expr).__name__}")
+
+
+def _pick_in(lo: int, hi: int, prefer: int) -> Optional[int]:
+    """A value in [lo, hi] as close to ``prefer`` as possible."""
+    if lo > hi:
+        return None
+    if prefer < lo:
+        return lo
+    if prefer > hi:
+        return hi
+    return prefer
+
+
+def solve_linear_comparison(
+    op: str, a: int, b: int, domain: Interval, prefer: int
+) -> Optional[int]:
+    """Solve ``a*x + b  OP  0`` for integer x in ``domain``.
+
+    ``prefer`` biases the choice among the satisfying values so successive
+    solver answers stay close to the previous concrete input — the small
+    perturbations concolic exploration wants.
+    Returns None when no integer in the domain satisfies the comparison.
+    """
+    lo, hi = domain
+    if a == 0:
+        value = b
+        satisfied = {
+            "eq": value == 0, "ne": value != 0,
+            "lt": value < 0, "le": value <= 0,
+            "gt": value > 0, "ge": value >= 0,
+        }[op]
+        return _pick_in(lo, hi, prefer) if satisfied else None
+
+    if op == "eq":
+        if (-b) % a != 0:
+            return None
+        root = (-b) // a
+        return root if lo <= root <= hi else None
+
+    if op == "ne":
+        if (-b) % a == 0:
+            root = (-b) // a
+            if lo <= root <= hi and lo == hi:
+                return None
+            candidate = _pick_in(lo, hi, prefer)
+            if candidate == root:
+                candidate = root + 1 if root + 1 <= hi else root - 1
+                if candidate < lo:
+                    return None
+            return candidate
+        return _pick_in(lo, hi, prefer)
+
+    # Normalize strict/loose inequalities to: x <= bound or x >= bound.
+    if op in ("lt", "le"):
+        # a*x + b < 0  (or <= 0)
+        offset = -b - (1 if op == "lt" else 0)
+        if a > 0:
+            bound = offset // a  # x <= bound
+            return _pick_in(lo, min(hi, bound), prefer)
+        bound = _ceil_div(offset, a)  # a < 0 flips the comparison: x >= bound
+        return _pick_in(max(lo, bound), hi, prefer)
+    if op in ("gt", "ge"):
+        # a*x + b > 0  (or >= 0)
+        offset = -b + (1 if op == "gt" else 0)
+        if a > 0:
+            bound = _ceil_div(offset, a)  # x >= bound
+            return _pick_in(max(lo, bound), hi, prefer)
+        bound = offset // a  # a < 0: x <= offset/a (floor)
+        return _pick_in(lo, min(hi, bound), prefer)
+    return None
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling division that is correct for negative operands."""
+    return -((-numerator) // denominator)
+
+
+_SHIFT_OPS = ("shr", "floordiv")
+
+
+def _try_descale(
+    expr: Expr, var: str, env: Dict[str, int]
+) -> Optional[Tuple[Expr, int]]:
+    """Recognize ``inner >> k`` / ``inner // k`` with var only in ``inner``.
+
+    Returns ``(inner, scale)`` such that the original expression equals
+    ``inner // scale`` — letting the caller solve on the scaled value and
+    invert. None when the pattern does not apply.
+    """
+    if not isinstance(expr, BinOp) or expr.op not in _SHIFT_OPS:
+        return None
+    if var in expr.right.variables():
+        return None
+    amount = expr.right.evaluate(env)
+    if expr.op == "shr":
+        if amount < 0 or amount > 64:
+            return None
+        return (expr.left, 1 << amount)
+    if amount <= 0:
+        return None
+    return (expr.left, amount)
+
+
+def solve_atom(
+    constraint: Expr, var: str, env: Dict[str, int], domain: Interval, prefer: int
+) -> Optional[int]:
+    """Solve one comparison atom for ``var``; other variables fixed by env.
+
+    Handles atoms linear in ``var`` plus the ``(linear >> k) REL c`` and
+    ``(linear // k) REL c`` forms produced by wire-format field extraction.
+    Returns a satisfying value or None.
+    """
+    if isinstance(constraint, UnaryOp) and constraint.op == "lnot":
+        from repro.concolic.expr import negate
+
+        return solve_atom(negate(constraint.operand), var, env, domain, prefer)
+    if isinstance(constraint, UnaryOp) and constraint.op == "bool":
+        return solve_atom(
+            BinOp("ne", constraint.operand, Const(0)), var, env, domain, prefer
+        )
+    if not isinstance(constraint, BinOp):
+        return None
+    if constraint.op in ("land", "lor"):
+        return None
+    if constraint.op not in ("eq", "ne", "lt", "le", "gt", "ge"):
+        return None
+
+    left, right, op = constraint.left, constraint.right, constraint.op
+
+    # Try plain linearization of (left - right) REL 0 first.
+    try:
+        a1, b1 = linearize(left, var, env)
+        a2, b2 = linearize(right, var, env)
+        return solve_linear_comparison(op, a1 - a2, b1 - b2, domain, prefer)
+    except NotLinear:
+        pass
+
+    # Field-extraction pattern: (expr >> k) REL const-side.
+    for lhs, rhs, cmp_op in ((left, right, op), (right, left, _flip(op))):
+        descaled = _try_descale(lhs, var, env)
+        if descaled is None or var in rhs.variables():
+            continue
+        inner, scale = descaled
+        try:
+            a, b = linearize(inner, var, env)
+        except NotLinear:
+            continue
+        try:
+            target = rhs.evaluate(env)
+        except Exception:
+            continue
+        return _solve_scaled(cmp_op, a, b, scale, target, domain, prefer)
+    return None
+
+
+def _flip(op: str) -> str:
+    return {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}[op]
+
+
+def _solve_scaled(
+    op: str, a: int, b: int, scale: int, target: int, domain: Interval, prefer: int
+) -> Optional[int]:
+    """Solve ``(a*x + b) // scale  OP  target`` for x in ``domain``.
+
+    Only the non-negative dividend case is handled (wire fields are
+    unsigned); callers fall back to search otherwise.
+    """
+    if a == 0:
+        return None
+    # (a*x+b)//scale == t  <=>  t*scale <= a*x+b <= t*scale + scale - 1
+    if op == "eq":
+        lo_val = target * scale
+        hi_val = target * scale + scale - 1
+        lo_x = _ceil_div(lo_val - b, a) if a > 0 else _ceil_div(hi_val - b, a)
+        hi_x = (hi_val - b) // a if a > 0 else (lo_val - b) // a
+        return _pick_in(max(domain[0], lo_x), min(domain[1], hi_x), prefer)
+    if op == "ne":
+        candidate = _solve_scaled("gt", a, b, scale, target, domain, prefer)
+        if candidate is not None:
+            return candidate
+        return _solve_scaled("lt", a, b, scale, target, domain, prefer)
+    # Inequalities reduce to linear ones on the dividend.
+    if op == "lt":
+        return solve_linear_comparison("lt", a, b - target * scale, domain, prefer)
+    if op == "le":
+        return solve_linear_comparison("lt", a, b - (target + 1) * scale, domain, prefer)
+    if op == "ge":
+        return solve_linear_comparison("ge", a, b - target * scale, domain, prefer)
+    if op == "gt":
+        return solve_linear_comparison("ge", a, b - (target + 1) * scale, domain, prefer)
+    return None

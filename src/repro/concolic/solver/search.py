@@ -1,0 +1,177 @@
+"""Search-based constraint solving: enumeration and guided local search.
+
+These are the fallbacks behind interval pruning and linear inversion.
+Because a concolic query always comes with a *hint* — the concrete input
+of the run that produced the path — search starts from a nearly-satisfying
+point and usually only has to repair the single negated constraint, so a
+small iteration budget goes a long way.
+
+The penalty function follows the classic search-based testing "branch
+distance": a violated ``a < b`` contributes ``a - b + 1``, a violated
+``a == b`` contributes ``|a - b|``, and so on, giving the hill climber a
+gradient toward satisfaction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.concolic.expr import BinOp, EvalError, Expr, UnaryOp
+
+from repro.concolic.solver.intervals import Interval
+
+#: Penalty charged when a constraint cannot even be evaluated
+#: (division by zero under the candidate assignment, etc.).
+EVAL_PENALTY = 1 << 40
+
+
+def branch_distance(constraint: Expr, env: Dict[str, int]) -> int:
+    """How far ``env`` is from satisfying ``constraint`` (0 == satisfied)."""
+    try:
+        return _distance(constraint, env)
+    except EvalError:
+        return EVAL_PENALTY
+
+
+def _distance(constraint: Expr, env: Dict[str, int]) -> int:
+    if isinstance(constraint, UnaryOp):
+        if constraint.op == "lnot":
+            from repro.concolic.expr import negate
+
+            return _distance(negate(constraint.operand), env)
+        if constraint.op == "bool":
+            value = constraint.operand.evaluate(env)
+            return 0 if value else 1
+    if isinstance(constraint, BinOp):
+        op = constraint.op
+        if op == "land":
+            return _distance(constraint.left, env) + _distance(constraint.right, env)
+        if op == "lor":
+            return min(_distance(constraint.left, env), _distance(constraint.right, env))
+        if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            a = constraint.left.evaluate(env)
+            b = constraint.right.evaluate(env)
+            if op == "eq":
+                return abs(a - b)
+            if op == "ne":
+                return 0 if a != b else 1
+            if op == "lt":
+                return 0 if a < b else a - b + 1
+            if op == "le":
+                return 0 if a <= b else a - b
+            if op == "gt":
+                return 0 if a > b else b - a + 1
+            if op == "ge":
+                return 0 if a >= b else b - a
+    # Generic boolean expression: satisfied iff nonzero.
+    return 0 if constraint.evaluate(env) else 1
+
+
+def total_penalty(constraints: Sequence[Expr], env: Dict[str, int]) -> int:
+    """Sum of branch distances; 0 means every constraint is satisfied."""
+    return sum(branch_distance(c, env) for c in constraints)
+
+
+def satisfies(constraints: Sequence[Expr], env: Dict[str, int]) -> bool:
+    return total_penalty(constraints, env) == 0
+
+
+def enumerate_variable(
+    constraints: Sequence[Expr],
+    env: Dict[str, int],
+    var: str,
+    domain: Interval,
+    limit: int = 4096,
+) -> Optional[int]:
+    """Scan ``var``'s domain exhaustively with other variables fixed.
+
+    Only attempted when the (narrowed) domain has at most ``limit`` values;
+    8-bit wire fields and masklen-style inputs fall well inside it.
+    """
+    lo, hi = domain
+    if hi - lo + 1 > limit:
+        return None
+    candidate = dict(env)
+    for value in range(lo, hi + 1):
+        candidate[var] = value
+        if satisfies(constraints, candidate):
+            return value
+    return None
+
+
+def _candidate_values(
+    current: int, domain: Interval, rng: random.Random, count: int
+) -> List[int]:
+    """Neighborhood + boundary + random probes for one variable."""
+    lo, hi = domain
+    values = []
+    for delta in (1, -1, 2, -2, 16, -16, 256, -256, 65536, -65536):
+        probe = current + delta
+        if lo <= probe <= hi:
+            values.append(probe)
+    values.extend(v for v in (lo, hi, (lo + hi) // 2) if lo <= v <= hi)
+    for _ in range(count):
+        values.append(rng.randint(lo, hi))
+    return values
+
+
+def local_search(
+    constraints: Sequence[Expr],
+    domains: Dict[str, Interval],
+    hint: Dict[str, int],
+    rng: random.Random,
+    max_iters: int = 2000,
+) -> Optional[Dict[str, int]]:
+    """Hill-climb from ``hint`` toward a satisfying assignment.
+
+    Each step picks the most-violated constraint, then tries candidate
+    values for each of its variables, keeping the best improvement; on a
+    plateau it random-restarts within the narrowed domains.  Returns a
+    satisfying assignment or None when the budget runs out.
+    """
+    env = {
+        name: min(max(hint.get(name, lo), lo), hi)
+        for name, (lo, hi) in domains.items()
+    }
+    best_penalty = total_penalty(constraints, env)
+    if best_penalty == 0:
+        return env
+
+    iters = 0
+    while iters < max_iters:
+        # Pick the worst constraint and try to repair its variables.
+        scored = [(branch_distance(c, env), c) for c in constraints]
+        scored = [(p, c) for p, c in scored if p > 0]
+        if not scored:
+            return env
+        scored.sort(key=lambda item: -item[0])
+        _, worst = scored[0]
+        improved = False
+        for var in sorted(worst.variables()):
+            if var not in domains:
+                continue
+            for value in _candidate_values(env[var], domains[var], rng, count=6):
+                iters += 1
+                trial = dict(env)
+                trial[var] = value
+                penalty = total_penalty(constraints, trial)
+                if penalty < best_penalty:
+                    env, best_penalty = trial, penalty
+                    improved = True
+                    if best_penalty == 0:
+                        return env
+                    break
+            if improved:
+                break
+        if not improved:
+            # Plateau: random restart inside the narrowed domains.
+            env = {name: rng.randint(lo, hi) for name, (lo, hi) in domains.items()}
+            for name in hint:
+                if name not in env:
+                    env[name] = hint[name]
+            best_penalty = total_penalty(constraints, env)
+            iters += len(domains)
+            if best_penalty == 0:
+                return env
+    return None

@@ -1,0 +1,245 @@
+"""The composite constraint solver used by the exploration loop.
+
+A query is a conjunction of boolean expressions over bounded integer
+variables, plus a *hint* assignment (the concrete input of the run whose
+branch is being negated).  The pipeline, cheapest first:
+
+1. **constant screening** — a constraint folded to ``false`` proves UNSAT;
+2. **interval propagation** — narrows variable domains, may prove UNSAT;
+3. **hint check** — the clipped hint may already satisfy the query (the
+   negated branch can flip "for free" when domains were narrowed);
+4. **linear inversion** — solve the atoms of the negated constraint for
+   one variable at a time (exact, handles the vast majority of queries);
+5. **bounded enumeration** — exhaustive scan of one small-domain variable;
+6. **guided local search** — hill climbing on branch distance.
+
+Failures are reported as *unknown* (not UNSAT) unless step 1/2 proved
+unsatisfiability; the explorer counts both, and EXPERIMENTS.md reports the
+observed solver success rates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.concolic.expr import BinOp, Const, Expr, UnaryOp
+from repro.concolic.solver import search
+from repro.concolic.solver.intervals import Interval, propagate
+from repro.concolic.solver.linear import solve_atom
+
+Assignment = Dict[str, int]
+
+
+@dataclass
+class SolverStats:
+    """Counters describing how queries were dispatched and resolved."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat_proved: int = 0
+    unknown: int = 0
+    hint_hits: int = 0
+    linear_hits: int = 0
+    enumeration_hits: int = 0
+    search_hits: int = 0
+    total_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat_proved": self.unsat_proved,
+            "unknown": self.unknown,
+            "hint_hits": self.hint_hits,
+            "linear_hits": self.linear_hits,
+            "enumeration_hits": self.enumeration_hits,
+            "search_hits": self.search_hits,
+            "total_time": self.total_time,
+        }
+
+    @property
+    def sat_rate(self) -> float:
+        return self.sat / self.queries if self.queries else 0.0
+
+
+@dataclass
+class ConstraintSolver:
+    """Facade combining screening, intervals, linear solving and search."""
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0x51CE))
+    max_search_iters: int = 2000
+    enum_limit: int = 4096
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def solve(
+        self,
+        constraints: Sequence[Expr],
+        domains: Dict[str, Interval],
+        hint: Optional[Assignment] = None,
+    ) -> Optional[Assignment]:
+        """Find an assignment satisfying every constraint, or None.
+
+        ``domains`` maps every variable to its inclusive value range; the
+        returned assignment covers exactly the domain variables.
+        """
+        started = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            return self._solve(list(constraints), dict(domains), dict(hint or {}))
+        finally:
+            self.stats.total_time += time.perf_counter() - started
+
+    def _solve(
+        self,
+        constraints: List[Expr],
+        domains: Dict[str, Interval],
+        hint: Assignment,
+    ) -> Optional[Assignment]:
+        # 1. Constant screening.
+        live: List[Expr] = []
+        for constraint in constraints:
+            if isinstance(constraint, Const):
+                if constraint.value:
+                    continue
+                self.stats.unsat_proved += 1
+                return None
+            live.append(constraint)
+        if not live:
+            self.stats.sat += 1
+            self.stats.hint_hits += 1
+            return self._clip(hint, domains)
+
+        # 2. Interval propagation (may prove UNSAT, always narrows).
+        narrowed = propagate(live, domains)
+        if narrowed is None:
+            self.stats.unsat_proved += 1
+            return None
+
+        # 3. The clipped hint may already be a model.
+        env = self._clip(hint, narrowed)
+        if search.satisfies(live, env):
+            self.stats.sat += 1
+            self.stats.hint_hits += 1
+            return env
+
+        # 4. Linear inversion, repairing one variable of one failing atom.
+        repaired = self._linear_repair(live, narrowed, env)
+        if repaired is not None:
+            self.stats.sat += 1
+            self.stats.linear_hits += 1
+            return repaired
+
+        # 5. Bounded exhaustive enumeration of one small variable.
+        enumerated = self._enumerate(live, narrowed, env)
+        if enumerated is not None:
+            self.stats.sat += 1
+            self.stats.enumeration_hits += 1
+            return enumerated
+
+        # 6. Guided local search.
+        found = search.local_search(
+            live, narrowed, env, self.rng, max_iters=self.max_search_iters
+        )
+        if found is not None:
+            self.stats.sat += 1
+            self.stats.search_hits += 1
+            return found
+
+        self.stats.unknown += 1
+        return None
+
+    @staticmethod
+    def _clip(hint: Assignment, domains: Dict[str, Interval]) -> Assignment:
+        """Project the hint into the domain boxes (missing vars -> lo)."""
+        env: Assignment = {}
+        for name, (lo, hi) in domains.items():
+            value = hint.get(name, lo)
+            env[name] = min(max(value, lo), hi)
+        return env
+
+    def _linear_repair(
+        self,
+        constraints: List[Expr],
+        domains: Dict[str, Interval],
+        env: Assignment,
+    ) -> Optional[Assignment]:
+        """Fix failing constraints by solving atoms one variable at a time.
+
+        Iterates a few rounds because repairing one constraint can break
+        another; each accepted repair strictly reduces total penalty, so
+        the loop terminates.
+        """
+        current = dict(env)
+        penalty = search.total_penalty(constraints, current)
+        for _ in range(8):
+            if penalty == 0:
+                return current
+            progressed = False
+            for constraint in constraints:
+                if search.branch_distance(constraint, current) == 0:
+                    continue
+                for atom in _atoms(constraint):
+                    for var in sorted(atom.variables()):
+                        if var not in domains:
+                            continue
+                        value = solve_atom(atom, var, current, domains[var], current[var])
+                        if value is None:
+                            continue
+                        trial = dict(current)
+                        trial[var] = value
+                        trial_penalty = search.total_penalty(constraints, trial)
+                        if trial_penalty < penalty:
+                            current, penalty = trial, trial_penalty
+                            progressed = True
+                            break
+                    if progressed:
+                        break
+                if progressed:
+                    break
+            if not progressed:
+                return current if penalty == 0 else None
+        return current if penalty == 0 else None
+
+    def _enumerate(
+        self,
+        constraints: List[Expr],
+        domains: Dict[str, Interval],
+        env: Assignment,
+    ) -> Optional[Assignment]:
+        failing_vars: List[str] = []
+        for constraint in constraints:
+            if search.branch_distance(constraint, env) > 0:
+                failing_vars.extend(sorted(constraint.variables()))
+        seen = set()
+        for var in failing_vars:
+            if var in seen or var not in domains:
+                continue
+            seen.add(var)
+            value = search.enumerate_variable(
+                constraints, env, var, domains[var], limit=self.enum_limit
+            )
+            if value is not None:
+                model = dict(env)
+                model[var] = value
+                return model
+        return None
+
+
+def _atoms(constraint: Expr) -> List[Expr]:
+    """Decompose nested conjunctions/disjunctions into comparison atoms.
+
+    For a disjunction, each disjunct is an independent repair opportunity;
+    for a conjunction, all conjuncts are (the repair loop re-checks the
+    full constraint after every candidate fix, so over-approximating the
+    atom list is safe).
+    """
+    if isinstance(constraint, BinOp) and constraint.op in ("land", "lor"):
+        return _atoms(constraint.left) + _atoms(constraint.right)
+    if isinstance(constraint, UnaryOp) and constraint.op == "lnot":
+        from repro.concolic.expr import negate
+
+        return _atoms(negate(constraint.operand))
+    return [constraint]

@@ -1,0 +1,149 @@
+"""Search strategies ordering the exploration frontier.
+
+The engine's exploration loop (engine.py) produces *candidates*: solved
+inputs that force the other side of some observed branch.  A strategy
+decides which candidate runs next.  The paper notes Oasis "has multiple
+search strategies" whose default "attempts to cover all execution paths
+reachable by the set of controlled symbolic inputs" — our default,
+:class:`GenerationalStrategy`, prioritizes candidates whose parent run
+uncovered new branch outcomes (SAGE-style), which converges to full
+coverage on finite path spaces while reaching fresh code early.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.concolic.coverage import BranchCoverage
+from repro.concolic.path import Branch, ExecutionResult
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A solved input waiting to be executed.
+
+    ``negated_index`` is the branch position in the parent path whose
+    direction this input is meant to flip; ``generation`` counts how many
+    negations separate it from the initial input.
+    """
+
+    assignment: dict
+    generation: int = 0
+    negated_index: int = -1
+    parent_signature: bytes = b""
+
+
+class CandidateQueue:
+    """A priority queue of candidates with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = itertools.count()
+
+    def push(self, priority: float, candidate: Candidate) -> None:
+        heapq.heappush(self._heap, (priority, next(self._sequence), candidate))
+
+    def pop(self) -> Candidate:
+        _, _, candidate = heapq.heappop(self._heap)
+        return candidate
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SearchStrategy:
+    """Base class: assigns a priority to each new candidate (lower = sooner)."""
+
+    name = "base"
+
+    def priority(
+        self,
+        parent: ExecutionResult,
+        branch: Branch,
+        coverage: BranchCoverage,
+        new_outcomes: int,
+        generation: int,
+    ) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class DepthFirstStrategy(SearchStrategy):
+    """Negate the deepest branches first — dives down long paths quickly."""
+
+    name = "dfs"
+
+    def priority(self, parent, branch, coverage, new_outcomes, generation):
+        return float(-branch.index)
+
+
+class BreadthFirstStrategy(SearchStrategy):
+    """Negate shallow branches of early generations first — systematic sweep."""
+
+    name = "bfs"
+
+    def priority(self, parent, branch, coverage, new_outcomes, generation):
+        return float(generation * 10_000 + branch.index)
+
+
+class GenerationalStrategy(SearchStrategy):
+    """Coverage-guided generational search (the default).
+
+    Children of runs that discovered new branch outcomes are explored
+    first; within a parent, branches whose *flipped* outcome is still
+    uncovered beat already-covered flips.  This mirrors the paper's
+    default "cover all execution paths" strategy while reaching unseen
+    code early.
+    """
+
+    name = "generational"
+
+    def priority(self, parent, branch, coverage, new_outcomes, generation):
+        flipped_covered = (branch.site, not branch.taken) in coverage.outcomes
+        return (
+            (1000.0 if flipped_covered else 0.0)
+            - 10.0 * min(new_outcomes, 50)
+            + generation
+            + branch.index / 10_000.0
+        )
+
+
+class RandomStrategy(SearchStrategy):
+    """Uniformly random frontier order (baseline for the strategy ablation)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng: random.Random = derive_rng(seed, "random-strategy")
+
+    def priority(self, parent, branch, coverage, new_outcomes, generation):
+        return self._rng.random()
+
+
+#: Registry used by CLIs and benchmarks to select strategies by name.
+STRATEGIES = {
+    "dfs": DepthFirstStrategy,
+    "bfs": BreadthFirstStrategy,
+    "generational": GenerationalStrategy,
+    "random": RandomStrategy,
+}
+
+
+def make_strategy(name: str, seed: int = 0) -> SearchStrategy:
+    """Instantiate a strategy by registry name."""
+    if name not in STRATEGIES:
+        raise ValueError(f"unknown strategy {name!r}; known: {sorted(STRATEGIES)}")
+    cls = STRATEGIES[name]
+    if cls is RandomStrategy:
+        return cls(seed)
+    return cls()

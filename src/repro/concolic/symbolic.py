@@ -1,0 +1,369 @@
+"""Concolic values: concrete results carried together with symbolic exprs.
+
+These classes are the Python counterpart of the paper's CIL source
+instrumentation (section 3.1): arithmetic on a :class:`SymInt` computes the
+ordinary concrete result *and* extends a symbolic expression, and any
+branch whose condition involves a symbolic value passes through
+``SymBool.__bool__``, which reports the constraint to the active trace
+recorder before returning the concrete outcome.  Python's short-circuit
+``and``/``or`` evaluate operand truthiness one at a time, so compound
+conditions decompose into exactly the per-branch constraints a concolic
+engine wants.
+
+Deliberate concretization points, mirroring section 3.2's handling of
+operations that defeat symbolic reasoning (the paper's example is hash
+functions):
+
+* ``__hash__`` hashes the concrete value and records nothing — symbolic
+  dict/set keys behave like their concrete values.
+* ``__index__`` / ``__int__`` return the concrete value but record an
+  equality constraint pinning the expression to it, keeping the recorded
+  path condition sound when symbolic values index into tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.concolic import tracer
+from repro.concolic.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Var,
+    as_boolean,
+    make_binary,
+    make_unary,
+)
+from repro.util.errors import SymbolicError
+
+IntLike = Union[int, "SymInt"]
+
+
+def _lift(value: IntLike) -> Expr:
+    """The expression for a plain int or a SymInt."""
+    if isinstance(value, SymInt):
+        return value.expr
+    return Const(int(value))
+
+
+def _concrete(value: IntLike) -> int:
+    if isinstance(value, SymInt):
+        return value.concrete
+    return int(value)
+
+
+class SymBool:
+    """A boolean with both a concrete outcome and a symbolic condition."""
+
+    __slots__ = ("concrete", "expr")
+
+    def __init__(self, concrete: bool, expr: Expr):
+        self.concrete = bool(concrete)
+        self.expr = as_boolean(expr)
+
+    def __bool__(self) -> bool:
+        recorder = tracer.active_recorder()
+        if recorder is not None and not isinstance(self.expr, Const):
+            recorder.record_branch(self.expr, self.concrete, tracer.caller_site())
+        return self.concrete
+
+    def __invert__(self) -> "SymBool":
+        return SymBool(not self.concrete, make_unary("lnot", self.expr))
+
+    def __and__(self, other: Union[bool, "SymBool"]) -> "SymBool":
+        if isinstance(other, SymBool):
+            return SymBool(
+                self.concrete and other.concrete,
+                make_binary("land", self.expr, other.expr),
+            )
+        return SymBool(
+            self.concrete and bool(other),
+            make_binary("land", self.expr, Const(int(bool(other)))),
+        )
+
+    __rand__ = __and__
+
+    def __or__(self, other: Union[bool, "SymBool"]) -> "SymBool":
+        if isinstance(other, SymBool):
+            return SymBool(
+                self.concrete or other.concrete,
+                make_binary("lor", self.expr, other.expr),
+            )
+        return SymBool(
+            self.concrete or bool(other),
+            make_binary("lor", self.expr, Const(int(bool(other)))),
+        )
+
+    __ror__ = __or__
+
+    def __repr__(self) -> str:
+        return f"SymBool({self.concrete}, {self.expr!r})"
+
+
+class SymInt:
+    """An integer with both a concrete value and a symbolic expression.
+
+    Supports the integer operations BGP message processing needs
+    (arithmetic, bitwise, shifts, comparisons).  True division and
+    exponentiation are rejected: routing code has no business doing either
+    on wire-format fields, and failing loudly beats silently dropping
+    constraints.
+    """
+
+    __slots__ = ("concrete", "expr")
+
+    def __init__(self, concrete: int, expr: Expr):
+        self.concrete = int(concrete)
+        self.expr = expr
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def variable(cls, name: str, concrete: int, bits: int = 32) -> "SymInt":
+        """A fresh symbolic input variable with the given concrete value."""
+        return cls(concrete, Var(name, bits))
+
+    @classmethod
+    def constant(cls, value: int) -> "SymInt":
+        return cls(value, Const(value))
+
+    @property
+    def is_symbolic(self) -> bool:
+        """False once the expression has folded to a constant."""
+        return not isinstance(self.expr, Const)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _binary(self, other: object, op: str, reflected: bool = False):
+        if not isinstance(other, (int, SymInt)):
+            return NotImplemented
+        import repro.concolic.expr as expr_mod
+
+        func = expr_mod.BINARY_OPS[op][0]
+        try:
+            if reflected:
+                concrete = func(_concrete(other), self.concrete)
+                expression = make_binary(op, _lift(other), self.expr)
+            else:
+                concrete = func(self.concrete, _concrete(other))
+                expression = make_binary(op, self.expr, _lift(other))
+        except expr_mod.EvalError as exc:
+            # Concrete arithmetic must fail exactly like plain Python ints.
+            if op in ("floordiv", "mod"):
+                raise ZeroDivisionError(str(exc)) from None
+            raise ValueError(str(exc)) from None
+        return SymInt(concrete, expression)
+
+    def __add__(self, other): return self._binary(other, "add")
+    def __radd__(self, other): return self._binary(other, "add", reflected=True)
+    def __sub__(self, other): return self._binary(other, "sub")
+    def __rsub__(self, other): return self._binary(other, "sub", reflected=True)
+    def __mul__(self, other): return self._binary(other, "mul")
+    def __rmul__(self, other): return self._binary(other, "mul", reflected=True)
+    def __floordiv__(self, other): return self._binary(other, "floordiv")
+    def __rfloordiv__(self, other): return self._binary(other, "floordiv", reflected=True)
+    def __mod__(self, other): return self._binary(other, "mod")
+    def __rmod__(self, other): return self._binary(other, "mod", reflected=True)
+    def __and__(self, other): return self._binary(other, "and")
+    def __rand__(self, other): return self._binary(other, "and", reflected=True)
+    def __or__(self, other): return self._binary(other, "or")
+    def __ror__(self, other): return self._binary(other, "or", reflected=True)
+    def __xor__(self, other): return self._binary(other, "xor")
+    def __rxor__(self, other): return self._binary(other, "xor", reflected=True)
+    def __lshift__(self, other): return self._binary(other, "shl")
+    def __rlshift__(self, other): return self._binary(other, "shl", reflected=True)
+    def __rshift__(self, other): return self._binary(other, "shr")
+    def __rrshift__(self, other): return self._binary(other, "shr", reflected=True)
+
+    def __neg__(self) -> "SymInt":
+        return SymInt(-self.concrete, make_unary("neg", self.expr))
+
+    def __pos__(self) -> "SymInt":
+        return self
+
+    def __invert__(self) -> "SymInt":
+        return SymInt(~self.concrete, make_unary("inv", self.expr))
+
+    def __abs__(self) -> "SymInt":
+        if self.concrete >= 0:
+            return self
+        return -self
+
+    def __truediv__(self, other: object):
+        raise SymbolicError("true division on a symbolic value; use // instead")
+
+    __rtruediv__ = __truediv__
+
+    def __pow__(self, other: object):
+        raise SymbolicError("exponentiation on a symbolic value is unsupported")
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _compare(self, other: object, op: str):
+        if not isinstance(other, (int, SymInt)):
+            return NotImplemented
+        import repro.concolic.expr as expr_mod
+
+        func = expr_mod.BINARY_OPS[op][0]
+        concrete = bool(func(self.concrete, _concrete(other)))
+        return SymBool(concrete, make_binary(op, self.expr, _lift(other)))
+
+    def __eq__(self, other): return self._compare(other, "eq")
+    def __ne__(self, other): return self._compare(other, "ne")
+    def __lt__(self, other): return self._compare(other, "lt")
+    def __le__(self, other): return self._compare(other, "le")
+    def __gt__(self, other): return self._compare(other, "gt")
+    def __ge__(self, other): return self._compare(other, "ge")
+
+    # -- concretization points -----------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(SymBool(self.concrete != 0, as_boolean(self.expr)))
+
+    def __hash__(self) -> int:
+        # Deliberately concrete (and unrecorded): the paper avoids recording
+        # constraints through hash functions because they cannot be reversed.
+        return hash(self.concrete)
+
+    def __index__(self) -> int:
+        recorder = tracer.active_recorder()
+        if recorder is not None and self.is_symbolic:
+            recorder.record_concretization(self.expr, self.concrete)
+        return self.concrete
+
+    def __int__(self) -> int:
+        return self.__index__()
+
+    def __repr__(self) -> str:
+        return f"SymInt({self.concrete}, {self.expr!r})"
+
+    def __format__(self, spec: str) -> str:
+        return format(self.concrete, spec)
+
+
+class SymBytes:
+    """A byte string whose individual bytes may be symbolic.
+
+    Behaves like an immutable sequence of small integers: indexing yields
+    a plain int or :class:`SymInt`, slicing yields another
+    :class:`SymBytes`, and equality against ``bytes`` produces a
+    :class:`SymBool` conjoining per-byte constraints.  Message codecs use
+    :meth:`to_uint` to assemble multi-byte fields into one symbolic
+    integer.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[IntLike]):
+        self._items: List[IntLike] = []
+        for item in items:
+            value = item.concrete if isinstance(item, SymInt) else int(item)
+            if not 0 <= value <= 255:
+                raise SymbolicError(f"byte value {value} out of range")
+            self._items.append(item)
+
+    @classmethod
+    def from_concrete(cls, data: bytes) -> "SymBytes":
+        return cls(list(data))
+
+    @classmethod
+    def symbolic(cls, name: str, data: bytes) -> "SymBytes":
+        """Mark every byte of ``data`` as an 8-bit symbolic variable."""
+        return cls(
+            [SymInt.variable(f"{name}[{i}]", byte, bits=8) for i, byte in enumerate(data)]
+        )
+
+    @property
+    def concrete(self) -> bytes:
+        return bytes(
+            item.concrete if isinstance(item, SymInt) else item for item in self._items
+        )
+
+    @property
+    def is_symbolic(self) -> bool:
+        return any(isinstance(item, SymInt) and item.is_symbolic for item in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[IntLike]:
+        return iter(self._items)
+
+    def __getitem__(self, key: Union[int, slice]) -> Union[IntLike, "SymBytes"]:
+        if isinstance(key, slice):
+            return SymBytes(self._items[key])
+        return self._items[key]
+
+    def __add__(self, other: Union[bytes, "SymBytes"]) -> "SymBytes":
+        if isinstance(other, bytes):
+            return SymBytes(self._items + list(other))
+        if isinstance(other, SymBytes):
+            return SymBytes(self._items + other._items)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __radd__(self, other: bytes) -> "SymBytes":
+        if isinstance(other, bytes):
+            return SymBytes(list(other) + self._items)
+        return NotImplemented  # type: ignore[return-value]
+
+    def to_uint(self, offset: int = 0, width: int = 1) -> SymInt:
+        """Big-endian unsigned integer from ``width`` bytes at ``offset``."""
+        if offset < 0 or offset + width > len(self._items):
+            raise SymbolicError(
+                f"field [{offset}:{offset + width}] outside buffer of {len(self._items)}"
+            )
+        concrete = 0
+        expression: Expr = Const(0)
+        for item in self._items[offset:offset + width]:
+            concrete = (concrete << 8) | (item.concrete if isinstance(item, SymInt) else int(item))
+            expression = make_binary(
+                "or", make_binary("shl", expression, Const(8)), _lift(item)
+            )
+        return SymInt(concrete, expression)
+
+    def __eq__(self, other: object):
+        if isinstance(other, SymBytes):
+            other_items: Sequence[IntLike] = other._items
+        elif isinstance(other, (bytes, bytearray)):
+            other_items = list(other)
+        else:
+            return NotImplemented
+        if len(self._items) != len(other_items):
+            return SymBool(False, Const(0))
+        outcome = True
+        expression: Expr = Const(1)
+        for mine, theirs in zip(self._items, other_items):
+            outcome = outcome and (_concrete(mine) == _concrete(theirs))
+            expression = make_binary(
+                "land", expression, make_binary("eq", _lift(mine), _lift(theirs))
+            )
+        return SymBool(outcome, expression)
+
+    def __hash__(self) -> int:
+        return hash(self.concrete)
+
+    def __repr__(self) -> str:
+        return f"SymBytes({self.concrete!r}, symbolic={self.is_symbolic})"
+
+
+def concrete_of(value: object) -> object:
+    """Strip the symbolic layer: return the plain concrete value.
+
+    Non-symbolic values pass through unchanged, so this is safe to call on
+    anything flowing out of an explored handler.
+    """
+    if isinstance(value, (SymInt,)):
+        return value.concrete
+    if isinstance(value, SymBool):
+        return value.concrete
+    if isinstance(value, SymBytes):
+        return value.concrete
+    return value
+
+
+def lift_int(value: IntLike) -> SymInt:
+    """Wrap a plain int as a constant SymInt (SymInts pass through)."""
+    if isinstance(value, SymInt):
+        return value
+    return SymInt.constant(int(value))

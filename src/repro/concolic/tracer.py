@@ -1,0 +1,83 @@
+"""The active-trace hook connecting concolic values to the engine.
+
+The paper's prototype compiles instrumented and native code into a single
+executable and switches between them (section 3.2): the deployed system
+runs native, and only exploration runs instrumented.  The Python analogue
+is this module-level hook: when no recorder is installed, symbolic values
+are never created in the first place (production code handles plain ints)
+and a stray ``SymBool`` evaluates its concrete value with a single ``is
+None`` check of overhead.  During exploration the DiCE explorer installs a
+recorder here, and every branch on a symbolic value is reported to it.
+
+The hook is deliberately a plain module global, not thread-local: the
+discrete-event simulator is single-threaded, and one exploration runs at a
+time per process.  :func:`install` returns a token so nested traces
+restore correctly.
+"""
+
+from __future__ import annotations
+
+import os.path
+import sys
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.concolic.expr import Expr
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """The static program location of a branch (file basename + line)."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+class Recorder(Protocol):
+    """What the engine's trace recorder must provide to symbolic values."""
+
+    def record_branch(self, expr: Expr, outcome: bool, site: BranchSite) -> None:
+        """A branch on boolean ``expr`` resolved to ``outcome`` at ``site``."""
+
+    def record_concretization(self, expr: Expr, value: int) -> None:
+        """``expr`` was forced to the concrete ``value`` (index/int context)."""
+
+
+_active: Optional[Recorder] = None
+
+#: Directory of the concolic package itself; frames inside it are skipped
+#: when attributing a branch to a program location.
+_PACKAGE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def active_recorder() -> Optional[Recorder]:
+    """The currently installed recorder, or None in production mode."""
+    return _active
+
+
+def install(recorder: Recorder) -> Optional[Recorder]:
+    """Install ``recorder`` as active; returns the previous one (a token)."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+def restore(token: Optional[Recorder]) -> None:
+    """Restore the recorder saved by a matching :func:`install` call."""
+    global _active
+    _active = token
+
+
+def caller_site() -> BranchSite:
+    """Locate the branch site: the innermost frame outside this package."""
+    frame = sys._getframe(2)  # skip caller_site and the dunder that called it
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_PACKAGE_DIR):
+            return BranchSite(os.path.basename(filename), frame.f_lineno)
+        frame = frame.f_back
+    return BranchSite("<unknown>", 0)

@@ -1,0 +1,124 @@
+"""DiCE: the paper's primary contribution, built on the substrates.
+
+The typical entry points:
+
+* :func:`repro.core.scenario.build_scenario` — the paper's Figure 2
+  testbed, ready to converge and explore;
+* :class:`DiCE` — attach online testing to a live router;
+* :class:`DiceExplorer` — one-shot exploration sessions;
+* :class:`OnlineScheduler` — periodic rounds alongside the live system.
+"""
+
+from repro.core.checkers import (
+    BOGON_PREFIXES,
+    BogonChecker,
+    CrashChecker,
+    ExecutionContext,
+    FaultChecker,
+    HijackChecker,
+    InvariantChecker,
+    LeakRegionChecker,
+    OriginBaseline,
+    SessionResetChecker,
+    default_checkers,
+)
+from repro.core.dice import DiCE, DiceEnabledRouter
+from repro.core.explorer import DiceExplorer
+from repro.core.federation import (
+    FabricStats,
+    FederatedExploration,
+    FederatedReport,
+    GlobalFinding,
+    IsolatedFabric,
+)
+from repro.core.inputs import (
+    InputModel,
+    OpenMessageModel,
+    SelectiveUpdateModel,
+    WholeMessageModel,
+    model_for,
+)
+from repro.core.isolation import ExplorationSandbox, InterceptedTraffic, restore_isolated
+from repro.core.privacy import (
+    OriginDigest,
+    PrivacyGuard,
+    digest_conflicts,
+    origin_digest,
+    prefix_digest,
+    resolve_digest,
+)
+from repro.core.report import Finding, FindingKind, SessionReport, Severity
+from repro.core.scenario import (
+    CUSTOMER_AS,
+    CUSTOMER_PREFIXES,
+    Fig2Scenario,
+    FILTER_MODES,
+    INTERNET_AS,
+    PROVIDER_AS,
+    ScenarioConfig,
+    build_scenario,
+    customer_config,
+    provider_config,
+)
+from repro.core.schedule import (
+    OnlineScheduler,
+    ScheduleConfig,
+    ScheduleStats,
+    ThroughputProbe,
+    measure_throughput,
+)
+
+__all__ = [
+    "CUSTOMER_AS",
+    "CUSTOMER_PREFIXES",
+    "BOGON_PREFIXES",
+    "BogonChecker",
+    "CrashChecker",
+    "DiCE",
+    "DiceEnabledRouter",
+    "DiceExplorer",
+    "ExecutionContext",
+    "ExplorationSandbox",
+    "FILTER_MODES",
+    "FabricStats",
+    "FaultChecker",
+    "FederatedExploration",
+    "FederatedReport",
+    "Fig2Scenario",
+    "Finding",
+    "FindingKind",
+    "GlobalFinding",
+    "HijackChecker",
+    "INTERNET_AS",
+    "InputModel",
+    "InterceptedTraffic",
+    "InvariantChecker",
+    "IsolatedFabric",
+    "LeakRegionChecker",
+    "OnlineScheduler",
+    "OpenMessageModel",
+    "OriginBaseline",
+    "OriginDigest",
+    "PROVIDER_AS",
+    "PrivacyGuard",
+    "ScenarioConfig",
+    "ScheduleConfig",
+    "ScheduleStats",
+    "SelectiveUpdateModel",
+    "SessionReport",
+    "SessionResetChecker",
+    "Severity",
+    "ThroughputProbe",
+    "WholeMessageModel",
+    "build_scenario",
+    "customer_config",
+    "default_checkers",
+    "digest_conflicts",
+    "measure_throughput",
+    "model_for",
+    "origin_digest",
+    "prefix_digest",
+    "provider_config",
+    "resolve_digest",
+    "restore_isolated",
+]

@@ -1,0 +1,479 @@
+"""Fault checkers: deciding whether an explored action is a potential fault.
+
+The paper's route-leak experiment (section 4.2) defines the check this
+reproduction centers on: "For each exploratory message, we check whether
+the announced route ... is accepted, and in this case we detect a
+potential hijack if that route overrides the origin AS of a route already
+in the routing table prior to starting exploration."  The footnote adds
+the trust assumption (existing routes are trustworthy) and the text the
+false-positive handling (anycast prefixes are legitimately multi-origin
+and are whitelisted).
+
+Checkers receive an :class:`ExecutionContext` — the exploratory input,
+the post-execution clone, the intercepted traffic, and the pre-exploration
+:class:`OriginBaseline` — and return findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.messages import NotificationMessage, UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.bgp.wire import as_concrete_int
+from repro.concolic.path import PathCondition
+from repro.core.isolation import InterceptedTraffic
+from repro.core.report import Finding, FindingKind, Severity
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix, PrefixTrie
+
+
+class OriginBaseline:
+    """Trusted prefix -> origin-AS map captured before exploration.
+
+    Built from the live router's Loc-RIB at checkpoint time (the paper's
+    "routing table prior to starting exploration"); locally originated
+    routes map to the router's own AS.
+    """
+
+    def __init__(self, local_asn: int):
+        self.local_asn = local_asn
+        self._trie = PrefixTrie()
+        self.size = 0
+
+    @classmethod
+    def from_router(cls, router: BgpRouter) -> "OriginBaseline":
+        baseline = cls(router.config.asn)
+        for prefix, route in router.loc_rib.items():
+            origin = route.origin_as()
+            origin_asn = (
+                baseline.local_asn if origin is None else as_concrete_int(origin)
+            )
+            baseline.add(prefix, origin_asn)
+        return baseline
+
+    def add(self, prefix: Prefix, origin_asn: int) -> None:
+        self._trie.insert(prefix, origin_asn)
+        self.size += 1
+
+    def origin_for(self, prefix: Prefix) -> Optional[Tuple[Prefix, int]]:
+        """The most specific baseline entry covering ``prefix``.
+
+        Covering (not just exact) matters: announcing a *more specific*
+        of an installed prefix with a different origin is precisely the
+        YouTube-style sub-prefix hijack.
+        """
+        best: Optional[Tuple[Prefix, int]] = None
+        for covering_prefix, origin in self._trie.covering(prefix):
+            best = (covering_prefix, origin)  # iteration is shortest-first
+        return best
+
+    def items(self):
+        """All (prefix, origin AS) baseline entries."""
+        return self._trie.items()
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a checker may inspect about one exploratory execution."""
+
+    peer: str
+    assignment: dict
+    baseline: OriginBaseline
+    update: Optional[UpdateMessage] = None
+    clone: Optional[BgpRouter] = None
+    traffic: InterceptedTraffic = field(default_factory=InterceptedTraffic)
+    exception: Optional[BaseException] = None
+    #: The recorded path condition of this execution (set by the explorer);
+    #: region-based checkers derive the accepted input region from it.
+    path: Optional["PathCondition"] = None
+    #: Variable domains of the input spec, for interval propagation.
+    domains: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: False when this execution repeated an already-seen path; per-path
+    #: analyses (leak regions) skip repeats.
+    is_new_path: bool = True
+    #: Which NLRI entry of the update carries the symbolic fields; the
+    #: observed message may announce several prefixes, and only this
+    #: entry's acceptance reflects the explored path.
+    nlri_index: int = 0
+
+    def assignment_items(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self.assignment.items()))
+
+
+class FaultChecker:
+    """Base class for checkers."""
+
+    name = "base"
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        raise NotImplementedError
+
+
+class HijackChecker(FaultChecker):
+    """Detects origin-misconfiguration route leaks (paper section 4.2).
+
+    ``anycast_whitelist`` holds prefixes that are legitimately
+    multi-origin ("certain prefixes are hijackable by nature, e.g., those
+    used for IP anycast ... DiCE can simply filter these out"); findings
+    inside whitelisted space are suppressed.
+    """
+
+    name = "hijack"
+
+    def __init__(self, anycast_whitelist: Optional[List[Prefix]] = None):
+        self._whitelist = PrefixTrie()
+        for prefix in anycast_whitelist or ():
+            self._whitelist.insert(prefix, True)
+
+    def whitelisted(self, prefix: Prefix) -> bool:
+        for _ in self._whitelist.covering(prefix):
+            return True
+        return False
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        findings: List[Finding] = []
+        if ctx.update is None or ctx.clone is None:
+            return findings
+        session = ctx.clone.sessions.get(ctx.peer)
+        peer_asn = session.peer.remote_as if session is not None else 0
+        for entry in ctx.update.nlri:
+            try:
+                prefix = entry.to_prefix()
+            except Exception:
+                continue
+            route = ctx.clone.adj_rib_in.get(ctx.peer, prefix)
+            if route is None:
+                continue  # the import filter rejected this announcement
+            if abs(route.learned_at - ctx.clone.now) > 1e-9:
+                continue  # pre-existing route, not accepted by this run
+            origin = route.origin_as()
+            observed_origin = peer_asn if origin is None else as_concrete_int(origin)
+            base = ctx.baseline.origin_for(prefix)
+            if base is None:
+                continue  # nothing installed is overridden
+            base_prefix, base_origin = base
+            if observed_origin == base_origin:
+                continue
+            if self.whitelisted(prefix):
+                continue
+            exact = "exact" if base_prefix == prefix else f"more specific of {base_prefix}"
+            findings.append(
+                Finding(
+                    kind=FindingKind.PREFIX_HIJACK,
+                    severity=Severity.CRITICAL,
+                    summary=(
+                        f"peer {ctx.peer!r} can leak {prefix} ({exact}), "
+                        f"overriding origin AS{base_origin} with AS{observed_origin}"
+                    ),
+                    prefix=prefix,
+                    peer=ctx.peer,
+                    expected_origin=base_origin,
+                    observed_origin=observed_origin,
+                    assignment=ctx.assignment_items(),
+                    details=f"accepted route: {route.describe()}",
+                )
+            )
+        return findings
+
+
+class CrashChecker(FaultChecker):
+    """Flags handler exceptions that are not wire-validity rejections.
+
+    A :class:`WireFormatError` is the handler's *intended* response to a
+    malformed input (it maps to a NOTIFICATION), so only other exception
+    types count as crashes.
+    """
+
+    name = "crash"
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        from repro.concolic.engine import PathBudgetExceeded
+
+        if ctx.exception is None or isinstance(
+            ctx.exception, (WireFormatError, PathBudgetExceeded)
+        ):
+            return []
+        return [
+            Finding(
+                kind=FindingKind.HANDLER_CRASH,
+                severity=Severity.CRITICAL,
+                summary=(
+                    f"handler raised {type(ctx.exception).__name__}: {ctx.exception}"
+                ),
+                peer=ctx.peer,
+                assignment=ctx.assignment_items(),
+            )
+        ]
+
+
+class SessionResetChecker(FaultChecker):
+    """Flags exploratory inputs that make the node reset a session.
+
+    An input whose processing emits a NOTIFICATION would, on the live
+    node, tear down a peering — worth surfacing to an operator even
+    though it is protocol-correct behavior.
+    """
+
+    name = "session-reset"
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for destination, message in ctx.traffic.decoded():
+            if isinstance(message, NotificationMessage):
+                findings.append(
+                    Finding(
+                        kind=FindingKind.SESSION_RESET,
+                        severity=Severity.WARNING,
+                        summary=(
+                            f"input makes node send NOTIFICATION "
+                            f"code={as_concrete_int(message.code)} "
+                            f"subcode={as_concrete_int(message.subcode)} to {destination!r}"
+                        ),
+                        peer=ctx.peer,
+                        assignment=ctx.assignment_items(),
+                    )
+                )
+        return findings
+
+
+class InvariantChecker(FaultChecker):
+    """Wraps a user-supplied invariant over the clone's state.
+
+    The callable returns None when the invariant holds, or a description
+    of the violation.  This is the extension point the paper's "notion of
+    desired system behavior" (section 2.4) maps to.
+    """
+
+    name = "invariant"
+
+    def __init__(self, invariant: Callable[[BgpRouter], Optional[str]], name: str = "invariant"):
+        self._invariant = invariant
+        self.name = name
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        if ctx.clone is None:
+            return []
+        violation = self._invariant(ctx.clone)
+        if violation is None:
+            return []
+        return [
+            Finding(
+                kind=FindingKind.INVARIANT_VIOLATION,
+                severity=Severity.WARNING,
+                summary=f"{self.name}: {violation}",
+                peer=ctx.peer,
+                assignment=ctx.assignment_items(),
+            )
+        ]
+
+
+class LeakRegionChecker(FaultChecker):
+    """Derives *which prefix ranges can be leaked* from accepted paths.
+
+    The paper's operator-facing claim is that "DiCE clearly states which
+    prefix ranges can be leaked".  A single accepted execution pins one
+    concrete NLRI, but its *path condition* describes the whole input
+    region that takes the same accepted path through the (mis)configured
+    filter.  This checker propagates intervals over the held constraints
+    to bound that region, then scans the trusted baseline for installed
+    prefixes inside it whose origin differs from the exploratory
+    announcement's origin — every such prefix is hijackable through the
+    filter hole, whether or not the solver's concrete pick happened to
+    collide with it.
+    """
+
+    name = "leak-region"
+
+    def __init__(
+        self,
+        network_var: str = "nlri_network",
+        masklen_var: str = "nlri_masklen",
+        anycast_whitelist: Optional[List[Prefix]] = None,
+        max_report: int = 10_000,
+    ):
+        self.network_var = network_var
+        self.masklen_var = masklen_var
+        self.max_report = max_report
+        self._whitelist = PrefixTrie()
+        for prefix in anycast_whitelist or ():
+            self._whitelist.insert(prefix, True)
+
+    def _accepted(self, ctx: ExecutionContext) -> Optional[int]:
+        """Origin AS if this run accepted its *symbolic* NLRI, else None.
+
+        Only the entry carrying the symbolic fields counts: the observed
+        message may announce other (concrete) prefixes whose acceptance
+        says nothing about the explored path.
+        """
+        if ctx.update is None or ctx.clone is None:
+            return None
+        if not 0 <= ctx.nlri_index < len(ctx.update.nlri):
+            return None
+        session = ctx.clone.sessions.get(ctx.peer)
+        peer_asn = session.peer.remote_as if session is not None else 0
+        entry = ctx.update.nlri[ctx.nlri_index]
+        try:
+            prefix = entry.to_prefix()
+        except Exception:
+            return None
+        route = ctx.clone.adj_rib_in.get(ctx.peer, prefix)
+        if route is None or abs(route.learned_at - ctx.clone.now) > 1e-9:
+            return None
+        origin = route.origin_as()
+        return peer_asn if origin is None else as_concrete_int(origin)
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        from repro.concolic.expr import EvalError
+        from repro.concolic.solver.intervals import propagate
+
+        findings: List[Finding] = []
+        if not ctx.is_new_path:
+            return findings  # region analysis is per-path, not per-run
+        observed_origin = self._accepted(ctx)
+        if observed_origin is None or ctx.path is None:
+            return findings
+        if self.network_var not in ctx.domains:
+            return findings
+        # Concretization records (symbolic values pinned by index/int
+        # contexts) are data-structure artifacts, not filter decisions;
+        # keeping them would collapse the region to the single explored
+        # point.  Decision-relevant branches are comparison constraints.
+        held = [
+            branch.held_constraint()
+            for branch in ctx.path
+            if not branch.is_concretization
+        ]
+        narrowed = propagate(held, dict(ctx.domains))
+        if narrowed is None:
+            return findings  # inconsistent recording; nothing to report
+        net_lo, net_hi = narrowed.get(self.network_var, ctx.domains[self.network_var])
+        mask_lo, mask_hi = narrowed.get(self.masklen_var, (0, 32))
+        mask_hi = min(mask_hi, 32)
+
+        reported = 0
+        for prefix, base_origin in ctx.baseline.items():
+            if reported >= self.max_report:
+                break
+            origin_asn = int(base_origin)  # type: ignore[arg-type]
+            if origin_asn == observed_origin:
+                continue
+            # Fast interval screen: an exact-prefix announcement must fall
+            # inside the accepted region's bounding box...
+            if not (mask_lo <= prefix.length <= mask_hi):
+                continue
+            if not (net_lo <= prefix.network <= net_hi):
+                continue
+            if self._whitelisted(prefix):
+                continue
+            # ...then verify exactly: announcing (prefix.network,
+            # prefix.length) must satisfy every held constraint of this
+            # accepted path, i.e. it follows the same accepted filter path.
+            candidate = dict(ctx.assignment)
+            candidate[self.network_var] = prefix.network
+            if self.masklen_var in ctx.domains:
+                candidate[self.masklen_var] = prefix.length
+            try:
+                if not all(bool(c.evaluate(candidate)) for c in held):
+                    continue
+            except EvalError:
+                continue
+            findings.append(
+                Finding(
+                    kind=FindingKind.PREFIX_HIJACK,
+                    severity=Severity.CRITICAL,
+                    summary=(
+                        f"filter hole: peer {ctx.peer!r} can leak {prefix} "
+                        f"(origin AS{origin_asn} -> AS{observed_origin}); accepted "
+                        f"region network=[{net_lo:#010x},{net_hi:#010x}] "
+                        f"masklen=[{mask_lo},{mask_hi}]"
+                    ),
+                    prefix=prefix,
+                    peer=ctx.peer,
+                    expected_origin=origin_asn,
+                    observed_origin=observed_origin,
+                    assignment=ctx.assignment_items(),
+                )
+            )
+            reported += 1
+        return findings
+
+    def _whitelisted(self, prefix: Prefix) -> bool:
+        for _ in self._whitelist.covering(prefix):
+            return True
+        return False
+
+
+#: Address blocks that must never be accepted from an eBGP peer
+#: (RFC 1918 private space, loopback, link-local, documentation, etc.).
+BOGON_PREFIXES = tuple(
+    Prefix.parse(text)
+    for text in (
+        "0.0.0.0/8", "10.0.0.0/8", "127.0.0.0/8", "169.254.0.0/16",
+        "172.16.0.0/12", "192.0.2.0/24", "192.168.0.0/16",
+        "198.18.0.0/15", "198.51.100.0/24", "203.0.113.0/24",
+        "224.0.0.0/3",
+    )
+)
+
+
+class BogonChecker(FaultChecker):
+    """Flags exploratory bogon announcements that the filters accepted.
+
+    A complementary operational invariant: even when no installed route
+    is overridden, accepting RFC 1918 / reserved space from a peer means
+    the import policy lacks standard bogon filtering.  Exercises the
+    same accepted-or-not machinery as the hijack check.
+    """
+
+    name = "bogon"
+
+    def __init__(self, bogons: Optional[List[Prefix]] = None):
+        self._bogons = PrefixTrie()
+        for prefix in bogons if bogons is not None else BOGON_PREFIXES:
+            self._bogons.insert(prefix, True)
+
+    def _is_bogon(self, prefix: Prefix) -> bool:
+        for _ in self._bogons.covering(prefix):
+            return True
+        return False
+
+    def check(self, ctx: ExecutionContext) -> List[Finding]:
+        findings: List[Finding] = []
+        if ctx.update is None or ctx.clone is None:
+            return findings
+        for entry in ctx.update.nlri:
+            try:
+                prefix = entry.to_prefix()
+            except Exception:
+                continue
+            if not self._is_bogon(prefix):
+                continue
+            route = ctx.clone.adj_rib_in.get(ctx.peer, prefix)
+            if route is None or abs(route.learned_at - ctx.clone.now) > 1e-9:
+                continue
+            findings.append(
+                Finding(
+                    kind=FindingKind.INVARIANT_VIOLATION,
+                    severity=Severity.WARNING,
+                    summary=(
+                        f"import policy accepted bogon prefix {prefix} "
+                        f"from peer {ctx.peer!r}"
+                    ),
+                    prefix=prefix,
+                    peer=ctx.peer,
+                    assignment=ctx.assignment_items(),
+                )
+            )
+        return findings
+
+
+def default_checkers(anycast_whitelist: Optional[List[Prefix]] = None) -> List[FaultChecker]:
+    """The checker suite the paper's evaluation runs."""
+    return [
+        HijackChecker(anycast_whitelist),
+        LeakRegionChecker(anycast_whitelist=anycast_whitelist),
+        CrashChecker(),
+        SessionResetChecker(),
+    ]

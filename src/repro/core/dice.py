@@ -1,0 +1,173 @@
+"""The DiCE facade: online testing attached to a live router.
+
+"DiCE runs in the Provider's router" (section 4): a
+:class:`DiceEnabledRouter` is a stock :class:`BgpRouter` with the
+integration hook the paper added to BIRD — every UPDATE the live node
+processes is also *observed* by DiCE as a seed input for exploration.
+
+:class:`DiCE` owns the observed-input buffer, the explorer, and the
+accumulated findings, and exposes :meth:`run_round` — one checkpoint +
+exploration session — which the online scheduler fires periodically
+while the deployed system keeps running.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.concolic.engine import ConcolicEngine, ExplorationBudget
+from repro.concolic.strategies import SearchStrategy
+from repro.core.checkers import FaultChecker, default_checkers
+from repro.core.explorer import DiceExplorer
+from repro.core.inputs import InputModel, model_for
+from repro.core.report import Finding, SessionReport
+from repro.util.ip import Prefix
+
+ObserverHook = Callable[[str, UpdateMessage], None]
+
+
+class DiceEnabledRouter(BgpRouter):
+    """A BGP router with the DiCE observation hook compiled in.
+
+    The hook is runtime-only state: it is intentionally *not* part of
+    ``checkpoint_state()``, so clones restored from checkpoints never
+    re-enter DiCE (the class attribute default applies to them).
+    """
+
+    observer: Optional[ObserverHook] = None
+
+    def handle_update(self, peer_id: str, update: UpdateMessage) -> None:
+        if self.observer is not None:
+            self.observer(peer_id, update)
+        super().handle_update(peer_id, update)
+
+
+class DiCE:
+    """Continuous, automatic exploration of a live node's behavior."""
+
+    def __init__(
+        self,
+        router: BgpRouter,
+        checkers: Optional[Sequence[FaultChecker]] = None,
+        policy: str = "selective",
+        model_kwargs: Optional[dict] = None,
+        engine: Optional[ConcolicEngine] = None,
+        observed_capacity: int = 64,
+        anycast_whitelist: Optional[List[Prefix]] = None,
+    ):
+        self.router = router
+        if checkers is None:
+            checkers = default_checkers(anycast_whitelist)
+        self.explorer = DiceExplorer(engine=engine, checkers=checkers)
+        self.policy = policy
+        self.model_kwargs = dict(model_kwargs or {})
+        # Per-peer ring buffers: a chatty peer (a full-table dump) must not
+        # evict the seeds observed from a quiet one.
+        self._observed_capacity = observed_capacity
+        self._observed: Dict[str, Deque[UpdateMessage]] = {}
+        self.rounds: List[SessionReport] = []
+        self.exploration_wall_seconds = 0.0
+        if isinstance(router, DiceEnabledRouter):
+            router.observer = self.observe
+
+    # -- input observation ---------------------------------------------------
+
+    def observe(self, peer_id: str, update: UpdateMessage) -> None:
+        """Record a live input as a future exploration seed.
+
+        Only announcements are useful seeds (the marking policies derive
+        symbolic inputs from NLRI), matching the paper's focus on UPDATE
+        messages as "the main drivers for state change".
+        """
+        if update.nlri:
+            buffer = self._observed.setdefault(
+                peer_id, deque(maxlen=self._observed_capacity)
+            )
+            buffer.append(update)
+
+    @property
+    def observed(self) -> List[Tuple[str, UpdateMessage]]:
+        """All buffered (peer, update) seeds, oldest first per peer."""
+        return [
+            (peer_id, update)
+            for peer_id, buffer in self._observed.items()
+            for update in buffer
+        ]
+
+    def clear_observed(self) -> None:
+        self._observed.clear()
+
+    def pick_seed(
+        self, peer: Optional[str] = None
+    ) -> Optional[Tuple[str, UpdateMessage]]:
+        """The most recent observed input, optionally from a given peer."""
+        if peer is not None:
+            buffer = self._observed.get(peer)
+            if not buffer:
+                return None
+            return (peer, buffer[-1])
+        for peer_id in reversed(list(self._observed)):
+            buffer = self._observed[peer_id]
+            if buffer:
+                return (peer_id, buffer[-1])
+        return None
+
+    # -- exploration rounds -----------------------------------------------------
+
+    def run_round(
+        self,
+        peer: Optional[str] = None,
+        budget: Optional[ExplorationBudget] = None,
+        strategy: Optional[SearchStrategy] = None,
+        model: Optional[InputModel] = None,
+    ) -> Optional[SessionReport]:
+        """One checkpoint + exploration session from the latest seed.
+
+        Returns None when no input has been observed yet (nothing to
+        explore).  Wall-clock time spent is accumulated for the overhead
+        accounting in the CPU benchmark.
+        """
+        seed = self.pick_seed(peer)
+        if seed is None:
+            return None
+        peer_id, observed = seed
+        if model is None:
+            model = model_for(observed, self.policy, **self.model_kwargs)
+        started = time.perf_counter()
+        report = self.explorer.explore_update(
+            self.router, peer_id, observed, model=model, budget=budget, strategy=strategy
+        )
+        self.exploration_wall_seconds += time.perf_counter() - started
+        self.rounds.append(report)
+        return report
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def findings(self) -> List[Finding]:
+        """Unique findings across all rounds so far."""
+        seen: Dict[tuple, Finding] = {}
+        for round_report in self.rounds:
+            for finding in round_report.findings:
+                seen.setdefault(finding.dedup_key(), finding)
+        return list(seen.values())
+
+    def leaked_prefixes(self) -> List[Prefix]:
+        """All prefix ranges any round found leakable — the operator output."""
+        prefixes = set()
+        for round_report in self.rounds:
+            prefixes.update(round_report.leaked_prefixes())
+        return sorted(prefixes)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "rounds": len(self.rounds),
+            "observed_inputs": len(self.observed),
+            "total_executions": sum(r.exploration.executions for r in self.rounds),
+            "total_findings": len(self.findings()),
+            "leaked_prefixes": [str(p) for p in self.leaked_prefixes()],
+            "exploration_wall_seconds": round(self.exploration_wall_seconds, 4),
+        }

@@ -1,0 +1,192 @@
+"""Federated exploration: extending DiCE's horizon across the network.
+
+Section 2.4 sketches how single-node exploration becomes system-wide:
+"we could intercept all messages and let them go through isolated
+communication channels.  In addition, we would enable remote nodes to
+checkpoint their state and process these messages in isolation over
+their checkpointed states.  Effectively, this would extend the scope of
+the concolic execution engine to reach across the network."
+
+This module implements that sketch on our substrates:
+
+* every participating node (across administrative domains) is
+  checkpointed and cloned onto an isolated environment;
+* an :class:`IsolatedFabric` shuttles the messages clones generate to
+  the destination *clones* — never to live nodes — until the exploratory
+  wave quiesces or a hop budget runs out;
+* system-wide checks then run over the clone ensemble, using only the
+  privacy-preserving digests of :mod:`repro.core.privacy` for
+  cross-domain comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.env import ExplorationEnvironment
+from repro.core.privacy import OriginDigest, digest_conflicts
+from repro.util.errors import ExplorationError, IsolationViolation
+
+
+@dataclass
+class FabricStats:
+    """Message propagation counters for one exploratory wave."""
+
+    delivered: int = 0
+    rounds: int = 0
+    dropped_no_target: int = 0
+
+
+class IsolatedFabric:
+    """Clones of many nodes plus the isolated channels between them.
+
+    Construction checkpoints and clones every node.  ``inject`` runs an
+    exploratory input at one clone, then :meth:`propagate` repeatedly
+    drains each clone's captured outbound messages and delivers them to
+    the destination clone, simulating the isolated communication channels
+    of section 2.4.
+    """
+
+    def __init__(self, routers: Dict[str, BgpRouter], max_rounds: int = 16):
+        self.max_rounds = max_rounds
+        self.checkpoints: Dict[str, Checkpoint] = {}
+        self.clones: Dict[str, BgpRouter] = {}
+        self.envs: Dict[str, ExplorationEnvironment] = {}
+        self.stats = FabricStats()
+        for node_id, router in routers.items():
+            checkpoint = Checkpoint.capture(router, f"fed-{node_id}")
+            self.checkpoints[node_id] = checkpoint
+            env = ExplorationEnvironment(checkpoint_time=checkpoint.node_time)
+            clone = checkpoint.restore(env)
+            if not isinstance(clone, BgpRouter):
+                raise IsolationViolation(
+                    f"federated clone of {node_id!r} is not a BgpRouter"
+                )
+            self.clones[node_id] = clone
+            self.envs[node_id] = env
+
+    def inject(self, node_id: str, peer_id: str, update: UpdateMessage) -> None:
+        """Run an exploratory UPDATE at one clone's handler."""
+        if node_id not in self.clones:
+            raise ExplorationError(f"no clone for node {node_id!r}")
+        self.clones[node_id].handle_update(peer_id, update)
+
+    def propagate(self) -> FabricStats:
+        """Shuttle captured messages between clones until quiescence."""
+        for round_index in range(self.max_rounds):
+            moved = 0
+            for source_id, env in self.envs.items():
+                for captured in env.drain_captured():
+                    target = self.clones.get(captured.destination)
+                    if target is None:
+                        self.stats.dropped_no_target += 1
+                        continue
+                    target.on_message(source_id, captured.payload)
+                    moved += 1
+            self.stats.delivered += moved
+            self.stats.rounds = round_index + 1
+            if moved == 0:
+                break
+        return self.stats
+
+    def clone_of(self, node_id: str) -> BgpRouter:
+        return self.clones[node_id]
+
+
+@dataclass
+class GlobalFinding:
+    """A cross-domain inconsistency detected over digests.
+
+    ``stage`` records when the disagreement was visible: right after the
+    exploratory injection (``"pre-propagation"`` — the inconsistency
+    window a hijack opens) or after the wave quiesced
+    (``"post-propagation"`` — a standing disagreement like a MOAS
+    conflict).
+    """
+
+    prefix_digest: bytes
+    nodes: Tuple[str, str]
+    summary: str
+    stage: str = "post-propagation"
+
+
+@dataclass
+class FederatedReport:
+    """Outcome of one federated exploratory wave."""
+
+    stats: FabricStats
+    global_findings: List[GlobalFinding] = field(default_factory=list)
+    per_node_table_delta: Dict[str, int] = field(default_factory=dict)
+
+
+class FederatedExploration:
+    """One cross-network exploratory wave plus system-wide checking.
+
+    The check implemented is the federation-wide version of the origin
+    check: after the wave, every pair of domains compares *origin
+    digests* (salted hashes; see :mod:`repro.core.privacy`) and any
+    prefix on which two domains' views disagree about the origin AS is
+    reported — without either domain revealing its table or config.
+    """
+
+    def __init__(self, routers: Dict[str, BgpRouter], salt: bytes = b"dice-federation"):
+        self.routers = routers
+        self.salt = salt
+
+    def run(
+        self,
+        inject_at: str,
+        peer_id: str,
+        update: UpdateMessage,
+        max_rounds: int = 16,
+    ) -> FederatedReport:
+        fabric = IsolatedFabric(self.routers, max_rounds=max_rounds)
+        baseline_sizes = {
+            node_id: clone.table_size() for node_id, clone in fabric.clones.items()
+        }
+        fabric.inject(inject_at, peer_id, update)
+        # Check twice: right after the injection (the inconsistency window
+        # the exploratory action opens) and again after the wave quiesces
+        # (standing disagreements that propagation does not resolve).
+        findings = self._compare_digests(fabric, stage="pre-propagation")
+        stats = fabric.propagate()
+        post = self._compare_digests(fabric, stage="post-propagation")
+        seen = {(f.prefix_digest, f.nodes) for f in findings}
+        findings.extend(
+            f for f in post if (f.prefix_digest, f.nodes) not in seen
+        )
+        deltas = {
+            node_id: fabric.clones[node_id].table_size() - baseline_sizes[node_id]
+            for node_id in fabric.clones
+        }
+        return FederatedReport(stats, findings, deltas)
+
+    def _compare_digests(
+        self, fabric: IsolatedFabric, stage: str
+    ) -> List[GlobalFinding]:
+        digests = {
+            node_id: OriginDigest.from_router(clone, self.salt)
+            for node_id, clone in fabric.clones.items()
+        }
+        findings: List[GlobalFinding] = []
+        node_ids = sorted(digests)
+        for i, a in enumerate(node_ids):
+            for b in node_ids[i + 1:]:
+                for conflict in digest_conflicts(digests[a], digests[b]):
+                    findings.append(
+                        GlobalFinding(
+                            prefix_digest=conflict,
+                            nodes=(a, b),
+                            summary=(
+                                f"domains {a!r} and {b!r} disagree on the origin "
+                                f"of a prefix (digest {conflict.hex()[:12]}..., "
+                                f"{stage})"
+                            ),
+                            stage=stage,
+                        )
+                    )
+        return findings

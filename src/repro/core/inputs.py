@@ -1,0 +1,269 @@
+"""Symbolic input-marking policies for BGP UPDATE messages.
+
+Section 3.2 of the paper contrasts two ways to mark an UPDATE symbolic:
+
+* marking the **entire message** makes the engine "produce a large
+  variety of invalid messages that simply exercise the message parsing
+  code" — undesirable, because DiCE wants to explore node *actions*;
+* **selectively** marking small message-derived fields (the NLRI network
+  and netmask length, individual attribute values) keeps every generated
+  message syntactically valid and drives exploration deep into route
+  processing — "this approach is very effective in reducing the space of
+  exploration".
+
+Both policies are implemented as :class:`InputModel`s so the ablation
+benchmark (ABL-MARK in DESIGN.md) can run them head-to-head: a model
+declares the symbolic variables (:meth:`spec`) and rebuilds a handler
+input from a concrete assignment (:meth:`build`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+from repro.bgp.attributes import AsPath, AsPathSegment, PathAttributes
+from repro.bgp.messages import UpdateMessage, decode_message
+from repro.bgp.nlri import NlriEntry
+from repro.concolic.engine import InputSpec, SymbolicInputs, VarSpec
+from repro.concolic.symbolic import SymBytes, SymInt
+from repro.util.errors import WireFormatError
+from repro.util.ip import ADDR_BITS
+
+
+class InputModel:
+    """A marking policy: which parts of an observed input are symbolic."""
+
+    name = "base"
+
+    def spec(self) -> InputSpec:
+        """Symbolic variable declarations, seeded from the observed input."""
+        raise NotImplementedError
+
+    def build(self, inputs: SymbolicInputs) -> UpdateMessage:
+        """Materialize the handler input for one assignment.
+
+        The returned message carries :class:`SymInt` fields; feeding it to
+        the clone's ``handle_update`` records constraints on exactly the
+        marked fields.  Raises :class:`WireFormatError` if the assignment
+        denotes a syntactically invalid message (that check itself is a
+        recorded branch, mirroring parse-time validation).
+        """
+        raise NotImplementedError
+
+
+class SelectiveUpdateModel(InputModel):
+    """The paper's policy: mark NLRI fields (and optional attribute values).
+
+    The observed message's structure — attribute presence, lengths, path
+    segmentation — is preserved; only field *values* become symbolic, so
+    every explored message stays well-formed.
+    """
+
+    name = "selective"
+
+    def __init__(
+        self,
+        observed: UpdateMessage,
+        nlri_index: int = 0,
+        mark_network: bool = True,
+        mark_masklen: bool = True,
+        mark_med: bool = False,
+        mark_origin: bool = False,
+        mark_origin_asn: bool = False,
+        mark_local_pref: bool = False,
+    ):
+        if not observed.nlri:
+            raise ValueError("selective marking needs an UPDATE with NLRI")
+        if not 0 <= nlri_index < len(observed.nlri):
+            raise ValueError(f"nlri_index {nlri_index} out of range")
+        self.observed = observed
+        self.nlri_index = nlri_index
+        self.mark_network = mark_network
+        self.mark_masklen = mark_masklen
+        self.mark_med = mark_med
+        self.mark_origin = mark_origin
+        self.mark_origin_asn = mark_origin_asn
+        self.mark_local_pref = mark_local_pref
+
+    def spec(self) -> InputSpec:
+        spec = InputSpec()
+        entry = self.observed.nlri[self.nlri_index]
+        attrs = self.observed.attributes
+        if self.mark_network:
+            spec.declare("nlri_network", int(entry.network), bits=32)
+        if self.mark_masklen:
+            # 6 bits covers 0..63: lengths above 32 exist in the domain so
+            # the validity branch below is explorable, as it is on the wire.
+            spec.declare("nlri_masklen", int(entry.length), bits=6)
+        if self.mark_med:
+            spec.declare("med", int(attrs.med or 0), bits=32)
+        if self.mark_origin:
+            spec.declare("origin", int(attrs.origin), bits=2)
+        if self.mark_local_pref:
+            spec.declare("local_pref", int(attrs.local_pref or 100), bits=32)
+        if self.mark_origin_asn:
+            origin_asn = attrs.as_path.origin_as()
+            spec.declare("origin_asn", int(origin_asn or 0), bits=16)
+        if len(spec) == 0:
+            raise ValueError("selective model with every mark disabled")
+        return spec
+
+    def build(self, inputs: SymbolicInputs) -> UpdateMessage:
+        observed_entry = self.observed.nlri[self.nlri_index]
+        network = inputs["nlri_network"] if self.mark_network else observed_entry.network
+        length = inputs["nlri_masklen"] if self.mark_masklen else observed_entry.length
+        if length > ADDR_BITS:  # same check decode_nlri performs on the wire
+            raise WireFormatError("NLRI length exceeds 32", code=3, subcode=10)
+
+        attrs = self.observed.attributes.copy()
+        if self.mark_med:
+            attrs = dataclasses.replace(attrs, med=inputs["med"])
+        if self.mark_origin:
+            origin = inputs["origin"]
+            if origin > 2:  # wire validity, recorded as a branch
+                raise WireFormatError("invalid ORIGIN", code=3, subcode=6)
+            attrs = dataclasses.replace(attrs, origin=origin)
+        if self.mark_local_pref:
+            attrs = dataclasses.replace(attrs, local_pref=inputs["local_pref"])
+        if self.mark_origin_asn:
+            attrs = dataclasses.replace(
+                attrs, as_path=_replace_origin_asn(attrs.as_path, inputs["origin_asn"])
+            )
+
+        nlri = list(self.observed.nlri)
+        nlri[self.nlri_index] = NlriEntry(network, length)
+        return UpdateMessage(
+            withdrawn=list(self.observed.withdrawn),
+            attributes=attrs,
+            nlri=nlri,
+        )
+
+
+def _replace_origin_asn(path: AsPath, asn: Union[int, SymInt]) -> AsPath:
+    """The path with its last (origin) ASN swapped for ``asn``."""
+    if not path.segments:
+        return AsPath.sequence([asn])
+    segments = list(path.segments)
+    last = segments[-1]
+    if last.kind != 2 or not last.asns:  # not an AS_SEQUENCE: prepend a new one
+        return AsPath([*segments, AsPathSegment(2, (asn,))])
+    segments[-1] = AsPathSegment(last.kind, last.asns[:-1] + (asn,))
+    return AsPath(segments)
+
+
+class WholeMessageModel(InputModel):
+    """The ablation policy: every byte of the wire message is symbolic.
+
+    The handler input is produced by *decoding* the symbolic buffer, so
+    negated branches routinely yield messages that fail parsing — the
+    behavior the paper calls out as wasteful.  The decode failure is the
+    execution's outcome (a :class:`WireFormatError`), which the ablation
+    benchmark counts against this policy.
+    """
+
+    name = "whole-message"
+
+    def __init__(self, observed: UpdateMessage, max_symbolic_bytes: Optional[int] = None):
+        self.observed = observed
+        self.wire = observed.encode()
+        self.max_symbolic_bytes = max_symbolic_bytes
+
+    def spec(self) -> InputSpec:
+        spec = InputSpec()
+        limit = len(self.wire)
+        if self.max_symbolic_bytes is not None:
+            limit = min(limit, self.max_symbolic_bytes)
+        for index in range(limit):
+            spec.declare(f"byte_{index}", self.wire[index], bits=8)
+        return spec
+
+    def build(self, inputs: SymbolicInputs) -> UpdateMessage:
+        items: List[Union[int, SymInt]] = []
+        limit = len(self.wire)
+        symbolic_limit = limit
+        if self.max_symbolic_bytes is not None:
+            symbolic_limit = min(limit, self.max_symbolic_bytes)
+        for index in range(limit):
+            if index < symbolic_limit:
+                items.append(inputs[f"byte_{index}"])
+            else:
+                items.append(self.wire[index])
+        buffer = SymBytes(items)
+        message = decode_message(buffer)
+        if not isinstance(message, UpdateMessage):
+            raise WireFormatError("mutated message is no longer an UPDATE", code=1, subcode=3)
+        return message
+
+
+class OpenMessageModel(InputModel):
+    """Symbolic marking for OPEN messages (the paper's future-work item).
+
+    Section 3.2 focuses on UPDATEs because "the other state changing
+    messages are only responsible for establishing or tearing down
+    peerings and we leave them for future work".  This model implements
+    that extension: the OPEN's version, AS number, and hold time become
+    symbolic, letting exploration cover session-establishment behavior
+    (bad-peer-AS notifications, hold-time negotiation, version checks).
+    """
+
+    name = "open-message"
+
+    def __init__(
+        self,
+        observed: "OpenMessage",
+        mark_version: bool = True,
+        mark_my_as: bool = True,
+        mark_hold_time: bool = True,
+    ):
+        from repro.bgp.messages import OpenMessage
+
+        if not isinstance(observed, OpenMessage):
+            raise ValueError("OpenMessageModel needs an observed OPEN")
+        self.observed = observed
+        self.mark_version = mark_version
+        self.mark_my_as = mark_my_as
+        self.mark_hold_time = mark_hold_time
+
+    def spec(self) -> InputSpec:
+        spec = InputSpec()
+        if self.mark_version:
+            spec.declare("version", int(self.observed.version), bits=8)
+        if self.mark_my_as:
+            spec.declare("my_as", int(self.observed.my_as), bits=16)
+        if self.mark_hold_time:
+            spec.declare("hold_time", int(self.observed.hold_time), bits=16)
+        if len(spec) == 0:
+            raise ValueError("open model with every mark disabled")
+        return spec
+
+    def build(self, inputs: SymbolicInputs):
+        from repro.bgp.messages import OpenMessage
+
+        version = inputs["version"] if self.mark_version else self.observed.version
+        my_as = inputs["my_as"] if self.mark_my_as else self.observed.my_as
+        hold = inputs["hold_time"] if self.mark_hold_time else self.observed.hold_time
+        # The wire-validity checks decode_body performs, as explorable
+        # branches (symbolic-aware comparisons):
+        if version != 4:
+            raise WireFormatError("unsupported BGP version", code=2, subcode=1)
+        if (hold != 0) and (hold < 3):
+            raise WireFormatError("hold time must be 0 or >= 3", code=2, subcode=6)
+        return OpenMessage(
+            my_as=my_as,
+            hold_time=hold,
+            bgp_identifier=self.observed.bgp_identifier,
+            version=version,
+            opt_params=self.observed.opt_params,
+        )
+
+
+def model_for(
+    observed: UpdateMessage, policy: str = "selective", **kwargs
+) -> InputModel:
+    """Factory: an input model by policy name (``selective``/``whole-message``)."""
+    if policy == "selective":
+        return SelectiveUpdateModel(observed, **kwargs)
+    if policy == "whole-message":
+        return WholeMessageModel(observed, **kwargs)
+    raise ValueError(f"unknown marking policy {policy!r}")

@@ -1,0 +1,115 @@
+"""Findings and exploration-session reports.
+
+A *finding* is DiCE's output: a concrete input (derived by the concolic
+engine) that drives the node into behavior a checker flags — a potential
+prefix hijack, a handler crash, a violated invariant.  The paper stresses
+actionability: "DiCE clearly states which prefix ranges can be leaked",
+so findings carry the offending prefix and enough context for an operator
+to write the missing filter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.concolic.engine import ExplorationReport
+from repro.util.ip import Prefix
+
+
+class FindingKind(enum.Enum):
+    PREFIX_HIJACK = "prefix-hijack"
+    HANDLER_CRASH = "handler-crash"
+    INVARIANT_VIOLATION = "invariant-violation"
+    SESSION_RESET = "session-reset"
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One fault DiCE detected during exploration."""
+
+    kind: FindingKind
+    severity: Severity
+    summary: str
+    prefix: Optional[Prefix] = None
+    peer: Optional[str] = None
+    expected_origin: Optional[int] = None
+    observed_origin: Optional[int] = None
+    assignment: Tuple[Tuple[str, int], ...] = ()
+    details: str = ""
+
+    def dedup_key(self) -> tuple:
+        """Findings agreeing on this key are the same underlying fault."""
+        return (
+            self.kind,
+            self.prefix,
+            self.peer,
+            self.expected_origin,
+            self.observed_origin,
+            self.summary if self.kind == FindingKind.HANDLER_CRASH else "",
+        )
+
+    def describe(self) -> str:
+        parts = [f"[{self.severity.name}] {self.kind.value}: {self.summary}"]
+        if self.prefix is not None:
+            parts.append(f"prefix={self.prefix}")
+        if self.peer is not None:
+            parts.append(f"via peer={self.peer}")
+        if self.expected_origin is not None or self.observed_origin is not None:
+            parts.append(
+                f"origin AS{self.expected_origin} -> AS{self.observed_origin}"
+            )
+        if self.assignment:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.assignment)
+            parts.append(f"input({rendered})")
+        return " ".join(parts)
+
+
+@dataclass
+class SessionReport:
+    """Everything one DiCE exploration session produced."""
+
+    peer: str
+    model_name: str
+    exploration: ExplorationReport
+    findings: List[Finding] = field(default_factory=list)
+    checkpoint_pages: int = 0
+    checkpoint_seconds: float = 0.0
+    clone_count: int = 0
+
+    def unique_findings(self) -> List[Finding]:
+        seen: Dict[tuple, Finding] = {}
+        for finding in self.findings:
+            seen.setdefault(finding.dedup_key(), finding)
+        return list(seen.values())
+
+    def hijack_findings(self) -> List[Finding]:
+        return [
+            f for f in self.unique_findings() if f.kind == FindingKind.PREFIX_HIJACK
+        ]
+
+    def leaked_prefixes(self) -> List[Prefix]:
+        """The actionable output: which prefix ranges can be leaked."""
+        return sorted(
+            {f.prefix for f in self.hijack_findings() if f.prefix is not None}
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "peer": self.peer,
+            "model": self.model_name,
+            "executions": self.exploration.executions,
+            "unique_paths": self.exploration.unique_paths,
+            "findings": len(self.unique_findings()),
+            "hijacks": len(self.hijack_findings()),
+            "clone_count": self.clone_count,
+            "stop_reason": self.exploration.stop_reason,
+            "wall_seconds": round(self.exploration.wall_seconds, 4),
+        }

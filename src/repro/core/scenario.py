@@ -1,0 +1,204 @@
+"""The paper's experimental setup (Figure 2): Customer — Provider — Internet.
+
+Builds the 3-router topology of the evaluation: a DiCE-enabled Provider
+router peering with a Customer AS over a customer-provider link and with
+the "rest of the Internet", which replays a (synthetic) RouteViews trace
+into it.  The provider applies customer route filtering — "a best common
+practice currently adopted by several large ISPs to defend against BGP
+prefix hijacking" — in one of three configurations:
+
+* ``correct``  — the filter accepts exactly the customer's prefix set;
+* ``missing``  — no filtering at all (PCCW's mistake in the YouTube
+  incident: "fails to filter customer routes");
+* ``erroneous`` — the filter exists but has a hole ("has erroneous
+  filters"): an over-broad disjunct accepts foreign prefixes of common
+  lengths.
+
+The scenario wires everything, converges the network, and hands back the
+pieces every experiment needs (routers, DiCE controller, replayer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bgp.router import BgpRouter
+from repro.core.dice import DiCE, DiceEnabledRouter
+from repro.net.node import NodeHost
+from repro.trace.mrt import Trace
+from repro.trace.replay import TraceReplayer
+from repro.trace.routeviews import TraceConfig, RouteViewsGenerator
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+
+PROVIDER_AS = 65010
+CUSTOMER_AS = 65020
+INTERNET_AS = 64999
+
+#: The customer's legitimate address space (what a correct filter allows).
+CUSTOMER_PREFIXES = ("10.10.0.0/16", "10.20.0.0/16")
+
+FILTER_MODES = ("correct", "missing", "erroneous")
+
+
+def provider_config(filter_mode: str = "correct") -> str:
+    """The Provider's configuration text for a given filter mode."""
+    if filter_mode not in FILTER_MODES:
+        raise ConfigError(f"unknown filter mode {filter_mode!r}; use {FILTER_MODES}")
+    if filter_mode == "correct":
+        customer_filter = """
+filter customer-in {
+    if net in CUSTOMERS then accept;
+    reject;
+}
+"""
+    elif filter_mode == "missing":
+        # No validation at all: every customer announcement is accepted.
+        customer_filter = """
+filter customer-in {
+    accept;
+}
+"""
+    else:  # erroneous
+        # A partially correct filter: the intended prefix-set term is
+        # there, but a sloppy extra disjunct ("anything reasonably sized
+        # is fine") opens the hole DiCE should find.
+        customer_filter = """
+filter customer-in {
+    if net in CUSTOMERS or (net.len >= 16 and net.len <= 24) then accept;
+    reject;
+}
+"""
+    return f"""
+router bgp {PROVIDER_AS};
+router-id 10.0.0.1;
+network 203.0.113.0/24;
+
+prefix-set CUSTOMERS {{
+    {CUSTOMER_PREFIXES[0]} le 24;
+    {CUSTOMER_PREFIXES[1]} le 24;
+}}
+
+{customer_filter}
+
+neighbor customer {{
+    remote-as {CUSTOMER_AS};
+    import filter customer-in;
+    export filter accept-all;
+}}
+
+neighbor internet {{
+    remote-as {INTERNET_AS};
+    passive;
+    import filter accept-all;
+    export filter accept-all;
+}}
+"""
+
+
+def customer_config() -> str:
+    return f"""
+router bgp {CUSTOMER_AS};
+router-id 10.0.0.2;
+network 10.10.1.0/24;
+network 10.20.5.0/24;
+
+neighbor provider {{
+    remote-as {PROVIDER_AS};
+    passive;
+    import filter accept-all;
+    export filter accept-all;
+}}
+"""
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs for building the Figure 2 testbed."""
+
+    filter_mode: str = "erroneous"
+    prefix_count: int = 5_000
+    update_count: int = 500
+    trace_duration: float = 900.0
+    seed: int = 2010_04_01
+    replay_compression: float = 0.0    # 0 = full speed (paper's "full load")
+    anycast_whitelist: List[Prefix] = field(default_factory=list)
+    dice_policy: str = "selective"
+
+
+@dataclass
+class Fig2Scenario:
+    """The built testbed: hosts, routers, replayer, and DiCE."""
+
+    config: ScenarioConfig
+    host: NodeHost
+    provider: DiceEnabledRouter
+    customer: BgpRouter
+    replayer: TraceReplayer
+    trace: Trace
+    dice: DiCE
+
+    def converge(self, run_until: Optional[float] = None) -> None:
+        """Run the event loop until the network quiesces (or a deadline)."""
+        if run_until is None:
+            self.host.run()
+        else:
+            self.host.run_until(run_until)
+
+    @property
+    def provider_table_size(self) -> int:
+        return self.provider.table_size()
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
+    """Construct (but do not run) the Figure 2 testbed."""
+    config = config or ScenarioConfig()
+    trace = RouteViewsGenerator(
+        TraceConfig(
+            prefix_count=config.prefix_count,
+            update_count=config.update_count,
+            duration=config.trace_duration,
+            seed=config.seed,
+        )
+    ).generate()
+
+    host = NodeHost(seed=config.seed)
+    provider = host.add_node(
+        "provider",
+        lambda nid, env: DiceEnabledRouter(nid, env, provider_config(config.filter_mode)),
+    )
+    customer = host.add_node(
+        "customer", lambda nid, env: BgpRouter(nid, env, customer_config())
+    )
+    replayer = host.add_node(
+        "internet",
+        lambda nid, env: TraceReplayer(
+            nid,
+            env,
+            host.sim,
+            "provider",
+            trace,
+            local_as=INTERNET_AS,
+            peer_as=PROVIDER_AS,
+            compression=config.replay_compression,
+        ),
+    )
+    host.add_link("provider", "customer", latency=0.001)
+    host.add_link("provider", "internet", latency=0.001)
+
+    dice = DiCE(
+        provider,
+        policy=config.dice_policy,
+        anycast_whitelist=config.anycast_whitelist,
+    )
+    host.start()
+    return Fig2Scenario(
+        config=config,
+        host=host,
+        provider=provider,  # type: ignore[arg-type]
+        customer=customer,
+        replayer=replayer,
+        trace=trace,
+        dice=dice,
+    )

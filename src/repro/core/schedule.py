@@ -1,0 +1,136 @@
+"""Online scheduling: exploration rounds alongside the running system.
+
+The paper's deployment model pins the live BIRD process and the explorer
+on separate cores, with the explorer sharing one core with its clones and
+exploration happening "off the critical path" (section 3.2, 4.1).  In the
+single-threaded simulator the analogue is interleaving: the scheduler
+fires an exploration round every ``interval`` simulated seconds, between
+message deliveries.  The live node is paused exactly for the duration of
+each round — which is what the CPU benchmark measures as overhead, the
+same way the paper measures updates/second with exploration on and off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.concolic.engine import ExplorationBudget
+from repro.core.dice import DiCE
+from repro.net.node import NodeHost
+
+
+@dataclass
+class ScheduleConfig:
+    """When and how much to explore."""
+
+    interval: float = 60.0            # simulated seconds between rounds
+    budget: ExplorationBudget = field(
+        default_factory=lambda: ExplorationBudget(max_executions=48)
+    )
+    peer: Optional[str] = None        # restrict seeds to one peer
+    max_rounds: Optional[int] = None  # stop after this many rounds
+    start_after: float = 0.0          # delay before the first round
+
+
+@dataclass
+class ScheduleStats:
+    rounds_fired: int = 0
+    rounds_skipped: int = 0           # fired with no observed seed yet
+    wall_seconds: float = 0.0
+    last_fired_at: float = 0.0
+
+
+class OnlineScheduler:
+    """Drives periodic DiCE rounds on the simulator's clock."""
+
+    def __init__(self, host: NodeHost, dice: DiCE, config: Optional[ScheduleConfig] = None):
+        self.host = host
+        self.dice = dice
+        self.config = config or ScheduleConfig()
+        self.stats = ScheduleStats()
+        self._stopped = False
+        self._handle = None
+
+    def start(self) -> None:
+        """Arm the first round."""
+        self._stopped = False
+        delay = self.config.start_after or self.config.interval
+        self._handle = self.host.set_timer(delay, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        started = time.perf_counter()
+        report = self.dice.run_round(
+            peer=self.config.peer, budget=self.config.budget
+        )
+        self.stats.wall_seconds += time.perf_counter() - started
+        self.stats.last_fired_at = self.host.sim.now
+        if report is None:
+            self.stats.rounds_skipped += 1
+        else:
+            self.stats.rounds_fired += 1
+        if (
+            self.config.max_rounds is not None
+            and self.stats.rounds_fired >= self.config.max_rounds
+        ):
+            self.stop()
+            return
+        self._handle = self.host.set_timer(self.config.interval, self._fire)
+
+
+@dataclass
+class ThroughputProbe:
+    """Measures live update throughput in wall-clock terms.
+
+    The CPU benchmark wraps a replay with one probe per configuration
+    (exploration on / off) and compares ``updates_per_second`` — the
+    paper's "number of BGP update messages the DiCE-enabled router
+    handles per second".
+    """
+
+    updates_processed: int = 0
+    wall_seconds: float = 0.0
+    _started: float = 0.0
+
+    def __enter__(self) -> "ThroughputProbe":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_seconds = time.perf_counter() - self._started
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.updates_processed / self.wall_seconds
+
+
+def measure_throughput(
+    host: NodeHost,
+    router_counters,
+    run_until: Optional[float] = None,
+) -> ThroughputProbe:
+    """Drain the host's event queue, counting the router's update intake."""
+    before = router_counters["updates_received"]
+    probe = ThroughputProbe()
+    with probe:
+        if run_until is None:
+            host.run()
+        else:
+            host.run_until(run_until)
+    probe.updates_processed = router_counters["updates_received"] - before
+    return probe

@@ -1,0 +1,16 @@
+"""Discrete-event network simulation: the testbed substrate."""
+
+from repro.net.channel import Link, LinkStats, Network
+from repro.net.node import LiveEnvironment, NodeHost, SimNode
+from repro.net.sim import EventHandle, Simulator
+
+__all__ = [
+    "EventHandle",
+    "Link",
+    "LinkStats",
+    "LiveEnvironment",
+    "Network",
+    "NodeHost",
+    "SimNode",
+    "Simulator",
+]

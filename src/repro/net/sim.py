@@ -1,0 +1,135 @@
+"""A deterministic discrete-event simulator.
+
+The paper's testbed runs three BIRD instances over virtual interfaces on
+one machine; our equivalent executes router nodes inside a single-threaded
+event loop with explicit simulated time.  Determinism matters more than
+wall-clock fidelity here — every experiment must replay identically from a
+seed — so events at equal timestamps are ordered by insertion sequence,
+and nothing ever reads the host clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.util.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Single-threaded priority-queue event loop with simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        event = _Event(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        event = _Event(when, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Execute the next pending event; False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (up to ``max_events``); returns events executed."""
+        if self._running:
+            raise SimulationError("simulator re-entered from within an event")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue if max_events is None else (
+                self._queue and executed < max_events
+            ):
+                if self.step():
+                    executed += 1
+                else:
+                    break
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, deadline: float) -> int:
+        """Execute events with time <= ``deadline``; clock ends at deadline."""
+        if deadline < self._now:
+            raise SimulationError(f"deadline {deadline} is in the past")
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, deadline)
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Events waiting (including cancelled tombstones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def idle(self) -> bool:
+        return self.pending == 0

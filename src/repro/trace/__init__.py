@@ -1,0 +1,34 @@
+"""Routing traces: MRT-like records, synthetic RouteViews data, replay."""
+
+from repro.trace.mrt import (
+    KIND_ANNOUNCE,
+    KIND_WITHDRAW,
+    Trace,
+    TraceRecord,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from repro.trace.replay import ReplayStats, TraceReplayer
+from repro.trace.routeviews import (
+    MASKLEN_WEIGHTS,
+    RouteViewsGenerator,
+    TraceConfig,
+    generate_trace,
+)
+
+__all__ = [
+    "KIND_ANNOUNCE",
+    "KIND_WITHDRAW",
+    "MASKLEN_WEIGHTS",
+    "ReplayStats",
+    "RouteViewsGenerator",
+    "Trace",
+    "TraceConfig",
+    "TraceRecord",
+    "TraceReplayer",
+    "generate_trace",
+    "iter_trace",
+    "read_trace",
+    "write_trace",
+]

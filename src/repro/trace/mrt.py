@@ -1,0 +1,152 @@
+"""A simplified MRT-like trace record format.
+
+The paper replays "a full dump plus 15-min updates trace" from
+RouteViews (route-views.eqix, 2010-04-01).  Real MRT is a container
+format with many subtypes; our traces need exactly two record kinds —
+announce and withdraw — each carrying a timestamp, a prefix, and (for
+announcements) the path attributes.  Records serialize to a compact
+binary form so traces are real on-disk artifacts that can be written,
+shipped, and re-read, not just in-memory lists.
+
+Layout::
+
+    file   := magic "DMRT" | version u16 | count u32 | record*
+    record := timestamp f64 | kind u8 | masklen u8 | network u32
+              | attr_len u16 | attributes bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.bgp.attributes import PathAttributes, decode_attributes, encode_attributes
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix
+
+MAGIC = b"DMRT"
+VERSION = 1
+
+KIND_ANNOUNCE = 1
+KIND_WITHDRAW = 2
+
+_HEADER = struct.Struct(">4sHI")
+_RECORD_FIXED = struct.Struct(">dBBIH")
+
+
+@dataclass
+class TraceRecord:
+    """One routing event: an announcement or a withdrawal."""
+
+    timestamp: float
+    kind: int
+    prefix: Prefix
+    attributes: Optional[PathAttributes] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_ANNOUNCE, KIND_WITHDRAW):
+            raise WireFormatError(f"unknown trace record kind {self.kind}")
+        if self.kind == KIND_ANNOUNCE and self.attributes is None:
+            raise WireFormatError("announce records require attributes")
+
+    @property
+    def is_announce(self) -> bool:
+        return self.kind == KIND_ANNOUNCE
+
+    @classmethod
+    def announce(
+        cls, timestamp: float, prefix: Prefix, attributes: PathAttributes
+    ) -> "TraceRecord":
+        return cls(timestamp, KIND_ANNOUNCE, prefix, attributes)
+
+    @classmethod
+    def withdraw(cls, timestamp: float, prefix: Prefix) -> "TraceRecord":
+        return cls(timestamp, KIND_WITHDRAW, prefix)
+
+    def origin_as(self) -> Optional[int]:
+        if self.attributes is None:
+            return None
+        origin = self.attributes.as_path.origin_as()
+        return None if origin is None else int(origin)
+
+
+def write_trace(records: List[TraceRecord]) -> bytes:
+    """Serialize records to the binary trace format."""
+    out = bytearray(_HEADER.pack(MAGIC, VERSION, len(records)))
+    for record in records:
+        attr_bytes = (
+            encode_attributes(record.attributes) if record.attributes is not None else b""
+        )
+        out.extend(
+            _RECORD_FIXED.pack(
+                record.timestamp,
+                record.kind,
+                record.prefix.length,
+                record.prefix.network,
+                len(attr_bytes),
+            )
+        )
+        out.extend(attr_bytes)
+    return bytes(out)
+
+
+def iter_trace(data: bytes) -> Iterator[TraceRecord]:
+    """Stream records from serialized trace bytes."""
+    if len(data) < _HEADER.size:
+        raise WireFormatError("trace shorter than header")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad trace magic {magic!r}")
+    if version != VERSION:
+        raise WireFormatError(f"unsupported trace version {version}")
+    offset = _HEADER.size
+    for _ in range(count):
+        if offset + _RECORD_FIXED.size > len(data):
+            raise WireFormatError("truncated trace record")
+        timestamp, kind, masklen, network, attr_len = _RECORD_FIXED.unpack_from(
+            data, offset
+        )
+        offset += _RECORD_FIXED.size
+        attributes: Optional[PathAttributes] = None
+        if attr_len:
+            if offset + attr_len > len(data):
+                raise WireFormatError("truncated trace attributes")
+            attributes = decode_attributes(data[offset:offset + attr_len])
+            offset += attr_len
+        yield TraceRecord(timestamp, kind, Prefix(network, masklen), attributes)
+
+
+def read_trace(data: bytes) -> List[TraceRecord]:
+    """All records of a serialized trace."""
+    return list(iter_trace(data))
+
+
+@dataclass
+class Trace:
+    """A full trace: the table dump plus the timed update stream."""
+
+    dump: List[TraceRecord] = field(default_factory=list)
+    updates: List[TraceRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if not self.updates:
+            return 0.0
+        return self.updates[-1].timestamp - self.updates[0].timestamp
+
+    def prefixes(self) -> set:
+        return {record.prefix for record in self.dump}
+
+    def serialize(self) -> bytes:
+        """One byte blob: dump records (t=0) then updates, concatenated."""
+        return write_trace(self.dump + self.updates)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Trace":
+        """Split on timestamp: t == 0 records form the dump."""
+        dump: List[TraceRecord] = []
+        updates: List[TraceRecord] = []
+        for record in iter_trace(data):
+            (dump if record.timestamp == 0.0 else updates).append(record)
+        return cls(dump, updates)

@@ -1,0 +1,243 @@
+"""Synthetic RouteViews-style trace generation.
+
+The paper's evaluation loads 319,355 prefixes from a RouteViews dump of
+route-views.eqix (2010-04-01) and replays a 15-minute update trace.  The
+real dataset is an external artifact (and full Internet scale is
+gratuitous in pure Python), so this module synthesizes traces that
+preserve the properties the experiments depend on:
+
+* a large table with realistic mask-length mix (heavily /24, then
+  /16-/23, few short prefixes) spread across public address space;
+* AS paths of realistic depth drawn from a skewed (Zipf-like) AS
+  popularity distribution, giving every prefix a stable origin AS —
+  the structure hijack detection keys on;
+* a timestamped update stream over a configurable window mixing
+  re-announcements with changed paths, fresh more-specifics,
+  withdrawals, and flap re-announcements.
+
+Everything is deterministic in the seed.  ``prefix_count`` scales the
+table: 20,000 keeps the full pipeline fast in CI; passing 319_355
+reproduces the paper's scale when you have minutes to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import (
+    AsPath,
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    PathAttributes,
+)
+from repro.trace.mrt import Trace, TraceRecord
+from repro.util.ip import Prefix
+from repro.util.rng import derive_rng
+
+#: Mask-length distribution loosely matching Internet tables: (length, weight).
+MASKLEN_WEIGHTS: Sequence[Tuple[int, float]] = (
+    (24, 0.55), (23, 0.07), (22, 0.08), (21, 0.05), (20, 0.06),
+    (19, 0.05), (18, 0.04), (17, 0.02), (16, 0.05), (15, 0.01),
+    (14, 0.01), (13, 0.005), (12, 0.005), (11, 0.004), (10, 0.003),
+    (9, 0.002), (8, 0.006),
+)
+
+#: First octets treated as public and usable by the generator.
+PUBLIC_FIRST_OCTETS = tuple(
+    octet for octet in range(1, 224)
+    if octet not in (10, 127, 169, 172, 192)
+)
+
+
+@dataclass
+class TraceConfig:
+    """Knobs for synthetic trace generation."""
+
+    prefix_count: int = 20_000
+    update_count: int = 2_000
+    duration: float = 900.0            # the paper's 15-minute window
+    as_count: int = 600                # size of the AS population
+    origin_as_count: int = 400         # ASes that originate prefixes
+    max_path_len: int = 6
+    seed: int = 2010_04_01
+    #: Mix of update event kinds (must sum to 1.0).
+    p_reannounce: float = 0.60
+    p_new_specific: float = 0.12
+    p_withdraw: float = 0.18
+    p_flap: float = 0.10
+
+
+class RouteViewsGenerator:
+    """Builds deterministic synthetic full-dump + update traces."""
+
+    def __init__(self, config: Optional[TraceConfig] = None):
+        self.config = config or TraceConfig()
+        weights_total = (
+            self.config.p_reannounce
+            + self.config.p_new_specific
+            + self.config.p_withdraw
+            + self.config.p_flap
+        )
+        if abs(weights_total - 1.0) > 1e-9:
+            raise ValueError(f"update-kind probabilities sum to {weights_total}")
+
+    # -- building blocks --------------------------------------------------------
+
+    def _as_population(self) -> List[int]:
+        """ASNs with Zipf-like popularity: earlier entries appear more."""
+        rng = derive_rng(self.config.seed, "as-population")
+        asns = rng.sample(range(1000, 64000), self.config.as_count)
+        return asns
+
+    def _pick_transit(self, rng, population: List[int]) -> int:
+        """Skewed pick: low indices (big transit ASes) dominate."""
+        index = min(
+            int(rng.paretovariate(1.3)) - 1, len(population) - 1
+        )
+        return population[index]
+
+    def _make_path(self, rng, population: List[int], origin: int) -> AsPath:
+        """A loop-free AS_SEQUENCE ending at ``origin``."""
+        hops = rng.randint(1, self.config.max_path_len)
+        path: List[int] = []
+        for _ in range(hops - 1):
+            candidate = self._pick_transit(rng, population)
+            if candidate != origin and candidate not in path:
+                path.append(candidate)
+        path.append(origin)
+        return AsPath.sequence(path)
+
+    def _make_attributes(self, rng, population: List[int], origin: int) -> PathAttributes:
+        origin_code = rng.choices(
+            (ORIGIN_IGP, ORIGIN_EGP, ORIGIN_INCOMPLETE), weights=(0.85, 0.02, 0.13)
+        )[0]
+        med = rng.randint(0, 200) if rng.random() < 0.25 else None
+        communities: Tuple[int, ...] = ()
+        if rng.random() < 0.15:
+            communities = tuple(
+                (self._pick_transit(rng, population) << 16) | rng.randint(1, 999)
+                for _ in range(rng.randint(1, 3))
+            )
+        return PathAttributes(
+            origin=origin_code,
+            as_path=self._make_path(rng, population, origin),
+            next_hop=0x0A000001,  # rewritten by the announcing peer anyway
+            med=med,
+            communities=communities,
+        )
+
+    def _sample_prefix(self, rng, taken: set) -> Prefix:
+        lengths, weights = zip(*MASKLEN_WEIGHTS)
+        while True:
+            length = rng.choices(lengths, weights=weights)[0]
+            first = rng.choice(PUBLIC_FIRST_OCTETS)
+            rest = rng.getrandbits(24)
+            prefix = Prefix((first << 24) | rest, length)
+            if prefix not in taken:
+                taken.add(prefix)
+                return prefix
+
+    # -- the full dump -------------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """The full trace: table dump at t=0 plus the update stream."""
+        config = self.config
+        population = self._as_population()
+        origin_pool = population[:config.origin_as_count]
+        dump_rng = derive_rng(config.seed, "dump")
+        taken: set = set()
+        origin_of: Dict[Prefix, int] = {}
+        dump: List[TraceRecord] = []
+        for _ in range(config.prefix_count):
+            prefix = self._sample_prefix(dump_rng, taken)
+            origin = dump_rng.choice(origin_pool)
+            origin_of[prefix] = origin
+            attributes = self._make_attributes(dump_rng, population, origin)
+            dump.append(TraceRecord.announce(0.0, prefix, attributes))
+
+        updates = self._generate_updates(population, origin_pool, origin_of, taken)
+        return Trace(dump, updates)
+
+    def _generate_updates(
+        self,
+        population: List[int],
+        origin_pool: List[int],
+        origin_of: Dict[Prefix, int],
+        taken: set,
+    ) -> List[TraceRecord]:
+        config = self.config
+        rng = derive_rng(config.seed, "updates")
+        known = list(origin_of)
+        withdrawn: List[Prefix] = []
+        updates: List[TraceRecord] = []
+        # Poisson-ish arrivals: exponential gaps normalized to the window.
+        gaps = [rng.expovariate(1.0) for _ in range(config.update_count)]
+        scale = config.duration / (sum(gaps) or 1.0)
+        now = 0.0
+        for gap in gaps:
+            now += gap * scale
+            kind = rng.random()
+            if kind < config.p_reannounce and known:
+                # Path change on an existing prefix (same origin).
+                prefix = rng.choice(known)
+                origin = origin_of[prefix]
+                updates.append(
+                    TraceRecord.announce(
+                        now, prefix, self._make_attributes(rng, population, origin)
+                    )
+                )
+            elif kind < config.p_reannounce + config.p_new_specific:
+                # A fresh, typically more-specific announcement.
+                prefix = self._sample_prefix(rng, taken)
+                origin = rng.choice(origin_pool)
+                origin_of[prefix] = origin
+                known.append(prefix)
+                updates.append(
+                    TraceRecord.announce(
+                        now, prefix, self._make_attributes(rng, population, origin)
+                    )
+                )
+            elif kind < (
+                config.p_reannounce + config.p_new_specific + config.p_withdraw
+            ) and known:
+                prefix = rng.choice(known)
+                known.remove(prefix)
+                withdrawn.append(prefix)
+                updates.append(TraceRecord.withdraw(now, prefix))
+            elif withdrawn:
+                # Flap: a withdrawn prefix comes back.
+                prefix = withdrawn.pop(rng.randrange(len(withdrawn)))
+                known.append(prefix)
+                origin = origin_of[prefix]
+                updates.append(
+                    TraceRecord.announce(
+                        now, prefix, self._make_attributes(rng, population, origin)
+                    )
+                )
+            elif known:
+                prefix = rng.choice(known)
+                origin = origin_of[prefix]
+                updates.append(
+                    TraceRecord.announce(
+                        now, prefix, self._make_attributes(rng, population, origin)
+                    )
+                )
+        return updates
+
+
+def generate_trace(
+    prefix_count: int = 20_000,
+    update_count: int = 2_000,
+    duration: float = 900.0,
+    seed: int = 2010_04_01,
+) -> Trace:
+    """Convenience wrapper around :class:`RouteViewsGenerator`."""
+    config = TraceConfig(
+        prefix_count=prefix_count,
+        update_count=update_count,
+        duration=duration,
+        seed=seed,
+    )
+    return RouteViewsGenerator(config).generate()

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string/int was malformed."""
+
+
+class WireFormatError(ReproError):
+    """A BGP message could not be encoded or decoded.
+
+    Mirrors the situations in which a real BGP speaker would emit a
+    NOTIFICATION with a *Message Header Error* or *UPDATE Message Error*
+    code.  The :attr:`code` / :attr:`subcode` attributes carry the RFC 4271
+    error codes so the FSM can translate a decode failure into the right
+    NOTIFICATION.
+    """
+
+    def __init__(self, message: str, code: int = 0, subcode: int = 0):
+        super().__init__(message)
+        self.code = code
+        self.subcode = subcode
+
+
+class ConfigError(ReproError):
+    """The BIRD-like configuration text failed to parse or validate."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SolverError(ReproError):
+    """The constraint solver could not make progress on a query."""
+
+
+class SymbolicError(ReproError):
+    """A concolic value was used in an unsupported way."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint creation, cloning, or restoration failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class IsolationViolation(ReproError):
+    """An exploration clone attempted to touch the live system.
+
+    Raised by the isolation layer when a cloned node tries to send a
+    message over a live channel; the paper's design (section 2.3) requires
+    exploration to be fully isolated from the deployed system, so this is
+    treated as a hard programming error rather than a recoverable fault.
+    """
+
+
+class ExplorationError(ReproError):
+    """The DiCE exploration loop hit an unrecoverable condition."""
+
+
+class PrivacyViolation(ReproError):
+    """Raw private state was about to cross an administrative boundary."""

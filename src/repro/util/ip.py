@@ -1,0 +1,331 @@
+"""IPv4 addresses, prefixes, and a longest-prefix-match trie.
+
+BGP is prefix-centric: RIB keys, NLRI fields, filter terms and the hijack
+checker all manipulate ``address/length`` pairs.  The standard library's
+:mod:`ipaddress` module is convenient but slow and allocation-heavy for the
+volumes a routing table replay pushes through it, so this module provides a
+small, slot-based :class:`Prefix` plus a binary :class:`PrefixTrie` with the
+operations the rest of the library needs:
+
+* exact match, longest-prefix match,
+* enumeration of covered (more-specific) prefixes,
+* overlap tests used by policy filters (``prefix in 10.0.0.0/8``).
+
+All addresses are IPv4 and internally plain ``int`` in ``[0, 2**32)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.util.errors import AddressError
+
+#: Number of bits in an IPv4 address.
+ADDR_BITS = 32
+
+#: Largest representable address, 255.255.255.255.
+ADDR_MAX = (1 << ADDR_BITS) - 1
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad ``text`` into an integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255 or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format integer ``value`` as a dotted quad.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= ADDR_MAX:
+        raise AddressError(f"address {value} out of IPv4 range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mask_for(length: int) -> int:
+    """Return the network mask integer for a prefix ``length``.
+
+    >>> hex(mask_for(8))
+    '0xff000000'
+    """
+    if not 0 <= length <= ADDR_BITS:
+        raise AddressError(f"prefix length {length} out of range 0..32")
+    if length == 0:
+        return 0
+    return (ADDR_MAX << (ADDR_BITS - length)) & ADDR_MAX
+
+
+class Prefix:
+    """An IPv4 network prefix: a network address and a mask length.
+
+    Instances are immutable, hashable, and canonical — host bits below the
+    mask are zeroed at construction so ``10.1.2.3/8`` equals ``10.0.0.0/8``.
+
+    Ordering sorts by network address first and mask length second, which
+    puts covering prefixes immediately before their subnets — the order BGP
+    table dumps conventionally use.
+    """
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, network: int, length: int):
+        if not 0 <= length <= ADDR_BITS:
+            raise AddressError(f"prefix length {length} out of range 0..32")
+        if not 0 <= network <= ADDR_MAX:
+            raise AddressError(f"network {network} out of IPv4 range")
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "network", network & mask_for(length))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self):
+        # Default slot-state pickling would call the blocked __setattr__.
+        return (Prefix, (self.network, self.length))
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means a /32).
+
+        >>> Prefix.parse("10.0.0.0/8")
+        Prefix('10.0.0.0/8')
+        """
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise AddressError(f"malformed prefix {text!r}")
+            return cls(ip_to_int(addr_text), int(len_text))
+        return cls(ip_to_int(text), ADDR_BITS)
+
+    @property
+    def mask(self) -> int:
+        """The network mask as an integer."""
+        return mask_for(self.length)
+
+    @property
+    def broadcast(self) -> int:
+        """The highest address covered by this prefix."""
+        return self.network | (ADDR_MAX ^ self.mask)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered (``2**(32-length)``)."""
+        return 1 << (ADDR_BITS - self.length)
+
+    def contains_address(self, address: int) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (address & self.mask) == self.network
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than ``self``."""
+        return self.length <= other.length and self.contains_address(other.network)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share at least one address."""
+        return self.covers(other) or other.covers(self)
+
+    def supernet(self) -> "Prefix":
+        """The covering prefix one bit shorter; a /0 is its own supernet."""
+        if self.length == 0:
+            return self
+        return Prefix(self.network, self.length - 1)
+
+    def subnets(self) -> tuple["Prefix", "Prefix"]:
+        """Split into the two half-size subnets."""
+        if self.length >= ADDR_BITS:
+            raise AddressError("cannot subnet a /32")
+        child_len = self.length + 1
+        low = Prefix(self.network, child_len)
+        high = Prefix(self.network | (1 << (ADDR_BITS - child_len)), child_len)
+        return low, high
+
+    def key(self) -> tuple[int, int]:
+        """A cheap sortable/dict key, ``(network, length)``."""
+        return (self.network, self.length)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Prefix):
+            return self.covers(item)
+        if isinstance(item, int):
+            return self.contains_address(item)
+        if isinstance(item, str):
+            return self.covers(Prefix.parse(item))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.network == other.network and self.length == other.length
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return self.key() < other.key()
+
+    def __le__(self, other: "Prefix") -> bool:
+        return self.key() <= other.key()
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.length))
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+
+class _TrieNode:
+    """One node in the binary prefix trie."""
+
+    __slots__ = ("children", "value", "present")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_TrieNode]] = [None, None]
+        self.value: object = None
+        self.present = False
+
+
+class PrefixTrie:
+    """A binary trie mapping :class:`Prefix` keys to arbitrary values.
+
+    Supports exact lookup, longest-prefix match on addresses, and
+    enumeration of entries covered by a query prefix.  Used by the Loc-RIB
+    for hijack checks ("which installed routes would this announcement
+    override?") and by policy filters for prefix-set matching.
+    """
+
+    def __init__(self, items: Optional[Iterable[tuple[Prefix, object]]] = None):
+        self._root = _TrieNode()
+        self._count = 0
+        if items:
+            for prefix, value in items:
+                self.insert(prefix, value)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    def _descend(self, prefix: Prefix, create: bool) -> Optional[_TrieNode]:
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (ADDR_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        return node
+
+    def insert(self, prefix: Prefix, value: object) -> None:
+        """Insert or replace the entry for ``prefix``."""
+        node = self._descend(prefix, create=True)
+        assert node is not None
+        if not node.present:
+            self._count += 1
+        node.present = True
+        node.value = value
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix``; returns True if it was present."""
+        node = self._descend(prefix, create=False)
+        if node is None or not node.present:
+            return False
+        node.present = False
+        node.value = None
+        self._count -= 1
+        return True
+
+    def get(self, prefix: Prefix, default: object = None) -> object:
+        """Exact-match lookup."""
+        node = self._descend(prefix, create=False)
+        if node is None or not node.present:
+            return default
+        return node.value
+
+    def longest_match(self, address: int) -> Optional[tuple[Prefix, object]]:
+        """Longest-prefix match for an address; None if nothing covers it."""
+        node = self._root
+        best: Optional[tuple[int, object]] = None
+        network = 0
+        if node.present:
+            best = (0, node.value)
+        for depth in range(ADDR_BITS):
+            bit = (address >> (ADDR_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (ADDR_BITS - 1 - depth)
+            node = child
+            if node.present:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        return Prefix(address & mask_for(length), length), value
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, object]]:
+        """Yield entries that cover ``prefix``, shortest first (incl. exact)."""
+        node = self._root
+        if node.present:
+            yield Prefix(0, 0), node.value
+        network = 0
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (ADDR_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return
+            network |= bit << (ADDR_BITS - 1 - depth)
+            node = child
+            if node.present:
+                yield Prefix(network, depth + 1), node.value
+
+    def covered_by(self, prefix: Prefix) -> Iterator[tuple[Prefix, object]]:
+        """Yield entries equal to or more specific than ``prefix``."""
+        start = self._descend(prefix, create=False)
+        if start is None:
+            return
+        stack: list[tuple[_TrieNode, int, int]] = [
+            (start, prefix.network, prefix.length)
+        ]
+        while stack:
+            node, network, length = stack.pop()
+            if node.present:
+                yield Prefix(network, length), node.value
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    child_net = network | (bit << (ADDR_BITS - 1 - length))
+                    stack.append((child, child_net, length + 1))
+
+    def items(self) -> Iterator[tuple[Prefix, object]]:
+        """Iterate over all entries in trie (depth-first) order."""
+        yield from self.covered_by(Prefix(0, 0))
+
+
+class _Missing:
+    """Sentinel distinguishing 'absent' from a stored None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,152 @@
+"""Page-level memory accounting for checkpoint copy-on-write simulation.
+
+The paper's section 4.1 measures checkpoint cost in *pages*: the
+``fork``-based checkpoint initially shares every page with its parent and
+a page becomes unique only when either side writes to it.  The reported
+metrics are "the checkpoint process has 3.45% unique memory pages" and
+"processes forked for exploring ... consume on average 36.93% pages more".
+
+We reproduce that accounting in a content-addressed form: a process image
+is serialized to bytes, chopped into fixed-size pages, and each page is
+identified by a digest.  Two images "share" the pages whose digests match;
+pages present in one image but not another are that image's unique pages.
+This over-approximates real COW slightly (an insertion shifts subsequent
+bytes), so the checkpoint serializer keeps state components in separate,
+independently paged segments to keep the accounting faithful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+#: Default page size, matching the x86 4 KiB page the paper's testbed used.
+PAGE_SIZE = 4096
+
+
+def paginate(data: bytes, page_size: int = PAGE_SIZE) -> List[bytes]:
+    """Split ``data`` into page-sized digests.
+
+    The last partial page is padded conceptually (it simply hashes as its
+    own shorter content, which is fine for identity comparison).
+    """
+    if page_size <= 0:
+        raise ValueError(f"page_size must be positive, got {page_size}")
+    digests = []
+    for offset in range(0, len(data), page_size):
+        digests.append(hashlib.blake2b(data[offset:offset + page_size], digest_size=16).digest())
+    return digests
+
+
+@dataclass(frozen=True)
+class PageSet:
+    """The pages of one process image, as a multiset of content digests.
+
+    A multiset (rather than a set) is used so that two identical pages in
+    the *same* image still count as two resident pages, as they would in a
+    real address space.
+    """
+
+    pages: tuple[bytes, ...]
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: int = PAGE_SIZE) -> "PageSet":
+        return cls(tuple(paginate(data, page_size)))
+
+    @classmethod
+    def from_segments(
+        cls, segments: Iterable[bytes], page_size: int = PAGE_SIZE
+    ) -> "PageSet":
+        """Page each segment independently, like distinct memory regions.
+
+        Paging per segment means growth in one segment does not shift (and
+        thereby spuriously dirty) the pages of the others, which mirrors how
+        a real heap/stack/data-segment layout behaves under COW.
+        """
+        pages: list[bytes] = []
+        for segment in segments:
+            pages.extend(paginate(segment, page_size))
+        return cls(tuple(pages))
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def unique_pages(self, other: "PageSet") -> int:
+        """Pages of ``self`` not shareable with ``other`` (multiset diff)."""
+        ours = Counter(self.pages)
+        ours.subtract(Counter(other.pages))
+        return sum(count for count in ours.values() if count > 0)
+
+    def unique_fraction(self, other: "PageSet") -> float:
+        """Fraction of this image's pages that are unique w.r.t. ``other``.
+
+        This is the paper's "checkpoint process has X% unique memory pages"
+        metric, computed against the parent image.
+        """
+        if not self.pages:
+            return 0.0
+        return self.unique_pages(other) / len(self.pages)
+
+    def growth_fraction(self, baseline: "PageSet") -> float:
+        """Extra resident pages relative to ``baseline``, as a fraction.
+
+        This is the paper's "clones consume on average 36.93% pages more"
+        metric: (pages we cannot share with baseline) / (baseline size).
+        """
+        if not baseline.pages:
+            return 0.0
+        return self.unique_pages(baseline) / len(baseline)
+
+
+@dataclass
+class PageStore:
+    """A content-addressed page pool with reference counts.
+
+    Models physical memory shared across a parent and its checkpoint
+    clones: inserting an image bumps refcounts on its page digests, and
+    :attr:`resident_pages` reports how many *distinct* physical pages are
+    needed to back every registered image — the number a COW kernel would
+    actually allocate.
+    """
+
+    refcounts: Dict[bytes, int] = field(default_factory=dict)
+    images: Dict[str, PageSet] = field(default_factory=dict)
+
+    def register(self, name: str, image: PageSet) -> None:
+        """Register (or replace) a process image under ``name``."""
+        if name in self.images:
+            self.unregister(name)
+        self.images[name] = image
+        for page in image.pages:
+            self.refcounts[page] = self.refcounts.get(page, 0) + 1
+
+    def unregister(self, name: str) -> None:
+        """Drop an image, releasing its page references."""
+        image = self.images.pop(name, None)
+        if image is None:
+            return
+        for page in image.pages:
+            remaining = self.refcounts[page] - 1
+            if remaining:
+                self.refcounts[page] = remaining
+            else:
+                del self.refcounts[page]
+
+    @property
+    def resident_pages(self) -> int:
+        """Distinct physical pages needed to back all registered images."""
+        return len(self.refcounts)
+
+    @property
+    def virtual_pages(self) -> int:
+        """Sum of every image's page count (no sharing)."""
+        return sum(len(image) for image in self.images.values())
+
+    @property
+    def sharing_ratio(self) -> float:
+        """``virtual_pages / resident_pages``; 1.0 means no sharing at all."""
+        if not self.resident_pages:
+            return 1.0
+        return self.virtual_pages / self.resident_pages

@@ -1,0 +1,50 @@
+"""Deterministic random-number utilities.
+
+Everything in this library that needs randomness (trace synthesis, search
+strategy tie-breaking, workload generation) derives its generator from an
+explicit seed through :func:`derive_rng`, so whole experiments are
+reproducible from a single integer and independent components do not
+perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+Seedable = Union[int, str, bytes]
+
+
+def _to_bytes(value: Seedable) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+
+
+def derive_seed(seed: Seedable, *labels: Seedable) -> int:
+    """Derive a child seed from ``seed`` and a label path.
+
+    The derivation hashes the seed and labels, so distinct label paths give
+    statistically independent child seeds and the mapping is stable across
+    runs and platforms.
+    """
+    digest = hashlib.sha256()
+    digest.update(_to_bytes(seed))
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(_to_bytes(label))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_rng(seed: Seedable, *labels: Seedable) -> random.Random:
+    """A fresh :class:`random.Random` seeded from ``seed`` and ``labels``.
+
+    >>> derive_rng(7, "trace").random() == derive_rng(7, "trace").random()
+    True
+    >>> derive_rng(7, "trace").random() == derive_rng(7, "other").random()
+    False
+    """
+    return random.Random(derive_seed(seed, *labels))

@@ -1,0 +1,129 @@
+"""Tests for RFC 1997 well-known community handling in route export."""
+
+import pytest
+
+from repro.bgp.attributes import (
+    AsPath,
+    NO_ADVERTISE,
+    NO_EXPORT,
+    PathAttributes,
+)
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.bgp.router import BgpRouter
+from repro.net.node import NodeHost
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+PROVIDER = """
+router bgp 65010;
+router-id 10.0.0.1;
+neighbor left { remote-as 65001; passive; }
+neighbor right { remote-as 65002; }
+"""
+
+LEAF = """
+router bgp {asn};
+router-id 10.0.0.{octet};
+neighbor provider {{ remote-as 65010; {mode} }}
+"""
+
+
+@pytest.fixture
+def line_topology():
+    """left (AS65001) - provider (AS65010) - right (AS65002)."""
+    host = NodeHost()
+    provider = host.add_node("provider", lambda n, e: BgpRouter(n, e, PROVIDER))
+    left = host.add_node(
+        "left",
+        lambda n, e: BgpRouter(n, e, LEAF.format(asn=65001, octet=2, mode="")),
+    )
+    right = host.add_node(
+        "right",
+        lambda n, e: BgpRouter(n, e, LEAF.format(asn=65002, octet=3, mode="passive;")),
+    )
+    host.add_link("provider", "left")
+    host.add_link("provider", "right")
+    host.start()
+    host.run()
+    return host, provider, left, right
+
+
+def announce(host, left, prefix, communities=()):
+    update = UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence([65001]),
+            next_hop=2,
+            communities=tuple(communities),
+        ),
+        nlri=[NlriEntry.from_prefix(P(prefix))],
+    )
+    left.env.send("provider", update.encode())
+    host.run()
+
+
+class TestWellKnownCommunities:
+    def test_plain_route_propagates(self, line_topology):
+        host, provider, left, right = line_topology
+        announce(host, left, "60.0.0.0/8")
+        assert P("60.0.0.0/8") in provider.loc_rib
+        assert P("60.0.0.0/8") in right.loc_rib
+
+    def test_no_export_stays_local(self, line_topology):
+        host, provider, left, right = line_topology
+        announce(host, left, "61.0.0.0/8", communities=[NO_EXPORT])
+        assert P("61.0.0.0/8") in provider.loc_rib       # accepted locally
+        assert P("61.0.0.0/8") not in right.loc_rib      # never re-exported
+
+    def test_no_advertise_stays_local(self, line_topology):
+        host, provider, left, right = line_topology
+        announce(host, left, "62.0.0.0/8", communities=[NO_ADVERTISE])
+        assert P("62.0.0.0/8") in provider.loc_rib
+        assert P("62.0.0.0/8") not in right.loc_rib
+
+    def test_community_preserved_in_rib(self, line_topology):
+        host, provider, left, right = line_topology
+        announce(host, left, "63.0.0.0/8", communities=[NO_EXPORT, 12345])
+        route = provider.loc_rib.get(P("63.0.0.0/8"))
+        assert NO_EXPORT in tuple(int(c) for c in route.attributes.communities)
+
+    def test_ordinary_community_does_not_block(self, line_topology):
+        host, provider, left, right = line_topology
+        announce(host, left, "64.0.0.0/8", communities=[(65001 << 16) | 7])
+        assert P("64.0.0.0/8") in right.loc_rib
+
+    def test_filter_added_no_export_blocks(self, line_topology):
+        """A filter that *adds* no-export makes the route non-transitive."""
+        host, provider, left, right = line_topology
+        # Rebuild the provider's import filter on the fly: simulate the
+        # operator marking customer routes no-export.
+        from repro.bgp.config import parse_config
+
+        config = parse_config("""
+router bgp 65010;
+router-id 10.0.0.1;
+filter tag-local {
+    add-community no-export;
+    accept;
+}
+neighbor left { remote-as 65001; passive; import filter tag-local; }
+neighbor right { remote-as 65002; }
+""")
+        host2 = NodeHost()
+        provider2 = host2.add_node("provider", lambda n, e: BgpRouter(n, e, config))
+        left2 = host2.add_node(
+            "left",
+            lambda n, e: BgpRouter(n, e, LEAF.format(asn=65001, octet=2, mode="")),
+        )
+        right2 = host2.add_node(
+            "right",
+            lambda n, e: BgpRouter(n, e, LEAF.format(asn=65002, octet=3, mode="passive;")),
+        )
+        host2.add_link("provider", "left")
+        host2.add_link("provider", "right")
+        host2.start()
+        host2.run()
+        announce(host2, left2, "65.0.0.0/8")
+        assert P("65.0.0.0/8") in provider2.loc_rib
+        assert P("65.0.0.0/8") not in right2.loc_rib

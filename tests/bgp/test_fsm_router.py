@@ -1,0 +1,379 @@
+"""Tests for the session FSM and the BGP router node."""
+
+import pickle
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.config import NeighborConfig
+from repro.bgp.fsm import Session, SessionFsm, SessionState
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.bgp.nlri import NlriEntry
+from repro.bgp.router import BgpRouter
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.env import ExplorationEnvironment
+from repro.net.node import NodeHost
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+def make_fsm(passive=False, hold_time=90):
+    neighbor = NeighborConfig("peer", remote_as=65002, passive=passive,
+                              hold_time=hold_time)
+    session = Session(neighbor, hold_time=hold_time)
+    return SessionFsm(session, local_asn=65001, router_id=0x0A000001), session
+
+
+class TestSessionFsm:
+    def test_active_start_sends_open(self):
+        fsm, session = make_fsm()
+        messages = fsm.start(now=0.0)
+        assert len(messages) == 1 and isinstance(messages[0], OpenMessage)
+        assert session.state == SessionState.OPEN_SENT
+
+    def test_passive_start_sends_nothing(self):
+        fsm, session = make_fsm(passive=True)
+        assert fsm.start(0.0) == []
+        assert session.state == SessionState.IDLE
+
+    def test_full_active_handshake(self):
+        fsm, session = make_fsm()
+        fsm.start(0.0)
+        replies, established = fsm.on_open(OpenMessage(my_as=65002), 0.1)
+        assert [type(m) for m in replies] == [KeepaliveMessage]
+        assert session.state == SessionState.OPEN_CONFIRM
+        replies, established = fsm.on_keepalive(0.2)
+        assert established
+        assert session.state == SessionState.ESTABLISHED
+        assert session.established_at == 0.2
+
+    def test_passive_handshake_replies_open_and_keepalive(self):
+        fsm, session = make_fsm(passive=True)
+        replies, _ = fsm.on_open(OpenMessage(my_as=65002), 0.1)
+        assert [type(m) for m in replies] == [OpenMessage, KeepaliveMessage]
+        assert session.state == SessionState.OPEN_CONFIRM
+
+    def test_wrong_remote_as_rejected(self):
+        fsm, session = make_fsm()
+        fsm.start(0.0)
+        replies, _ = fsm.on_open(OpenMessage(my_as=66666), 0.1)
+        assert isinstance(replies[0], NotificationMessage)
+        assert session.state == SessionState.IDLE
+        assert session.resets == 1
+
+    def test_hold_time_negotiated_to_minimum(self):
+        fsm, session = make_fsm(hold_time=90)
+        fsm.start(0.0)
+        fsm.on_open(OpenMessage(my_as=65002, hold_time=30), 0.1)
+        assert session.hold_time == 30
+
+    def test_unexpected_open_resets(self):
+        fsm, session = make_fsm()
+        fsm.start(0.0)
+        fsm.on_open(OpenMessage(my_as=65002), 0.1)
+        fsm.on_keepalive(0.2)
+        replies, _ = fsm.on_open(OpenMessage(my_as=65002), 0.3)
+        assert isinstance(replies[0], NotificationMessage)
+        assert session.state == SessionState.IDLE
+
+    def test_keepalive_before_open_resets(self):
+        fsm, session = make_fsm()
+        replies, established = fsm.on_keepalive(0.0)
+        assert not established
+        assert isinstance(replies[0], NotificationMessage)
+
+    def test_update_allowed_only_established(self):
+        fsm, session = make_fsm()
+        assert not fsm.on_update_allowed(0.0)
+        fsm2, session2 = make_fsm()
+        fsm2.start(0.0)
+        fsm2.on_open(OpenMessage(my_as=65002), 0.1)
+        fsm2.on_keepalive(0.2)
+        assert fsm2.on_update_allowed(0.3)
+
+    def test_hold_timer_expiry(self):
+        fsm, session = make_fsm(hold_time=10)
+        fsm.start(0.0)
+        fsm.on_open(OpenMessage(my_as=65002, hold_time=10), 0.0)
+        fsm.on_keepalive(0.0)
+        assert fsm.check_hold_timer(5.0) == []
+        messages = fsm.check_hold_timer(11.0)
+        assert isinstance(messages[0], NotificationMessage)
+        assert messages[0].code == 4
+        assert session.state == SessionState.IDLE
+
+    def test_hold_time_zero_disables_timer(self):
+        fsm, session = make_fsm(hold_time=0)
+        fsm.start(0.0)
+        assert fsm.check_hold_timer(1e9) == []
+
+    def test_notification_resets(self):
+        fsm, session = make_fsm()
+        fsm.start(0.0)
+        fsm.on_notification(NotificationMessage(code=6))
+        assert session.state == SessionState.IDLE
+
+    def test_keepalive_tick(self):
+        fsm, session = make_fsm()
+        assert fsm.keepalive_tick(0.0) == []  # idle: nothing
+        fsm.start(0.0)
+        fsm.on_open(OpenMessage(my_as=65002), 0.1)
+        assert [type(m) for m in fsm.keepalive_tick(1.0)] == [KeepaliveMessage]
+
+
+PROVIDER = """
+router bgp 65010;
+router-id 10.0.0.1;
+network 203.0.113.0/24;
+prefix-set CUSTOMERS { 10.10.0.0/16 le 24; }
+filter customer-in { if net in CUSTOMERS then accept; reject; }
+neighbor customer {
+    remote-as 65020;
+    import filter customer-in;
+    export filter accept-all;
+}
+neighbor transit {
+    remote-as 64999;
+    passive;
+}
+"""
+
+CUSTOMER = """
+router bgp 65020;
+router-id 10.0.0.2;
+network 10.10.1.0/24;
+network 192.0.2.0/24;
+neighbor provider { remote-as 65010; passive; }
+"""
+
+TRANSIT = """
+router bgp 64999;
+router-id 10.0.0.3;
+network 8.8.8.0/24;
+neighbor provider { remote-as 65010; }
+"""
+
+
+@pytest.fixture
+def triangle():
+    """Provider with a customer and a transit peer, fully converged."""
+    host = NodeHost()
+    provider = host.add_node("provider", lambda n, e: BgpRouter(n, e, PROVIDER))
+    customer = host.add_node("customer", lambda n, e: BgpRouter(n, e, CUSTOMER))
+    transit = host.add_node("transit", lambda n, e: BgpRouter(n, e, TRANSIT))
+    host.add_link("provider", "customer", latency=0.001)
+    host.add_link("provider", "transit", latency=0.001)
+    host.start()
+    host.run()
+    return host, provider, customer, transit
+
+
+class TestRouter:
+    def test_sessions_establish(self, triangle):
+        _, provider, customer, transit = triangle
+        assert sorted(provider.established_peers()) == ["customer", "transit"]
+        assert customer.established_peers() == ["provider"]
+        assert transit.established_peers() == ["provider"]
+
+    def test_import_filter_applied(self, triangle):
+        _, provider, *_ = triangle
+        assert P("10.10.1.0/24") in provider.loc_rib      # allowed by filter
+        assert P("192.0.2.0/24") not in provider.loc_rib  # filtered out
+        assert provider.counters["routes_filtered"] >= 1
+
+    def test_static_routes_originated_and_propagated(self, triangle):
+        _, provider, customer, transit = triangle
+        assert P("203.0.113.0/24") in provider.loc_rib
+        assert P("203.0.113.0/24") in customer.loc_rib
+        assert P("203.0.113.0/24") in transit.loc_rib
+
+    def test_transit_routes_flow_to_customer(self, triangle):
+        _, _, customer, _ = triangle
+        route = customer.loc_rib.get(P("8.8.8.0/24"))
+        assert route is not None
+        # Path: provider prepended itself onto transit's announcement.
+        assert route.attributes.as_path.as_list() == [65010, 64999]
+
+    def test_customer_route_reaches_transit_with_origin_intact(self, triangle):
+        _, _, _, transit = triangle
+        route = transit.loc_rib.get(P("10.10.1.0/24"))
+        assert route is not None
+        assert route.attributes.as_path.as_list() == [65010, 65020]
+        assert route.origin_as() == 65020
+
+    def test_next_hop_rewritten_on_export(self, triangle):
+        _, _, customer, _ = triangle
+        route = customer.loc_rib.get(P("8.8.8.0/24"))
+        assert route.attributes.next_hop == customer.sessions["provider"].remote_id
+
+    def test_withdrawal_propagates(self, triangle):
+        host, provider, customer, transit = triangle
+        update = UpdateMessage(withdrawn=[NlriEntry.from_prefix(P("10.10.1.0/24"))])
+        customer.env.send("provider", update.encode())
+        host.run()
+        assert P("10.10.1.0/24") not in provider.loc_rib
+        assert P("10.10.1.0/24") not in transit.loc_rib
+
+    def test_as_path_loop_rejected(self, triangle):
+        host, provider, _, transit = triangle
+        looped = UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence([64999, 65010, 7]), next_hop=5
+            ),
+            nlri=[NlriEntry.from_prefix(P("77.0.0.0/8"))],
+        )
+        transit.env.send("provider", looped.encode())
+        host.run()
+        assert P("77.0.0.0/8") not in provider.loc_rib
+        assert provider.counters["loop_rejected"] >= 1
+
+    def test_update_missing_next_hop_triggers_notification(self, triangle):
+        host, provider, _, transit = triangle
+        bad = UpdateMessage(
+            attributes=PathAttributes(as_path=AsPath.sequence([64999])),
+            nlri=[NlriEntry.from_prefix(P("77.0.0.0/8"))],
+        )
+        provider.handle_update("transit", bad)
+        assert provider.counters["update_errors"] == 1
+
+    def test_update_from_unknown_peer_ignored(self, triangle):
+        _, provider, *_ = triangle
+        update = UpdateMessage(nlri=[NlriEntry.from_prefix(P("5.0.0.0/8"))])
+        provider.handle_update("stranger", update)
+        assert provider.counters["messages_from_unknown_peer"] == 1
+
+    def test_update_before_established_resets(self):
+        host = NodeHost()
+        provider = host.add_node("provider", lambda n, e: BgpRouter(n, e, PROVIDER))
+        host.add_node("customer", lambda n, e: BgpRouter(n, e, CUSTOMER))
+        host.add_link("provider", "customer")
+        # No handshake ran: session idle.
+        update = UpdateMessage(
+            attributes=PathAttributes(as_path=AsPath.sequence([65020]), next_hop=2),
+            nlri=[NlriEntry.from_prefix(P("10.10.1.0/24"))],
+        )
+        provider.handle_update("customer", update)
+        assert provider.counters["updates_out_of_establish"] == 1
+
+    def test_session_loss_withdraws_routes(self, triangle):
+        host, provider, customer, transit = triangle
+        assert P("10.10.1.0/24") in transit.loc_rib
+        # Customer notifies: session down; its routes must vanish everywhere.
+        customer.env.send("provider", NotificationMessage(code=6).encode())
+        host.run()
+        assert P("10.10.1.0/24") not in provider.loc_rib
+        assert P("10.10.1.0/24") not in transit.loc_rib
+
+    def test_better_route_replaces(self, triangle):
+        host, provider, _, transit = triangle
+        # Transit announces a shorter path to the customer prefix space?
+        # Use a fresh prefix announced by both peers with different path lengths.
+        long_path = UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence([64999, 5, 6, 7]), next_hop=3
+            ),
+            nlri=[NlriEntry.from_prefix(P("55.0.0.0/8"))],
+        )
+        transit.env.send("provider", long_path.encode())
+        host.run()
+        assert provider.loc_rib.get(P("55.0.0.0/8")).attributes.as_path.hop_count() == 4
+        short_path = UpdateMessage(
+            attributes=PathAttributes(as_path=AsPath.sequence([64999, 5]), next_hop=3),
+            nlri=[NlriEntry.from_prefix(P("55.0.0.0/8"))],
+        )
+        transit.env.send("provider", short_path.encode())
+        host.run()
+        assert provider.loc_rib.get(P("55.0.0.0/8")).attributes.as_path.hop_count() == 2
+
+    def test_counters_exposed(self, triangle):
+        _, provider, *_ = triangle
+        snapshot = provider.counters.snapshot()
+        assert snapshot["updates_received"] >= 2
+        assert snapshot["sessions_established"] == 2
+
+    def test_tick_emits_keepalives(self, triangle):
+        host, provider, *_ = triangle
+        before = provider.counters["sent_KeepaliveMessage"]
+        provider.tick()
+        assert provider.counters["sent_KeepaliveMessage"] > before
+
+
+class TestRouterCheckpointing:
+    def test_checkpoint_roundtrip_preserves_state(self, triangle):
+        _, provider, *_ = triangle
+        checkpoint = Checkpoint.capture(provider, "test")
+        clone = checkpoint.restore(ExplorationEnvironment())
+        assert clone.table_size() == provider.table_size()
+        assert clone.config.asn == provider.config.asn
+        assert sorted(clone.established_peers()) == sorted(provider.established_peers())
+        assert clone.counters.snapshot() == provider.counters.snapshot()
+
+    def test_clone_processes_updates_in_isolation(self, triangle):
+        _, provider, *_ = triangle
+        checkpoint = Checkpoint.capture(provider, "test")
+        env = ExplorationEnvironment(checkpoint_time=checkpoint.node_time)
+        clone = checkpoint.restore(env)
+        before = provider.table_size()
+        update = UpdateMessage(
+            attributes=PathAttributes(as_path=AsPath.sequence([65020]), next_hop=2),
+            nlri=[NlriEntry.from_prefix(P("10.10.9.0/24"))],
+        )
+        clone.handle_update("customer", update)
+        assert clone.table_size() == before + 1
+        assert provider.table_size() == before       # live untouched
+        assert len(env.captured) >= 1                # propagation intercepted
+        destinations = {m.destination for m in env.captured}
+        assert "transit" in destinations
+
+    def test_segments_cover_major_state(self, triangle):
+        _, provider, *_ = triangle
+        segments = provider.snapshot_segments()
+        roots = {name.split("/")[0] for name in segments}
+        assert {"config", "sessions", "adj_rib_in", "loc_rib", "adj_rib_out",
+                "counters"} <= roots
+        for blob in segments.values():
+            if blob:
+                pickle.loads(blob)  # every segment is a valid pickle
+
+    def test_rib_buckets_are_change_local(self, triangle):
+        """One route change dirties only its bucket, not the whole RIB."""
+        _, provider, *_ = triangle
+        # Grow the table so bucket locality is observable.
+        for index in range(200):
+            provider.handle_update("transit", UpdateMessage(
+                attributes=PathAttributes(
+                    as_path=AsPath.sequence([64999, 20000 + index]), next_hop=9
+                ),
+                nlri=[NlriEntry.from_prefix(Prefix((45 << 24) | (index << 8), 24))],
+            ))
+        before = provider.snapshot_segments()
+        update = UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence([64999, 31337]), next_hop=9
+            ),
+            nlri=[NlriEntry.from_prefix(P("44.44.0.0/16"))],
+        )
+        provider.handle_update("transit", update)
+        after = provider.snapshot_segments()
+        changed = [
+            name for name in after
+            if before.get(name) != after[name]
+        ]
+        loc_changed = [n for n in changed if n.startswith("loc_rib/")]
+        total_loc = [n for n in after if n.startswith("loc_rib/")]
+        assert 1 <= len(loc_changed) <= 3
+        assert len(loc_changed) < len(total_loc) / 4
+
+    def test_config_accepts_parsed_object(self):
+        from repro.bgp.config import parse_config
+
+        config = parse_config(PROVIDER)
+        host = NodeHost()
+        node = host.add_node("r", lambda n, e: BgpRouter(n, e, config))
+        assert node.config.asn == 65010

@@ -1,0 +1,207 @@
+"""Edge-case tests for router error handling and export mechanics."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.fsm import SessionState
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.bgp.nlri import NlriEntry
+from repro.bgp.router import MAX_NLRI_PER_UPDATE, BgpRouter
+from repro.concolic.env import RecordingEnvironment
+from repro.net.node import NodeHost
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+CONFIG = """
+router bgp 65010;
+router-id 10.0.0.1;
+prefix-set NARROW { 10.10.0.0/16 le 24; }
+filter narrow-in { if net in NARROW then accept; reject; }
+neighbor alpha { remote-as 65001; passive; import filter narrow-in; }
+neighbor beta { remote-as 65002; passive; }
+"""
+
+
+def standalone_router():
+    """A router on a RecordingEnvironment — no simulator needed."""
+    env = RecordingEnvironment()
+    router = BgpRouter("r", env, CONFIG)
+    for session in router.sessions.values():
+        session.state = SessionState.ESTABLISHED
+    return router, env
+
+
+def announce(router, peer, prefix, asns=(65001,), learned_now=True):
+    router.handle_update(peer, UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(list(asns)), next_hop=7
+        ),
+        nlri=[NlriEntry.from_prefix(P(prefix))],
+    ))
+
+
+class TestDecodeErrors:
+    def test_garbage_payload_triggers_notification(self):
+        router, env = standalone_router()
+        router.on_message("alpha", b"\x00" * 25)
+        assert router.counters["decode_errors"] == 1
+        sent = [m for m in env.sent if m.destination == "alpha"]
+        assert sent, "a NOTIFICATION must be transmitted"
+
+    def test_short_payload(self):
+        router, env = standalone_router()
+        router.on_message("alpha", b"\xff")
+        assert router.counters["decode_errors"] == 1
+
+
+class TestExportMechanics:
+    def test_export_reject_withdraws_previous_advertisement(self):
+        """A route that stops passing export policy must be withdrawn."""
+        router, env = standalone_router()
+        announce(router, "alpha", "10.10.1.0/24", asns=(65001, 777))
+        assert router.adj_rib_out.advertised("beta", P("10.10.1.0/24")) is not None
+        env.sent.clear()
+        # Same prefix, now carrying NO_EXPORT: export must stop and the
+        # previous advertisement must be withdrawn from beta.
+        from repro.bgp.attributes import NO_EXPORT
+
+        router.handle_update("alpha", UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence([65001, 777]), next_hop=7,
+                communities=(NO_EXPORT,),
+            ),
+            nlri=[NlriEntry.from_prefix(P("10.10.1.0/24"))],
+        ))
+        assert router.adj_rib_out.advertised("beta", P("10.10.1.0/24")) is None
+        from repro.bgp.messages import decode_message
+
+        withdrawals = [
+            decode_message(m.payload) for m in env.sent if m.destination == "beta"
+        ]
+        assert any(
+            isinstance(m, UpdateMessage) and m.is_withdrawal_only for m in withdrawals
+        )
+
+    def test_unchanged_route_not_readvertised(self):
+        router, env = standalone_router()
+        announce(router, "alpha", "10.10.2.0/24", asns=(65001, 9))
+        sends_after_first = len(env.sent)
+        announce(router, "alpha", "10.10.2.0/24", asns=(65001, 9))
+        # Identical re-announcement: no new UPDATE toward beta.
+        assert len(env.sent) == sends_after_first
+
+    def test_full_table_batching_respects_limit(self):
+        router, env = standalone_router()
+        # Install many routes sharing identical attributes via one peer.
+        shared = PathAttributes(as_path=AsPath.sequence([65001, 42]), next_hop=7)
+        entries = [
+            NlriEntry.from_prefix(Prefix((10 << 24) | (10 << 16) | (i << 8), 24))
+            for i in range(MAX_NLRI_PER_UPDATE + 50)
+        ]
+        router.handle_update("alpha", UpdateMessage(attributes=shared, nlri=entries))
+        env.sent.clear()
+        # Re-establish beta: full table dump must batch.
+        router.adj_rib_out.drop_peer("beta")
+        router._send_full_table("beta")
+        from repro.bgp.messages import decode_message
+
+        updates = [
+            decode_message(m.payload) for m in env.sent if m.destination == "beta"
+        ]
+        sizes = [len(u.nlri) for u in updates if isinstance(u, UpdateMessage)]
+        assert max(sizes) <= MAX_NLRI_PER_UPDATE
+        assert sum(sizes) == MAX_NLRI_PER_UPDATE + 50
+
+    def test_withdrawal_of_unknown_prefix_is_noop(self):
+        router, env = standalone_router()
+        before = len(env.sent)
+        router.handle_update("alpha", UpdateMessage(
+            withdrawn=[NlriEntry.from_prefix(P("99.0.0.0/8"))]
+        ))
+        assert len(env.sent) == before
+        assert router.counters["withdrawals_processed"] == 0
+
+
+class TestHoldTimer:
+    def test_tick_fires_hold_expiry(self):
+        host = NodeHost()
+        left_cfg = """
+router bgp 65001;
+router-id 1.1.1.1;
+neighbor right { remote-as 65002; hold-time 10; }
+"""
+        right_cfg = """
+router bgp 65002;
+router-id 2.2.2.2;
+network 40.0.0.0/8;
+neighbor left { remote-as 65001; passive; hold-time 10; }
+"""
+        left = host.add_node("left", lambda n, e: BgpRouter(n, e, left_cfg))
+        right = host.add_node("right", lambda n, e: BgpRouter(n, e, right_cfg))
+        host.add_link("left", "right")
+        host.start()
+        host.run()
+        assert left.sessions["right"].established
+        assert P("40.0.0.0/8") in left.loc_rib
+        # Silence for longer than the hold time, then tick.
+        host.sim.schedule(30.0, left.tick)
+        host.run()
+        assert not left.sessions["right"].established
+        assert P("40.0.0.0/8") not in left.loc_rib  # routes flushed
+
+    def test_keepalives_keep_session_alive(self):
+        host = NodeHost()
+        cfg_a = """
+router bgp 65001;
+router-id 1.1.1.1;
+neighbor b { remote-as 65002; hold-time 10; }
+"""
+        cfg_b = """
+router bgp 65002;
+router-id 2.2.2.2;
+neighbor a { remote-as 65001; passive; hold-time 10; }
+"""
+        a = host.add_node("a", lambda n, e: BgpRouter(n, e, cfg_a))
+        b = host.add_node("b", lambda n, e: BgpRouter(n, e, cfg_b))
+        host.add_link("a", "b")
+        host.start()
+        host.run()
+        # Both sides tick every 3 seconds (keepalive + hold check).
+        for t in range(3, 31, 3):
+            host.sim.schedule(float(t), a.tick)
+            host.sim.schedule(float(t) + 0.1, b.tick)
+        host.run()
+        assert a.sessions["b"].established
+        assert b.sessions["a"].established
+
+
+class TestSessionEdge:
+    def test_open_from_established_peer_resets(self):
+        router, env = standalone_router()
+        announce(router, "alpha", "10.10.3.0/24")
+        router.handle_open("alpha", OpenMessage(my_as=65001))
+        assert not router.sessions["alpha"].established
+
+    def test_notification_flushes_and_reconverges(self):
+        router, env = standalone_router()
+        announce(router, "alpha", "10.10.4.0/24", asns=(65001, 5))
+        assert P("10.10.4.0/24") in router.loc_rib
+        router.handle_notification("alpha", NotificationMessage(code=6))
+        assert P("10.10.4.0/24") not in router.loc_rib
+        assert router.counters["notifications_received"] == 1
+
+    def test_keepalive_refreshes_hold_deadline(self):
+        router, env = standalone_router()
+        session = router.sessions["alpha"]
+        session.hold_time = 10
+        session.touch(0.0)
+        deadline_before = session.hold_deadline
+        env.clock = 5.0
+        router.handle_keepalive("alpha")
+        assert session.hold_deadline > deadline_before

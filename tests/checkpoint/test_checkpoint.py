@@ -1,0 +1,182 @@
+"""Tests for fork-style checkpoints and the checkpoint manager."""
+
+import pickle
+
+import pytest
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.snapshot import Checkpoint, default_segments, snapshot_pages
+from repro.concolic.env import Environment, ExplorationEnvironment
+from repro.util.errors import CheckpointError
+from repro.util.pages import PAGE_SIZE
+
+
+class ToyNode:
+    """A minimal Checkpointable node with two state segments."""
+
+    def __init__(self, counter=0, table=None, env=None):
+        self.counter = counter
+        self.table = dict(table or {})
+        self.env = env
+        self.now = 0.0
+
+    def checkpoint_state(self):
+        return {"counter": self.counter, "table": self.table, "now": self.now}
+
+    def snapshot_segments(self):
+        return {
+            "counter": pickle.dumps(self.counter),
+            "table": pickle.dumps(sorted(self.table.items())),
+        }
+
+    @classmethod
+    def restore_from_state(cls, state, env):
+        node = cls(state["counter"], state["table"], env)
+        node.now = state["now"]
+        return node
+
+
+class Unpicklable:
+    def checkpoint_state(self):
+        return lambda: None  # lambdas cannot pickle
+
+    def snapshot_segments(self):
+        return {}
+
+
+class TestCheckpoint:
+    def test_capture_restore_roundtrip(self):
+        node = ToyNode(counter=7, table={"a": 1})
+        checkpoint = Checkpoint.capture(node, "test")
+        clone = checkpoint.restore(ExplorationEnvironment())
+        assert clone.counter == 7
+        assert clone.table == {"a": 1}
+        assert clone is not node
+
+    def test_clone_mutations_do_not_touch_parent(self):
+        node = ToyNode(counter=1, table={"k": "v"})
+        checkpoint = Checkpoint.capture(node, "test")
+        clone = checkpoint.restore(ExplorationEnvironment())
+        clone.counter = 999
+        clone.table["k"] = "changed"
+        assert node.counter == 1
+        assert node.table["k"] == "v"
+
+    def test_checkpoint_is_point_in_time(self):
+        node = ToyNode(counter=1)
+        checkpoint = Checkpoint.capture(node, "t")
+        node.counter = 2  # parent keeps running after the fork
+        clone = checkpoint.restore(ExplorationEnvironment())
+        assert clone.counter == 1
+
+    def test_node_time_captured(self):
+        node = ToyNode()
+        node.now = 42.5
+        checkpoint = Checkpoint.capture(node, "t")
+        assert checkpoint.node_time == 42.5
+
+    def test_unpicklable_state_rejected(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint.capture(Unpicklable(), "bad")
+
+    def test_page_count_positive(self):
+        checkpoint = Checkpoint.capture(ToyNode(table={i: i for i in range(100)}), "t")
+        assert checkpoint.page_count >= 1
+        assert checkpoint.size_bytes > 0
+
+    def test_default_segments_helper(self):
+        segments = default_segments({"a": 1})
+        assert set(segments) == {"state"}
+        assert pickle.loads(segments["state"]) == {"a": 1}
+
+    def test_snapshot_pages(self):
+        node = ToyNode(table={i: "x" * 50 for i in range(200)})
+        pages = snapshot_pages(node)
+        assert len(pages) >= 2
+
+
+class TestCheckpointManager:
+    def test_checkpoint_registers_pages(self):
+        manager = CheckpointManager()
+        node = ToyNode(table={i: i for i in range(50)})
+        manager.checkpoint(node, "c1")
+        assert "c1" in manager.checkpoints
+        assert manager.store.resident_pages > 0
+
+    def test_duplicate_name_rejected(self):
+        manager = CheckpointManager()
+        node = ToyNode()
+        manager.checkpoint(node, "c1")
+        with pytest.raises(CheckpointError):
+            manager.checkpoint(node, "c1")
+
+    def test_clone_lifecycle(self):
+        manager = CheckpointManager()
+        node = ToyNode(counter=3)
+        checkpoint = manager.checkpoint(node)
+        record = manager.clone(checkpoint)
+        assert record.node.counter == 3
+        assert record.env.is_isolated
+        manager.release(record.name)
+        assert record.name not in manager.clones
+
+    def test_clone_of_foreign_checkpoint_rejected(self):
+        manager = CheckpointManager()
+        foreign = Checkpoint.capture(ToyNode(), "foreign")
+        with pytest.raises(CheckpointError):
+            manager.clone(foreign)
+
+    def test_release_unknown_clone(self):
+        with pytest.raises(CheckpointError):
+            CheckpointManager().release("ghost")
+
+    def test_refresh_tracks_dirty_pages(self):
+        manager = CheckpointManager()
+        node = ToyNode(table={i: "data" * 100 for i in range(200)})
+        checkpoint = manager.checkpoint(node)
+        record = manager.clone(checkpoint)
+        # Fresh clone shares everything with the checkpoint.
+        assert record.pages.unique_fraction(checkpoint.pages) == pytest.approx(0.0)
+        # Dirty a chunk of the clone's table, then re-measure.
+        for i in range(50):
+            record.node.table[i] = "mutated" * 100
+        manager.refresh(record.name)
+        assert manager.clones[record.name].pages.unique_fraction(checkpoint.pages) > 0
+
+    def test_memory_report_shape(self):
+        manager = CheckpointManager()
+        node = ToyNode(table={i: "v" * 64 for i in range(300)})
+        checkpoint = manager.checkpoint(node)
+        for _ in range(3):
+            manager.clone(checkpoint)
+        report = manager.memory_report()
+        assert report.clone_count == 3
+        assert report.live_pages > 0
+        assert report.checkpoint_unique_fraction == pytest.approx(0.0)
+        assert report.sharing_ratio > 1.0  # clones share pages
+        assert set(report.as_dict()) >= {
+            "live_pages", "checkpoint_unique_fraction", "clone_growth_mean"
+        }
+
+    def test_memory_report_requires_live(self):
+        with pytest.raises(CheckpointError):
+            CheckpointManager().memory_report()
+
+    def test_release_all_clones(self):
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(ToyNode())
+        for _ in range(4):
+            manager.clone(checkpoint)
+        manager.release_all_clones()
+        assert not manager.clones
+
+    def test_checkpoint_unique_fraction_grows_as_parent_diverges(self):
+        manager = CheckpointManager()
+        node = ToyNode(table={i: "v" * 64 for i in range(300)})
+        manager.checkpoint(node)
+        # Parent keeps processing after the fork: its image diverges.
+        for i in range(150):
+            node.table[i] = "post-fork" * 32
+        manager.register_live(node)
+        report = manager.memory_report()
+        assert 0.0 < report.checkpoint_unique_fraction <= 1.0

@@ -1,0 +1,244 @@
+"""Tests for the concolic engine: tracing, exploration, strategies, budgets."""
+
+import pytest
+
+from repro.concolic.engine import (
+    ConcolicEngine,
+    ExplorationBudget,
+    InputSpec,
+    PathBudgetExceeded,
+    VarSpec,
+)
+from repro.concolic.strategies import (
+    BreadthFirstStrategy,
+    DepthFirstStrategy,
+    GenerationalStrategy,
+    RandomStrategy,
+    make_strategy,
+)
+from repro.util.errors import ExplorationError, SymbolicError
+
+
+def two_branch_program(inputs):
+    x = inputs.x
+    if x > 100:
+        return "high"
+    if x == 42:
+        return "magic"
+    return "low"
+
+
+def nested_program(inputs):
+    x, y = inputs.x, inputs.y
+    if x > 10:
+        if y > 10:
+            return "both"
+        return "x-only"
+    if y > 10:
+        return "y-only"
+    return "neither"
+
+
+class TestInputSpec:
+    def test_declare_and_domains(self):
+        spec = InputSpec().declare("a", 5, bits=8).declare("b", 1, bits=4)
+        assert spec.domains() == {"a": (0, 255), "b": (0, 15)}
+        assert spec.initial_assignment() == {"a": 5, "b": 1}
+        assert "a" in spec and "c" not in spec
+
+    def test_duplicate_rejected(self):
+        spec = InputSpec().declare("a", 0)
+        with pytest.raises(SymbolicError):
+            spec.declare("a", 1)
+
+    def test_initial_outside_domain_rejected(self):
+        with pytest.raises(SymbolicError):
+            VarSpec("a", bits=4, initial=16)
+
+    def test_symbolize(self):
+        spec = InputSpec([VarSpec("a", 8, 7)])
+        inputs = spec.symbolize({"a": 9})
+        assert inputs.a.concrete == 9
+        assert inputs["a"].expr.variables() == {"a"}
+        assert inputs.concrete() == {"a": 9}
+
+    def test_symbolize_defaults_missing_to_initial(self):
+        spec = InputSpec([VarSpec("a", 8, 7)])
+        assert spec.symbolize({}).a.concrete == 7
+
+    def test_attribute_error_for_unknown(self):
+        spec = InputSpec([VarSpec("a", 8, 0)])
+        with pytest.raises(AttributeError):
+            spec.symbolize({}).missing
+
+
+class TestSingleRun:
+    def test_run_records_path(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        result = engine.run(two_branch_program, spec)
+        assert result.value == "low"
+        assert len(result.path) == 2  # x > 100 (false), x == 42 (false)
+
+    def test_run_with_explicit_assignment(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        result = engine.run(two_branch_program, spec, {"x": 42})
+        assert result.value == "magic"
+
+    def test_exception_captured_not_raised(self):
+        def crashing(inputs):
+            if inputs.x > 5:
+                raise ValueError("boom")
+            return "ok"
+
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 10)])
+        result = engine.run(crashing, spec)
+        assert result.crashed
+        assert isinstance(result.exception, ValueError)
+        assert len(result.path) == 1  # branch recorded before the crash
+
+    def test_path_budget_enforced(self):
+        def endless(inputs):
+            x = inputs.x
+            total = 0
+            while x >= 0:  # records a branch per iteration, forever
+                total += 1
+            return total
+
+        engine = ConcolicEngine(max_branches=50)
+        spec = InputSpec([VarSpec("x", 8, 1)])
+        result = engine.run(endless, spec)
+        assert isinstance(result.exception, PathBudgetExceeded)
+        assert len(result.path) == 50
+
+
+class TestExploration:
+    def test_explores_all_outcomes(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        report = engine.explore(two_branch_program, spec)
+        values = {r.value for r in report.results}
+        assert values == {"high", "magic", "low"}
+        assert report.unique_paths == 3
+
+    def test_nested_full_coverage(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0), VarSpec("y", 8, 0)])
+        report = engine.explore(nested_program, spec)
+        values = {r.value for r in report.results}
+        assert values == {"both", "x-only", "y-only", "neither"}
+        # All four branch outcomes of each reached site are covered.
+        assert report.coverage.fully_covered_sites >= 2
+
+    def test_execution_budget_respected(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0), VarSpec("y", 8, 0)])
+        report = engine.explore(
+            nested_program, spec, budget=ExplorationBudget(max_executions=2)
+        )
+        assert report.executions == 2
+        assert report.stop_reason == "execution-budget"
+
+    def test_solver_budget_respected(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0), VarSpec("y", 8, 0)])
+        report = engine.explore(
+            nested_program, spec,
+            budget=ExplorationBudget(max_solver_queries=1),
+        )
+        assert report.solver_queries <= 1
+        assert report.stop_reason == "solver-budget"
+
+    def test_stop_on_crash(self):
+        def crashing(inputs):
+            if inputs.x == 7:
+                raise RuntimeError("found it")
+            return "fine"
+
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0)])
+        report = engine.explore(
+            crashing, spec, budget=ExplorationBudget(stop_on_crash=True)
+        )
+        assert len(report.crashes) == 1
+        assert report.stop_reason == "crash"
+
+    def test_empty_spec_rejected(self):
+        engine = ConcolicEngine()
+        with pytest.raises(ExplorationError):
+            engine.explore(two_branch_program, InputSpec())
+
+    def test_on_result_called_per_execution(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        seen = []
+        engine.explore(
+            two_branch_program, spec, on_result=lambda r, c: seen.append(r.value)
+        )
+        assert len(seen) >= 3
+
+    def test_multiple_seeds(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        report = engine.explore(
+            two_branch_program, spec,
+            initial_assignments=[{"x": 5}, {"x": 200}],
+        )
+        assert report.executions >= 2
+
+    def test_aggregate_constraints_reach_late_branches(self):
+        """A branch only reachable through another negation still gets flipped.
+
+        This is the paper's aggregate-constraint-set argument: the y==9
+        branch is invisible to the initial run (x<=10) and only appears
+        after negating x>10; full coverage requires merging its constraint.
+        """
+
+        def layered(inputs):
+            if inputs.x > 10:
+                if inputs.y == 9:
+                    return "deep"
+                return "mid"
+            return "shallow"
+
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0), VarSpec("y", 8, 0)])
+        report = engine.explore(layered, spec)
+        assert {"deep", "mid", "shallow"} <= {r.value for r in report.results}
+
+    def test_keep_results_false_drops_results(self):
+        engine = ConcolicEngine(keep_results=False)
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        report = engine.explore(two_branch_program, spec)
+        assert report.results == []
+        assert report.executions > 0
+
+    def test_report_summary_keys(self):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 32, 5)])
+        summary = engine.explore(two_branch_program, spec).summary()
+        for key in ("executions", "unique_paths", "covered_outcomes", "stop_reason"):
+            assert key in summary
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy",
+        [DepthFirstStrategy(), BreadthFirstStrategy(), GenerationalStrategy(),
+         RandomStrategy(seed=3)],
+    )
+    def test_all_strategies_reach_full_coverage(self, strategy):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0), VarSpec("y", 8, 0)])
+        report = engine.explore(nested_program, spec, strategy=strategy)
+        assert {r.value for r in report.results} == {
+            "both", "x-only", "y-only", "neither"
+        }
+
+    def test_make_strategy_registry(self):
+        assert isinstance(make_strategy("dfs"), DepthFirstStrategy)
+        assert isinstance(make_strategy("random", seed=1), RandomStrategy)
+        with pytest.raises(ValueError):
+            make_strategy("nonsense")

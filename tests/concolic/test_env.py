@@ -1,0 +1,143 @@
+"""Tests for environment models and exploration isolation."""
+
+import pytest
+
+from repro.concolic.coverage import BranchCoverage
+from repro.concolic.engine import trace
+from repro.concolic.env import (
+    ExplorationEnvironment,
+    RecordingEnvironment,
+    SealedEnvironment,
+)
+from repro.concolic.expr import BinOp, Const, Var
+from repro.concolic.path import PathCondition
+from repro.concolic.symbolic import SymInt
+from repro.concolic.tracer import BranchSite
+from repro.util.errors import IsolationViolation
+
+
+class TestExplorationEnvironment:
+    def test_sends_are_captured_not_delivered(self):
+        env = ExplorationEnvironment(checkpoint_time=12.5)
+        env.send("peer", b"hello")
+        env.send("other", b"world")
+        captured = env.drain_captured()
+        assert [(m.destination, m.payload) for m in captured] == [
+            ("peer", b"hello"), ("other", b"world")
+        ]
+        assert captured[0].virtual_time == 12.5
+        assert env.drain_captured() == []
+
+    def test_clock_frozen_at_checkpoint(self):
+        env = ExplorationEnvironment(checkpoint_time=100.0)
+        assert env.now() == 100.0
+        env.advance(5.0)
+        assert env.now() == 105.0
+        with pytest.raises(ValueError):
+            env.advance(-1.0)
+
+    def test_files_snapshot_isolated(self):
+        env = ExplorationEnvironment(files={"config": b"v1"})
+        assert env.read_file("config") == b"v1"
+        env.write_file("config", b"v2")
+        assert env.read_file("config") == b"v2"
+        with pytest.raises(FileNotFoundError):
+            env.read_file("missing")
+
+    def test_write_protection(self):
+        env = ExplorationEnvironment(allow_writes=False)
+        with pytest.raises(IsolationViolation):
+            env.write_file("x", b"data")
+
+    def test_is_isolated(self):
+        assert ExplorationEnvironment().is_isolated
+
+
+class TestSealedEnvironment:
+    def test_everything_violates(self):
+        env = SealedEnvironment("testing")
+        with pytest.raises(IsolationViolation):
+            env.send("a", b"x")
+        with pytest.raises(IsolationViolation):
+            env.now()
+        with pytest.raises(IsolationViolation):
+            env.read_file("f")
+        with pytest.raises(IsolationViolation):
+            env.write_file("f", b"")
+
+
+class TestRecordingEnvironment:
+    def test_records_sends(self):
+        env = RecordingEnvironment(clock=3.0)
+        env.send("peer", b"payload")
+        assert env.sent[0].destination == "peer"
+        assert env.sent[0].virtual_time == 3.0
+        assert not env.is_isolated
+
+    def test_files(self):
+        env = RecordingEnvironment()
+        env.write_file("a", b"1")
+        assert env.read_file("a") == b"1"
+        with pytest.raises(FileNotFoundError):
+            env.read_file("b")
+
+
+class TestBranchCoverage:
+    def make_path(self, outcomes):
+        path = PathCondition()
+        for line, taken in outcomes:
+            path.append(
+                BranchSite("m.py", line), BinOp("lt", Var("x"), Const(line)), taken
+            )
+        return path
+
+    def test_observe_counts_new_outcomes(self):
+        cov = BranchCoverage()
+        assert cov.observe(self.make_path([(1, True), (2, False)])) == 2
+        assert cov.observe(self.make_path([(1, True)])) == 0
+        assert cov.observe(self.make_path([(1, False)])) == 1
+        assert cov.covered_outcomes == 3
+        assert cov.covered_sites == 2
+
+    def test_fully_covered_sites(self):
+        cov = BranchCoverage()
+        cov.observe(self.make_path([(1, True), (1, False), (2, True)]))
+        assert cov.fully_covered_sites == 1
+
+    def test_path_count(self):
+        cov = BranchCoverage()
+        cov.observe(self.make_path([(1, True)]))
+        cov.observe(self.make_path([(1, True)]))  # same path
+        cov.observe(self.make_path([(1, False)]))
+        assert cov.path_count == 2
+
+    def test_would_be_new(self):
+        cov = BranchCoverage()
+        path = self.make_path([(1, True)])
+        assert cov.would_be_new(path) == 1
+        cov.observe(path)
+        assert cov.would_be_new(path) == 0
+
+    def test_site_summary_sorted(self):
+        cov = BranchCoverage()
+        cov.observe(self.make_path([(5, True), (1, True)]))
+        keys = list(cov.site_summary())
+        assert keys == ["m.py:1", "m.py:5"]
+
+
+class TestTraceIsolationInteraction:
+    def test_no_recorder_outside_trace(self):
+        """Branches on symbolic values outside a trace are silently concrete."""
+        x = SymInt.variable("x", 10)
+        assert bool(x > 5) is True  # no recorder installed; no error
+
+    def test_nested_traces_restore(self):
+        x = SymInt.variable("x", 10)
+        with trace() as outer:
+            bool(x > 1)
+            with trace() as inner:
+                bool(x > 2)
+                bool(x > 3)
+            bool(x > 4)
+        assert len(inner.path) == 2
+        assert len(outer.path) == 2

@@ -1,0 +1,177 @@
+"""Tests for the symbolic expression DAG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.concolic.expr import (
+    BinOp,
+    Const,
+    EvalError,
+    UnaryOp,
+    Var,
+    as_boolean,
+    evaluate_bool,
+    make_binary,
+    make_unary,
+    negate,
+)
+from repro.util.errors import SymbolicError
+
+
+class TestNodes:
+    def test_const_evaluates_to_itself(self):
+        assert Const(42).evaluate({}) == 42
+
+    def test_const_folds_bool(self):
+        assert Const(True).value == 1
+
+    def test_const_rejects_non_int(self):
+        with pytest.raises(SymbolicError):
+            Const("x")
+
+    def test_var_evaluates_from_env(self):
+        assert Var("x").evaluate({"x": 7}) == 7
+
+    def test_var_missing_binding(self):
+        with pytest.raises(EvalError):
+            Var("x").evaluate({})
+
+    def test_var_domain_from_bits(self):
+        assert Var("x", bits=8).domain == (0, 255)
+
+    def test_var_bad_width(self):
+        with pytest.raises(SymbolicError):
+            Var("x", bits=0)
+        with pytest.raises(SymbolicError):
+            Var("x", bits=65)
+
+    def test_structural_equality_and_hash(self):
+        a = make_binary("add", Var("x"), Const(1))
+        b = make_binary("add", Var("x"), Const(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != make_binary("add", Var("x"), Const(2))
+
+    def test_variables_collected(self):
+        expr = make_binary("add", Var("x"), make_binary("mul", Var("y"), Const(3)))
+        assert expr.variables() == {"x", "y"}
+
+    def test_walk_and_size(self):
+        expr = make_binary("add", Var("x"), Const(0))  # folds to Var
+        assert expr.size() == 1
+        expr = BinOp("add", Var("x"), Var("y"))
+        assert expr.size() == 3
+        assert expr.depth() == 2
+
+
+class TestConstantFolding:
+    def test_binary_folding(self):
+        assert make_binary("add", Const(2), Const(3)) == Const(5)
+        assert make_binary("mul", Const(4), Const(5)) == Const(20)
+        assert make_binary("eq", Const(1), Const(1)) == Const(1)
+
+    def test_unary_folding(self):
+        assert make_unary("neg", Const(5)) == Const(-5)
+        assert make_unary("lnot", Const(0)) == Const(1)
+
+    def test_identity_simplifications(self):
+        x = Var("x")
+        assert make_binary("add", x, Const(0)) is x
+        assert make_binary("mul", x, Const(1)) is x
+        assert make_binary("mul", x, Const(0)) == Const(0)
+        assert make_binary("shl", x, Const(0)) is x
+        assert make_binary("add", Const(0), x) is x
+
+    def test_division_by_zero_not_folded(self):
+        expr = make_binary("floordiv", Const(1), Const(0))
+        assert isinstance(expr, BinOp)
+        with pytest.raises(EvalError):
+            expr.evaluate({})
+
+    def test_double_negation_removed(self):
+        cond = make_binary("eq", Var("x"), Const(1))
+        assert make_unary("lnot", make_unary("lnot", cond)) == cond
+
+    def test_double_arith_negation_removed(self):
+        x = Var("x")
+        assert make_unary("neg", make_unary("neg", x)) is x
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7), ("sub", 3, 4, -1), ("mul", 3, 4, 12),
+            ("floordiv", 7, 2, 3), ("mod", 7, 2, 1),
+            ("and", 0b110, 0b011, 0b010), ("or", 0b110, 0b011, 0b111),
+            ("xor", 0b110, 0b011, 0b101), ("shl", 1, 4, 16), ("shr", 16, 4, 1),
+            ("eq", 2, 2, 1), ("ne", 2, 2, 0), ("lt", 1, 2, 1), ("le", 2, 2, 1),
+            ("gt", 3, 2, 1), ("ge", 1, 2, 0), ("land", 1, 0, 0), ("lor", 1, 0, 1),
+        ],
+    )
+    def test_binary_semantics(self, op, a, b, expected):
+        expr = BinOp(op, Var("a"), Var("b"))
+        assert expr.evaluate({"a": a, "b": b}) == expected
+
+    def test_huge_shift_guarded(self):
+        expr = BinOp("shl", Const(1), Var("x"))
+        with pytest.raises(EvalError):
+            expr.evaluate({"x": 10**9})
+
+    def test_negative_shift_guarded(self):
+        expr = BinOp("shr", Const(1), Var("x"))
+        with pytest.raises(EvalError):
+            expr.evaluate({"x": -1})
+
+    def test_mod_by_zero(self):
+        expr = BinOp("mod", Var("x"), Const(0))
+        with pytest.raises(EvalError):
+            expr.evaluate({"x": 5})
+
+
+class TestNegation:
+    @pytest.mark.parametrize(
+        "op,flipped", [("eq", "ne"), ("ne", "eq"), ("lt", "ge"), ("ge", "lt"),
+                       ("gt", "le"), ("le", "gt")]
+    )
+    def test_comparisons_flip(self, op, flipped):
+        expr = BinOp(op, Var("x"), Const(5))
+        negated = negate(expr)
+        assert isinstance(negated, BinOp) and negated.op == flipped
+
+    def test_negate_lnot_unwraps(self):
+        cond = BinOp("eq", Var("x"), Const(1))
+        assert negate(make_unary("lnot", cond)) == cond
+
+    def test_negate_const(self):
+        assert negate(Const(0)) == Const(1)
+        assert negate(Const(7)) == Const(0)
+
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+    def test_negation_is_semantic_complement(self, x, c):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            expr = BinOp(op, Var("x"), Const(c))
+            env = {"x": x}
+            assert bool(expr.evaluate(env)) != bool(negate(expr).evaluate(env))
+
+    def test_as_boolean_wraps_arithmetic(self):
+        expr = as_boolean(Var("x"))
+        assert expr.is_boolean
+        assert evaluate_bool(expr, {"x": 3})
+        assert not evaluate_bool(expr, {"x": 0})
+
+    def test_as_boolean_keeps_boolean(self):
+        cond = BinOp("lt", Var("x"), Const(1))
+        assert as_boolean(cond) is cond
+
+
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "eq", "lt"]),
+)
+def test_folding_preserves_semantics(a, b, op):
+    """make_binary(Const, Const) must equal evaluating the unfolded node."""
+    folded = make_binary(op, Const(a), Const(b))
+    unfolded = BinOp(op, Const(a), Const(b))
+    assert folded.evaluate({}) == unfolded.evaluate({})

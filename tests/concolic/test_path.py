@@ -1,0 +1,108 @@
+"""Tests for path conditions and branch records."""
+
+import pytest
+
+from repro.concolic.expr import BinOp, Const, Var
+from repro.concolic.path import Branch, ExecutionResult, PathCondition
+from repro.concolic.tracer import BranchSite
+
+
+def make_path(outcomes):
+    """A path with one branch per (line, taken) pair on constraint x < line."""
+    path = PathCondition()
+    for line, taken in outcomes:
+        path.append(BranchSite("test.py", line), BinOp("lt", Var("x"), Const(line)), taken)
+    return path
+
+
+class TestBranch:
+    def test_held_constraint_matches_direction(self):
+        constraint = BinOp("lt", Var("x"), Const(5))
+        taken = Branch(0, BranchSite("f", 1), constraint, True)
+        not_taken = Branch(0, BranchSite("f", 1), constraint, False)
+        assert taken.held_constraint().evaluate({"x": 3}) == 1
+        assert not_taken.held_constraint().evaluate({"x": 7}) == 1
+
+    def test_negated_constraint_is_complement(self):
+        constraint = BinOp("lt", Var("x"), Const(5))
+        branch = Branch(0, BranchSite("f", 1), constraint, True)
+        env = {"x": 3}
+        assert bool(branch.held_constraint().evaluate(env)) != bool(
+            branch.negated_constraint().evaluate(env)
+        )
+
+    def test_outcome_key(self):
+        branch = Branch(0, BranchSite("f", 9), Const(1), True)
+        assert branch.outcome_key == (BranchSite("f", 9), True)
+
+
+class TestPathCondition:
+    def test_append_assigns_indices(self):
+        path = make_path([(1, True), (2, False)])
+        assert [b.index for b in path] == [0, 1]
+        assert len(path) == 2
+        assert path[1].taken is False
+
+    def test_signature_distinguishes_directions(self):
+        a = make_path([(1, True), (2, True)])
+        b = make_path([(1, True), (2, False)])
+        assert a.signature() != b.signature()
+
+    def test_signature_stable(self):
+        assert make_path([(1, True)]).signature() == make_path([(1, True)]).signature()
+
+    def test_prefix_signature_flip(self):
+        path = make_path([(1, True), (2, True)])
+        flipped = make_path([(1, True), (2, False)])
+        assert path.prefix_signature(2, flip_last=True) == flipped.signature()
+
+    def test_prefix_signature_without_flip(self):
+        path = make_path([(1, True), (2, True), (3, False)])
+        prefix = make_path([(1, True), (2, True)])
+        assert path.prefix_signature(2) == prefix.signature()
+
+    def test_constraints_to_negate(self):
+        path = make_path([(10, True), (20, False), (30, True)])
+        constraints = path.constraints_to_negate(2)
+        env_following = {"x": 25}  # x<10 false? no: need b0 held (x<10 true)...
+        # Branch 0 held: x < 10; branch 1 held: not(x < 20) -> x >= 20.
+        # Those are contradictory, which is fine — we only check structure.
+        assert len(constraints) == 3
+        # The last constraint is the negation of branch 2 (x < 30 taken -> x >= 30).
+        assert constraints[-1].op == "ge"
+
+    def test_constraints_to_negate_bounds(self):
+        path = make_path([(1, True)])
+        with pytest.raises(IndexError):
+            path.constraints_to_negate(1)
+
+    def test_negation_targets_skip_concretizations(self):
+        path = PathCondition()
+        path.append(BranchSite("f", 1), BinOp("lt", Var("x"), Const(5)), True)
+        path.append(BranchSite("f", 2), BinOp("eq", Var("x"), Const(3)), True,
+                    is_concretization=True)
+        targets = list(path.negation_targets())
+        assert len(targets) == 1
+        targets = list(path.negation_targets(include_concretizations=True))
+        assert len(targets) == 2
+
+    def test_held_constraints_all_satisfied_by_original_input(self):
+        # x = 15: x < 20 (taken), x < 10 is false (not taken).
+        path = PathCondition()
+        path.append(BranchSite("f", 1), BinOp("lt", Var("x"), Const(20)), True)
+        path.append(BranchSite("f", 2), BinOp("lt", Var("x"), Const(10)), False)
+        for constraint in path.held_constraints():
+            assert constraint.evaluate({"x": 15}) == 1
+
+
+class TestExecutionResult:
+    def test_crashed_flag(self):
+        ok = ExecutionResult({}, PathCondition(), value=1)
+        bad = ExecutionResult({}, PathCondition(), exception=ValueError("boom"))
+        assert not ok.crashed
+        assert bad.crashed
+
+    def test_signature_delegates(self):
+        path = make_path([(1, True)])
+        result = ExecutionResult({"x": 0}, path)
+        assert result.signature() == path.signature()

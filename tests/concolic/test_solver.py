@@ -1,0 +1,305 @@
+"""Tests for the composite constraint solver and its sub-solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.concolic.expr import BinOp, Const, UnaryOp, Var, make_binary, negate
+from repro.concolic.solver import (
+    ConstraintSolver,
+    branch_distance,
+    enumerate_variable,
+    eval_interval,
+    linearize,
+    local_search,
+    propagate,
+    satisfies,
+    solve_atom,
+)
+from repro.concolic.solver.linear import NotLinear, solve_linear_comparison
+
+
+def var(name="x", bits=32):
+    return Var(name, bits)
+
+
+class TestIntervals:
+    def test_const_and_var(self):
+        assert eval_interval(Const(5), {}) == (5, 5)
+        assert eval_interval(var(bits=8), {}) == (0, 255)
+        assert eval_interval(var(), {"x": (1, 9)}) == (1, 9)
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("add", (1, 2), (10, 20), (11, 22)),
+            ("sub", (1, 2), (10, 20), (-19, -8)),
+            ("mul", (2, 3), (4, 5), (8, 15)),
+            ("shr", (0, 255), (4, 4), (0, 15)),
+            ("shl", (1, 2), (3, 3), (8, 16)),
+            ("mod", (0, 100), (7, 7), (0, 6)),
+            ("floordiv", (10, 20), (2, 2), (5, 10)),
+        ],
+    )
+    def test_arithmetic_bounds(self, op, left, right, expected):
+        expr = BinOp(op, var("a"), var("b"))
+        domains = {"a": left, "b": right}
+        assert eval_interval(expr, domains) == expected
+
+    def test_comparison_decided(self):
+        lt = BinOp("lt", var("a"), var("b"))
+        assert eval_interval(lt, {"a": (0, 4), "b": (5, 9)}) == (1, 1)
+        assert eval_interval(lt, {"a": (5, 9), "b": (0, 4)}) == (0, 0)
+        assert eval_interval(lt, {"a": (0, 9), "b": (5, 9)}) == (0, 1)
+
+    def test_propagate_narrows(self):
+        constraints = [
+            BinOp("ge", var(), Const(10)),
+            BinOp("lt", var(), Const(20)),
+        ]
+        narrowed = propagate(constraints, {"x": (0, 255)})
+        assert narrowed == {"x": (10, 19)}
+
+    def test_propagate_detects_unsat(self):
+        constraints = [
+            BinOp("gt", var(), Const(10)),
+            BinOp("lt", var(), Const(5)),
+        ]
+        assert propagate(constraints, {"x": (0, 255)}) is None
+
+    def test_propagate_through_conjunction(self):
+        conj = make_binary(
+            "land",
+            BinOp("ge", var(), Const(3)),
+            BinOp("le", var(), Const(7)),
+        )
+        narrowed = propagate([conj], {"x": (0, 255)})
+        assert narrowed == {"x": (3, 7)}
+
+    def test_propagate_eq(self):
+        narrowed = propagate([BinOp("eq", var(), Const(42))], {"x": (0, 255)})
+        assert narrowed == {"x": (42, 42)}
+
+    def test_propagate_scaled_shift(self):
+        # (x >> 16) == 0x0A0A narrows x to [0x0A0A0000, 0x0A0AFFFF].
+        constraint = BinOp("eq", BinOp("shr", var(), Const(16)), Const(0x0A0A))
+        narrowed = propagate([constraint], {"x": (0, 2**32 - 1)})
+        assert narrowed == {"x": (0x0A0A0000, 0x0A0AFFFF)}
+
+    def test_propagate_ne_at_endpoint(self):
+        narrowed = propagate([BinOp("ne", var(), Const(0))], {"x": (0, 10)})
+        assert narrowed == {"x": (1, 10)}
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+    )
+    def test_interval_soundness(self, a, b, point, op):
+        """Concrete evaluation always lands inside the computed interval."""
+        lo_a, hi_a = sorted((a, b))
+        value = min(max(point, lo_a), hi_a)
+        expr = BinOp(op, var("a"), Const(17))
+        lo, hi = eval_interval(expr, {"a": (lo_a, hi_a)})
+        concrete = expr.evaluate({"a": value})
+        assert lo <= concrete <= hi
+
+
+class TestLinear:
+    def test_linearize_basics(self):
+        a, b = linearize(make_binary("add", make_binary("mul", var(), Const(3)), Const(7)),
+                         "x", {})
+        assert (a, b) == (3, 7)
+
+    def test_linearize_shift(self):
+        a, b = linearize(make_binary("shl", var(), Const(4)), "x", {})
+        assert (a, b) == (16, 0)
+
+    def test_linearize_other_vars_substituted(self):
+        expr = make_binary("add", var(), var("y"))
+        a, b = linearize(expr, "x", {"y": 100})
+        assert (a, b) == (1, 100)
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NotLinear):
+            linearize(make_binary("mul", var(), var()), "x", {})
+
+    @pytest.mark.parametrize(
+        "op,a,b,domain,expect_pred",
+        [
+            ("eq", 2, -10, (0, 100), lambda x: 2 * x - 10 == 0),
+            ("ne", 1, -5, (0, 100), lambda x: x != 5),
+            ("lt", 1, -5, (0, 100), lambda x: x < 5),
+            ("le", 3, -9, (0, 100), lambda x: 3 * x <= 9),
+            ("gt", 1, -5, (0, 100), lambda x: x > 5),
+            ("ge", -1, 5, (0, 100), lambda x: -x + 5 >= 0),
+        ],
+    )
+    def test_solve_linear_comparison(self, op, a, b, domain, expect_pred):
+        value = solve_linear_comparison(op, a, b, domain, prefer=50)
+        assert value is not None
+        assert domain[0] <= value <= domain[1]
+        assert expect_pred(value)
+
+    def test_solve_eq_no_integer_solution(self):
+        # 2x == 5 has no integer root.
+        assert solve_linear_comparison("eq", 2, -5, (0, 100), prefer=0) is None
+
+    def test_solve_out_of_domain(self):
+        assert solve_linear_comparison("eq", 1, -200, (0, 100), prefer=0) is None
+
+    def test_prefer_respected_when_possible(self):
+        value = solve_linear_comparison("le", 1, -50, (0, 100), prefer=10)
+        assert value == 10  # anything <= 50 works; closest to prefer
+
+    def test_solve_atom_field_extraction(self):
+        # (x >> 8) == 0xAB with x 16-bit.
+        atom = BinOp("eq", BinOp("shr", var(bits=16), Const(8)), Const(0xAB))
+        value = solve_atom(atom, "x", {}, (0, 0xFFFF), prefer=0)
+        assert value is not None and (value >> 8) == 0xAB
+
+    def test_solve_atom_negated(self):
+        atom = UnaryOp("lnot", BinOp("eq", var(), Const(7)))
+        value = solve_atom(atom, "x", {}, (0, 10), prefer=7)
+        assert value is not None and value != 7
+
+
+class TestSearch:
+    def test_branch_distance_zero_when_satisfied(self):
+        assert branch_distance(BinOp("lt", var(), Const(10)), {"x": 3}) == 0
+
+    def test_branch_distance_gradient(self):
+        constraint = BinOp("eq", var(), Const(100))
+        assert branch_distance(constraint, {"x": 90}) < branch_distance(
+            constraint, {"x": 50}
+        )
+
+    def test_distance_handles_eval_errors(self):
+        constraint = BinOp("eq", BinOp("floordiv", Const(10), var()), Const(5))
+        assert branch_distance(constraint, {"x": 0}) > 0  # div by zero: penalized
+
+    def test_enumerate_small_domain(self):
+        constraints = [BinOp("eq", BinOp("mod", var(), Const(7)), Const(3))]
+        value = enumerate_variable(constraints, {"x": 0}, "x", (0, 100))
+        assert value is not None and value % 7 == 3
+
+    def test_enumerate_gives_up_on_large_domain(self):
+        constraints = [BinOp("eq", var(), Const(5))]
+        assert enumerate_variable(constraints, {"x": 0}, "x", (0, 10**9), limit=100) is None
+
+    def test_local_search_solves_equality(self):
+        constraints = [BinOp("eq", var(), Const(77777))]
+        model = local_search(constraints, {"x": (0, 2**20)}, {"x": 77000},
+                             random.Random(1))
+        assert model is not None and model["x"] == 77777
+
+    def test_local_search_multi_constraint(self):
+        constraints = [
+            BinOp("ge", var(), Const(50)),
+            BinOp("le", var(), Const(60)),
+            BinOp("eq", BinOp("mod", var(), Const(10)), Const(5)),
+        ]
+        model = local_search(constraints, {"x": (0, 255)}, {"x": 0}, random.Random(2))
+        assert model is not None and model["x"] == 55
+
+
+class TestCompositeSolver:
+    def make_solver(self):
+        return ConstraintSolver(rng=random.Random(0))
+
+    def test_empty_constraints_returns_hint(self):
+        solver = self.make_solver()
+        model = solver.solve([], {"x": (0, 10)}, {"x": 3})
+        assert model == {"x": 3}
+
+    def test_constant_false_is_unsat(self):
+        solver = self.make_solver()
+        assert solver.solve([Const(0)], {"x": (0, 10)}, {"x": 0}) is None
+        assert solver.stats.unsat_proved == 1
+
+    def test_interval_unsat_detected(self):
+        solver = self.make_solver()
+        constraints = [BinOp("gt", var(), Const(100))]
+        assert solver.solve(constraints, {"x": (0, 50)}, {"x": 0}) is None
+        assert solver.stats.unsat_proved == 1
+
+    def test_hint_clipped_into_domain(self):
+        solver = self.make_solver()
+        model = solver.solve([BinOp("ge", var(), Const(5))], {"x": (0, 10)}, {"x": 99})
+        assert model == {"x": 10}
+
+    def test_negated_branch_query(self):
+        """The canonical concolic query: prefix constraints + one negation."""
+        solver = self.make_solver()
+        prefix = [BinOp("gt", var(), Const(100))]            # held: x > 100
+        negated = negate(BinOp("eq", var("y", 8), Const(7)))  # flip: y != 7
+        model = solver.solve(
+            prefix + [negated],
+            {"x": (0, 2**32 - 1), "y": (0, 255)},
+            {"x": 150, "y": 7},
+        )
+        assert model is not None
+        assert model["x"] > 100 and model["y"] != 7
+
+    def test_bitmask_constraint(self):
+        solver = self.make_solver()
+        constraints = [BinOp("eq", BinOp("and", var(), Const(0xF)), Const(0x3))]
+        model = solver.solve(constraints, {"x": (0, 2**16 - 1)}, {"x": 0})
+        assert model is not None and (model["x"] & 0xF) == 0x3
+
+    def test_prefix_match_constraint(self):
+        """The constraint shape BGP filters produce."""
+        solver = self.make_solver()
+        constraints = [
+            BinOp("eq", BinOp("shr", var("net"), Const(16)), Const(0x0A0A)),
+            BinOp("ge", var("len", 6), Const(16)),
+            BinOp("le", var("len", 6), Const(24)),
+        ]
+        model = solver.solve(
+            constraints,
+            {"net": (0, 2**32 - 1), "len": (0, 63)},
+            {"net": 0, "len": 0},
+        )
+        assert model is not None
+        assert model["net"] >> 16 == 0x0A0A
+        assert 16 <= model["len"] <= 24
+
+    def test_multi_variable_repair(self):
+        solver = self.make_solver()
+        constraints = [
+            BinOp("eq", make_binary("add", var("a", 8), var("b", 8)), Const(100)),
+            BinOp("ge", var("a", 8), Const(60)),
+        ]
+        model = solver.solve(constraints, {"a": (0, 255), "b": (0, 255)},
+                             {"a": 0, "b": 0})
+        assert model is not None
+        assert model["a"] + model["b"] == 100 and model["a"] >= 60
+
+    def test_stats_accumulate(self):
+        solver = self.make_solver()
+        solver.solve([BinOp("eq", var(), Const(1))], {"x": (0, 10)}, {"x": 0})
+        solver.solve([Const(0)], {"x": (0, 10)}, {"x": 0})
+        assert solver.stats.queries == 2
+        assert solver.stats.sat == 1
+        assert solver.stats.sat_rate == pytest.approx(0.5)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+    )
+    def test_models_always_satisfy(self, bound, hint, op):
+        """Whatever the solver returns must satisfy the constraints."""
+        solver = ConstraintSolver(rng=random.Random(99))
+        constraints = [BinOp(op, var("v", 8), Const(bound))]
+        model = solver.solve(constraints, {"v": (0, 255)}, {"v": hint})
+        if model is not None:
+            assert satisfies(constraints, model)
+        else:
+            # Only trivially impossible comparisons may fail.
+            assert (op, bound) in {("lt", 0), ("gt", 255), ("ne", None)} or not any(
+                satisfies(constraints, {"v": value}) for value in range(256)
+            )

@@ -1,0 +1,224 @@
+"""Edge-case tests for solver internals: scaled narrowing, atom
+decomposition, interval corner cases, and fallback ordering."""
+
+import random
+
+import pytest
+
+from repro.concolic.expr import BinOp, Const, UnaryOp, Var, make_binary, negate
+from repro.concolic.solver import ConstraintSolver, eval_interval, propagate
+from repro.concolic.solver.intervals import BOOL, WIDE, narrow
+from repro.concolic.solver.linear import _ceil_div, solve_atom
+from repro.concolic.solver.solver import _atoms
+
+
+def var(name="x", bits=32):
+    return Var(name, bits)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "n,d,expected",
+        [(7, 2, 4), (8, 2, 4), (-7, 2, -3), (7, -2, -3), (-7, -2, 4), (0, 5, 0)],
+    )
+    def test_matches_math_ceil(self, n, d, expected):
+        assert _ceil_div(n, d) == expected
+
+
+class TestScaledNarrowing:
+    def test_shl_equality(self):
+        # (x << 4) == 48  ->  x == 3.
+        constraint = BinOp("eq", BinOp("shl", var(), Const(4)), Const(48))
+        domains = {"x": (0, 255)}
+        assert narrow(constraint, domains) is True
+        assert domains["x"] == (3, 3)
+
+    def test_floordiv_equality(self):
+        # (x // 10) == 5  ->  x in [50, 59].
+        constraint = BinOp("eq", BinOp("floordiv", var(), Const(10)), Const(5))
+        domains = {"x": (0, 255)}
+        narrow(constraint, domains)
+        assert domains["x"] == (50, 59)
+
+    def test_mul_inequality(self):
+        # (x * 3) <= 10  ->  x <= 3.
+        constraint = BinOp("le", BinOp("mul", var(), Const(3)), Const(10))
+        domains = {"x": (0, 255)}
+        narrow(constraint, domains)
+        assert domains["x"] == (0, 3)
+
+    def test_shr_on_rhs(self):
+        # 5 == (x >> 2)  ->  x in [20, 23].
+        constraint = BinOp("eq", Const(5), BinOp("shr", var(), Const(2)))
+        domains = {"x": (0, 255)}
+        narrow(constraint, domains)
+        assert domains["x"] == (20, 23)
+
+    def test_contradictory_scaled_is_unsat(self):
+        constraint = BinOp("eq", BinOp("shr", var(), Const(4)), Const(100))
+        assert propagate([constraint], {"x": (0, 255)}) is None
+
+    def test_strict_less_on_scaled(self):
+        # (x >> 8) < 2  ->  x <= 511.
+        constraint = BinOp("lt", BinOp("shr", var(), Const(8)), Const(2))
+        domains = {"x": (0, 65535)}
+        narrow(constraint, domains)
+        assert domains["x"] == (0, 511)
+
+
+class TestIntervalCorners:
+    def test_lnot_interval(self):
+        expr = UnaryOp("lnot", BinOp("lt", var(), Const(0)))
+        assert eval_interval(expr, {"x": (0, 10)}) == (1, 1)
+
+    def test_bool_interval(self):
+        expr = UnaryOp("bool", var())
+        assert eval_interval(expr, {"x": (5, 9)}) == (1, 1)
+        assert eval_interval(expr, {"x": (0, 0)}) == (0, 0)
+        assert eval_interval(expr, {"x": (0, 9)}) == BOOL
+
+    def test_division_spanning_zero_is_wide(self):
+        expr = BinOp("floordiv", Const(100), var())
+        assert eval_interval(expr, {"x": (-5, 5)}) == WIDE
+
+    def test_land_lor_decided(self):
+        true_side = BinOp("ge", var(), Const(0))
+        false_side = BinOp("lt", var(), Const(0))
+        domains = {"x": (0, 10)}
+        conj = make_binary("land", true_side, false_side)
+        assert eval_interval(conj, domains) == (0, 0)
+        disj = make_binary("lor", true_side, false_side)
+        assert eval_interval(disj, domains) == (1, 1)
+
+    def test_lor_narrowing_picks_live_side(self):
+        # (x < 0) or (x == 7): left side impossible, so x must be 7.
+        constraint = make_binary(
+            "lor", BinOp("lt", var(), Const(0)), BinOp("eq", var(), Const(7))
+        )
+        domains = {"x": (0, 255)}
+        assert narrow(constraint, domains) is True
+        assert domains["x"] == (7, 7)
+
+    def test_negative_ranges_conservative(self):
+        expr = BinOp("and", var(), Const(0xFF))
+        # Interval analysis must not claim tight bounds for negative inputs.
+        lo, hi = eval_interval(expr, {"x": (-10, 10)})
+        assert lo <= 0 and hi >= 10
+
+
+class TestSolveAtomEdges:
+    def test_negated_atom(self):
+        atom = UnaryOp("lnot", BinOp("lt", var(), Const(100)))
+        value = solve_atom(atom, "x", {}, (0, 255), prefer=0)
+        assert value is not None and value >= 100
+
+    def test_bool_wrapped_atom(self):
+        atom = UnaryOp("bool", var())
+        value = solve_atom(atom, "x", {}, (0, 255), prefer=0)
+        assert value is not None and value != 0
+
+    def test_scaled_ne(self):
+        atom = BinOp("ne", BinOp("shr", var(), Const(4)), Const(0))
+        value = solve_atom(atom, "x", {}, (0, 255), prefer=0)
+        assert value is not None and (value >> 4) != 0
+
+    def test_unsupported_atom_returns_none(self):
+        atom = BinOp("eq", BinOp("mod", var(), var("y")), Const(1))
+        assert solve_atom(atom, "x", {"y": 0}, (0, 255), prefer=0) is None
+
+    def test_land_atom_not_handled_directly(self):
+        atom = make_binary(
+            "land", BinOp("gt", var(), Const(1)), BinOp("lt", var(), Const(5))
+        )
+        assert solve_atom(atom, "x", {}, (0, 255), prefer=0) is None
+
+
+class TestAtomDecomposition:
+    def test_conjunction_flattens(self):
+        a = BinOp("gt", var(), Const(1))
+        b = BinOp("lt", var(), Const(5))
+        c = BinOp("ne", var(), Const(3))
+        nested = make_binary("land", make_binary("land", a, b), c)
+        assert set(map(repr, _atoms(nested))) == {repr(a), repr(b), repr(c)}
+
+    def test_disjunction_flattens(self):
+        a = BinOp("eq", var(), Const(1))
+        b = BinOp("eq", var(), Const(2))
+        assert len(_atoms(make_binary("lor", a, b))) == 2
+
+    def test_negation_pushed_inward(self):
+        inner = BinOp("lt", var(), Const(5))
+        atoms = _atoms(UnaryOp("lnot", inner))
+        assert len(atoms) == 1
+        assert atoms[0].op == "ge"
+
+
+class TestSolverFallbacks:
+    def test_conjunction_query(self):
+        solver = ConstraintSolver(rng=random.Random(1))
+        constraint = make_binary(
+            "land",
+            BinOp("ge", var("len", 6), Const(16)),
+            BinOp("le", var("len", 6), Const(24)),
+        )
+        model = solver.solve([constraint], {"len": (0, 63)}, {"len": 0})
+        assert model is not None and 16 <= model["len"] <= 24
+
+    def test_disjunction_query(self):
+        solver = ConstraintSolver(rng=random.Random(2))
+        constraint = make_binary(
+            "lor",
+            BinOp("eq", var(), Const(77)),
+            BinOp("eq", var(), Const(200)),
+        )
+        model = solver.solve([constraint], {"x": (0, 255)}, {"x": 0})
+        assert model is not None and model["x"] in (77, 200)
+
+    def test_negated_prefix_match(self):
+        """The classic leak query: inside length range, outside prefix set."""
+        solver = ConstraintSolver(rng=random.Random(3))
+        in_set = BinOp("eq", BinOp("shr", var("net"), Const(16)), Const(0x0A0A))
+        constraints = [
+            negate(in_set),
+            BinOp("ge", var("len", 6), Const(16)),
+            BinOp("le", var("len", 6), Const(24)),
+        ]
+        model = solver.solve(
+            constraints, {"net": (0, 2**32 - 1), "len": (0, 63)},
+            {"net": 0x0A0A0100, "len": 24},
+        )
+        assert model is not None
+        assert (model["net"] >> 16) != 0x0A0A
+        assert 16 <= model["len"] <= 24
+
+    def test_mod_constraint_via_enumeration(self):
+        solver = ConstraintSolver(rng=random.Random(4))
+        constraint = BinOp(
+            "eq", BinOp("mod", var("v", 8), Const(9)), Const(4)
+        )
+        model = solver.solve([constraint], {"v": (0, 255)}, {"v": 0})
+        assert model is not None and model["v"] % 9 == 4
+
+    def test_xor_constraint_via_search(self):
+        solver = ConstraintSolver(rng=random.Random(5))
+        constraint = BinOp(
+            "eq", BinOp("xor", var("v", 16), Const(0x00FF)), Const(0x0F0F)
+        )
+        model = solver.solve([constraint], {"v": (0, 65535)}, {"v": 0})
+        assert model is not None and model["v"] ^ 0x00FF == 0x0F0F
+
+    def test_unknown_reported_not_crashed(self):
+        # An over-constrained nonlinear system the heuristics may miss:
+        # solver must return None (unknown or unsat), never raise.
+        solver = ConstraintSolver(rng=random.Random(6), max_search_iters=50)
+        x, y = var("x", 16), var("y", 16)
+        constraints = [
+            BinOp("eq", BinOp("mul", x, y), Const(999983 * 2)),  # semiprime-ish
+            BinOp("gt", x, Const(1)),
+            BinOp("gt", y, Const(1)),
+        ]
+        model = solver.solve(
+            constraints, {"x": (0, 65535), "y": (0, 65535)}, {"x": 2, "y": 2}
+        )
+        if model is not None:
+            assert model["x"] * model["y"] == 999983 * 2

@@ -1,0 +1,136 @@
+"""Detailed tests for search-strategy ordering behavior."""
+
+import pytest
+
+from repro.concolic.coverage import BranchCoverage
+from repro.concolic.engine import ConcolicEngine, ExplorationBudget, InputSpec, VarSpec
+from repro.concolic.expr import BinOp, Const, Var
+from repro.concolic.path import Branch, ExecutionResult, PathCondition
+from repro.concolic.strategies import (
+    BreadthFirstStrategy,
+    Candidate,
+    CandidateQueue,
+    DepthFirstStrategy,
+    GenerationalStrategy,
+    RandomStrategy,
+)
+from repro.concolic.tracer import BranchSite
+
+
+def make_branch(index, taken=True):
+    return Branch(
+        index, BranchSite("p.py", index + 1),
+        BinOp("lt", Var("x"), Const(index)), taken,
+    )
+
+
+def make_result():
+    return ExecutionResult({"x": 0}, PathCondition())
+
+
+class TestCandidateQueue:
+    def test_priority_order(self):
+        queue = CandidateQueue()
+        queue.push(3.0, Candidate({"x": 3}))
+        queue.push(1.0, Candidate({"x": 1}))
+        queue.push(2.0, Candidate({"x": 2}))
+        assert [queue.pop().assignment["x"] for _ in range(3)] == [1, 2, 3]
+
+    def test_ties_fifo(self):
+        queue = CandidateQueue()
+        for index in range(5):
+            queue.push(1.0, Candidate({"x": index}))
+        assert [queue.pop().assignment["x"] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        queue = CandidateQueue()
+        assert not queue and len(queue) == 0
+        queue.push(0.0, Candidate({}))
+        assert queue and len(queue) == 1
+
+
+class TestStrategyPriorities:
+    def test_dfs_prefers_deep_branches(self):
+        strategy = DepthFirstStrategy()
+        coverage = BranchCoverage()
+        shallow = strategy.priority(make_result(), make_branch(0), coverage, 0, 0)
+        deep = strategy.priority(make_result(), make_branch(9), coverage, 0, 0)
+        assert deep < shallow  # lower priority value runs first
+
+    def test_bfs_prefers_shallow_early_generations(self):
+        strategy = BreadthFirstStrategy()
+        coverage = BranchCoverage()
+        early = strategy.priority(make_result(), make_branch(0), coverage, 0, 0)
+        late_gen = strategy.priority(make_result(), make_branch(0), coverage, 0, 3)
+        deep = strategy.priority(make_result(), make_branch(5), coverage, 0, 0)
+        assert early < deep < late_gen
+
+    def test_generational_prefers_uncovered_flips(self):
+        strategy = GenerationalStrategy()
+        coverage = BranchCoverage()
+        branch = make_branch(0, taken=True)
+        fresh = strategy.priority(make_result(), branch, coverage, 0, 0)
+        # Cover the flipped direction; priority must worsen.
+        coverage.outcomes.add((branch.site, False))
+        stale = strategy.priority(make_result(), branch, coverage, 0, 0)
+        assert fresh < stale
+
+    def test_generational_rewards_new_outcomes(self):
+        strategy = GenerationalStrategy()
+        coverage = BranchCoverage()
+        branch = make_branch(0)
+        low_discovery = strategy.priority(make_result(), branch, coverage, 0, 0)
+        high_discovery = strategy.priority(make_result(), branch, coverage, 5, 0)
+        assert high_discovery < low_discovery
+
+    def test_random_is_seed_deterministic(self):
+        a = RandomStrategy(seed=5)
+        b = RandomStrategy(seed=5)
+        coverage = BranchCoverage()
+        values_a = [
+            a.priority(make_result(), make_branch(i), coverage, 0, 0) for i in range(5)
+        ]
+        values_b = [
+            b.priority(make_result(), make_branch(i), coverage, 0, 0) for i in range(5)
+        ]
+        assert values_a == values_b
+
+
+class TestStrategySearchOrder:
+    """Observable ordering differences on an asymmetric program."""
+
+    @staticmethod
+    def chain_program(inputs):
+        # A chain of 6 dependent branches: DFS should burrow, BFS sweep.
+        x = inputs.x
+        depth = 0
+        if x > 10:
+            depth = 1
+            if x > 20:
+                depth = 2
+                if x > 30:
+                    depth = 3
+                    if x > 40:
+                        depth = 4
+                        if x > 50:
+                            depth = 5
+        return depth
+
+    def run(self, strategy, budget=4):
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 8, 0)])
+        report = engine.explore(
+            self.chain_program, spec, strategy=strategy,
+            budget=ExplorationBudget(max_executions=budget),
+        )
+        return [r.value for r in report.results]
+
+    def test_dfs_reaches_max_depth_quickly(self):
+        depths = self.run(DepthFirstStrategy(), budget=8)
+        assert max(depths) == 5
+
+    def test_all_strategies_eventually_cover_chain(self):
+        for strategy in (DepthFirstStrategy(), BreadthFirstStrategy(),
+                         GenerationalStrategy(), RandomStrategy(1)):
+            depths = self.run(strategy, budget=24)
+            assert set(depths) == {0, 1, 2, 3, 4, 5}

@@ -1,0 +1,246 @@
+"""Tests for concolic values: SymInt, SymBool, SymBytes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.concolic.engine import trace
+from repro.concolic.expr import Const, Var
+from repro.concolic.symbolic import SymBool, SymBytes, SymInt, concrete_of, lift_int
+from repro.util.errors import SymbolicError
+
+bytes8 = st.integers(min_value=0, max_value=255)
+
+
+def sym(value, name="x", bits=32):
+    return SymInt.variable(name, value, bits)
+
+
+class TestSymIntArithmetic:
+    @pytest.mark.parametrize(
+        "expr_fn,expected",
+        [
+            (lambda x: x + 3, 13), (lambda x: 3 + x, 13),
+            (lambda x: x - 4, 6), (lambda x: 4 - x, -6),
+            (lambda x: x * 2, 20), (lambda x: 2 * x, 20),
+            (lambda x: x // 3, 3), (lambda x: 100 // x, 10),
+            (lambda x: x % 3, 1), (lambda x: 23 % x, 3),
+            (lambda x: x & 6, 2), (lambda x: x | 1, 11),
+            (lambda x: x ^ 2, 8), (lambda x: x << 1, 20), (lambda x: x >> 1, 5),
+            (lambda x: -x, -10), (lambda x: ~x, -11), (lambda x: abs(-x), 10),
+        ],
+    )
+    def test_operations_track_concrete(self, expr_fn, expected):
+        result = expr_fn(sym(10))
+        assert isinstance(result, SymInt)
+        assert result.concrete == expected
+
+    def test_expression_evaluates_to_concrete(self):
+        x = sym(10)
+        result = (x * 3 + 1) & 0xFF
+        assert result.expr.evaluate({"x": 10}) == result.concrete
+
+    def test_symbolic_plus_symbolic(self):
+        x, y = sym(2, "x"), sym(5, "y")
+        total = x + y
+        assert total.concrete == 7
+        assert total.expr.variables() == {"x", "y"}
+
+    def test_true_division_rejected(self):
+        with pytest.raises(SymbolicError):
+            sym(10) / 2
+
+    def test_power_rejected(self):
+        with pytest.raises(SymbolicError):
+            sym(10) ** 2
+
+    def test_unsupported_operand_types(self):
+        assert sym(1).__add__("text") is NotImplemented
+
+    def test_is_symbolic(self):
+        assert sym(1).is_symbolic
+        assert not SymInt.constant(1).is_symbolic
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=1000))
+    def test_concrete_matches_plain_python(self, a, b):
+        x = sym(a)
+        assert (x + b).concrete == a + b
+        assert (x * b).concrete == a * b
+        assert (x // b).concrete == a // b
+        assert (x % b).concrete == a % b
+        assert (x & b).concrete == a & b
+
+
+class TestSymBool:
+    def test_comparisons_give_symbool(self):
+        x = sym(10)
+        result = x > 5
+        assert isinstance(result, SymBool)
+        assert result.concrete is True
+
+    def test_bool_without_recorder_returns_concrete(self):
+        assert bool(sym(10) > 5) is True
+        assert bool(sym(10) < 5) is False
+
+    def test_branch_recorded_inside_trace(self):
+        with trace() as recorder:
+            x = sym(10)
+            if x > 5:
+                pass
+        assert len(recorder.path) == 1
+        branch = recorder.path[0]
+        assert branch.taken is True
+        assert branch.constraint.evaluate({"x": 10}) == 1
+
+    def test_constant_condition_not_recorded(self):
+        with trace() as recorder:
+            b = SymBool(True, Const(1))
+            if b:
+                pass
+        assert len(recorder.path) == 0
+
+    def test_short_circuit_records_each_operand(self):
+        with trace() as recorder:
+            x, y = sym(10, "x"), sym(3, "y")
+            if (x > 5) and (y < 5):
+                pass
+        assert len(recorder.path) == 2
+
+    def test_short_circuit_skips_unreached(self):
+        with trace() as recorder:
+            x, y = sym(1, "x"), sym(3, "y")
+            if (x > 5) and (y < 5):
+                pass
+        assert len(recorder.path) == 1  # right side never evaluated
+
+    def test_invert(self):
+        result = ~(sym(10) > 5)
+        assert result.concrete is False
+
+    def test_nonshortcircuit_connectives(self):
+        x = sym(10)
+        combined = (x > 5) & (x < 20)
+        assert combined.concrete is True
+        combined = (x > 50) | (x < 20)
+        assert combined.concrete is True
+        combined = (x > 50) | False
+        assert combined.concrete is False
+
+    def test_symint_truthiness_records_nonzero_branch(self):
+        with trace() as recorder:
+            x = sym(0)
+            if x:
+                pass
+        assert len(recorder.path) == 1
+        assert recorder.path[0].taken is False
+
+
+class TestConcretization:
+    def test_hash_is_concrete_and_unrecorded(self):
+        with trace() as recorder:
+            hash(sym(5))
+        assert len(recorder.path) == 0
+
+    def test_dict_lookup_records_equality_not_hash(self):
+        # Hashing is silent, but the bucket's == comparison goes through
+        # SymBool and is recorded — lookups remain path-condition sound.
+        with trace() as recorder:
+            table = {sym(5): "value"}
+            assert table[5] == "value"
+        assert len(recorder.path) == 1
+        assert recorder.path[0].constraint.evaluate({"x": 5}) == 1
+
+    def test_index_records_constraint(self):
+        with trace() as recorder:
+            items = ["a", "b", "c"]
+            assert items[sym(1)] == "b"
+        assert len(recorder.path) == 1
+        branch = recorder.path[0]
+        assert branch.is_concretization
+        assert branch.constraint.evaluate({"x": 1}) == 1
+        assert branch.constraint.evaluate({"x": 2}) == 0
+
+    def test_int_records_constraint(self):
+        with trace() as recorder:
+            int(sym(9))
+        assert len(recorder.path) == 1
+
+    def test_constant_symint_index_not_recorded(self):
+        with trace() as recorder:
+            ["a", "b"][SymInt.constant(1)]
+        assert len(recorder.path) == 0
+
+    def test_format_uses_concrete(self):
+        assert f"{sym(255):x}" == "ff"
+
+
+class TestSymBytes:
+    def test_from_concrete_roundtrip(self):
+        buffer = SymBytes.from_concrete(b"\x01\x02\x03")
+        assert buffer.concrete == b"\x01\x02\x03"
+        assert not buffer.is_symbolic
+        assert len(buffer) == 3
+
+    def test_symbolic_marking(self):
+        buffer = SymBytes.symbolic("msg", b"\xab\xcd")
+        assert buffer.is_symbolic
+        assert buffer.concrete == b"\xab\xcd"
+        assert isinstance(buffer[0], SymInt)
+
+    def test_slicing(self):
+        buffer = SymBytes.symbolic("msg", bytes(range(10)))
+        chunk = buffer[2:5]
+        assert isinstance(chunk, SymBytes)
+        assert chunk.concrete == bytes([2, 3, 4])
+
+    def test_concat(self):
+        combined = SymBytes.from_concrete(b"ab") + b"cd"
+        assert combined.concrete == b"abcd"
+        combined = b"xy" + SymBytes.from_concrete(b"z")
+        assert combined.concrete == b"xyz"
+
+    def test_to_uint_big_endian(self):
+        buffer = SymBytes.symbolic("m", b"\x01\x02\x03\x04")
+        value = buffer.to_uint(0, 4)
+        assert value.concrete == 0x01020304
+        env = {f"m[{i}]": b for i, b in enumerate(b"\x01\x02\x03\x04")}
+        assert value.expr.evaluate(env) == 0x01020304
+
+    def test_to_uint_out_of_range(self):
+        with pytest.raises(SymbolicError):
+            SymBytes.from_concrete(b"ab").to_uint(1, 4)
+
+    def test_equality_with_bytes(self):
+        buffer = SymBytes.symbolic("m", b"ab")
+        result = buffer == b"ab"
+        assert isinstance(result, SymBool) and result.concrete
+        result = buffer == b"ax"
+        assert not result.concrete
+
+    def test_length_mismatch_equality(self):
+        assert not (SymBytes.from_concrete(b"ab") == b"abc").concrete
+
+    def test_byte_out_of_range_rejected(self):
+        with pytest.raises(SymbolicError):
+            SymBytes([300])
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_to_uint_matches_int_from_bytes(self, data):
+        buffer = SymBytes.symbolic("m", data)
+        for width in (1, min(2, len(data)), len(data)):
+            value = buffer.to_uint(0, width)
+            assert value.concrete == int.from_bytes(data[:width], "big")
+
+
+class TestHelpers:
+    def test_concrete_of(self):
+        assert concrete_of(sym(5)) == 5
+        assert concrete_of(SymBool(True, Var("b", 1))) is True
+        assert concrete_of(SymBytes.from_concrete(b"a")) == b"a"
+        assert concrete_of("plain") == "plain"
+        assert concrete_of(7) == 7
+
+    def test_lift_int(self):
+        lifted = lift_int(9)
+        assert isinstance(lifted, SymInt) and lifted.concrete == 9
+        existing = sym(3)
+        assert lift_int(existing) is existing

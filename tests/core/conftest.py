@@ -1,0 +1,37 @@
+"""Shared fixtures for DiCE core tests.
+
+Scenario construction (trace generation + convergence) dominates test
+time, so converged scenarios are module-scoped; tests must not mutate the
+live routers (exploration via checkpoints never does).
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, build_scenario
+
+
+def small_scenario(filter_mode, prefix_count=400, update_count=40):
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode=filter_mode,
+            prefix_count=prefix_count,
+            update_count=update_count,
+        )
+    )
+    scenario.converge()
+    return scenario
+
+
+@pytest.fixture(scope="module")
+def correct_scenario():
+    return small_scenario("correct")
+
+
+@pytest.fixture(scope="module")
+def erroneous_scenario():
+    return small_scenario("erroneous")
+
+
+@pytest.fixture(scope="module")
+def missing_scenario():
+    return small_scenario("missing")

@@ -1,0 +1,221 @@
+"""Tests for the fault checkers and the origin baseline."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import NotificationMessage, UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.env import CapturedMessage
+from repro.core.checkers import (
+    CrashChecker,
+    ExecutionContext,
+    HijackChecker,
+    InvariantChecker,
+    OriginBaseline,
+    SessionResetChecker,
+    default_checkers,
+)
+from repro.core.isolation import InterceptedTraffic, restore_isolated
+from repro.core.report import FindingKind, Severity
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix, ip_to_int
+
+P = Prefix.parse
+
+
+def exploratory_update(prefix, asns=(65020,)):
+    return UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(list(asns)), next_hop=ip_to_int("10.0.0.2")
+        ),
+        nlri=[NlriEntry.from_prefix(P(prefix))],
+    )
+
+
+def run_on_clone(scenario, prefix, asns=(65020,)):
+    """Checkpoint the provider, run an exploratory update on a clone."""
+    checkpoint = Checkpoint.capture(scenario.provider, f"chk-{prefix}")
+    clone, env = restore_isolated(checkpoint)
+    update = exploratory_update(prefix, asns)
+    exception = None
+    try:
+        clone.handle_update("customer", update)
+    except Exception as exc:  # pragma: no cover - defensive
+        exception = exc
+    baseline = OriginBaseline.from_router(scenario.provider)
+    return ExecutionContext(
+        peer="customer",
+        assignment={"nlri_network": P(prefix).network, "nlri_masklen": P(prefix).length},
+        baseline=baseline,
+        update=update,
+        clone=clone,
+        traffic=InterceptedTraffic(env.drain_captured()),
+        exception=exception,
+    )
+
+
+class TestOriginBaseline:
+    def test_from_router_contains_table(self, correct_scenario):
+        baseline = OriginBaseline.from_router(correct_scenario.provider)
+        assert baseline.size == correct_scenario.provider.table_size()
+
+    def test_exact_lookup(self, correct_scenario):
+        baseline = OriginBaseline.from_router(correct_scenario.provider)
+        # The customer's own announcement has the customer's origin.
+        found = baseline.origin_for(P("10.10.1.0/24"))
+        assert found is not None
+        assert found[1] == 65020
+
+    def test_covering_lookup_for_subprefix_hijack(self, correct_scenario):
+        baseline = OriginBaseline.from_router(correct_scenario.provider)
+        # Pick any installed internet prefix and ask about a more-specific.
+        prefix, origin = next(iter(baseline.items()))
+        if prefix.length < 32:
+            child = prefix.subnets()[0]
+            found = baseline.origin_for(child)
+            assert found is not None
+            assert found[0] == prefix and found[1] == origin
+
+    def test_local_networks_map_to_own_asn(self, correct_scenario):
+        baseline = OriginBaseline.from_router(correct_scenario.provider)
+        found = baseline.origin_for(P("203.0.113.0/24"))
+        assert found[1] == 65010
+
+    def test_unknown_prefix(self):
+        baseline = OriginBaseline(local_asn=1)
+        assert baseline.origin_for(P("1.0.0.0/8")) is None
+
+
+class TestHijackChecker:
+    def test_foreign_prefix_accepted_is_hijack(self, missing_scenario):
+        baseline = OriginBaseline.from_router(missing_scenario.provider)
+        victim_prefix, victim_origin = next(
+            (p, o) for p, o in baseline.items() if o not in (65010, 65020)
+        )
+        ctx = run_on_clone(missing_scenario, str(victim_prefix))
+        findings = HijackChecker().check(ctx)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.kind == FindingKind.PREFIX_HIJACK
+        assert finding.severity == Severity.CRITICAL
+        assert finding.prefix == victim_prefix
+        assert finding.expected_origin == victim_origin
+        assert finding.observed_origin == 65020
+        assert "can leak" in finding.describe()
+
+    def test_rejected_announcement_is_not_hijack(self, correct_scenario):
+        baseline = OriginBaseline.from_router(correct_scenario.provider)
+        victim = next(p for p, o in baseline.items() if o not in (65010, 65020))
+        ctx = run_on_clone(correct_scenario, str(victim))
+        assert HijackChecker().check(ctx) == []
+
+    def test_own_prefix_reannouncement_not_hijack(self, missing_scenario):
+        ctx = run_on_clone(missing_scenario, "10.10.1.0/24")
+        assert HijackChecker().check(ctx) == []
+
+    def test_subprefix_hijack_detected(self, missing_scenario):
+        baseline = OriginBaseline.from_router(missing_scenario.provider)
+        parent = next(
+            p for p, o in baseline.items()
+            if o not in (65010, 65020) and p.length <= 23
+        )
+        child = parent.subnets()[0]
+        ctx = run_on_clone(missing_scenario, str(child))
+        findings = HijackChecker().check(ctx)
+        assert len(findings) == 1
+        assert "more specific" in findings[0].summary
+
+    def test_anycast_whitelist_suppresses(self, missing_scenario):
+        baseline = OriginBaseline.from_router(missing_scenario.provider)
+        victim = next(p for p, o in baseline.items() if o not in (65010, 65020))
+        ctx = run_on_clone(missing_scenario, str(victim))
+        checker = HijackChecker(anycast_whitelist=[victim])
+        assert checker.check(ctx) == []
+        # The whitelist also covers more-specifics of the listed prefix.
+        if victim.length < 32:
+            child_ctx = run_on_clone(missing_scenario, str(victim.subnets()[0]))
+            assert checker.check(child_ctx) == []
+
+    def test_missing_update_or_clone(self):
+        ctx = ExecutionContext(
+            peer="p", assignment={}, baseline=OriginBaseline(1)
+        )
+        assert HijackChecker().check(ctx) == []
+
+
+class TestCrashChecker:
+    def make_ctx(self, exception):
+        return ExecutionContext(
+            peer="p", assignment={"x": 1}, baseline=OriginBaseline(1),
+            exception=exception,
+        )
+
+    def test_real_crash_flagged(self):
+        findings = CrashChecker().check(self.make_ctx(ZeroDivisionError("div")))
+        assert len(findings) == 1
+        assert findings[0].kind == FindingKind.HANDLER_CRASH
+        assert "ZeroDivisionError" in findings[0].summary
+
+    def test_wire_errors_not_crashes(self):
+        assert CrashChecker().check(self.make_ctx(WireFormatError("bad"))) == []
+
+    def test_no_exception(self):
+        assert CrashChecker().check(self.make_ctx(None)) == []
+
+    def test_path_budget_not_crash(self):
+        from repro.concolic.engine import PathBudgetExceeded
+
+        assert CrashChecker().check(self.make_ctx(PathBudgetExceeded("deep"))) == []
+
+
+class TestSessionResetChecker:
+    def test_notification_in_traffic_flagged(self):
+        notification = NotificationMessage(code=5, subcode=0)
+        traffic = InterceptedTraffic(
+            [CapturedMessage("customer", notification.encode(), 0.0)]
+        )
+        ctx = ExecutionContext(
+            peer="customer", assignment={}, baseline=OriginBaseline(1),
+            traffic=traffic,
+        )
+        findings = SessionResetChecker().check(ctx)
+        assert len(findings) == 1
+        assert findings[0].kind == FindingKind.SESSION_RESET
+        assert "code=5" in findings[0].summary
+
+    def test_updates_in_traffic_ignored(self, missing_scenario):
+        ctx = run_on_clone(missing_scenario, "10.10.1.0/24")
+        assert SessionResetChecker().check(ctx) == []
+
+
+class TestInvariantChecker:
+    def test_violation_reported(self, correct_scenario):
+        ctx = run_on_clone(correct_scenario, "10.10.1.0/24")
+        checker = InvariantChecker(
+            lambda router: "table too big" if router.table_size() > 0 else None,
+            name="table-bound",
+        )
+        findings = checker.check(ctx)
+        assert len(findings) == 1
+        assert findings[0].kind == FindingKind.INVARIANT_VIOLATION
+        assert "table-bound" in findings[0].summary
+
+    def test_holding_invariant_silent(self, correct_scenario):
+        ctx = run_on_clone(correct_scenario, "10.10.1.0/24")
+        checker = InvariantChecker(lambda router: None)
+        assert checker.check(ctx) == []
+
+    def test_no_clone_skips(self):
+        checker = InvariantChecker(lambda router: "x")
+        ctx = ExecutionContext(peer="p", assignment={}, baseline=OriginBaseline(1))
+        assert checker.check(ctx) == []
+
+
+class TestDefaultSuite:
+    def test_contains_expected_checkers(self):
+        names = {type(c).__name__ for c in default_checkers()}
+        assert names == {
+            "HijackChecker", "LeakRegionChecker", "CrashChecker",
+            "SessionResetChecker",
+        }

@@ -1,0 +1,255 @@
+"""Tests for the extension features: OPEN exploration, parallel sessions,
+the bogon checker, and the CLI."""
+
+import pytest
+
+from repro.bgp.messages import NotificationMessage, OpenMessage
+from repro.concolic import (
+    ConcolicEngine,
+    ExplorationBudget,
+    ExplorationSession,
+    InputSpec,
+    VarSpec,
+)
+from repro.core import BogonChecker, DiceExplorer, OpenMessageModel
+from repro.core.report import FindingKind
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+class TestOpenMessageModel:
+    def observed(self):
+        return OpenMessage(my_as=65020, hold_time=90, bgp_identifier=2)
+
+    def test_spec_fields(self):
+        model = OpenMessageModel(self.observed())
+        spec = model.spec()
+        assert set(spec.names) == {"version", "my_as", "hold_time"}
+        assert spec.initial_assignment() == {
+            "version": 4, "my_as": 65020, "hold_time": 90,
+        }
+
+    def test_build_valid(self):
+        model = OpenMessageModel(self.observed())
+        spec = model.spec()
+        message = model.build(spec.symbolize(
+            {"version": 4, "my_as": 123, "hold_time": 30}
+        ))
+        assert isinstance(message, OpenMessage)
+        assert int(message.my_as) == 123
+
+    def test_invalid_version_is_recorded_branch(self):
+        from repro.concolic import trace
+
+        model = OpenMessageModel(self.observed())
+        spec = model.spec()
+        with trace() as recorder:
+            with pytest.raises(WireFormatError):
+                model.build(spec.symbolize(
+                    {"version": 5, "my_as": 65020, "hold_time": 90}
+                ))
+        assert len(recorder.path) >= 1
+
+    def test_invalid_hold_time_rejected(self):
+        model = OpenMessageModel(self.observed())
+        spec = model.spec()
+        with pytest.raises(WireFormatError):
+            model.build(spec.symbolize(
+                {"version": 4, "my_as": 65020, "hold_time": 2}
+            ))
+        # hold_time 0 is explicitly legal.
+        message = model.build(spec.symbolize(
+            {"version": 4, "my_as": 65020, "hold_time": 0}
+        ))
+        assert int(message.hold_time) == 0
+
+    def test_requires_open(self):
+        from repro.bgp.messages import UpdateMessage
+
+        with pytest.raises(ValueError):
+            OpenMessageModel(UpdateMessage())
+
+    def test_no_marks_rejected(self):
+        model = OpenMessageModel(
+            self.observed(), mark_version=False, mark_my_as=False,
+            mark_hold_time=False,
+        )
+        with pytest.raises(ValueError):
+            model.spec()
+
+
+class TestExploreOpen:
+    def test_open_exploration_finds_bad_peer_as_reset(self, erroneous_scenario):
+        """Exploring OPEN handling discovers the bad-peer-AS session reset."""
+        provider = erroneous_scenario.provider
+        explorer = DiceExplorer()
+        model = OpenMessageModel(OpenMessage(my_as=65020, hold_time=90))
+        report = explorer.explore_open(
+            provider, "customer", model,
+            budget=ExplorationBudget(max_executions=24),
+        )
+        assert report.exploration.executions >= 2
+        resets = [
+            f for f in report.findings if f.kind == FindingKind.SESSION_RESET
+        ]
+        # Some explored OPEN (e.g. wrong my_as) must trigger a NOTIFICATION.
+        assert resets
+        # And the live router's sessions were never touched.
+        assert provider.sessions["customer"].established
+
+
+class TestParallelExploration:
+    @staticmethod
+    def program_a(inputs):
+        if inputs.x > 100:
+            return "a-high"
+        return "a-low"
+
+    @staticmethod
+    def program_b(inputs):
+        if inputs.y == 5:
+            return "b-magic"
+        return "b-plain"
+
+    def test_explore_many_covers_all_jobs(self):
+        engine = ConcolicEngine()
+        jobs = [
+            (self.program_a, InputSpec([VarSpec("x", 16, 0)])),
+            (self.program_b, InputSpec([VarSpec("y", 8, 0)])),
+        ]
+        reports = engine.explore_many(jobs)
+        assert len(reports) == 2
+        values_a = {r.value for r in reports[0].results}
+        values_b = {r.value for r in reports[1].results}
+        assert values_a == {"a-high", "a-low"}
+        assert values_b == {"b-magic", "b-plain"}
+
+    def test_explore_many_matches_sequential(self):
+        """Interleaving must not change per-job outcomes (determinism)."""
+        engine = ConcolicEngine()
+        spec = InputSpec([VarSpec("x", 16, 0)])
+        solo = engine.explore(self.program_a, spec)
+        merged = ConcolicEngine().explore_many(
+            [(self.program_a, InputSpec([VarSpec("x", 16, 0)])),
+             (self.program_b, InputSpec([VarSpec("y", 8, 0)]))]
+        )
+        assert merged[0].unique_paths == solo.unique_paths
+        assert merged[0].executions == solo.executions
+
+    def test_session_stepping(self):
+        engine = ConcolicEngine()
+        session = ExplorationSession(
+            engine, self.program_a, InputSpec([VarSpec("x", 16, 0)])
+        )
+        steps = 0
+        while session.step():
+            steps += 1
+            assert steps < 100
+        report = session.finish()
+        assert report.executions == steps
+        assert session.done
+        assert not session.step()  # finished sessions stay finished
+
+    def test_session_budget(self):
+        engine = ConcolicEngine()
+        session = ExplorationSession(
+            engine, self.program_a, InputSpec([VarSpec("x", 16, 0)]),
+            budget=ExplorationBudget(max_executions=1),
+        )
+        assert session.step()
+        assert not session.step()
+        assert session.finish().stop_reason == "execution-budget"
+
+
+class TestBogonChecker:
+    def test_accepted_bogon_flagged(self, missing_scenario):
+        from tests.core.test_checkers import run_on_clone
+
+        # 172.16/12 space is a textbook bogon; the missing filter takes it.
+        ctx = run_on_clone(missing_scenario, "172.16.5.0/24")
+        findings = BogonChecker().check(ctx)
+        assert len(findings) == 1
+        assert findings[0].kind == FindingKind.INVARIANT_VIOLATION
+        assert "bogon" in findings[0].summary
+
+    def test_rejected_bogon_silent(self, correct_scenario):
+        from tests.core.test_checkers import run_on_clone
+
+        ctx = run_on_clone(correct_scenario, "172.16.5.0/24")
+        assert BogonChecker().check(ctx) == []
+
+    def test_normal_prefix_silent(self, missing_scenario):
+        from tests.core.test_checkers import run_on_clone
+
+        ctx = run_on_clone(missing_scenario, "55.1.0.0/16")
+        assert BogonChecker().check(ctx) == []
+
+    def test_custom_bogon_list(self, missing_scenario):
+        from tests.core.test_checkers import run_on_clone
+
+        checker = BogonChecker(bogons=[P("55.0.0.0/8")])
+        ctx = run_on_clone(missing_scenario, "55.1.0.0/16")
+        assert len(checker.check(ctx)) == 1
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.trace"
+        assert self.run_cli(
+            "trace-gen", str(trace_file), "--prefixes", "100", "--updates", "10"
+        ) == 0
+        assert self.run_cli("trace-info", str(trace_file)) == 0
+        out = capsys.readouterr().out
+        assert "100 prefixes" in out
+        assert "10 updates" not in out or True
+        assert "masklen mix" in out
+
+    def test_check_config_ok(self, tmp_path, capsys):
+        config = tmp_path / "router.conf"
+        config.write_text("""
+router bgp 65001;
+router-id 1.2.3.4;
+filter f { accept; }
+neighbor peer { remote-as 65002; import filter f; }
+""")
+        assert self.run_cli("check-config", str(config)) == 0
+        assert "AS65001" in capsys.readouterr().out
+
+    def test_check_config_error(self, tmp_path, capsys):
+        config = tmp_path / "broken.conf"
+        config.write_text("router bgp banana;")
+        assert self.run_cli("check-config", str(config)) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_leak_check_finds_leaks(self, capsys):
+        code = self.run_cli(
+            "leak-check", "--prefixes", "300", "--updates", "30",
+            "--executions", "16", "--show", "2",
+        )
+        out = capsys.readouterr().out
+        assert code == 2  # findings present -> nonzero like a linter
+        assert "leakable prefixes" in out
+
+    def test_leak_check_clean_on_correct_filter(self, capsys):
+        code = self.run_cli(
+            "leak-check", "--filter-mode", "correct",
+            "--prefixes", "300", "--updates", "30", "--executions", "16",
+        )
+        assert code == 0
+        assert "leakable prefixes: 0" in capsys.readouterr().out
+
+    def test_explore_summary(self, capsys):
+        assert self.run_cli(
+            "explore", "--prefixes", "300", "--updates", "30",
+            "--executions", "12", "--strategy", "dfs",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exploration summary" in out
+        assert "solver:" in out

@@ -1,0 +1,199 @@
+"""Tests for input-marking models and exploration isolation."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import trace
+from repro.concolic.symbolic import SymInt
+from repro.core.inputs import SelectiveUpdateModel, WholeMessageModel, model_for
+from repro.core.isolation import ExplorationSandbox, restore_isolated
+from repro.util.errors import IsolationViolation, WireFormatError
+from repro.util.ip import Prefix, ip_to_int
+
+P = Prefix.parse
+
+
+def observed_update(prefixes=("10.10.1.0/24",), asns=(65020,), med=None):
+    return UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(list(asns)), next_hop=ip_to_int("10.0.0.2"),
+            med=med,
+        ),
+        nlri=[NlriEntry.from_prefix(P(p)) for p in prefixes],
+    )
+
+
+class TestSelectiveModel:
+    def test_spec_declares_nlri_fields(self):
+        model = SelectiveUpdateModel(observed_update())
+        spec = model.spec()
+        assert set(spec.names) == {"nlri_network", "nlri_masklen"}
+        assert spec.initial_assignment() == {
+            "nlri_network": ip_to_int("10.10.1.0"),
+            "nlri_masklen": 24,
+        }
+
+    def test_masklen_domain_allows_invalid_lengths(self):
+        model = SelectiveUpdateModel(observed_update())
+        spec = model.spec()
+        domains = spec.domains()
+        assert domains["nlri_masklen"] == (0, 63)  # >32 must be explorable
+
+    def test_build_replaces_fields_symbolically(self):
+        model = SelectiveUpdateModel(observed_update())
+        spec = model.spec()
+        inputs = spec.symbolize({"nlri_network": ip_to_int("99.0.0.0"),
+                                 "nlri_masklen": 8})
+        update = model.build(inputs)
+        entry = update.nlri[0]
+        assert isinstance(entry.network, SymInt)
+        assert entry.to_prefix() == P("99.0.0.0/8")
+        # The observed message is never mutated.
+        assert model.observed.nlri[0].to_prefix() == P("10.10.1.0/24")
+
+    def test_build_rejects_invalid_masklen_as_recorded_branch(self):
+        model = SelectiveUpdateModel(observed_update())
+        spec = model.spec()
+        inputs = spec.symbolize({"nlri_network": 0, "nlri_masklen": 40})
+        with trace() as recorder:
+            with pytest.raises(WireFormatError):
+                model.build(inputs)
+        assert len(recorder.path) == 1  # the validity check is explorable
+
+    def test_all_generated_messages_syntactically_valid(self):
+        """The paper's point: selective marking only yields valid messages."""
+        model = SelectiveUpdateModel(observed_update())
+        spec = model.spec()
+        for network, masklen in [(0, 0), (2**32 - 1, 32), (12345, 16)]:
+            inputs = spec.symbolize(
+                {"nlri_network": network, "nlri_masklen": masklen}
+            )
+            update = model.build(inputs)
+            update.encode()  # must not raise
+
+    def test_optional_attribute_marking(self):
+        model = SelectiveUpdateModel(
+            observed_update(med=10),
+            mark_med=True, mark_origin=True, mark_origin_asn=True,
+            mark_local_pref=True,
+        )
+        spec = model.spec()
+        assert {"med", "origin", "origin_asn", "local_pref"} <= set(spec.names)
+        inputs = spec.symbolize({
+            "nlri_network": 1, "nlri_masklen": 8, "med": 77, "origin": 1,
+            "origin_asn": 4242, "local_pref": 300,
+        })
+        update = model.build(inputs)
+        assert update.attributes.med.concrete == 77
+        assert update.attributes.origin.concrete == 1
+        assert update.attributes.as_path.origin_as().concrete == 4242
+
+    def test_invalid_origin_value_is_recorded_branch(self):
+        model = SelectiveUpdateModel(observed_update(), mark_origin=True)
+        spec = model.spec()
+        inputs = spec.symbolize({"nlri_network": 1, "nlri_masklen": 8, "origin": 3})
+        with pytest.raises(WireFormatError):
+            model.build(inputs)
+
+    def test_nlri_index_selects_entry(self):
+        update = observed_update(prefixes=("10.10.1.0/24", "10.20.5.0/24"))
+        model = SelectiveUpdateModel(update, nlri_index=1)
+        spec = model.spec()
+        assert spec.initial_assignment()["nlri_network"] == ip_to_int("10.20.5.0")
+
+    def test_requires_nlri(self):
+        with pytest.raises(ValueError):
+            SelectiveUpdateModel(UpdateMessage())
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveUpdateModel(observed_update(), nlri_index=5)
+
+    def test_no_marks_rejected(self):
+        model = SelectiveUpdateModel(
+            observed_update(), mark_network=False, mark_masklen=False
+        )
+        with pytest.raises(ValueError):
+            model.spec()
+
+
+class TestWholeMessageModel:
+    def test_spec_declares_every_byte(self):
+        update = observed_update()
+        model = WholeMessageModel(update)
+        assert len(model.spec()) == len(update.encode())
+
+    def test_identity_assignment_reparses(self):
+        update = observed_update()
+        model = WholeMessageModel(update)
+        spec = model.spec()
+        rebuilt = model.build(spec.symbolize(spec.initial_assignment()))
+        assert rebuilt.nlri[0].to_prefix() == P("10.10.1.0/24")
+
+    def test_mutated_bytes_usually_invalid(self):
+        update = observed_update()
+        model = WholeMessageModel(update)
+        spec = model.spec()
+        corrupted = spec.initial_assignment()
+        corrupted["byte_0"] = 0  # destroys the marker
+        with pytest.raises(WireFormatError):
+            model.build(spec.symbolize(corrupted))
+
+    def test_max_symbolic_bytes_caps_variables(self):
+        update = observed_update()
+        model = WholeMessageModel(update, max_symbolic_bytes=8)
+        assert len(model.spec()) == 8
+        rebuilt = model.build(model.spec().symbolize(model.spec().initial_assignment()))
+        assert rebuilt.nlri[0].to_prefix() == P("10.10.1.0/24")
+
+
+class TestModelFactory:
+    def test_factory(self):
+        update = observed_update()
+        assert isinstance(model_for(update, "selective"), SelectiveUpdateModel)
+        assert isinstance(model_for(update, "whole-message"), WholeMessageModel)
+        with pytest.raises(ValueError):
+            model_for(update, "nonsense")
+
+
+class TestSandbox(object):
+    def test_sandbox_runs_handler_in_isolation(self, correct_scenario):
+        provider = correct_scenario.provider
+        checkpoint = Checkpoint.capture(provider, "sandbox-test")
+        before = provider.table_size()
+        with ExplorationSandbox(checkpoint) as sandbox:
+            update = observed_update(prefixes=("10.10.77.0/24",))
+            sandbox.router.handle_update("customer", update)
+            traffic = sandbox.drain()
+            assert sandbox.router.table_size() == before + 1
+        assert provider.table_size() == before
+        assert len(traffic) >= 1
+        assert set(traffic.destinations()) <= {"customer", "internet"}
+        for destination, message in traffic.decoded():
+            assert message is not None
+
+    def test_sandbox_outside_context_refuses(self, correct_scenario):
+        checkpoint = Checkpoint.capture(correct_scenario.provider, "sbx2")
+        sandbox = ExplorationSandbox(checkpoint)
+        with pytest.raises(IsolationViolation):
+            _ = sandbox.router
+
+    def test_restore_isolated_clock_frozen(self, correct_scenario):
+        checkpoint = Checkpoint.capture(correct_scenario.provider, "sbx3")
+        clone, env = restore_isolated(checkpoint)
+        assert env.is_isolated
+        assert clone.now == checkpoint.node_time
+
+    def test_clone_never_reaches_live_network(self, correct_scenario):
+        """The isolation property: nothing a clone does lands on the fabric."""
+        scenario = correct_scenario
+        live_messages_before = scenario.host.network.total_messages
+        checkpoint = Checkpoint.capture(scenario.provider, "sbx4")
+        clone, env = restore_isolated(checkpoint)
+        clone.handle_update("customer", observed_update(prefixes=("10.10.88.0/24",)))
+        clone.tick()
+        assert scenario.host.network.total_messages == live_messages_before
+        assert len(env.captured) > 0

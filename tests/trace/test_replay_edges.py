@@ -1,0 +1,97 @@
+"""Edge-case tests for the trace replayer's session handling."""
+
+import pytest
+
+from repro.bgp.messages import NotificationMessage, OpenMessage, UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.net.node import NodeHost
+from repro.trace.mrt import Trace
+from repro.trace.replay import TraceReplayer
+from repro.trace.routeviews import generate_trace
+from repro.util.errors import SimulationError
+
+
+ROUTER_CFG = """
+router bgp 65010;
+router-id 10.0.0.1;
+neighbor internet { remote-as 64999; passive; }
+"""
+
+
+def build(trace, compression=0.0):
+    host = NodeHost()
+    router = host.add_node("router", lambda n, e: BgpRouter(n, e, ROUTER_CFG))
+    replayer = host.add_node(
+        "internet",
+        lambda n, e: TraceReplayer(
+            n, e, host.sim, "router", trace,
+            local_as=64999, peer_as=65010, compression=compression,
+        ),
+    )
+    host.add_link("router", "internet", latency=0.001)
+    return host, router, replayer
+
+
+class TestReplayerEdges:
+    def test_messages_from_other_nodes_ignored(self):
+        trace = generate_trace(prefix_count=10, update_count=0)
+        host, router, replayer = build(trace)
+        host.start()
+        # A stray node's message must not confuse the replayer's FSM.
+        replayer.on_message("stranger", OpenMessage(my_as=1).encode())
+        host.run()
+        assert router.table_size() == 10
+
+    def test_notification_from_peer_raises(self):
+        trace = generate_trace(prefix_count=5, update_count=0)
+        host, router, replayer = build(trace)
+        with pytest.raises(SimulationError):
+            replayer.on_message(
+                "router", NotificationMessage(code=6).encode()
+            )
+
+    def test_updates_from_peer_silently_sunk(self):
+        trace = generate_trace(prefix_count=5, update_count=0)
+        host, router, replayer = build(trace)
+        host.start()
+        host.run()
+        # The router may send us UPDATEs (it does not here because of the
+        # export policy, so deliver one by hand): no error, no reply.
+        replayer.on_message("router", UpdateMessage().encode())
+
+    def test_empty_trace_finishes_immediately(self):
+        trace = Trace(dump=[], updates=[])
+        host, router, replayer = build(trace)
+        host.start()
+        host.run()
+        assert replayer.stats.finished_at is not None
+        assert replayer.stats.total_messages == 0
+
+    def test_dump_batch_size_respected(self):
+        trace = generate_trace(prefix_count=300, update_count=0)
+        host, router, replayer = build(trace)
+        replayer.dump_batch = 10
+        host.start()
+        host.run()
+        assert replayer.stats.dump_messages >= 30
+        assert router.table_size() == 300
+
+    def test_compression_scales_schedule(self):
+        trace = generate_trace(prefix_count=10, update_count=30, duration=600.0)
+        host, _, replayer = build(trace, compression=0.5)
+        host.start()
+        host.run()
+        # Updates spread over roughly half the trace duration.
+        assert 100.0 < host.sim.now < 400.0
+
+    def test_replay_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            trace = generate_trace(prefix_count=50, update_count=20, seed=11)
+            host, router, replayer = build(trace)
+            host.start()
+            host.run()
+            results.append(
+                (router.table_size(), sorted(str(p) for p in router.loc_rib.prefixes()))
+            )
+        assert results[0] == results[1]

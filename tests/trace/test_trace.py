@@ -1,0 +1,237 @@
+"""Tests for trace records, synthetic generation, and replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.router import BgpRouter
+from repro.net.node import NodeHost
+from repro.trace.mrt import (
+    KIND_ANNOUNCE,
+    KIND_WITHDRAW,
+    Trace,
+    TraceRecord,
+    read_trace,
+    write_trace,
+)
+from repro.trace.replay import TraceReplayer
+from repro.trace.routeviews import (
+    MASKLEN_WEIGHTS,
+    RouteViewsGenerator,
+    TraceConfig,
+    generate_trace,
+)
+from repro.util.errors import WireFormatError
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+def announce(ts=1.0, prefix="10.0.0.0/8", asns=(65001,)):
+    return TraceRecord.announce(
+        ts, P(prefix),
+        PathAttributes(as_path=AsPath.sequence(list(asns)), next_hop=1),
+    )
+
+
+class TestTraceRecords:
+    def test_announce_requires_attributes(self):
+        with pytest.raises(WireFormatError):
+            TraceRecord(1.0, KIND_ANNOUNCE, P("10.0.0.0/8"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError):
+            TraceRecord(1.0, 9, P("10.0.0.0/8"))
+
+    def test_origin_as(self):
+        record = announce(asns=(65001, 65002))
+        assert record.origin_as() == 65002
+        assert TraceRecord.withdraw(1.0, P("10.0.0.0/8")).origin_as() is None
+
+    def test_roundtrip(self):
+        records = [
+            announce(0.0),
+            TraceRecord.withdraw(5.0, P("11.0.0.0/8")),
+            announce(9.5, "192.168.0.0/16", (1, 2, 3)),
+        ]
+        decoded = read_trace(write_trace(records))
+        assert len(decoded) == 3
+        assert decoded[0].is_announce
+        assert decoded[1].kind == KIND_WITHDRAW
+        assert decoded[2].attributes.as_path.as_list() == [1, 2, 3]
+        assert decoded[2].timestamp == 9.5
+
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError):
+            read_trace(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        data = write_trace([announce()])
+        with pytest.raises(WireFormatError):
+            read_trace(data[:-3])
+
+    def test_trace_container_roundtrip(self):
+        trace = Trace(dump=[announce(0.0)], updates=[announce(3.0, "11.0.0.0/8")])
+        restored = Trace.deserialize(trace.serialize())
+        assert len(restored.dump) == 1
+        assert len(restored.updates) == 1
+        assert restored.duration == 0.0  # single update
+
+    def test_duration(self):
+        trace = Trace(updates=[announce(2.0), announce(12.0)])
+        assert trace.duration == 10.0
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=1e6),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=32),
+        ),
+        max_size=20,
+    ))
+    def test_roundtrip_property(self, raw):
+        records = [
+            announce(ts, str(Prefix(net, length)), (65001,))
+            for ts, net, length in raw
+        ]
+        decoded = read_trace(write_trace(records))
+        assert [(r.timestamp, r.prefix) for r in decoded] == [
+            (r.timestamp, r.prefix) for r in records
+        ]
+
+
+class TestRouteViewsGenerator:
+    def test_deterministic(self):
+        a = generate_trace(prefix_count=200, update_count=50, seed=7)
+        b = generate_trace(prefix_count=200, update_count=50, seed=7)
+        assert a.serialize() == b.serialize()
+
+    def test_seed_changes_output(self):
+        a = generate_trace(prefix_count=100, update_count=10, seed=1)
+        b = generate_trace(prefix_count=100, update_count=10, seed=2)
+        assert a.serialize() != b.serialize()
+
+    def test_dump_size_and_uniqueness(self):
+        trace = generate_trace(prefix_count=500, update_count=0)
+        assert len(trace.dump) == 500
+        assert len({r.prefix for r in trace.dump}) == 500
+
+    def test_all_dump_records_have_valid_paths(self):
+        trace = generate_trace(prefix_count=300, update_count=0)
+        for record in trace.dump:
+            path = record.attributes.as_path
+            asns = path.as_list()
+            assert 1 <= len(asns) <= 6
+            assert len(set(asns)) == len(asns)  # loop-free
+            assert record.origin_as() is not None
+
+    def test_masklen_mix_dominated_by_24(self):
+        trace = generate_trace(prefix_count=2000, update_count=0)
+        lengths = [r.prefix.length for r in trace.dump]
+        share_24 = lengths.count(24) / len(lengths)
+        assert 0.4 < share_24 < 0.7
+        assert all(8 <= l <= 24 for l in lengths)
+
+    def test_private_space_avoided(self):
+        trace = generate_trace(prefix_count=1000, update_count=0)
+        for record in trace.dump:
+            first_octet = record.prefix.network >> 24
+            assert first_octet not in (0, 10, 127, 169, 172, 192)
+            assert first_octet < 224
+
+    def test_update_stream_timing(self):
+        trace = generate_trace(prefix_count=100, update_count=200, duration=900.0)
+        times = [r.timestamp for r in trace.updates]
+        assert times == sorted(times)
+        assert times[-1] <= 900.0 + 1e-6
+        assert times[-1] > 100.0  # spread over the window, not bunched at 0
+
+    def test_update_mix_contains_all_kinds(self):
+        trace = generate_trace(prefix_count=500, update_count=600)
+        kinds = {r.kind for r in trace.updates}
+        assert kinds == {KIND_ANNOUNCE, KIND_WITHDRAW}
+        withdrawn = sum(1 for r in trace.updates if r.kind == KIND_WITHDRAW)
+        assert 0.05 < withdrawn / len(trace.updates) < 0.4
+
+    def test_reannouncements_preserve_origin(self):
+        trace = generate_trace(prefix_count=300, update_count=300)
+        origin_of = {r.prefix: r.origin_as() for r in trace.dump}
+        for record in trace.updates:
+            if record.is_announce and record.prefix in origin_of:
+                assert record.origin_as() == origin_of[record.prefix]
+
+    def test_bad_probability_mix_rejected(self):
+        config = TraceConfig(p_reannounce=0.9, p_new_specific=0.9,
+                             p_withdraw=0.0, p_flap=0.0)
+        with pytest.raises(ValueError):
+            RouteViewsGenerator(config)
+
+    def test_weights_table_shape(self):
+        total = sum(w for _, w in MASKLEN_WEIGHTS)
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+ROUTER_CFG = """
+router bgp 65010;
+router-id 10.0.0.1;
+neighbor internet { remote-as 64999; passive; }
+"""
+
+
+class TestReplay:
+    def build(self, trace, compression=0.0):
+        host = NodeHost()
+        router = host.add_node("router", lambda n, e: BgpRouter(n, e, ROUTER_CFG))
+        replayer = host.add_node(
+            "internet",
+            lambda n, e: TraceReplayer(
+                n, e, host.sim, "router", trace,
+                local_as=64999, peer_as=65010, compression=compression,
+            ),
+        )
+        host.add_link("router", "internet", latency=0.001)
+        host.start()
+        return host, router, replayer
+
+    def test_dump_loads_full_table(self):
+        trace = generate_trace(prefix_count=400, update_count=0)
+        host, router, replayer = self.build(trace)
+        host.run()
+        assert router.table_size() == 400
+        assert replayer.stats.announced_prefixes == 400
+        assert replayer.stats.finished_at is not None
+
+    def test_updates_apply_after_dump(self):
+        trace = generate_trace(prefix_count=300, update_count=100)
+        host, router, replayer = self.build(trace)
+        host.run()
+        assert replayer.stats.update_messages == 100
+        withdrawn = {r.prefix for r in trace.updates if r.kind == KIND_WITHDRAW}
+        announced_after = {
+            r.prefix for r in trace.updates if r.is_announce
+        }
+        for prefix in withdrawn - announced_after:
+            assert prefix not in router.loc_rib
+
+    def test_realtime_compression_paces_updates(self):
+        trace = generate_trace(prefix_count=50, update_count=20, duration=100.0)
+        host, router, replayer = self.build(trace, compression=1.0)
+        host.run()
+        # Simulated clock advanced roughly the trace window.
+        assert host.sim.now >= 50.0
+        assert replayer.stats.update_messages == 20
+
+    def test_on_complete_callback(self):
+        trace = generate_trace(prefix_count=20, update_count=5)
+        host, router, replayer = self.build(trace)
+        fired = []
+        replayer.on_complete = lambda: fired.append(host.sim.now)
+        host.run()
+        assert len(fired) == 1
+
+    def test_empty_update_stream(self):
+        trace = generate_trace(prefix_count=10, update_count=0)
+        host, router, replayer = self.build(trace)
+        host.run()
+        assert replayer.stats.finished_at is not None
+        assert replayer.stats.update_messages == 0

@@ -1,0 +1,239 @@
+"""Tests for IPv4 addresses, prefixes, and the prefix trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import AddressError
+from repro.util.ip import (
+    ADDR_MAX,
+    Prefix,
+    PrefixTrie,
+    int_to_ip,
+    ip_to_int,
+    mask_for,
+)
+
+addresses = st.integers(min_value=0, max_value=ADDR_MAX)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressParsing:
+    def test_roundtrip_known_value(self):
+        assert ip_to_int("10.0.0.1") == 167772161
+        assert int_to_ip(167772161) == "10.0.0.1"
+
+    def test_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == ADDR_MAX
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "1..2.3", ""]
+    )
+    def test_malformed_addresses_rejected(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            int_to_ip(ADDR_MAX + 1)
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+
+    @given(addresses)
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestMask:
+    def test_mask_values(self):
+        assert mask_for(0) == 0
+        assert mask_for(8) == 0xFF000000
+        assert mask_for(32) == ADDR_MAX
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(AddressError):
+            mask_for(33)
+
+    @given(lengths)
+    def test_mask_has_length_leading_ones(self, length):
+        mask = mask_for(length)
+        assert bin(mask | (1 << 33)).count("1") - 1 == length
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert str(p) == "10.0.0.0/8"
+        assert p.length == 8
+
+    def test_bare_address_is_host_route(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_canonicalization_masks_host_bits(self):
+        assert Prefix.parse("10.1.2.3/8") == Prefix.parse("10.0.0.0/8")
+
+    def test_immutable(self):
+        p = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            p.length = 9
+
+    def test_covers_and_overlaps(self):
+        big = Prefix.parse("10.0.0.0/8")
+        small = Prefix.parse("10.1.0.0/16")
+        other = Prefix.parse("11.0.0.0/8")
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.overlaps(small) and small.overlaps(big)
+        assert not big.overlaps(other)
+
+    def test_contains_operators(self):
+        big = Prefix.parse("10.0.0.0/8")
+        assert Prefix.parse("10.2.0.0/16") in big
+        assert ip_to_int("10.255.0.1") in big
+        assert "10.3.0.0/24" in big
+        assert Prefix.parse("11.0.0.0/16") not in big
+
+    def test_supernet_and_subnets(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.supernet() == Prefix.parse("10.0.0.0/7")
+        low, high = p.subnets()
+        assert low == Prefix.parse("10.0.0.0/9")
+        assert high == Prefix.parse("10.128.0.0/9")
+        assert Prefix(0, 0).supernet() == Prefix(0, 0)
+
+    def test_subnet_of_host_route_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("1.2.3.4/32").subnets()
+
+    def test_ordering_groups_covering_first(self):
+        prefixes = sorted(
+            [Prefix.parse("10.0.1.0/24"), Prefix.parse("10.0.0.0/8"),
+             Prefix.parse("10.0.0.0/16")]
+        )
+        assert [str(p) for p in prefixes] == [
+            "10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24"
+        ]
+
+    def test_size_and_broadcast(self):
+        p = Prefix.parse("192.168.1.0/24")
+        assert p.size == 256
+        assert int_to_ip(p.broadcast) == "192.168.1.255"
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        p = Prefix.parse("10.20.0.0/16")
+        assert pickle.loads(pickle.dumps(p)) == p
+
+    @given(addresses, lengths)
+    def test_network_has_no_host_bits(self, network, length):
+        p = Prefix(network, length)
+        assert p.network & ~mask_for(length) == 0
+
+    @given(addresses, st.integers(min_value=1, max_value=32))
+    def test_subnets_partition_parent(self, network, length):
+        parent = Prefix(network, length - 1)
+        low, high = parent.subnets()
+        assert low.size + high.size == parent.size
+        assert parent.covers(low) and parent.covers(high)
+        assert not low.overlaps(high)
+
+
+class TestPrefixTrie:
+    def test_insert_get_remove(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "x")
+        assert trie.get(p) == "x"
+        assert p in trie
+        assert len(trie) == 1
+        assert trie.remove(p)
+        assert p not in trie
+        assert not trie.remove(p)
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, 1)
+        trie.insert(p, 2)
+        assert trie.get(p) == 2
+        assert len(trie) == 1
+
+    def test_stored_none_distinct_from_absent(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, None)
+        assert p in trie
+        assert trie.get(p, "default") is None
+
+    def test_longest_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "eight")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+        hit = trie.longest_match(ip_to_int("10.1.2.3"))
+        assert hit is not None
+        prefix, value = hit
+        assert value == "sixteen" and prefix == Prefix.parse("10.1.0.0/16")
+        hit = trie.longest_match(ip_to_int("10.9.0.0"))
+        assert hit[1] == "eight"
+        assert trie.longest_match(ip_to_int("11.0.0.0")) is None
+
+    def test_default_route_matches_everything(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        assert trie.longest_match(12345)[1] == "default"
+
+    def test_covering_shortest_first(self):
+        trie = PrefixTrie()
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"):
+            trie.insert(Prefix.parse(text), text)
+        found = [value for _, value in trie.covering(Prefix.parse("10.1.2.0/25"))]
+        assert found == ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+
+    def test_covering_includes_exact(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.1.0.0/16")
+        trie.insert(p, "v")
+        assert [v for _, v in trie.covering(p)] == ["v"]
+
+    def test_covered_by(self):
+        trie = PrefixTrie()
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"):
+            trie.insert(Prefix.parse(text), text)
+        found = {v for _, v in trie.covered_by(Prefix.parse("10.0.0.0/8"))}
+        assert found == {"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"}
+
+    def test_items_count(self):
+        trie = PrefixTrie()
+        prefixes = [Prefix(i << 24, 8) for i in range(1, 30)]
+        for p in prefixes:
+            trie.insert(p, p)
+        assert len(list(trie.items())) == len(prefixes)
+
+    @given(
+        st.lists(
+            st.tuples(addresses, lengths), min_size=1, max_size=60, unique_by=lambda t: t
+        )
+    )
+    def test_trie_agrees_with_linear_scan(self, entries):
+        trie = PrefixTrie()
+        table = {}
+        for network, length in entries:
+            p = Prefix(network, length)
+            trie.insert(p, (network, length))
+            table[p] = (network, length)
+        assert len(trie) == len(table)
+        for p, value in table.items():
+            assert trie.get(p) == value
+        # Longest match agrees with brute force for a probe address.
+        probe = entries[0][0]
+        expected = None
+        for p in table:
+            if p.contains_address(probe):
+                if expected is None or p.length > expected.length:
+                    expected = p
+        got = trie.longest_match(probe)
+        if expected is None:
+            assert got is None
+        else:
+            assert got[0] == expected

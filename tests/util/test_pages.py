@@ -1,0 +1,121 @@
+"""Tests for page-level memory accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.pages import PAGE_SIZE, PageSet, PageStore, paginate
+
+
+class TestPaginate:
+    def test_exact_pages(self):
+        assert len(paginate(b"x" * (3 * PAGE_SIZE))) == 3
+
+    def test_partial_last_page(self):
+        assert len(paginate(b"x" * (PAGE_SIZE + 1))) == 2
+
+    def test_empty(self):
+        assert paginate(b"") == []
+
+    def test_identical_content_identical_digests(self):
+        a = paginate(b"a" * PAGE_SIZE + b"b" * PAGE_SIZE)
+        b = paginate(b"a" * PAGE_SIZE + b"b" * PAGE_SIZE)
+        assert a == b
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            paginate(b"x", page_size=0)
+
+
+class TestPageSet:
+    def test_identical_images_share_everything(self):
+        data = bytes(range(256)) * 64
+        a = PageSet.from_bytes(data)
+        b = PageSet.from_bytes(data)
+        assert a.unique_pages(b) == 0
+        assert a.unique_fraction(b) == 0.0
+
+    def test_disjoint_images_share_nothing(self):
+        a = PageSet.from_bytes(b"a" * PAGE_SIZE * 4)
+        b = PageSet.from_bytes(b"b" * PAGE_SIZE * 4)
+        assert a.unique_fraction(b) == 1.0
+
+    def test_multiset_semantics(self):
+        # Two identical pages in one image count as two resident pages.
+        double = PageSet.from_bytes(b"a" * PAGE_SIZE * 2)
+        single = PageSet.from_bytes(b"a" * PAGE_SIZE)
+        assert len(double) == 2
+        assert double.unique_pages(single) == 1
+
+    def test_segments_are_independent(self):
+        # Growth in the first segment must not dirty the second's pages.
+        seg2 = b"s" * (PAGE_SIZE * 3)
+        before = PageSet.from_segments([b"a" * 100, seg2])
+        after = PageSet.from_segments([b"a" * 150, seg2])
+        assert after.unique_pages(before) == 1  # only segment 1's page
+
+    def test_growth_fraction(self):
+        base = PageSet.from_bytes(b"a" * PAGE_SIZE * 10)
+        grown = PageSet.from_segments(
+            [b"a" * PAGE_SIZE * 10, b"new" * PAGE_SIZE]
+        )
+        assert grown.growth_fraction(base) == pytest.approx(
+            grown.unique_pages(base) / 10
+        )
+
+    def test_empty_baseline(self):
+        empty = PageSet.from_bytes(b"")
+        other = PageSet.from_bytes(b"x" * PAGE_SIZE)
+        assert other.growth_fraction(empty) == 0.0
+        assert empty.unique_fraction(other) == 0.0
+
+    @given(st.binary(max_size=PAGE_SIZE * 4), st.binary(max_size=PAGE_SIZE * 4))
+    def test_unique_fraction_bounds(self, a, b):
+        sa = PageSet.from_bytes(a)
+        sb = PageSet.from_bytes(b)
+        assert 0.0 <= sa.unique_fraction(sb) <= 1.0
+
+    @given(st.binary(min_size=1, max_size=PAGE_SIZE * 4))
+    def test_self_comparison_is_zero(self, data):
+        s = PageSet.from_bytes(data)
+        assert s.unique_pages(s) == 0
+
+
+class TestPageStore:
+    def test_sharing_accounting(self):
+        store = PageStore()
+        image = PageSet.from_bytes(b"a" * PAGE_SIZE * 5)
+        store.register("parent", image)
+        store.register("child", image)
+        assert store.resident_pages == 1  # all five pages identical content
+        assert store.virtual_pages == 10
+        assert store.sharing_ratio == pytest.approx(10.0)
+
+    def test_distinct_content_not_shared(self):
+        store = PageStore()
+        store.register("a", PageSet.from_bytes(bytes([1]) * PAGE_SIZE))
+        store.register("b", PageSet.from_bytes(bytes([2]) * PAGE_SIZE))
+        assert store.resident_pages == 2
+
+    def test_unregister_releases(self):
+        store = PageStore()
+        image = PageSet.from_bytes(b"a" * PAGE_SIZE)
+        store.register("a", image)
+        store.register("b", image)
+        store.unregister("a")
+        assert store.resident_pages == 1
+        store.unregister("b")
+        assert store.resident_pages == 0
+
+    def test_reregister_replaces(self):
+        store = PageStore()
+        store.register("a", PageSet.from_bytes(b"1" * PAGE_SIZE))
+        store.register("a", PageSet.from_bytes(b"2" * PAGE_SIZE))
+        assert store.virtual_pages == 1
+
+    def test_unregister_unknown_is_noop(self):
+        store = PageStore()
+        store.unregister("ghost")
+        assert store.resident_pages == 0
+
+    def test_empty_store_ratio(self):
+        assert PageStore().sharing_ratio == 1.0

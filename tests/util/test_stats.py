@@ -1,0 +1,154 @@
+"""Tests for the measurement primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    Counter,
+    CounterRegistry,
+    Histogram,
+    RateMeter,
+    RunningStats,
+    Stopwatch,
+)
+
+
+class TestCounters:
+    def test_increment(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+    def test_registry_creates_on_demand(self):
+        registry = CounterRegistry()
+        registry.increment("a")
+        registry.increment("a", 2)
+        assert registry["a"] == 3
+        assert registry["missing"] == 0
+
+    def test_registry_snapshot_and_reset(self):
+        registry = CounterRegistry()
+        registry.increment("a")
+        snap = registry.snapshot()
+        registry.increment("a")
+        assert snap == {"a": 1}
+        registry.reset()
+        assert registry["a"] == 0
+
+    def test_registry_picklable(self):
+        import pickle
+
+        registry = CounterRegistry()
+        registry.increment("routes", 7)
+        restored = pickle.loads(pickle.dumps(registry))
+        assert restored["routes"] == 7
+
+
+class TestRunningStats:
+    def test_known_values(self):
+        stats = RunningStats()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, rel=1e-3)
+        assert stats.minimum == 2.0 and stats.maximum == 9.0
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.minimum is None
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.variance == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=60))
+    def test_matches_naive_computation(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.add(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(50) == pytest.approx(50.5)
+
+    def test_single_sample(self):
+        hist = Histogram()
+        hist.add(42.0)
+        assert hist.percentile(99) == 42.0
+        assert hist.mean == 42.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+        with pytest.raises(ValueError):
+            _ = Histogram().mean
+
+    def test_bad_percentile(self):
+        hist = Histogram()
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_min_max(self):
+        hist = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            hist.add(value)
+        assert hist.minimum == 1.0 and hist.maximum == 3.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=80))
+    def test_percentile_monotonic(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.add(value)
+        p25, p50, p75 = (hist.percentile(p) for p in (25, 50, 75))
+        assert p25 <= p50 <= p75
+
+
+class TestRateMeter:
+    def test_rate(self):
+        meter = RateMeter(start_time=0.0)
+        meter.record(1.0)
+        meter.record(2.0, count=3)
+        assert meter.rate() == pytest.approx(4 / 2.0)
+
+    def test_explicit_now(self):
+        meter = RateMeter(start_time=0.0)
+        meter.record(1.0, count=10)
+        assert meter.rate(now=10.0) == pytest.approx(1.0)
+
+    def test_time_going_backwards_rejected(self):
+        meter = RateMeter()
+        meter.record(5.0)
+        with pytest.raises(ValueError):
+            meter.record(4.0)
+
+    def test_zero_elapsed(self):
+        meter = RateMeter(start_time=1.0)
+        assert meter.rate(now=1.0) == 0.0
+
+
+class TestStopwatch:
+    def test_measures_nonnegative(self):
+        with Stopwatch() as watch:
+            math.sqrt(123456.0)
+        assert watch.elapsed >= 0.0
