@@ -1,9 +1,10 @@
 """Setup shim for offline editable installs (no `wheel` package available).
 
-The pip on this machine lacks the `wheel` backend needed for PEP 660
-editable wheels, so `pip install -e .` is routed through the legacy
-`setup.py develop` path (see the pip config in ~/.config/pip/pip.conf).
-All real metadata lives in pyproject.toml.
+Machines without the `wheel` backend cannot build the PEP 660 editable
+wheels `pip install -e .` requires; run `python setup.py develop`
+directly there instead (it installs the package and the `repro` console
+script without pip).  All real metadata lives in pyproject.toml, which
+setuptools reads from here too.
 """
 
 from setuptools import setup

@@ -76,6 +76,8 @@ def cmd_leak_check(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     scenario = _build(args)
+    if args.workers > 1 or args.all_seeds:
+        return _explore_parallel(scenario, args)
     seed = scenario.dice.pick_seed("customer")
     if seed is None:
         print("no observed inputs")
@@ -97,6 +99,32 @@ def cmd_explore(args: argparse.Namespace) -> int:
           f"{report.exploration.coverage.covered_sites} sites")
     stats = scenario.dice.explorer.engine.solver.stats
     print("solver:", stats.as_dict())
+    return 0
+
+
+def _explore_parallel(scenario, args: argparse.Namespace) -> int:
+    """Batch exploration across the observed seed buffers."""
+    seeds = scenario.dice.batch_seeds(all_seeds=True)
+    if not seeds:
+        print("no observed inputs")
+        return 1
+    # The explorer comes from the scenario's DiCE so its checkers and
+    # anycast whitelist apply here exactly as in sequential rounds.
+    scenario.dice.policy = args.policy
+    explorer = scenario.dice.parallel_explorer(
+        workers=args.workers, strategy=args.strategy, strategy_seed=args.seed
+    )
+    batch = explorer.explore_batch(
+        scenario.provider, seeds,
+        budget=ExplorationBudget(max_executions=args.executions),
+    )
+    print(f"parallel exploration ({args.workers} workers, "
+          f"{len(batch.reports)} sessions):")
+    for key, value in batch.summary().items():
+        print(f"  {key}: {value}")
+    if batch.fallback_reason:
+        print(f"  note: process pool unavailable ({batch.fallback_reason}); "
+              "ran on the in-process executor")
     return 0
 
 
@@ -174,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("generational", "dfs", "bfs", "random"))
     explore.add_argument("--policy", default="selective",
                          choices=("selective", "whole-message"))
+    explore.add_argument("--workers", type=int, default=1,
+                         help="worker processes; >1 fans the observed seed "
+                              "buffers out in parallel")
+    explore.add_argument("--all-seeds", action="store_true",
+                         help="explore every buffered seed (implied by "
+                              "--workers > 1)")
     explore.set_defaults(func=cmd_explore)
 
     gen = commands.add_parser("trace-gen", help="synthesize a RouteViews-style trace")

@@ -16,9 +16,10 @@ plain functions).
 
 from __future__ import annotations
 
+import pickle
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.concolic import tracer
@@ -34,7 +35,26 @@ from repro.concolic.strategies import (
 )
 from repro.concolic.symbolic import SymInt
 from repro.concolic.tracer import BranchSite
-from repro.util.errors import ExplorationError, SymbolicError
+from repro.util.errors import ExplorationError, SymbolicError, TransportedError
+
+
+def transportable_exception(
+    exception: Optional[BaseException],
+) -> Optional[BaseException]:
+    """``exception`` if it survives pickling, else a :class:`TransportedError`.
+
+    Exploration results cross process boundaries in parallel mode; an
+    exception object holding references to clones or environments would
+    either fail to pickle or drag megabytes of state along.  The wrapper
+    keeps the type name and message — what checkers and reports use.
+    """
+    if exception is None:
+        return None
+    try:
+        pickle.loads(pickle.dumps(exception, protocol=pickle.HIGHEST_PROTOCOL))
+        return exception
+    except Exception:
+        return TransportedError(type(exception).__name__, str(exception))
 
 
 class PathBudgetExceeded(SymbolicError):
@@ -213,6 +233,11 @@ class ExplorationReport:
     negations_skipped: int = 0
     stop_reason: str = "frontier-exhausted"
     wall_seconds: float = 0.0
+    #: Filled by parallel workers before shipping the report back (each
+    #: worker owns a private solver whose counters would otherwise be
+    #: lost with the process); empty for in-process explorations, where
+    #: the caller can read ``engine.solver.stats`` directly.
+    solver_stats: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -229,6 +254,24 @@ class ExplorationReport:
             "stop_reason": self.stop_reason,
             "wall_seconds": round(self.wall_seconds, 4),
         }
+
+    def compact(self) -> "ExplorationReport":
+        """A transport-safe copy: no retained results, picklable crashes.
+
+        Parallel workers return their reports over a process boundary;
+        ``results`` can pin arbitrary program-under-test values and the
+        crash records may hold unpicklable exceptions, so both are
+        stripped down to what the coordinator aggregates.
+        """
+        compacted = replace(self, results=[], crashes=[
+            replace(
+                crash,
+                value=None,
+                exception=transportable_exception(crash.exception),
+            )
+            for crash in self.crashes
+        ])
+        return compacted
 
 
 Program = Callable[[SymbolicInputs], object]

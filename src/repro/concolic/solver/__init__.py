@@ -5,6 +5,11 @@ the individual techniques (interval propagation, linear inversion, guided
 search) for testing and for the solver-ablation benchmark.
 """
 
+from repro.concolic.solver.cache import (
+    ConstraintCache,
+    DictConstraintCache,
+    canonical_query_key,
+)
 from repro.concolic.solver.intervals import Interval, eval_interval, narrow, propagate
 from repro.concolic.solver.linear import NotLinear, linearize, solve_atom
 from repro.concolic.solver.search import (
@@ -18,10 +23,13 @@ from repro.concolic.solver.solver import Assignment, ConstraintSolver, SolverSta
 
 __all__ = [
     "Assignment",
+    "ConstraintCache",
     "ConstraintSolver",
+    "DictConstraintCache",
     "Interval",
     "NotLinear",
     "SolverStats",
+    "canonical_query_key",
     "branch_distance",
     "enumerate_variable",
     "eval_interval",

@@ -1,0 +1,125 @@
+"""Constraint-query result caching for the exploration loop.
+
+Negating branch *i* of a path condition asks the solver for a model of
+the conjunction ``held(0..i-1) ∧ ¬branch(i)``.  When exploration fans a
+batch of observed seeds out to workers (``repro.parallel``), many of
+those conjunctions are *identical* across sessions — duplicate seeds in
+the observed ring buffers reproduce the same path conditions branch for
+branch — so solving each query once and sharing the result is pure
+profit.
+
+The cache key canonicalizes the whole query: the constraint conjunction
+(structural, via the expressions' canonical renderings), the variable
+domains, and the solver hint.  Including the hint makes a cache hit
+*bit-identical* to what the session would have computed locally (the
+hint seeds stages 3-6 of the solver pipeline), which is what keeps
+multi-worker exploration deterministic: a session cannot observe a
+different model merely because another worker solved the query first.
+
+Cached entries record the outcome category, so stats stay faithful:
+
+* ``("sat", ((name, value), ...))`` — a model, as sorted items;
+* ``("unsat",)`` — proved unsatisfiable;
+* ``("unknown",)`` — every pipeline stage gave up.
+
+This module defines the *hook* (key function, protocol, and an
+in-process implementation).  The cross-process shared implementation
+lives in :mod:`repro.parallel.cache`, keeping the solver layer free of
+multiprocessing concerns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.concolic.expr import Expr
+from repro.concolic.solver.intervals import Interval
+
+Assignment = Dict[str, int]
+
+#: ("sat", sorted model items) | ("unsat",) | ("unknown",)
+CacheEntry = Tuple
+
+
+def canonical_query_key(
+    constraints: Sequence[Expr],
+    domains: Dict[str, Interval],
+    hint: Optional[Assignment] = None,
+) -> bytes:
+    """A digest identifying a solver query up to structural equality.
+
+    Expression rendering is deterministic (every node type defines a
+    canonical ``repr``), and domains/hint are folded in sorted order, so
+    the key is stable across processes and sessions.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for constraint in constraints:
+        digest.update(repr(constraint).encode())
+        digest.update(b"\x00")
+    digest.update(b"\x01")
+    for name, (lo, hi) in sorted(domains.items()):
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(str(lo).encode())
+        digest.update(b"\x00")
+        digest.update(str(hi).encode())
+        digest.update(b"\x00")
+    digest.update(b"\x02")
+    for name, value in sorted((hint or {}).items()):
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(str(value).encode())
+        digest.update(b"\x00")
+    return digest.digest()
+
+
+def entry_for_model(model: Optional[Assignment], proved_unsat: bool) -> CacheEntry:
+    """Encode a solver outcome as a cache entry."""
+    if model is not None:
+        return ("sat", tuple(sorted(model.items())))
+    return ("unsat",) if proved_unsat else ("unknown",)
+
+
+def model_from_entry(entry: CacheEntry) -> Optional[Assignment]:
+    """Decode a cache entry back into a solver result."""
+    if entry[0] == "sat":
+        return dict(entry[1])
+    return None
+
+
+@runtime_checkable
+class ConstraintCache(Protocol):
+    """What the solver needs from a constraint-result cache."""
+
+    def get(self, key: bytes) -> Optional[CacheEntry]:
+        """The cached entry for ``key``, or None on a miss."""
+
+    def put(self, key: bytes, entry: CacheEntry) -> None:
+        """Record the solved entry for ``key``."""
+
+
+class DictConstraintCache:
+    """A plain in-process cache (single worker / serial fallback)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: bytes, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+
+    def info(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}

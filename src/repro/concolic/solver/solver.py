@@ -27,6 +27,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.concolic.expr import BinOp, Const, Expr, UnaryOp
 from repro.concolic.solver import search
+from repro.concolic.solver.cache import (
+    ConstraintCache,
+    canonical_query_key,
+    entry_for_model,
+    model_from_entry,
+)
 from repro.concolic.solver.intervals import Interval, propagate
 from repro.concolic.solver.linear import solve_atom
 
@@ -45,6 +51,8 @@ class SolverStats:
     linear_hits: int = 0
     enumeration_hits: int = 0
     search_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     total_time: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -57,6 +65,8 @@ class SolverStats:
             "linear_hits": self.linear_hits,
             "enumeration_hits": self.enumeration_hits,
             "search_hits": self.search_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "total_time": self.total_time,
         }
 
@@ -67,12 +77,23 @@ class SolverStats:
 
 @dataclass
 class ConstraintSolver:
-    """Facade combining screening, intervals, linear solving and search."""
+    """Facade combining screening, intervals, linear solving and search.
+
+    ``cache`` (optional) short-circuits queries whose canonical form —
+    constraints, domains, *and* hint — has been solved before, anywhere
+    the cache is shared (see :mod:`repro.concolic.solver.cache`).
+    ``deterministic_rng`` makes the local-search stage a pure function of
+    the query (its RNG is derived from the canonical key instead of a
+    shared stream), so a cached entry is exactly what a fresh solve would
+    produce; parallel exploration workers enable both.
+    """
 
     rng: random.Random = field(default_factory=lambda: random.Random(0x51CE))
     max_search_iters: int = 2000
     enum_limit: int = 4096
     stats: SolverStats = field(default_factory=SolverStats)
+    cache: Optional[ConstraintCache] = None
+    deterministic_rng: bool = False
 
     def solve(
         self,
@@ -88,15 +109,43 @@ class ConstraintSolver:
         started = time.perf_counter()
         self.stats.queries += 1
         try:
-            return self._solve(list(constraints), dict(domains), dict(hint or {}))
+            key = None
+            if self.cache is not None or self.deterministic_rng:
+                key = canonical_query_key(constraints, domains, hint)
+            if self.cache is not None:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    return self._replay_entry(entry)
+                self.stats.cache_misses += 1
+            rng = self.rng
+            if self.deterministic_rng:
+                rng = random.Random(int.from_bytes(key[:8], "big"))
+            unsat_before = self.stats.unsat_proved
+            model = self._solve(list(constraints), dict(domains), dict(hint or {}), rng)
+            if self.cache is not None:
+                proved_unsat = self.stats.unsat_proved > unsat_before
+                self.cache.put(key, entry_for_model(model, proved_unsat))
+            return model
         finally:
             self.stats.total_time += time.perf_counter() - started
+
+    def _replay_entry(self, entry) -> Optional[Assignment]:
+        """Account a cache hit with the same counters a fresh solve would."""
+        self.stats.cache_hits += 1
+        if entry[0] == "sat":
+            self.stats.sat += 1
+        elif entry[0] == "unsat":
+            self.stats.unsat_proved += 1
+        else:
+            self.stats.unknown += 1
+        return model_from_entry(entry)
 
     def _solve(
         self,
         constraints: List[Expr],
         domains: Dict[str, Interval],
         hint: Assignment,
+        rng: Optional[random.Random] = None,
     ) -> Optional[Assignment]:
         # 1. Constant screening.
         live: List[Expr] = []
@@ -141,7 +190,8 @@ class ConstraintSolver:
 
         # 6. Guided local search.
         found = search.local_search(
-            live, narrowed, env, self.rng, max_iters=self.max_search_iters
+            live, narrowed, env, rng if rng is not None else self.rng,
+            max_iters=self.max_search_iters,
         )
         if found is not None:
             self.stats.sat += 1

@@ -15,7 +15,20 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # avoids the runtime core <-> parallel import cycle
+    from repro.parallel.explorer import BatchReport, ParallelExplorer
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
@@ -25,6 +38,7 @@ from repro.core.checkers import FaultChecker, default_checkers
 from repro.core.explorer import DiceExplorer
 from repro.core.inputs import InputModel, model_for
 from repro.core.report import Finding, SessionReport
+from repro.util.errors import ExplorationError
 from repro.util.ip import Prefix
 
 ObserverHook = Callable[[str, UpdateMessage], None]
@@ -60,6 +74,10 @@ class DiCE:
         anycast_whitelist: Optional[List[Prefix]] = None,
     ):
         self.router = router
+        # Parallel rounds rebuild checkers inside each worker: default
+        # checkers from the whitelist, or the caller's (picklable) list.
+        self._custom_checkers = list(checkers) if checkers is not None else None
+        self._anycast_whitelist = list(anycast_whitelist or [])
         if checkers is None:
             checkers = default_checkers(anycast_whitelist)
         self.explorer = DiceExplorer(engine=engine, checkers=checkers)
@@ -69,6 +87,7 @@ class DiCE:
         # evict the seeds observed from a quiet one.
         self._observed_capacity = observed_capacity
         self._observed: Dict[str, Deque[UpdateMessage]] = {}
+        self._last_served_peer: Optional[str] = None
         self.rounds: List[SessionReport] = []
         self.exploration_wall_seconds = 0.0
         if isinstance(router, DiceEnabledRouter):
@@ -104,19 +123,52 @@ class DiCE:
     def pick_seed(
         self, peer: Optional[str] = None
     ) -> Optional[Tuple[str, UpdateMessage]]:
-        """The most recent observed input, optionally from a given peer."""
+        """The most recent observed input, round-robin across peers.
+
+        Without an explicit ``peer``, successive calls rotate through the
+        peers that have buffered seeds: serving whichever peer spoke last
+        (the old behavior) let a chatty peer starve the quiet ones, so a
+        fault reachable only from a low-volume session was never
+        explored.  Rotation order is peer insertion order, resuming after
+        the peer served by the previous call.
+        """
         if peer is not None:
             buffer = self._observed.get(peer)
             if not buffer:
                 return None
             return (peer, buffer[-1])
-        for peer_id in reversed(list(self._observed)):
-            buffer = self._observed[peer_id]
-            if buffer:
-                return (peer_id, buffer[-1])
-        return None
+        peers = [p for p, buffer in self._observed.items() if buffer]
+        if not peers:
+            return None
+        start = 0
+        if self._last_served_peer in peers:
+            start = (peers.index(self._last_served_peer) + 1) % len(peers)
+        peer_id = peers[start]
+        self._last_served_peer = peer_id
+        return (peer_id, self._observed[peer_id][-1])
 
     # -- exploration rounds -----------------------------------------------------
+
+    def batch_seeds(
+        self, peer: Optional[str] = None, all_seeds: bool = True
+    ) -> List[Tuple[str, UpdateMessage]]:
+        """The seed batch a parallel round explores.
+
+        ``all_seeds`` takes every buffered input from every peer's ring
+        buffer (optionally restricted to one peer); otherwise one seed —
+        the most recent — per peer, which still beats the sequential
+        round's single seed while keeping the batch small.
+        """
+        if all_seeds:
+            if peer is None:
+                return self.observed
+            buffer = self._observed.get(peer)
+            return [(peer, update) for update in buffer] if buffer else []
+        return [
+            (peer_id, buffer[-1])
+            for peer_id, buffer in self._observed.items()
+            if buffer and (peer is None or peer_id == peer)
+        ]
 
     def run_round(
         self,
@@ -124,13 +176,34 @@ class DiCE:
         budget: Optional[ExplorationBudget] = None,
         strategy: Optional[SearchStrategy] = None,
         model: Optional[InputModel] = None,
-    ) -> Optional[SessionReport]:
-        """One checkpoint + exploration session from the latest seed.
+        parallel: int = 1,
+        all_seeds: bool = False,
+    ) -> Union[SessionReport, "BatchReport", None]:
+        """One exploration round; parallel when asked.
+
+        The default is the sequential session of the original prototype:
+        one checkpoint + exploration from the round-robin-picked seed.
+        With ``parallel > 1`` or ``all_seeds=True`` the round becomes a
+        batch — a single checkpoint fanned out across the observed seed
+        buffers to ``parallel`` worker processes (see
+        :class:`repro.parallel.ParallelExplorer`) — and the return value
+        is the aggregated :class:`~repro.parallel.explorer.BatchReport`.
+        Every session report still lands in :attr:`rounds`, so findings
+        aggregation is identical either way.
 
         Returns None when no input has been observed yet (nothing to
         explore).  Wall-clock time spent is accumulated for the overhead
         accounting in the CPU benchmark.
         """
+        if parallel > 1 or all_seeds:
+            if strategy is not None or model is not None:
+                raise ExplorationError(
+                    "parallel rounds build stock per-worker engines, "
+                    "strategies, and models (live objects cannot cross the "
+                    "process boundary); for custom configurations use "
+                    "repro.parallel.ParallelExplorer directly"
+                )
+            return self._run_parallel_round(peer, budget, parallel, all_seeds)
         seed = self.pick_seed(peer)
         if seed is None:
             return None
@@ -144,6 +217,53 @@ class DiCE:
         self.exploration_wall_seconds += time.perf_counter() - started
         self.rounds.append(report)
         return report
+
+    def parallel_explorer(
+        self,
+        workers: int = 1,
+        strategy: str = "generational",
+        strategy_seed: int = 0,
+        constraint_cache: bool = True,
+    ) -> "ParallelExplorer":
+        """A batch explorer carrying this DiCE's exploration configuration.
+
+        The single place where the facade's policy, model kwargs, custom
+        checkers, and anycast whitelist are translated into picklable
+        worker configuration — callers (``run_round``, the CLI) should
+        build batch explorers here rather than by hand.  Note the worker
+        engines are stock: a custom ``engine`` passed to :class:`DiCE`
+        applies to sequential rounds only, because live engine/solver
+        objects cannot cross the process boundary.
+        """
+        from repro.parallel.explorer import ParallelExplorer
+
+        return ParallelExplorer(
+            workers=max(workers, 1),
+            policy=self.policy,
+            model_kwargs=self.model_kwargs,
+            checkers=self._custom_checkers,
+            anycast_whitelist=self._anycast_whitelist,
+            strategy=strategy,
+            strategy_seed=strategy_seed,
+            constraint_cache=constraint_cache,
+        )
+
+    def _run_parallel_round(
+        self,
+        peer: Optional[str],
+        budget: Optional[ExplorationBudget],
+        workers: int,
+        all_seeds: bool,
+    ) -> Optional["BatchReport"]:
+        seeds = self.batch_seeds(peer, all_seeds=all_seeds)
+        if not seeds:
+            return None
+        batch = self.parallel_explorer(workers).explore_batch(
+            self.router, seeds, budget=budget
+        )
+        self.rounds.extend(batch.reports)
+        self.exploration_wall_seconds += batch.wall_seconds
+        return batch
 
     # -- aggregation ----------------------------------------------------------------
 

@@ -10,6 +10,7 @@ to write the missing filter.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -74,7 +75,12 @@ class Finding:
 
 @dataclass
 class SessionReport:
-    """Everything one DiCE exploration session produced."""
+    """Everything one DiCE exploration session produced.
+
+    ``solver_stats`` is populated by parallel workers (each worker owns a
+    private solver, so its counters — including constraint-cache hits —
+    would otherwise be lost when the worker process exits).
+    """
 
     peer: str
     model_name: str
@@ -83,6 +89,11 @@ class SessionReport:
     checkpoint_pages: int = 0
     checkpoint_seconds: float = 0.0
     clone_count: int = 0
+    solver_stats: Dict[str, float] = field(default_factory=dict)
+
+    def compact(self) -> "SessionReport":
+        """A transport-safe copy for crossing process boundaries."""
+        return dataclasses.replace(self, exploration=self.exploration.compact())
 
     def unique_findings(self) -> List[Finding]:
         seen: Dict[tuple, Finding] = {}

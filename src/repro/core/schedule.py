@@ -32,6 +32,8 @@ class ScheduleConfig:
     peer: Optional[str] = None        # restrict seeds to one peer
     max_rounds: Optional[int] = None  # stop after this many rounds
     start_after: float = 0.0          # delay before the first round
+    parallel: int = 1                 # worker processes per round (spare cores)
+    all_seeds: bool = False           # explore every buffered seed, not one
 
 
 @dataclass
@@ -73,8 +75,16 @@ class OnlineScheduler:
         if self._stopped:
             return
         started = time.perf_counter()
+        # Parallel knobs are passed only when set, so DiCE-compatible
+        # stand-ins with the original run_round signature keep working.
+        kwargs = {}
+        if self.config.parallel > 1 or self.config.all_seeds:
+            kwargs = {
+                "parallel": self.config.parallel,
+                "all_seeds": self.config.all_seeds,
+            }
         report = self.dice.run_round(
-            peer=self.config.peer, budget=self.config.budget
+            peer=self.config.peer, budget=self.config.budget, **kwargs
         )
         self.stats.wall_seconds += time.perf_counter() - started
         self.stats.last_fired_at = self.host.sim.now

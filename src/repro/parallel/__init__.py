@@ -1,0 +1,53 @@
+"""Parallel multi-seed exploration: DiCE off the critical path, at scale.
+
+The paper's deployment model runs exploration on spare cores while the
+live system keeps serving traffic (sections 3.2, 4.1).  This package
+supplies the missing throughput half of that story:
+
+* :class:`ParallelExplorer` fans a *batch* of observed seeds — all
+  peers' ring buffers, not just the latest input — out to worker
+  processes, each running a full checkpoint-clone-explore session;
+* a shared constraint-result cache (:mod:`repro.parallel.cache`) keyed
+  by canonicalized path condition avoids re-solving identical negations
+  across workers;
+* a deterministic in-process :class:`SerialExecutor` stands in for the
+  process pool in tests and on hosts where subprocesses are unavailable,
+  producing bit-identical results.
+
+Determinism is a design invariant, not an accident: worker sessions are
+independent (private engine, solver, and strategy per job), the cache
+key covers the *entire* solver query including the hint, and worker
+solvers derive their search RNG from that key — so the deduped finding
+set of a batch is the same with 1 worker, N workers, or the serial
+fallback.
+"""
+
+from repro.parallel.cache import SharedConstraintCache, shared_cache
+from repro.parallel.executors import SerialExecutor, make_executor
+from repro.parallel.explorer import (
+    BatchReport,
+    EngineBatch,
+    EngineBatchRun,
+    ParallelExplorer,
+)
+from repro.parallel.worker import (
+    EngineJob,
+    SessionJob,
+    run_engine_job,
+    run_session_job,
+)
+
+__all__ = [
+    "BatchReport",
+    "EngineBatch",
+    "EngineBatchRun",
+    "EngineJob",
+    "ParallelExplorer",
+    "SerialExecutor",
+    "SessionJob",
+    "SharedConstraintCache",
+    "make_executor",
+    "run_engine_job",
+    "run_session_job",
+    "shared_cache",
+]

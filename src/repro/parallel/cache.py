@@ -1,0 +1,93 @@
+"""The cross-worker constraint-result cache.
+
+Builds on the solver-layer hook (:mod:`repro.concolic.solver.cache`):
+entries live in a ``multiprocessing.Manager`` dict shared by every
+worker process, with a per-process dict in front of it so each unique
+query pays at most one IPC round-trip per worker.
+
+A proxy lookup is ~100µs while many solver queries resolve in ~10µs, so
+the L1 matters: without it a cache could make exploration *slower* than
+just re-solving.  Writes go through to the shared dict so other workers
+benefit; reads fill the L1.
+
+The wrapper is picklable (workers receive it inside their job); only the
+proxy travels — the local layer starts empty in each process.  Proxy
+operations can fail when the owning manager has shut down (a worker
+outliving its batch); the cache degrades to L1-only rather than erroring,
+since a cache miss is always safe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from multiprocessing.managers import SyncManager
+from typing import Dict, Iterator, Optional
+
+from repro.concolic.solver.cache import CacheEntry
+
+
+class SharedConstraintCache:
+    """Two-level cache: per-process L1 over a manager-shared dict."""
+
+    def __init__(self, shared) -> None:
+        self._shared = shared
+        self._local: Dict[bytes, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> Optional[CacheEntry]:
+        entry = self._local.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        try:
+            entry = self._shared.get(key)
+        except Exception:  # manager gone: degrade to L1-only
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._local[key] = entry
+        return entry
+
+    def put(self, key: bytes, entry: CacheEntry) -> None:
+        self._local[key] = entry
+        try:
+            self._shared[key] = entry
+        except Exception:
+            pass
+
+    def shared_size(self) -> int:
+        """Entries visible in the shared layer (0 if the manager is gone)."""
+        try:
+            return len(self._shared)
+        except Exception:
+            return 0
+
+    def __getstate__(self) -> dict:
+        # Only the proxy crosses the process boundary; the L1 and its
+        # counters are per-process state.
+        return {"_shared": self._shared}
+
+    def __setstate__(self, state: dict) -> None:
+        self._shared = state["_shared"]
+        self._local = {}
+        self.hits = 0
+        self.misses = 0
+
+
+@contextmanager
+def shared_cache() -> Iterator[SharedConstraintCache]:
+    """A :class:`SharedConstraintCache` bound to a fresh manager process.
+
+    The manager lives for the duration of the ``with`` block — the
+    coordinator wraps one batch in it, so entries are shared across all
+    of the batch's workers and released when the batch completes.
+    """
+    manager = SyncManager()
+    manager.start()
+    try:
+        yield SharedConstraintCache(manager.dict())
+    finally:
+        manager.shutdown()

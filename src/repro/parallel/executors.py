@@ -1,0 +1,68 @@
+"""Executors for exploration batches.
+
+Two implementations behind the ``concurrent.futures`` submit/shutdown
+surface:
+
+* :class:`concurrent.futures.ProcessPoolExecutor` — real parallelism
+  across cores (exploration is CPU-bound pure Python, so threads cannot
+  help and processes are the unit of scale, matching the paper's
+  one-explorer-per-spare-core deployment);
+* :class:`SerialExecutor` — a deterministic in-process fallback that
+  runs each submission immediately at ``submit`` time.  Used for
+  ``workers=1``, for tests (no fork nondeterminism, full tracebacks),
+  and automatically when the host cannot spawn subprocesses.
+
+:func:`make_executor` picks between them and reports which one you got,
+so callers can record whether a batch actually ran multi-process.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Tuple
+
+
+class SerialExecutor:
+    """Runs submissions inline, in submission order, deterministically."""
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        self._shutdown = False
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> "concurrent.futures.Future":
+        if self._shutdown:
+            raise RuntimeError("cannot submit after shutdown")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirror pool semantics
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self._shutdown = True
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def make_executor(
+    workers: int, force_serial: bool = False
+) -> Tuple[object, bool, str]:
+    """An executor for ``workers`` slots.
+
+    Returns ``(executor, is_process_pool, fallback_reason)``; the reason
+    is non-empty only when a pool was wanted but could not be created.
+    Process pools need a working ``fork``/``spawn``; sandboxed or
+    single-core hosts may refuse, in which case exploration still runs —
+    serially — rather than failing the round, and the reason surfaces in
+    the batch report so degraded throughput is explainable.
+    """
+    if force_serial or workers <= 1:
+        return SerialExecutor(), False, ""
+    try:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=workers), True, ""
+    except (OSError, PermissionError, ValueError) as exc:
+        return SerialExecutor(), False, f"{type(exc).__name__}: {exc}"

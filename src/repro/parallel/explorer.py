@@ -1,0 +1,351 @@
+"""The parallel exploration coordinator.
+
+:class:`ParallelExplorer` turns the one-seed-per-round demo loop into a
+throughput engine: take one checkpoint of the live node, fan a batch of
+observed seeds out to worker processes, and aggregate the returned
+session reports.  The checkpoint is captured once per batch (the paper
+re-checkpoints on a period, not per input) and travels inside each job
+(so it is pickled once per seed — per-worker delivery via a pool
+initializer is a noted ROADMAP item for large RIBs); workers restore it
+into isolated clones, so the live router is paused only for the
+capture, never for exploration.
+
+Batches collect results in submission order and dedup findings by their
+``dedup_key`` — both order-independent operations — so the outcome of a
+batch does not depend on worker count or scheduling (see the package
+docstring for the full determinism argument).
+
+A broken process pool (fork refused, worker killed) degrades to the
+serial executor and re-runs the remaining jobs in-process; the batch
+then reports ``used_processes=False`` with the reason, rather than
+losing the round.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import ExplorationBudget, ExplorationReport
+from repro.concolic.solver.cache import DictConstraintCache
+from repro.core.checkers import FaultChecker
+from repro.core.report import Finding, SessionReport
+from repro.parallel.cache import shared_cache
+from repro.parallel.executors import SerialExecutor, make_executor
+from repro.parallel.worker import (
+    EngineJob,
+    SessionJob,
+    run_engine_job,
+    run_session_job,
+)
+from repro.util.ip import Prefix
+
+Seed = Tuple[str, UpdateMessage]
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one parallel exploration batch."""
+
+    reports: List[SessionReport] = field(default_factory=list)
+    workers: int = 1
+    used_processes: bool = False
+    fallback_reason: str = ""
+    wall_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    checkpoint_pages: int = 0
+
+    @property
+    def total_executions(self) -> int:
+        return sum(r.exploration.executions for r in self.reports)
+
+    @property
+    def executions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_executions / self.wall_seconds
+
+    def findings(self) -> List[Finding]:
+        """Unique findings across the whole batch (order-independent)."""
+        seen: Dict[tuple, Finding] = {}
+        for report in self.reports:
+            for finding in report.findings:
+                seen.setdefault(finding.dedup_key(), finding)
+        return list(seen.values())
+
+    def leaked_prefixes(self) -> List[Prefix]:
+        prefixes = set()
+        for report in self.reports:
+            prefixes.update(report.leaked_prefixes())
+        return sorted(prefixes)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Summed per-worker solver cache counters."""
+        hits = sum(int(r.solver_stats.get("cache_hits", 0)) for r in self.reports)
+        misses = sum(int(r.solver_stats.get("cache_misses", 0)) for r in self.reports)
+        return {"cache_hits": hits, "cache_misses": misses}
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "sessions": len(self.reports),
+            "workers": self.workers,
+            "used_processes": self.used_processes,
+            "total_executions": self.total_executions,
+            "executions_per_second": round(self.executions_per_second, 2),
+            "findings": len(self.findings()),
+            "leaked_prefixes": len(self.leaked_prefixes()),
+            "wall_seconds": round(self.wall_seconds, 4),
+            **self.cache_stats(),
+        }
+
+
+@contextmanager
+def _batch_cache(enabled: bool, multiprocess: bool) -> Iterator[Optional[object]]:
+    """The constraint cache appropriate for a batch, or None.
+
+    Serial batches share a plain dict; multi-process batches get a
+    manager-backed shared cache whose lifetime is the batch.  Only the
+    manager *startup* is guarded — wrapping the yield itself in the
+    except would catch exceptions thrown in from the batch body and
+    yield a second time, which contextlib rejects.
+    """
+    if not enabled:
+        yield None
+        return
+    if not multiprocess:
+        yield DictConstraintCache()
+        return
+    stack = ExitStack()
+    try:
+        # enter_context runs shared_cache() up to its yield — i.e. the
+        # manager startup — so startup failures land in this except.
+        cache = stack.enter_context(shared_cache())
+    except (OSError, PermissionError):
+        # No manager process available: fall back to uncoordinated
+        # per-worker caching (each worker L1s inside its own process).
+        yield DictConstraintCache()
+        return
+    try:
+        yield cache
+    finally:
+        stack.close()
+
+
+def _run_jobs(
+    jobs: Sequence[object],
+    worker_fn: Callable,
+    workers: int,
+    force_serial: bool,
+) -> Tuple[List[object], bool, str]:
+    """Execute jobs, returning (results in submission order, used_processes, fallback_reason)."""
+    executor, is_pool, fallback_reason = make_executor(
+        workers, force_serial=force_serial
+    )
+    results: List[Optional[object]] = [None] * len(jobs)
+    unfinished: List[int] = []
+    with executor:
+        futures = []
+        submit_failure = ""
+        for index, job in enumerate(jobs):
+            try:
+                futures.append(executor.submit(worker_fn, job))
+            except (BrokenExecutor, RuntimeError) as exc:
+                # Pool broke during submission; everything from here on
+                # is re-run below.
+                submit_failure = f"{type(exc).__name__}: {exc}"
+                unfinished.extend(range(index, len(jobs)))
+                break
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenExecutor as exc:
+                submit_failure = submit_failure or f"{type(exc).__name__}: {exc}"
+                unfinished.append(index)
+        if submit_failure:
+            fallback_reason = submit_failure
+    if unfinished:
+        # The pool died (fork refused mid-batch, a worker was OOM-killed
+        # ...).  Completed futures keep their results; only the jobs
+        # without one are re-run, serially, in this process.  Per-job
+        # determinism makes the salvage exact — a re-run job returns what
+        # the pool would have.
+        is_pool = False
+        with SerialExecutor() as serial:
+            for index in unfinished:
+                results[index] = serial.submit(worker_fn, jobs[index]).result()
+    return list(results), is_pool, fallback_reason
+
+
+class ParallelExplorer:
+    """Fans batches of observed seeds out to checkpoint-clone workers."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        policy: str = "selective",
+        model_kwargs: Optional[dict] = None,
+        checkers: Optional[Sequence[FaultChecker]] = None,
+        anycast_whitelist: Optional[Sequence[Prefix]] = None,
+        strategy: str = "generational",
+        strategy_seed: int = 0,
+        constraint_cache: bool = True,
+        force_serial: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.policy = policy
+        self.model_kwargs = dict(model_kwargs or {})
+        self.checkers = list(checkers) if checkers is not None else None
+        self.anycast_whitelist = tuple(anycast_whitelist or ())
+        self.strategy = strategy
+        self.strategy_seed = strategy_seed
+        self.constraint_cache = constraint_cache
+        #: Tests (and hosts without fork) set this to run every batch on
+        #: the deterministic in-process executor regardless of ``workers``.
+        self.force_serial = force_serial
+
+    # -- batch construction ---------------------------------------------------
+
+    def build_jobs(
+        self,
+        checkpoint: Checkpoint,
+        seeds: Sequence[Seed],
+        budget: Optional[ExplorationBudget] = None,
+        cache: Optional[object] = None,
+    ) -> List[SessionJob]:
+        """One picklable job per seed, indexed in batch order."""
+        return [
+            SessionJob(
+                index=index,
+                checkpoint=checkpoint,
+                peer=peer,
+                observed=observed,
+                policy=self.policy,
+                model_kwargs=dict(self.model_kwargs),
+                budget=budget,
+                strategy=self.strategy,
+                strategy_seed=self.strategy_seed,
+                anycast_whitelist=self.anycast_whitelist,
+                checkers=self.checkers,
+                cache=cache,
+            )
+            for index, (peer, observed) in enumerate(seeds)
+        ]
+
+    # -- execution ------------------------------------------------------------
+
+    def explore_batch(
+        self,
+        live_router: BgpRouter,
+        seeds: Sequence[Seed],
+        budget: Optional[ExplorationBudget] = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> BatchReport:
+        """Checkpoint once, explore every seed, aggregate the reports."""
+        started = time.perf_counter()
+        checkpoint_started = time.perf_counter()
+        if checkpoint is None:
+            checkpoint = Checkpoint.capture(live_router, "parallel-ckpt")
+        checkpoint_seconds = time.perf_counter() - checkpoint_started
+
+        if not seeds:
+            return BatchReport(
+                workers=self.workers,
+                checkpoint_seconds=checkpoint_seconds,
+                checkpoint_pages=checkpoint.page_count,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+        multiprocess = self.workers > 1 and not self.force_serial
+        with _batch_cache(self.constraint_cache, multiprocess) as cache:
+            jobs = self.build_jobs(checkpoint, seeds, budget=budget, cache=cache)
+            reports, used_processes, fallback_reason = _run_jobs(
+                jobs, run_session_job, self.workers, self.force_serial
+            )
+        return BatchReport(
+            reports=list(reports),
+            workers=self.workers,
+            used_processes=used_processes,
+            fallback_reason=fallback_reason,
+            wall_seconds=time.perf_counter() - started,
+            checkpoint_seconds=checkpoint_seconds,
+            checkpoint_pages=checkpoint.page_count,
+        )
+
+
+@dataclass
+class EngineBatchRun:
+    """Outcome of one raw-program fan-out."""
+
+    reports: List[ExplorationReport]
+    wall_seconds: float
+    used_processes: bool
+    fallback_reason: str = ""
+
+    def __iter__(self):
+        # Unpacks as (reports, wall_seconds) for throughput-measuring
+        # callers; the executor provenance stays addressable by name.
+        return iter((self.reports, self.wall_seconds))
+
+    @property
+    def total_executions(self) -> int:
+        return sum(r.executions for r in self.reports)
+
+
+@dataclass
+class EngineBatch:
+    """Raw-program fan-out, for benchmarks and workload studies.
+
+    Same executor and cache machinery as :class:`ParallelExplorer`, but
+    over :class:`EngineJob`s — importable programs with input specs —
+    instead of checkpointed router sessions.
+    """
+
+    workers: int = 1
+    strategy: str = "generational"
+    strategy_seed: int = 0
+    constraint_cache: bool = True
+    force_serial: bool = False
+
+    def explore(
+        self,
+        programs: Sequence[Tuple[Callable, object]],
+        budget: Optional[ExplorationBudget] = None,
+    ) -> EngineBatchRun:
+        """Explore each (program, spec) pair.
+
+        The result unpacks as ``reports, wall_seconds`` and additionally
+        records whether a real process pool ran — benchmarks must not
+        attribute serial-fallback throughput to N workers.
+        """
+        started = time.perf_counter()
+        multiprocess = self.workers > 1 and not self.force_serial
+        with _batch_cache(self.constraint_cache, multiprocess) as cache:
+            jobs = [
+                EngineJob(
+                    index=index,
+                    program=program,
+                    spec=spec,
+                    budget=budget,
+                    strategy=self.strategy,
+                    strategy_seed=self.strategy_seed,
+                    cache=cache,
+                )
+                for index, (program, spec) in enumerate(programs)
+            ]
+            reports, used_processes, fallback_reason = _run_jobs(
+                jobs, run_engine_job, self.workers, self.force_serial
+            )
+        return EngineBatchRun(
+            reports=list(reports),
+            wall_seconds=time.perf_counter() - started,
+            used_processes=used_processes,
+            fallback_reason=fallback_reason,
+        )

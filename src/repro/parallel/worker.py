@@ -1,0 +1,130 @@
+"""Picklable work units and the functions worker processes execute.
+
+A worker receives everything a checkpoint-clone-explore session needs as
+one picklable job object and returns a transport-compacted report.  Two
+job shapes:
+
+* :class:`SessionJob` — a full DiCE session: restore the checkpoint into
+  an isolated clone, rebuild the marking model from the observed seed,
+  explore the UPDATE handler, run the fault checkers;
+* :class:`EngineJob` — a raw concolic exploration of an importable
+  program (benchmarks and the fig1-style workloads use this).
+
+Workers build their *own* engine, solver, checkers, and strategy from
+the job description rather than receiving live objects: every stateful
+component is private to the session, which is what makes results
+independent of how jobs are scheduled onto processes.  The one shared
+object — the constraint cache — is safe to share because cached entries
+are bit-identical to a local solve (see :mod:`repro.parallel.cache`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import ConcolicEngine, ExplorationBudget, ExplorationReport, InputSpec
+from repro.concolic.solver import ConstraintSolver
+from repro.concolic.strategies import make_strategy
+from repro.core.checkers import FaultChecker, default_checkers
+from repro.core.explorer import DiceExplorer
+from repro.core.inputs import model_for
+from repro.core.isolation import restore_isolated
+from repro.core.report import SessionReport
+from repro.util.ip import Prefix
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class SessionJob:
+    """One checkpoint-clone-explore session, ready to ship to a worker."""
+
+    index: int
+    checkpoint: Checkpoint
+    peer: str
+    observed: UpdateMessage
+    policy: str = "selective"
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+    budget: Optional[ExplorationBudget] = None
+    strategy: str = "generational"
+    strategy_seed: int = 0
+    anycast_whitelist: Tuple[Prefix, ...] = ()
+    checkers: Optional[Sequence[FaultChecker]] = None
+    cache: Optional[object] = None
+
+
+@dataclass
+class EngineJob:
+    """One raw concolic exploration of an importable program."""
+
+    index: int
+    program: Callable
+    spec: InputSpec
+    budget: Optional[ExplorationBudget] = None
+    strategy: str = "generational"
+    strategy_seed: int = 0
+    cache: Optional[object] = None
+
+
+def _session_solver(job) -> ConstraintSolver:
+    """A private solver wired to the (optional) shared cache.
+
+    ``deterministic_rng`` keeps the solver a pure function of each query
+    so shared-cache entries equal local solves — the invariant behind
+    worker-count-independent results.
+    """
+    return ConstraintSolver(cache=job.cache, deterministic_rng=True)
+
+
+def _job_strategy(job):
+    """Seeded per job *index*, not per worker, so placement is irrelevant."""
+    return make_strategy(
+        job.strategy, seed=derive_seed(job.strategy_seed, "parallel-job", job.index)
+    )
+
+
+def run_session_job(job: SessionJob) -> SessionReport:
+    """Execute one full DiCE session; the worker-process entry point."""
+    engine = ConcolicEngine(solver=_session_solver(job), keep_results=False)
+    # Deep copy: under the serial executor jobs are never pickled, so a
+    # plain list() would hand the same (possibly stateful) checker
+    # instances to every session — and make serial and multi-process
+    # runs diverge for checkers that accumulate state across check().
+    checkers = (
+        copy.deepcopy(list(job.checkers))
+        if job.checkers is not None
+        else default_checkers(list(job.anycast_whitelist) or None)
+    )
+    explorer = DiceExplorer(engine=engine, checkers=checkers)
+    # The clone restored here stands in for the live router: same state,
+    # same sessions, but isolated — the live node never pauses for a
+    # worker (the paper's "off the critical path").
+    clone, _env = restore_isolated(job.checkpoint)
+    model = model_for(job.observed, job.policy, **job.model_kwargs)
+    report = explorer.explore_update(
+        clone,
+        job.peer,
+        job.observed,
+        model=model,
+        budget=job.budget,
+        strategy=_job_strategy(job),
+        checkpoint=job.checkpoint,
+    )
+    report.solver_stats = engine.solver.stats.as_dict()
+    return report.compact()
+
+
+def run_engine_job(job: EngineJob) -> ExplorationReport:
+    """Execute one raw exploration; used by benchmarks and tests."""
+    engine = ConcolicEngine(solver=_session_solver(job), keep_results=False)
+    report = engine.explore(
+        job.program,
+        job.spec,
+        strategy=_job_strategy(job),
+        budget=job.budget,
+    )
+    report.solver_stats = engine.solver.stats.as_dict()
+    return report.compact()

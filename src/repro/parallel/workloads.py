@@ -1,0 +1,138 @@
+"""Importable concolic workloads for parallel benchmarks and tests.
+
+Worker processes rebuild their jobs by unpickling, and pickling a
+function stores only its module and qualified name — so programs fanned
+out to a pool must live in an importable module, not in a test body or a
+benchmark file's local scope.  These mirror the fig1 benchmark's
+BGP-shaped handler, scaled so one exploration session is heavy enough to
+amortize process startup.
+"""
+
+from __future__ import annotations
+
+from repro.concolic.engine import InputSpec, VarSpec
+
+
+def fig1_handler(inputs):
+    """The fig1 benchmark's graded handler: 8 outcomes over two fields."""
+    masklen = inputs.masklen
+    network = inputs.network
+    if masklen > 32:
+        return "invalid-length"
+    if masklen < 8:
+        return "too-coarse"
+    if (network >> 24) == 10:
+        if masklen >= 24:
+            return "private-specific"
+        return "private-coarse"
+    if (network >> 16) == 0xC0A8:
+        return "rfc1918-192"
+    if masklen == 32:
+        return "host-route"
+    if (network & 0xFF) != 0:
+        return "unaligned"
+    return "accepted"
+
+
+FIG1_OUTCOMES = {
+    "invalid-length", "too-coarse", "private-specific", "private-coarse",
+    "rfc1918-192", "host-route", "unaligned", "accepted",
+}
+
+
+def fig1_spec() -> InputSpec:
+    return InputSpec([
+        VarSpec("network", bits=32, initial=0x0A0A0100),
+        VarSpec("masklen", bits=6, initial=24),
+    ])
+
+
+def deep_filter_handler(inputs):
+    """A deeper, branch-rich route filter: many paths, long conditions.
+
+    Chains prefix-class, length-class, and attribute checks the way a
+    real import filter stacks terms; the cross-product of branch
+    outcomes gives the engine enough frontier to keep a worker busy for
+    hundreds of executions.
+    """
+    network = inputs.network
+    masklen = inputs.masklen
+    med = inputs.med
+    score = 0
+    if masklen > 32:
+        return "invalid"
+    if (network >> 24) == 10:
+        score += 1
+    if (network >> 24) == 127:
+        return "loopback"
+    if (network >> 20) == 0xAC1:
+        score += 2
+    if (network >> 16) == 0xC0A8:
+        score += 4
+    if masklen < 8:
+        score += 8
+    if masklen >= 28:
+        score += 16
+    if (network & 0xFF) == 0:
+        score += 32
+    if med > 1000:
+        score += 64
+    if med == 0:
+        score += 128
+    if (network >> 28) >= 0xE:
+        return "reserved"
+    if score >= 96:
+        return "suspicious"
+    if score >= 32:
+        return "review"
+    if score > 0:
+        return "tagged"
+    return "clean"
+
+
+def deep_filter_spec() -> InputSpec:
+    return InputSpec([
+        VarSpec("network", bits=32, initial=0x0A0A0100),
+        VarSpec("masklen", bits=6, initial=24),
+        VarSpec("med", bits=12, initial=100),
+    ])
+
+
+def wide_filter_handler(inputs):
+    """The fig1 handler scaled up: per-nibble classification of the network.
+
+    Each nibble of the address contributes an independent branch, so the
+    path space is the cross-product (thousands of feasible paths) and an
+    exploration session saturates any execution budget instead of
+    exhausting the frontier — the shape needed to measure worker scaling
+    rather than startup overhead.
+    """
+    network = inputs.network
+    masklen = inputs.masklen
+    score = 0
+    if masklen > 32:
+        return "invalid-length"
+    for shift in (28, 24, 20, 16, 12, 8, 4, 0):
+        nibble = (network >> shift) & 0xF
+        if nibble >= 8:
+            score += 1
+        if nibble == 0xF:
+            score += 2
+    if masklen >= 24:
+        score += 4
+    if masklen < 8:
+        return "too-coarse"
+    if score >= 20:
+        return "suspicious"
+    if score >= 10:
+        return "review"
+    if score > 0:
+        return "tagged"
+    return "clean"
+
+
+def wide_filter_spec() -> InputSpec:
+    return InputSpec([
+        VarSpec("network", bits=32, initial=0x0A0A0100),
+        VarSpec("masklen", bits=6, initial=24),
+    ])

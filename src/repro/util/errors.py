@@ -72,5 +72,21 @@ class ExplorationError(ReproError):
     """The DiCE exploration loop hit an unrecoverable condition."""
 
 
+class TransportedError(ReproError):
+    """Stand-in for an exception that could not cross a process boundary.
+
+    Exploration workers ship their results back to the coordinator by
+    pickling; an exception raised by the program under test may hold
+    unpicklable state (clones, environments, open resources).  The worker
+    replaces such exceptions with this wrapper, preserving the original
+    type name and message so findings stay actionable.
+    """
+
+    def __init__(self, original_type: str, message: str):
+        super().__init__(f"{original_type}: {message}")
+        self.original_type = original_type
+        self.message = message
+
+
 class PrivacyViolation(ReproError):
     """Raw private state was about to cross an administrative boundary."""

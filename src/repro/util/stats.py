@@ -138,7 +138,12 @@ class Histogram:
         if low == high:
             return self._samples[low]
         weight = rank - low
-        return self._samples[low] * (1 - weight) + self._samples[high] * weight
+        low_sample, high_sample = self._samples[low], self._samples[high]
+        # lerp as low + w*(high-low), clamped: the textbook two-product
+        # form can dip below earlier percentiles when rounding denormal
+        # products (e.g. two 5e-324 samples make p50 = 0 < p25).
+        value = low_sample + weight * (high_sample - low_sample)
+        return min(max(value, low_sample), high_sample)
 
     @property
     def mean(self) -> float:

@@ -154,6 +154,38 @@ class TestDiceFacade:
         ))
         assert len(dice.observed) == 0
 
+    def test_pick_seed_round_robins_across_peers(self, correct_scenario):
+        """A chatty peer must not starve quiet peers of exploration."""
+        dice = DiCE(correct_scenario.provider)
+        dice.clear_observed()
+        # "chatty" floods its buffer; "quiet" says one thing, once, first.
+        dice.observe("quiet", seed_update("10.10.1.0/24"))
+        for i in range(10):
+            dice.observe("chatty", seed_update(f"10.20.{i}.0/24"))
+        served = [dice.pick_seed()[0] for _ in range(6)]
+        assert served.count("quiet") == 3
+        assert served.count("chatty") == 3
+        # Strict alternation, not just eventual fairness.
+        assert served[0] != served[1] and served[:2] * 3 == served
+
+    def test_pick_seed_rotation_skips_empty_buffers(self, correct_scenario):
+        dice = DiCE(correct_scenario.provider)
+        dice.clear_observed()
+        dice.observe("a", seed_update())
+        dice.observe("b", seed_update("10.20.5.0/24"))
+        assert dice.pick_seed()[0] == "a"
+        dice._observed["b"].clear()
+        # "b" would be next in rotation but has nothing buffered.
+        assert dice.pick_seed()[0] == "a"
+
+    def test_pick_seed_explicit_peer_bypasses_rotation(self, correct_scenario):
+        dice = DiCE(correct_scenario.provider)
+        dice.clear_observed()
+        dice.observe("a", seed_update())
+        dice.observe("b", seed_update("10.20.5.0/24"))
+        for _ in range(3):
+            assert dice.pick_seed("b")[0] == "b"
+
     def test_findings_deduplicated_across_rounds(self, missing_scenario):
         dice = DiCE(missing_scenario.provider)
         dice.observe("customer", seed_update())

@@ -1,0 +1,19 @@
+"""Fixtures for the parallel exploration tests.
+
+Scenario construction dominates test time, so converged scenarios are
+module-scoped; exploration via checkpoints never mutates the live
+routers, so sharing is safe.
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def erroneous_scenario():
+    scenario = build_scenario(
+        ScenarioConfig(filter_mode="erroneous", prefix_count=300, update_count=40)
+    )
+    scenario.converge()
+    return scenario

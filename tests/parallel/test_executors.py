@@ -1,0 +1,118 @@
+"""Tests for the serial fallback executor and executor selection."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.parallel.executors import SerialExecutor, make_executor
+
+
+def double(x):
+    return x * 2
+
+
+def boom():
+    raise ValueError("boom")
+
+
+class TestSerialExecutor:
+    def test_runs_inline_in_submission_order(self):
+        order = []
+
+        def record(i):
+            order.append(i)
+            return i
+
+        with SerialExecutor() as executor:
+            futures = [executor.submit(record, i) for i in range(5)]
+        assert order == [0, 1, 2, 3, 4]
+        assert [f.result() for f in futures] == [0, 1, 2, 3, 4]
+
+    def test_exceptions_delivered_via_future(self):
+        with SerialExecutor() as executor:
+            future = executor.submit(boom)
+        assert isinstance(future.exception(), ValueError)
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_submit_after_shutdown_rejected(self):
+        executor = SerialExecutor()
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit(double, 1)
+
+    def test_futures_are_real_futures(self):
+        with SerialExecutor() as executor:
+            future = executor.submit(double, 21)
+        assert isinstance(future, concurrent.futures.Future)
+        assert future.done()
+        assert future.result() == 42
+
+
+class TestMakeExecutor:
+    def test_single_worker_is_serial(self):
+        executor, is_pool, reason = make_executor(1)
+        assert isinstance(executor, SerialExecutor)
+        assert not is_pool
+        assert reason == ""
+
+    def test_force_serial_overrides_worker_count(self):
+        executor, is_pool, reason = make_executor(8, force_serial=True)
+        assert isinstance(executor, SerialExecutor)
+        assert not is_pool
+        assert reason == ""
+
+    def test_multi_worker_gets_a_process_pool(self):
+        executor, is_pool, reason = make_executor(2)
+        try:
+            if is_pool:
+                assert reason == ""
+                assert executor.submit(double, 3).result() == 6
+            else:  # host cannot fork: the fallback must still work and say why
+                assert isinstance(executor, SerialExecutor)
+                assert reason != ""
+        finally:
+            executor.shutdown()
+
+
+class TestRunJobsSalvage:
+    def test_broken_pool_salvages_unfinished_jobs_only(self, monkeypatch):
+        """Completed futures keep their results; only missing ones re-run."""
+        from repro.parallel import explorer as explorer_mod
+
+        executed = []
+
+        class FlakyExecutor:
+            def submit(self, fn, job):
+                future = concurrent.futures.Future()
+                if job == "b":  # this job's worker got killed
+                    future.set_exception(
+                        concurrent.futures.process.BrokenProcessPool("worker died")
+                    )
+                else:
+                    executed.append(("pool", job))
+                    future.set_result(fn(job))
+                return future
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                pass
+
+        monkeypatch.setattr(
+            explorer_mod, "make_executor",
+            lambda workers, force_serial=False: (FlakyExecutor(), True, ""),
+        )
+
+        def work(job):
+            return job.upper()
+
+        results, used_processes, reason = explorer_mod._run_jobs(
+            ["a", "b", "c"], work, workers=4, force_serial=False
+        )
+        assert results == ["A", "B", "C"]
+        assert not used_processes
+        assert "BrokenProcessPool" in reason
+        # "a" and "c" ran in the (fake) pool exactly once; only "b" was salvaged.
+        assert executed == [("pool", "a"), ("pool", "c")]
