@@ -1,0 +1,195 @@
+"""STREAM — shipping economics and throughput of the streaming pipeline.
+
+The batch engine re-pickles the full checkpoint into *every* job and
+rebuilds its worker pool per round; the streaming pipeline
+(``repro.parallel.stream``) ships each worker the full image once per
+epoch and only changed segments on re-checkpoint, over persistent
+workers.  This benchmark measures what that buys:
+
+* **checkpoint bytes per job** — the acceptance metric: streaming's
+  average transport cost per explored seed must be strictly below the
+  batch engine's full-pickle-per-job baseline;
+* **delta vs. full re-ship** — after a small RIB change, the epoch
+  delta must be a sliver of the full image;
+* **end-to-end throughput** — executions/sec of the stream vs. the
+  batch engine at equal budget and workers (persistent workers and
+  one-time checkpoint shipping should win or tie; the assertion is
+  gated on cores/budget like the parallel benchmark's);
+* **sharded cache** — duplicate seeds still resolve from the shared
+  cache when it is spread across shard processes.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a tiny-budget smoke run (used by CI to
+keep this script from rotting without paying the full measurement).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.checkpoint.delta import CheckpointImage
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic import ExplorationBudget
+from repro.core import ScenarioConfig, build_scenario
+from repro.parallel import ParallelExplorer, StreamingExplorer
+from repro.util.ip import Prefix, ip_to_int
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CPUS = os.cpu_count() or 1
+
+WORKERS = 2
+SEEDS = 8 if SMOKE else 24
+BUDGET = ExplorationBudget(max_executions=6 if SMOKE else 24)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    built = build_scenario(
+        ScenarioConfig(
+            filter_mode="erroneous",
+            prefix_count=150 if SMOKE else 400,
+            update_count=30 if SMOKE else 80,
+        )
+    )
+    built.converge()
+    return built
+
+
+def observed_seeds(scenario, count):
+    seeds = scenario.dice.batch_seeds(all_seeds=True)
+    assert len(seeds) >= min(count, 4)
+    # Cycle if the scenario observed fewer distinct seeds than asked.
+    return [seeds[i % len(seeds)] for i in range(count)]
+
+
+def run_stream(scenario, seeds, epoch_every=0):
+    stream = StreamingExplorer(
+        workers=WORKERS, budget=BUDGET, queue_capacity=len(seeds)
+    )
+    stream.start(scenario.provider)
+    for position, (peer, observed) in enumerate(seeds, start=1):
+        stream.submit(peer, observed)
+        if epoch_every and position % epoch_every == 0:
+            stream.advance_epoch()
+    return stream.close()
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_checkpoint_bytes_per_job_below_batch_baseline(benchmark, paper_rows, scenario):
+    """The acceptance metric: transport bytes per explored seed."""
+    seeds = observed_seeds(scenario, SEEDS)
+    baseline = len(pickle.dumps(Checkpoint.capture(scenario.provider, "baseline")))
+
+    report = benchmark.pedantic(
+        run_stream, args=(scenario, seeds), kwargs={"epoch_every": max(2, SEEDS // 3)},
+        rounds=1, iterations=1,
+    )
+    assert report.jobs_completed == len(seeds), report.errors
+    per_job = report.checkpoint_bytes_per_job
+    paper_rows.add(
+        "STREAM", "checkpoint bytes shipped per job",
+        f"batch baseline: {baseline} (full pickle per job)",
+        f"{per_job:.0f} ({per_job / baseline:.1%} of baseline, "
+        f"{report.epochs} epochs, {WORKERS} workers)",
+        note="smoke budget" if SMOKE else "",
+    )
+    assert per_job < baseline, (
+        f"streaming shipped {per_job:.0f} B/job, batch baseline {baseline} B/job"
+    )
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_epoch_delta_is_sliver_of_full_image(benchmark, paper_rows, scenario):
+    """A small RIB change re-ships only the dirty segments."""
+    router = scenario.provider
+
+    def capture_and_diff():
+        base = CheckpointImage.capture(router, "base", epoch=0)
+        router.handle_update(
+            "customer",
+            UpdateMessage(
+                attributes=PathAttributes(
+                    as_path=AsPath.sequence([65020]), next_hop=ip_to_int("10.0.0.2")
+                ),
+                nlri=[NlriEntry.from_prefix(Prefix.parse("98.76.0.0/16"))],
+            ),
+        )
+        after = CheckpointImage.capture(router, "after", epoch=1)
+        return after.diff(base), after
+
+    delta, after = benchmark.pedantic(capture_and_diff, rounds=1, iterations=1)
+    fraction = delta.bytes_shipped / after.total_bytes
+    paper_rows.add(
+        "STREAM", "epoch delta after one-route change",
+        "ship only dirty segments (design goal)",
+        f"{delta.bytes_shipped}/{after.total_bytes} B ({fraction:.1%}), "
+        f"{delta.segments_shipped}/{len(after.segments)} segments",
+    )
+    assert delta.bytes_shipped < after.total_bytes / 4
+    assert delta.segments_shipped < len(after.segments)
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_throughput_vs_batch(benchmark, paper_rows, scenario):
+    """Executions/sec at equal budget and workers, stream vs. batch."""
+    seeds = observed_seeds(scenario, SEEDS)
+
+    batch = ParallelExplorer(workers=WORKERS).explore_batch(
+        scenario.provider, seeds, budget=BUDGET
+    )
+    batch_eps = batch.executions_per_second
+
+    report = benchmark.pedantic(run_stream, args=(scenario, seeds), rounds=1, iterations=1)
+    stream_eps = report.executions_per_second
+    ratio = stream_eps / batch_eps if batch_eps else 0.0
+
+    # Same seeds, same budget: the outcomes must agree before the speeds
+    # are comparable at all.
+    assert report.total_executions == batch.total_executions
+    assert {f.dedup_key() for f in report.findings()} == {
+        f.dedup_key() for f in batch.findings()
+    }
+    paper_rows.add(
+        "STREAM", f"exec/s stream vs batch ({WORKERS} workers)",
+        "stream >= batch at equal budget (acceptance)",
+        f"{stream_eps:.0f} vs {batch_eps:.0f} ({ratio:.2f}x)",
+        note="smoke budget" if SMOKE else report.fallback_reason,
+    )
+    if not (report.used_processes and batch.used_processes):
+        pytest.skip("process pool unavailable; throughput not attributable")
+    if SMOKE or CPUS < 2:
+        # On one core the stream's extra processes (shard managers,
+        # persistent workers) fight the coordinator for the single CPU
+        # and the comparison measures contention, not the pipeline.
+        pytest.skip(
+            f"throughput assertion needs >=2 cores and a full budget "
+            f"(cores={CPUS}, smoke={SMOKE}); measured {ratio:.2f}x"
+        )
+    # Design target is >= 1.0x (persistent workers, no per-job checkpoint
+    # pickle, no per-round pool construction); 5% allowance for run noise.
+    assert stream_eps >= batch_eps * 0.95, (
+        f"streaming {stream_eps:.0f} exec/s < batch {batch_eps:.0f} exec/s"
+    )
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_sharded_cache_hits_on_duplicate_seeds(benchmark, paper_rows, scenario):
+    """Duplicate seeds resolve from the sharded cross-worker cache."""
+    seed = observed_seeds(scenario, 1)[0]
+    duplicates = [seed] * (4 if SMOKE else 8)
+
+    report = benchmark.pedantic(
+        run_stream, args=(scenario, duplicates), rounds=1, iterations=1
+    )
+    stats = report.cache_stats()
+    hits, misses = stats["cache_hits"], stats["cache_misses"]
+    assert hits > 0, "identical sessions produced no cache hits"
+    paper_rows.add(
+        "STREAM", "sharded-cache hit rate on duplicate seeds",
+        "identical negations solved once (design goal)",
+        f"{hits}/{hits + misses} ({hits / (hits + misses):.0%}, "
+        f"{min(4, WORKERS)} shards)",
+    )

@@ -132,6 +132,30 @@ class AdjRibIn:
     def __len__(self) -> int:
         return self.route_count()
 
+    # -- checkpoint delta decomposition (repro.checkpoint.delta) ---------------
+
+    def delta_items(self) -> Dict[Tuple[str, Prefix], Route]:
+        """The table as independently shippable ``(peer, prefix) -> route`` items.
+
+        Iteration order is peer insertion order then per-peer prefix
+        insertion order, so a restore rebuilds the same ordering.  Peers
+        whose table is empty are canonicalized away.
+        """
+        return {
+            (peer, prefix): route
+            for peer, table in self._by_peer.items()
+            for prefix, route in table.items()
+        }
+
+    @classmethod
+    def from_delta_items(
+        cls, items: Dict[Tuple[str, Prefix], Route]
+    ) -> "AdjRibIn":
+        rib = cls()
+        for (peer, prefix), route in items.items():
+            rib._by_peer.setdefault(peer, {})[prefix] = route
+        return rib
+
 
 class LocRib:
     """The router's chosen best routes, trie-indexed for prefix queries."""
@@ -192,6 +216,24 @@ class LocRib:
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self._routes
 
+    # -- checkpoint delta decomposition (repro.checkpoint.delta) ---------------
+
+    def delta_items(self) -> Dict[Prefix, Route]:
+        """The route table as independently shippable items.
+
+        The trie is a derived index — :meth:`from_delta_items` rebuilds
+        it from the routes, so it never travels in a checkpoint delta.
+        """
+        return dict(self._routes)
+
+    @classmethod
+    def from_delta_items(cls, items: Dict[Prefix, Route]) -> "LocRib":
+        rib = cls()
+        for prefix, route in items.items():
+            rib._routes[prefix] = route
+            rib._trie.insert(prefix, route)
+        return rib
+
 
 class AdjRibOut:
     """What has been advertised to each peer (for withdraw-on-change)."""
@@ -216,3 +258,22 @@ class AdjRibOut:
 
     def route_count(self) -> int:
         return sum(len(table) for table in self._by_peer.values())
+
+    # -- checkpoint delta decomposition (repro.checkpoint.delta) ---------------
+
+    def delta_items(self) -> Dict[Tuple[str, Prefix], Route]:
+        """Advertisement state as ``(peer, prefix) -> route`` items."""
+        return {
+            (peer, prefix): route
+            for peer, table in self._by_peer.items()
+            for prefix, route in table.items()
+        }
+
+    @classmethod
+    def from_delta_items(
+        cls, items: Dict[Tuple[str, Prefix], Route]
+    ) -> "AdjRibOut":
+        rib = cls()
+        for (peer, prefix), route in items.items():
+            rib._by_peer.setdefault(peer, {})[prefix] = route
+        return rib

@@ -1,5 +1,11 @@
 """Fork-style checkpointing with copy-on-write page accounting."""
 
+from repro.checkpoint.delta import (
+    CheckpointDelta,
+    CheckpointImage,
+    assemble_state,
+    state_segments,
+)
 from repro.checkpoint.manager import CheckpointManager, CloneRecord, MemoryReport
 from repro.checkpoint.snapshot import (
     Checkpoint,
@@ -10,10 +16,14 @@ from repro.checkpoint.snapshot import (
 
 __all__ = [
     "Checkpoint",
+    "CheckpointDelta",
+    "CheckpointImage",
     "CheckpointManager",
     "Checkpointable",
     "CloneRecord",
     "MemoryReport",
+    "assemble_state",
     "default_segments",
     "snapshot_pages",
+    "state_segments",
 ]

@@ -25,15 +25,56 @@ from repro.util.pages import PAGE_SIZE, PageSet, PageStore
 from repro.util.stats import RunningStats
 
 
-@dataclass
 class CloneRecord:
-    """Bookkeeping for one live clone."""
+    """Bookkeeping for one live clone.
 
-    name: str
-    node: Checkpointable
-    checkpoint_name: str
-    env: Environment
-    pages: PageSet
+    ``pages`` is measured lazily: hashing a clone's whole image costs
+    real CPU per clone, and callers that only need the restored node
+    (the streaming pipeline's clone-per-execution churn) should not pay
+    it.  The first access snapshots the node *at that moment* and
+    registers the image with the manager's page store; accounting
+    callers (``memory_report``, ``refresh``) therefore see exactly the
+    numbers they ask for, and node-only callers pay nothing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node: Checkpointable,
+        checkpoint_name: str,
+        env: Environment,
+        page_size: int = PAGE_SIZE,
+        store: Optional[PageStore] = None,
+    ):
+        self.name = name
+        self.node = node
+        self.checkpoint_name = checkpoint_name
+        self.env = env
+        self._page_size = page_size
+        self._store = store
+        self._pages: Optional[PageSet] = None
+
+    @property
+    def pages_measured(self) -> bool:
+        """Whether this clone's image has been hashed yet."""
+        return self._pages is not None
+
+    @property
+    def pages(self) -> PageSet:
+        if self._pages is None:
+            self.remeasure()
+        return self._pages
+
+    @pages.setter
+    def pages(self, value: PageSet) -> None:
+        self._pages = value
+        if self._store is not None:
+            self._store.register(self.name, value)
+
+    def remeasure(self) -> PageSet:
+        """Snapshot the node's current image (and register it)."""
+        self.pages = snapshot_pages(self.node, self._page_size)
+        return self._pages
 
 
 @dataclass
@@ -124,20 +165,21 @@ class CheckpointManager:
         name = name or f"{checkpoint.name}/clone-{next(self._sequence)}"
         if name in self.clones:
             raise CheckpointError(f"clone name {name!r} already in use")
-        pages = snapshot_pages(node, self.page_size)
-        record = CloneRecord(name, node, checkpoint.name, env, pages)
+        # Pages are NOT snapshotted here: hashing the image per clone is
+        # the dominant clone cost, and callers that only need the node
+        # (streaming workers churning clones per job) never ask for it.
+        # The first ``record.pages`` access measures and registers.
+        record = CloneRecord(
+            name, node, checkpoint.name, env, self.page_size, self.store
+        )
         self.clones[name] = record
-        self.store.register(name, pages)
         return record
 
     def refresh(self, name: str) -> PageSet:
         """Re-measure a clone's image after it executed (dirty pages)."""
         if name not in self.clones:
             raise CheckpointError(f"no clone named {name!r}")
-        record = self.clones[name]
-        record.pages = snapshot_pages(record.node, self.page_size)
-        self.store.register(name, record.pages)
-        return record.pages
+        return self.clones[name].remeasure()
 
     def release(self, name: str) -> None:
         """Terminate a clone and release its pages."""

@@ -75,7 +75,17 @@ def cmd_leak_check(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        # Caught here rather than deep in the executor, where a bad
+        # value used to surface as an opaque ValueError traceback.
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
     scenario = _build(args)
+    if args.stream:
+        return _explore_stream(scenario, args)
     if args.workers > 1 or args.all_seeds:
         return _explore_parallel(scenario, args)
     seed = scenario.dice.pick_seed("customer")
@@ -125,6 +135,49 @@ def _explore_parallel(scenario, args: argparse.Namespace) -> int:
     if batch.fallback_reason:
         print(f"  note: process pool unavailable ({batch.fallback_reason}); "
               "ran on the in-process executor")
+    return 0
+
+
+def _stream_progress(report) -> None:
+    """The periodic streaming status line: drained / findings / hit rate."""
+    stats = report.cache_stats()
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    rate = stats["cache_hits"] / lookups if lookups else 0.0
+    print(
+        f"  [stream] seeds drained {report.jobs_completed}/"
+        f"{report.seeds_submitted - report.seeds_coalesced}"
+        f" | findings {len(report.findings())}"
+        f" | cache hit rate {rate:.0%}"
+    )
+
+
+def _explore_stream(scenario, args: argparse.Namespace) -> int:
+    """Streaming exploration: enqueue the observed seeds, harvest live."""
+    seeds = scenario.dice.observed
+    if not seeds:
+        print("no observed inputs")
+        return 1
+    scenario.dice.policy = args.policy
+    budget = ExplorationBudget(max_executions=args.executions)
+    with scenario.dice.stream(
+        workers=args.workers,
+        budget=budget,
+        strategy=args.strategy,
+        strategy_seed=args.seed,
+    ) as stream:
+        # The scenario's traffic was already observed during convergence;
+        # replay those buffers into the stream the way live operation
+        # would feed them through DiCE.observe.
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        stream.drain(progress=_stream_progress, progress_interval=1.0)
+        report = stream.report
+        print(f"streaming exploration ({args.workers} workers, "
+              f"{report.jobs_completed} sessions):")
+        for key, value in report.summary().items():
+            print(f"  {key}: {value}")
+        if report.fallback_reason:
+            print(f"  note: {report.fallback_reason}")
     return 0
 
 
@@ -208,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--all-seeds", action="store_true",
                          help="explore every buffered seed (implied by "
                               "--workers > 1)")
+    explore.add_argument("--stream", action="store_true",
+                         help="streaming pipeline: persistent workers, "
+                              "incremental checkpoint shipping, continuous "
+                              "harvest (prints a periodic progress line)")
     explore.set_defaults(func=cmd_explore)
 
     gen = commands.add_parser("trace-gen", help="synthesize a RouteViews-style trace")

@@ -65,6 +65,13 @@ class BranchCoverage:
     def path_count(self) -> int:
         return len(self.paths)
 
+    def merge(self, other: "BranchCoverage") -> "BranchCoverage":
+        """Fold another session's coverage into this one (set union)."""
+        self.outcomes |= other.outcomes
+        self.site_hits.update(other.site_hits)
+        self.paths |= other.paths
+        return self
+
     def site_summary(self) -> Dict[str, int]:
         """Hit counts keyed by printable site, for reports."""
         return {str(site): count for site, count in sorted(

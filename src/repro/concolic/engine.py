@@ -273,6 +273,32 @@ class ExplorationReport:
         ])
         return compacted
 
+    def absorb(self, other: "ExplorationReport") -> "ExplorationReport":
+        """Incremental aggregation: fold another session's totals in.
+
+        The streaming pipeline harvests session reports one at a time
+        and keeps a running cross-session total (executions, solver
+        work, merged coverage) instead of re-scanning the full report
+        list at each progress tick.  Per-session fields that do not sum
+        (``stop_reason``) keep this report's value; ``unique_paths``
+        becomes the merged-coverage path count, so duplicated paths
+        across sessions are not double-counted.
+        """
+        self.executions += other.executions
+        self.duplicate_paths += other.duplicate_paths
+        self.truncated_paths += other.truncated_paths
+        self.crashes.extend(other.crashes)
+        self.solver_queries += other.solver_queries
+        self.candidates_generated += other.candidates_generated
+        self.negations_skipped += other.negations_skipped
+        self.wall_seconds += other.wall_seconds
+        self.coverage.merge(other.coverage)
+        self.unique_paths = self.coverage.path_count
+        for key, value in other.solver_stats.items():
+            if isinstance(value, (int, float)):
+                self.solver_stats[key] = self.solver_stats.get(key, 0) + value
+        return self
+
 
 Program = Callable[[SymbolicInputs], object]
 ResultCallback = Callable[[ExecutionResult, Candidate], None]

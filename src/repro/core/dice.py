@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
     Callable,
     Deque,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -29,6 +31,7 @@ from typing import (
 
 if TYPE_CHECKING:  # avoids the runtime core <-> parallel import cycle
     from repro.parallel.explorer import BatchReport, ParallelExplorer
+    from repro.parallel.stream import StreamReport, StreamingExplorer
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
@@ -90,6 +93,10 @@ class DiCE:
         self._last_served_peer: Optional[str] = None
         self.rounds: List[SessionReport] = []
         self.exploration_wall_seconds = 0.0
+        # Streaming state: when a stream is active, observe() forwards
+        # every seed into it and harvested reports land in ``rounds``.
+        self._stream: Optional["StreamingExplorer"] = None
+        self._stream_harvested = 0
         if isinstance(router, DiceEnabledRouter):
             router.observer = self.observe
 
@@ -101,12 +108,26 @@ class DiCE:
         Only announcements are useful seeds (the marking policies derive
         symbolic inputs from NLRI), matching the paper's focus on UPDATE
         messages as "the main drivers for state change".
+
+        With a stream active (:meth:`stream`), every observed seed is
+        also enqueued to it immediately — exploration overlaps live
+        traffic instead of waiting for a scheduled round.  Enqueueing is
+        non-blocking (the stream coalesces under backpressure), so the
+        live message path never stalls on exploration.
         """
         if update.nlri:
             buffer = self._observed.setdefault(
                 peer_id, deque(maxlen=self._observed_capacity)
             )
             buffer.append(update)
+            if self._stream is not None:
+                if self._stream.closed:
+                    # The caller closed the explorer directly instead of
+                    # via stream_stop(); detach rather than raising out
+                    # of live message handling.
+                    self._stream = None
+                else:
+                    self._stream.submit(peer_id, update)
 
     @property
     def observed(self) -> List[Tuple[str, UpdateMessage]]:
@@ -264,6 +285,113 @@ class DiCE:
         self.rounds.extend(batch.reports)
         self.exploration_wall_seconds += batch.wall_seconds
         return batch
+
+    # -- streaming ------------------------------------------------------------
+
+    def streaming_explorer(
+        self,
+        workers: int = 1,
+        budget: Optional[ExplorationBudget] = None,
+        strategy: str = "generational",
+        strategy_seed: int = 0,
+        constraint_cache: bool = True,
+        queue_capacity: Optional[int] = None,
+        force_serial: bool = False,
+    ) -> "StreamingExplorer":
+        """A streaming pipeline carrying this DiCE's exploration config.
+
+        The streaming analogue of :meth:`parallel_explorer` — same
+        translation of policy, model kwargs, checkers, and whitelist
+        into picklable worker configuration; the stream's per-peer queue
+        bound defaults to the observation buffers' capacity.
+        """
+        from repro.parallel.stream import StreamingExplorer
+
+        return StreamingExplorer(
+            workers=max(workers, 1),
+            policy=self.policy,
+            model_kwargs=self.model_kwargs,
+            checkers=self._custom_checkers,
+            anycast_whitelist=self._anycast_whitelist,
+            strategy=strategy,
+            strategy_seed=strategy_seed,
+            constraint_cache=constraint_cache,
+            budget=budget,
+            queue_capacity=queue_capacity or self._observed_capacity,
+            force_serial=force_serial,
+        )
+
+    def stream_start(self, workers: int = 1, **kwargs) -> "StreamingExplorer":
+        """Open a streaming pipeline over the live router.
+
+        From here until :meth:`stream_stop`, every :meth:`observe`-d
+        announcement is auto-enqueued for exploration.  Accepts the
+        :meth:`streaming_explorer` keyword arguments.
+        """
+        if self._stream is not None:
+            raise ExplorationError("a stream is already active on this DiCE")
+        explorer = self.streaming_explorer(workers=workers, **kwargs)
+        explorer.start(self.router)
+        self._stream = explorer
+        self._stream_harvested = 0
+        return explorer
+
+    def stream_poll(self) -> List[SessionReport]:
+        """Harvest completed stream sessions into :attr:`rounds`.
+
+        Returns only the *newly* harvested reports; cumulative findings
+        aggregation happens through :attr:`rounds` exactly as for
+        sequential and batch rounds.
+        """
+        if self._stream is None:
+            raise ExplorationError("no active stream (call stream_start)")
+        reports = self._stream.poll()
+        fresh = reports[self._stream_harvested:]
+        self.rounds.extend(fresh)
+        self._stream_harvested = len(reports)
+        return fresh
+
+    def stream_epoch(self) -> Dict[str, object]:
+        """An epoch boundary: re-checkpoint (shipping the delta) + harvest.
+
+        The streaming scheduler fires this instead of a batch fan-out;
+        the returned dict combines the shipping economics with how many
+        reports the harvest landed.
+        """
+        if self._stream is None:
+            raise ExplorationError("no active stream (call stream_start)")
+        info = self._stream.advance_epoch()
+        info["harvested"] = len(self.stream_poll())
+        return info
+
+    def stream_stop(self) -> Optional["StreamReport"]:
+        """Drain and close the active stream; returns its final report.
+
+        No-op (returning None) when no stream is active, so shutdown
+        paths need not track whether a stream was ever started.
+        """
+        explorer, self._stream = self._stream, None
+        if explorer is None:
+            return None
+        report = explorer.close()
+        self.rounds.extend(report.reports[self._stream_harvested:])
+        self._stream_harvested = 0
+        self.exploration_wall_seconds += report.wall_seconds
+        return report
+
+    @contextmanager
+    def stream(self, workers: int = 1, **kwargs) -> Iterator["StreamingExplorer"]:
+        """Scoped streaming: ``with dice.stream(workers=4) as s: ...``
+
+        Observation, exploration, and harvest overlap inside the block;
+        on exit the stream drains and its findings are aggregated on the
+        facade like any other round's.
+        """
+        explorer = self.stream_start(workers=workers, **kwargs)
+        try:
+            yield explorer
+        finally:
+            self.stream_stop()
 
     # -- aggregation ----------------------------------------------------------------
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Optional
 
 from repro.concolic.engine import ExplorationBudget
 from repro.core.dice import DiCE
@@ -34,14 +34,24 @@ class ScheduleConfig:
     start_after: float = 0.0          # delay before the first round
     parallel: int = 1                 # worker processes per round (spare cores)
     all_seeds: bool = False           # explore every buffered seed, not one
+    #: Streaming mode: the scheduler opens a DiCE stream on start() and
+    #: each round becomes an *epoch boundary* (re-checkpoint shipping
+    #: only the delta, then harvest) instead of a batch fan-out — seeds
+    #: flow to the persistent workers continuously via observe().
+    stream: bool = False
+    #: Extra keyword arguments for ``DiCE.stream_start`` in streaming
+    #: mode (e.g. ``{"force_serial": True}`` in tests/sandboxes).
+    stream_options: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
 class ScheduleStats:
     rounds_fired: int = 0
     rounds_skipped: int = 0           # fired with no observed seed yet
+    rounds_failed: int = 0            # round raised; scheduler kept running
     wall_seconds: float = 0.0
     last_fired_at: float = 0.0
+    last_error: str = ""              # message of the most recent failure
 
 
 class OnlineScheduler:
@@ -56,8 +66,14 @@ class OnlineScheduler:
         self._handle = None
 
     def start(self) -> None:
-        """Arm the first round."""
+        """Arm the first round (and open the stream, in streaming mode)."""
         self._stopped = False
+        if self.config.stream:
+            self.dice.stream_start(
+                workers=max(1, self.config.parallel),
+                budget=self.config.budget,
+                **self.config.stream_options,
+            )
         delay = self.config.start_after or self.config.interval
         self._handle = self.host.set_timer(delay, self._fire)
 
@@ -66,15 +82,24 @@ class OnlineScheduler:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+        if self.config.stream:
+            # Drains in-flight work and folds the remaining findings
+            # into dice.rounds; a no-op if no stream is active.
+            self.dice.stream_stop()
 
     @property
     def running(self) -> bool:
         return not self._stopped
 
-    def _fire(self) -> None:
-        if self._stopped:
-            return
-        started = time.perf_counter()
+    def _run_round(self):
+        """One scheduled unit of work: a round, a batch, or an epoch."""
+        if self.config.stream:
+            # Streaming: seeds flow to the workers continuously through
+            # observe(); the scheduled tick is the *epoch boundary* —
+            # re-checkpoint the live node (shipping only the changed
+            # segments) and harvest whatever completed since last tick.
+            info = self.dice.stream_epoch()
+            return info if info.get("harvested") else None
         # Parallel knobs are passed only when set, so DiCE-compatible
         # stand-ins with the original run_round signature keep working.
         kwargs = {}
@@ -83,15 +108,37 @@ class OnlineScheduler:
                 "parallel": self.config.parallel,
                 "all_seeds": self.config.all_seeds,
             }
-        report = self.dice.run_round(
+        return self.dice.run_round(
             peer=self.config.peer, budget=self.config.budget, **kwargs
         )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        started = time.perf_counter()
+        failed = False
+        report = None
+        try:
+            report = self._run_round()
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            # A failed round must not kill the scheduler: before this
+            # guard an exception escaping run_round left the timer
+            # permanently un-armed and online testing silently stopped.
+            # That holds for ExplorationError/CheckpointError and just
+            # as much for a PicklingError out of a worker pool — so the
+            # net is deliberately wide.  Count it, remember it, re-arm;
+            # the next round gets a fresh checkpoint and usually
+            # succeeds.
+            failed = True
+            self.stats.rounds_failed += 1
+            self.stats.last_error = f"{type(exc).__name__}: {exc}"
         self.stats.wall_seconds += time.perf_counter() - started
         self.stats.last_fired_at = self.host.sim.now
-        if report is None:
-            self.stats.rounds_skipped += 1
-        else:
-            self.stats.rounds_fired += 1
+        if not failed:
+            if report is None:
+                self.stats.rounds_skipped += 1
+            else:
+                self.stats.rounds_fired += 1
         if (
             self.config.max_rounds is not None
             and self.stats.rounds_fired >= self.config.max_rounds

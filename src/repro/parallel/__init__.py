@@ -2,33 +2,50 @@
 
 The paper's deployment model runs exploration on spare cores while the
 live system keeps serving traffic (sections 3.2, 4.1).  This package
-supplies the missing throughput half of that story:
+supplies the throughput half of that story, in two shapes:
 
 * :class:`ParallelExplorer` fans a *batch* of observed seeds — all
   peers' ring buffers, not just the latest input — out to worker
   processes, each running a full checkpoint-clone-explore session;
+* :class:`StreamingExplorer` (:mod:`repro.parallel.stream`) replaces
+  the batch barrier with a pipeline: persistent workers pull jobs
+  continuously, checkpoints ship once per epoch with only changed
+  segments on re-checkpoint, and findings harvest asynchronously —
+  exploration overlaps live traffic instead of pausing for rounds;
 * a shared constraint-result cache (:mod:`repro.parallel.cache`) keyed
   by canonicalized path condition avoids re-solving identical negations
-  across workers;
-* a deterministic in-process :class:`SerialExecutor` stands in for the
-  process pool in tests and on hosts where subprocesses are unavailable,
-  producing bit-identical results.
+  across workers — single-manager for batches, sharded across manager
+  processes for streams;
+* a deterministic in-process :class:`SerialExecutor` (and the stream's
+  inline worker) stands in for process pools in tests and on hosts
+  where subprocesses are unavailable, producing bit-identical results.
 
 Determinism is a design invariant, not an accident: worker sessions are
 independent (private engine, solver, and strategy per job), the cache
 key covers the *entire* solver query including the hint, and worker
 solvers derive their search RNG from that key — so the deduped finding
-set of a batch is the same with 1 worker, N workers, or the serial
-fallback.
+set is the same with 1 worker, N workers, or the serial fallback, and
+the same again whether the seeds arrived as a batch or a stream.
 """
 
-from repro.parallel.cache import SharedConstraintCache, shared_cache
+from repro.parallel.cache import (
+    ShardedConstraintCache,
+    SharedConstraintCache,
+    shared_cache,
+    sharded_cache,
+)
 from repro.parallel.executors import SerialExecutor, make_executor
 from repro.parallel.explorer import (
     BatchReport,
     EngineBatch,
     EngineBatchRun,
     ParallelExplorer,
+)
+from repro.parallel.stream import (
+    StreamJob,
+    StreamReport,
+    StreamingExplorer,
+    stream_worker_main,
 )
 from repro.parallel.worker import (
     EngineJob,
@@ -45,9 +62,15 @@ __all__ = [
     "ParallelExplorer",
     "SerialExecutor",
     "SessionJob",
+    "ShardedConstraintCache",
     "SharedConstraintCache",
+    "StreamJob",
+    "StreamReport",
+    "StreamingExplorer",
     "make_executor",
     "run_engine_job",
     "run_session_job",
     "shared_cache",
+    "sharded_cache",
+    "stream_worker_main",
 ]

@@ -1,39 +1,69 @@
 """The cross-worker constraint-result cache.
 
 Builds on the solver-layer hook (:mod:`repro.concolic.solver.cache`):
-entries live in a ``multiprocessing.Manager`` dict shared by every
-worker process, with a per-process dict in front of it so each unique
-query pays at most one IPC round-trip per worker.
+entries live in ``multiprocessing.Manager`` dicts shared by every worker
+process, with a per-process dict in front so each unique query pays at
+most one IPC round-trip per worker.
 
 A proxy lookup is ~100µs while many solver queries resolve in ~10µs, so
 the L1 matters: without it a cache could make exploration *slower* than
-just re-solving.  Writes go through to the shared dict so other workers
+just re-solving.  Writes go through to the shared layer so other workers
 benefit; reads fill the L1.
 
-The wrapper is picklable (workers receive it inside their job); only the
-proxy travels — the local layer starts empty in each process.  Proxy
-operations can fail when the owning manager has shut down (a worker
-outliving its batch); the cache degrades to L1-only rather than erroring,
-since a cache miss is always safe.
+Two shared-layer shapes:
+
+* :func:`shared_cache` — one manager dict, the original PR-1 transport.
+  Every get/put that misses the L1 serializes through the single manager
+  process, which shows up in profiles at higher worker counts.
+* :func:`sharded_cache` — :class:`ShardedConstraintCache` partitions the
+  key space across N manager *processes* (key-hash → shard).  Cache keys
+  are uniform blake2b digests, so ``key[0] % shards`` balances load and
+  solver IPC no longer funnels through one process.  The streaming
+  pipeline defaults to this.
+
+The wrappers are picklable (workers receive them inside their jobs or at
+spawn); only the proxies travel — the local layer starts empty in each
+process.  Proxy operations can fail when the owning manager has shut
+down (a worker outliving its batch); the cache degrades to L1-only
+rather than erroring, since a cache miss is always safe.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from multiprocessing.managers import SyncManager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.concolic.solver.cache import CacheEntry
 
 
-class SharedConstraintCache:
-    """Two-level cache: per-process L1 over a manager-shared dict."""
+class ShardedConstraintCache:
+    """Two-level cache: per-process L1 over hash-partitioned shared dicts.
 
-    def __init__(self, shared) -> None:
-        self._shared = shared
+    Shard choice is a pure function of the key (``key[0] % shards``), so
+    every process agrees where an entry lives without coordination, and
+    determinism is untouched: a hit returns exactly the entry a local
+    solve would have produced (the solver-layer invariant), wherever it
+    was stored.
+    """
+
+    def __init__(self, shards: Sequence) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("at least one cache shard is required")
+        self._shards = shards
         self._local: Dict[bytes, CacheEntry] = {}
         self.hits = 0
         self.misses = 0
+
+    def _shard_for(self, key: bytes):
+        if len(self._shards) == 1:
+            return self._shards[0]
+        return self._shards[key[0] % len(self._shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
 
     def get(self, key: bytes) -> Optional[CacheEntry]:
         entry = self._local.get(key)
@@ -41,7 +71,7 @@ class SharedConstraintCache:
             self.hits += 1
             return entry
         try:
-            entry = self._shared.get(key)
+            entry = self._shard_for(key).get(key)
         except Exception:  # manager gone: degrade to L1-only
             entry = None
         if entry is None:
@@ -54,27 +84,37 @@ class SharedConstraintCache:
     def put(self, key: bytes, entry: CacheEntry) -> None:
         self._local[key] = entry
         try:
-            self._shared[key] = entry
+            self._shard_for(key)[key] = entry
         except Exception:
             pass
 
     def shared_size(self) -> int:
-        """Entries visible in the shared layer (0 if the manager is gone)."""
-        try:
-            return len(self._shared)
-        except Exception:
-            return 0
+        """Entries visible across all shards (dead shards count 0)."""
+        total = 0
+        for shard in self._shards:
+            try:
+                total += len(shard)
+            except Exception:
+                pass
+        return total
 
     def __getstate__(self) -> dict:
-        # Only the proxy crosses the process boundary; the L1 and its
+        # Only the proxies cross the process boundary; the L1 and its
         # counters are per-process state.
-        return {"_shared": self._shared}
+        return {"_shards": self._shards}
 
     def __setstate__(self, state: dict) -> None:
-        self._shared = state["_shared"]
+        self._shards = state["_shards"]
         self._local = {}
         self.hits = 0
         self.misses = 0
+
+
+class SharedConstraintCache(ShardedConstraintCache):
+    """The single-shard case: one manager dict behind the L1 (PR 1 shape)."""
+
+    def __init__(self, shared) -> None:
+        super().__init__([shared])
 
 
 @contextmanager
@@ -91,3 +131,33 @@ def shared_cache() -> Iterator[SharedConstraintCache]:
         yield SharedConstraintCache(manager.dict())
     finally:
         manager.shutdown()
+
+
+@contextmanager
+def sharded_cache(shards: int = 4) -> Iterator[ShardedConstraintCache]:
+    """A :class:`ShardedConstraintCache` over ``shards`` manager processes.
+
+    Each shard is a dict owned by its *own* manager process, so worker
+    IPC spreads across them instead of serializing through one.  All
+    managers live for the ``with`` block; a startup failure partway
+    through (fork refused under memory pressure) shuts down the managers
+    already started and propagates, so the caller can fall back to a
+    smaller configuration or an in-process cache.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    managers: List[SyncManager] = []
+    try:
+        proxies = []
+        for _ in range(shards):
+            manager = SyncManager()
+            manager.start()
+            managers.append(manager)
+            proxies.append(manager.dict())
+        yield ShardedConstraintCache(proxies)
+    finally:
+        for manager in managers:
+            try:
+                manager.shutdown()
+            except Exception:
+                pass

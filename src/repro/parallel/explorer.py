@@ -71,6 +71,17 @@ class BatchReport:
             return 0.0
         return self.total_executions / self.wall_seconds
 
+    def add_report(self, report: SessionReport) -> "BatchReport":
+        """Incremental aggregation: absorb one session report on arrival.
+
+        The batch path appends all reports at the barrier; the streaming
+        harvester calls this per completed job instead, and every
+        aggregate view (``findings``, ``cache_stats``, ``summary``) is
+        valid after each call — there is no finalize step.
+        """
+        self.reports.append(report)
+        return self
+
     def findings(self) -> List[Finding]:
         """Unique findings across the whole batch (order-independent)."""
         seen: Dict[tuple, Finding] = {}

@@ -1,0 +1,828 @@
+"""The streaming exploration pipeline: persistent workers fed by a seed stream.
+
+The batch engine (:class:`repro.parallel.ParallelExplorer`) fans one
+synchronous batch out per scheduler round: every job carries a full
+checkpoint pickle, results return at a barrier, and between rounds the
+workers do not exist.  The paper's deployment is *continuous* — "DiCE
+runs in the Provider's router" — so this module replaces the batch with
+a pipeline:
+
+* **persistent workers** — long-lived processes pull jobs from
+  per-worker FIFO queues and push reports to a shared result queue; the
+  pool survives across epochs instead of being rebuilt per round;
+* **incremental checkpoint shipping** — each worker receives the full
+  :class:`~repro.checkpoint.delta.CheckpointImage` once, and every
+  re-checkpoint thereafter ships a :class:`CheckpointDelta` carrying
+  only the segments whose page digests changed (a small RIB change
+  ships kilobytes, not the whole table);
+* **bounded per-peer seed queues with coalescing backpressure** — seeds
+  are enqueued as observed; when a peer's queue is full the *oldest*
+  unscheduled seed is superseded by the newest (the same ring-buffer
+  discipline as the DiCE observation buffers) and counted, so a chatty
+  peer can neither grow memory nor starve the stream;
+* **asynchronous harvest** — completed session reports are absorbed into
+  a :class:`StreamReport` as they arrive (``BatchReport.add_report``);
+  aggregate views are valid mid-stream, with no barrier;
+* **sharded constraint cache** — workers share a
+  :class:`~repro.parallel.cache.ShardedConstraintCache` so solver IPC
+  spreads across manager processes instead of serializing through one.
+
+Determinism is preserved from the batch engine: each seed gets a global
+arrival index, the per-job strategy RNG derives from that index exactly
+as batch jobs derive from their batch position, sessions are independent,
+and cache hits are bit-identical to local solves.  For a fixed observed-
+seed sequence within one epoch, the harvested finding set equals
+``ParallelExplorer.explore_batch`` over the same seeds — with one
+worker, N workers, or the in-process serial fallback
+(``tests/parallel/test_streaming.py`` asserts all three).
+
+Failure containment mirrors the batch engine's salvage: a worker process
+that dies has its in-flight jobs re-run on an in-process fallback worker
+(per-job determinism makes the salvage exact); a host that cannot fork
+at all runs the whole stream inline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.checkpoint.delta import CheckpointDelta, CheckpointImage
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import ExplorationBudget, ExplorationReport
+from repro.concolic.solver.cache import DictConstraintCache
+from repro.core.checkers import FaultChecker
+from repro.core.report import SessionReport
+from repro.parallel.cache import ShardedConstraintCache, sharded_cache
+from repro.parallel.explorer import BatchReport
+from repro.parallel.worker import SessionJob, run_session_job
+from repro.util.errors import CheckpointError, ExplorationError
+from repro.util.ip import Prefix
+
+Seed = Tuple[str, UpdateMessage]
+
+# Worker-bound messages and worker-emitted results are small tagged
+# tuples: cheap to pickle, trivially version-free within one process
+# tree.
+_MSG_EPOCH = "epoch"
+_MSG_JOB = "job"
+_MSG_STOP = "stop"
+_RES_REPORT = "report"
+_RES_ERROR = "error"
+
+#: Sentinel job index for errors not attributable to a single job
+#: (e.g. a delta arriving before its base image).
+_NO_JOB = -1
+
+
+@dataclass
+class StreamJob:
+    """One seed's exploration session, shipped *without* its checkpoint.
+
+    The checkpoint is resident in the worker (shipped once per epoch);
+    the job only names the epoch it belongs to.  ``index`` is the seed's
+    global arrival number — the strategy RNG derives from it exactly as
+    a batch job derives from its batch position, which is what makes the
+    stream's finding set equal the batch engine's.
+    """
+
+    index: int
+    epoch: int
+    peer: str
+    observed: UpdateMessage
+    policy: str = "selective"
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+    budget: Optional[ExplorationBudget] = None
+    strategy: str = "generational"
+    strategy_seed: int = 0
+    anycast_whitelist: Tuple[Prefix, ...] = ()
+    checkers: Optional[Sequence[FaultChecker]] = None
+
+
+@dataclass
+class StreamReport(BatchReport):
+    """A :class:`BatchReport` grown incrementally, plus stream provenance.
+
+    Reports land in *arrival* order; ``indices`` records each report's
+    job index so ``reports_in_index_order`` can reconstruct the batch
+    engine's submission ordering for comparison.
+    """
+
+    indices: List[int] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    epochs: int = 0
+    seeds_submitted: int = 0
+    seeds_coalesced: int = 0
+    jobs_dispatched: int = 0
+    jobs_recovered: int = 0
+    checkpoint_bytes_shipped: int = 0
+    checkpoint_segments_shipped: int = 0
+    full_checkpoint_bytes: int = 0
+
+    @property
+    def jobs_completed(self) -> int:
+        return len(self.reports)
+
+    @property
+    def checkpoint_bytes_per_job(self) -> float:
+        """Average checkpoint transport cost per completed job.
+
+        The batch engine's equivalent is the full checkpoint pickle —
+        every job carries one — so this is the number to hold against
+        ``full_checkpoint_bytes`` when judging the shipping refactor.
+        """
+        if not self.reports:
+            return float(self.checkpoint_bytes_shipped)
+        return self.checkpoint_bytes_shipped / len(self.reports)
+
+    def add_stream_report(self, index: int, report: SessionReport) -> None:
+        self.add_report(report)
+        self.indices.append(index)
+
+    def reports_in_index_order(self) -> List[SessionReport]:
+        return [
+            report
+            for _, report in sorted(
+                zip(self.indices, self.reports), key=lambda pair: pair[0]
+            )
+        ]
+
+    def exploration_totals(self) -> ExplorationReport:
+        """Merged cross-session exploration counters (incremental-style)."""
+        total = ExplorationReport()
+        for report in self.reports:
+            total.absorb(report.exploration)
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        base = super().summary()
+        base.update(
+            {
+                "epochs": self.epochs,
+                "seeds_submitted": self.seeds_submitted,
+                "seeds_coalesced": self.seeds_coalesced,
+                "jobs_completed": self.jobs_completed,
+                "jobs_recovered": self.jobs_recovered,
+                "errors": len(self.errors),
+                "checkpoint_bytes_shipped": self.checkpoint_bytes_shipped,
+                "checkpoint_bytes_per_job": round(self.checkpoint_bytes_per_job),
+                "full_checkpoint_bytes": self.full_checkpoint_bytes,
+            }
+        )
+        return base
+
+
+class _WorkerState:
+    """Epoch images, rebuilt checkpoints, and job execution for one worker.
+
+    Shared by the process worker loop and the in-process fallback so the
+    two transports cannot drift.  ``prune`` is safe only for process
+    workers, whose single FIFO queue guarantees that by the time an
+    epoch message is handled every earlier epoch's jobs are done; the
+    inline fallback receives salvaged jobs out of band and keeps all
+    images it was given.
+    """
+
+    def __init__(self, cache: Optional[object], prune: bool) -> None:
+        self.cache = cache
+        self.prune = prune
+        self.images: Dict[int, CheckpointImage] = {}
+        self.checkpoints: Dict[int, Checkpoint] = {}
+
+    def handle(self, msg: tuple) -> Optional[tuple]:
+        """Process one coordinator message; job messages return a result."""
+        kind = msg[0]
+        if kind == _MSG_EPOCH:
+            try:
+                self._apply_epoch(msg[1])
+            except Exception as exc:
+                return (_RES_ERROR, _NO_JOB, f"{type(exc).__name__}: {exc}")
+            return None
+        if kind == _MSG_JOB:
+            job: StreamJob = msg[1]
+            try:
+                return (_RES_REPORT, job.index, self._run(job))
+            except Exception as exc:
+                return (_RES_ERROR, job.index, f"{type(exc).__name__}: {exc}")
+        return None
+
+    def _apply_epoch(self, payload) -> None:
+        if isinstance(payload, CheckpointDelta):
+            base = self.images.get(payload.base_epoch)
+            if base is None:
+                raise CheckpointError(
+                    f"delta for epoch {payload.epoch} arrived before its "
+                    f"base image (epoch {payload.base_epoch})"
+                )
+            image = payload.apply(base)
+        else:
+            image = payload
+        self.images[image.epoch] = image
+        if self.prune:
+            for epoch in [e for e in self.images if e < image.epoch]:
+                del self.images[epoch]
+            for epoch in [e for e in self.checkpoints if e < image.epoch]:
+                del self.checkpoints[epoch]
+
+    def _run(self, job: StreamJob) -> SessionReport:
+        checkpoint = self.checkpoints.get(job.epoch)
+        if checkpoint is None:
+            image = self.images.get(job.epoch)
+            if image is None:
+                raise CheckpointError(
+                    f"job {job.index} references epoch {job.epoch}, "
+                    f"but no image for it is resident"
+                )
+            # Rebuilt once per epoch per worker: the clone-per-execution
+            # loop unpickles state_bytes repeatedly, so the monolithic
+            # form is worth the one-time local assembly.
+            checkpoint = image.as_checkpoint()
+            self.checkpoints[job.epoch] = checkpoint
+        return run_session_job(
+            SessionJob(
+                index=job.index,
+                checkpoint=checkpoint,
+                peer=job.peer,
+                observed=job.observed,
+                policy=job.policy,
+                model_kwargs=dict(job.model_kwargs),
+                budget=job.budget,
+                strategy=job.strategy,
+                strategy_seed=job.strategy_seed,
+                anycast_whitelist=job.anycast_whitelist,
+                checkers=job.checkers,
+                cache=self.cache,
+            )
+        )
+
+
+def stream_worker_main(job_queue, result_queue, cache) -> None:
+    """Entry point of one persistent streaming worker process."""
+    state = _WorkerState(cache, prune=True)
+    while True:
+        try:
+            msg = job_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+            break
+        if msg[0] == _MSG_STOP:
+            break
+        result = state.handle(msg)
+        if result is not None:
+            try:
+                result_queue.put(result)
+            except Exception:  # pragma: no cover - coordinator gone
+                break
+
+
+class _ProcessWorker:
+    """A persistent worker process and its dedicated FIFO job queue."""
+
+    def __init__(self, slot: int, result_queue, cache) -> None:
+        self.slot = slot
+        self.salvaged = False
+        self.queue: multiprocessing.Queue = multiprocessing.Queue()
+        self.process = multiprocessing.Process(
+            target=stream_worker_main,
+            args=(self.queue, result_queue, cache),
+            daemon=True,
+            name=f"repro-stream-worker-{slot}",
+        )
+        self.process.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, msg: tuple) -> None:
+        self.queue.put(msg)
+
+    def stop(self, grace: float = 2.0) -> None:
+        if self.process.is_alive():
+            try:
+                self.queue.put((_MSG_STOP,))
+            except Exception:
+                pass
+            self.process.join(grace)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(1.0)
+        try:
+            # The worker is gone either way; anything still buffered in
+            # the queue has no reader.  Without cancel_join_thread a
+            # feeder thread wedged mid-send (worker killed with a full
+            # pipe) deadlocks interpreter exit in the queue finalizer.
+            self.queue.cancel_join_thread()
+            self.queue.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+class _InlineWorker:
+    """In-process stand-in: same message protocol, executed on pump().
+
+    Messages accumulate in a mailbox and run only when the coordinator
+    pumps (``poll``/``drain``), never at submit time — preserving the
+    stream's enqueue-now-explore-later shape so backpressure and
+    coalescing behave identically under the serial fallback.
+    """
+
+    slot = -1
+
+    def __init__(self, cache: Optional[object]) -> None:
+        self._state = _WorkerState(cache, prune=False)
+        self._mailbox: Deque[tuple] = deque()
+        self.alive = True
+        self.salvaged = False
+
+    def send(self, msg: tuple) -> None:
+        self._mailbox.append(msg)
+
+    def pump(self) -> List[tuple]:
+        results = []
+        while self._mailbox:
+            result = self._state.handle(self._mailbox.popleft())
+            if result is not None:
+                results.append(result)
+        return results
+
+    def stop(self, grace: float = 0.0) -> None:
+        self.alive = False
+
+
+class StreamingExplorer:
+    """Continuous exploration: observed seeds in, findings out, no barrier.
+
+    Lifecycle::
+
+        explorer = StreamingExplorer(workers=4)
+        explorer.start(live_router)            # epoch 0: full image to workers
+        explorer.submit(peer, update)          # as traffic is observed
+        explorer.poll()                        # non-blocking harvest
+        explorer.advance_epoch()               # re-checkpoint: ships the delta
+        report = explorer.close()              # drain, stop workers, final report
+
+    or, bound to a DiCE facade, ``with dice.stream(workers=4): ...`` —
+    which routes every observed UPDATE into :meth:`submit` automatically.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        policy: str = "selective",
+        model_kwargs: Optional[dict] = None,
+        checkers: Optional[Sequence[FaultChecker]] = None,
+        anycast_whitelist: Optional[Sequence[Prefix]] = None,
+        strategy: str = "generational",
+        strategy_seed: int = 0,
+        constraint_cache: bool = True,
+        force_serial: bool = False,
+        budget: Optional[ExplorationBudget] = None,
+        queue_capacity: int = 32,
+        max_inflight: Optional[int] = None,
+        cache_shards: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.workers = workers
+        self.policy = policy
+        self.model_kwargs = dict(model_kwargs or {})
+        self.checkers = list(checkers) if checkers is not None else None
+        self.anycast_whitelist = tuple(anycast_whitelist or ())
+        self.strategy = strategy
+        self.strategy_seed = strategy_seed
+        self.constraint_cache = constraint_cache
+        self.force_serial = force_serial
+        self.budget = budget
+        #: Per-peer pending-seed bound; overflowing coalesces the oldest.
+        self.queue_capacity = queue_capacity
+        #: Dispatched-but-unfinished bound; keeps seeds in the pending
+        #: queues (where they can still coalesce) instead of piling up
+        #: inside worker queues where they cannot.
+        self.max_inflight = max_inflight if max_inflight is not None else 2 * workers
+        #: 0 = auto (min(4, workers)); shards of the shared solver cache.
+        self.cache_shards = cache_shards
+
+        self.report = StreamReport(workers=workers)
+        self._pending: Dict[str, Deque[Tuple[int, UpdateMessage]]] = {}
+        self._last_peer: Optional[str] = None
+        self._next_index = 0
+        self._inflight: Dict[int, StreamJob] = {}
+        self._assignment: Dict[int, int] = {}
+        self._workers: List[object] = []
+        self._fallback: Optional[_InlineWorker] = None
+        self._result_queue = None
+        self._images: Dict[int, CheckpointImage] = {}
+        self._image: Optional[CheckpointImage] = None
+        self._epoch = -1
+        self._router: Optional[BgpRouter] = None
+        self._cache = None
+        self._cache_managers: list = []
+        self._started = False
+        self._closed = False
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, live_router: BgpRouter) -> "StreamingExplorer":
+        """Capture epoch 0, spin up the worker pool, ship the full image."""
+        if self._started:
+            raise ExplorationError("stream already started")
+        self._router = live_router
+        self._started_at = time.perf_counter()
+
+        capture_started = time.perf_counter()
+        self._image = CheckpointImage.capture(live_router, "stream-ckpt", epoch=0)
+        self.report.checkpoint_seconds += time.perf_counter() - capture_started
+        self.report.checkpoint_pages = len(self._image.pages)
+        self.report.full_checkpoint_bytes = self._image.total_bytes
+        self._epoch = 0
+        self._images = {0: self._image}
+
+        multiprocess = not self.force_serial
+        self._setup_cache(multiprocess)
+        if multiprocess:
+            try:
+                self._result_queue = multiprocessing.Queue()
+                for slot in range(self.workers):
+                    self._workers.append(
+                        _ProcessWorker(slot, self._result_queue, self._cache)
+                    )
+                self.report.used_processes = True
+            except (OSError, PermissionError, ValueError) as exc:
+                for worker in self._workers:
+                    worker.stop(grace=0.1)
+                self._workers = []
+                self._result_queue = None
+                self.report.fallback_reason = f"{type(exc).__name__}: {exc}"
+        if not self._workers:
+            self._workers = [_InlineWorker(self._cache)]
+            self.report.used_processes = False
+        for worker in self._workers:
+            self._ship(worker, self._image)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "StreamingExplorer":
+        if not self._started:
+            raise ExplorationError("start(live_router) the stream before entering it")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _setup_cache(self, multiprocess: bool) -> None:
+        if not self.constraint_cache:
+            return
+        if multiprocess:
+            shards = self.cache_shards or min(4, self.workers)
+            try:
+                stack_cm = sharded_cache(shards)
+                self._cache = stack_cm.__enter__()
+                self._cache_managers.append(stack_cm)
+                return
+            except (OSError, PermissionError):
+                # No manager processes available: per-process L1-only is
+                # still correct (a miss is always safe), so degrade to a
+                # local dict each worker deep-copies at spawn.
+                self._cache_managers = []
+        self._cache = DictConstraintCache()
+
+    # -- seed intake ---------------------------------------------------------
+
+    def submit(self, peer: str, update: UpdateMessage) -> int:
+        """Enqueue an observed seed; returns its global arrival index.
+
+        Non-blocking: if the peer's pending queue is full, the oldest
+        unscheduled seed from that peer is superseded (coalescing
+        backpressure) — mirroring the DiCE ring buffers — rather than
+        blocking the observer, which sits on the live message path.
+        """
+        self._require_open()
+        index = self._next_index
+        self._next_index += 1
+        buffer = self._pending.setdefault(peer, deque())
+        if len(buffer) >= self.queue_capacity:
+            buffer.popleft()
+            self.report.seeds_coalesced += 1
+        buffer.append((index, update))
+        self.report.seeds_submitted += 1
+        # Opportunistically harvest finished work (frees in-flight slots)
+        # and top the workers up; inline workers do NOT execute here —
+        # submit must stay cheap on the observation path.
+        self._collect(pump_inline=False)
+        self._dispatch()
+        return index
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending_seeds(self) -> int:
+        return sum(len(buffer) for buffer in self._pending.values())
+
+    @property
+    def inflight_jobs(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def idle(self) -> bool:
+        """No seed waiting and no job running."""
+        return not self.pending_seeds and not self._inflight
+
+    # -- dispatch / harvest --------------------------------------------------
+
+    def _next_seed(self) -> Optional[Tuple[int, str, UpdateMessage]]:
+        """Oldest seed of the next peer in rotation (DiCE's round-robin)."""
+        peers = [peer for peer, buffer in self._pending.items() if buffer]
+        if not peers:
+            return None
+        start = 0
+        if self._last_peer in peers:
+            start = (peers.index(self._last_peer) + 1) % len(peers)
+        peer = peers[start]
+        self._last_peer = peer
+        index, update = self._pending[peer].popleft()
+        return index, peer, update
+
+    def _pick_worker(self):
+        alive = [worker for worker in self._workers if worker.alive]
+        if not alive:
+            return self._ensure_fallback()
+        # Rotate by dispatch count so load spreads without bookkeeping
+        # per worker; job placement does not affect results.
+        return alive[self.report.jobs_dispatched % len(alive)]
+
+    def _dispatch(self) -> int:
+        dispatched = 0
+        while len(self._inflight) < self.max_inflight:
+            seed = self._next_seed()
+            if seed is None:
+                break
+            index, peer, update = seed
+            job = StreamJob(
+                index=index,
+                epoch=self._epoch,
+                peer=peer,
+                observed=update,
+                policy=self.policy,
+                model_kwargs=dict(self.model_kwargs),
+                budget=self.budget,
+                strategy=self.strategy,
+                strategy_seed=self.strategy_seed,
+                anycast_whitelist=self.anycast_whitelist,
+                checkers=self.checkers,
+            )
+            worker = self._pick_worker()
+            if isinstance(worker, _ProcessWorker):
+                # Fail loudly *here*: an unpicklable payload handed to
+                # mp.Queue is dropped by the feeder thread with only a
+                # stderr traceback, leaving the job in-flight forever
+                # and drain() spinning.  The job is small (no checkpoint
+                # inside), so the validation pickle is cheap.
+                try:
+                    pickle.dumps(job)
+                except Exception as exc:
+                    self.report.errors.append(
+                        f"job {index} ({peer}) is not picklable: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+            worker.send((_MSG_JOB, job))
+            self._inflight[index] = job
+            self._assignment[index] = worker.slot
+            self.report.jobs_dispatched += 1
+            dispatched += 1
+        return dispatched
+
+    def _touch_wall(self) -> None:
+        """Keep the report's wall clock live so mid-stream summaries work."""
+        if self._started and not self._closed:
+            self.report.wall_seconds = time.perf_counter() - self._started_at
+
+    def _collect(self, pump_inline: bool, block_seconds: float = 0.0) -> bool:
+        """Drain ready results; returns True if anything progressed."""
+        progressed = False
+        self._touch_wall()
+        if self._result_queue is not None:
+            while True:
+                try:
+                    if block_seconds > 0.0:
+                        msg = self._result_queue.get(timeout=block_seconds)
+                        block_seconds = 0.0
+                    else:
+                        msg = self._result_queue.get_nowait()
+                except (queue_module.Empty, EOFError, OSError):
+                    break
+                self._handle_result(msg)
+                progressed = True
+            progressed |= self._salvage_dead_workers()
+        if pump_inline:
+            for worker in self._inline_workers():
+                for msg in worker.pump():
+                    self._handle_result(msg)
+                    progressed = True
+        return progressed
+
+    def _inline_workers(self) -> List[_InlineWorker]:
+        inline = [w for w in self._workers if isinstance(w, _InlineWorker)]
+        if self._fallback is not None:
+            inline.append(self._fallback)
+        return inline
+
+    def _handle_result(self, msg: tuple) -> None:
+        kind, index = msg[0], msg[1]
+        if kind == _RES_REPORT:
+            if index not in self._inflight:
+                return  # already salvaged elsewhere; first result won
+            del self._inflight[index]
+            self._assignment.pop(index, None)
+            self.report.add_stream_report(index, msg[2])
+        elif kind == _RES_ERROR:
+            if index == _NO_JOB:
+                self.report.errors.append(str(msg[2]))
+                return
+            job = self._inflight.pop(index, None)
+            self._assignment.pop(index, None)
+            if job is not None:
+                self.report.errors.append(f"job {index} ({job.peer}): {msg[2]}")
+        self._prune_images()
+
+    def _ensure_fallback(self) -> _InlineWorker:
+        """The in-process salvage worker, created (and primed) on demand."""
+        if self._fallback is None:
+            cache = self._cache if self._cache is not None else None
+            self._fallback = _InlineWorker(cache)
+            # Prime it with full images for every epoch still referenced;
+            # deltas are useless to a worker with no base image.
+            for epoch in sorted(self._images):
+                self._fallback.send((_MSG_EPOCH, self._images[epoch]))
+        return self._fallback
+
+    def _salvage_dead_workers(self) -> bool:
+        """Re-run a dead worker's in-flight jobs on the inline fallback."""
+        salvaged = False
+        for worker in self._workers:
+            if not isinstance(worker, _ProcessWorker):
+                continue
+            if worker.alive or worker.salvaged:
+                continue
+            worker.salvaged = True
+            lost = [
+                index
+                for index, slot in self._assignment.items()
+                if slot == worker.slot and index in self._inflight
+            ]
+            fallback = self._ensure_fallback()
+            for index in lost:
+                fallback.send((_MSG_JOB, self._inflight[index]))
+                self._assignment[index] = fallback.slot
+                self.report.jobs_recovered += 1
+            if not self.report.fallback_reason:
+                self.report.fallback_reason = (
+                    f"worker {worker.slot} died; in-flight jobs re-run in-process"
+                )
+            salvaged = True
+        if salvaged and not any(
+            w.alive for w in self._workers if isinstance(w, _ProcessWorker)
+        ):
+            self.report.used_processes = False
+        return salvaged
+
+    def _prune_images(self) -> None:
+        """Drop retained epoch images nothing in flight references."""
+        needed = {self._epoch} | {job.epoch for job in self._inflight.values()}
+        for epoch in [e for e in self._images if e not in needed]:
+            del self._images[epoch]
+
+    # -- epochs --------------------------------------------------------------
+
+    def _ship(self, worker, payload) -> None:
+        worker.send((_MSG_EPOCH, payload))
+        if isinstance(payload, CheckpointDelta):
+            self.report.checkpoint_bytes_shipped += payload.bytes_shipped
+            self.report.checkpoint_segments_shipped += payload.segments_shipped
+        else:
+            self.report.checkpoint_bytes_shipped += payload.total_bytes
+            self.report.checkpoint_segments_shipped += len(payload.segments)
+
+    def advance_epoch(self) -> Dict[str, object]:
+        """Epoch boundary: re-checkpoint the live node, ship only the diff.
+
+        Every live worker gets the delta (its resident image plus the
+        changed segments reassemble the new epoch byte-identically);
+        jobs dispatched from here on reference the new epoch.  Returns
+        the shipping economics for logging/benchmarks.
+        """
+        self._require_open()
+        capture_started = time.perf_counter()
+        image = CheckpointImage.capture(
+            self._router, f"stream-ckpt-{self._epoch + 1}", epoch=self._epoch + 1
+        )
+        self.report.checkpoint_seconds += time.perf_counter() - capture_started
+        delta = image.diff(self._image)
+        self._epoch = image.epoch
+        self._image = image
+        self._images[image.epoch] = image
+        for worker in self._workers:
+            if worker.alive and not worker.salvaged:
+                self._ship(worker, delta)
+        if self._fallback is not None:
+            self._ship(self._fallback, delta)
+        self.report.epochs += 1
+        self.report.full_checkpoint_bytes = image.total_bytes
+        self.report.checkpoint_pages = len(image.pages)
+        self._prune_images()
+        return {
+            "epoch": image.epoch,
+            "segments_shipped": delta.segments_shipped,
+            "segments_total": len(image.segments),
+            "bytes_shipped": delta.bytes_shipped,
+            "bytes_full": image.total_bytes,
+        }
+
+    # -- harvest -------------------------------------------------------------
+
+    def poll(self) -> List[SessionReport]:
+        """Dispatch whatever fits, harvest whatever is ready; no blocking.
+
+        Under the inline fallback this executes all dispatchable work
+        (serial semantics); with process workers it only drains the
+        result queue.  Returns every report harvested so far.
+        """
+        self._require_open()
+        while True:
+            progressed = self._collect(pump_inline=True)
+            progressed |= self._dispatch() > 0
+            if not progressed:
+                break
+        return list(self.report.reports)
+
+    def drain(
+        self,
+        timeout: Optional[float] = None,
+        progress=None,
+        progress_interval: float = 1.0,
+    ) -> StreamReport:
+        """Block until every pending seed and in-flight job completes.
+
+        ``progress`` (optional) is called with the live report at most
+        every ``progress_interval`` seconds — the CLI uses it for its
+        periodic status line.
+        """
+        self._require_open()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_progress = time.monotonic()
+        while not self.idle:
+            progressed = self._collect(pump_inline=True)
+            progressed |= self._dispatch() > 0
+            if not progressed and self._inflight and self._result_queue is not None:
+                self._collect(pump_inline=True, block_seconds=0.05)
+            if progress is not None and (
+                time.monotonic() - last_progress >= progress_interval
+            ):
+                progress(self.report)
+                last_progress = time.monotonic()
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationError(
+                    f"stream drain timed out with {len(self._inflight)} jobs "
+                    f"in flight and {self.pending_seeds} seeds pending"
+                )
+        if progress is not None:
+            progress(self.report)
+        return self.report
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> StreamReport:
+        """Drain (by default), stop the workers, release the cache managers."""
+        if self._closed:
+            return self.report
+        if self._started and drain:
+            self.drain(timeout=timeout)
+        for worker in self._workers:
+            worker.stop()
+        if self._fallback is not None:
+            self._fallback.stop()
+        for manager_cm in self._cache_managers:
+            try:
+                manager_cm.__exit__(None, None, None)
+            except Exception:
+                pass
+        self._cache_managers = []
+        self.report.wall_seconds = time.perf_counter() - self._started_at
+        self._closed = True
+        return self.report
+
+    def _require_open(self) -> None:
+        if not self._started:
+            raise ExplorationError("stream not started (call start(live_router))")
+        if self._closed:
+            raise ExplorationError("stream already closed")

@@ -170,6 +170,35 @@ class TestCheckpointManager:
         manager.release_all_clones()
         assert not manager.clones
 
+    def test_clone_pages_measured_lazily(self):
+        # Hashing a clone's image is the dominant clone cost; callers
+        # that only need the node (streaming clone churn) must not pay it.
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(ToyNode(table={i: "x" * 80 for i in range(100)}))
+        record = manager.clone(checkpoint)
+        assert not record.pages_measured
+        assert record.name not in manager.store.images  # nothing registered yet
+        pages = record.pages  # first access measures + registers
+        assert record.pages_measured
+        assert len(pages) >= 1
+        assert record.name in manager.store.images
+
+    def test_unmeasured_clone_releases_cleanly(self):
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(ToyNode())
+        record = manager.clone(checkpoint)
+        manager.release(record.name)  # never measured: nothing to unregister
+        assert record.name not in manager.clones
+
+    def test_memory_report_forces_measurement(self):
+        manager = CheckpointManager()
+        checkpoint = manager.checkpoint(ToyNode(table={i: i for i in range(50)}))
+        records = [manager.clone(checkpoint) for _ in range(2)]
+        assert not any(r.pages_measured for r in records)
+        report = manager.memory_report()
+        assert report.clone_count == 2
+        assert all(r.pages_measured for r in records)
+
     def test_checkpoint_unique_fraction_grows_as_parent_diverges(self):
         manager = CheckpointManager()
         node = ToyNode(table={i: "v" * 64 for i in range(300)})

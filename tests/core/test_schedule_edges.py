@@ -27,6 +27,24 @@ class _StubDice:
         return object()
 
 
+class _FlakyDice:
+    """Raises on chosen rounds — the failure mode that used to kill the
+    scheduler permanently (no re-armed timer, silent stop)."""
+
+    def __init__(self, failing_calls=(1,), error=None):
+        from repro.util.errors import ExplorationError
+
+        self.calls = 0
+        self.failing_calls = set(failing_calls)
+        self.error = error or ExplorationError("round blew up")
+
+    def run_round(self, peer=None, budget=None):
+        self.calls += 1
+        if self.calls in self.failing_calls:
+            raise self.error
+        return object()
+
+
 class TestScheduler:
     def test_start_after_delays_first_round(self):
         host = NodeHost()
@@ -94,6 +112,74 @@ class TestScheduler:
         host.run_until(8.0)
         scheduler.stop()
         assert scheduler.stats.last_fired_at == pytest.approx(7.0)
+
+
+class TestSchedulerFailureContainment:
+    def test_failed_round_rearms_the_timer(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(1,))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(35.0)
+        scheduler.stop()
+        # Round 1 raised; rounds 2 and 3 still fired on schedule.
+        assert dice.calls == 3
+        assert scheduler.stats.rounds_failed == 1
+        assert scheduler.stats.rounds_fired == 2
+        assert "round blew up" in scheduler.stats.last_error
+
+    def test_failures_not_counted_as_fired_or_skipped(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(1, 2, 3))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(35.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_failed == 3
+        assert scheduler.stats.rounds_fired == 0
+        assert scheduler.stats.rounds_skipped == 0
+
+    def test_max_rounds_counts_only_successes(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(2,))
+        scheduler = OnlineScheduler(
+            host, dice, ScheduleConfig(interval=10.0, max_rounds=2)
+        )
+        scheduler.start()
+        host.run_until(100.0)
+        # calls: 1 ok, 2 failed, 3 ok -> max_rounds=2 reached at call 3.
+        assert dice.calls == 3
+        assert scheduler.stats.rounds_fired == 2
+        assert not scheduler.running
+
+    def test_checkpoint_errors_contained_too(self):
+        from repro.util.errors import CheckpointError
+
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(1,), error=CheckpointError("no fork"))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(25.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_failed == 1
+        assert scheduler.stats.rounds_fired == 1
+
+    def test_non_library_errors_contained_too(self):
+        # A worker-pool PicklingError (or any other stdlib exception) is
+        # just as fatal to an un-guarded timer as a ReproError.
+        import pickle
+
+        host = NodeHost()
+        dice = _FlakyDice(
+            failing_calls=(1,), error=pickle.PicklingError("bad payload")
+        )
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(25.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_failed == 1
+        assert scheduler.stats.rounds_fired == 1
+        assert "PicklingError" in scheduler.stats.last_error
 
 
 class TestThroughputProbe:

@@ -17,3 +17,15 @@ def erroneous_scenario():
     )
     scenario.converge()
     return scenario
+
+
+@pytest.fixture
+def mutable_scenario():
+    """A private (function-scoped) scenario for tests that mutate the
+    live router — epoch-boundary tests feed it fresh updates between
+    checkpoints, which would poison the shared module-scoped fixture."""
+    scenario = build_scenario(
+        ScenarioConfig(filter_mode="erroneous", prefix_count=200, update_count=20)
+    )
+    scenario.converge()
+    return scenario

@@ -1,0 +1,380 @@
+"""Tests for the streaming exploration pipeline.
+
+The determinism tests implement the PR's acceptance requirement: for a
+fixed observed-seed sequence, the stream's harvested finding set equals
+``ParallelExplorer.explore_batch`` over the same seeds — with 1 worker,
+N workers, and the in-process serial fallback.
+"""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import ExplorationBudget
+from repro.core.dice import DiCE
+from repro.core.schedule import OnlineScheduler, ScheduleConfig
+from repro.parallel import ParallelExplorer, StreamingExplorer
+from repro.util.errors import ExplorationError
+from repro.util.ip import Prefix, ip_to_int
+
+P = Prefix.parse
+
+BUDGET = ExplorationBudget(max_executions=10)
+
+
+def seed_update(prefix="10.10.1.0/24", asn=65020):
+    return UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence([asn]), next_hop=ip_to_int("10.0.0.2")
+        ),
+        nlri=[NlriEntry.from_prefix(P(prefix))],
+    )
+
+
+def finding_keys(report):
+    return frozenset(f.dedup_key() for f in report.findings())
+
+
+def run_stream(router, seeds, workers, force_serial, **kwargs):
+    stream = StreamingExplorer(
+        workers=workers,
+        force_serial=force_serial,
+        budget=BUDGET,
+        queue_capacity=max(16, len(seeds)),
+        **kwargs,
+    )
+    stream.start(router)
+    for peer, observed in seeds:
+        stream.submit(peer, observed)
+    return stream.close()
+
+
+class TestStreamDeterminism:
+    def test_stream_equals_batch_all_modes(self, erroneous_scenario):
+        """The acceptance contract: stream == batch, across all three modes."""
+        seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:6]
+        batch = ParallelExplorer(workers=1).explore_batch(
+            erroneous_scenario.provider, seeds, budget=BUDGET
+        )
+        batch_outcome = (
+            finding_keys(batch),
+            batch.total_executions,
+            [r.exploration.unique_paths for r in batch.reports],
+        )
+        for label, workers, force_serial in (
+            ("one-worker", 1, False),
+            ("four-workers", 4, False),
+            ("fallback", 4, True),
+        ):
+            report = run_stream(
+                erroneous_scenario.provider, seeds, workers, force_serial
+            )
+            assert not report.errors, (label, report.errors)
+            ordered = report.reports_in_index_order()
+            outcome = (
+                finding_keys(report),
+                report.total_executions,
+                [r.exploration.unique_paths for r in ordered],
+            )
+            assert outcome == batch_outcome, label
+
+    def test_cache_does_not_change_findings(self, erroneous_scenario):
+        seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:4]
+        with_cache = run_stream(
+            erroneous_scenario.provider, seeds, 1, True, constraint_cache=True
+        )
+        without = run_stream(
+            erroneous_scenario.provider, seeds, 1, True, constraint_cache=False
+        )
+        assert finding_keys(with_cache) == finding_keys(without)
+        assert with_cache.total_executions == without.total_executions
+
+
+class TestBackpressure:
+    def test_full_peer_queue_coalesces_oldest(self, erroneous_scenario):
+        stream = StreamingExplorer(
+            workers=1,
+            force_serial=True,
+            budget=BUDGET,
+            queue_capacity=2,
+            max_inflight=2,
+        )
+        stream.start(erroneous_scenario.provider)
+        for _ in range(6):
+            stream.submit("customer", seed_update())
+        # 2 dispatched (inflight cap), 4 queue up, capacity 2 -> 2 coalesced.
+        assert stream.report.seeds_submitted == 6
+        assert stream.report.seeds_coalesced == 2
+        assert stream.pending_seeds == 2
+        report = stream.close()
+        assert report.jobs_completed == 4
+
+    def test_queues_are_per_peer(self, erroneous_scenario):
+        stream = StreamingExplorer(
+            workers=1,
+            force_serial=True,
+            budget=BUDGET,
+            queue_capacity=2,
+            max_inflight=1,
+        )
+        stream.start(erroneous_scenario.provider)
+        for _ in range(4):
+            stream.submit("customer", seed_update())
+        # A chatty customer must not evict the quiet peer's seed.
+        stream.submit("internet", seed_update("20.1.0.0/16", asn=64999))
+        assert stream.report.seeds_coalesced == 1  # all from "customer"
+        report = stream.close()
+        assert "internet" in {r.peer for r in report.reports}
+
+    def test_submit_validates_lifecycle(self, erroneous_scenario):
+        stream = StreamingExplorer(workers=1, force_serial=True)
+        with pytest.raises(ExplorationError):
+            stream.submit("customer", seed_update())
+        stream.start(erroneous_scenario.provider)
+        stream.close()
+        with pytest.raises(ExplorationError):
+            stream.submit("customer", seed_update())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingExplorer(workers=0)
+        with pytest.raises(ValueError):
+            StreamingExplorer(queue_capacity=0)
+
+
+class TestEpochShipping:
+    def test_epoch_ships_delta_smaller_than_full(self, mutable_scenario):
+        scenario = mutable_scenario
+        seeds = scenario.dice.batch_seeds(all_seeds=True)[:2]
+        stream = StreamingExplorer(workers=1, force_serial=True, budget=BUDGET)
+        stream.start(scenario.provider)
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        stream.drain()
+        # Mutate the live node, then re-checkpoint at the epoch boundary.
+        scenario.provider.handle_update("customer", seed_update("99.1.0.0/16"))
+        info = stream.advance_epoch()
+        assert info["epoch"] == 1
+        assert 0 < info["bytes_shipped"] < info["bytes_full"]
+        assert info["segments_shipped"] < info["segments_total"]
+        # Jobs after the boundary explore the *new* state.
+        stream.submit("customer", seed_update("99.1.0.0/16"))
+        report = stream.close()
+        assert not report.errors, report.errors
+        assert report.jobs_completed == len(seeds) + 1
+        assert report.epochs == 1
+
+    def test_epoch_delta_preserves_determinism(self, mutable_scenario):
+        """Post-epoch stream results equal a fresh batch over the new state.
+
+        The worker's image was reassembled base+delta; if that restore
+        were not faithful, findings would diverge from a batch whose
+        checkpoint was captured directly from the mutated router.
+        """
+        scenario = mutable_scenario
+        stream = StreamingExplorer(workers=1, force_serial=True, budget=BUDGET)
+        stream.start(scenario.provider)
+        warm = scenario.dice.batch_seeds(all_seeds=True)[:1]
+        for peer, observed in warm:
+            stream.submit(peer, observed)
+        stream.drain()
+        scenario.provider.handle_update("customer", seed_update("88.2.0.0/16"))
+        stream.advance_epoch()
+        probe = ("customer", seed_update("88.2.4.0/24"))
+        stream.submit(*probe)
+        report = stream.close()
+        assert not report.errors, report.errors
+        stream_probe = report.reports_in_index_order()[-1]
+
+        # The batch equivalent over the mutated router, same job index.
+        from repro.parallel.worker import run_session_job
+
+        explorer = ParallelExplorer(workers=1)
+        jobs = explorer.build_jobs(
+            Checkpoint.capture(scenario.provider, "probe"), [probe], budget=BUDGET
+        )
+        jobs[0].index = 1  # align the per-job RNG derivation with the stream's
+        batch_probe = run_session_job(jobs[0])
+        assert {f.dedup_key() for f in stream_probe.findings} == {
+            f.dedup_key() for f in batch_probe.findings
+        }
+        assert (
+            stream_probe.exploration.unique_paths
+            == batch_probe.exploration.unique_paths
+        )
+
+
+class TestStreamReport:
+    def test_incremental_aggregation_mid_stream(self, erroneous_scenario):
+        seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:3]
+        stream = StreamingExplorer(
+            workers=1, force_serial=True, budget=BUDGET, max_inflight=1
+        )
+        stream.start(erroneous_scenario.provider)
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        harvested = stream.poll()  # inline fallback: executes everything
+        assert len(harvested) == len(seeds)
+        # Aggregate views must be valid before close().
+        assert stream.report.total_executions > 0
+        assert stream.report.summary()["jobs_completed"] == len(seeds)
+        totals = stream.report.exploration_totals()
+        assert totals.executions == stream.report.total_executions
+        stream.close()
+
+    def test_bytes_shipped_below_batch_baseline(self, erroneous_scenario):
+        """The shipping economics the refactor exists for."""
+        import pickle
+
+        seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:6]
+        full_pickle = len(
+            pickle.dumps(Checkpoint.capture(erroneous_scenario.provider, "base"))
+        )
+        report = run_stream(erroneous_scenario.provider, seeds, 1, True)
+        assert report.jobs_completed == len(seeds)
+        assert report.checkpoint_bytes_per_job < full_pickle
+
+
+class TestFailureSurfacing:
+    def test_unpicklable_job_reports_error_instead_of_hanging(
+        self, erroneous_scenario
+    ):
+        """An unpicklable payload must fail loudly at dispatch: handed to
+        mp.Queue it would be dropped by the feeder thread and the job
+        would stay in-flight forever, livelocking drain()."""
+
+        class UnpicklableChecker:
+            def __getstate__(self):
+                raise TypeError("deliberately unpicklable")
+
+            def check(self, ctx):
+                return []
+
+        stream = StreamingExplorer(
+            workers=1, budget=BUDGET, checkers=[UnpicklableChecker()]
+        )
+        stream.start(erroneous_scenario.provider)
+        if not stream.report.used_processes:
+            stream.close()
+            pytest.skip("no process workers on this host")
+        stream.submit("customer", seed_update())
+        report = stream.close(timeout=30)
+        assert report.jobs_completed == 0
+        assert report.errors and "not picklable" in report.errors[0]
+
+    def test_observe_after_external_close_detaches(self, erroneous_scenario):
+        """Closing the explorer directly (not via stream_stop) must not
+        turn the next observed UPDATE into an exception on the live
+        message path."""
+        dice = DiCE(erroneous_scenario.provider)
+        explorer = dice.stream_start(workers=1, budget=BUDGET, force_serial=True)
+        dice.observe("customer", seed_update())
+        explorer.close()
+        dice.observe("customer", seed_update("10.10.7.0/24"))  # must not raise
+        assert len(dice.observed) >= 2
+        assert dice.stream_stop() is None  # already detached
+
+
+class TestWorkerSalvage:
+    def test_dead_worker_jobs_rerun_inline(self, erroneous_scenario):
+        """Per-job determinism makes the salvage exact: killing a worker
+        mid-stream loses no seeds and changes no findings."""
+        seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:4]
+        baseline = run_stream(erroneous_scenario.provider, seeds, 1, True)
+
+        stream = StreamingExplorer(
+            workers=1, budget=BUDGET, queue_capacity=len(seeds)
+        )
+        stream.start(erroneous_scenario.provider)
+        if not stream.report.used_processes:
+            stream.close()
+            pytest.skip("no process workers on this host")
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        # Kill the worker out from under its queue.
+        stream._workers[0].process.terminate()
+        stream._workers[0].process.join(2.0)
+        report = stream.close()
+        assert report.jobs_completed == len(seeds)
+        assert report.jobs_recovered > 0
+        assert "died" in report.fallback_reason
+        assert not report.used_processes  # every process worker is gone
+        assert finding_keys(report) == finding_keys(baseline)
+
+
+class TestDiceStreamWiring:
+    def test_observe_auto_enqueues_and_aggregates(self, erroneous_scenario):
+        dice = DiCE(erroneous_scenario.provider)
+        with dice.stream(workers=1, budget=BUDGET, force_serial=True) as stream:
+            dice.observe("customer", seed_update())
+            dice.observe("customer", seed_update("10.10.2.0/24"))
+            assert stream.report.seeds_submitted == 2
+        assert len(dice.rounds) == 2
+        assert dice.findings()
+        assert dice.exploration_wall_seconds > 0
+
+    def test_stream_poll_returns_only_fresh_reports(self, erroneous_scenario):
+        dice = DiCE(erroneous_scenario.provider)
+        dice.stream_start(workers=1, budget=BUDGET, force_serial=True)
+        dice.observe("customer", seed_update())
+        first = dice.stream_poll()
+        assert len(first) == 1
+        assert dice.stream_poll() == []  # nothing new
+        dice.observe("customer", seed_update("10.10.9.0/24"))
+        assert len(dice.stream_poll()) == 1
+        report = dice.stream_stop()
+        assert report is not None
+        assert len(dice.rounds) == 2  # no double-aggregation on stop
+
+    def test_double_start_rejected_and_stop_idempotent(self, erroneous_scenario):
+        dice = DiCE(erroneous_scenario.provider)
+        dice.stream_start(workers=1, force_serial=True)
+        with pytest.raises(ExplorationError):
+            dice.stream_start(workers=1, force_serial=True)
+        assert dice.stream_stop() is not None
+        assert dice.stream_stop() is None  # second stop is a no-op
+
+
+class TestSchedulerStreaming:
+    def test_rounds_become_epoch_boundaries(self, erroneous_scenario):
+        scenario = erroneous_scenario
+        dice = DiCE(scenario.provider)
+        scheduler = OnlineScheduler(
+            scenario.host,
+            dice,
+            ScheduleConfig(
+                interval=10.0,
+                budget=BUDGET,
+                max_rounds=1,
+                parallel=1,
+                stream=True,
+                stream_options={"force_serial": True},
+            ),
+        )
+        scheduler.start()
+        dice.observe("customer", seed_update())
+        scenario.host.run_until(scenario.host.sim.now + 25.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_fired == 1
+        assert len(dice.rounds) >= 1
+        assert dice.findings()
+
+    def test_stop_drains_pending_stream_work(self, erroneous_scenario):
+        scenario = erroneous_scenario
+        dice = DiCE(scenario.provider)
+        scheduler = OnlineScheduler(
+            scenario.host,
+            dice,
+            ScheduleConfig(
+                interval=1000.0,  # no epoch boundary will fire
+                budget=BUDGET,
+                stream=True,
+                stream_options={"force_serial": True},
+            ),
+        )
+        scheduler.start()
+        dice.observe("customer", seed_update())
+        scheduler.stop()  # must drain + aggregate, not drop the seed
+        assert len(dice.rounds) == 1
