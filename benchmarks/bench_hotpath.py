@@ -1,0 +1,246 @@
+"""HOTPATH — expression interning, incremental query keys, seed scheduling.
+
+The exploration loop's solver-facing costs, measured head-to-head:
+
+* **key-computation throughput** — the cache key for negating branch i
+  of an n-branch path used to re-canonicalize the whole conjunction
+  (O(n²) per session); the rolling per-prefix digests make it O(n).
+  Acceptance: >=3x reduction on paths of >=200 branches, plus a
+  regression gate against ``baseline_hotpath.json``;
+* **interning hit rate** — re-running a trace rebuilds structurally
+  identical constraints; hash consing must serve them from the intern
+  table instead of fresh allocations;
+* **stream-vs-batch findings/s** — the coverage-guided streaming
+  pipeline must find the same faults as the batch engine over the same
+  seeds, at a competitive rate.
+
+The regression gate compares measured keys/second against a checked-in
+baseline recorded on the development machine, scaled by 0.25 to absorb
+slower CI hardware, then requires measurements to stay within 30% of
+that floor.  Recalibrate with ``REPRO_BENCH_WRITE_BASELINE=1`` after an
+intentional perf change.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the tiny-budget CI smoke run.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.concolic import ExplorationBudget
+from repro.concolic.expr import (
+    Const,
+    Var,
+    intern_info,
+    make_binary,
+    reset_intern_counters,
+)
+from repro.concolic.path import PathCondition
+from repro.concolic.solver.cache import canonical_query_key, query_key_tail
+from repro.concolic.tracer import BranchSite
+from repro.core import ScenarioConfig, build_scenario
+from repro.parallel import ParallelExplorer, StreamingExplorer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline_hotpath.json")
+
+#: CI runners are slower than the machine the baseline was recorded on;
+#: the gate floor is baseline * SCALE * (1 - TOLERANCE).
+BASELINE_SCALE = float(os.environ.get("REPRO_BENCH_BASELINE_SCALE", "0.25"))
+REGRESSION_TOLERANCE = 0.30
+
+PATH_BRANCHES = 200 if SMOKE else 400
+VAR_POOL = 8
+
+
+def build_path(branches: int) -> PathCondition:
+    """An engine-shaped path: comparison constraints over a variable pool."""
+    path = PathCondition()
+    variables = [Var(f"x{i}", 32) for i in range(VAR_POOL)]
+    for i in range(branches):
+        constraint = make_binary(
+            "lt",
+            make_binary(
+                "add",
+                make_binary("mul", variables[i % VAR_POOL], Const(3)),
+                variables[(i + 1) % VAR_POOL],
+            ),
+            Const(10_000 + i),
+        )
+        path.append(BranchSite("handler.py", 100 + i), constraint, bool(i % 2))
+    return path
+
+
+def measure_key_throughput(branches: int):
+    """(from-scratch seconds, rolling seconds, keys) over one full sweep."""
+    domains = {f"x{i}": (0, 2**32 - 1) for i in range(VAR_POOL)}
+    hint = {f"x{i}": i * 17 for i in range(VAR_POOL)}
+
+    scratch_path = build_path(branches)
+    started = time.perf_counter()
+    scratch_keys = [
+        canonical_query_key(scratch_path.constraints_to_negate(i), domains, hint)
+        for i in range(branches)
+    ]
+    scratch_seconds = time.perf_counter() - started
+
+    rolling_path = build_path(branches)
+    started = time.perf_counter()
+    tail = query_key_tail(domains, hint)
+    rolling_keys = [rolling_path.negation_key(i, tail) for i in range(branches)]
+    rolling_seconds = time.perf_counter() - started
+
+    assert rolling_keys == scratch_keys, "incremental keys diverged"
+    return scratch_seconds, rolling_seconds, branches
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_incremental_keys_at_least_3x_faster(benchmark, paper_rows):
+    """Acceptance: >=3x key-computation reduction on >=200-branch paths."""
+    # Warm once so node-level canonical renderings exist in both arms.
+    measure_key_throughput(PATH_BRANCHES)
+    scratch, rolling, keys = benchmark.pedantic(
+        measure_key_throughput, args=(PATH_BRANCHES,), rounds=3, iterations=1
+    )
+    speedup = scratch / rolling if rolling else float("inf")
+    paper_rows.add(
+        "HOTPATH", f"query-key time, {keys}-branch path",
+        ">=3x reduction (acceptance)",
+        f"{scratch * 1e3:.1f}ms -> {rolling * 1e3:.1f}ms ({speedup:.1f}x, "
+        f"{keys / rolling:.0f} keys/s)",
+        note="smoke" if SMOKE else "",
+    )
+    assert speedup >= 3.0, (
+        f"incremental keys only {speedup:.2f}x faster "
+        f"({scratch * 1e3:.2f}ms vs {rolling * 1e3:.2f}ms)"
+    )
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_key_throughput_regression_gate(benchmark, paper_rows):
+    """Fail CI when rolling keys/s regresses >30% against the baseline."""
+    measure_key_throughput(PATH_BRANCHES)  # warm renderings
+    _, rolling, keys = benchmark.pedantic(
+        measure_key_throughput, args=(PATH_BRANCHES,), rounds=3, iterations=1
+    )
+    measured = keys / rolling if rolling else float("inf")
+
+    if os.environ.get("REPRO_BENCH_WRITE_BASELINE") == "1":
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(
+                {"rolling_keys_per_sec": measured, "branches": keys},
+                handle, indent=2,
+            )
+            handle.write("\n")
+        pytest.skip(f"baseline rewritten: {measured:.0f} keys/s")
+
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    floor = (
+        baseline["rolling_keys_per_sec"] * BASELINE_SCALE * (1 - REGRESSION_TOLERANCE)
+    )
+    paper_rows.add(
+        "HOTPATH", "rolling keys/s vs regression floor",
+        f">= {floor:.0f} (baseline {baseline['rolling_keys_per_sec']:.0f} "
+        f"x {BASELINE_SCALE} scale, 30% tolerance)",
+        f"{measured:.0f}",
+        note="smoke" if SMOKE else "",
+    )
+    assert measured >= floor, (
+        f"key throughput {measured:.0f}/s regressed below floor {floor:.0f}/s "
+        f"(baseline {baseline['rolling_keys_per_sec']:.0f}/s)"
+    )
+
+
+def graded_handler(inputs):
+    masklen = inputs.masklen
+    network = inputs.network
+    if masklen > 32:
+        return "invalid-length"
+    if masklen < 8:
+        return "too-coarse"
+    if (network >> 24) == 10:
+        if masklen >= 24:
+            return "private-specific"
+        return "private-coarse"
+    if masklen == 32:
+        return "host-route"
+    return "accepted"
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_interning_hit_rate_on_repeated_traces(benchmark, paper_rows):
+    """Re-executing a trace must hit the intern table, not re-allocate."""
+    from repro.concolic import ConcolicEngine, InputSpec, VarSpec
+
+    def explore_twice():
+        spec = InputSpec([
+            VarSpec("network", bits=32, initial=0x0A0A0100),
+            VarSpec("masklen", bits=6, initial=24),
+        ])
+        engine = ConcolicEngine()
+        engine.explore(graded_handler, spec,
+                       budget=ExplorationBudget(max_executions=32))
+        reset_intern_counters()
+        engine2 = ConcolicEngine()
+        engine2.explore(graded_handler, spec,
+                        budget=ExplorationBudget(max_executions=32))
+        return intern_info()
+
+    info = benchmark.pedantic(explore_twice, rounds=1, iterations=1)
+    lookups = info["hits"] + info["misses"]
+    rate = info["hits"] / lookups if lookups else 0.0
+    paper_rows.add(
+        "HOTPATH", "intern-table hit rate, repeated exploration",
+        "structurally identical nodes shared (design goal)",
+        f"{info['hits']}/{lookups} ({rate:.0%}), {info['entries']} live entries",
+    )
+    assert rate > 0.5, f"interning hit rate {rate:.0%} on an identical re-run"
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_stream_vs_batch_findings_rate(benchmark, paper_rows):
+    """Coverage-guided stream: same finding set as batch, competitive rate."""
+    scenario = build_scenario(
+        ScenarioConfig(
+            filter_mode="erroneous",
+            prefix_count=150 if SMOKE else 400,
+            update_count=30 if SMOKE else 80,
+        )
+    )
+    scenario.converge()
+    seeds = scenario.dice.batch_seeds(all_seeds=True)[: (6 if SMOKE else 16)]
+    budget = ExplorationBudget(max_executions=6 if SMOKE else 24)
+
+    batch = ParallelExplorer(workers=2).explore_batch(
+        scenario.provider, seeds, budget=budget
+    )
+    batch_rate = (
+        len(batch.findings()) / batch.wall_seconds if batch.wall_seconds else 0.0
+    )
+
+    def run_stream():
+        stream = StreamingExplorer(
+            workers=2, budget=budget, queue_capacity=len(seeds)
+        )
+        stream.start(scenario.provider)
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        return stream.close()
+
+    report = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+    stream_rate = (
+        len(report.findings()) / report.wall_seconds if report.wall_seconds else 0.0
+    )
+    assert {f.dedup_key() for f in report.findings()} == {
+        f.dedup_key() for f in batch.findings()
+    }, "coverage-guided stream changed the finding set"
+    paper_rows.add(
+        "HOTPATH", "findings/s, coverage-guided stream vs batch",
+        "same finding set, competitive rate",
+        f"{stream_rate:.2f} vs {batch_rate:.2f} "
+        f"({len(report.findings())} findings)",
+        note="smoke" if SMOKE else "",
+    )

@@ -139,15 +139,33 @@ def _explore_parallel(scenario, args: argparse.Namespace) -> int:
 
 
 def _stream_progress(report) -> None:
-    """The periodic streaming status line: drained / findings / hit rate."""
-    stats = report.cache_stats()
-    lookups = stats["cache_hits"] + stats["cache_misses"]
-    rate = stats["cache_hits"] / lookups if lookups else 0.0
+    """The periodic streaming status line.
+
+    Seeds drained / findings, plus the cross-worker solver view: cache
+    hit rate and the per-stage time split (key computation, screening,
+    interval propagation, hint check, linear inversion, enumeration,
+    local search) so a slow stream shows *where* solver time goes.
+    """
+    solver = report.solver_totals()
+    # Stage names derive from SolverStats's *_time counters, so a stage
+    # added there shows up here without a second hand-kept list.
+    stages = {
+        name[: -len("_time")]: seconds
+        for name, seconds in solver.items()
+        if name.endswith("_time") and name != "total_time"
+    }
+    busiest = ", ".join(
+        f"{name} {seconds * 1e3:.0f}ms"
+        for name, seconds in sorted(stages.items(), key=lambda kv: -kv[1])[:3]
+        if seconds > 0
+    )
     print(
         f"  [stream] seeds drained {report.jobs_completed}/"
         f"{report.seeds_submitted - report.seeds_coalesced}"
         f" | findings {len(report.findings())}"
-        f" | cache hit rate {rate:.0%}"
+        f" | cache hit rate {solver['cache_hit_rate']:.0%}"
+        f" | solver {solver.get('total_time', 0.0):.2f}s"
+        + (f" ({busiest})" if busiest else "")
     )
 
 

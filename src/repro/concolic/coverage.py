@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.concolic.path import PathCondition
 from repro.concolic.tracer import BranchSite
@@ -77,3 +77,106 @@ class BranchCoverage:
         return {str(site): count for site, count in sorted(
             self.site_hits.items(), key=lambda item: (item[0].file, item[0].line)
         )}
+
+
+class CoverageScheduler:
+    """Novelty-weighted seed scheduling over accumulated branch coverage.
+
+    Blind per-peer round-robin spends the same exploration budget on a
+    seed that retreads fully covered branch space as on one likely to
+    open new territory.  This scheduler keeps two cheap signals — KLEE's
+    coverage-driven search heuristic, transplanted to *seed* selection:
+
+    * **peer productivity** — an exponential moving average of how many
+      *new* branch outcomes each peer's recent sessions contributed to
+      the merged :class:`BranchCoverage`; peers still finding new
+      branches get scheduled ahead of peers that have gone dry;
+    * **seed novelty** — seeds whose signature (a digest of the observed
+      message) has never been scheduled score a multiplicative boost
+      over repeats, since an unseen input is the likeliest way into
+      uncovered branches.
+
+    Determinism: scoring is a pure function of recorded history (no RNG),
+    ties resolve by the same peer rotation the blind scheduler used, and
+    with no history every candidate ties — so a fresh scheduler is
+    byte-for-byte the old round-robin.  Peers never observed exploring
+    are scored optimistically (at the current best EWMA), so a new peer
+    cannot be starved by an established one.
+    """
+
+    def __init__(self, decay: float = 0.5, novelty_boost: float = 2.0) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if novelty_boost < 1.0:
+            raise ValueError(f"novelty_boost must be >= 1, got {novelty_boost}")
+        self.decay = decay
+        self.novelty_boost = novelty_boost
+        self.coverage = BranchCoverage()
+        self.sessions_noted = 0
+        self._peer_gain: Dict[str, float] = {}
+        self._scheduled: Set[bytes] = set()
+
+    def note_session(self, peer: str, session_coverage: "BranchCoverage") -> int:
+        """Fold a finished session's coverage in; returns its new outcomes."""
+        new_outcomes = sum(
+            1 for outcome in session_coverage.outcomes
+            if outcome not in self.coverage.outcomes
+        )
+        self.coverage.merge(session_coverage)
+        self.sessions_noted += 1
+        previous = self._peer_gain.get(peer)
+        if previous is None:
+            self._peer_gain[peer] = float(new_outcomes)
+        else:
+            self._peer_gain[peer] = (
+                (1.0 - self.decay) * previous + self.decay * new_outcomes
+            )
+        return new_outcomes
+
+    def mark_scheduled(self, signature: Optional[bytes]) -> None:
+        if signature is not None:
+            self._scheduled.add(signature)
+
+    def is_novel(self, signature: Optional[bytes]) -> bool:
+        return signature is not None and signature not in self._scheduled
+
+    def score(self, peer: str, signature: Optional[bytes]) -> float:
+        """Predicted new-coverage value of scheduling this seed now."""
+        gain = self._peer_gain.get(peer)
+        if gain is None:
+            # Optimism for the unexplored: an untried peer is at least as
+            # promising as the best known one.
+            gain = max(self._peer_gain.values(), default=0.0)
+        score = 1.0 + gain
+        if self.is_novel(signature):
+            score *= self.novelty_boost
+        return score
+
+    def pick(
+        self,
+        candidates: Sequence[Tuple[str, Optional[bytes]]],
+        after: Optional[str] = None,
+    ) -> int:
+        """Index of the best (peer, seed-signature) candidate.
+
+        Ties resolve by rotation: the first top-scoring candidate at or
+        after the peer following ``after`` in candidate order — exactly
+        the blind round-robin when every score ties (the no-history
+        case), which keeps scheduling a drop-in replacement.
+        """
+        if not candidates:
+            raise ValueError("no candidates to pick from")
+        scores = [self.score(peer, sig) for peer, sig in candidates]
+        best = max(scores)
+        tied = {i for i, value in enumerate(scores) if value == best}
+        if len(tied) == 1:
+            return next(iter(tied))
+        peers: List[str] = [peer for peer, _ in candidates]
+        start = 0
+        if after in peers:
+            start = (peers.index(after) + 1) % len(candidates)
+        for offset in range(len(candidates)):
+            index = (start + offset) % len(candidates)
+            if index in tied:
+                return index
+        return next(iter(tied))  # unreachable; tied is non-empty

@@ -26,7 +26,8 @@ from repro.concolic import tracer
 from repro.concolic.coverage import BranchCoverage
 from repro.concolic.expr import Expr, Const, make_binary
 from repro.concolic.path import ExecutionResult, PathCondition
-from repro.concolic.solver import ConstraintSolver, Interval
+from repro.concolic.solver import ConstraintSolver, Interval, merge_stats_dict
+from repro.concolic.solver.cache import query_key_tail
 from repro.concolic.strategies import (
     Candidate,
     CandidateQueue,
@@ -294,9 +295,7 @@ class ExplorationReport:
         self.wall_seconds += other.wall_seconds
         self.coverage.merge(other.coverage)
         self.unique_paths = self.coverage.path_count
-        for key, value in other.solver_stats.items():
-            if isinstance(value, (int, float)):
-                self.solver_stats[key] = self.solver_stats.get(key, 0) + value
+        merge_stats_dict(self.solver_stats, other.solver_stats)
         return self
 
 
@@ -488,6 +487,8 @@ class ExplorationSession:
         # Expand: negate every eligible branch not already attempted.
         # This run's constraints join the aggregate set (section 2.3)
         # because the attempted set persists across runs.
+        solver = self.engine.solver
+        key_tail: Optional[bytes] = None
         for branch in result.path.negation_targets(self.negate_concretizations):
             key = result.path.prefix_signature(branch.index + 1, flip_last=True)
             if key in self._attempted or key in self._seen_paths:
@@ -499,10 +500,22 @@ class ExplorationSession:
                 return False
             self._attempted.add(key)
             report.solver_queries += 1
-            model = self.engine.solver.solve(
+            query_key = None
+            if solver.wants_key:
+                # Rolling per-prefix digests: the key for negating branch
+                # i is O(|branch i|) given the cached prefix state, not
+                # O(whole conjunction) — the domains+hint tail is fixed
+                # for this execution and folded once.
+                key_started = time.perf_counter()
+                if key_tail is None:
+                    key_tail = query_key_tail(self._domains, result.assignment)
+                query_key = result.path.negation_key(branch.index, key_tail)
+                solver.stats.key_time += time.perf_counter() - key_started
+            model = solver.solve(
                 result.path.constraints_to_negate(branch.index),
                 self._domains,
                 hint=result.assignment,
+                key=query_key,
             )
             if model is None:
                 continue

@@ -1,6 +1,6 @@
 """Symbolic expression DAG for the concolic engine.
 
-Expressions are immutable trees of :class:`Const`, :class:`Var`,
+Expressions are immutable DAGs of :class:`Const`, :class:`Var`,
 :class:`UnaryOp` and :class:`BinOp` nodes built by the concolic values in
 :mod:`repro.concolic.symbolic` as the program under test computes.  The
 semantics are mathematical integers (Python ``int``); booleans are the
@@ -12,11 +12,31 @@ Smart constructors (:func:`make_unary`, :func:`make_binary`) constant-fold
 eagerly: an operation whose operands are all constants yields a
 :class:`Const`, which keeps path conditions small and makes "is this branch
 actually symbolic?" a simple node-type check.
+
+**Hash consing.**  Node construction is interned through a per-process
+weak-value table: building a node structurally equal to a live one returns
+*the same object*.  Pointer equality then implies structural equality, so
+``__eq__`` short-circuits on identity (the structural fallback still runs
+for mixed or non-interned nodes, so a lost construction race can cost
+speed but never correctness), and per-node caches — hash, free-variable set, canonical rendering — are
+computed at most once per structure per process, no matter how many traces
+rebuild it.  The table holds only weak references, so expressions are still
+collected when the last path condition referencing them dies.  Pickling
+round-trips through the constructors (:meth:`Expr.__reduce__`), so nodes
+shipped to parallel workers re-intern on arrival and the invariant holds in
+every process.
+
+Construction built while :func:`interning_disabled` is active bypasses the
+table (the property tests use this to check that interned and plain nodes
+agree); such nodes fall back to structural equality and stay fully
+interoperable.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
+import weakref
+from contextlib import contextmanager
+from typing import Callable, Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
 from repro.util.errors import SymbolicError
 
@@ -24,18 +44,91 @@ from repro.util.errors import SymbolicError
 #: astronomically large integers during solver search.
 MAX_SHIFT = 256
 
+#: Canonical renderings above this size are recomputed on demand instead of
+#: cached on the node: a chain of n nodes each caching its full rendering
+#: would hold O(n^2) bytes, and renderings this large are only ever hashed
+#: into a query digest once or twice per session anyway.
+CANON_CACHE_LIMIT = 1 << 16
+
 
 class EvalError(SymbolicError):
     """Evaluation failed (division by zero, oversized shift, free variable)."""
 
 
+class _InternTable:
+    """The per-process hash-consing table plus its hit/miss counters.
+
+    ``refs`` is the WeakValueDictionary's underlying key->KeyedRef dict:
+    constructor lookups read it directly (one dict probe + one ref call)
+    because the wrapper's ``get`` is a measurable share of node
+    construction on instrumentation-heavy traces.  Entries whose
+    referent died are treated as misses; the weak table's own callback
+    reclaims them.
+    """
+
+    __slots__ = ("entries", "refs", "hits", "misses", "enabled")
+
+    def __init__(self) -> None:
+        self.entries: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+        self.refs = self.entries.data
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+
+
+_INTERN = _InternTable()
+
+#: Constants in this band are interned *strongly* (a plain dict instead of
+#: the weak table): every lifted int literal builds a Const, small values
+#: recur endlessly (loop bounds, field widths, 0/1 from folding), and a
+#: plain dict hit is several times cheaper than a WeakValueDictionary
+#: round-trip.  The band is bounded, so the strong cache cannot grow past
+#: ``2 * _SMALL_CONST_LIMIT + 1`` entries.
+_SMALL_CONST_LIMIT = 1024
+_SMALL_CONSTS: Dict[int, "Const"] = {}
+
+
+def intern_info() -> Dict[str, int]:
+    """Size and hit/miss counters of the intern table (for benchmarks)."""
+    return {
+        "entries": len(_INTERN.entries) + len(_SMALL_CONSTS),
+        "hits": _INTERN.hits,
+        "misses": _INTERN.misses,
+    }
+
+
+def reset_intern_counters() -> None:
+    """Zero the hit/miss counters (the table itself is left alone --
+    dropping live entries would break the interned-implies-unique
+    invariant behind the identity fast paths)."""
+    _INTERN.hits = 0
+    _INTERN.misses = 0
+
+
+@contextmanager
+def interning_disabled() -> Iterator[None]:
+    """Build plain (non-interned) nodes inside the block.
+
+    Test-only: lets the property tests construct structurally equal but
+    non-identical nodes.  Plain nodes interoperate with interned ones
+    through the structural equality fallback.
+    """
+    previous = _INTERN.enabled
+    _INTERN.enabled = False
+    try:
+        yield
+    finally:
+        _INTERN.enabled = previous
+
+
 class Expr:
     """Base class for expression nodes.
 
-    Nodes cache their hash and free-variable set; equality is structural.
+    Nodes cache their hash, free-variable set, and canonical rendering;
+    equality is structural, with identity fast paths for interned nodes.
     """
 
-    __slots__ = ("_hash", "_vars")
+    __slots__ = ("_hash", "_vars", "_canon", "_interned", "__weakref__")
 
     def variables(self) -> FrozenSet[str]:
         """The set of variable names appearing in this expression."""
@@ -47,6 +140,10 @@ class Expr:
 
     def children(self) -> Tuple["Expr", ...]:
         return ()
+
+    def _render(self, parts: Tuple[bytes, ...]) -> bytes:
+        """Canonical rendering given the children's renderings."""
+        raise NotImplementedError
 
     def walk(self) -> Iterator["Expr"]:
         """Pre-order traversal of the expression tree."""
@@ -62,13 +159,76 @@ class Expr:
         return False
 
     def depth(self) -> int:
-        best = 0
-        for child in self.children():
-            best = max(best, child.depth())
-        return best + 1
+        """Height of the expression, computed iteratively per unique node.
+
+        Deep path conditions routinely exceed Python's recursion limit
+        (``walk`` is iterative for the same reason), and hash consing
+        turns repeated subtrees into shared nodes — so this memoizes per
+        node instead of walking the unfolded tree.
+        """
+        depths: Dict[int, int] = {}
+        stack: List[Expr] = [self]
+        while stack:
+            node = stack[-1]
+            if id(node) in depths:
+                stack.pop()
+                continue
+            pending = [c for c in node.children() if id(c) not in depths]
+            if pending:
+                stack.extend(pending)
+                continue
+            depths[id(node)] = 1 + max(
+                (depths[id(c)] for c in node.children()), default=0
+            )
+            stack.pop()
+        return depths[id(self)]
 
     def size(self) -> int:
         return sum(1 for _ in self.walk())
+
+    def canonical_bytes(self) -> bytes:
+        """The canonical rendering (``repr(self).encode()``), cached.
+
+        Computed iteratively bottom-up so deep chains cannot hit the
+        recursion limit, reusing every cached child rendering; with hash
+        consing each unique structure is rendered once per process.
+        Renderings above :data:`CANON_CACHE_LIMIT` are returned without
+        being cached (see the constant's comment).
+        """
+        cached = self._canon
+        if cached is not None:
+            return cached
+        oversized: Dict[int, bytes] = {}
+        stack: List[Expr] = [self]
+        while stack:
+            node = stack[-1]
+            if node._canon is not None or id(node) in oversized:
+                stack.pop()
+                continue
+            pending = [
+                c for c in node.children()
+                if c._canon is None and id(c) not in oversized
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            parts = tuple(
+                c._canon if c._canon is not None else oversized[id(c)]
+                for c in node.children()
+            )
+            data = node._render(parts)
+            if len(data) <= CANON_CACHE_LIMIT:
+                node._canon = data
+            else:
+                oversized[id(node)] = data
+            stack.pop()
+        result = self._canon
+        if result is not None:
+            return result
+        return oversized[id(self)]
+
+    def __repr__(self) -> str:
+        return self.canonical_bytes().decode()
 
 
 class Const(Expr):
@@ -76,14 +236,38 @@ class Const(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
+    def __new__(cls, value: int):
         if isinstance(value, bool):
             value = int(value)
         if not isinstance(value, int):
             raise SymbolicError(f"Const expects int, got {type(value).__name__}")
+        interning = _INTERN.enabled
+        if interning:
+            if -_SMALL_CONST_LIMIT <= value <= _SMALL_CONST_LIMIT:
+                node = _SMALL_CONSTS.get(value)
+                if node is not None:
+                    _INTERN.hits += 1
+                    return node
+            else:
+                ref = _INTERN.refs.get((cls, value))
+                if ref is not None:
+                    node = ref()
+                    if node is not None:
+                        _INTERN.hits += 1
+                        return node
+            _INTERN.misses += 1
+        self = object.__new__(cls)
         self.value = value
-        self._hash: Optional[int] = None
-        self._vars: Optional[FrozenSet[str]] = None
+        self._hash = None
+        self._vars = None
+        self._canon = None
+        self._interned = interning
+        if interning:
+            if -_SMALL_CONST_LIMIT <= value <= _SMALL_CONST_LIMIT:
+                _SMALL_CONSTS[value] = self
+            else:
+                _INTERN.entries[(cls, value)] = self
+        return self
 
     def variables(self) -> FrozenSet[str]:
         return frozenset()
@@ -91,16 +275,21 @@ class Const(Expr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.value
 
+    def _render(self, parts: Tuple[bytes, ...]) -> bytes:
+        return str(self.value).encode()
+
+    def __reduce__(self):
+        return (Const, (self.value,))
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Const) and other.value == self.value
 
     def __hash__(self) -> int:
         if self._hash is None:
             self._hash = hash(("const", self.value))
         return self._hash
-
-    def __repr__(self) -> str:
-        return str(self.value)
 
 
 class Var(Expr):
@@ -113,13 +302,29 @@ class Var(Expr):
 
     __slots__ = ("name", "bits")
 
-    def __init__(self, name: str, bits: int = 32):
+    def __new__(cls, name: str, bits: int = 32):
         if bits <= 0 or bits > 64:
             raise SymbolicError(f"variable width must be 1..64 bits, got {bits}")
+        interning = _INTERN.enabled
+        if interning:
+            key = (cls, name, bits)
+            ref = _INTERN.refs.get(key)
+            if ref is not None:
+                node = ref()
+                if node is not None:
+                    _INTERN.hits += 1
+                    return node
+            _INTERN.misses += 1
+        self = object.__new__(cls)
         self.name = name
         self.bits = bits
-        self._hash: Optional[int] = None
-        self._vars: Optional[FrozenSet[str]] = None
+        self._hash = None
+        self._vars = None
+        self._canon = None
+        self._interned = interning
+        if interning:
+            _INTERN.entries[key] = self
+        return self
 
     @property
     def domain(self) -> Tuple[int, int]:
@@ -137,7 +342,15 @@ class Var(Expr):
         except KeyError:
             raise EvalError(f"no value for variable {self.name!r}") from None
 
+    def _render(self, parts: Tuple[bytes, ...]) -> bytes:
+        return self.name.encode()
+
+    def __reduce__(self):
+        return (Var, (self.name, self.bits))
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Var)
             and other.name == self.name
@@ -148,9 +361,6 @@ class Var(Expr):
         if self._hash is None:
             self._hash = hash(("var", self.name, self.bits))
         return self._hash
-
-    def __repr__(self) -> str:
-        return self.name
 
 
 def _shift_guard(count: int) -> int:
@@ -218,13 +428,31 @@ class UnaryOp(Expr):
 
     __slots__ = ("op", "operand")
 
-    def __init__(self, op: str, operand: Expr):
+    _SYMBOLS = {"neg": "-", "inv": "~", "lnot": "!", "bool": "bool "}
+
+    def __new__(cls, op: str, operand: Expr):
         if op not in UNARY_OPS:
             raise SymbolicError(f"unknown unary op {op!r}")
+        interning = _INTERN.enabled
+        if interning:
+            key = (cls, op, operand)
+            ref = _INTERN.refs.get(key)
+            if ref is not None:
+                node = ref()
+                if node is not None:
+                    _INTERN.hits += 1
+                    return node
+            _INTERN.misses += 1
+        self = object.__new__(cls)
         self.op = op
         self.operand = operand
-        self._hash: Optional[int] = None
-        self._vars: Optional[FrozenSet[str]] = None
+        self._hash = None
+        self._vars = None
+        self._canon = None
+        self._interned = interning
+        if interning:
+            _INTERN.entries[key] = self
+        return self
 
     @property
     def is_boolean(self) -> bool:
@@ -241,7 +469,15 @@ class UnaryOp(Expr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return UNARY_OPS[self.op][0](self.operand.evaluate(env))
 
+    def _render(self, parts: Tuple[bytes, ...]) -> bytes:
+        return self._SYMBOLS[self.op].encode() + b"(" + parts[0] + b")"
+
+    def __reduce__(self):
+        return (UnaryOp, (self.op, self.operand))
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, UnaryOp)
             and other.op == self.op
@@ -252,10 +488,6 @@ class UnaryOp(Expr):
         if self._hash is None:
             self._hash = hash(("unary", self.op, self.operand))
         return self._hash
-
-    def __repr__(self) -> str:
-        symbol = {"neg": "-", "inv": "~", "lnot": "!", "bool": "bool "}[self.op]
-        return f"{symbol}({self.operand!r})"
 
 
 class BinOp(Expr):
@@ -270,14 +502,30 @@ class BinOp(Expr):
         "land": "&&", "lor": "||",
     }
 
-    def __init__(self, op: str, left: Expr, right: Expr):
+    def __new__(cls, op: str, left: Expr, right: Expr):
         if op not in BINARY_OPS:
             raise SymbolicError(f"unknown binary op {op!r}")
+        interning = _INTERN.enabled
+        if interning:
+            key = (cls, op, left, right)
+            ref = _INTERN.refs.get(key)
+            if ref is not None:
+                node = ref()
+                if node is not None:
+                    _INTERN.hits += 1
+                    return node
+            _INTERN.misses += 1
+        self = object.__new__(cls)
         self.op = op
         self.left = left
         self.right = right
-        self._hash: Optional[int] = None
-        self._vars: Optional[FrozenSet[str]] = None
+        self._hash = None
+        self._vars = None
+        self._canon = None
+        self._interned = interning
+        if interning:
+            _INTERN.entries[key] = self
+        return self
 
     @property
     def is_boolean(self) -> bool:
@@ -295,7 +543,16 @@ class BinOp(Expr):
         func = BINARY_OPS[self.op][0]
         return func(self.left.evaluate(env), self.right.evaluate(env))
 
+    def _render(self, parts: Tuple[bytes, ...]) -> bytes:
+        middle = f" {self._SYMBOLS[self.op]} ".encode()
+        return b"(" + parts[0] + middle + parts[1] + b")"
+
+    def __reduce__(self):
+        return (BinOp, (self.op, self.left, self.right))
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, BinOp)
             and other.op == self.op
@@ -307,9 +564,6 @@ class BinOp(Expr):
         if self._hash is None:
             self._hash = hash(("bin", self.op, self.left, self.right))
         return self._hash
-
-    def __repr__(self) -> str:
-        return f"({self.left!r} {self._SYMBOLS[self.op]} {self.right!r})"
 
 
 def make_unary(op: str, operand: Expr) -> Expr:

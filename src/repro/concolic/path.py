@@ -37,12 +37,27 @@ class Branch:
     is_concretization: bool = False
 
     def held_constraint(self) -> Expr:
-        """The constraint form that was true during the execution."""
-        return self.constraint if self.taken else negate(self.constraint)
+        """The constraint form that was true during the execution.
+
+        Memoized: the negation sweep asks for every prefix branch's held
+        form once per later branch, and hash-consed construction — while
+        cheap — is not free.  (Assigning through ``__dict__`` sidesteps
+        the frozen-dataclass ``__setattr__`` guard; the memo is derived
+        state, not a mutation.)
+        """
+        cached = self.__dict__.get("_held")
+        if cached is None:
+            cached = self.constraint if self.taken else negate(self.constraint)
+            self.__dict__["_held"] = cached
+        return cached
 
     def negated_constraint(self) -> Expr:
         """The constraint forcing the other side of this branch."""
-        return negate(self.constraint) if self.taken else self.constraint
+        cached = self.__dict__.get("_negated")
+        if cached is None:
+            cached = negate(self.constraint) if self.taken else self.constraint
+            self.__dict__["_negated"] = cached
+        return cached
 
     @property
     def outcome_key(self) -> Tuple[BranchSite, bool]:
@@ -52,9 +67,48 @@ class Branch:
 
 @dataclass
 class PathCondition:
-    """The ordered branch records of one execution."""
+    """The ordered branch records of one execution.
+
+    Alongside the records themselves, the path maintains *rolling
+    per-prefix digests*: ``_prefix_states[i]`` is a reusable blake2b
+    state over the canonical renderings of the held constraints
+    ``0..i-1``.  Negating branch *i* keys the solver query
+    ``held(0..i-1) ∧ ¬branch(i)`` — with the prefix state cached, that
+    key costs O(|branch i|) instead of re-rendering the whole
+    conjunction, turning a session's key bill from O(n²) to O(n)
+    (:meth:`negation_key`).  States are built lazily so paths that never
+    reach a caching solver pay nothing.
+    """
 
     branches: List[Branch] = field(default_factory=list)
+    #: Lazily grown: entry i is the hash state over held constraints 0..i-1.
+    _prefix_states: List = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    #: Lazily grown: entry i is the hash state over (site, taken) 0..i-1.
+    _sig_states: List = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    #: (digest, length) memo for :meth:`signature` — the explorer and the
+    #: coverage tracker both ask for it per execution.
+    _sig_digest: Optional[Tuple[bytes, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        # hashlib states are neither picklable nor needed across a
+        # process boundary (the receiver rebuilds them lazily).
+        state = self.__dict__.copy()
+        state["_prefix_states"] = []
+        state["_sig_states"] = []
+        state["_sig_digest"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_prefix_states", [])
+        self.__dict__.setdefault("_sig_states", [])
+        self.__dict__.setdefault("_sig_digest", None)
 
     def __len__(self) -> int:
         return len(self.branches)
@@ -76,19 +130,40 @@ class PathCondition:
         self.branches.append(branch)
         return branch
 
+    def _sig_state(self, length: int):
+        """Rolling hash state over the (site, taken) records ``0..length-1``.
+
+        Same incremental discipline as :meth:`_prefix_state`: the
+        negation sweep needs a prefix signature per branch, which naively
+        re-hashes O(n²) records per session.
+        """
+        states = self._sig_states
+        if not states:
+            states.append(hashlib.blake2b(digest_size=16))
+        while len(states) <= length:
+            branch = self.branches[len(states) - 1]
+            grown = states[-1].copy()
+            grown.update(branch.site.file.encode())
+            grown.update(branch.site.line.to_bytes(4, "big"))
+            grown.update(b"\x01" if branch.taken else b"\x00")
+            states.append(grown)
+        return states[length]
+
     def signature(self) -> bytes:
         """A digest identifying the path by its (site, taken) sequence.
 
         Two executions with the same signature took the same side of the
         same branches in the same order; the explorer uses this to avoid
-        re-exploring paths it has already seen.
+        re-exploring paths it has already seen.  Memoized per length: the
+        explorer and the coverage tracker both call it per execution.
         """
-        digest = hashlib.blake2b(digest_size=16)
-        for branch in self.branches:
-            digest.update(branch.site.file.encode())
-            digest.update(branch.site.line.to_bytes(4, "big"))
-            digest.update(b"\x01" if branch.taken else b"\x00")
-        return digest.digest()
+        length = len(self.branches)
+        memo = self._sig_digest
+        if memo is not None and memo[1] == length:
+            return memo[0]
+        digest = self._sig_state(length).digest()
+        self._sig_digest = (digest, length)
+        return digest
 
     def prefix_signature(self, length: int, flip_last: bool = False) -> bytes:
         """Signature of the first ``length`` branches.
@@ -96,16 +171,60 @@ class PathCondition:
         With ``flip_last`` the final branch's direction is inverted — the
         signature of the path a successful negation of branch
         ``length - 1`` would begin with.  Used to deduplicate negation
-        attempts (the paper's aggregate constraint set).
+        attempts (the paper's aggregate constraint set).  Served from the
+        rolling signature states, so each call folds at most one record.
         """
-        digest = hashlib.blake2b(digest_size=16)
-        for branch in self.branches[:length]:
-            taken = branch.taken
-            if flip_last and branch.index == length - 1:
-                taken = not taken
-            digest.update(branch.site.file.encode())
-            digest.update(branch.site.line.to_bytes(4, "big"))
-            digest.update(b"\x01" if taken else b"\x00")
+        length = min(length, len(self.branches))
+        if not flip_last or length == 0:
+            return self._sig_state(length).digest()
+        branch = self.branches[length - 1]
+        digest = self._sig_state(length - 1).copy()
+        digest.update(branch.site.file.encode())
+        digest.update(branch.site.line.to_bytes(4, "big"))
+        # The flipped direction: the path a successful negation begins with.
+        digest.update(b"\x00" if branch.taken else b"\x01")
+        return digest.digest()
+
+    def _prefix_state(self, length: int):
+        """The rolling hash state over held constraints ``0..length-1``.
+
+        Built incrementally and cached per prefix; each extension folds
+        exactly one constraint's (node-cached) canonical rendering, so
+        maintaining all n prefixes over a run costs O(total rendering)
+        once instead of O(n²) re-rendering per negation sweep.
+        """
+        states = self._prefix_states
+        if not states:
+            states.append(hashlib.blake2b(digest_size=16))
+        if length >= len(states):
+            if length > len(self.branches):
+                raise IndexError(f"prefix length {length} out of range")
+            while len(states) <= length:
+                grown = states[-1].copy()
+                grown.update(
+                    self.branches[len(states) - 1].held_constraint().canonical_bytes()
+                )
+                grown.update(b"\x00")
+                states.append(grown)
+        return states[length]
+
+    def negation_key(self, index: int, tail: bytes) -> bytes:
+        """The solver-cache key for negating branch ``index``, in O(1).
+
+        ``tail`` is the domains+hint suffix from
+        :func:`repro.concolic.solver.cache.query_key_tail` (constant
+        across one execution's negation sweep).  The result is
+        byte-identical to ``canonical_query_key(constraints_to_negate(
+        index), domains, hint)`` — the engine uses this fast path, every
+        other caller keeps the from-scratch function, and both address
+        the same cache entries.
+        """
+        if not 0 <= index < len(self.branches):
+            raise IndexError(f"branch index {index} out of range")
+        digest = self._prefix_state(index).copy()
+        digest.update(self.branches[index].negated_constraint().canonical_bytes())
+        digest.update(b"\x00")
+        digest.update(tail)
         return digest.digest()
 
     def constraints_to_negate(self, index: int) -> List[Expr]:

@@ -19,7 +19,12 @@ from repro.concolic.solver.search import (
     satisfies,
     total_penalty,
 )
-from repro.concolic.solver.solver import Assignment, ConstraintSolver, SolverStats
+from repro.concolic.solver.solver import (
+    Assignment,
+    ConstraintSolver,
+    SolverStats,
+    merge_stats_dict,
+)
 
 __all__ = [
     "Assignment",
@@ -29,6 +34,7 @@ __all__ = [
     "Interval",
     "NotLinear",
     "SolverStats",
+    "merge_stats_dict",
     "canonical_query_key",
     "branch_distance",
     "enumerate_variable",

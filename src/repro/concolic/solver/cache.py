@@ -42,6 +42,35 @@ Assignment = Dict[str, int]
 CacheEntry = Tuple
 
 
+def query_key_tail(
+    domains: Dict[str, Interval], hint: Optional[Assignment] = None
+) -> bytes:
+    """The domains+hint suffix of a query key, as one reusable blob.
+
+    Within one execution's negation sweep the domains and the hint (the
+    run's concrete assignment) are fixed while the constraint prefix
+    grows branch by branch; folding them once into a byte string lets
+    :meth:`repro.concolic.path.PathCondition.negation_key` finish each
+    per-branch key with a single ``update`` instead of re-walking both
+    dicts per branch.
+    """
+    parts = [b"\x01"]
+    for name, (lo, hi) in sorted(domains.items()):
+        parts.append(name.encode())
+        parts.append(b"\x00")
+        parts.append(str(lo).encode())
+        parts.append(b"\x00")
+        parts.append(str(hi).encode())
+        parts.append(b"\x00")
+    parts.append(b"\x02")
+    for name, value in sorted((hint or {}).items()):
+        parts.append(name.encode())
+        parts.append(b"\x00")
+        parts.append(str(value).encode())
+        parts.append(b"\x00")
+    return b"".join(parts)
+
+
 def canonical_query_key(
     constraints: Sequence[Expr],
     domains: Dict[str, Interval],
@@ -50,27 +79,23 @@ def canonical_query_key(
     """A digest identifying a solver query up to structural equality.
 
     Expression rendering is deterministic (every node type defines a
-    canonical ``repr``), and domains/hint are folded in sorted order, so
-    the key is stable across processes and sessions.
+    canonical rendering, cached on the hash-consed node), and
+    domains/hint are folded in sorted order, so the key is stable across
+    processes and sessions.
+
+    Compatibility: the byte layout is unchanged from the original
+    whole-conjunction implementation, so keys computed incrementally by
+    the engine (rolling per-prefix digests in
+    :meth:`~repro.concolic.path.PathCondition.negation_key`), keys
+    computed from scratch here, and keys recorded by older runs all
+    address the same cache entries — no shim or cache flush is needed
+    across the incremental-digest migration.
     """
     digest = hashlib.blake2b(digest_size=16)
     for constraint in constraints:
-        digest.update(repr(constraint).encode())
+        digest.update(constraint.canonical_bytes())
         digest.update(b"\x00")
-    digest.update(b"\x01")
-    for name, (lo, hi) in sorted(domains.items()):
-        digest.update(name.encode())
-        digest.update(b"\x00")
-        digest.update(str(lo).encode())
-        digest.update(b"\x00")
-        digest.update(str(hi).encode())
-        digest.update(b"\x00")
-    digest.update(b"\x02")
-    for name, value in sorted((hint or {}).items()):
-        digest.update(name.encode())
-        digest.update(b"\x00")
-        digest.update(str(value).encode())
-        digest.update(b"\x00")
+    digest.update(query_key_tail(domains, hint))
     return digest.digest()
 
 

@@ -41,7 +41,13 @@ Assignment = Dict[str, int]
 
 @dataclass
 class SolverStats:
-    """Counters describing how queries were dispatched and resolved."""
+    """Counters describing how queries were dispatched and resolved.
+
+    The ``*_time`` fields break ``total_time`` down by pipeline stage
+    (key computation and cache lookups are the remainder), so profiles
+    can tell "slow because local search runs" from "slow because every
+    query re-keys a long conjunction".
+    """
 
     queries: int = 0
     sat: int = 0
@@ -54,6 +60,13 @@ class SolverStats:
     cache_hits: int = 0
     cache_misses: int = 0
     total_time: float = 0.0
+    key_time: float = 0.0
+    screen_time: float = 0.0
+    propagate_time: float = 0.0
+    hint_time: float = 0.0
+    linear_time: float = 0.0
+    enum_time: float = 0.0
+    search_time: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -68,11 +81,58 @@ class SolverStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "total_time": self.total_time,
+            "key_time": self.key_time,
+            "screen_time": self.screen_time,
+            "propagate_time": self.propagate_time,
+            "hint_time": self.hint_time,
+            "linear_time": self.linear_time,
+            "enum_time": self.enum_time,
+            "search_time": self.search_time,
+            "cache_hit_rate": self.cache_hit_rate,
         }
 
     @property
     def sat_rate(self) -> float:
         return self.sat / self.queries if self.queries else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def stage_times(self) -> Dict[str, float]:
+        """The per-stage breakdown alone, for compact progress displays."""
+        return {
+            "key": self.key_time,
+            "screen": self.screen_time,
+            "propagate": self.propagate_time,
+            "hint": self.hint_time,
+            "linear": self.linear_time,
+            "enum": self.enum_time,
+            "search": self.search_time,
+        }
+
+
+def merge_stats_dict(
+    totals: Dict[str, float], other: Dict[str, float]
+) -> Dict[str, float]:
+    """Fold one :meth:`SolverStats.as_dict` into a running total, in place.
+
+    The single definition of the aggregation rule every cross-session
+    view uses (``ExplorationReport.absorb``, ``BatchReport.solver_totals``):
+    plain counters sum; derived ratios (``*_rate`` keys) are skipped and
+    ``cache_hit_rate`` is recomputed from the summed counters, so adding
+    a stage or ratio to ``SolverStats`` cannot silently be summed wrong
+    in one consumer.
+    """
+    for key, value in other.items():
+        if key.endswith("_rate") or not isinstance(value, (int, float)):
+            continue
+        totals[key] = totals.get(key, 0) + value
+    lookups = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
+    if lookups:
+        totals["cache_hit_rate"] = totals["cache_hits"] / lookups
+    return totals
 
 
 @dataclass
@@ -95,23 +155,39 @@ class ConstraintSolver:
     cache: Optional[ConstraintCache] = None
     deterministic_rng: bool = False
 
+    @property
+    def wants_key(self) -> bool:
+        """True when :meth:`solve` would compute a query key anyway.
+
+        Callers that can derive the key incrementally (the engine's
+        rolling per-prefix digests) check this before paying for one; a
+        solver with neither cache nor deterministic RNG never looks at
+        keys at all.
+        """
+        return self.cache is not None or self.deterministic_rng
+
     def solve(
         self,
         constraints: Sequence[Expr],
         domains: Dict[str, Interval],
         hint: Optional[Assignment] = None,
+        key: Optional[bytes] = None,
     ) -> Optional[Assignment]:
         """Find an assignment satisfying every constraint, or None.
 
         ``domains`` maps every variable to its inclusive value range; the
-        returned assignment covers exactly the domain variables.
+        returned assignment covers exactly the domain variables.  ``key``
+        (optional) is a precomputed :func:`canonical_query_key` for this
+        exact query — the engine passes one derived incrementally from
+        the path's rolling prefix digests; when omitted and needed it is
+        computed from scratch here, with byte-identical results.
         """
         started = time.perf_counter()
         self.stats.queries += 1
         try:
-            key = None
-            if self.cache is not None or self.deterministic_rng:
+            if key is None and self.wants_key:
                 key = canonical_query_key(constraints, domains, hint)
+                self.stats.key_time += time.perf_counter() - started
             if self.cache is not None:
                 entry = self.cache.get(key)
                 if entry is not None:
@@ -147,45 +223,66 @@ class ConstraintSolver:
         hint: Assignment,
         rng: Optional[random.Random] = None,
     ) -> Optional[Assignment]:
+        stats = self.stats
+        mark = time.perf_counter()
+
         # 1. Constant screening.
         live: List[Expr] = []
         for constraint in constraints:
             if isinstance(constraint, Const):
                 if constraint.value:
                     continue
-                self.stats.unsat_proved += 1
+                stats.unsat_proved += 1
+                stats.screen_time += time.perf_counter() - mark
                 return None
             live.append(constraint)
         if not live:
-            self.stats.sat += 1
-            self.stats.hint_hits += 1
+            stats.sat += 1
+            stats.hint_hits += 1
+            stats.screen_time += time.perf_counter() - mark
             return self._clip(hint, domains)
+        now = time.perf_counter()
+        stats.screen_time += now - mark
+        mark = now
 
         # 2. Interval propagation (may prove UNSAT, always narrows).
         narrowed = propagate(live, domains)
+        now = time.perf_counter()
+        stats.propagate_time += now - mark
+        mark = now
         if narrowed is None:
-            self.stats.unsat_proved += 1
+            stats.unsat_proved += 1
             return None
 
         # 3. The clipped hint may already be a model.
         env = self._clip(hint, narrowed)
-        if search.satisfies(live, env):
-            self.stats.sat += 1
-            self.stats.hint_hits += 1
+        satisfied = search.satisfies(live, env)
+        now = time.perf_counter()
+        stats.hint_time += now - mark
+        mark = now
+        if satisfied:
+            stats.sat += 1
+            stats.hint_hits += 1
             return env
 
         # 4. Linear inversion, repairing one variable of one failing atom.
         repaired = self._linear_repair(live, narrowed, env)
+        now = time.perf_counter()
+        stats.linear_time += now - mark
+        mark = now
         if repaired is not None:
-            self.stats.sat += 1
-            self.stats.linear_hits += 1
+            stats.sat += 1
+            stats.linear_hits += 1
             return repaired
 
         # 5. Bounded exhaustive enumeration of one small variable.
         enumerated = self._enumerate(live, narrowed, env)
+        now = time.perf_counter()
+        stats.enum_time += now - mark
+        mark = now
         if enumerated is not None:
-            self.stats.sat += 1
-            self.stats.enumeration_hits += 1
+            stats.sat += 1
+            stats.enumeration_hits += 1
             return enumerated
 
         # 6. Guided local search.
@@ -193,12 +290,13 @@ class ConstraintSolver:
             live, narrowed, env, rng if rng is not None else self.rng,
             max_iters=self.max_search_iters,
         )
+        stats.search_time += time.perf_counter() - mark
         if found is not None:
-            self.stats.sat += 1
-            self.stats.search_hits += 1
+            stats.sat += 1
+            stats.search_hits += 1
             return found
 
-        self.stats.unknown += 1
+        stats.unknown += 1
         return None
 
     @staticmethod

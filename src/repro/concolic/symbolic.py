@@ -27,8 +27,10 @@ from typing import Iterable, Iterator, List, Sequence, Union
 
 from repro.concolic import tracer
 from repro.concolic.expr import (
+    BINARY_OPS,
     BinOp,
     Const,
+    EvalError,
     Expr,
     Var,
     as_boolean,
@@ -136,11 +138,12 @@ class SymInt:
     # -- arithmetic ----------------------------------------------------------
 
     def _binary(self, other: object, op: str, reflected: bool = False):
+        # This is the instrumentation hot path: every arithmetic step of
+        # the program under test lands here, so the op table and error
+        # type are module-level imports rather than per-call lookups.
         if not isinstance(other, (int, SymInt)):
             return NotImplemented
-        import repro.concolic.expr as expr_mod
-
-        func = expr_mod.BINARY_OPS[op][0]
+        func = BINARY_OPS[op][0]
         try:
             if reflected:
                 concrete = func(_concrete(other), self.concrete)
@@ -148,7 +151,7 @@ class SymInt:
             else:
                 concrete = func(self.concrete, _concrete(other))
                 expression = make_binary(op, self.expr, _lift(other))
-        except expr_mod.EvalError as exc:
+        except EvalError as exc:
             # Concrete arithmetic must fail exactly like plain Python ints.
             if op in ("floordiv", "mod"):
                 raise ZeroDivisionError(str(exc)) from None
@@ -203,9 +206,7 @@ class SymInt:
     def _compare(self, other: object, op: str):
         if not isinstance(other, (int, SymInt)):
             return NotImplemented
-        import repro.concolic.expr as expr_mod
-
-        func = expr_mod.BINARY_OPS[op][0]
+        func = BINARY_OPS[op][0]
         concrete = bool(func(self.concrete, _concrete(other)))
         return SymBool(concrete, make_binary(op, self.expr, _lift(other)))
 

@@ -52,6 +52,14 @@ _active: Optional[Recorder] = None
 #: when attributing a branch to a program location.
 _PACKAGE_DIR = os.path.dirname(os.path.abspath(__file__))
 
+#: (filename, lineno) -> BranchSite.  Branch attribution runs once per
+#: recorded branch; reusing the site object skips the dataclass
+#: construction and the per-call basename split, and downstream coverage
+#: sets hash strings whose hash is already cached on the shared object.
+#: Bounded in practice by the number of distinct branch sites in the
+#: program under test.
+_SITE_CACHE: dict = {}
+
 
 def active_recorder() -> Optional[Recorder]:
     """The currently installed recorder, or None in production mode."""
@@ -78,6 +86,11 @@ def caller_site() -> BranchSite:
     while frame is not None:
         filename = frame.f_code.co_filename
         if not filename.startswith(_PACKAGE_DIR):
-            return BranchSite(os.path.basename(filename), frame.f_lineno)
+            key = (filename, frame.f_lineno)
+            site = _SITE_CACHE.get(key)
+            if site is None:
+                site = BranchSite(os.path.basename(filename), frame.f_lineno)
+                _SITE_CACHE[key] = site
+            return site
         frame = frame.f_back
     return BranchSite("<unknown>", 0)

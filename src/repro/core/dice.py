@@ -35,11 +35,12 @@ if TYPE_CHECKING:  # avoids the runtime core <-> parallel import cycle
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
+from repro.concolic.coverage import CoverageScheduler
 from repro.concolic.engine import ConcolicEngine, ExplorationBudget
 from repro.concolic.strategies import SearchStrategy
 from repro.core.checkers import FaultChecker, default_checkers
 from repro.core.explorer import DiceExplorer
-from repro.core.inputs import InputModel, model_for
+from repro.core.inputs import InputModel, model_for, seed_signature
 from repro.core.report import Finding, SessionReport
 from repro.util.errors import ExplorationError
 from repro.util.ip import Prefix
@@ -91,6 +92,10 @@ class DiCE:
         self._observed_capacity = observed_capacity
         self._observed: Dict[str, Deque[UpdateMessage]] = {}
         self._last_served_peer: Optional[str] = None
+        # Coverage-guided seed scheduling: every finished session's
+        # coverage feeds back into seed scoring (novelty-weighted
+        # rotation); with no history it degenerates to pure round-robin.
+        self.scheduler = CoverageScheduler()
         self.rounds: List[SessionReport] = []
         self.exploration_wall_seconds = 0.0
         # Streaming state: when a stream is active, observe() forwards
@@ -144,52 +149,74 @@ class DiCE:
     def pick_seed(
         self, peer: Optional[str] = None
     ) -> Optional[Tuple[str, UpdateMessage]]:
-        """The most recent observed input, round-robin across peers.
+        """The most promising observed input, coverage-guided across peers.
 
-        Without an explicit ``peer``, successive calls rotate through the
-        peers that have buffered seeds: serving whichever peer spoke last
-        (the old behavior) let a chatty peer starve the quiet ones, so a
-        fault reachable only from a low-volume session was never
-        explored.  Rotation order is peer insertion order, resuming after
-        the peer served by the previous call.
+        Without an explicit ``peer``, candidates (each peer's most recent
+        buffered seed) are scored by :class:`CoverageScheduler` —
+        predicted new-branch coverage from each peer's recent sessions,
+        boosted for never-scheduled seeds — with ties resolved by the
+        original round-robin rotation.  A fresh facade (no exploration
+        history) therefore behaves exactly like the old blind rotation;
+        once rounds complete, budget concentrates on peers and seeds
+        still producing new coverage.
         """
         if peer is not None:
             buffer = self._observed.get(peer)
             if not buffer:
                 return None
+            self.scheduler.mark_scheduled(seed_signature(buffer[-1]))
             return (peer, buffer[-1])
-        peers = [p for p, buffer in self._observed.items() if buffer]
-        if not peers:
+        candidates = [
+            (peer_id, buffer[-1])
+            for peer_id, buffer in self._observed.items()
+            if buffer
+        ]
+        if not candidates:
             return None
-        start = 0
-        if self._last_served_peer in peers:
-            start = (peers.index(self._last_served_peer) + 1) % len(peers)
-        peer_id = peers[start]
+        signatures = [seed_signature(update) for _, update in candidates]
+        choice = self.scheduler.pick(
+            [(peer_id, sig) for (peer_id, _), sig in zip(candidates, signatures)],
+            after=self._last_served_peer,
+        )
+        peer_id, update = candidates[choice]
         self._last_served_peer = peer_id
-        return (peer_id, self._observed[peer_id][-1])
+        self.scheduler.mark_scheduled(signatures[choice])
+        return (peer_id, update)
 
     # -- exploration rounds -----------------------------------------------------
 
     def batch_seeds(
         self, peer: Optional[str] = None, all_seeds: bool = True
     ) -> List[Tuple[str, UpdateMessage]]:
-        """The seed batch a parallel round explores.
+        """The seed batch a parallel round explores, best seeds first.
 
         ``all_seeds`` takes every buffered input from every peer's ring
         buffer (optionally restricted to one peer); otherwise one seed —
         the most recent — per peer, which still beats the sequential
-        round's single seed while keeping the batch small.
+        round's single seed while keeping the batch small.  Seeds are
+        ordered by the coverage scheduler's score (stable, so a facade
+        without history returns the plain observation order): callers
+        that truncate the batch keep the most promising seeds, and early
+        workers start on them first.
         """
         if all_seeds:
             if peer is None:
-                return self.observed
-            buffer = self._observed.get(peer)
-            return [(peer, update) for update in buffer] if buffer else []
-        return [
-            (peer_id, buffer[-1])
-            for peer_id, buffer in self._observed.items()
-            if buffer and (peer is None or peer_id == peer)
+                seeds = self.observed
+            else:
+                buffer = self._observed.get(peer)
+                seeds = [(peer, update) for update in buffer] if buffer else []
+        else:
+            seeds = [
+                (peer_id, buffer[-1])
+                for peer_id, buffer in self._observed.items()
+                if buffer and (peer is None or peer_id == peer)
+            ]
+        scores = [
+            self.scheduler.score(peer_id, seed_signature(update))
+            for peer_id, update in seeds
         ]
+        order = sorted(range(len(seeds)), key=lambda i: (-scores[i], i))
+        return [seeds[i] for i in order]
 
     def run_round(
         self,
@@ -237,6 +264,7 @@ class DiCE:
         )
         self.exploration_wall_seconds += time.perf_counter() - started
         self.rounds.append(report)
+        self.scheduler.note_session(peer_id, report.exploration.coverage)
         return report
 
     def parallel_explorer(
@@ -279,10 +307,17 @@ class DiCE:
         seeds = self.batch_seeds(peer, all_seeds=all_seeds)
         if not seeds:
             return None
+        # The whole batch is about to be explored: consume each seed's
+        # novelty now so later rounds don't keep boosting it (pick_seed
+        # does the same for sequential rounds).
+        for _, update in seeds:
+            self.scheduler.mark_scheduled(seed_signature(update))
         batch = self.parallel_explorer(workers).explore_batch(
             self.router, seeds, budget=budget
         )
         self.rounds.extend(batch.reports)
+        for report in batch.reports:
+            self.scheduler.note_session(report.peer, report.exploration.coverage)
         self.exploration_wall_seconds += batch.wall_seconds
         return batch
 
@@ -297,6 +332,7 @@ class DiCE:
         constraint_cache: bool = True,
         queue_capacity: Optional[int] = None,
         force_serial: bool = False,
+        coverage_guided: bool = True,
     ) -> "StreamingExplorer":
         """A streaming pipeline carrying this DiCE's exploration config.
 
@@ -319,6 +355,7 @@ class DiCE:
             budget=budget,
             queue_capacity=queue_capacity or self._observed_capacity,
             force_serial=force_serial,
+            coverage_guided=coverage_guided,
         )
 
     def stream_start(self, workers: int = 1, **kwargs) -> "StreamingExplorer":
@@ -348,6 +385,8 @@ class DiCE:
         reports = self._stream.poll()
         fresh = reports[self._stream_harvested:]
         self.rounds.extend(fresh)
+        for report in fresh:
+            self.scheduler.note_session(report.peer, report.exploration.coverage)
         self._stream_harvested = len(reports)
         return fresh
 
@@ -374,7 +413,9 @@ class DiCE:
         if explorer is None:
             return None
         report = explorer.close()
-        self.rounds.extend(report.reports[self._stream_harvested:])
+        for session in report.reports[self._stream_harvested:]:
+            self.rounds.append(session)
+            self.scheduler.note_session(session.peer, session.exploration.coverage)
         self._stream_harvested = 0
         self.exploration_wall_seconds += report.wall_seconds
         return report

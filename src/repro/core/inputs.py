@@ -20,6 +20,7 @@ input from a concrete assignment (:meth:`build`).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import List, Optional, Union
 
 from repro.bgp.attributes import AsPath, AsPathSegment, PathAttributes
@@ -267,3 +268,32 @@ def model_for(
     if policy == "whole-message":
         return WholeMessageModel(observed, **kwargs)
     raise ValueError(f"unknown marking policy {policy!r}")
+
+
+def seed_signature(update: UpdateMessage) -> Optional[bytes]:
+    """A compact identity for an observed seed, for novelty scheduling.
+
+    Two updates with the same signature mark the same symbolic inputs
+    and therefore open the same exploration space; the coverage-guided
+    schedulers deprioritize re-exploring them.  The wire body is the
+    natural canonical form; an update that cannot encode (symbolic or
+    malformed fields) gets no signature and is always treated as novel.
+
+    Memoized on the message object: schedulers re-score the same
+    buffered seeds on every decision, and observed seeds are never
+    mutated once buffered, so re-encoding the wire body each time would
+    put an O(message) cost on the dispatch hot path.
+    """
+    cached = getattr(update, "_seed_signature", None)
+    if cached is not None:
+        return cached
+    try:
+        body = update.body()
+    except Exception:
+        return None
+    signature = hashlib.blake2b(body, digest_size=16).digest()
+    try:
+        update._seed_signature = signature
+    except Exception:
+        pass  # exotic message types without __dict__ just recompute
+    return signature

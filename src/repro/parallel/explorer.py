@@ -33,6 +33,7 @@ from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
 from repro.checkpoint.snapshot import Checkpoint
 from repro.concolic.engine import ExplorationBudget, ExplorationReport
+from repro.concolic.solver import merge_stats_dict
 from repro.concolic.solver.cache import DictConstraintCache
 from repro.core.checkers import FaultChecker
 from repro.core.report import Finding, SessionReport
@@ -101,6 +102,21 @@ class BatchReport:
         hits = sum(int(r.solver_stats.get("cache_hits", 0)) for r in self.reports)
         misses = sum(int(r.solver_stats.get("cache_misses", 0)) for r in self.reports)
         return {"cache_hits": hits, "cache_misses": misses}
+
+    def solver_totals(self) -> Dict[str, float]:
+        """Summed per-worker solver counters, with derived rates recomputed.
+
+        Each session ships its private solver's ``SolverStats.as_dict()``
+        home; this folds them into one cross-session view (the CLI's
+        streaming progress line prints the stage-timing slice of it).
+        Ratio keys (``*_rate``) are recomputed from the summed counters
+        rather than summed themselves.
+        """
+        totals: Dict[str, float] = {}
+        for report in self.reports:
+            merge_stats_dict(totals, report.solver_stats)
+        totals.setdefault("cache_hit_rate", 0.0)
+        return totals
 
     def summary(self) -> Dict[str, object]:
         return {

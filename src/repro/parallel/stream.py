@@ -56,8 +56,10 @@ from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
 from repro.checkpoint.delta import CheckpointDelta, CheckpointImage
 from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.coverage import CoverageScheduler
 from repro.concolic.engine import ExplorationBudget, ExplorationReport
 from repro.concolic.solver.cache import DictConstraintCache
+from repro.core.inputs import seed_signature
 from repro.core.checkers import FaultChecker
 from repro.core.report import SessionReport
 from repro.parallel.cache import ShardedConstraintCache, sharded_cache
@@ -387,6 +389,7 @@ class StreamingExplorer:
         queue_capacity: int = 32,
         max_inflight: Optional[int] = None,
         cache_shards: int = 0,
+        coverage_guided: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -410,6 +413,14 @@ class StreamingExplorer:
         self.max_inflight = max_inflight if max_inflight is not None else 2 * workers
         #: 0 = auto (min(4, workers)); shards of the shared solver cache.
         self.cache_shards = cache_shards
+        #: Coverage-guided dispatch: score pending seeds by predicted
+        #: new-branch coverage (novelty-weighted rotation) instead of
+        #: blind per-peer round-robin.  Job indices are assigned at
+        #: *submission*, so dispatch order never changes what any single
+        #: session computes — the drained finding set stays identical to
+        #: the batch engine's whatever order the scheduler picks.
+        self.coverage_guided = coverage_guided
+        self._scheduler = CoverageScheduler() if coverage_guided else None
 
         self.report = StreamReport(workers=workers)
         self._pending: Dict[str, Deque[Tuple[int, UpdateMessage]]] = {}
@@ -542,16 +553,32 @@ class StreamingExplorer:
     # -- dispatch / harvest --------------------------------------------------
 
     def _next_seed(self) -> Optional[Tuple[int, str, UpdateMessage]]:
-        """Oldest seed of the next peer in rotation (DiCE's round-robin)."""
+        """The most promising pending seed (coverage-guided), else rotation.
+
+        Candidates are each peer's oldest unscheduled seed; the
+        scheduler scores them by the peer's recent new-coverage EWMA and
+        the seed's novelty, falling back to the original per-peer
+        round-robin on ties (and exactly reproducing it until the first
+        harvested report arrives).
+        """
         peers = [peer for peer, buffer in self._pending.items() if buffer]
         if not peers:
             return None
-        start = 0
-        if self._last_peer in peers:
-            start = (peers.index(self._last_peer) + 1) % len(peers)
-        peer = peers[start]
+        if self._scheduler is not None:
+            candidates = [
+                (peer, seed_signature(self._pending[peer][0][1])) for peer in peers
+            ]
+            choice = self._scheduler.pick(candidates, after=self._last_peer)
+            peer = peers[choice]
+        else:
+            start = 0
+            if self._last_peer in peers:
+                start = (peers.index(self._last_peer) + 1) % len(peers)
+            peer = peers[start]
         self._last_peer = peer
         index, update = self._pending[peer].popleft()
+        if self._scheduler is not None:
+            self._scheduler.mark_scheduled(seed_signature(update))
         return index, peer, update
 
     def _pick_worker(self):
@@ -647,6 +674,11 @@ class StreamingExplorer:
             del self._inflight[index]
             self._assignment.pop(index, None)
             self.report.add_stream_report(index, msg[2])
+            if self._scheduler is not None:
+                session = msg[2]
+                self._scheduler.note_session(
+                    session.peer, session.exploration.coverage
+                )
         elif kind == _RES_ERROR:
             if index == _NO_JOB:
                 self.report.errors.append(str(msg[2]))

@@ -16,6 +16,13 @@ component is private to the session, which is what makes results
 independent of how jobs are scheduled onto processes.  The one shared
 object — the constraint cache — is safe to share because cached entries
 are bit-identical to a local solve (see :mod:`repro.parallel.cache`).
+
+Expression transport: any :class:`~repro.concolic.expr.Expr` crossing
+the process boundary (crash records keep their path conditions, jobs may
+carry constraint-bearing checkers) pickles through its constructor
+(``Expr.__reduce__``), so nodes *re-intern* into the receiving process's
+hash-consing table on arrival — identity fast paths and per-node caches
+hold in every worker, not just the process that built the expression.
 """
 
 from __future__ import annotations

@@ -1,0 +1,234 @@
+"""Property tests for hash-consed expressions and rolling query digests.
+
+Two invariants protect the hot-path overhaul:
+
+* interning is *semantically invisible* — a node built through the
+  intern table and a plain node built with interning disabled agree on
+  evaluation, structural equality, hashing, and canonical rendering;
+* the engine's rolling per-prefix digests are *byte-identical* to
+  recomputing ``canonical_query_key`` from scratch for every prefix, so
+  incremental keys and from-scratch keys address the same cache entries.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.concolic.expr import (
+    BINARY_OPS,
+    UNARY_OPS,
+    BinOp,
+    Const,
+    EvalError,
+    Expr,
+    UnaryOp,
+    Var,
+    intern_info,
+    interning_disabled,
+    make_binary,
+    negate,
+)
+from repro.concolic.path import PathCondition
+from repro.concolic.solver.cache import canonical_query_key, query_key_tail
+from repro.concolic.tracer import BranchSite
+
+VAR_NAMES = ("a", "b", "c")
+
+
+def exprs(max_leaves: int = 8):
+    """Random expression trees over a small variable pool."""
+    leaves = st.one_of(
+        st.integers(min_value=-64, max_value=64).map(Const),
+        st.sampled_from(VAR_NAMES).map(lambda n: Var(n, 16)),
+    )
+
+    def compose(children):
+        unary = children.flatmap(
+            lambda e: st.sampled_from(sorted(UNARY_OPS)).map(
+                lambda op: UnaryOp(op, e)
+            )
+        )
+        binary = st.tuples(
+            st.sampled_from(sorted(BINARY_OPS)), children, children
+        ).map(lambda t: BinOp(*t))
+        return unary | binary
+
+    return st.recursive(leaves, compose, max_leaves=max_leaves)
+
+
+def envs():
+    return st.fixed_dictionaries(
+        {name: st.integers(min_value=0, max_value=255) for name in VAR_NAMES}
+    )
+
+
+def rebuild_plain(expr: Expr) -> Expr:
+    """A structurally equal copy built with interning disabled."""
+    with interning_disabled():
+        return _rebuild(expr)
+
+
+def _rebuild(expr: Expr) -> Expr:
+    if isinstance(expr, Const):
+        return Const(expr.value)
+    if isinstance(expr, Var):
+        return Var(expr.name, expr.bits)
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rebuild(expr.operand))
+    assert isinstance(expr, BinOp)
+    return BinOp(expr.op, _rebuild(expr.left), _rebuild(expr.right))
+
+
+class TestInterningTransparency:
+    @given(exprs())
+    def test_structurally_equal_construction_is_pointer_equal(self, expr):
+        assert _rebuild(expr) is expr
+
+    @given(exprs())
+    def test_plain_and_interned_nodes_are_equal_and_hash_equal(self, expr):
+        plain = rebuild_plain(expr)
+        assert plain is not expr or isinstance(expr, Expr)
+        assert plain == expr
+        assert expr == plain
+        assert hash(plain) == hash(expr)
+
+    @given(exprs())
+    def test_canonical_rendering_agrees(self, expr):
+        plain = rebuild_plain(expr)
+        assert plain.canonical_bytes() == expr.canonical_bytes()
+        assert repr(plain) == repr(expr)
+        assert expr.canonical_bytes() == repr(expr).encode()
+
+    @given(exprs(), envs())
+    def test_evaluation_agrees(self, expr, env):
+        plain = rebuild_plain(expr)
+        try:
+            expected = plain.evaluate(env)
+        except EvalError:
+            expected = EvalError
+        try:
+            actual = expr.evaluate(env)
+        except EvalError:
+            actual = EvalError
+        assert actual == expected
+
+    @given(exprs())
+    def test_pickle_reinterns(self, expr):
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is expr  # same process: round-trip hits the table
+
+    @given(exprs())
+    def test_depth_matches_recursive_definition(self, expr):
+        def recursive_depth(node):
+            return 1 + max((recursive_depth(c) for c in node.children()), default=0)
+
+        assert expr.depth() == recursive_depth(expr)
+
+    def test_depth_survives_deep_chains(self):
+        expr = Var("a", 16)
+        for i in range(10_000):
+            expr = BinOp("add", expr, Const(i % 7 + 1))
+        assert expr.depth() == 10_001
+
+    def test_intern_info_counters_move(self):
+        before = intern_info()
+        keep = Const(123456)  # a live reference, or the weak table drops it
+        again = Const(123456)
+        after = intern_info()
+        assert again is keep
+        assert after["hits"] > before["hits"]
+        assert after["entries"] >= 1
+
+    def test_dead_expressions_leave_the_table(self):
+        import gc
+
+        marker = Const(987654321)
+        assert _rebuild(marker) is marker
+        size_live = intern_info()["entries"]
+        del marker
+        gc.collect()
+        assert intern_info()["entries"] < size_live
+
+    def test_interned_nodes_share_caches(self):
+        left = make_binary("add", Var("a", 16), Const(3))
+        right = make_binary("add", Var("a", 16), Const(3))
+        assert left is right
+        assert left.canonical_bytes() is right.canonical_bytes()
+        assert left.variables() is right.variables()
+
+
+def build_path(directions):
+    """A path condition with one comparison branch per direction bit."""
+    path = PathCondition()
+    variables = [Var(name, 16) for name in VAR_NAMES]
+    for i, taken in enumerate(directions):
+        constraint = make_binary(
+            "lt",
+            make_binary("add", variables[i % len(variables)], Const(i)),
+            Const(100 + i),
+        )
+        path.append(BranchSite("prog.py", 10 + i), constraint, taken)
+    return path
+
+
+class TestRollingDigests:
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(deadline=None)
+    def test_negation_key_equals_from_scratch_for_every_prefix(self, directions):
+        path = build_path(directions)
+        domains = {name: (0, 65535) for name in VAR_NAMES}
+        hint = {name: 7 for name in VAR_NAMES}
+        tail = query_key_tail(domains, hint)
+        for index in range(len(path)):
+            expected = canonical_query_key(
+                path.constraints_to_negate(index), domains, hint
+            )
+            assert path.negation_key(index, tail) == expected
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    @settings(deadline=None)
+    def test_rolling_signatures_equal_recomputed(self, directions):
+        path = build_path(directions)
+        import hashlib
+
+        def slow_prefix_signature(length, flip_last):
+            digest = hashlib.blake2b(digest_size=16)
+            for branch in path.branches[:length]:
+                taken = branch.taken
+                if flip_last and branch.index == length - 1:
+                    taken = not taken
+                digest.update(branch.site.file.encode())
+                digest.update(branch.site.line.to_bytes(4, "big"))
+                digest.update(b"\x01" if taken else b"\x00")
+            return digest.digest()
+
+        assert path.signature() == slow_prefix_signature(len(path), False)
+        for length in range(len(path) + 1):
+            assert path.prefix_signature(length) == slow_prefix_signature(
+                length, False
+            )
+            assert path.prefix_signature(length, flip_last=True) == (
+                slow_prefix_signature(length, True)
+            )
+
+    def test_keys_stable_after_growing_the_path(self):
+        path = build_path([True, False, True])
+        domains = {name: (0, 65535) for name in VAR_NAMES}
+        tail = query_key_tail(domains, {})
+        first = path.negation_key(1, tail)
+        path.append(
+            BranchSite("prog.py", 99), make_binary("eq", Var("a", 16), Const(5)), True
+        )
+        assert path.negation_key(1, tail) == first
+        assert path.negation_key(3, tail) == canonical_query_key(
+            path.constraints_to_negate(3), domains, {}
+        )
+
+    def test_path_condition_pickles_without_digest_state(self):
+        path = build_path([True, False])
+        domains = {name: (0, 65535) for name in VAR_NAMES}
+        tail = query_key_tail(domains, {})
+        original = path.negation_key(1, tail)  # force states to exist
+        clone = pickle.loads(pickle.dumps(path))
+        assert clone.negation_key(1, tail) == original
+        assert clone.signature() == path.signature()

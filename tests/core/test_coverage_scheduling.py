@@ -1,0 +1,139 @@
+"""Coverage-guided seed scheduling: scorer semantics and DiCE wiring.
+
+The scheduler must be a *drop-in* for blind round-robin (identical picks
+until exploration history exists — the end-to-end tests pin that), and
+once history exists it must steer budget toward peers and seeds still
+producing new branch coverage.
+"""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.concolic.coverage import BranchCoverage, CoverageScheduler
+from repro.concolic.path import PathCondition
+from repro.concolic.tracer import BranchSite
+from repro.core.inputs import seed_signature
+from repro.util.ip import Prefix, ip_to_int
+
+
+def coverage_over(*sites):
+    """A BranchCoverage having observed one taken branch per site name."""
+    path = PathCondition()
+    from repro.concolic.expr import Const, Var, make_binary
+
+    for i, site in enumerate(sites):
+        path.append(
+            BranchSite(site, i), make_binary("lt", Var("x", 8), Const(i + 1)), True
+        )
+    coverage = BranchCoverage()
+    coverage.observe(path)
+    return coverage
+
+
+def update_for(prefix):
+    return UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence([65010]), next_hop=ip_to_int("10.0.0.9")
+        ),
+        nlri=[NlriEntry.from_prefix(Prefix.parse(prefix))],
+    )
+
+
+class TestCoverageScheduler:
+    def test_no_history_ties_resolve_by_rotation(self):
+        scheduler = CoverageScheduler()
+        candidates = [("a", b"s1"), ("b", b"s2"), ("c", b"s3")]
+        assert scheduler.pick(candidates, after=None) == 0
+        assert scheduler.pick(candidates, after="a") == 1
+        assert scheduler.pick(candidates, after="b") == 2
+        assert scheduler.pick(candidates, after="c") == 0
+
+    def test_productive_peer_outranks_dry_peer(self):
+        scheduler = CoverageScheduler()
+        # "hot" found 4 new outcomes; "dry" only retreads f1.py, which
+        # the merged coverage already contains -> 0 new outcomes.
+        scheduler.note_session("hot", coverage_over("f1.py", "f2.py", "f3.py", "f4.py"))
+        scheduler.note_session("dry", coverage_over("f1.py"))
+        assert scheduler.score("hot", None) > scheduler.score("dry", None)
+
+    def test_new_outcomes_counted_against_merged_coverage(self):
+        scheduler = CoverageScheduler()
+        first = scheduler.note_session("p", coverage_over("a.py", "b.py"))
+        assert first == 2
+        repeat = scheduler.note_session("p", coverage_over("a.py", "b.py"))
+        assert repeat == 0  # same sites/lines: nothing new the second time
+
+    def test_novel_seed_outranks_scheduled_seed(self):
+        scheduler = CoverageScheduler()
+        scheduler.mark_scheduled(b"seen")
+        assert scheduler.score("p", b"fresh") > scheduler.score("p", b"seen")
+
+    def test_unexplored_peer_scored_optimistically(self):
+        scheduler = CoverageScheduler()
+        scheduler.note_session("veteran", coverage_over("a.py", "b.py", "c.py"))
+        # A brand-new peer must not be starved by the veteran's record.
+        assert scheduler.score("newcomer", b"x") >= scheduler.score("veteran", b"x")
+
+    def test_ewma_decays_stale_productivity(self):
+        scheduler = CoverageScheduler(decay=0.5)
+        scheduler.note_session("p", coverage_over("a.py", "b.py", "c.py", "d.py"))
+        high = scheduler._peer_gain["p"]
+        for _ in range(4):  # dry sessions: same coverage again
+            scheduler.note_session("p", coverage_over("a.py"))
+        assert scheduler._peer_gain["p"] < high / 2
+
+
+class TestSeedSignature:
+    def test_equal_updates_share_a_signature(self):
+        assert seed_signature(update_for("10.1.0.0/16")) == seed_signature(
+            update_for("10.1.0.0/16")
+        )
+
+    def test_different_updates_differ(self):
+        assert seed_signature(update_for("10.1.0.0/16")) != seed_signature(
+            update_for("10.2.0.0/16")
+        )
+
+
+class TestDiceIntegration:
+    def test_pick_seed_prefers_productive_peer_after_history(self):
+        from repro.core.dice import DiCE
+
+        dice = DiCE(object())  # the facade only stores the router here
+        dice.clear_observed()
+        dice.observe("hot", update_for("10.1.0.0/16"))
+        dice.observe("dry", update_for("10.2.0.0/16"))
+        # Fake history: "hot" keeps finding new outcomes, "dry" does not.
+        dice.scheduler.note_session("hot", coverage_over("h1.py", "h2.py", "h3.py"))
+        dice.scheduler.note_session("dry", BranchCoverage())
+        # Both buffered seeds were already scheduled once (novelty equal)...
+        dice.scheduler.mark_scheduled(seed_signature(update_for("10.1.0.0/16")))
+        dice.scheduler.mark_scheduled(seed_signature(update_for("10.2.0.0/16")))
+        # ...so the productive peer wins even when rotation points at "dry".
+        dice._last_served_peer = "hot"
+        peer, _ = dice.pick_seed()
+        assert peer == "hot"
+
+    def test_batch_seeds_orders_by_score_with_history(self):
+        from repro.core.dice import DiCE
+
+        dice = DiCE(object())  # the facade only stores the router here
+        dice.clear_observed()
+        dice.observe("dry", update_for("10.2.0.0/16"))
+        dice.observe("hot", update_for("10.1.0.0/16"))
+        dice.scheduler.note_session("hot", coverage_over("h1.py", "h2.py"))
+        dice.scheduler.note_session("dry", BranchCoverage())
+        dice.scheduler.mark_scheduled(seed_signature(update_for("10.1.0.0/16")))
+        dice.scheduler.mark_scheduled(seed_signature(update_for("10.2.0.0/16")))
+        batch = dice.batch_seeds(all_seeds=True)
+        assert [peer for peer, _ in batch] == ["hot", "dry"]
+
+    def test_batch_seeds_neutral_without_history(self):
+        from repro.core.dice import DiCE
+
+        dice = DiCE(object())  # the facade only stores the router here
+        dice.clear_observed()
+        dice.observe("b", update_for("10.2.0.0/16"))
+        dice.observe("a", update_for("10.1.0.0/16"))
+        # Observation order preserved when no coverage history exists.
+        assert [peer for peer, _ in dice.batch_seeds(all_seeds=True)] == ["b", "a"]
