@@ -83,7 +83,11 @@ def test_abl_checkpoint_vs_replay(benchmark, history, paper_rows):
         return clone
 
     clone = benchmark.pedantic(checkpoint_resume, rounds=3, iterations=1)
-    resume_seconds = benchmark.stats.stats.mean
+    # Median, not mean: at history=0 the replay baseline is just a
+    # scenario rebuild (now cheaper still with the config parse cache),
+    # so a single GC-pause outlier in three resume rounds is enough to
+    # flip the mean past it in a loaded benchmark session.
+    resume_seconds = benchmark.stats.stats.median
     assert clone.table_size() == provider.table_size()
 
     replay_started = time.perf_counter()

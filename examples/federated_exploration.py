@@ -85,7 +85,9 @@ def main() -> None:
 
     print("\n5. Propagating exploratory messages to observe consequences...")
     stats = fabric.propagate()
-    print(f"   delivered={stats.delivered} rounds={stats.rounds} "
+    print(f"   delivered={stats.delivered} hops={stats.rounds} "
+          f"sim_time={stats.sim_seconds * 1e3:.1f}ms "
+          f"converged={stats.converged} "
           f"dropped(no clone)={stats.dropped_no_target}")
     print(f"   customer clone still has {victim}: "
           f"{victim in customer_clone.loc_rib} "
@@ -98,7 +100,22 @@ def main() -> None:
     federated = FederatedExploration({"provider": provider, "customer": customer})
     report = federated.run("provider", "customer", rogue)
     print(f"   global findings: {len(report.global_findings)}, "
-          f"table deltas: {report.per_node_table_delta}")
+          f"table deltas: {report.per_node_table_delta}, "
+          f"converged: {report.converged}")
+
+    print("\nAnd at scenario scale (generated 8-AS federation, one call):")
+    from repro.concolic import ExplorationBudget
+    from repro.core import get_scenario
+
+    built = get_scenario("tiered-8").build(seed=7)
+    built.converge()
+    fed_report = built.federation().explore(
+        built.seed_corpus(),
+        budget=ExplorationBudget(max_executions=8),
+        workers=2,
+        stream=True,
+    )
+    print(f"   {fed_report.summary()}")
 
 
 if __name__ == "__main__":

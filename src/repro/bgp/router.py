@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.bgp.config import NeighborConfig, RouterConfig, parse_config
+from repro.bgp.config import NeighborConfig, RouterConfig, parse_config_cached
 from repro.bgp.decision import best_route, routes_equal
 from repro.bgp.fsm import Session, SessionFsm, SessionState
 from repro.bgp.messages import (
@@ -91,7 +91,7 @@ class BgpRouter(SimNode):
     def __init__(self, node_id: str, env: Environment, config: Union[RouterConfig, str]):
         super().__init__(node_id, env)
         if isinstance(config, str):
-            config = parse_config(config)
+            config = parse_config_cached(config)
         self.config = config
         self.interpreter = FilterInterpreter(config.prefix_sets)
         self.sessions: Dict[str, Session] = {

@@ -7,6 +7,10 @@ Operator-facing entry points over the library:
   leakable prefix report;
 * ``explore`` — run the concolic engine over the provider's UPDATE
   handler with explicit budgets/strategy and dump exploration stats;
+  with ``--scenario NAME`` (any registry entry except ``fig2``) the
+  exploration runs *federated* over the scenario's generated topology,
+  composing with ``--workers`` and ``--stream``;
+* ``scenarios`` — list the scenario registry with node/edge counts;
 * ``trace-gen`` — synthesize a RouteViews-style trace to a file;
 * ``trace-info`` — summarize a trace file;
 * ``check-config`` — parse and validate a router configuration file.
@@ -19,7 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.concolic import ExplorationBudget, make_strategy
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import ScenarioConfig, build_scenario, get_scenario, list_scenarios
 from repro.trace.mrt import Trace
 from repro.trace.routeviews import TraceConfig, RouteViewsGenerator
 from repro.util.errors import ConfigError, ReproError
@@ -28,7 +32,9 @@ from repro.util.errors import ConfigError, ReproError
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--filter-mode", choices=("correct", "erroneous", "missing"),
-        default="erroneous", help="provider customer-filter configuration",
+        default=None,
+        help="customer-filter configuration (default: erroneous for fig2; "
+             "generated scenarios keep their registered default)",
     )
     parser.add_argument("--prefixes", type=int, default=2_000,
                         help="synthetic table size (paper: 319355)")
@@ -41,7 +47,7 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
 def _build(args: argparse.Namespace):
     scenario = build_scenario(
         ScenarioConfig(
-            filter_mode=args.filter_mode,
+            filter_mode=args.filter_mode or "erroneous",
             prefix_count=args.prefixes,
             update_count=args.updates,
             seed=args.seed,
@@ -83,6 +89,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.scenario != "fig2":
+        return _explore_federated(args)
     scenario = _build(args)
     if args.stream:
         return _explore_stream(scenario, args)
@@ -199,6 +207,79 @@ def _explore_stream(scenario, args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore_federated(args: argparse.Namespace) -> int:
+    """Federated exploration over a registry scenario's generated topology."""
+    scenario = get_scenario(args.scenario)
+    # An explicit --filter-mode overrides the scenario's registered
+    # customer-filtering default; left unset, the CLI builds exactly
+    # what get_scenario(name).build(seed=...) builds, so a finding
+    # reproduces from (scenario, seed) alone.  --prefixes/--updates are
+    # trace knobs and do not apply to generated federations.
+    overrides = {} if args.filter_mode is None else {
+        "filter_mode": args.filter_mode
+    }
+    built = scenario.build(seed=args.seed, **overrides)
+    built.converge()
+    shape = built.graph.summary() if built.graph is not None else {}
+    print(
+        f"scenario {built.name!r}: {shape.get('nodes', len(built.routers))} ASes, "
+        f"{shape.get('edges', '?')} edges, built in "
+        f"{built.construction_seconds:.3f}s"
+    )
+    violations = built.check_invariants()
+    if violations:
+        for violation in violations:
+            print(f"  invariant violated: {violation}", file=sys.stderr)
+        return 1
+    corpus = built.seed_corpus()
+    if not corpus:
+        print("scenario declares no exploration seeds")
+        return 1
+    report = built.federation().explore(
+        corpus,
+        budget=ExplorationBudget(max_executions=args.executions),
+        workers=args.workers,
+        stream=args.stream,
+        policy=args.policy,
+        strategy=args.strategy,
+        strategy_seed=args.seed,
+    )
+    mode = "streamed" if args.stream else "batch"
+    print(f"federated exploration ({mode}, {args.workers} workers, "
+          f"{len(corpus)} seeds):")
+    for key, value in report.summary().items():
+        print(f"  {key}: {value}")
+    for node, sessions in report.per_as_sessions.items():
+        findings = {
+            key for session in sessions for key in
+            (finding.dedup_key() for finding in session.findings)
+        }
+        print(f"  AS {node}: {len(sessions)} sessions, {len(findings)} findings")
+    stats = report.stats
+    print(
+        f"  [federated] wave delivered {stats.delivered} msgs over "
+        f"{stats.rounds} hops in {stats.sim_seconds * 1e3:.1f}ms sim time"
+        f" | global findings {len(report.global_findings)}"
+        f" | converged={stats.converged}"
+    )
+    if not stats.converged:
+        print("  warning: wave hit its hop/event budget before quiescing; "
+              "post-propagation comparisons ran on a federation still in motion")
+    return 2 if (report.findings() or report.global_findings) else 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario registry with topology shapes."""
+    for scenario in list_scenarios():
+        shape = scenario.shape()
+        if shape:
+            size = f"{shape['nodes']:>3} ASes / {shape['edges']:>3} edges"
+        else:
+            size = " " * 20
+        print(f"{scenario.name:14} {size}  {scenario.description}")
+    return 0
+
+
 def cmd_trace_gen(args: argparse.Namespace) -> int:
     trace = RouteViewsGenerator(
         TraceConfig(
@@ -268,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     explore = commands.add_parser("explore", help="raw exploration statistics")
     _add_scenario_arguments(explore)
+    explore.add_argument("--scenario", default="fig2",
+                         help="registry scenario to explore (see 'repro "
+                              "scenarios'); anything but fig2 runs a "
+                              "federated exploration over the generated "
+                              "topology (--filter-mode sets its customer "
+                              "filtering; --prefixes/--updates are "
+                              "fig2-only trace knobs)")
     explore.add_argument("--executions", type=int, default=48)
     explore.add_argument("--strategy", default="generational",
                          choices=("generational", "dfs", "bfs", "random"))
@@ -284,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "incremental checkpoint shipping, continuous "
                               "harvest (prints a periodic progress line)")
     explore.set_defaults(func=cmd_explore)
+
+    scenarios = commands.add_parser(
+        "scenarios", help="list registered scenarios with topology shapes"
+    )
+    scenarios.set_defaults(func=cmd_scenarios)
 
     gen = commands.add_parser("trace-gen", help="synthesize a RouteViews-style trace")
     gen.add_argument("output", help="output file")

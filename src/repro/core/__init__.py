@@ -28,6 +28,7 @@ from repro.core.federation import (
     FabricStats,
     FederatedExploration,
     FederatedReport,
+    FederatedSeed,
     GlobalFinding,
     IsolatedFabric,
 )
@@ -51,14 +52,22 @@ from repro.core.report import Finding, FindingKind, SessionReport, Severity
 from repro.core.scenario import (
     CUSTOMER_AS,
     CUSTOMER_PREFIXES,
+    BuiltScenario,
     Fig2Scenario,
     FILTER_MODES,
     INTERNET_AS,
     PROVIDER_AS,
+    SCENARIOS,
+    Scenario,
     ScenarioConfig,
     build_scenario,
     customer_config,
+    fig2_graph,
+    get_scenario,
+    list_scenarios,
     provider_config,
+    register_scenario,
+    synthesize_hijack_corpus,
 )
 from repro.core.schedule import (
     OnlineScheduler,
@@ -73,6 +82,15 @@ __all__ = [
     "CUSTOMER_PREFIXES",
     "BOGON_PREFIXES",
     "BogonChecker",
+    "BuiltScenario",
+    "SCENARIOS",
+    "Scenario",
+    "FederatedSeed",
+    "fig2_graph",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "synthesize_hijack_corpus",
     "CrashChecker",
     "DiCE",
     "DiceEnabledRouter",

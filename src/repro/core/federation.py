@@ -12,8 +12,16 @@ This module implements that sketch on our substrates:
 * every participating node (across administrative domains) is
   checkpointed and cloned onto an isolated environment;
 * an :class:`IsolatedFabric` shuttles the messages clones generate to
-  the destination *clones* — never to live nodes — until the exploratory
-  wave quiesces or a hop budget runs out;
+  the destination *clones* — never to live nodes — over a private
+  :class:`~repro.net.sim.Simulator` event queue whose deliveries honor
+  the topology's per-edge latencies, until the exploratory wave
+  quiesces or the hop budget runs out (in which case the wave reports
+  ``converged=False`` instead of silently stopping);
+* per-AS concolic exploration is dispatched through the parallel and
+  streaming engines (:meth:`FederatedExploration.explore`), so a
+  generated federation of N ASes explores with the same worker pools,
+  shared constraint cache, and determinism guarantees as a single
+  node's batch;
 * system-wide checks then run over the clone ensemble, using only the
   privacy-preserving digests of :mod:`repro.core.privacy` for
   cross-domain comparisons.
@@ -21,38 +29,75 @@ This module implements that sketch on our substrates:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoids the runtime core <-> topology import cycle
+    from repro.topology.graph import AsGraph
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
 from repro.checkpoint.snapshot import Checkpoint
+from repro.concolic.engine import ExplorationBudget
 from repro.concolic.env import ExplorationEnvironment
 from repro.core.privacy import OriginDigest, digest_conflicts
+from repro.core.report import Finding, SessionReport
+from repro.net.sim import Simulator
 from repro.util.errors import ExplorationError, IsolationViolation
+
+#: One federated exploration seed: run ``update`` (as if from ``peer``)
+#: at the clone of ``node`` — the unit both the per-AS concolic fan-out
+#: and the fabric wave consume.
+FederatedSeed = Tuple[str, str, UpdateMessage]
 
 
 @dataclass
 class FabricStats:
-    """Message propagation counters for one exploratory wave."""
+    """Message propagation counters for one exploratory wave.
+
+    ``rounds`` is the deepest hop count any delivered message reached
+    (the event-queue analogue of the old fixed propagation rounds);
+    ``converged`` is False when the wave was cut off by the hop or
+    event budget with messages still in flight — a non-quiescent wave
+    previously indistinguishable from a converged one.
+    """
 
     delivered: int = 0
     rounds: int = 0
     dropped_no_target: int = 0
+    events: int = 0
+    suppressed_hop_budget: int = 0
+    converged: bool = True
+    sim_seconds: float = 0.0
 
 
 class IsolatedFabric:
     """Clones of many nodes plus the isolated channels between them.
 
     Construction checkpoints and clones every node.  ``inject`` runs an
-    exploratory input at one clone, then :meth:`propagate` repeatedly
-    drains each clone's captured outbound messages and delivers them to
-    the destination clone, simulating the isolated communication channels
-    of section 2.4.
+    exploratory input at one clone, then :meth:`propagate` drives the
+    captured outbound messages through a private discrete-event queue:
+    each delivery is scheduled at the sending clone's virtual time plus
+    the edge latency (taken from the scenario's :class:`AsGraph` when
+    one is supplied), delivered messages trigger their target's handler,
+    and newly captured output is scheduled in turn — the isolated
+    communication channels of section 2.4 with real timing, not
+    lock-step rounds.
     """
 
-    def __init__(self, routers: Dict[str, BgpRouter], max_rounds: int = 16):
+    def __init__(
+        self,
+        routers: Dict[str, BgpRouter],
+        max_rounds: int = 16,
+        graph: Optional["AsGraph"] = None,
+        default_latency: float = 0.001,
+        max_events: int = 100_000,
+    ):
         self.max_rounds = max_rounds
+        self.max_events = max_events
+        self.graph = graph
+        self.default_latency = default_latency
         self.checkpoints: Dict[str, Checkpoint] = {}
         self.clones: Dict[str, BgpRouter] = {}
         self.envs: Dict[str, ExplorationEnvironment] = {}
@@ -75,22 +120,57 @@ class IsolatedFabric:
             raise ExplorationError(f"no clone for node {node_id!r}")
         self.clones[node_id].handle_update(peer_id, update)
 
+    def _latency(self, a: str, b: str) -> float:
+        if self.graph is not None:
+            return self.graph.latency(a, b, self.default_latency)
+        return self.default_latency
+
+    def _schedule_outbound(self, sim: Simulator, source_id: str, hop: int) -> None:
+        """Capture ``source_id``'s fresh output as latency-delayed events."""
+        for captured in self.envs[source_id].drain_captured():
+            target_id = captured.destination
+            if target_id not in self.clones:
+                self.stats.dropped_no_target += 1
+                continue
+            if hop > self.max_rounds:
+                # Hop budget exhausted: the wave is being cut short, and
+                # that must be visible — a non-converged wave means the
+                # post-propagation digest comparison ran on a federation
+                # still in motion.
+                self.stats.suppressed_hop_budget += 1
+                self.stats.converged = False
+                continue
+            payload = captured.payload
+
+            def deliver(
+                src: str = source_id, dst: str = target_id,
+                data: bytes = payload, this_hop: int = hop,
+            ) -> None:
+                # Advance the receiving clone's virtual clock to the
+                # arrival instant so learned_at timestamps (and any
+                # time-observing handler code) see wave time flowing.
+                env = self.envs[dst]
+                lag = (self.checkpoints[dst].node_time + sim.now) - env.now()
+                if lag > 0:
+                    env.advance(lag)
+                self.clones[dst].on_message(src, data)
+                self.stats.delivered += 1
+                self.stats.rounds = max(self.stats.rounds, this_hop)
+                self._schedule_outbound(sim, dst, this_hop + 1)
+
+            sim.schedule(self._latency(source_id, target_id), deliver)
+
     def propagate(self) -> FabricStats:
-        """Shuttle captured messages between clones until quiescence."""
-        for round_index in range(self.max_rounds):
-            moved = 0
-            for source_id, env in self.envs.items():
-                for captured in env.drain_captured():
-                    target = self.clones.get(captured.destination)
-                    if target is None:
-                        self.stats.dropped_no_target += 1
-                        continue
-                    target.on_message(source_id, captured.payload)
-                    moved += 1
-            self.stats.delivered += moved
-            self.stats.rounds = round_index + 1
-            if moved == 0:
-                break
+        """Drive captured messages through the event queue to quiescence."""
+        sim = Simulator()
+        for source_id in self.envs:
+            self._schedule_outbound(sim, source_id, hop=1)
+        executed = sim.run(max_events=self.max_events)
+        self.stats.events += executed
+        self.stats.sim_seconds += sim.now  # accumulate like delivered/events
+        if not sim.idle():
+            self.stats.converged = False
+        self.stats.rounds = max(self.stats.rounds, 1)
         return self.stats
 
     def clone_of(self, node_id: str) -> BgpRouter:
@@ -116,26 +196,116 @@ class GlobalFinding:
 
 @dataclass
 class FederatedReport:
-    """Outcome of one federated exploratory wave."""
+    """Outcome of one federated exploratory wave.
+
+    The first three fields keep the original wave-report shape; the
+    rest carry the per-AS concolic sessions when the wave was driven by
+    :meth:`FederatedExploration.explore` through the parallel/streaming
+    engines.
+    """
 
     stats: FabricStats
     global_findings: List[GlobalFinding] = field(default_factory=list)
     per_node_table_delta: Dict[str, int] = field(default_factory=dict)
+    sessions: List[SessionReport] = field(default_factory=list)
+    per_as_sessions: Dict[str, List[SessionReport]] = field(default_factory=dict)
+    workers: int = 1
+    streamed: bool = False
+    used_processes: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def converged(self) -> bool:
+        return self.stats.converged
+
+    def findings(self) -> List[Finding]:
+        """Unique findings across every exploration session.
+
+        Deduplication is scoped *per AS*: ``Finding.dedup_key`` carries
+        no node identity, and the same fault surfacing in two
+        administrative domains (two tier-2s accepting the same hijack
+        from a shared customer) is two faults — each domain's operator
+        has to fix their own import policy.
+        """
+        seen: Dict[tuple, Finding] = {}
+        for node, reports in self._sessions_by_node():
+            for report in reports:
+                for finding in report.findings:
+                    seen.setdefault((node, finding.dedup_key()), finding)
+        return list(seen.values())
+
+    def finding_keys(self) -> List[tuple]:
+        """Order-independent identity of the finding set (for parity tests)."""
+        return sorted({
+            (node, finding.dedup_key())
+            for node, reports in self._sessions_by_node()
+            for report in reports
+            for finding in report.findings
+        })
+
+    def _sessions_by_node(self):
+        if self.per_as_sessions:
+            return list(self.per_as_sessions.items())
+        # Single-wave reports (run()) carry no per-AS sessions; treat the
+        # flat list as one scope.
+        return [("", self.sessions)] if self.sessions else []
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "ases_explored": len(self.per_as_sessions),
+            "sessions": len(self.sessions),
+            "findings": len(self.findings()),
+            "global_findings": len(self.global_findings),
+            "workers": self.workers,
+            "streamed": self.streamed,
+            "used_processes": self.used_processes,
+            "delivered": self.stats.delivered,
+            "converged": self.stats.converged,
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
 
 
 class FederatedExploration:
-    """One cross-network exploratory wave plus system-wide checking.
+    """Cross-network exploratory waves plus system-wide checking.
 
-    The check implemented is the federation-wide version of the origin
-    check: after the wave, every pair of domains compares *origin
-    digests* (salted hashes; see :mod:`repro.core.privacy`) and any
-    prefix on which two domains' views disagree about the origin AS is
-    reported — without either domain revealing its table or config.
+    Two entry points:
+
+    * :meth:`run` — the original single-injection wave: one exploratory
+      UPDATE at one clone, propagation, digest comparison;
+    * :meth:`explore` — the scenario-scale version: a whole seed corpus
+      is first explored concolically *per AS* through
+      :class:`~repro.parallel.ParallelExplorer` (one shared worker pool
+      and constraint cache across all ASes) or per-AS
+      :class:`~repro.parallel.stream.StreamingExplorer` pipelines, then
+      every seed is injected into one fabric for the system-wide wave
+      and digest check.
+
+    The cross-domain check is the federation-wide origin check: domains
+    compare *origin digests* (salted hashes; see
+    :mod:`repro.core.privacy`) and any prefix on which two domains'
+    views disagree about the origin AS is reported — without either
+    domain revealing its table or config.
     """
 
-    def __init__(self, routers: Dict[str, BgpRouter], salt: bytes = b"dice-federation"):
+    def __init__(
+        self,
+        routers: Dict[str, BgpRouter],
+        salt: bytes = b"dice-federation",
+        graph: Optional["AsGraph"] = None,
+        default_latency: float = 0.001,
+    ):
         self.routers = routers
         self.salt = salt
+        self.graph = graph
+        self.default_latency = default_latency
+
+    def _fabric(self, max_rounds: int) -> IsolatedFabric:
+        return IsolatedFabric(
+            self.routers,
+            max_rounds=max_rounds,
+            graph=self.graph,
+            default_latency=self.default_latency,
+        )
 
     def run(
         self,
@@ -144,14 +314,133 @@ class FederatedExploration:
         update: UpdateMessage,
         max_rounds: int = 16,
     ) -> FederatedReport:
-        fabric = IsolatedFabric(self.routers, max_rounds=max_rounds)
+        started = time.perf_counter()
+        fabric = self._fabric(max_rounds)
+        report = self._wave(fabric, [(inject_at, peer_id, update)])
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def explore(
+        self,
+        seeds: Sequence[FederatedSeed],
+        budget: Optional[ExplorationBudget] = None,
+        workers: int = 1,
+        stream: bool = False,
+        policy: str = "selective",
+        strategy: str = "generational",
+        strategy_seed: int = 0,
+        max_rounds: int = 16,
+        force_serial: bool = False,
+    ) -> FederatedReport:
+        """Explore a federated seed corpus, then run the system-wide wave.
+
+        Per-AS exploration goes through the parallel machinery — a
+        single :meth:`~repro.parallel.ParallelExplorer.explore_nodes`
+        fan-out (all ASes' jobs in one pool) or, with ``stream=True``,
+        one streaming pipeline per AS fed in corpus order.  Both assign
+        the same per-AS job indices, so for a fixed corpus the finding
+        set is identical across serial, batch, and streamed runs with
+        any worker count.
+        """
+        if not seeds:
+            raise ExplorationError("federated exploration needs a seed corpus")
+        unknown = sorted({node for node, _, _ in seeds} - set(self.routers))
+        if unknown:
+            raise ExplorationError(f"seeds reference unknown nodes: {unknown}")
+        started = time.perf_counter()
+        by_node: Dict[str, List[Tuple[str, UpdateMessage]]] = {}
+        for node, peer, update in seeds:
+            by_node.setdefault(node, []).append((peer, update))
+
+        if stream:
+            per_as, used_processes = self._explore_streamed(
+                by_node, budget, workers, policy, strategy, strategy_seed,
+                force_serial,
+            )
+        else:
+            per_as, used_processes = self._explore_batched(
+                by_node, budget, workers, policy, strategy, strategy_seed,
+                force_serial,
+            )
+
+        fabric = self._fabric(max_rounds)
+        report = self._wave(fabric, seeds)
+        report.per_as_sessions = per_as
+        report.sessions = [r for reports in per_as.values() for r in reports]
+        report.workers = workers
+        report.streamed = stream
+        report.used_processes = used_processes
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _explore_batched(
+        self, by_node, budget, workers, policy, strategy, strategy_seed,
+        force_serial,
+    ) -> Tuple[Dict[str, List[SessionReport]], bool]:
+        from repro.parallel.explorer import ParallelExplorer
+
+        explorer = ParallelExplorer(
+            workers=workers,
+            policy=policy,
+            strategy=strategy,
+            strategy_seed=strategy_seed,
+            force_serial=force_serial,
+        )
+        batches = explorer.explore_nodes(
+            [(node, self.routers[node], node_seeds)
+             for node, node_seeds in by_node.items()],
+            budget=budget,
+        )
+        per_as = {node: list(batch.reports) for node, batch in batches.items()}
+        used = any(batch.used_processes for batch in batches.values())
+        return per_as, used
+
+    def _explore_streamed(
+        self, by_node, budget, workers, policy, strategy, strategy_seed,
+        force_serial,
+    ) -> Tuple[Dict[str, List[SessionReport]], bool]:
+        from repro.parallel.stream import StreamingExplorer
+
+        per_as: Dict[str, List[SessionReport]] = {}
+        used_processes = False
+        for node, node_seeds in by_node.items():
+            pipeline = StreamingExplorer(
+                workers=workers,
+                policy=policy,
+                strategy=strategy,
+                strategy_seed=strategy_seed,
+                budget=budget,
+                queue_capacity=max(len(node_seeds), 1),
+                force_serial=force_serial,
+                # Dispatch in arrival order: coverage-guided reordering is
+                # profitable for open-ended streams, but a federated
+                # corpus is finite and parity with the batch engine's
+                # per-index sessions is what matters here.
+                coverage_guided=False,
+            )
+            pipeline.start(self.routers[node])
+            try:
+                for peer, update in node_seeds:
+                    pipeline.submit(peer, update)
+            finally:
+                # close() drains by default, so the report is complete
+                # even when a submit raises mid-corpus.
+                stream_report = pipeline.close()
+            per_as[node] = stream_report.reports_in_index_order()
+            used_processes = used_processes or stream_report.used_processes
+        return per_as, used_processes
+
+    def _wave(
+        self, fabric: IsolatedFabric, seeds: Sequence[FederatedSeed]
+    ) -> FederatedReport:
         baseline_sizes = {
             node_id: clone.table_size() for node_id, clone in fabric.clones.items()
         }
-        fabric.inject(inject_at, peer_id, update)
-        # Check twice: right after the injection (the inconsistency window
-        # the exploratory action opens) and again after the wave quiesces
-        # (standing disagreements that propagation does not resolve).
+        for node, peer, update in seeds:
+            fabric.inject(node, peer, update)
+        # Check twice: right after the injections (the inconsistency
+        # window the exploratory actions open) and again after the wave
+        # quiesces (standing disagreements propagation does not resolve).
         findings = self._compare_digests(fabric, stage="pre-propagation")
         stats = fabric.propagate()
         post = self._compare_digests(fabric, stage="post-propagation")

@@ -1,36 +1,60 @@
-"""The paper's experimental setup (Figure 2): Customer — Provider — Internet.
+"""Scenarios: declared testbeds, from Figure 2 to generated federations.
 
-Builds the 3-router topology of the evaluation: a DiCE-enabled Provider
-router peering with a Customer AS over a customer-provider link and with
-the "rest of the Internet", which replays a (synthetic) RouteViews trace
-into it.  The provider applies customer route filtering — "a best common
-practice currently adopted by several large ISPs to defend against BGP
-prefix hijacking" — in one of three configurations:
+The original prototype hardcoded one experimental setup — the paper's
+Figure 2 Customer—Provider—Internet triangle.  This module keeps that
+scenario (API-compatible, now rendered from an AS graph instead of
+hand-written config strings) and generalizes it into a **registry of
+named scenarios**: each :class:`Scenario` declares how to build a
+federation (routers, links, policies), what seed corpus to explore, and
+which invariants should hold, so a new workload is one registration
+line rather than a bespoke module.
 
-* ``correct``  — the filter accepts exactly the customer's prefix set;
-* ``missing``  — no filtering at all (PCCW's mistake in the YouTube
-  incident: "fails to filter customer routes");
-* ``erroneous`` — the filter exists but has a hole ("has erroneous
-  filters"): an over-broad disjunct accepts foreign prefixes of common
-  lengths.
+Registered out of the box:
 
-The scenario wires everything, converges the network, and hands back the
-pieces every experiment needs (routers, DiCE controller, replayer).
+* ``fig1`` — the minimal provider/customer pair with an erroneous
+  customer filter (the smallest federation that exercises branch
+  exploration);
+* ``fig2`` — the paper's evaluation testbed, trace replay included;
+* ``line-3`` / ``ring-4`` / ``star-6`` / ``clique-4`` / ``tiered-8`` —
+  generated topologies from :mod:`repro.topology.generators`;
+* ``routeviews-3`` — a line federation whose seed corpus is derived
+  from a synthetic RouteViews update stream.
+
+``repro scenarios`` lists the registry; ``repro explore --scenario
+NAME`` builds one and runs a federated exploration over it.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.bgp.rib import RouteSource
 from repro.bgp.router import BgpRouter
 from repro.core.dice import DiCE, DiceEnabledRouter
+from repro.core.federation import FederatedSeed
 from repro.net.node import NodeHost
+from repro.topology.graph import (
+    FILTER_MODES,
+    AsGraph,
+    build_routers,
+    render_config,
+)
+from repro.topology import generators
 from repro.trace.mrt import Trace
 from repro.trace.replay import TraceReplayer
-from repro.trace.routeviews import TraceConfig, RouteViewsGenerator
+from repro.trace.routeviews import (
+    RouteViewsGenerator,
+    TraceConfig,
+    seed_updates_from_trace,
+)
 from repro.util.errors import ConfigError
-from repro.util.ip import Prefix
+from repro.util.ip import Prefix, ip_to_int
+from repro.util.rng import derive_rng
 
 PROVIDER_AS = 65010
 CUSTOMER_AS = 65020
@@ -39,78 +63,100 @@ INTERNET_AS = 64999
 #: The customer's legitimate address space (what a correct filter allows).
 CUSTOMER_PREFIXES = ("10.10.0.0/16", "10.20.0.0/16")
 
-FILTER_MODES = ("correct", "missing", "erroneous")
+#: Default seed for registry builds (the paper's trace date).
+DEFAULT_SCENARIO_SEED = 2010_04_01
 
 
-def provider_config(filter_mode: str = "correct") -> str:
-    """The Provider's configuration text for a given filter mode."""
+# ---------------------------------------------------------------------------
+# The Figure 2 testbed as an AS graph.
+# ---------------------------------------------------------------------------
+
+
+def _fig2_customer_filter(filter_mode: str) -> str:
+    """The provider's hand-tuned customer filter for a given mode."""
     if filter_mode not in FILTER_MODES:
         raise ConfigError(f"unknown filter mode {filter_mode!r}; use {FILTER_MODES}")
     if filter_mode == "correct":
-        customer_filter = """
+        return """
 filter customer-in {
     if net in CUSTOMERS then accept;
     reject;
 }
 """
-    elif filter_mode == "missing":
+    if filter_mode == "missing":
         # No validation at all: every customer announcement is accepted.
-        customer_filter = """
+        return """
 filter customer-in {
     accept;
 }
 """
-    else:  # erroneous
-        # A partially correct filter: the intended prefix-set term is
-        # there, but a sloppy extra disjunct ("anything reasonably sized
-        # is fine") opens the hole DiCE should find.
-        customer_filter = """
+    # erroneous: a partially correct filter — the intended prefix-set term
+    # is there, but a sloppy extra disjunct ("anything reasonably sized is
+    # fine") opens the hole DiCE should find.
+    return """
 filter customer-in {
     if net in CUSTOMERS or (net.len >= 16 and net.len <= 24) then accept;
     reject;
 }
 """
-    return f"""
-router bgp {PROVIDER_AS};
-router-id 10.0.0.1;
-network 203.0.113.0/24;
 
+
+def fig2_graph(filter_mode: str = "erroneous") -> AsGraph:
+    """The paper's Figure 2 topology declared as an :class:`AsGraph`.
+
+    The provider's customer filter stays the hand-tuned text of the
+    evaluation (spliced in via ``extra_config`` + explicit edge filter
+    names), so the rendered configuration is behaviorally identical to
+    the historical hand-written one while the topology itself — nodes,
+    edges, sessions, latencies — comes from the graph like every other
+    scenario's.
+    """
+    graph = AsGraph("fig2")
+    graph.add_as(
+        "provider",
+        asn=PROVIDER_AS,
+        role="transit",
+        networks=(Prefix.parse("203.0.113.0/24"),),
+        router_id=ip_to_int("10.0.0.1"),
+        filter_mode=filter_mode,
+        extra_config=f"""
 prefix-set CUSTOMERS {{
     {CUSTOMER_PREFIXES[0]} le 24;
     {CUSTOMER_PREFIXES[1]} le 24;
 }}
+{_fig2_customer_filter(filter_mode)}
+""",
+    )
+    graph.add_as(
+        "customer",
+        asn=CUSTOMER_AS,
+        role="stub",
+        networks=(Prefix.parse("10.10.1.0/24"), Prefix.parse("10.20.5.0/24")),
+        router_id=ip_to_int("10.0.0.2"),
+    )
+    graph.add_as("internet", asn=INTERNET_AS, role="internet")
+    graph.transit(
+        "provider", "customer",
+        a_import="customer-in", a_export="accept-all",
+        b_import="accept-all", b_export="accept-all",
+        passive="customer",
+    )
+    graph.peer(
+        "provider", "internet",
+        a_import="accept-all", a_export="accept-all",
+        b_import="accept-all", b_export="accept-all",
+        passive="provider",
+    )
+    return graph
 
-{customer_filter}
 
-neighbor customer {{
-    remote-as {CUSTOMER_AS};
-    import filter customer-in;
-    export filter accept-all;
-}}
-
-neighbor internet {{
-    remote-as {INTERNET_AS};
-    passive;
-    import filter accept-all;
-    export filter accept-all;
-}}
-"""
+def provider_config(filter_mode: str = "correct") -> str:
+    """The Provider's configuration text, rendered from the Fig. 2 graph."""
+    return render_config(fig2_graph(filter_mode), "provider")
 
 
 def customer_config() -> str:
-    return f"""
-router bgp {CUSTOMER_AS};
-router-id 10.0.0.2;
-network 10.10.1.0/24;
-network 10.20.5.0/24;
-
-neighbor provider {{
-    remote-as {PROVIDER_AS};
-    passive;
-    import filter accept-all;
-    export filter accept-all;
-}}
-"""
+    return render_config(fig2_graph(), "customer")
 
 
 @dataclass
@@ -127,17 +173,32 @@ class ScenarioConfig:
     dice_policy: str = "selective"
 
 
-@dataclass
-class Fig2Scenario:
-    """The built testbed: hosts, routers, replayer, and DiCE."""
+# ---------------------------------------------------------------------------
+# Built scenarios: what every layer consumes.
+# ---------------------------------------------------------------------------
 
-    config: ScenarioConfig
-    host: NodeHost
-    provider: DiceEnabledRouter
-    customer: BgpRouter
-    replayer: TraceReplayer
-    trace: Trace
-    dice: DiCE
+
+@dataclass
+class BuiltScenario:
+    """A materialized scenario: hosts, routers, corpus, invariants.
+
+    The uniform handle every layer consumes — the CLI, the federated
+    explorer, the benchmarks.  ``graph`` is present for generated
+    federations (and Figure 2); ``dice`` for scenarios with a designated
+    DiCE-enabled node.
+    """
+
+    name: str
+    host: Optional[NodeHost] = None
+    routers: Dict[str, BgpRouter] = field(default_factory=dict)
+    graph: Optional[AsGraph] = None
+    dice: Optional[DiCE] = None
+    build_seed: int = DEFAULT_SCENARIO_SEED
+    construction_seconds: float = 0.0
+    corpus_factory: Optional[Callable[["BuiltScenario"], List[FederatedSeed]]] = field(
+        default=None, repr=False
+    )
+    _corpus: Optional[List[FederatedSeed]] = field(default=None, repr=False)
 
     def converge(self, run_until: Optional[float] = None) -> None:
         """Run the event loop until the network quiesces (or a deadline)."""
@@ -146,6 +207,83 @@ class Fig2Scenario:
         else:
             self.host.run_until(run_until)
 
+    def seed_corpus(self) -> List[FederatedSeed]:
+        """The exploration seeds this scenario declares (computed once).
+
+        Generated federations synthesize a deterministic hijack corpus
+        from their graph; trace-derived scenarios install their own
+        ``corpus_factory``; Figure 2 uses the inputs DiCE observed
+        during convergence.
+        """
+        if self._corpus is None:
+            if self.corpus_factory is not None:
+                self._corpus = self.corpus_factory(self)
+            elif self.dice is not None:
+                # A DiCE-enabled scenario explores what it observed live,
+                # not synthetic seeds — observation *is* its corpus.
+                node = self.dice.router.node_id
+                self._corpus = [
+                    (node, peer, update) for peer, update in self.dice.observed
+                ]
+            elif self.graph is not None:
+                self._corpus = synthesize_hijack_corpus(self.graph, self.build_seed)
+            else:
+                self._corpus = []
+        return list(self._corpus)
+
+    def federation(self, salt: bytes = b"dice-federation"):
+        """A :class:`FederatedExploration` over this scenario's routers."""
+        from repro.core.federation import FederatedExploration
+
+        return FederatedExploration(
+            dict(self.routers), salt=salt, graph=self.graph
+        )
+
+    def check_invariants(self) -> List[str]:
+        """Expected-state violations (empty when the scenario is healthy).
+
+        The baseline invariants every scenario asserts after
+        convergence: each AS still locally originates its declared
+        networks, and every declared edge has an established session on
+        both sides.  Exploration never mutates live routers, so these
+        must hold before *and after* any number of federated waves.
+        """
+        violations: List[str] = []
+        if self.graph is None:
+            return violations
+        for name, node in self.graph.nodes.items():
+            router = self.routers.get(name)
+            if router is None:
+                continue
+            for prefix in node.networks:
+                route = router.loc_rib.get(prefix)
+                if route is None:
+                    violations.append(f"{name}: own prefix {prefix} missing from Loc-RIB")
+                elif route.source != RouteSource.STATIC:
+                    violations.append(
+                        f"{name}: own prefix {prefix} no longer locally originated"
+                    )
+        for edge in self.graph.edges:
+            for side, other in ((edge.a, edge.b), (edge.b, edge.a)):
+                router = self.routers.get(side)
+                if router is None:
+                    continue
+                session = router.sessions.get(other)
+                if session is None or not session.established:
+                    violations.append(f"{side}: session to {other} not established")
+        return violations
+
+
+@dataclass
+class Fig2Scenario(BuiltScenario):
+    """The built Figure 2 testbed: hosts, routers, replayer, and DiCE."""
+
+    config: Optional[ScenarioConfig] = None
+    provider: Optional[DiceEnabledRouter] = None
+    customer: Optional[BgpRouter] = None
+    replayer: Optional[TraceReplayer] = None
+    trace: Optional[Trace] = None
+
     @property
     def provider_table_size(self) -> int:
         return self.provider.table_size()
@@ -153,7 +291,9 @@ class Fig2Scenario:
 
 def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
     """Construct (but do not run) the Figure 2 testbed."""
+    started = time.perf_counter()
     config = config or ScenarioConfig()
+    graph = fig2_graph(config.filter_mode)
     trace = RouteViewsGenerator(
         TraceConfig(
             prefix_count=config.prefix_count,
@@ -166,10 +306,11 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
     host = NodeHost(seed=config.seed)
     provider = host.add_node(
         "provider",
-        lambda nid, env: DiceEnabledRouter(nid, env, provider_config(config.filter_mode)),
+        lambda nid, env: DiceEnabledRouter(nid, env, render_config(graph, "provider")),
     )
     customer = host.add_node(
-        "customer", lambda nid, env: BgpRouter(nid, env, customer_config())
+        "customer",
+        lambda nid, env: BgpRouter(nid, env, render_config(graph, "customer")),
     )
     replayer = host.add_node(
         "internet",
@@ -184,8 +325,8 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
             compression=config.replay_compression,
         ),
     )
-    host.add_link("provider", "customer", latency=0.001)
-    host.add_link("provider", "internet", latency=0.001)
+    host.add_link("provider", "customer", latency=graph.latency("provider", "customer"))
+    host.add_link("provider", "internet", latency=graph.latency("provider", "internet"))
 
     dice = DiCE(
         provider,
@@ -194,11 +335,280 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
     )
     host.start()
     return Fig2Scenario(
-        config=config,
+        name="fig2",
         host=host,
+        routers={"provider": provider, "customer": customer},  # type: ignore[dict-item]
+        graph=graph,
+        dice=dice,
+        build_seed=config.seed,
+        construction_seconds=time.perf_counter() - started,
+        corpus_factory=_fig2_corpus,
+        config=config,
         provider=provider,  # type: ignore[arg-type]
         customer=customer,
         replayer=replayer,
         trace=trace,
-        dice=dice,
     )
+
+
+# ---------------------------------------------------------------------------
+# Seed corpus synthesis.
+# ---------------------------------------------------------------------------
+
+
+def synthesize_hijack_corpus(
+    graph: AsGraph, seed: int = DEFAULT_SCENARIO_SEED, per_as: int = 1
+) -> List[FederatedSeed]:
+    """A deterministic route-leak corpus over a generated federation.
+
+    For each AS, craft an exploratory announcement arriving from one of
+    its neighbors (customers preferred — the paper's leak study shape)
+    that claims some other AS's installed prefix with the injecting
+    neighbor as origin: the exact-prefix hijack every mis-filtered
+    import would accept.  Announcing an *installed* prefix is what makes
+    the wave observable end to end — the target's clone overrides its
+    origin while other clones still hold the truth, so the salted origin
+    digests disagree until (and unless) propagation reconciles them.
+    Pure function of (graph, seed).
+    """
+    rng = derive_rng(seed, "hijack-corpus", graph.name)
+    corpus: List[FederatedSeed] = []
+    for name in graph.nodes:
+        neighbors = graph.neighbors(name)
+        if not neighbors:
+            continue
+        customers = [peer for peer, rel, _ in neighbors if rel == "customer"]
+        pool = customers or [peer for peer, _, _ in neighbors]
+        for _ in range(per_as):
+            injector = rng.choice(pool)
+            cone = set(graph.customer_cone(injector))
+            victims = [
+                node for node in graph.nodes.values()
+                if node.name not in (name, injector)
+                and node.networks
+                and node.networks[0] not in cone
+            ]
+            if not victims:
+                # Tiny federations (fig1's pair) have no third party; the
+                # injector claiming the *target's own* space is still a
+                # baseline-overriding announcement the checkers must flag.
+                victims = [graph.nodes[name]] if graph.nodes[name].networks else []
+            if not victims:
+                continue
+            victim = rng.choice(victims)
+            hijacked = victim.networks[0]
+            corpus.append(
+                (
+                    name,
+                    injector,
+                    UpdateMessage(
+                        attributes=PathAttributes(
+                            as_path=AsPath.sequence([graph.nodes[injector].asn]),
+                            next_hop=graph.nodes[injector].router_id,
+                        ),
+                        nlri=[NlriEntry.from_prefix(hijacked)],
+                    ),
+                )
+            )
+    return corpus
+
+
+def _fig2_corpus(built: BuiltScenario) -> List[FederatedSeed]:
+    """Figure 2's corpus: the customer announcements DiCE observed.
+
+    The internet side's trace replay is also observed, but the paper's
+    leak study explores customer input — that peer filter is fig2
+    policy, so it lives here rather than in the generic corpus path.
+    """
+    node = built.dice.router.node_id
+    return [
+        (node, peer, update)
+        for peer, update in built.dice.observed
+        if peer == "customer"
+    ]
+
+
+def _trace_corpus(count: int = 6):
+    """A corpus factory deriving seeds from a synthetic RouteViews stream."""
+
+    def factory(built: BuiltScenario) -> List[FederatedSeed]:
+        trace = RouteViewsGenerator(
+            TraceConfig(
+                prefix_count=64,
+                update_count=count * 4,
+                duration=60.0,
+                seed=built.build_seed,
+            )
+        ).generate()
+        # Inject at a node with at least two neighbors (the middle of a
+        # chain): accepted announcements then re-export across the
+        # fabric, so the wave actually exercises clone-to-clone channels.
+        names = list(built.graph.nodes)
+        target = next(
+            (n for n in names if len(built.graph.neighbors(n)) >= 2), names[0]
+        )
+        customers = built.graph.customers_of(target)
+        injector = customers[0] if customers else built.graph.neighbors(target)[0][0]
+        return [
+            (target, injector, update)
+            for update in seed_updates_from_trace(trace, count)
+        ]
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declaratively built testbed.
+
+    ``builder(seed=..., **overrides)`` materializes a
+    :class:`BuiltScenario`; ``graph_factory`` (when present) exposes the
+    topology cheaply for listings and property tests without paying for
+    router construction.
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., BuiltScenario]
+    graph_factory: Optional[Callable[[int], AsGraph]] = None
+    kind: str = "topology"
+
+    def build(
+        self, seed: int = DEFAULT_SCENARIO_SEED, **overrides
+    ) -> BuiltScenario:
+        return self.builder(seed=seed, **overrides)
+
+    def graph(self, seed: int = DEFAULT_SCENARIO_SEED) -> Optional[AsGraph]:
+        return self.graph_factory(seed) if self.graph_factory is not None else None
+
+    def shape(self, seed: int = DEFAULT_SCENARIO_SEED) -> Dict[str, int]:
+        graph = self.graph(seed)
+        return graph.summary() if graph is not None else {}
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    if scenario.name in SCENARIOS and not replace:
+        raise ConfigError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered: {', '.join(sorted(SCENARIOS))}"
+        )
+    return scenario
+
+
+def list_scenarios() -> List[Scenario]:
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+def _graph_scenario(
+    name: str,
+    description: str,
+    graph_factory: Callable[[int], AsGraph],
+    corpus_factory: Optional[Callable[[BuiltScenario], List[FederatedSeed]]] = None,
+) -> Scenario:
+    def builder(seed: int = DEFAULT_SCENARIO_SEED, **overrides) -> BuiltScenario:
+        started = time.perf_counter()
+        graph = graph_factory(seed, **overrides) if overrides else graph_factory(seed)
+        host, routers = build_routers(graph, seed=seed)
+        return BuiltScenario(
+            name=name,
+            host=host,
+            routers=routers,
+            graph=graph,
+            build_seed=seed,
+            construction_seconds=time.perf_counter() - started,
+            corpus_factory=corpus_factory,
+        )
+
+    return register_scenario(
+        Scenario(name, description, builder, graph_factory=graph_factory)
+    )
+
+
+def _fig2_builder(seed: int = DEFAULT_SCENARIO_SEED, **overrides) -> Fig2Scenario:
+    return build_scenario(ScenarioConfig(seed=seed, **overrides))
+
+
+register_scenario(
+    Scenario(
+        "fig2",
+        "the paper's evaluation testbed: provider with an erroneous customer "
+        "filter, trace-replaying internet, DiCE attached",
+        _fig2_builder,
+        graph_factory=lambda seed: fig2_graph("erroneous"),
+        kind="paper",
+    )
+)
+
+_graph_scenario(
+    "fig1",
+    "minimal provider+customer pair with an erroneous customer filter — "
+    "the smallest federation exercising branch exploration",
+    lambda seed, filter_mode="erroneous": generators.line(
+        2, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "line-3",
+    "three-AS transit chain (tier1 > tier2 > stub), unfiltered customers",
+    lambda seed, filter_mode="missing": generators.line(
+        3, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "ring-4",
+    "four settlement-free peers in a cycle; no transit hierarchy",
+    lambda seed, filter_mode="missing": generators.ring(
+        4, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "star-6",
+    "one transit hub with five stub customers (a small ISP)",
+    lambda seed, filter_mode="missing": generators.star(
+        6, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "clique-4",
+    "full-mesh peering among four ASes (an IXP-style fabric)",
+    lambda seed, filter_mode="missing": generators.clique(
+        4, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "tiered-8",
+    "textbook hierarchy: 2 tier-1s (clique), 3 multihomed tier-2s, 3 stubs",
+    lambda seed, filter_mode="missing": generators.tiered(
+        2, 3, 3, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "routeviews-3",
+    "line-3 federation with a seed corpus derived from a synthetic "
+    "RouteViews update stream (trace-shaped attributes)",
+    lambda seed, filter_mode="missing": generators.line(
+        3, seed=seed, filter_mode=filter_mode
+    ),
+    corpus_factory=_trace_corpus(),
+)

@@ -306,6 +306,64 @@ class ParallelExplorer:
             checkpoint_pages=checkpoint.page_count,
         )
 
+    def explore_nodes(
+        self,
+        node_batches: Sequence[Tuple[str, BgpRouter, Sequence[Seed]]],
+        budget: Optional[ExplorationBudget] = None,
+    ) -> Dict[str, BatchReport]:
+        """One batch spanning many routers: the federated fan-out.
+
+        Each ``(node_id, router, seeds)`` entry is checkpointed once and
+        contributes one job per seed; all jobs then share a single
+        executor and constraint cache, so an 8-AS federation pays one
+        pool start-up instead of eight.  Job indices are assigned *per
+        node* (position within that node's seed list) — exactly what a
+        per-node :meth:`explore_batch` would assign and what a per-node
+        :class:`~repro.parallel.stream.StreamingExplorer` assigns as
+        arrival indices — which is what keeps serial, batch, and
+        streamed federated runs finding-set identical.
+
+        Returns one :class:`BatchReport` per node, in input order.
+        """
+        started = time.perf_counter()
+        checkpoints: Dict[str, Checkpoint] = {}
+        checkpoint_seconds = 0.0
+        for node_id, router, _ in node_batches:
+            capture_started = time.perf_counter()
+            checkpoints[node_id] = Checkpoint.capture(router, f"fed-{node_id}")
+            checkpoint_seconds += time.perf_counter() - capture_started
+
+        multiprocess = self.workers > 1 and not self.force_serial
+        spans: List[Tuple[str, int, int]] = []  # node, start, stop in `jobs`
+        with _batch_cache(self.constraint_cache, multiprocess) as cache:
+            jobs: List[SessionJob] = []
+            for node_id, _, seeds in node_batches:
+                node_jobs = self.build_jobs(
+                    checkpoints[node_id], seeds, budget=budget, cache=cache
+                )
+                spans.append((node_id, len(jobs), len(jobs) + len(node_jobs)))
+                jobs.extend(node_jobs)
+            reports, used_processes, fallback_reason = _run_jobs(
+                jobs, run_session_job, self.workers, self.force_serial
+            )
+        wall = time.perf_counter() - started
+        batches: Dict[str, BatchReport] = {}
+        for node_id, start, stop in spans:
+            batches[node_id] = BatchReport(
+                reports=list(reports[start:stop]),
+                workers=self.workers,
+                used_processes=used_processes,
+                fallback_reason=fallback_reason,
+                # Shared-pool provenance: the per-node wall clock and
+                # checkpoint time are the whole fan-out's (sessions
+                # interleave across nodes; captures were summed above) —
+                # do not add these across the returned reports.
+                wall_seconds=wall,
+                checkpoint_seconds=checkpoint_seconds,
+                checkpoint_pages=checkpoints[node_id].page_count,
+            )
+        return batches
+
 
 @dataclass
 class EngineBatchRun:

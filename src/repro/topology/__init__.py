@@ -1,0 +1,48 @@
+"""Declarative AS-level topologies: graphs, generators, materialization.
+
+The federation substrate: an :class:`AsGraph` declares ASes and their
+business relationships, :mod:`repro.topology.generators` builds standard
+shapes deterministically from a seed, and :func:`build_routers` turns a
+graph into live :class:`~repro.bgp.router.BgpRouter` instances with
+Gao–Rexford policies synthesized from the edge relationships.
+"""
+
+from repro.topology.graph import (
+    FILTER_MODES,
+    LOCAL_PREF,
+    PEER,
+    TAG,
+    TRANSIT,
+    AsEdge,
+    AsGraph,
+    AsNode,
+    build_routers,
+    render_config,
+)
+from repro.topology.generators import (
+    GENERATORS,
+    clique,
+    line,
+    ring,
+    star,
+    tiered,
+)
+
+__all__ = [
+    "AsEdge",
+    "AsGraph",
+    "AsNode",
+    "FILTER_MODES",
+    "GENERATORS",
+    "LOCAL_PREF",
+    "PEER",
+    "TAG",
+    "TRANSIT",
+    "build_routers",
+    "clique",
+    "line",
+    "render_config",
+    "ring",
+    "star",
+    "tiered",
+]

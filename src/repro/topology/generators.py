@@ -1,0 +1,174 @@
+"""Deterministic AS-topology generators.
+
+Each generator builds an :class:`~repro.topology.graph.AsGraph` that is a
+pure function of its arguments (sizes + ``seed``): the same call yields
+the same ASNs, prefixes, edges, and latencies, which is what makes
+generated federations usable as *scenarios* — a finding reproduces from
+the generator name and seed alone, exactly like a trace reproduces from
+:class:`~repro.trace.routeviews.TraceConfig`.
+
+Shapes:
+
+* :func:`line` — a transit chain (AS0 ⊃ AS1 ⊃ ... ⊃ ASn-1); the minimal
+  provider/customer hierarchy;
+* :func:`ring` — a cycle of settlement-free peers; no hierarchy at all;
+* :func:`star` — one transit hub with stub customers (a small ISP);
+* :func:`clique` — full-mesh peering (an IXP-style fabric);
+* :func:`tiered` — the textbook Internet: a tier-1 clique, tier-2
+  regionals multihomed to it, stubs multihomed to the regionals, with
+  lateral tier-2 peering.
+
+All generators register in :data:`GENERATORS`, which the property tests
+sweep: every entry must produce a graph that passes
+:meth:`AsGraph.validate` for any seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.topology.graph import AsGraph, TopologyError
+from repro.util.ip import Prefix
+from repro.util.rng import derive_rng
+
+#: Largest generated federation; keeps the /16-per-AS address plan valid.
+MAX_NODES = 200
+
+
+def _node_prefixes(index: int):
+    """The deterministic address plan: one /16 (and a /24 inside) per AS."""
+    base = (10 << 24) | ((index + 1) << 16)
+    return (Prefix(base, 16), Prefix(base | (1 << 8), 24))
+
+
+def _check_size(n: int, minimum: int = 1) -> None:
+    if not minimum <= n <= MAX_NODES:
+        raise TopologyError(f"node count {n} outside {minimum}..{MAX_NODES}")
+
+
+def _latency(rng) -> float:
+    """Per-edge latency in (1ms, 20ms], quantized for stable reprs."""
+    return round(0.001 + rng.random() * 0.019, 6)
+
+
+def _graph(name: str, count: int, roles, filter_mode: str) -> AsGraph:
+    graph = AsGraph(name)
+    for index in range(count):
+        graph.add_as(
+            f"as{index}",
+            role=roles(index),
+            networks=_node_prefixes(index),
+            filter_mode=filter_mode,
+        )
+    return graph
+
+
+def line(n: int = 3, seed: int = 0, filter_mode: str = "missing") -> AsGraph:
+    """A transit chain: ``as0`` at the top, each AS providing for the next."""
+    _check_size(n)
+    rng = derive_rng(seed, "topology", "line", n)
+    graph = _graph(
+        f"line-{n}", n,
+        lambda i: "transit" if i < n - 1 else "stub", filter_mode,
+    )
+    for index in range(n - 1):
+        graph.transit(f"as{index}", f"as{index + 1}", latency=_latency(rng))
+    graph.validate()
+    return graph
+
+
+def ring(n: int = 4, seed: int = 0, filter_mode: str = "missing") -> AsGraph:
+    """A cycle of peers — valley-free trivially (there is no hierarchy)."""
+    _check_size(n, minimum=3)
+    rng = derive_rng(seed, "topology", "ring", n)
+    graph = _graph(f"ring-{n}", n, lambda i: "peer", filter_mode)
+    for index in range(n):
+        graph.peer(f"as{index}", f"as{(index + 1) % n}", latency=_latency(rng))
+    graph.validate()
+    return graph
+
+
+def star(n: int = 5, seed: int = 0, filter_mode: str = "missing") -> AsGraph:
+    """One hub provider with ``n - 1`` stub customers."""
+    _check_size(n, minimum=2)
+    rng = derive_rng(seed, "topology", "star", n)
+    graph = _graph(
+        f"star-{n}", n, lambda i: "transit" if i == 0 else "stub", filter_mode
+    )
+    for index in range(1, n):
+        graph.transit("as0", f"as{index}", latency=_latency(rng))
+    graph.validate()
+    return graph
+
+
+def clique(n: int = 4, seed: int = 0, filter_mode: str = "missing") -> AsGraph:
+    """Full-mesh peering among ``n`` ASes."""
+    _check_size(n, minimum=2)
+    rng = derive_rng(seed, "topology", "clique", n)
+    graph = _graph(f"clique-{n}", n, lambda i: "peer", filter_mode)
+    for a in range(n):
+        for b in range(a + 1, n):
+            graph.peer(f"as{a}", f"as{b}", latency=_latency(rng))
+    graph.validate()
+    return graph
+
+
+def tiered(
+    n_tier1: int = 2,
+    n_tier2: int = 3,
+    n_stub: int = 3,
+    seed: int = 0,
+    filter_mode: str = "missing",
+) -> AsGraph:
+    """A tiered ISP hierarchy: tier-1 clique, multihomed tier-2s, stubs.
+
+    Tier-1s peer in a full mesh; every tier-2 buys transit from one or
+    two seed-chosen tier-1s, with lateral peering between consecutive
+    tier-2s; every stub buys transit from one or two tier-2s.  The
+    multihoming choices come from a derived RNG, so the same
+    ``(sizes, seed)`` always yields the same federation.
+    """
+    _check_size(n_tier1)
+    _check_size(n_tier2)
+    _check_size(n_stub, minimum=0)
+    total = n_tier1 + n_tier2 + n_stub
+    _check_size(total)
+    rng = derive_rng(seed, "topology", "tiered", n_tier1, n_tier2, n_stub)
+
+    def role(index: int) -> str:
+        if index < n_tier1:
+            return "tier1"
+        if index < n_tier1 + n_tier2:
+            return "tier2"
+        return "stub"
+
+    graph = _graph(f"tiered-{total}", total, role, filter_mode)
+    tier1 = [f"as{i}" for i in range(n_tier1)]
+    tier2 = [f"as{n_tier1 + i}" for i in range(n_tier2)]
+    stubs = [f"as{n_tier1 + n_tier2 + i}" for i in range(n_stub)]
+
+    for a in range(n_tier1):
+        for b in range(a + 1, n_tier1):
+            graph.peer(tier1[a], tier1[b], latency=_latency(rng))
+    for position, name in enumerate(tier2):
+        homes = rng.sample(tier1, min(rng.randint(1, 2), len(tier1)))
+        for provider in homes:
+            graph.transit(provider, name, latency=_latency(rng))
+        if position > 0 and rng.random() < 0.5:
+            graph.peer(tier2[position - 1], name, latency=_latency(rng))
+    for name in stubs:
+        homes = rng.sample(tier2, min(rng.randint(1, 2), len(tier2)))
+        for provider in homes:
+            graph.transit(provider, name, latency=_latency(rng))
+    graph.validate()
+    return graph
+
+
+#: Registered generators, each ``fn(*sizes, seed=..., filter_mode=...)``.
+GENERATORS: Dict[str, Callable[..., AsGraph]] = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "clique": clique,
+    "tiered": tiered,
+}

@@ -227,6 +227,35 @@ class RouteViewsGenerator:
         return updates
 
 
+def seed_updates_from_trace(trace: Trace, count: int = 8):
+    """The first ``count`` announcements as exploration seed UPDATEs.
+
+    Trace-derived scenarios use real(istic) update structure — paths,
+    MEDs, communities straight from the RouteViews-style stream —
+    instead of hand-crafted rogue announcements, so exploration budgets
+    land on the attribute shapes a deployed router actually sees.
+    Deterministic for a deterministic trace; withdrawals are skipped
+    (only announcements carry the symbolic-input surface the marking
+    policies derive from).
+    """
+    from repro.bgp.messages import UpdateMessage
+    from repro.bgp.nlri import NlriEntry
+
+    updates = []
+    for record in trace.updates:
+        if not record.is_announce:
+            continue
+        updates.append(
+            UpdateMessage(
+                attributes=record.attributes,
+                nlri=[NlriEntry.from_prefix(record.prefix)],
+            )
+        )
+        if len(updates) >= count:
+            break
+    return updates
+
+
 def generate_trace(
     prefix_count: int = 20_000,
     update_count: int = 2_000,

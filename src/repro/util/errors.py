@@ -54,6 +54,10 @@ class CheckpointError(ReproError):
     """Checkpoint creation, cloning, or restoration failed."""
 
 
+class TopologyError(ReproError):
+    """An AS-level topology is malformed (cyclic transit, bad edge...)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 

@@ -1,0 +1,153 @@
+"""Focused coverage for privacy digests and federated digest comparison.
+
+The end-to-end privacy behavior rides inside the DiCE tests; this module
+pins down the narrow interface itself — salt isolation, mismatch
+detection over arbitrary generated topologies, and the
+:meth:`FederatedExploration._compare_digests` pair-walk — so a privacy
+regression fails here with a precise message, not as a distant
+federated-wave assertion.
+"""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.core.federation import FederatedExploration, IsolatedFabric
+from repro.core.privacy import (
+    OriginDigest,
+    PrivacyGuard,
+    digest_conflicts,
+    origin_digest,
+    prefix_digest,
+    resolve_digest,
+)
+from repro.topology import AsGraph, build_routers
+from repro.topology.generators import clique
+from repro.util.errors import PrivacyViolation
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+@pytest.fixture(scope="module")
+def clique_routers():
+    graph = clique(3, seed=4)
+    host, routers = build_routers(graph)
+    host.run()
+    return graph, routers
+
+
+def hijack_update(prefix, origin_asn, next_hop=0x0A000002):
+    return UpdateMessage(
+        attributes=PathAttributes(
+            as_path=AsPath.sequence([origin_asn]), next_hop=next_hop
+        ),
+        nlri=[NlriEntry.from_prefix(prefix)],
+    )
+
+
+class TestDigestPrimitives:
+    def test_prefix_digest_is_salt_isolated(self):
+        prefix = P("10.1.0.0/16")
+        assert prefix_digest(b"round-1", prefix) != prefix_digest(b"round-2", prefix)
+        assert origin_digest(b"s", prefix, 65001) != origin_digest(b"s", prefix, 65002)
+
+    def test_digests_from_distinct_salts_share_no_keys(self, clique_routers):
+        _, routers = clique_routers
+        router = routers["as0"]
+        a = OriginDigest.from_router(router, b"salt-a")
+        b = OriginDigest.from_router(router, b"salt-b")
+        assert len(a) == len(b) == router.table_size()
+        assert not (set(a.entries) & set(b.entries))
+
+    def test_comparison_requires_shared_salt(self, clique_routers):
+        _, routers = clique_routers
+        a = OriginDigest.from_router(routers["as0"], b"salt-a")
+        b = OriginDigest.from_router(routers["as1"], b"salt-b")
+        with pytest.raises(PrivacyViolation):
+            list(digest_conflicts(a, b))
+
+    def test_agreeing_views_have_no_conflicts(self, clique_routers):
+        _, routers = clique_routers
+        a = OriginDigest.from_router(routers["as0"], b"s")
+        b = OriginDigest.from_router(routers["as1"], b"s")
+        assert list(digest_conflicts(a, b)) == []
+
+    def test_resolution_only_over_own_table(self, clique_routers):
+        graph, routers = clique_routers
+        own = graph.nodes["as0"].networks[0]
+        target = prefix_digest(b"s", own)
+        assert resolve_digest(routers["as0"], b"s", target) == own
+        # A digest for a prefix the router does not carry resolves to None.
+        assert resolve_digest(routers["as0"], b"s", b"\x00" * 16) is None
+
+    def test_guard_blocks_all_raw_exports(self, clique_routers):
+        _, routers = clique_routers
+        guard = PrivacyGuard(routers["as2"], "as2-domain")
+        for what in ("config", "loc_rib", "adj_rib_in", "adj_rib_out",
+                     "sessions", "anything"):
+            with pytest.raises(PrivacyViolation):
+                guard.export(what)
+        assert len(guard.publish_digest(b"round")) > 0
+        assert guard.local_router() is routers["as2"]
+
+
+class TestCompareDigests:
+    def test_cross_as_mismatch_detected_with_correct_pair(self):
+        # A transit chain: the middle AS accepts a customer-claimed
+        # hijack of the top AS's space (customer local-pref wins), so its
+        # clone's origin view diverges from both neighbors'.
+        from repro.topology.generators import line
+
+        graph = line(3, seed=4)
+        host, routers = build_routers(graph)
+        host.run()
+        federation = FederatedExploration(dict(routers), graph=graph)
+        fabric = IsolatedFabric(dict(routers), graph=graph)
+        victim = graph.nodes["as0"].networks[0]
+        rogue_asn = graph.nodes["as2"].asn
+        fabric.inject("as1", "as2", hijack_update(victim, rogue_asn))
+
+        findings = federation._compare_digests(fabric, stage="pre-propagation")
+        assert findings
+        # Only pairs that include the poisoned domain can disagree.
+        assert all("as1" in finding.nodes for finding in findings)
+        assert all(finding.stage == "pre-propagation" for finding in findings)
+        # The poisoned domain can decode the finding over its own table.
+        digest = findings[0].prefix_digest
+        assert resolve_digest(
+            fabric.clone_of("as1"), federation.salt, digest
+        ) == victim
+
+    def test_per_check_salt_changes_published_digests(self, clique_routers):
+        graph, routers = clique_routers
+        fabric = IsolatedFabric(dict(routers), graph=graph)
+        round_one = FederatedExploration(dict(routers), salt=b"round-1")
+        round_two = FederatedExploration(dict(routers), salt=b"round-2")
+        victim = graph.nodes["as1"].networks[0]
+        fabric.inject("as0", "as2", hijack_update(victim, graph.nodes["as2"].asn))
+        first = round_one._compare_digests(fabric, stage="pre-propagation")
+        second = round_two._compare_digests(fabric, stage="pre-propagation")
+        # Same disagreement, unlinkable digests across check rounds.
+        assert {f.nodes for f in first} == {f.nodes for f in second}
+        assert {f.prefix_digest for f in first}.isdisjoint(
+            {f.prefix_digest for f in second}
+        )
+
+    def test_moas_conflict_surfaces_on_any_topology(self):
+        """Two domains originating the same prefix disagree symmetrically."""
+        graph = AsGraph("moas")
+        graph.add_as("a", networks=(P("50.0.0.0/8"),))
+        graph.add_as("b", networks=(P("50.0.0.0/8"),))
+        graph.peer("a", "b")
+        host, routers = build_routers(graph, validate=False)  # MOAS on purpose
+        host.run()
+        federation = FederatedExploration(dict(routers), graph=graph)
+        report = federation.run(
+            "a", "b", hijack_update(P("50.1.0.0/16"), graph.nodes["b"].asn)
+        )
+        assert any(
+            finding.nodes == ("a", "b") for finding in report.global_findings
+        )
+        assert "disagree on the origin" in report.global_findings[0].summary
