@@ -196,9 +196,12 @@ _CACHE_ATTRS = ("_digest_cache", "_pages_cache")
 class CheckpointImage:
     """A captured node state in segment form, ready for delta shipping.
 
-    ``epoch`` is the streaming pipeline's re-checkpoint counter: workers
-    key their resident images by it, and a :class:`CheckpointDelta`
-    names the base epoch it patches.
+    ``epoch`` is the streaming pipeline's re-checkpoint counter and
+    ``node`` names which federation member the image belongs to (empty
+    for a single-node stream): workers key their resident images by the
+    ``(node, epoch)`` pair, and a :class:`CheckpointDelta` names the
+    base epoch it patches *of the same node* — one shared worker pool
+    holds every AS's image chain side by side without cross-talk.
     """
 
     name: str
@@ -206,6 +209,7 @@ class CheckpointImage:
     segments: Dict[str, bytes]
     node_time: float = 0.0
     epoch: int = 0
+    node: str = ""
     sequence: int = 0
     page_size: int = PAGE_SIZE
     created_at: float = field(default_factory=time.monotonic)
@@ -216,6 +220,7 @@ class CheckpointImage:
         node: Checkpointable,
         name: str,
         epoch: int = 0,
+        node_id: str = "",
         sequence: int = 0,
         page_size: int = PAGE_SIZE,
     ) -> "CheckpointImage":
@@ -228,9 +233,15 @@ class CheckpointImage:
             segments=segments,
             node_time=node_time,
             epoch=epoch,
+            node=node_id,
             sequence=sequence,
             page_size=page_size,
         )
+
+    @property
+    def image_key(self) -> Tuple[str, int]:
+        """The ``(node, epoch)`` identity workers index their tables by."""
+        return (self.node, self.epoch)
 
     @property
     def total_bytes(self) -> int:
@@ -309,6 +320,11 @@ class CheckpointImage:
         — so an unchanged segment ships zero bytes even though it was
         re-pickled during capture.
         """
+        if base.node != self.node:
+            raise CheckpointError(
+                f"diff across federation nodes: image for node {self.node!r} "
+                f"cannot be based on node {base.node!r}"
+            )
         ours = self.segment_digests()
         theirs = base.segment_digests()
         changed = {
@@ -325,6 +341,7 @@ class CheckpointImage:
             changed=changed,
             removed=removed,
             node_time=self.node_time,
+            node=self.node,
             sequence=self.sequence,
             base_segment_count=len(base.segments),
         )
@@ -332,7 +349,7 @@ class CheckpointImage:
 
 @dataclass
 class CheckpointDelta:
-    """Only what changed between two checkpoint epochs."""
+    """Only what changed between two checkpoint epochs of one node."""
 
     name: str
     base_epoch: int
@@ -341,8 +358,19 @@ class CheckpointDelta:
     changed: Dict[str, bytes]
     removed: Tuple[str, ...] = ()
     node_time: float = 0.0
+    node: str = ""
     sequence: int = 0
     base_segment_count: int = 0
+
+    @property
+    def image_key(self) -> Tuple[str, int]:
+        """The ``(node, epoch)`` identity of the image this delta builds."""
+        return (self.node, self.epoch)
+
+    @property
+    def base_key(self) -> Tuple[str, int]:
+        """The ``(node, epoch)`` identity of the required base image."""
+        return (self.node, self.base_epoch)
 
     @property
     def bytes_shipped(self) -> int:
@@ -355,6 +383,11 @@ class CheckpointDelta:
 
     def apply(self, base: CheckpointImage) -> CheckpointImage:
         """Reassemble the successor image from ``base`` plus this delta."""
+        if base.node != self.node:
+            raise CheckpointError(
+                f"delta for node {self.node!r} epoch {self.epoch} applied "
+                f"to node {base.node!r}'s image"
+            )
         if base.epoch != self.base_epoch:
             raise CheckpointError(
                 f"delta for epoch {self.epoch} patches base epoch "
@@ -370,6 +403,7 @@ class CheckpointDelta:
             segments=segments,
             node_time=self.node_time,
             epoch=self.epoch,
+            node=self.node,
             sequence=self.sequence,
             page_size=base.page_size,
         )

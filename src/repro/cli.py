@@ -243,10 +243,14 @@ def _explore_federated(args: argparse.Namespace) -> int:
         policy=args.policy,
         strategy=args.strategy,
         strategy_seed=args.seed,
+        as_rotation=args.as_rotation,
     )
     mode = "streamed" if args.stream else "batch"
-    print(f"federated exploration ({mode}, {args.workers} workers, "
-          f"{len(corpus)} seeds):")
+    pool = (
+        f"1 shared pool × {args.workers} workers" if args.stream
+        else f"{args.workers} workers"
+    )
+    print(f"federated exploration ({mode}, {pool}, {len(corpus)} seeds):")
     for key, value in report.summary().items():
         print(f"  {key}: {value}")
     for node, sessions in report.per_as_sessions.items():
@@ -256,11 +260,21 @@ def _explore_federated(args: argparse.Namespace) -> int:
         }
         print(f"  AS {node}: {len(sessions)} sessions, {len(findings)} findings")
     stats = report.stats
+    # Top scheduler yields: which ASes the federation scheduler is
+    # steering dispatch budget toward (finding-yield EWMA, descending).
+    yields = sorted(
+        report.scheduler_yield.items(), key=lambda kv: -kv[1]
+    )[:3]
+    yield_note = (
+        " | yield " + " ".join(f"{node}:{gain:.2f}" for node, gain in yields)
+        if yields else ""
+    )
     print(
         f"  [federated] wave delivered {stats.delivered} msgs over "
         f"{stats.rounds} hops in {stats.sim_seconds * 1e3:.1f}ms sim time"
         f" | global findings {len(report.global_findings)}"
         f" | converged={stats.converged}"
+        + yield_note
     )
     if not stats.converged:
         print("  warning: wave hit its hop/event budget before quiescing; "
@@ -370,7 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--stream", action="store_true",
                          help="streaming pipeline: persistent workers, "
                               "incremental checkpoint shipping, continuous "
-                              "harvest (prints a periodic progress line)")
+                              "harvest (prints a periodic progress line); "
+                              "with --scenario, the whole federation shares "
+                              "ONE pool via (node, epoch)-keyed images")
+    explore.add_argument("--as-rotation", default="yield",
+                         choices=("yield", "round-robin"),
+                         help="federated streaming only: how the shared "
+                              "pool rotates dispatch budget across ASes — "
+                              "'yield' favors ASes whose recent sessions "
+                              "produced findings (FederationScheduler "
+                              "EWMA), 'round-robin' is blind rotation")
     explore.set_defaults(func=cmd_explore)
 
     scenarios = commands.add_parser(

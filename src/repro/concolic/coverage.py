@@ -116,6 +116,18 @@ class CoverageScheduler:
         self._peer_gain: Dict[str, float] = {}
         self._scheduled: Set[bytes] = set()
 
+    def _fold_gain(self, key: str, reward: float) -> float:
+        """One EWMA step of ``key``'s productivity estimate."""
+        self.sessions_noted += 1
+        previous = self._peer_gain.get(key)
+        if previous is None:
+            self._peer_gain[key] = float(reward)
+        else:
+            self._peer_gain[key] = (
+                (1.0 - self.decay) * previous + self.decay * reward
+            )
+        return self._peer_gain[key]
+
     def note_session(self, peer: str, session_coverage: "BranchCoverage") -> int:
         """Fold a finished session's coverage in; returns its new outcomes."""
         new_outcomes = sum(
@@ -123,14 +135,7 @@ class CoverageScheduler:
             if outcome not in self.coverage.outcomes
         )
         self.coverage.merge(session_coverage)
-        self.sessions_noted += 1
-        previous = self._peer_gain.get(peer)
-        if previous is None:
-            self._peer_gain[peer] = float(new_outcomes)
-        else:
-            self._peer_gain[peer] = (
-                (1.0 - self.decay) * previous + self.decay * new_outcomes
-            )
+        self._fold_gain(peer, new_outcomes)
         return new_outcomes
 
     def mark_scheduled(self, signature: Optional[bytes]) -> None:
@@ -167,16 +172,84 @@ class CoverageScheduler:
         if not candidates:
             raise ValueError("no candidates to pick from")
         scores = [self.score(peer, sig) for peer, sig in candidates]
-        best = max(scores)
-        tied = {i for i, value in enumerate(scores) if value == best}
+        peers: List[str] = [peer for peer, _ in candidates]
+        return self._rotated_argmax(scores, peers, after)
+
+    @staticmethod
+    def _rotated_argmax(
+        values: Sequence[float], peers: Sequence[str], after: Optional[str]
+    ) -> int:
+        """Index of the max value; ties rotate after ``after``'s peer."""
+        best = max(values)
+        tied = {i for i, value in enumerate(values) if value == best}
         if len(tied) == 1:
             return next(iter(tied))
-        peers: List[str] = [peer for peer, _ in candidates]
         start = 0
         if after in peers:
-            start = (peers.index(after) + 1) % len(candidates)
-        for offset in range(len(candidates)):
-            index = (start + offset) % len(candidates)
+            start = (peers.index(after) + 1) % len(peers)
+        for offset in range(len(peers)):
+            index = (start + offset) % len(peers)
             if index in tied:
                 return index
         return next(iter(tied))  # unreachable; tied is non-empty
+
+
+class FederationScheduler(CoverageScheduler):
+    """The coverage scheduler's EWMA, lifted one level up: across ASes.
+
+    A federation-wide stream has one dispatch budget and many
+    administrative domains competing for it.  Blind rotation across ASes
+    has the same failure mode blind per-peer rotation had within one
+    node: a domain that stopped yielding findings gets the same share of
+    the worker pool as the domain where a hijack is actively unfolding.
+
+    Candidates here are federation *nodes* (ASes) and the reward signal
+    is **finding yield** — how many findings each AS's recently harvested
+    sessions produced — folded through the same decay machinery as
+    :class:`CoverageScheduler` (this class swaps the reward: cross-AS
+    finding counts instead of new branch outcomes).
+
+    Selection is a weighted *rotation*, not a winner-take-all argmax:
+    every candidate AS accrues its yield score as credit on each pick
+    and the largest credit dispatches (then pays its credit down).  A
+    high-yield AS wins proportionally more slots, but the score floor
+    (1.0) means a zero-yield AS accrues credit every round and is served
+    within a bounded number of picks — delayed, never starved.  That
+    bound matters beyond fairness: pending queues are finite and
+    coalesce under backpressure, so an AS that never won dispatch would
+    have its seeds silently superseded, not merely postponed.  With no
+    finding history every credit ties and rotation reproduces the blind
+    per-AS round-robin exactly; and because streaming job indices are
+    assigned at submission, dispatch order never changes any session's
+    result, only how soon each AS's results arrive.
+    """
+
+    def __init__(self, decay: float = 0.5, novelty_boost: float = 2.0) -> None:
+        super().__init__(decay, novelty_boost)
+        self._credit: Dict[str, float] = {}
+
+    def note_findings(self, node: str, findings: int) -> float:
+        """Fold one harvested session's finding count into the node EWMA."""
+        return self._fold_gain(node, findings)
+
+    def pick(
+        self,
+        candidates: Sequence[Tuple[str, Optional[bytes]]],
+        after: Optional[str] = None,
+    ) -> int:
+        """Deficit rotation over the candidate ASes (see class docstring)."""
+        if not candidates:
+            raise ValueError("no candidates to pick from")
+        credits: List[float] = []
+        for node, signature in candidates:
+            credit = self._credit.get(node, 0.0) + self.score(node, signature)
+            self._credit[node] = credit
+            credits.append(credit)
+        peers = [node for node, _ in candidates]
+        choice = self._rotated_argmax(credits, peers, after)
+        self._credit[peers[choice]] = 0.0
+        return choice
+
+    def yields(self) -> Dict[str, float]:
+        """The current per-AS finding-yield EWMAs (for reports/CLI)."""
+        return dict(self._peer_gain)

@@ -52,6 +52,24 @@ from repro.util.errors import ExplorationError, IsolationViolation
 FederatedSeed = Tuple[str, str, UpdateMessage]
 
 
+def _split_chunks(items: Sequence, count: int) -> List[list]:
+    """``items`` in ``count`` contiguous chunks (early chunks larger).
+
+    Chunking only moves *when* a seed enters the stream relative to the
+    epoch boundaries — per-node arrival order (and thus every job index)
+    is unchanged, which is why epoch-chunked streamed runs keep finding
+    parity with serial ones.
+    """
+    base, extra = divmod(len(items), count)
+    chunks: List[list] = []
+    cursor = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[cursor:cursor + size]))
+        cursor += size
+    return chunks
+
+
 @dataclass
 class FabricStats:
     """Message propagation counters for one exploratory wave.
@@ -61,6 +79,14 @@ class FabricStats:
     ``converged`` is False when the wave was cut off by the hop or
     event budget with messages still in flight — a non-quiescent wave
     previously indistinguishable from a converged one.
+
+    :meth:`IsolatedFabric.propagate` returns a fresh instance *per
+    wave*; the fabric's own :attr:`IsolatedFabric.stats` accumulates
+    waves via :meth:`merge`.  Before this split, a reused fabric's
+    second wave inherited the first wave's ``converged=False``/
+    ``rounds``/``sim_seconds`` and every downstream consumer
+    (``FederatedReport.summary``, the CLI ``[federated]`` line) reported
+    stale verdicts.
     """
 
     delivered: int = 0
@@ -70,6 +96,22 @@ class FabricStats:
     suppressed_hop_budget: int = 0
     converged: bool = True
     sim_seconds: float = 0.0
+
+    def merge(self, wave: "FabricStats") -> "FabricStats":
+        """Fold one wave into a cumulative view.
+
+        Counters add; ``rounds`` keeps the deepest hop any wave reached;
+        ``converged`` is the conjunction — a fabric that ever cut a wave
+        short has a non-converged history even if later waves quiesced.
+        """
+        self.delivered += wave.delivered
+        self.rounds = max(self.rounds, wave.rounds)
+        self.dropped_no_target += wave.dropped_no_target
+        self.events += wave.events
+        self.suppressed_hop_budget += wave.suppressed_hop_budget
+        self.converged = self.converged and wave.converged
+        self.sim_seconds += wave.sim_seconds
+        return self
 
 
 class IsolatedFabric:
@@ -101,7 +143,13 @@ class IsolatedFabric:
         self.checkpoints: Dict[str, Checkpoint] = {}
         self.clones: Dict[str, BgpRouter] = {}
         self.envs: Dict[str, ExplorationEnvironment] = {}
+        #: Cumulative across every wave this fabric ran; each
+        #: :meth:`propagate` call *returns* its own per-wave snapshot.
         self.stats = FabricStats()
+        #: The wave currently being driven (delivery closures write here
+        #: so a second wave starts from zeroed counters, not the first
+        #: wave's).
+        self._wave_stats = FabricStats()
         for node_id, router in routers.items():
             checkpoint = Checkpoint.capture(router, f"fed-{node_id}")
             self.checkpoints[node_id] = checkpoint
@@ -130,15 +178,15 @@ class IsolatedFabric:
         for captured in self.envs[source_id].drain_captured():
             target_id = captured.destination
             if target_id not in self.clones:
-                self.stats.dropped_no_target += 1
+                self._wave_stats.dropped_no_target += 1
                 continue
             if hop > self.max_rounds:
                 # Hop budget exhausted: the wave is being cut short, and
                 # that must be visible — a non-converged wave means the
                 # post-propagation digest comparison ran on a federation
                 # still in motion.
-                self.stats.suppressed_hop_budget += 1
-                self.stats.converged = False
+                self._wave_stats.suppressed_hop_budget += 1
+                self._wave_stats.converged = False
                 continue
             payload = captured.payload
 
@@ -154,24 +202,33 @@ class IsolatedFabric:
                 if lag > 0:
                     env.advance(lag)
                 self.clones[dst].on_message(src, data)
-                self.stats.delivered += 1
-                self.stats.rounds = max(self.stats.rounds, this_hop)
+                self._wave_stats.delivered += 1
+                self._wave_stats.rounds = max(self._wave_stats.rounds, this_hop)
                 self._schedule_outbound(sim, dst, this_hop + 1)
 
             sim.schedule(self._latency(source_id, target_id), deliver)
 
     def propagate(self) -> FabricStats:
-        """Drive captured messages through the event queue to quiescence."""
+        """Drive captured messages through the event queue to quiescence.
+
+        Returns *this wave's* counters — a fresh :class:`FabricStats`,
+        so a reused fabric's second wave reports its own ``converged``/
+        ``rounds``/``sim_seconds`` rather than inheriting the first
+        wave's.  Cumulative totals across waves live in :attr:`stats`.
+        """
+        wave = FabricStats()
+        self._wave_stats = wave
         sim = Simulator()
         for source_id in self.envs:
             self._schedule_outbound(sim, source_id, hop=1)
         executed = sim.run(max_events=self.max_events)
-        self.stats.events += executed
-        self.stats.sim_seconds += sim.now  # accumulate like delivered/events
+        wave.events += executed
+        wave.sim_seconds = sim.now
         if not sim.idle():
-            self.stats.converged = False
-        self.stats.rounds = max(self.stats.rounds, 1)
-        return self.stats
+            wave.converged = False
+        wave.rounds = max(wave.rounds, 1)
+        self.stats.merge(wave)
+        return wave
 
     def clone_of(self, node_id: str) -> BgpRouter:
         return self.clones[node_id]
@@ -213,6 +270,16 @@ class FederatedReport:
     streamed: bool = False
     used_processes: bool = False
     wall_seconds: float = 0.0
+    #: Worker pools the exploration opened: 1 for the shared federation
+    #: pool (and for any batch run), one per AS only under the legacy
+    #: ``shared_pool=False`` comparison path.
+    pools: int = 0
+    #: Per-AS finding-yield EWMAs from the federation dispatch scheduler
+    #: (empty for batch runs or ``as_rotation="round-robin"``).
+    scheduler_yield: Dict[str, float] = field(default_factory=dict)
+    #: The shared stream's ``StreamReport.summary()`` when streamed —
+    #: shipping economics, per-node deltas, drop/recovery counters.
+    stream_summary: Optional[Dict[str, object]] = None
 
     @property
     def converged(self) -> bool:
@@ -257,6 +324,7 @@ class FederatedReport:
             "findings": len(self.findings()),
             "global_findings": len(self.global_findings),
             "workers": self.workers,
+            "pools": self.pools,
             "streamed": self.streamed,
             "used_processes": self.used_processes,
             "delivered": self.stats.delivered,
@@ -331,19 +399,37 @@ class FederatedExploration:
         strategy_seed: int = 0,
         max_rounds: int = 16,
         force_serial: bool = False,
+        as_rotation: str = "yield",
+        stream_epochs: int = 1,
+        shared_pool: bool = True,
     ) -> FederatedReport:
         """Explore a federated seed corpus, then run the system-wide wave.
 
         Per-AS exploration goes through the parallel machinery — a
         single :meth:`~repro.parallel.ParallelExplorer.explore_nodes`
         fan-out (all ASes' jobs in one pool) or, with ``stream=True``,
-        one streaming pipeline per AS fed in corpus order.  Both assign
-        the same per-AS job indices, so for a fixed corpus the finding
-        set is identical across serial, batch, and streamed runs with
-        any worker count.
+        **one** shared :class:`~repro.parallel.stream.StreamingExplorer`
+        whose workers hold every AS's ``(node, epoch)`` image and whose
+        dispatch budget rotates across ASes by recent finding yield
+        (``as_rotation="yield"``; ``"round-robin"`` for blind rotation).
+        Both assign the same per-AS job indices, so for a fixed corpus
+        the finding set is identical across serial, batch, and streamed
+        runs with any worker count.
+
+        ``stream_epochs`` > 1 splits each AS's seed list into that many
+        re-checkpoint epochs: every boundary captures each node again
+        and ships only the per-node delta — the long-lived-deployment
+        shape, exercised here over a finite corpus.  ``shared_pool=
+        False`` keeps the legacy one-pipeline-per-AS layout (N pools of
+        ``workers`` processes each); it exists for benchmarks comparing
+        the two and should not be used otherwise.
         """
         if not seeds:
             raise ExplorationError("federated exploration needs a seed corpus")
+        if stream_epochs < 1:
+            raise ExplorationError(
+                f"stream_epochs must be >= 1, got {stream_epochs}"
+            )
         unknown = sorted({node for node, _, _ in seeds} - set(self.routers))
         if unknown:
             raise ExplorationError(f"seeds reference unknown nodes: {unknown}")
@@ -352,16 +438,28 @@ class FederatedExploration:
         for node, peer, update in seeds:
             by_node.setdefault(node, []).append((peer, update))
 
-        if stream:
-            per_as, used_processes = self._explore_streamed(
+        scheduler_yield: Dict[str, float] = {}
+        stream_summary: Optional[Dict[str, object]] = None
+        if stream and shared_pool:
+            per_as, used_processes, scheduler_yield, stream_summary = (
+                self._explore_streamed(
+                    by_node, budget, workers, policy, strategy, strategy_seed,
+                    force_serial, as_rotation, stream_epochs,
+                )
+            )
+            pools = 1
+        elif stream:
+            per_as, used_processes = self._explore_streamed_per_as(
                 by_node, budget, workers, policy, strategy, strategy_seed,
                 force_serial,
             )
+            pools = len(by_node)
         else:
             per_as, used_processes = self._explore_batched(
                 by_node, budget, workers, policy, strategy, strategy_seed,
                 force_serial,
             )
+            pools = 1
 
         fabric = self._fabric(max_rounds)
         report = self._wave(fabric, seeds)
@@ -370,6 +468,9 @@ class FederatedExploration:
         report.workers = workers
         report.streamed = stream
         report.used_processes = used_processes
+        report.pools = pools
+        report.scheduler_yield = scheduler_yield
+        report.stream_summary = stream_summary
         report.wall_seconds = time.perf_counter() - started
         return report
 
@@ -397,8 +498,74 @@ class FederatedExploration:
 
     def _explore_streamed(
         self, by_node, budget, workers, policy, strategy, strategy_seed,
+        force_serial, as_rotation, stream_epochs,
+    ) -> Tuple[Dict[str, List[SessionReport]], bool, Dict[str, float],
+               Dict[str, object]]:
+        """One shared streaming pool for the whole federation.
+
+        Every AS's epoch-0 image ships to the same ``workers`` worker
+        processes; seeds enter node-tagged (per-node arrival indices keep
+        batch parity), epoch boundaries ship per-node deltas, and the
+        cross-AS dispatch rotation is the :class:`FederationScheduler`.
+        """
+        from repro.parallel.stream import StreamingExplorer
+
+        pipeline = StreamingExplorer(
+            workers=workers,
+            policy=policy,
+            strategy=strategy,
+            strategy_seed=strategy_seed,
+            budget=budget,
+            queue_capacity=max((len(s) for s in by_node.values()), default=1),
+            force_serial=force_serial,
+            # Dispatch seeds in per-node arrival order: coverage-guided
+            # reordering is profitable for open-ended streams, but a
+            # federated corpus is finite and parity with the batch
+            # engine's per-index sessions is what matters here.  Cross-AS
+            # rotation (as_rotation) is still free to reorder across
+            # nodes — indices are fixed at submission.
+            coverage_guided=False,
+            as_rotation=as_rotation,
+        )
+        pipeline.start_nodes({node: self.routers[node] for node in by_node})
+        try:
+            # Feed the corpus in stream_epochs chunks per node; every
+            # boundary re-checkpoints each node and ships its delta.
+            chunks = {
+                node: _split_chunks(node_seeds, stream_epochs)
+                for node, node_seeds in by_node.items()
+            }
+            for chunk_index in range(stream_epochs):
+                if chunk_index > 0:
+                    for node in sorted(by_node):
+                        pipeline.advance_epoch(node)
+                for node in by_node:
+                    for peer, update in chunks[node][chunk_index]:
+                        pipeline.submit(peer, update, node=node)
+        finally:
+            # close() drains by default, so the report is complete even
+            # when a submit raises mid-corpus.
+            stream_report = pipeline.close()
+        per_as = {
+            node: stream_report.reports_in_index_order(node) for node in by_node
+        }
+        return (
+            per_as,
+            stream_report.used_processes,
+            pipeline.federation_yields(),
+            stream_report.summary(),
+        )
+
+    def _explore_streamed_per_as(
+        self, by_node, budget, workers, policy, strategy, strategy_seed,
         force_serial,
     ) -> Tuple[Dict[str, List[SessionReport]], bool]:
+        """Legacy layout: one pipeline (and pool) per AS.
+
+        Kept only as the baseline side of the shared-pool benchmark —
+        an N-AS federation pays N pool start-ups and N×workers worker
+        processes contending for the same cores.
+        """
         from repro.parallel.stream import StreamingExplorer
 
         per_as: Dict[str, List[SessionReport]] = {}
@@ -412,10 +579,6 @@ class FederatedExploration:
                 budget=budget,
                 queue_capacity=max(len(node_seeds), 1),
                 force_serial=force_serial,
-                # Dispatch in arrival order: coverage-guided reordering is
-                # profitable for open-ended streams, but a federated
-                # corpus is finite and parity with the batch engine's
-                # per-index sessions is what matters here.
                 coverage_guided=False,
             )
             pipeline.start(self.routers[node])
@@ -423,8 +586,6 @@ class FederatedExploration:
                 for peer, update in node_seeds:
                     pipeline.submit(peer, update)
             finally:
-                # close() drains by default, so the report is complete
-                # even when a submit raises mid-corpus.
                 stream_report = pipeline.close()
             per_as[node] = stream_report.reports_in_index_order()
             used_processes = used_processes or stream_report.used_processes

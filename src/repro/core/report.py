@@ -90,6 +90,9 @@ class SessionReport:
     checkpoint_seconds: float = 0.0
     clone_count: int = 0
     solver_stats: Dict[str, float] = field(default_factory=dict)
+    #: Federation node the session explored ("" outside federated runs):
+    #: lets a shared-pool harvest attribute each report to its AS.
+    node: str = ""
 
     def compact(self) -> "SessionReport":
         """A transport-safe copy for crossing process boundaries."""

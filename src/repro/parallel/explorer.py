@@ -246,6 +246,7 @@ class ParallelExplorer:
         seeds: Sequence[Seed],
         budget: Optional[ExplorationBudget] = None,
         cache: Optional[object] = None,
+        node: str = "",
     ) -> List[SessionJob]:
         """One picklable job per seed, indexed in batch order."""
         return [
@@ -262,6 +263,7 @@ class ParallelExplorer:
                 anycast_whitelist=self.anycast_whitelist,
                 checkers=self.checkers,
                 cache=cache,
+                node=node,
             )
             for index, (peer, observed) in enumerate(seeds)
         ]
@@ -339,7 +341,8 @@ class ParallelExplorer:
             jobs: List[SessionJob] = []
             for node_id, _, seeds in node_batches:
                 node_jobs = self.build_jobs(
-                    checkpoints[node_id], seeds, budget=budget, cache=cache
+                    checkpoints[node_id], seeds, budget=budget, cache=cache,
+                    node=node_id,
                 )
                 spans.append((node_id, len(jobs), len(jobs) + len(node_jobs)))
                 jobs.extend(node_jobs)

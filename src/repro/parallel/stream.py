@@ -27,12 +27,23 @@ a pipeline:
   :class:`~repro.parallel.cache.ShardedConstraintCache` so solver IPC
   spreads across manager processes instead of serializing through one.
 
-Determinism is preserved from the batch engine: each seed gets a global
-arrival index, the per-job strategy RNG derives from that index exactly
-as batch jobs derive from their batch position, sessions are independent,
-and cache hits are bit-identical to local solves.  For a fixed observed-
-seed sequence within one epoch, the harvested finding set equals
-``ParallelExplorer.explore_batch`` over the same seeds — with one
+**Federation-wide sharing.**  The worker protocol is node-aware: every
+:class:`StreamJob` names the federation node it explores and workers
+hold a ``{(node, epoch): image}`` table, so *one* persistent pool can
+serve every AS of a federation — :meth:`StreamingExplorer.start_nodes`
+ships each node's epoch-0 image once, :meth:`advance_epoch` ships
+per-node deltas against per-node bases, and dispatch budget rotates
+across ASes by recent finding yield
+(:class:`~repro.concolic.coverage.FederationScheduler`).  An 8-AS
+federation therefore runs on ``workers`` processes total, not
+``8 * workers`` pools fighting for the same cores.
+
+Determinism is preserved from the batch engine: each seed gets a
+per-node arrival index, the per-job strategy RNG derives from that index
+exactly as batch jobs derive from their batch position, sessions are
+independent, and cache hits are bit-identical to local solves.  For a
+fixed observed-seed sequence within one epoch, the harvested finding set
+equals ``ParallelExplorer.explore_batch`` over the same seeds — with one
 worker, N workers, or the in-process serial fallback
 (``tests/parallel/test_streaming.py`` asserts all three).
 
@@ -50,13 +61,13 @@ import queue as queue_module
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
 from repro.checkpoint.delta import CheckpointDelta, CheckpointImage
 from repro.checkpoint.snapshot import Checkpoint
-from repro.concolic.coverage import CoverageScheduler
+from repro.concolic.coverage import CoverageScheduler, FederationScheduler
 from repro.concolic.engine import ExplorationBudget, ExplorationReport
 from repro.concolic.solver.cache import DictConstraintCache
 from repro.core.inputs import seed_signature
@@ -70,6 +81,12 @@ from repro.util.ip import Prefix
 
 Seed = Tuple[str, UpdateMessage]
 
+#: ``(node, index)`` — the globally unique identity of one streamed job.
+#: Indices are assigned per node so each AS's sessions derive the same
+#: strategy RNG as that AS's batch jobs would, whatever else shares the
+#: pool.
+JobKey = Tuple[str, int]
+
 # Worker-bound messages and worker-emitted results are small tagged
 # tuples: cheap to pickle, trivially version-free within one process
 # tree.
@@ -79,26 +96,31 @@ _MSG_STOP = "stop"
 _RES_REPORT = "report"
 _RES_ERROR = "error"
 
-#: Sentinel job index for errors not attributable to a single job
+#: Sentinel job key for errors not attributable to a single job
 #: (e.g. a delta arriving before its base image).
-_NO_JOB = -1
+_NO_JOB = ("", -1)
+
+#: The node key of a single-node stream (``start(live_router)``).
+DEFAULT_NODE = ""
 
 
 @dataclass
 class StreamJob:
     """One seed's exploration session, shipped *without* its checkpoint.
 
-    The checkpoint is resident in the worker (shipped once per epoch);
-    the job only names the epoch it belongs to.  ``index`` is the seed's
-    global arrival number — the strategy RNG derives from it exactly as
-    a batch job derives from its batch position, which is what makes the
-    stream's finding set equal the batch engine's.
+    The checkpoint is resident in the worker (shipped once per epoch per
+    node); the job names the ``(node, epoch)`` image it runs against.
+    ``index`` is the seed's arrival number *within its node* — the
+    strategy RNG derives from it exactly as a batch job derives from its
+    batch position, which is what makes the stream's finding set equal
+    the batch engine's, per AS, even when many ASes share the pool.
     """
 
     index: int
     epoch: int
     peer: str
     observed: UpdateMessage
+    node: str = DEFAULT_NODE
     policy: str = "selective"
     model_kwargs: Dict[str, object] = field(default_factory=dict)
     budget: Optional[ExplorationBudget] = None
@@ -107,30 +129,53 @@ class StreamJob:
     anycast_whitelist: Tuple[Prefix, ...] = ()
     checkers: Optional[Sequence[FaultChecker]] = None
 
+    @property
+    def key(self) -> JobKey:
+        return (self.node, self.index)
+
+    @property
+    def image_key(self) -> Tuple[str, int]:
+        return (self.node, self.epoch)
+
 
 @dataclass
 class StreamReport(BatchReport):
     """A :class:`BatchReport` grown incrementally, plus stream provenance.
 
     Reports land in *arrival* order; ``indices`` records each report's
-    job index so ``reports_in_index_order`` can reconstruct the batch
-    engine's submission ordering for comparison.
+    ``(node, index)`` job key so :meth:`reports_in_index_order` can
+    reconstruct the batch engine's per-node submission ordering for
+    comparison.
     """
 
-    indices: List[int] = field(default_factory=list)
+    indices: List[JobKey] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     epochs: int = 0
     seeds_submitted: int = 0
     seeds_coalesced: int = 0
     jobs_dispatched: int = 0
     jobs_recovered: int = 0
+    #: Seeds popped from the pending queues but never handed to a worker
+    #: (unpicklable payloads); their per-node index is a hole the harvest
+    #: will never fill, so ``jobs_completed + jobs_dropped`` — not
+    #: ``jobs_completed`` alone — is what accounts for every dispatch
+    #: attempt.
+    jobs_dropped: int = 0
     checkpoint_bytes_shipped: int = 0
     checkpoint_segments_shipped: int = 0
     full_checkpoint_bytes: int = 0
+    #: Epoch boundaries crossed per federation node: how many deltas have
+    #: been shipped against each node's image chain.
+    deltas_by_node: Dict[str, int] = field(default_factory=dict)
 
     @property
     def jobs_completed(self) -> int:
         return len(self.reports)
+
+    @property
+    def node_count(self) -> int:
+        """Distinct federation nodes that have harvested sessions."""
+        return len({node for node, _ in self.indices})
 
     @property
     def checkpoint_bytes_per_job(self) -> float:
@@ -144,17 +189,27 @@ class StreamReport(BatchReport):
             return float(self.checkpoint_bytes_shipped)
         return self.checkpoint_bytes_shipped / len(self.reports)
 
-    def add_stream_report(self, index: int, report: SessionReport) -> None:
+    def add_stream_report(self, key: JobKey, report: SessionReport) -> None:
         self.add_report(report)
-        self.indices.append(index)
+        self.indices.append(key)
 
-    def reports_in_index_order(self) -> List[SessionReport]:
-        return [
-            report
-            for _, report in sorted(
-                zip(self.indices, self.reports), key=lambda pair: pair[0]
-            )
-        ]
+    def reports_in_index_order(
+        self, node: Optional[str] = None
+    ) -> List[SessionReport]:
+        """Harvested reports re-sorted into submission order.
+
+        With ``node`` given, only that federation node's reports are
+        returned (in that node's arrival-index order) — the exact list a
+        per-AS batch over the same seeds would produce.  Index holes
+        (dropped jobs) are tolerated: ordering needs only relative
+        positions, not density.
+        """
+        pairs = sorted(
+            (key, report)
+            for key, report in zip(self.indices, self.reports)
+            if node is None or key[0] == node
+        )
+        return [report for _, report in pairs]
 
     def exploration_totals(self) -> ExplorationReport:
         """Merged cross-session exploration counters (incremental-style)."""
@@ -168,35 +223,41 @@ class StreamReport(BatchReport):
         base.update(
             {
                 "epochs": self.epochs,
+                "nodes": self.node_count,
                 "seeds_submitted": self.seeds_submitted,
                 "seeds_coalesced": self.seeds_coalesced,
                 "jobs_completed": self.jobs_completed,
                 "jobs_recovered": self.jobs_recovered,
+                "jobs_dropped": self.jobs_dropped,
                 "errors": len(self.errors),
                 "checkpoint_bytes_shipped": self.checkpoint_bytes_shipped,
                 "checkpoint_bytes_per_job": round(self.checkpoint_bytes_per_job),
                 "full_checkpoint_bytes": self.full_checkpoint_bytes,
+                "deltas_by_node": dict(self.deltas_by_node),
             }
         )
         return base
 
 
 class _WorkerState:
-    """Epoch images, rebuilt checkpoints, and job execution for one worker.
+    """Per-``(node, epoch)`` images, rebuilt checkpoints, job execution.
 
     Shared by the process worker loop and the in-process fallback so the
-    two transports cannot drift.  ``prune`` is safe only for process
-    workers, whose single FIFO queue guarantees that by the time an
-    epoch message is handled every earlier epoch's jobs are done; the
-    inline fallback receives salvaged jobs out of band and keeps all
-    images it was given.
+    two transports cannot drift.  The image table is keyed by
+    ``(node, epoch)`` — one worker holds every federation member's chain
+    side by side.  ``prune`` is safe only for process workers, whose
+    single FIFO queue guarantees that by the time a node's epoch message
+    is handled every earlier job *of that node* is done; pruning is
+    strictly per node, so advancing one AS's epoch never drops another
+    AS's resident image.  The inline fallback receives salvaged jobs out
+    of band and keeps everything it was given.
     """
 
     def __init__(self, cache: Optional[object], prune: bool) -> None:
         self.cache = cache
         self.prune = prune
-        self.images: Dict[int, CheckpointImage] = {}
-        self.checkpoints: Dict[int, Checkpoint] = {}
+        self.images: Dict[Tuple[str, int], CheckpointImage] = {}
+        self.checkpoints: Dict[Tuple[str, int], Checkpoint] = {}
 
     def handle(self, msg: tuple) -> Optional[tuple]:
         """Process one coordinator message; job messages return a result."""
@@ -210,43 +271,47 @@ class _WorkerState:
         if kind == _MSG_JOB:
             job: StreamJob = msg[1]
             try:
-                return (_RES_REPORT, job.index, self._run(job))
+                return (_RES_REPORT, job.key, self._run(job))
             except Exception as exc:
-                return (_RES_ERROR, job.index, f"{type(exc).__name__}: {exc}")
+                return (_RES_ERROR, job.key, f"{type(exc).__name__}: {exc}")
         return None
 
     def _apply_epoch(self, payload) -> None:
         if isinstance(payload, CheckpointDelta):
-            base = self.images.get(payload.base_epoch)
+            base = self.images.get(payload.base_key)
             if base is None:
                 raise CheckpointError(
-                    f"delta for epoch {payload.epoch} arrived before its "
-                    f"base image (epoch {payload.base_epoch})"
+                    f"delta for node {payload.node!r} epoch {payload.epoch} "
+                    f"arrived before its base image "
+                    f"(epoch {payload.base_epoch})"
                 )
             image = payload.apply(base)
         else:
             image = payload
-        self.images[image.epoch] = image
+        key = image.image_key
+        self.images[key] = image
         if self.prune:
-            for epoch in [e for e in self.images if e < image.epoch]:
-                del self.images[epoch]
-            for epoch in [e for e in self.checkpoints if e < image.epoch]:
-                del self.checkpoints[epoch]
+            stale = [
+                k for k in self.images if k[0] == key[0] and k[1] < key[1]
+            ]
+            for k in stale:
+                del self.images[k]
+                self.checkpoints.pop(k, None)
 
     def _run(self, job: StreamJob) -> SessionReport:
-        checkpoint = self.checkpoints.get(job.epoch)
+        checkpoint = self.checkpoints.get(job.image_key)
         if checkpoint is None:
-            image = self.images.get(job.epoch)
+            image = self.images.get(job.image_key)
             if image is None:
                 raise CheckpointError(
-                    f"job {job.index} references epoch {job.epoch}, "
-                    f"but no image for it is resident"
+                    f"job {job.index} references node {job.node!r} epoch "
+                    f"{job.epoch}, but no image for it is resident"
                 )
-            # Rebuilt once per epoch per worker: the clone-per-execution
-            # loop unpickles state_bytes repeatedly, so the monolithic
-            # form is worth the one-time local assembly.
+            # Rebuilt once per (node, epoch) per worker: the clone-per-
+            # execution loop unpickles state_bytes repeatedly, so the
+            # monolithic form is worth the one-time local assembly.
             checkpoint = image.as_checkpoint()
-            self.checkpoints[job.epoch] = checkpoint
+            self.checkpoints[job.image_key] = checkpoint
         return run_session_job(
             SessionJob(
                 index=job.index,
@@ -261,6 +326,7 @@ class _WorkerState:
                 anycast_whitelist=job.anycast_whitelist,
                 checkers=job.checkers,
                 cache=self.cache,
+                node=job.node,
             )
         )
 
@@ -333,12 +399,21 @@ class _InlineWorker:
     pumps (``poll``/``drain``), never at submit time — preserving the
     stream's enqueue-now-explore-later shape so backpressure and
     coalescing behave identically under the serial fallback.
+
+    ``prune`` follows the process workers' rule when the inline worker
+    *is* the pool (the no-fork fallback): its FIFO mailbox gives the
+    same ordering guarantee, so superseded epochs drop per node and a
+    long-lived serial stream does not retain every epoch's image.  The
+    salvage fallback keeps ``prune=False``: it receives re-run jobs out
+    of band, possibly referencing epochs its mailbox already advanced
+    past (the coordinator re-ships a missing base via
+    ``_fallback_images``, but only for images *it* still retains).
     """
 
     slot = -1
 
-    def __init__(self, cache: Optional[object]) -> None:
-        self._state = _WorkerState(cache, prune=False)
+    def __init__(self, cache: Optional[object], prune: bool = False) -> None:
+        self._state = _WorkerState(cache, prune=prune)
         self._mailbox: Deque[tuple] = deque()
         self.alive = True
         self.salvaged = False
@@ -372,6 +447,19 @@ class StreamingExplorer:
 
     or, bound to a DiCE facade, ``with dice.stream(workers=4): ...`` —
     which routes every observed UPDATE into :meth:`submit` automatically.
+
+    For a federation, :meth:`start_nodes` registers many live routers on
+    the *same* pool::
+
+        explorer = StreamingExplorer(workers=4)
+        explorer.start_nodes({"as0": r0, "as1": r1, ...})
+        explorer.submit(peer, update, node="as1")
+        explorer.advance_epoch(node="as1")     # per-node delta base
+        report = explorer.close()
+
+    Every worker holds a ``{(node, epoch): image}`` table, so the
+    federation costs one pool of ``workers`` processes total; dispatch
+    rotates across ASes by recent finding yield (``as_rotation``).
     """
 
     def __init__(
@@ -390,11 +478,16 @@ class StreamingExplorer:
         max_inflight: Optional[int] = None,
         cache_shards: int = 0,
         coverage_guided: bool = True,
+        as_rotation: str = "yield",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if as_rotation not in ("yield", "round-robin"):
+            raise ValueError(
+                f"as_rotation must be 'yield' or 'round-robin', got {as_rotation!r}"
+            )
         self.workers = workers
         self.policy = policy
         self.model_kwargs = dict(model_kwargs or {})
@@ -405,7 +498,8 @@ class StreamingExplorer:
         self.constraint_cache = constraint_cache
         self.force_serial = force_serial
         self.budget = budget
-        #: Per-peer pending-seed bound; overflowing coalesces the oldest.
+        #: Per-(node, peer) pending-seed bound; overflowing coalesces the
+        #: oldest.
         self.queue_capacity = queue_capacity
         #: Dispatched-but-unfinished bound; keeps seeds in the pending
         #: queues (where they can still coalesce) instead of piling up
@@ -420,21 +514,36 @@ class StreamingExplorer:
         #: session computes — the drained finding set stays identical to
         #: the batch engine's whatever order the scheduler picks.
         self.coverage_guided = coverage_guided
+        #: Cross-AS dispatch policy for multi-node streams: "yield"
+        #: rotates budget toward ASes whose recent sessions produced
+        #: findings (FederationScheduler); "round-robin" is blind
+        #: rotation.  Single-node streams never consult it.
+        self.as_rotation = as_rotation
         self._scheduler = CoverageScheduler() if coverage_guided else None
+        self._fed_scheduler = (
+            FederationScheduler() if as_rotation == "yield" else None
+        )
 
         self.report = StreamReport(workers=workers)
-        self._pending: Dict[str, Deque[Tuple[int, UpdateMessage]]] = {}
+        self._pending: Dict[Tuple[str, str], Deque[Tuple[int, UpdateMessage]]] = {}
         self._last_peer: Optional[str] = None
-        self._next_index = 0
-        self._inflight: Dict[int, StreamJob] = {}
-        self._assignment: Dict[int, int] = {}
+        self._last_node: Optional[str] = None
+        self._next_index: Dict[str, int] = {}
+        self._inflight: Dict[JobKey, StreamJob] = {}
+        self._assignment: Dict[JobKey, int] = {}
         self._workers: List[object] = []
         self._fallback: Optional[_InlineWorker] = None
+        #: ``(node, epoch)`` images already delivered to the fallback, so
+        #: salvage can ship a missing base instead of failing the re-run.
+        self._fallback_images: Set[Tuple[str, int]] = set()
         self._result_queue = None
-        self._images: Dict[int, CheckpointImage] = {}
-        self._image: Optional[CheckpointImage] = None
-        self._epoch = -1
-        self._router: Optional[BgpRouter] = None
+        #: Retained images by ``(node, epoch)``: each node's current
+        #: epoch plus any epoch an in-flight job still references.
+        self._images: Dict[Tuple[str, int], CheckpointImage] = {}
+        #: Each node's latest image — the delta base for the next epoch.
+        self._current: Dict[str, CheckpointImage] = {}
+        self._epochs: Dict[str, int] = {}
+        self._routers: Dict[str, BgpRouter] = {}
         self._cache = None
         self._cache_managers: list = []
         self._started = False
@@ -445,18 +554,32 @@ class StreamingExplorer:
 
     def start(self, live_router: BgpRouter) -> "StreamingExplorer":
         """Capture epoch 0, spin up the worker pool, ship the full image."""
+        return self.start_nodes({DEFAULT_NODE: live_router})
+
+    def start_nodes(
+        self, live_routers: Dict[str, BgpRouter]
+    ) -> "StreamingExplorer":
+        """Register a whole federation on one pool.
+
+        Captures every node's epoch-0 image, starts the (single) worker
+        pool, and ships each image — node-tagged — to every worker.
+        """
         if self._started:
             raise ExplorationError("stream already started")
-        self._router = live_router
+        if not live_routers:
+            raise ExplorationError("start_nodes needs at least one live router")
+        self._routers = dict(live_routers)
         self._started_at = time.perf_counter()
 
         capture_started = time.perf_counter()
-        self._image = CheckpointImage.capture(live_router, "stream-ckpt", epoch=0)
+        for node, router in self._routers.items():
+            label = f"stream-ckpt-{node}" if node else "stream-ckpt"
+            image = CheckpointImage.capture(router, label, epoch=0, node_id=node)
+            self._epochs[node] = 0
+            self._current[node] = image
+            self._images[(node, 0)] = image
         self.report.checkpoint_seconds += time.perf_counter() - capture_started
-        self.report.checkpoint_pages = len(self._image.pages)
-        self.report.full_checkpoint_bytes = self._image.total_bytes
-        self._epoch = 0
-        self._images = {0: self._image}
+        self._refresh_image_economics()
 
         multiprocess = not self.force_serial
         self._setup_cache(multiprocess)
@@ -475,10 +598,11 @@ class StreamingExplorer:
                 self._result_queue = None
                 self.report.fallback_reason = f"{type(exc).__name__}: {exc}"
         if not self._workers:
-            self._workers = [_InlineWorker(self._cache)]
+            self._workers = [_InlineWorker(self._cache, prune=True)]
             self.report.used_processes = False
         for worker in self._workers:
-            self._ship(worker, self._image)
+            for node in sorted(self._current):
+                self._ship(worker, self._current[node])
         self._started = True
         return self
 
@@ -507,20 +631,36 @@ class StreamingExplorer:
                 self._cache_managers = []
         self._cache = DictConstraintCache()
 
+    def _refresh_image_economics(self) -> None:
+        """Report-side view of what a full re-ship of every node costs."""
+        self.report.full_checkpoint_bytes = sum(
+            image.total_bytes for image in self._current.values()
+        )
+        self.report.checkpoint_pages = sum(
+            len(image.pages) for image in self._current.values()
+        )
+
     # -- seed intake ---------------------------------------------------------
 
-    def submit(self, peer: str, update: UpdateMessage) -> int:
-        """Enqueue an observed seed; returns its global arrival index.
+    def submit(
+        self, peer: str, update: UpdateMessage, node: str = DEFAULT_NODE
+    ) -> int:
+        """Enqueue an observed seed; returns its per-node arrival index.
 
-        Non-blocking: if the peer's pending queue is full, the oldest
-        unscheduled seed from that peer is superseded (coalescing
+        Non-blocking: if the ``(node, peer)`` pending queue is full, the
+        oldest unscheduled seed from that queue is superseded (coalescing
         backpressure) — mirroring the DiCE ring buffers — rather than
         blocking the observer, which sits on the live message path.
         """
         self._require_open()
-        index = self._next_index
-        self._next_index += 1
-        buffer = self._pending.setdefault(peer, deque())
+        if node not in self._routers:
+            raise ExplorationError(
+                f"seed for unregistered node {node!r} "
+                f"(stream serves {sorted(self._routers)})"
+            )
+        index = self._next_index.get(node, 0)
+        self._next_index[node] = index + 1
+        buffer = self._pending.setdefault((node, peer), deque())
         if len(buffer) >= self.queue_capacity:
             buffer.popleft()
             self.report.seeds_coalesced += 1
@@ -538,6 +678,11 @@ class StreamingExplorer:
         return self._closed
 
     @property
+    def nodes(self) -> List[str]:
+        """The registered federation nodes (``[""]`` for single-node)."""
+        return sorted(self._routers)
+
+    @property
     def pending_seeds(self) -> int:
         return sum(len(buffer) for buffer in self._pending.values())
 
@@ -550,36 +695,88 @@ class StreamingExplorer:
         """No seed waiting and no job running."""
         return not self.pending_seeds and not self._inflight
 
+    def federation_yields(self) -> Dict[str, float]:
+        """Per-AS finding-yield EWMAs driving cross-AS dispatch rotation."""
+        if self._fed_scheduler is None:
+            return {}
+        return self._fed_scheduler.yields()
+
     # -- dispatch / harvest --------------------------------------------------
 
-    def _next_seed(self) -> Optional[Tuple[int, str, UpdateMessage]]:
+    @staticmethod
+    def _scheduler_key(node: str, peer: str) -> str:
+        """Coverage-scheduler identity for one (node, peer) seed source.
+
+        Qualified by node so two ASes' same-named peers (every generated
+        topology names neighbors by AS id) keep separate EWMAs.
+        """
+        return f"{node}\x00{peer}" if node else peer
+
+    def _pick_node(self) -> Optional[str]:
+        """Which federation node's queues to serve next.
+
+        Single-node streams short-circuit.  Multi-node dispatch rotates
+        by recent finding yield (:class:`FederationScheduler`) or blind
+        round-robin, per ``as_rotation``; either way job results are
+        placement-independent, so this only shapes latency.
+        """
+        nodes = sorted({node for (node, _), buf in self._pending.items() if buf})
+        if not nodes:
+            return None
+        if len(nodes) == 1:
+            choice = nodes[0]
+        elif self._fed_scheduler is not None:
+            picked = self._fed_scheduler.pick(
+                [(node, None) for node in nodes], after=self._last_node
+            )
+            choice = nodes[picked]
+        else:
+            start = 0
+            if self._last_node in nodes:
+                start = (nodes.index(self._last_node) + 1) % len(nodes)
+            choice = nodes[start]
+        self._last_node = choice
+        return choice
+
+    def _next_seed(self) -> Optional[Tuple[str, int, str, UpdateMessage]]:
         """The most promising pending seed (coverage-guided), else rotation.
 
-        Candidates are each peer's oldest unscheduled seed; the
-        scheduler scores them by the peer's recent new-coverage EWMA and
-        the seed's novelty, falling back to the original per-peer
-        round-robin on ties (and exactly reproducing it until the first
-        harvested report arrives).
+        Node first (finding-yield rotation across ASes), then peer within
+        the node: candidates are each peer's oldest unscheduled seed,
+        scored by the peer's recent new-coverage EWMA and the seed's
+        novelty, falling back to the original per-peer round-robin on
+        ties (and exactly reproducing it until the first harvested
+        report arrives).  The scheduler's ``mark_scheduled`` is *not*
+        called here — dispatch marks a seed only once a worker actually
+        accepted it, so a dropped job never leaks a permanently-
+        "scheduled" signature.
         """
-        peers = [peer for peer, buffer in self._pending.items() if buffer]
-        if not peers:
+        node = self._pick_node()
+        if node is None:
             return None
+        peers = [
+            peer for (n, peer), buffer in self._pending.items()
+            if n == node and buffer
+        ]
         if self._scheduler is not None:
             candidates = [
-                (peer, seed_signature(self._pending[peer][0][1])) for peer in peers
+                (
+                    self._scheduler_key(node, peer),
+                    seed_signature(self._pending[(node, peer)][0][1]),
+                )
+                for peer in peers
             ]
             choice = self._scheduler.pick(candidates, after=self._last_peer)
             peer = peers[choice]
         else:
             start = 0
-            if self._last_peer in peers:
-                start = (peers.index(self._last_peer) + 1) % len(peers)
+            scoped = [self._scheduler_key(node, peer) for peer in peers]
+            if self._last_peer in scoped:
+                start = (scoped.index(self._last_peer) + 1) % len(peers)
             peer = peers[start]
-        self._last_peer = peer
-        index, update = self._pending[peer].popleft()
-        if self._scheduler is not None:
-            self._scheduler.mark_scheduled(seed_signature(update))
-        return index, peer, update
+        self._last_peer = self._scheduler_key(node, peer)
+        index, update = self._pending[(node, peer)].popleft()
+        return node, index, peer, update
 
     def _pick_worker(self):
         alive = [worker for worker in self._workers if worker.alive]
@@ -595,12 +792,13 @@ class StreamingExplorer:
             seed = self._next_seed()
             if seed is None:
                 break
-            index, peer, update = seed
+            node, index, peer, update = seed
             job = StreamJob(
                 index=index,
-                epoch=self._epoch,
+                epoch=self._epochs[node],
                 peer=peer,
                 observed=update,
+                node=node,
                 policy=self.policy,
                 model_kwargs=dict(self.model_kwargs),
                 budget=self.budget,
@@ -619,17 +817,29 @@ class StreamingExplorer:
                 try:
                     pickle.dumps(job)
                 except Exception as exc:
+                    # The seed was already popped and its index consumed:
+                    # account the hole so completed+dropped adds up, and
+                    # leave the scheduler untouched — the signature was
+                    # never marked scheduled, so its novelty bookkeeping
+                    # cannot leak a seed no worker ever ran.
+                    self.report.jobs_dropped += 1
                     self.report.errors.append(
-                        f"job {index} ({peer}) is not picklable: "
-                        f"{type(exc).__name__}: {exc}"
+                        f"job {index} ({self._describe(node, peer)}) is not "
+                        f"picklable: {type(exc).__name__}: {exc}"
                     )
                     continue
             worker.send((_MSG_JOB, job))
-            self._inflight[index] = job
-            self._assignment[index] = worker.slot
+            if self._scheduler is not None:
+                self._scheduler.mark_scheduled(seed_signature(update))
+            self._inflight[job.key] = job
+            self._assignment[job.key] = worker.slot
             self.report.jobs_dispatched += 1
             dispatched += 1
         return dispatched
+
+    @staticmethod
+    def _describe(node: str, peer: str) -> str:
+        return f"{node}:{peer}" if node else peer
 
     def _touch_wall(self) -> None:
         """Keep the report's wall clock live so mid-stream summaries work."""
@@ -667,26 +877,32 @@ class StreamingExplorer:
         return inline
 
     def _handle_result(self, msg: tuple) -> None:
-        kind, index = msg[0], msg[1]
+        kind, key = msg[0], msg[1]
         if kind == _RES_REPORT:
-            if index not in self._inflight:
+            if key not in self._inflight:
                 return  # already salvaged elsewhere; first result won
-            del self._inflight[index]
-            self._assignment.pop(index, None)
-            self.report.add_stream_report(index, msg[2])
+            del self._inflight[key]
+            self._assignment.pop(key, None)
+            self.report.add_stream_report(key, msg[2])
+            session = msg[2]
             if self._scheduler is not None:
-                session = msg[2]
                 self._scheduler.note_session(
-                    session.peer, session.exploration.coverage
+                    self._scheduler_key(key[0], session.peer),
+                    session.exploration.coverage,
                 )
+            if self._fed_scheduler is not None:
+                self._fed_scheduler.note_findings(key[0], len(session.findings))
         elif kind == _RES_ERROR:
-            if index == _NO_JOB:
+            if key == _NO_JOB:
                 self.report.errors.append(str(msg[2]))
                 return
-            job = self._inflight.pop(index, None)
-            self._assignment.pop(index, None)
+            job = self._inflight.pop(key, None)
+            self._assignment.pop(key, None)
             if job is not None:
-                self.report.errors.append(f"job {index} ({job.peer}): {msg[2]}")
+                self.report.errors.append(
+                    f"job {job.index} ({self._describe(job.node, job.peer)}): "
+                    f"{msg[2]}"
+                )
         self._prune_images()
 
     def _ensure_fallback(self) -> _InlineWorker:
@@ -694,10 +910,14 @@ class StreamingExplorer:
         if self._fallback is None:
             cache = self._cache if self._cache is not None else None
             self._fallback = _InlineWorker(cache)
-            # Prime it with full images for every epoch still referenced;
-            # deltas are useless to a worker with no base image.
-            for epoch in sorted(self._images):
-                self._fallback.send((_MSG_EPOCH, self._images[epoch]))
+            # Prime it with full images for every (node, epoch) still
+            # retained; deltas are useless to a worker with no base
+            # image.  _fallback_images records what it holds so a later
+            # salvage can ship any base the retention table has that the
+            # fallback missed.
+            for key in sorted(self._images):
+                self._fallback.send((_MSG_EPOCH, self._images[key]))
+                self._fallback_images.add(key)
         return self._fallback
 
     def _salvage_dead_workers(self) -> bool:
@@ -710,14 +930,32 @@ class StreamingExplorer:
                 continue
             worker.salvaged = True
             lost = [
-                index
-                for index, slot in self._assignment.items()
-                if slot == worker.slot and index in self._inflight
+                key
+                for key, slot in self._assignment.items()
+                if slot == worker.slot and key in self._inflight
             ]
             fallback = self._ensure_fallback()
-            for index in lost:
-                fallback.send((_MSG_JOB, self._inflight[index]))
-                self._assignment[index] = fallback.slot
+            for key in lost:
+                job = self._inflight[key]
+                # The retention invariant (_prune_images keeps every
+                # in-flight job's (node, epoch)) guarantees the base is
+                # still here; ship it if the fallback predates it or was
+                # primed before this epoch existed.
+                if job.image_key not in self._fallback_images:
+                    image = self._images.get(job.image_key)
+                    if image is None:  # pragma: no cover - invariant broken
+                        self.report.errors.append(
+                            f"job {job.index} "
+                            f"({self._describe(job.node, job.peer)}): salvage "
+                            f"impossible, image for epoch {job.epoch} evicted"
+                        )
+                        del self._inflight[key]
+                        self._assignment.pop(key, None)
+                        continue
+                    fallback.send((_MSG_EPOCH, image))
+                    self._fallback_images.add(job.image_key)
+                fallback.send((_MSG_JOB, job))
+                self._assignment[key] = fallback.slot
                 self.report.jobs_recovered += 1
             if not self.report.fallback_reason:
                 self.report.fallback_reason = (
@@ -731,10 +969,18 @@ class StreamingExplorer:
         return salvaged
 
     def _prune_images(self) -> None:
-        """Drop retained epoch images nothing in flight references."""
-        needed = {self._epoch} | {job.epoch for job in self._inflight.values()}
-        for epoch in [e for e in self._images if e not in needed]:
-            del self._images[epoch]
+        """Drop retained images nothing references.
+
+        Retained = each node's current epoch (the next delta's base)
+        plus every ``(node, epoch)`` an *in-flight* job still names — a
+        dead-worker salvage may need to prime the fallback with exactly
+        that base image, so eviction must wait for the job to finish,
+        not merely for its epoch to be superseded.
+        """
+        needed = {(node, epoch) for node, epoch in self._epochs.items()}
+        needed |= {job.image_key for job in self._inflight.values()}
+        for key in [k for k in self._images if k not in needed]:
+            del self._images[key]
 
     # -- epochs --------------------------------------------------------------
 
@@ -747,34 +993,50 @@ class StreamingExplorer:
             self.report.checkpoint_bytes_shipped += payload.total_bytes
             self.report.checkpoint_segments_shipped += len(payload.segments)
 
-    def advance_epoch(self) -> Dict[str, object]:
-        """Epoch boundary: re-checkpoint the live node, ship only the diff.
+    def advance_epoch(self, node: str = DEFAULT_NODE) -> Dict[str, object]:
+        """Epoch boundary for one node: re-checkpoint, ship only the diff.
 
-        Every live worker gets the delta (its resident image plus the
-        changed segments reassemble the new epoch byte-identically);
-        jobs dispatched from here on reference the new epoch.  Returns
-        the shipping economics for logging/benchmarks.
+        Every live worker gets the node-tagged delta (its resident image
+        for that node plus the changed segments reassemble the new epoch
+        byte-identically); jobs for this node dispatched from here on
+        reference the new epoch.  Other nodes' images and epochs are
+        untouched — per-node delta bases are the whole point of the
+        ``(node, epoch)`` keying.  Returns the shipping economics for
+        logging/benchmarks.
         """
         self._require_open()
+        if node not in self._routers:
+            raise ExplorationError(
+                f"advance_epoch for unregistered node {node!r} "
+                f"(stream serves {sorted(self._routers)})"
+            )
         capture_started = time.perf_counter()
+        next_epoch = self._epochs[node] + 1
+        label = f"stream-ckpt-{node}-{next_epoch}" if node else (
+            f"stream-ckpt-{next_epoch}"
+        )
         image = CheckpointImage.capture(
-            self._router, f"stream-ckpt-{self._epoch + 1}", epoch=self._epoch + 1
+            self._routers[node], label, epoch=next_epoch, node_id=node
         )
         self.report.checkpoint_seconds += time.perf_counter() - capture_started
-        delta = image.diff(self._image)
-        self._epoch = image.epoch
-        self._image = image
-        self._images[image.epoch] = image
+        delta = image.diff(self._current[node])
+        self._epochs[node] = image.epoch
+        self._current[node] = image
+        self._images[image.image_key] = image
         for worker in self._workers:
             if worker.alive and not worker.salvaged:
                 self._ship(worker, delta)
         if self._fallback is not None:
             self._ship(self._fallback, delta)
+            self._fallback_images.add(image.image_key)
         self.report.epochs += 1
-        self.report.full_checkpoint_bytes = image.total_bytes
-        self.report.checkpoint_pages = len(image.pages)
+        self.report.deltas_by_node[node] = (
+            self.report.deltas_by_node.get(node, 0) + 1
+        )
+        self._refresh_image_economics()
         self._prune_images()
         return {
+            "node": node,
             "epoch": image.epoch,
             "segments_shipped": delta.segments_shipped,
             "segments_total": len(image.segments),

@@ -61,6 +61,10 @@ class SessionJob:
     anycast_whitelist: Tuple[Prefix, ...] = ()
     checkers: Optional[Sequence[FaultChecker]] = None
     cache: Optional[object] = None
+    #: Federation node this session belongs to ("" for single-node runs).
+    #: Pure provenance — it never feeds the strategy RNG, so a session is
+    #: bit-identical whether it ran in a per-AS pool or the shared one.
+    node: str = ""
 
 
 @dataclass
@@ -121,6 +125,7 @@ def run_session_job(job: SessionJob) -> SessionReport:
         checkpoint=job.checkpoint,
     )
     report.solver_stats = engine.solver.stats.as_dict()
+    report.node = job.node
     return report.compact()
 
 

@@ -6,6 +6,8 @@ once history exists it must steer budget toward peers and seeds still
 producing new branch coverage.
 """
 
+import pytest
+
 from repro.bgp.attributes import AsPath, PathAttributes
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.nlri import NlriEntry
@@ -137,3 +139,69 @@ class TestDiceIntegration:
         dice.observe("a", update_for("10.1.0.0/16"))
         # Observation order preserved when no coverage history exists.
         assert [peer for peer, _ in dice.batch_seeds(all_seeds=True)] == ["b", "a"]
+
+
+class TestFederationScheduler:
+    """Cross-AS dispatch rotation: yield-weighted, starvation-free."""
+
+    def test_no_history_is_plain_round_robin(self):
+        from repro.concolic.coverage import FederationScheduler
+
+        scheduler = FederationScheduler()
+        candidates = [("as0", None), ("as1", None), ("as2", None)]
+        order = []
+        last = None
+        for _ in range(6):
+            choice = scheduler.pick(candidates, after=last)
+            last = candidates[choice][0]
+            order.append(last)
+        assert order == ["as0", "as1", "as2", "as0", "as1", "as2"]
+
+    def test_high_yield_as_wins_proportionally_more_slots(self):
+        from repro.concolic.coverage import FederationScheduler
+
+        scheduler = FederationScheduler()
+        scheduler.note_findings("loud", 10)
+        scheduler.note_findings("quiet", 0)
+        candidates = [("loud", None), ("quiet", None)]
+        served = {"loud": 0, "quiet": 0}
+        last = None
+        for _ in range(24):
+            choice = scheduler.pick(candidates, after=last)
+            last = candidates[choice][0]
+            served[last] += 1
+        assert served["loud"] > served["quiet"]
+        assert served["quiet"] > 0
+
+    def test_zero_yield_as_is_delayed_never_starved(self):
+        """The credit floor guarantees bounded waiting: with bounded
+        pending queues a never-dispatched AS would have its seeds
+        silently coalesced away, so this is a correctness bound, not
+        just fairness."""
+        from repro.concolic.coverage import FederationScheduler
+
+        scheduler = FederationScheduler()
+        scheduler.note_findings("quiet", 0)
+        candidates = [("loud", None), ("quiet", None)]
+        last = None
+        for round_index in range(200):
+            # "loud" keeps producing findings on every harvested session.
+            scheduler.note_findings("loud", 5)
+            choice = scheduler.pick(candidates, after=last)
+            last = candidates[choice][0]
+            if last == "quiet":
+                break
+        else:
+            raise AssertionError("zero-yield AS starved for 200 rounds")
+        # Served within the score-ratio bound (~1 + EWMA of the loud AS).
+        assert round_index <= 12
+
+    def test_yields_snapshot_for_reports(self):
+        from repro.concolic.coverage import FederationScheduler
+
+        scheduler = FederationScheduler()
+        scheduler.note_findings("as0", 4)
+        scheduler.note_findings("as0", 2)
+        snapshot = scheduler.yields()
+        assert set(snapshot) == {"as0"}
+        assert snapshot["as0"] == pytest.approx(3.0)  # 4 then EWMA with 2

@@ -304,6 +304,234 @@ class TestWorkerSalvage:
         assert finding_keys(report) == finding_keys(baseline)
 
 
+class TestFederatedStreamPool:
+    """The (node, epoch)-keyed image table: one pool, many live routers."""
+
+    @staticmethod
+    def _nodes(scenario):
+        return {"prov": scenario.provider, "cust": scenario.customer}
+
+    @staticmethod
+    def _node_seeds(scenario):
+        """An interleaved two-node corpus: provider traffic as observed,
+        plus announcements arriving at the customer from its provider
+        session (fig2's only customer-side peer)."""
+        prov = [
+            ("prov", peer, observed)
+            for peer, observed in scenario.dice.batch_seeds(all_seeds=True)[:2]
+        ]
+        cust = [
+            ("cust", "provider", seed_update("44.1.0.0/16", asn=65010)),
+            ("cust", "provider", seed_update("44.2.0.0/16", asn=65010)),
+        ]
+        interleaved = []
+        for pair in zip(prov, cust):
+            interleaved.extend(pair)
+        return interleaved
+
+    def _baseline(self, scenario, fed_seeds):
+        """Per-node serial streams — the pre-shared-pool finding sets."""
+        per_node = {}
+        for node, router in self._nodes(scenario).items():
+            node_seeds = [(p, o) for n, p, o in fed_seeds if n == node]
+            report = run_stream(router, node_seeds, 1, True)
+            per_node[node] = report
+        return per_node
+
+    def run_shared(self, scenario, fed_seeds, workers, force_serial, **kwargs):
+        stream = StreamingExplorer(
+            workers=workers,
+            force_serial=force_serial,
+            budget=BUDGET,
+            queue_capacity=max(16, len(fed_seeds)),
+            **kwargs,
+        )
+        stream.start_nodes(self._nodes(scenario))
+        for node, peer, observed in fed_seeds:
+            stream.submit(peer, observed, node=node)
+        return stream
+
+    @pytest.mark.parametrize("as_rotation", ["yield", "round-robin"])
+    def test_shared_pool_matches_per_node_streams(
+        self, erroneous_scenario, as_rotation
+    ):
+        """Per-AS finding sets are identical whether each AS had its own
+        pool or every AS shared one — under either cross-AS rotation."""
+        fed_seeds = self._node_seeds(erroneous_scenario)
+        baseline = self._baseline(erroneous_scenario, fed_seeds)
+        stream = self.run_shared(
+            erroneous_scenario, fed_seeds, 2, True, as_rotation=as_rotation
+        )
+        report = stream.close()
+        assert not report.errors, report.errors
+        assert report.node_count == 2
+        for node, node_report in baseline.items():
+            shared_keys = {
+                f.dedup_key()
+                for r in report.reports_in_index_order(node)
+                for f in r.findings
+            }
+            assert shared_keys == finding_keys(node_report), node
+            assert [
+                r.exploration.unique_paths
+                for r in report.reports_in_index_order(node)
+            ] == [
+                r.exploration.unique_paths
+                for r in node_report.reports_in_index_order()
+            ], node
+        # Provenance: every harvested session is stamped with its node.
+        assert {r.node for r in report.reports} == {"prov", "cust"}
+
+    def test_yield_rotation_tracks_findings_per_node(self, erroneous_scenario):
+        fed_seeds = self._node_seeds(erroneous_scenario)
+        stream = self.run_shared(erroneous_scenario, fed_seeds, 1, True)
+        report = stream.close()
+        yields = stream.federation_yields()
+        assert set(yields) <= {"prov", "cust"}
+        # The erroneous provider yields findings; its EWMA must be > 0.
+        assert report.findings()
+        assert any(gain > 0 for gain in yields.values())
+
+    def test_per_node_epoch_advance_ships_only_that_nodes_delta(
+        self, mutable_scenario
+    ):
+        """Mutating one AS re-ships one AS's dirty segments; the other
+        AS's resident image (and its jobs) are untouched."""
+        scenario = mutable_scenario
+        nodes = self._nodes(scenario)
+        stream = StreamingExplorer(workers=1, force_serial=True, budget=BUDGET)
+        stream.start_nodes(nodes)
+        stream.submit("customer", seed_update(), node="prov")
+        stream.drain()
+        scenario.provider.handle_update("customer", seed_update("97.1.0.0/16"))
+        info = stream.advance_epoch(node="prov")
+        assert info["node"] == "prov"
+        assert info["epoch"] == 1
+        assert 0 < info["bytes_shipped"] < info["bytes_full"]
+        # The customer node never advanced: no delta recorded for it,
+        # and its epoch-0 image still serves new jobs.
+        assert stream.report.deltas_by_node == {"prov": 1}
+        stream.submit("customer", seed_update("97.1.4.0/24"), node="prov")
+        stream.submit("provider", seed_update("98.1.0.0/16", asn=65010), node="cust")
+        report = stream.close()
+        assert not report.errors, report.errors
+        assert report.jobs_completed == 3
+        assert report.summary()["deltas_by_node"] == {"prov": 1}
+
+    def test_unregistered_node_rejected(self, erroneous_scenario):
+        stream = StreamingExplorer(workers=1, force_serial=True, budget=BUDGET)
+        stream.start(erroneous_scenario.provider)
+        with pytest.raises(ExplorationError, match="unregistered node"):
+            stream.submit("customer", seed_update(), node="nowhere")
+        with pytest.raises(ExplorationError, match="unregistered node"):
+            stream.advance_epoch(node="nowhere")
+        stream.close()
+
+    def test_as_rotation_validation(self):
+        with pytest.raises(ValueError, match="as_rotation"):
+            StreamingExplorer(as_rotation="florp")
+
+    def test_dead_worker_mid_federation_stream_salvages_exactly(
+        self, erroneous_scenario
+    ):
+        """Kill one process worker while a shared multi-node stream is in
+        flight: the salvage path must rebuild from the (node, epoch)
+        image table and preserve per-AS finding parity with the
+        per-node serial baseline."""
+        fed_seeds = self._node_seeds(erroneous_scenario)
+        baseline = self._baseline(erroneous_scenario, fed_seeds)
+        stream = self.run_shared(erroneous_scenario, fed_seeds, 2, False)
+        if not stream.report.used_processes:
+            stream.close()
+            pytest.skip("no process workers on this host")
+        # Kill a worker out from under its queue mid-stream.
+        stream._workers[0].process.terminate()
+        stream._workers[0].process.join(2.0)
+        report = stream.close()
+        assert not report.errors, report.errors
+        assert report.jobs_completed == len(fed_seeds)
+        for node, node_report in baseline.items():
+            shared_keys = {
+                f.dedup_key()
+                for r in report.reports_in_index_order(node)
+                for f in r.findings
+            }
+            assert shared_keys == finding_keys(node_report), node
+
+    def test_salvage_of_old_epoch_job_keeps_base_image(self, mutable_scenario):
+        """An in-flight job pins its (node, epoch) image: advancing the
+        epoch twice and then losing the worker must still salvage the
+        job against the *old* base, not fail on an evicted image."""
+        scenario = mutable_scenario
+        seeds = scenario.dice.batch_seeds(all_seeds=True)[:2]
+        baseline = run_stream(scenario.provider, seeds, 1, True)
+        stream = StreamingExplorer(
+            workers=1, budget=BUDGET, queue_capacity=len(seeds)
+        )
+        stream.start(scenario.provider)
+        if not stream.report.used_processes:
+            stream.close()
+            pytest.skip("no process workers on this host")
+        for peer, observed in seeds:
+            stream.submit(peer, observed)
+        # Two epoch boundaries while the epoch-0 jobs are (likely) still
+        # in flight; the retained-image invariant must keep their base.
+        scenario.provider.handle_update("customer", seed_update("96.1.0.0/16"))
+        stream.advance_epoch()
+        scenario.provider.handle_update("customer", seed_update("96.2.0.0/16"))
+        stream.advance_epoch()
+        stream._workers[0].process.terminate()
+        stream._workers[0].process.join(2.0)
+        report = stream.close()
+        assert not report.errors, report.errors
+        assert report.jobs_completed == len(seeds)
+        assert finding_keys(report) == finding_keys(baseline)
+
+
+class TestDispatchDropBookkeeping:
+    def test_dropped_job_unwinds_scheduler_and_accounts_the_hole(
+        self, erroneous_scenario
+    ):
+        """An unpicklable seed is dropped at dispatch *after* its index
+        was consumed: the drop must be counted (jobs_dropped), the
+        coverage scheduler must not keep a permanently-'scheduled'
+        novelty signature for a seed no worker ran, and the index hole
+        must not disturb reports_in_index_order."""
+        from repro.core.inputs import seed_signature
+
+        class UnpicklableUpdate(UpdateMessage):
+            def __reduce__(self):
+                raise TypeError("deliberately unpicklable")
+
+        good = seed_update()
+        bad = UnpicklableUpdate(
+            attributes=good.attributes, nlri=list(good.nlri)
+        )
+        assert seed_signature(bad) is not None  # body() encodes fine
+        stream = StreamingExplorer(
+            workers=1, budget=BUDGET, coverage_guided=True, max_inflight=1
+        )
+        stream.start(erroneous_scenario.provider)
+        if not stream.report.used_processes:
+            stream.close()
+            pytest.skip("no process workers on this host")
+        stream.submit("customer", seed_update("10.10.3.0/24"))
+        stream.submit("customer", bad)
+        stream.submit("customer", seed_update("10.10.5.0/24"))
+        report = stream.close(timeout=30)
+        assert report.jobs_dropped == 1
+        assert report.errors and "not picklable" in report.errors[0]
+        assert report.jobs_completed == 2
+        assert report.summary()["jobs_dropped"] == 1
+        # The hole (index of the dropped job) leaves ordering intact.
+        ordered = report.reports_in_index_order()
+        assert len(ordered) == 2
+        assert sorted(report.indices) == report.indices
+        # The dropped seed's signature never leaked into the scheduler's
+        # scheduled set: it still scores as novel.
+        assert stream._scheduler.is_novel(seed_signature(bad))
+
+
 class TestDiceStreamWiring:
     def test_observe_auto_enqueues_and_aggregates(self, erroneous_scenario):
         dice = DiCE(erroneous_scenario.provider)
