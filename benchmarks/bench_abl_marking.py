@@ -16,7 +16,7 @@ messages, executions that reached route processing, and hijack findings.
 import pytest
 
 from repro.concolic.engine import ExplorationBudget
-from repro.core import DiceExplorer, ScenarioConfig, build_scenario
+from repro.core import DiceExplorer, get_scenario
 from repro.core.inputs import SelectiveUpdateModel, WholeMessageModel
 from repro.util.errors import WireFormatError
 
@@ -58,8 +58,8 @@ def run_policy(scenario, model):
 def leak_scenario():
     # The erroneous filter gives exploration a branchy policy to cover —
     # the setting where the marking policies differ most.
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="erroneous", prefix_count=SCALE, update_count=100)
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous", prefix_count=SCALE, update_count=100
     )
     scenario.converge()
     return scenario

@@ -9,7 +9,7 @@ verifies the structural properties every other experiment relies on.
 
 import pytest
 
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.util.ip import Prefix
 
 P = Prefix.parse
@@ -18,12 +18,10 @@ SCALE = 5_000  # prefixes; the paper used 319,355 on a 48-core testbed
 
 
 def build_and_converge(prefix_count=SCALE, update_count=500):
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="correct",
-            prefix_count=prefix_count,
-            update_count=update_count,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="correct",
+        prefix_count=prefix_count,
+        update_count=update_count,
     )
     scenario.converge()
     return scenario

@@ -40,7 +40,7 @@ from repro.concolic.expr import (
 from repro.concolic.path import PathCondition
 from repro.concolic.solver.cache import canonical_query_key, query_key_tail
 from repro.concolic.tracer import BranchSite
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.parallel import ParallelExplorer, StreamingExplorer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -203,12 +203,10 @@ def test_interning_hit_rate_on_repeated_traces(benchmark, paper_rows):
 @pytest.mark.benchmark(group="hotpath")
 def test_stream_vs_batch_findings_rate(benchmark, paper_rows):
     """Coverage-guided stream: same finding set as batch, competitive rate."""
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=150 if SMOKE else 400,
-            update_count=30 if SMOKE else 80,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=150 if SMOKE else 400,
+        update_count=30 if SMOKE else 80,
     )
     scenario.converge()
     seeds = scenario.dice.batch_seeds(all_seeds=True)[: (6 if SMOKE else 16)]

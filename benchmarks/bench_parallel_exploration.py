@@ -30,7 +30,7 @@ import time
 import pytest
 
 from repro.concolic import ExplorationBudget
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.parallel import EngineBatch, ParallelExplorer
 from repro.parallel.workloads import (
     FIG1_OUTCOMES,
@@ -174,12 +174,10 @@ def test_fig1_outcomes_reached_through_worker_pool(benchmark, paper_rows):
 @pytest.mark.benchmark(group="parallel")
 def test_parallel_session_batch_end_to_end(benchmark, paper_rows):
     """Checkpoint-clone-explore across all observed seed buffers (fig2)."""
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=150 if SMOKE else 400,
-            update_count=30 if SMOKE else 60,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=150 if SMOKE else 400,
+        update_count=30 if SMOKE else 60,
     )
     scenario.converge()
     seeds = scenario.dice.batch_seeds(all_seeds=True)

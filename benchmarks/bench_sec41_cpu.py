@@ -27,12 +27,7 @@ import pytest
 
 from repro.checkpoint.snapshot import Checkpoint
 from repro.concolic.engine import ExplorationBudget
-from repro.core import (
-    OnlineScheduler,
-    ScenarioConfig,
-    ScheduleConfig,
-    build_scenario,
-)
+from repro.core import OnlineScheduler, ScheduleConfig, get_scenario
 
 SCALE = 3_000
 UPDATES = 300
@@ -40,13 +35,11 @@ UPDATES = 300
 
 def run_full_load(dice_enabled: bool, checkpoint_every_chunks: int = 2):
     """Full-speed table load + update burst; returns (updates/s, fork pauses s)."""
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=SCALE,
-            update_count=UPDATES,
-            replay_compression=0.0,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=SCALE,
+        update_count=UPDATES,
+        replay_compression=0.0,
     )
     if not dice_enabled:
         scenario.provider.observer = None  # strip the observation hook
@@ -75,13 +68,11 @@ def run_realistic(dice_enabled: bool):
 
     Returns (updates per simulated second, explorer wall seconds).
     """
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=SCALE,
-            update_count=UPDATES,
-            replay_compression=1.0,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=SCALE,
+        update_count=UPDATES,
+        replay_compression=1.0,
     )
     scenario.converge(run_until=1.0)  # table load completes
     provider = scenario.provider

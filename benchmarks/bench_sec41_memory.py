@@ -17,19 +17,17 @@ import pytest
 
 from repro.checkpoint.manager import CheckpointManager
 from repro.concolic.engine import ExplorationBudget
-from repro.core import DiceExplorer, ScenarioConfig, build_scenario
+from repro.core import DiceExplorer, get_scenario
 
 SCALE = 4_000
 
 
 def run_memory_experiment():
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=SCALE,
-            update_count=400,
-            replay_compression=1.0,  # real-time pacing, like the paper
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=SCALE,
+        update_count=400,
+        replay_compression=1.0,  # real-time pacing, like the paper
     )
     # Converge the dump, then advance partway into the 15-minute window.
     scenario.converge(run_until=1.0)
@@ -87,8 +85,8 @@ def test_sec41_memory_overhead(benchmark, paper_rows):
 @pytest.mark.benchmark(group="sec41-memory")
 def test_sec41_checkpoint_capture_cost(benchmark, paper_rows):
     """Fork cost: capturing a full-table router's state."""
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="correct", prefix_count=SCALE, update_count=0)
+    scenario = get_scenario("fig2").build(
+        filter_mode="correct", prefix_count=SCALE, update_count=0
     )
     scenario.converge()
     from repro.checkpoint.snapshot import Checkpoint

@@ -20,20 +20,18 @@ import time
 import pytest
 
 from repro.concolic.engine import ExplorationBudget
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 
 SCALE = 3_000
 BUDGET = ExplorationBudget(max_executions=32)
 
 
 def run_leak_detection(filter_mode, anycast_whitelist=()):
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode=filter_mode,
-            prefix_count=SCALE,
-            update_count=200,
-            anycast_whitelist=list(anycast_whitelist),
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode=filter_mode,
+        prefix_count=SCALE,
+        update_count=200,
+        anycast_whitelist=list(anycast_whitelist),
     )
     scenario.converge()
     started = time.perf_counter()

@@ -33,7 +33,7 @@ from repro.bgp.nlri import NlriEntry
 from repro.checkpoint.delta import CheckpointImage
 from repro.checkpoint.snapshot import Checkpoint
 from repro.concolic import ExplorationBudget
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.parallel import ParallelExplorer, StreamingExplorer
 from repro.util.ip import Prefix, ip_to_int
 
@@ -47,12 +47,10 @@ BUDGET = ExplorationBudget(max_executions=6 if SMOKE else 24)
 
 @pytest.fixture(scope="module")
 def scenario():
-    built = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=150 if SMOKE else 400,
-            update_count=30 if SMOKE else 80,
-        )
+    built = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=150 if SMOKE else 400,
+        update_count=30 if SMOKE else 80,
     )
     built.converge()
     return built

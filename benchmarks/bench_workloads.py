@@ -1,0 +1,119 @@
+"""WKL — fault/churn workload injection throughput and matrix sweep cost.
+
+The workload subsystem replays pathologies (link cuts, flap storms,
+session resets, route leaks) as timed :class:`InjectionEvent`s through
+the isolated fabric's event queue, so two costs gate its use at scale:
+
+* **injection throughput** — simulator events (organic deliveries plus
+  injected actions) retired per wall second while a workload wave runs
+  on a fresh clone ensemble; this is the events/s figure that bounds how
+  much churn a scenario can model per exploration round;
+* **matrix sweep** — wall seconds per (topology × workload) cell for the
+  full build/converge/inject/judge cycle, which bounds how wide a
+  ``repro matrix`` sweep can go in CI.
+
+Both tests double as correctness gates: the baseline workload must keep
+every wave checker silent, and each pathology must fire its paired
+checker on a topology where it is applicable.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a tiny smoke run (used by CI to keep
+this script from rotting without paying the full measurement).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import get_scenario
+from repro.core.workload import ScenarioMatrix, get_workload
+from repro.util.errors import WorkloadNotApplicable
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SEED = 42
+TOPOLOGY = "star-6" if SMOKE else "tiered-8"
+WAVE_REPEATS = 2 if SMOKE else 10
+# The churn-heavy workloads: each run re-clones the converged ensemble,
+# so repeated waves measure steady-state injection cost, not warm state.
+THROUGHPUT_WORKLOADS = ("flap-storm", "session-reset", "link-failure")
+
+
+@pytest.fixture(scope="module")
+def converged_built():
+    built = get_scenario(TOPOLOGY).build(seed=SEED)
+    built.converge()
+    return built
+
+
+@pytest.mark.benchmark(group="workloads")
+@pytest.mark.parametrize("name", THROUGHPUT_WORKLOADS)
+def test_workload_injection_throughput(benchmark, paper_rows, name, converged_built):
+    """Events per wall second through a workload wave on a fresh fabric."""
+    workload = get_workload(name)
+    federation = converged_built.federation()
+    try:
+        plan = workload.plan(converged_built)
+    except WorkloadNotApplicable as exc:
+        pytest.skip(f"{name} not applicable on {TOPOLOGY}: {exc}")
+
+    def wave():
+        return federation.run_workload(plan)
+
+    findings, stats = benchmark.pedantic(
+        wave, rounds=WAVE_REPEATS, iterations=1
+    )
+    assert stats.injected_events == len(plan.events)
+    started = time.perf_counter()
+    for _ in range(WAVE_REPEATS):
+        _, stats = federation.run_workload(plan)
+    wall = time.perf_counter() - started
+    events_per_second = stats.events * WAVE_REPEATS / wall if wall else 0.0
+    paper_rows.add(
+        "WKL", f"{name} wave on {TOPOLOGY}",
+        "n/a (paper injected faults by hand)",
+        f"{events_per_second:,.0f} events/s "
+        f"({stats.events} events, {stats.injected_events} injected, "
+        f"{len(findings)} findings)",
+        note="smoke budget" if SMOKE else "",
+    )
+
+
+@pytest.mark.benchmark(group="workloads")
+def test_baseline_wave_stays_silent(paper_rows, converged_built):
+    """Every wave checker must hold on an uninjected, healthy wave."""
+    plan = get_workload("baseline").plan(converged_built)
+    findings, stats = converged_built.federation().run_workload(plan)
+    assert findings == [], [f.describe() for f in findings]
+    assert stats.converged
+    paper_rows.add(
+        "WKL", f"baseline wave on {TOPOLOGY}",
+        "0 false positives",
+        f"0 findings across {len(plan.checkers)} checkers",
+    )
+
+
+@pytest.mark.benchmark(group="workloads")
+def test_matrix_sweep_cost(paper_rows):
+    """Wall seconds per (topology × workload) cell, full cycle."""
+    topologies = ("line-3", "star-6") if SMOKE else ("line-3", "star-6", "tiered-8")
+    workloads = ("baseline",) + THROUGHPUT_WORKLOADS
+    matrix = ScenarioMatrix(topologies, workloads, seed=SEED, max_seeds=0)
+    started = time.perf_counter()
+    results = matrix.run()
+    wall = time.perf_counter() - started
+    ran = [result for result in results if result.status == "ok"]
+    assert not [result for result in results if result.status == "error"]
+    # The gate half: pathologies fire where applicable, baselines don't.
+    for result in ran:
+        if result.cell.workload == "baseline":
+            assert not result.fired, result.cell.key()
+    fired = sum(1 for result in ran if result.fired)
+    assert fired > 0, "no pathology fired anywhere in the sweep"
+    paper_rows.add(
+        "WKL", "matrix sweep (workload wave only)",
+        "n/a",
+        f"{wall / len(results):.3f}s/cell over {len(results)} cells "
+        f"({fired} fired, {len(results) - len(ran)} skipped)",
+        note="smoke slice" if SMOKE else "",
+    )

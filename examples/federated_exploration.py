@@ -19,7 +19,7 @@ Run:  python examples/federated_exploration.py
 from repro.bgp.attributes import AsPath, PathAttributes
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.nlri import NlriEntry
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.core.federation import FederatedExploration, IsolatedFabric
 from repro.core.privacy import OriginDigest, PrivacyGuard, digest_conflicts, resolve_digest
 from repro.util.errors import PrivacyViolation
@@ -28,8 +28,8 @@ from repro.util.ip import Prefix, ip_to_int
 
 def main() -> None:
     print("Building the testbed (provider with missing customer filter)...")
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="missing", prefix_count=1_500, update_count=100)
+    scenario = get_scenario("fig2").build(
+        filter_mode="missing", prefix_count=1_500, update_count=100
     )
     scenario.converge()
     provider, customer = scenario.provider, scenario.customer

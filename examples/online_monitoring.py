@@ -12,23 +12,16 @@ Run:  python examples/online_monitoring.py
 """
 
 from repro.concolic import ExplorationBudget
-from repro.core import (
-    OnlineScheduler,
-    ScenarioConfig,
-    ScheduleConfig,
-    build_scenario,
-)
+from repro.core import OnlineScheduler, ScheduleConfig, get_scenario
 
 
 def main() -> None:
     print("Starting the provider with a paced 15-minute update trace...")
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",
-            prefix_count=2_000,
-            update_count=250,
-            replay_compression=1.0,   # real-time pacing
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=2_000,
+        update_count=250,
+        replay_compression=1.0,   # real-time pacing
     )
     # Load the table (the dump arrives immediately after session setup).
     scenario.converge(run_until=1.0)

@@ -10,17 +10,15 @@ Run:  python examples/quickstart.py
 """
 
 from repro.concolic import ExplorationBudget
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 
 
 def main() -> None:
     print("Building the Figure 2 testbed (erroneous customer filter)...")
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode="erroneous",   # the misconfiguration under test
-            prefix_count=2_000,        # scaled-down "rest of the Internet"
-            update_count=200,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous",   # the misconfiguration under test
+        prefix_count=2_000,        # scaled-down "rest of the Internet"
+        update_count=200,
     )
     scenario.converge()
     print(f"  provider table: {scenario.provider_table_size} prefixes")

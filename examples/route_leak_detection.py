@@ -16,7 +16,7 @@ Run:  python examples/route_leak_detection.py
 """
 
 from repro.concolic import ExplorationBudget
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.util.ip import Prefix
 
 
@@ -28,10 +28,8 @@ def investigate(filter_mode: str) -> None:
     }[filter_mode]
     print(f"\n=== Provider with {banner} ===")
 
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode=filter_mode, prefix_count=2_000, update_count=150
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode=filter_mode, prefix_count=2_000, update_count=150
     )
     scenario.converge()
 

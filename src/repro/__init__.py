@@ -14,8 +14,8 @@ including every substrate the paper's prototype relies on:
 
 Quickstart::
 
-    from repro.core import build_scenario, ScenarioConfig
-    scenario = build_scenario(ScenarioConfig(filter_mode="erroneous"))
+    from repro.core import get_scenario
+    scenario = get_scenario("fig2").build(filter_mode="erroneous")
     scenario.converge()
     report = scenario.dice.run_round()
     print(report.leaked_prefixes())

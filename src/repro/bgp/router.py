@@ -43,7 +43,7 @@ from repro.bgp.rib import AdjRibIn, AdjRibOut, ChangeKind, LocRib, RibChange, Ro
 from repro.bgp.wire import as_concrete_int
 from repro.concolic.env import Environment
 from repro.net.node import SimNode
-from repro.util.errors import WireFormatError
+from repro.util.errors import ConfigError, WireFormatError
 from repro.util.ip import Prefix
 from repro.util.stats import CounterRegistry
 
@@ -389,6 +389,53 @@ class BgpRouter(SimNode):
         self.adj_rib_out.drop_peer(peer_id)
         if prefixes:
             self._reconverge(prefixes)
+
+    # -- operator actions (the fault-workload injection surface) ------------------------------
+
+    def originate(self, prefix: Prefix) -> None:
+        """Start locally originating ``prefix`` and advertise it.
+
+        Unlike the constructor-time origination this runs the decision
+        process immediately, so established peers receive the
+        announcement — the MOAS-conflict workload drives this on a clone
+        to make two domains claim the same space.
+        """
+        self._originate(prefix)
+        self._reconverge([prefix])
+
+    def withdraw_origination(self, prefix: Prefix) -> bool:
+        """Stop originating ``prefix``; withdraws it from peers if it was best.
+
+        Returns False when the prefix was not locally originated.
+        """
+        if self.static_routes.pop(prefix, None) is None:
+            return False
+        self._reconverge([prefix])
+        return True
+
+    def apply_config(self, config: Union[RouterConfig, str]) -> None:
+        """Hot-swap policy configuration without touching session state.
+
+        The neighbor set must be unchanged (this models a policy edit,
+        not a re-provisioning).  Sessions keep their FSM state; imports
+        and exports from now on run the new filters.  Deliberately *no*
+        revalidation of Adj-RIB-In happens — like a router without
+        route-refresh, previously accepted routes linger until the peer
+        re-announces, which is exactly the transient the rolling
+        reconfiguration workload probes.
+        """
+        if isinstance(config, str):
+            config = parse_config_cached(config)
+        if set(config.neighbors) != set(self.sessions):
+            raise ConfigError(
+                f"apply_config on {self.node_id!r} changes the neighbor set "
+                f"({sorted(self.sessions)} -> {sorted(config.neighbors)}); "
+                "only policy edits are hot-swappable"
+            )
+        self.config = config
+        self.interpreter = FilterInterpreter(config.prefix_sets)
+        for peer_id, session in self.sessions.items():
+            session.peer = config.neighbors[peer_id]
 
     # -- timers -----------------------------------------------------------------------------
 

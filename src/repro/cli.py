@@ -10,7 +10,10 @@ Operator-facing entry points over the library:
   with ``--scenario NAME`` (any registry entry except ``fig2``) the
   exploration runs *federated* over the scenario's generated topology,
   composing with ``--workers`` and ``--stream``;
-* ``scenarios`` — list the scenario registry with node/edge counts;
+* ``scenarios`` — list all three matrix axes: topologies with node/edge
+  counts, fault/churn workloads, and wave-level invariant checkers;
+* ``matrix`` — run a (topology × workload × checker) scenario matrix and
+  print one line per cell; ``--smoke`` runs a small fixed slice for CI;
 * ``trace-gen`` — synthesize a RouteViews-style trace to a file;
 * ``trace-info`` — summarize a trace file;
 * ``check-config`` — parse and validate a router configuration file.
@@ -23,10 +26,12 @@ import sys
 from typing import List, Optional
 
 from repro.concolic import ExplorationBudget, make_strategy
-from repro.core import ScenarioConfig, build_scenario, get_scenario, list_scenarios
+from repro.core import get_scenario, list_scenarios
+from repro.core.checkers import list_wave_checkers
+from repro.core.workload import ScenarioMatrix, get_workload, list_workloads
 from repro.trace.mrt import Trace
 from repro.trace.routeviews import TraceConfig, RouteViewsGenerator
-from repro.util.errors import ConfigError, ReproError
+from repro.util.errors import ConfigError, ReproError, WorkloadNotApplicable
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -34,7 +39,8 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         "--filter-mode", choices=("correct", "erroneous", "missing"),
         default=None,
         help="customer-filter configuration (default: erroneous for fig2; "
-             "generated scenarios keep their registered default)",
+             "generated scenarios keep their registered default, unless a "
+             "--workload demands its own — an explicit flag always wins)",
     )
     parser.add_argument("--prefixes", type=int, default=2_000,
                         help="synthetic table size (paper: 319355)")
@@ -45,13 +51,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _build(args: argparse.Namespace):
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode=args.filter_mode or "erroneous",
-            prefix_count=args.prefixes,
-            update_count=args.updates,
-            seed=args.seed,
-        )
+    scenario = get_scenario("fig2").build(
+        seed=args.seed,
+        filter_mode=args.filter_mode or "erroneous",
+        prefix_count=args.prefixes,
+        update_count=args.updates,
     )
     scenario.converge()
     return scenario
@@ -91,6 +95,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if args.scenario != "fig2":
         return _explore_federated(args)
+    if args.workload:
+        print("error: --workload requires a generated --scenario "
+              "(see 'repro scenarios')", file=sys.stderr)
+        return 2
     scenario = _build(args)
     if args.stream:
         return _explore_stream(scenario, args)
@@ -210,14 +218,17 @@ def _explore_stream(scenario, args: argparse.Namespace) -> int:
 def _explore_federated(args: argparse.Namespace) -> int:
     """Federated exploration over a registry scenario's generated topology."""
     scenario = get_scenario(args.scenario)
+    workload = get_workload(args.workload) if args.workload else None
     # An explicit --filter-mode overrides the scenario's registered
     # customer-filtering default; left unset, the CLI builds exactly
     # what get_scenario(name).build(seed=...) builds, so a finding
     # reproduces from (scenario, seed) alone.  --prefixes/--updates are
-    # trace knobs and do not apply to generated federations.
-    overrides = {} if args.filter_mode is None else {
-        "filter_mode": args.filter_mode
-    }
+    # trace knobs and do not apply to generated federations.  A workload
+    # may demand its own build overrides (e.g. route-leak needs the
+    # erroneous customer filter); an explicit flag still wins.
+    overrides = dict(workload.build_overrides) if workload else {}
+    if args.filter_mode is not None:
+        overrides["filter_mode"] = args.filter_mode
     built = scenario.build(seed=args.seed, **overrides)
     built.converge()
     shape = built.graph.summary() if built.graph is not None else {}
@@ -229,8 +240,20 @@ def _explore_federated(args: argparse.Namespace) -> int:
     violations = built.check_invariants()
     if violations:
         for violation in violations:
-            print(f"  invariant violated: {violation}", file=sys.stderr)
+            print(f"  invariant violated: {violation.describe()}", file=sys.stderr)
         return 1
+    plan = None
+    if workload is not None:
+        try:
+            plan = workload.plan(built)
+        except WorkloadNotApplicable as exc:
+            print(f"workload {workload.name!r} not applicable: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.checker:
+            from dataclasses import replace
+
+            plan = replace(plan, checkers=tuple(args.checker))
     corpus = built.seed_corpus()
     if not corpus:
         print("scenario declares no exploration seeds")
@@ -244,6 +267,7 @@ def _explore_federated(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         strategy_seed=args.seed,
         as_rotation=args.as_rotation,
+        workload=plan,
     )
     mode = "streamed" if args.stream else "batch"
     pool = (
@@ -279,19 +303,104 @@ def _explore_federated(args: argparse.Namespace) -> int:
     if not stats.converged:
         print("  warning: wave hit its hop/event budget before quiescing; "
               "post-propagation comparisons ran on a federation still in motion")
-    return 2 if (report.findings() or report.global_findings) else 0
+    if plan is not None:
+        wstats = report.workload_stats
+        print(
+            f"  [workload] {report.workload}: {wstats.injected_events} events "
+            f"injected, {len(report.workload_findings)} findings, "
+            f"converged={wstats.converged}"
+        )
+        for finding in report.workload_findings:
+            print(f"    {finding.describe()}")
+    return 2 if (report.findings() or report.global_findings
+                 or report.workload_findings) else 0
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
-    """List the scenario registry with topology shapes."""
-    for scenario in list_scenarios():
+    """List the three matrix axes: topologies, workloads, checkers."""
+    scenarios = list_scenarios()
+    print(f"topologies ({len(scenarios)}):")
+    for scenario in scenarios:
         shape = scenario.shape()
         if shape:
             size = f"{shape['nodes']:>3} ASes / {shape['edges']:>3} edges"
         else:
             size = " " * 20
         print(f"{scenario.name:14} {size}  {scenario.description}")
+    workloads = list_workloads()
+    print(f"\nworkloads ({len(workloads)}):")
+    for workload in workloads:
+        checkers = ",".join(workload.paired_checkers)
+        print(f"{workload.name:14} [{checkers}]  {workload.description}")
+    checkers = list_wave_checkers()
+    print(f"\nwave checkers ({len(checkers)}):")
+    for name, description in checkers:
+        print(f"{name:22} {description}")
+    print("\ncompose axes with 'repro explore --scenario NAME --workload NAME "
+          "[--checker NAME ...]' or sweep them with 'repro matrix'")
     return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """Run a (topology × workload × checker) slice of the scenario matrix.
+
+    Exit code 0 means every cell ran (or was honestly skipped as
+    not-applicable); 1 means at least one cell *errored*.  Cells whose
+    checkers fired are expected output — the matrix exists to surface
+    pathologies — so findings alone never fail the run.
+    """
+    if args.smoke:
+        # The fixed CI slice: two small topologies, every workload, one
+        # exploration seed per cell under a tiny budget.
+        topologies = ["line-3", "star-6"]
+        workloads = [workload.name for workload in list_workloads()]
+        max_seeds = 1
+        budget = ExplorationBudget(max_executions=4)
+    else:
+        topologies = _csv(args.topologies) or [
+            scenario.name for scenario in list_scenarios()
+            if scenario.name != "fig2"
+        ]
+        workloads = _csv(args.workloads) or [
+            workload.name for workload in list_workloads()
+        ]
+        max_seeds = args.max_seeds
+        budget = ExplorationBudget(max_executions=args.executions)
+    matrix = ScenarioMatrix(
+        topologies,
+        workloads,
+        checkers=_csv(args.checkers) or None,
+        seed=args.seed,
+        budget=budget,
+        workers=args.workers,
+        stream=args.stream,
+        max_seeds=max_seeds,
+    )
+    cells = matrix.cells()
+    print(f"scenario matrix: {len(topologies)} topologies × "
+          f"{len(workloads)} workloads = {len(cells)} cells"
+          + (" (smoke slice)" if args.smoke else ""))
+    results = matrix.run(progress=lambda result: print(
+        f"  {result.cell.key():28} {result.status:8} "
+        f"findings={len(result.findings)} "
+        f"({result.wall_seconds:.2f}s"
+        + (f"; {result.skip_reason}" if result.status == "skipped" else "")
+        + (f"; {result.error}" if result.status == "error" else "")
+        + ")"
+    ))
+    ok = sum(1 for result in results if result.status == "ok")
+    skipped = sum(1 for result in results if result.status == "skipped")
+    errored = [result for result in results if result.status == "error"]
+    fired = sum(1 for result in results if result.fired)
+    print(f"matrix done: {ok} ok, {skipped} skipped, {len(errored)} errored; "
+          f"checkers fired in {fired} cells")
+    for result in errored:
+        print(f"  error in {result.cell.key()}: {result.error}", file=sys.stderr)
+    return 1 if errored else 0
+
+
+def _csv(value: Optional[str]) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()] if value else []
 
 
 def cmd_trace_gen(args: argparse.Namespace) -> int:
@@ -394,12 +503,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "'yield' favors ASes whose recent sessions "
                               "produced findings (FederationScheduler "
                               "EWMA), 'round-robin' is blind rotation")
+    explore.add_argument("--workload", default=None,
+                         help="inject a fault/churn workload (see 'repro "
+                              "scenarios' for the list) on a fresh clone "
+                              "after the exploration wave and run its "
+                              "paired wave checkers; requires a generated "
+                              "--scenario (not fig2)")
+    explore.add_argument("--checker", action="append", default=None,
+                         help="override the workload's paired wave "
+                              "checkers (repeatable; see 'repro scenarios' "
+                              "for the list)")
     explore.set_defaults(func=cmd_explore)
 
     scenarios = commands.add_parser(
-        "scenarios", help="list registered scenarios with topology shapes"
+        "scenarios", help="list the matrix axes: topologies, workloads, "
+                          "wave checkers"
     )
     scenarios.set_defaults(func=cmd_scenarios)
+
+    matrix = commands.add_parser(
+        "matrix", help="sweep a (topology × workload × checker) matrix"
+    )
+    matrix.add_argument("--topologies", default=None,
+                        help="comma-separated topology names (default: every "
+                             "registered generated topology)")
+    matrix.add_argument("--workloads", default=None,
+                        help="comma-separated workload names (default: all)")
+    matrix.add_argument("--checkers", default=None,
+                        help="comma-separated wave-checker names applied to "
+                             "EVERY cell (default: each workload's paired "
+                             "checkers)")
+    matrix.add_argument("--seed", type=int, default=2010_04_01)
+    matrix.add_argument("--executions", type=int, default=4,
+                        help="exploration budget per cell")
+    matrix.add_argument("--max-seeds", type=int, default=1,
+                        help="exploration seeds per cell (0 skips the "
+                             "exploration wave and runs the workload only)")
+    matrix.add_argument("--workers", type=int, default=1)
+    matrix.add_argument("--stream", action="store_true",
+                        help="run each cell's exploration wave through the "
+                             "streaming pipeline (finding sets match the "
+                             "serial run)")
+    matrix.add_argument("--smoke", action="store_true",
+                        help="fixed CI slice: line-3 and star-6 across every "
+                             "workload, 1 seed per cell, tiny budget")
+    matrix.set_defaults(func=cmd_matrix)
 
     gen = commands.add_parser("trace-gen", help="synthesize a RouteViews-style trace")
     gen.add_argument("output", help="output file")

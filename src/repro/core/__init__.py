@@ -2,11 +2,13 @@
 
 The typical entry points:
 
-* :func:`repro.core.scenario.build_scenario` — the paper's Figure 2
-  testbed, ready to converge and explore;
+* ``get_scenario(name).build(seed=..., **overrides)`` — any registered
+  testbed (``"fig2"`` is the paper's Figure 2), ready to converge and
+  explore;
 * :class:`DiCE` — attach online testing to a live router;
 * :class:`DiceExplorer` — one-shot exploration sessions;
-* :class:`OnlineScheduler` — periodic rounds alongside the live system.
+* :class:`OnlineScheduler` — periodic rounds alongside the live system;
+* :class:`ScenarioMatrix` — sweep (topology × workload × checker) cells.
 """
 
 from repro.core.checkers import (
@@ -20,7 +22,11 @@ from repro.core.checkers import (
     LeakRegionChecker,
     OriginBaseline,
     SessionResetChecker,
+    WaveChecker,
+    WaveContext,
     default_checkers,
+    get_wave_checker,
+    list_wave_checkers,
 )
 from repro.core.dice import DiCE, DiceEnabledRouter
 from repro.core.explorer import DiceExplorer
@@ -30,6 +36,7 @@ from repro.core.federation import (
     FederatedReport,
     FederatedSeed,
     GlobalFinding,
+    InjectionEvent,
     IsolatedFabric,
 )
 from repro.core.inputs import (
@@ -75,6 +82,16 @@ from repro.core.schedule import (
     ScheduleStats,
     ThroughputProbe,
     measure_throughput,
+)
+from repro.core.workload import (
+    CellResult,
+    MatrixCell,
+    ScenarioMatrix,
+    Workload,
+    WorkloadPlan,
+    get_workload,
+    list_workloads,
+    register_workload,
 )
 
 __all__ = [
@@ -128,10 +145,23 @@ __all__ = [
     "Severity",
     "ThroughputProbe",
     "WholeMessageModel",
+    "CellResult",
+    "InjectionEvent",
+    "MatrixCell",
+    "ScenarioMatrix",
+    "WaveChecker",
+    "WaveContext",
+    "Workload",
+    "WorkloadPlan",
     "build_scenario",
     "customer_config",
     "default_checkers",
     "digest_conflicts",
+    "get_wave_checker",
+    "get_workload",
+    "list_wave_checkers",
+    "list_workloads",
+    "register_workload",
     "measure_throughput",
     "model_for",
     "origin_digest",

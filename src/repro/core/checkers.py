@@ -477,3 +477,284 @@ def default_checkers(anycast_whitelist: Optional[List[Prefix]] = None) -> List[F
         CrashChecker(),
         SessionResetChecker(),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Wave-level checkers: invariants over the whole clone ensemble
+# ---------------------------------------------------------------------------
+#
+# The per-execution checkers above judge one exploratory input at one
+# clone.  Fault *workloads* (repro.core.workload) instead perturb a whole
+# federation — cut links, flap prefixes, reset sessions mid-convergence —
+# and the question becomes system-wide: did the ensemble reconverge, is
+# anyone holding a route its neighbor no longer advertises, did a prefix
+# that is still originated vanish somewhere?  These checkers receive a
+# :class:`WaveContext` (the post-wave clone ensemble plus the wave's
+# stats and the pre-wave baseline) and return :class:`Finding` objects
+# attributed to a node and to the checker by name.
+
+
+@dataclass
+class WaveContext:
+    """Everything a wave-level checker may inspect after a workload wave.
+
+    ``stats`` is duck-typed (``.converged`` / ``.sim_seconds``) rather
+    than the concrete ``FabricStats`` so this module stays importable
+    from :mod:`repro.core.federation` without a cycle.  ``baseline``
+    maps node -> prefix -> origin AS as captured from each clone's
+    Loc-RIB *before* the wave ran.
+    """
+
+    clones: Dict[str, BgpRouter]
+    stats: object
+    baseline: Dict[str, Dict[Prefix, int]] = field(default_factory=dict)
+    graph: Optional[object] = None
+    deadline: float = 5.0
+    failed_links: set = field(default_factory=set)
+    workload: str = ""
+
+
+class WaveChecker:
+    """Base class for ensemble-wide invariant checkers."""
+
+    name = "wave-base"
+    description = ""
+
+    def check(self, ctx: WaveContext) -> List[Finding]:
+        raise NotImplementedError
+
+
+class ConvergenceDeadlineChecker(WaveChecker):
+    """The federation must quiesce, and do so before the deadline.
+
+    Fires when the wave was cut off by its hop/event budget (messages
+    still in flight) or when quiescence arrived later than the plan's
+    ``deadline`` of simulated seconds — the churn analogue of a routing
+    system that technically converges but only after the outage window
+    has already done its damage.
+    """
+
+    name = "convergence-deadline"
+    description = "federation quiesces within the plan's simulated deadline"
+
+    def check(self, ctx: WaveContext) -> List[Finding]:
+        findings: List[Finding] = []
+        converged = bool(getattr(ctx.stats, "converged", True))
+        sim_seconds = float(getattr(ctx.stats, "sim_seconds", 0.0))
+        if not converged:
+            findings.append(
+                Finding(
+                    kind=FindingKind.CONVERGENCE_TIMEOUT,
+                    severity=Severity.CRITICAL,
+                    summary=(
+                        f"wave cut off with messages still in flight after "
+                        f"{sim_seconds:.3f}s simulated (hop/event budget)"
+                    ),
+                    checker=self.name,
+                )
+            )
+        elif sim_seconds > ctx.deadline:
+            findings.append(
+                Finding(
+                    kind=FindingKind.CONVERGENCE_TIMEOUT,
+                    severity=Severity.WARNING,
+                    summary=(
+                        f"federation converged in {sim_seconds:.3f}s simulated, "
+                        f"past the {ctx.deadline:.3f}s deadline"
+                    ),
+                    checker=self.name,
+                )
+            )
+        return findings
+
+
+class NoStuckRoutesChecker(WaveChecker):
+    """No clone may hold a route its in-federation neighbor has dropped.
+
+    Two ways a route gets stuck: the session it was learned over is down
+    (teardown should have flushed it), or the neighboring clone no
+    longer carries the prefix at all (its withdrawal never arrived —
+    the signature of a silently failed link).  Routes learned from peers
+    outside the federation (exploration stand-ins) are not judged; we
+    cannot see their tables.
+    """
+
+    name = "no-stuck-routes"
+    description = "no clone holds a route its neighbor has withdrawn"
+
+    def check(self, ctx: WaveContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node_id in sorted(ctx.clones):
+            clone = ctx.clones[node_id]
+            for peer_id in clone.adj_rib_in.peers():
+                session = clone.sessions.get(peer_id)
+                session_down = session is not None and not session.established
+                neighbor = ctx.clones.get(peer_id)
+                for prefix in clone.adj_rib_in.peer_prefixes(peer_id):
+                    if session_down:
+                        findings.append(
+                            Finding(
+                                kind=FindingKind.STUCK_ROUTE,
+                                severity=Severity.CRITICAL,
+                                summary=(
+                                    f"route survives its session: {prefix} "
+                                    f"learned from {peer_id!r} whose session "
+                                    f"is down"
+                                ),
+                                prefix=prefix,
+                                peer=peer_id,
+                                node=node_id,
+                                checker=self.name,
+                            )
+                        )
+                        continue
+                    if neighbor is None:
+                        continue  # out-of-federation peer: unjudgeable
+                    if (
+                        neighbor.loc_rib.get(prefix) is None
+                        and prefix not in neighbor.static_routes
+                    ):
+                        findings.append(
+                            Finding(
+                                kind=FindingKind.STUCK_ROUTE,
+                                severity=Severity.CRITICAL,
+                                summary=(
+                                    f"stale route: {prefix} still held from "
+                                    f"{peer_id!r}, but that node no longer "
+                                    f"carries the prefix (withdrawal lost)"
+                                ),
+                                prefix=prefix,
+                                peer=peer_id,
+                                node=node_id,
+                                checker=self.name,
+                            )
+                        )
+        return findings
+
+
+class NoBlackholeChecker(WaveChecker):
+    """A prefix that is still originated must not vanish from a table.
+
+    For every baseline (node, prefix) pair: if the prefix's origin clone
+    still originates it (it sits in that clone's static routes) but the
+    node's post-wave Loc-RIB has no route, traffic the node attracts for
+    the prefix is blackholed.  Prefixes whose origination was genuinely
+    withdrawn during the wave are exempt — losing those is convergence,
+    not blackholing.
+    """
+
+    name = "no-blackhole"
+    description = "still-originated prefixes never vanish from a Loc-RIB"
+
+    def check(self, ctx: WaveContext) -> List[Finding]:
+        findings: List[Finding] = []
+        # Map origin ASN -> clone once; baselines store concrete ASNs.
+        by_asn: Dict[int, BgpRouter] = {}
+        names_by_asn: Dict[int, str] = {}
+        for node_id in sorted(ctx.clones):
+            clone = ctx.clones[node_id]
+            asn = as_concrete_int(clone.config.asn)
+            by_asn.setdefault(asn, clone)
+            names_by_asn.setdefault(asn, node_id)
+        for node_id in sorted(ctx.baseline):
+            clone = ctx.clones.get(node_id)
+            if clone is None:
+                continue
+            for prefix, origin_asn in ctx.baseline[node_id].items():
+                if clone.loc_rib.get(prefix) is not None:
+                    continue
+                origin_clone = by_asn.get(origin_asn)
+                if origin_clone is None or prefix not in origin_clone.static_routes:
+                    continue  # origination withdrawn or origin unknown
+                if prefix in clone.static_routes:
+                    continue  # the node itself originates it; not blackholed
+                findings.append(
+                    Finding(
+                        kind=FindingKind.BLACKHOLE,
+                        severity=Severity.CRITICAL,
+                        summary=(
+                            f"blackhole: {prefix} vanished from this node's "
+                            f"table while {names_by_asn[origin_asn]!r} "
+                            f"(AS{origin_asn}) still originates it"
+                        ),
+                        prefix=prefix,
+                        node=node_id,
+                        expected_origin=origin_asn,
+                        checker=self.name,
+                    )
+                )
+        return findings
+
+
+class OriginAgreementChecker(WaveChecker):
+    """No two domains may disagree about a prefix's origin AS.
+
+    The wave-level edition of the federation origin check: pairwise
+    privacy-preserving digest comparison (:mod:`repro.core.privacy`)
+    over the post-wave ensemble.  A conflict after a workload wave means
+    the injected pathology (route leak, MOAS origination, stale policy)
+    left the federation in standing disagreement.
+    """
+
+    name = "origin-agreement"
+    description = "no standing cross-domain origin disagreement"
+
+    def __init__(self, salt: bytes = b"dice-wave-checker"):
+        self.salt = salt
+
+    def check(self, ctx: WaveContext) -> List[Finding]:
+        from repro.core.privacy import OriginDigest, digest_conflicts
+
+        findings: List[Finding] = []
+        digests = {
+            node_id: OriginDigest.from_router(clone, self.salt)
+            for node_id, clone in ctx.clones.items()
+        }
+        node_ids = sorted(digests)
+        for i, a in enumerate(node_ids):
+            for b in node_ids[i + 1:]:
+                for conflict in digest_conflicts(digests[a], digests[b]):
+                    findings.append(
+                        Finding(
+                            kind=FindingKind.ORIGIN_CONFLICT,
+                            severity=Severity.CRITICAL,
+                            summary=(
+                                f"domains {a!r} and {b!r} disagree on the "
+                                f"origin of a prefix "
+                                f"(digest {conflict.hex()[:12]}...)"
+                            ),
+                            peer=b,
+                            node=a,
+                            checker=self.name,
+                        )
+                    )
+        return findings
+
+
+#: Registry of wave-level checkers by name — the ``--checker`` axis of
+#: the scenario matrix.  Entries are factories so each run gets a fresh
+#: instance.
+WAVE_CHECKERS: Dict[str, Callable[[], WaveChecker]] = {
+    ConvergenceDeadlineChecker.name: ConvergenceDeadlineChecker,
+    NoStuckRoutesChecker.name: NoStuckRoutesChecker,
+    NoBlackholeChecker.name: NoBlackholeChecker,
+    OriginAgreementChecker.name: OriginAgreementChecker,
+}
+
+
+def get_wave_checker(name: str) -> WaveChecker:
+    """Instantiate the wave checker registered under ``name``."""
+    try:
+        factory = WAVE_CHECKERS[name]
+    except KeyError:
+        known = ", ".join(sorted(WAVE_CHECKERS))
+        raise KeyError(f"unknown wave checker {name!r} (known: {known})") from None
+    return factory()
+
+
+def list_wave_checkers() -> List[Tuple[str, str]]:
+    """(name, description) rows for every registered wave checker."""
+    return [
+        (name, WAVE_CHECKERS[name]().description)
+        for name in sorted(WAVE_CHECKERS)
+    ]

@@ -31,25 +31,58 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # avoids the runtime core <-> topology import cycle
+    from repro.core.workload import WorkloadPlan
     from repro.topology.graph import AsGraph
 
-from repro.bgp.messages import UpdateMessage
+from repro.bgp.messages import NotificationMessage, UpdateMessage
+from repro.bgp.nlri import NlriEntry
 from repro.bgp.router import BgpRouter
+from repro.bgp.wire import as_concrete_int
 from repro.checkpoint.snapshot import Checkpoint
 from repro.concolic.engine import ExplorationBudget
 from repro.concolic.env import ExplorationEnvironment
+from repro.core.checkers import WaveContext, get_wave_checker
 from repro.core.privacy import OriginDigest, digest_conflicts
 from repro.core.report import Finding, SessionReport
 from repro.net.sim import Simulator
-from repro.util.errors import ExplorationError, IsolationViolation
+from repro.util.errors import ExplorationError, IsolationViolation, WorkloadError
+from repro.util.ip import Prefix
 
 #: One federated exploration seed: run ``update`` (as if from ``peer``)
 #: at the clone of ``node`` — the unit both the per-AS concolic fan-out
 #: and the fabric wave consume.
 FederatedSeed = Tuple[str, str, UpdateMessage]
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One timed fault/churn action inside a propagation wave.
+
+    ``at`` is seconds of wave-simulator time (the wave starts at 0);
+    ``action`` receives the fabric and may call any of its injection
+    surface — :meth:`IsolatedFabric.inject`, :meth:`~IsolatedFabric.fail_link`,
+    :meth:`~IsolatedFabric.reset_session`, or the clones' operator
+    actions.  After the action runs, every clone's freshly captured
+    output is scheduled onto the wave, so a mid-wave fault cascades
+    exactly like organic traffic.  Workloads are lists of these.
+    """
+
+    at: float
+    label: str
+    action: Callable[["IsolatedFabric"], None] = field(compare=False)
 
 
 def _split_chunks(items: Sequence, count: int) -> List[list]:
@@ -92,6 +125,8 @@ class FabricStats:
     delivered: int = 0
     rounds: int = 0
     dropped_no_target: int = 0
+    dropped_link_down: int = 0
+    injected_events: int = 0
     events: int = 0
     suppressed_hop_budget: int = 0
     converged: bool = True
@@ -107,6 +142,8 @@ class FabricStats:
         self.delivered += wave.delivered
         self.rounds = max(self.rounds, wave.rounds)
         self.dropped_no_target += wave.dropped_no_target
+        self.dropped_link_down += wave.dropped_link_down
+        self.injected_events += wave.injected_events
         self.events += wave.events
         self.suppressed_hop_budget += wave.suppressed_hop_budget
         self.converged = self.converged and wave.converged
@@ -150,6 +187,10 @@ class IsolatedFabric:
         #: so a second wave starts from zeroed counters, not the first
         #: wave's).
         self._wave_stats = FabricStats()
+        #: Links an :class:`InjectionEvent` has taken down: messages
+        #: crossing a failed link are silently dropped (the isolated
+        #: analogue of a cut fibre), counted in ``dropped_link_down``.
+        self.failed_links: Set[FrozenSet[str]] = set()
         for node_id, router in routers.items():
             checkpoint = Checkpoint.capture(router, f"fed-{node_id}")
             self.checkpoints[node_id] = checkpoint
@@ -168,6 +209,43 @@ class IsolatedFabric:
             raise ExplorationError(f"no clone for node {node_id!r}")
         self.clones[node_id].handle_update(peer_id, update)
 
+    # -- fault-injection surface (used by InjectionEvent actions) ---------
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Cut the isolated channel between two clones (both directions).
+
+        Neither endpoint is told — exactly like a silent fibre cut, the
+        failure is only observable through traffic that stops arriving.
+        Session-level faults (where the peers *do* find out) go through
+        :meth:`reset_session` instead.
+        """
+        for node in (a, b):
+            if node not in self.clones:
+                raise WorkloadError(f"fail_link: no clone for node {node!r}")
+        self.failed_links.add(frozenset((a, b)))
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Undo :meth:`fail_link`; no-op if the link is already up."""
+        self.failed_links.discard(frozenset((a, b)))
+
+    def reset_session(
+        self, node_id: str, peer_id: str, code: int = 6, subcode: int = 0
+    ) -> None:
+        """Deliver a NOTIFICATION at ``node_id``'s clone, as if from ``peer_id``.
+
+        The clone runs its real teardown path: the session drops to IDLE
+        and every route learned from that peer is flushed (RFC 4271
+        section 6 — default code 6 is *Cease*).
+        """
+        if node_id not in self.clones:
+            raise WorkloadError(f"reset_session: no clone for node {node_id!r}")
+        clone = self.clones[node_id]
+        if peer_id not in clone.sessions:
+            raise WorkloadError(
+                f"reset_session: {node_id!r} has no session with {peer_id!r}"
+            )
+        clone.handle_notification(peer_id, NotificationMessage(code, subcode))
+
     def _latency(self, a: str, b: str) -> float:
         if self.graph is not None:
             return self.graph.latency(a, b, self.default_latency)
@@ -179,6 +257,9 @@ class IsolatedFabric:
             target_id = captured.destination
             if target_id not in self.clones:
                 self._wave_stats.dropped_no_target += 1
+                continue
+            if frozenset((source_id, target_id)) in self.failed_links:
+                self._wave_stats.dropped_link_down += 1
                 continue
             if hop > self.max_rounds:
                 # Hop budget exhausted: the wave is being cut short, and
@@ -208,19 +289,35 @@ class IsolatedFabric:
 
             sim.schedule(self._latency(source_id, target_id), deliver)
 
-    def propagate(self) -> FabricStats:
+    def propagate(self, events: Sequence[InjectionEvent] = ()) -> FabricStats:
         """Drive captured messages through the event queue to quiescence.
 
         Returns *this wave's* counters — a fresh :class:`FabricStats`,
         so a reused fabric's second wave reports its own ``converged``/
         ``rounds``/``sim_seconds`` rather than inheriting the first
         wave's.  Cumulative totals across waves live in :attr:`stats`.
+
+        ``events`` interleaves timed fault/churn injections with the
+        organic traffic: each :class:`InjectionEvent` fires at its
+        wave-time ``at``, its action runs against this fabric, and any
+        output the clones produce in response is scheduled back onto the
+        same queue at ``hop=1`` (injected faults get a fresh hop budget —
+        they model operator/environment actions, not relayed messages).
         """
         wave = FabricStats()
         self._wave_stats = wave
         sim = Simulator()
         for source_id in self.envs:
             self._schedule_outbound(sim, source_id, hop=1)
+        for event in events:
+
+            def fire(event: InjectionEvent = event) -> None:
+                event.action(self)
+                self._wave_stats.injected_events += 1
+                for node_id in self.envs:
+                    self._schedule_outbound(sim, node_id, hop=1)
+
+            sim.schedule_at(event.at, fire)
         executed = sim.run(max_events=self.max_events)
         wave.events += executed
         wave.sim_seconds = sim.now
@@ -280,6 +377,16 @@ class FederatedReport:
     #: The shared stream's ``StreamReport.summary()`` when streamed —
     #: shipping economics, per-node deltas, drop/recovery counters.
     stream_summary: Optional[Dict[str, object]] = None
+    #: Wave-checker findings from the fault-workload wave (empty when no
+    #: workload ran).  The workload wave runs on its *own* fresh fabric,
+    #: separate from the exploration-corpus wave, so its checkers judge
+    #: the injected pathology alone — not corpus-induced state.
+    workload_findings: List[Finding] = field(default_factory=list)
+    #: The workload wave's own propagation counters (None when no
+    #: workload ran).
+    workload_stats: Optional[FabricStats] = None
+    #: Name of the workload that ran ("" when none).
+    workload: str = ""
 
     @property
     def converged(self) -> bool:
@@ -299,16 +406,26 @@ class FederatedReport:
             for report in reports:
                 for finding in report.findings:
                     seen.setdefault((node, finding.dedup_key()), finding)
+        for finding in self.workload_findings:
+            seen.setdefault((finding.node, finding.dedup_key()), finding)
         return list(seen.values())
 
     def finding_keys(self) -> List[tuple]:
         """Order-independent identity of the finding set (for parity tests)."""
-        return sorted({
+        keys = {
             (node, finding.dedup_key())
             for node, reports in self._sessions_by_node()
             for report in reports
             for finding in report.findings
-        })
+        }
+        keys.update(
+            (finding.node, finding.dedup_key())
+            for finding in self.workload_findings
+        )
+        # FindingKind members are not orderable across kinds; repr gives a
+        # total, deterministic order once exploration and workload findings
+        # mix in one set.
+        return sorted(keys, key=repr)
 
     def _sessions_by_node(self):
         if self.per_as_sessions:
@@ -318,7 +435,7 @@ class FederatedReport:
         return [("", self.sessions)] if self.sessions else []
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "ases_explored": len(self.per_as_sessions),
             "sessions": len(self.sessions),
             "findings": len(self.findings()),
@@ -331,6 +448,13 @@ class FederatedReport:
             "converged": self.stats.converged,
             "wall_seconds": round(self.wall_seconds, 4),
         }
+        if self.workload:
+            out["workload"] = self.workload
+            out["workload_findings"] = len(self.workload_findings)
+            if self.workload_stats is not None:
+                out["workload_injected"] = self.workload_stats.injected_events
+                out["workload_converged"] = self.workload_stats.converged
+        return out
 
 
 class FederatedExploration:
@@ -388,6 +512,43 @@ class FederatedExploration:
         report.wall_seconds = time.perf_counter() - started
         return report
 
+    def run_workload(
+        self, plan: "WorkloadPlan", max_rounds: int = 16
+    ) -> Tuple[List[Finding], FabricStats]:
+        """Drive one fault/churn workload wave and run its paired checkers.
+
+        A *fresh* fabric is built (clean checkpoints of the live
+        routers), the plan's timed :class:`InjectionEvent`\\ s are
+        interleaved with organic propagation, and every checker the plan
+        names judges the resulting clone ensemble.  Returns the checker
+        findings plus the wave's own :class:`FabricStats`.
+        """
+        fabric = self._fabric(max_rounds)
+        baseline: Dict[str, Dict[Prefix, int]] = {}
+        for node_id, clone in fabric.clones.items():
+            local_asn = as_concrete_int(clone.config.asn)
+            origins: Dict[Prefix, int] = {}
+            for prefix, route in clone.loc_rib.items():
+                origin = route.origin_as()
+                origins[prefix] = (
+                    local_asn if origin is None else as_concrete_int(origin)
+                )
+            baseline[node_id] = origins
+        stats = fabric.propagate(plan.events)
+        context = WaveContext(
+            clones=fabric.clones,
+            stats=stats,
+            baseline=baseline,
+            graph=self.graph,
+            deadline=plan.deadline,
+            failed_links=set(fabric.failed_links),
+            workload=plan.name,
+        )
+        findings: List[Finding] = []
+        for name in plan.checkers:
+            findings.extend(get_wave_checker(name).check(context))
+        return findings, stats
+
     def explore(
         self,
         seeds: Sequence[FederatedSeed],
@@ -402,6 +563,7 @@ class FederatedExploration:
         as_rotation: str = "yield",
         stream_epochs: int = 1,
         shared_pool: bool = True,
+        workload: Optional["WorkloadPlan"] = None,
     ) -> FederatedReport:
         """Explore a federated seed corpus, then run the system-wide wave.
 
@@ -423,6 +585,14 @@ class FederatedExploration:
         False`` keeps the legacy one-pipeline-per-AS layout (N pools of
         ``workers`` processes each); it exists for benchmarks comparing
         the two and should not be used otherwise.
+
+        ``workload`` additionally runs a fault/churn wave
+        (:meth:`run_workload`) after the corpus wave — on its *own*
+        fresh fabric, so the workload's paired checkers judge the
+        injected pathology in isolation from corpus-induced state.  The
+        workload wave is serial and deterministic regardless of
+        ``workers``/``stream``, so serial/streamed finding-set parity
+        is preserved.
         """
         if not seeds:
             raise ExplorationError("federated exploration needs a seed corpus")
@@ -471,6 +641,11 @@ class FederatedExploration:
         report.pools = pools
         report.scheduler_yield = scheduler_yield
         report.stream_summary = stream_summary
+        if workload is not None:
+            report.workload_findings, report.workload_stats = (
+                self.run_workload(workload, max_rounds=max_rounds)
+            )
+            report.workload = workload.name
         report.wall_seconds = time.perf_counter() - started
         return report
 

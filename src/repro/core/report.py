@@ -24,6 +24,12 @@ class FindingKind(enum.Enum):
     HANDLER_CRASH = "handler-crash"
     INVARIANT_VIOLATION = "invariant-violation"
     SESSION_RESET = "session-reset"
+    # Wave-level pathologies detected over the whole clone ensemble
+    # (the workload subsystem's paired invariant checkers).
+    STUCK_ROUTE = "stuck-route"
+    BLACKHOLE = "blackhole"
+    CONVERGENCE_TIMEOUT = "convergence-timeout"
+    ORIGIN_CONFLICT = "origin-conflict"
 
 
 class Severity(enum.IntEnum):
@@ -45,6 +51,12 @@ class Finding:
     observed_origin: Optional[int] = None
     assignment: Tuple[Tuple[str, int], ...] = ()
     details: str = ""
+    #: Federation node the finding is about ("" for single-node sessions,
+    #: where the session itself carries the node identity).
+    node: str = ""
+    #: Name of the checker that produced the finding ("" for the classic
+    #: per-execution checkers, which predate checker attribution).
+    checker: str = ""
 
     def dedup_key(self) -> tuple:
         """Findings agreeing on this key are the same underlying fault."""
@@ -55,10 +67,16 @@ class Finding:
             self.expected_origin,
             self.observed_origin,
             self.summary if self.kind == FindingKind.HANDLER_CRASH else "",
+            self.node,
+            self.checker,
         )
 
     def describe(self) -> str:
         parts = [f"[{self.severity.name}] {self.kind.value}: {self.summary}"]
+        if self.checker:
+            parts.append(f"checker={self.checker}")
+        if self.node:
+            parts.append(f"node={self.node}")
         if self.prefix is not None:
             parts.append(f"prefix={self.prefix}")
         if self.peer is not None:

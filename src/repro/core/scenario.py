@@ -37,6 +37,7 @@ from repro.bgp.rib import RouteSource
 from repro.bgp.router import BgpRouter
 from repro.core.dice import DiCE, DiceEnabledRouter
 from repro.core.federation import FederatedSeed
+from repro.core.report import Finding, FindingKind, Severity
 from repro.net.node import NodeHost
 from repro.topology.graph import (
     FILTER_MODES,
@@ -161,7 +162,14 @@ def customer_config() -> str:
 
 @dataclass
 class ScenarioConfig:
-    """Knobs for building the Figure 2 testbed."""
+    """Knobs for building the Figure 2 testbed.
+
+    .. deprecated::
+        Public use is deprecated along with :func:`build_scenario`;
+        pass the same knobs as keyword overrides to
+        ``get_scenario("fig2").build(seed=..., filter_mode=..., ...)``.
+        The dataclass remains the internal carrier for the fig2 builder.
+    """
 
     filter_mode: str = "erroneous"
     prefix_count: int = 5_000
@@ -239,7 +247,7 @@ class BuiltScenario:
             dict(self.routers), salt=salt, graph=self.graph
         )
 
-    def check_invariants(self) -> List[str]:
+    def check_invariants(self) -> List[Finding]:
         """Expected-state violations (empty when the scenario is healthy).
 
         The baseline invariants every scenario asserts after
@@ -247,10 +255,27 @@ class BuiltScenario:
         networks, and every declared edge has an established session on
         both sides.  Exploration never mutates live routers, so these
         must hold before *and after* any number of federated waves.
+
+        Returns structured :class:`~repro.core.report.Finding` objects
+        (``checker="baseline"``, the node and prefix attributed) rather
+        than bare strings, so the CLI and programmatic consumers render
+        and dedup them like every other finding.
         """
-        violations: List[str] = []
+        violations: List[Finding] = []
         if self.graph is None:
             return violations
+
+        def violation(node: str, summary: str, prefix=None, peer=None) -> Finding:
+            return Finding(
+                kind=FindingKind.INVARIANT_VIOLATION,
+                severity=Severity.WARNING,
+                summary=summary,
+                prefix=prefix,
+                peer=peer,
+                node=node,
+                checker="baseline",
+            )
+
         for name, node in self.graph.nodes.items():
             router = self.routers.get(name)
             if router is None:
@@ -258,11 +283,16 @@ class BuiltScenario:
             for prefix in node.networks:
                 route = router.loc_rib.get(prefix)
                 if route is None:
-                    violations.append(f"{name}: own prefix {prefix} missing from Loc-RIB")
+                    violations.append(violation(
+                        name, f"own prefix {prefix} missing from Loc-RIB",
+                        prefix=prefix,
+                    ))
                 elif route.source != RouteSource.STATIC:
-                    violations.append(
-                        f"{name}: own prefix {prefix} no longer locally originated"
-                    )
+                    violations.append(violation(
+                        name,
+                        f"own prefix {prefix} no longer locally originated",
+                        prefix=prefix,
+                    ))
         for edge in self.graph.edges:
             for side, other in ((edge.a, edge.b), (edge.b, edge.a)):
                 router = self.routers.get(side)
@@ -270,7 +300,9 @@ class BuiltScenario:
                     continue
                 session = router.sessions.get(other)
                 if session is None or not session.established:
-                    violations.append(f"{side}: session to {other} not established")
+                    violations.append(violation(
+                        side, f"session to {other} not established", peer=other,
+                    ))
         return violations
 
 
@@ -289,10 +321,33 @@ class Fig2Scenario(BuiltScenario):
         return self.provider.table_size()
 
 
+_BUILD_SCENARIO_WARNED = False
+
+
 def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
+    """Deprecated: use ``get_scenario("fig2").build(seed=..., **overrides)``.
+
+    Thin shim kept for callers of the original prototype API; warns
+    once per process, then builds the same testbed through the registry
+    path.
+    """
+    global _BUILD_SCENARIO_WARNED
+    if not _BUILD_SCENARIO_WARNED:
+        _BUILD_SCENARIO_WARNED = True
+        import warnings
+
+        warnings.warn(
+            "build_scenario()/ScenarioConfig are deprecated; use "
+            'get_scenario("fig2").build(seed=..., **overrides) instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _build_fig2(config or ScenarioConfig())
+
+
+def _build_fig2(config: ScenarioConfig) -> Fig2Scenario:
     """Construct (but do not run) the Figure 2 testbed."""
     started = time.perf_counter()
-    config = config or ScenarioConfig()
     graph = fig2_graph(config.filter_mode)
     trace = RouteViewsGenerator(
         TraceConfig(
@@ -540,7 +595,7 @@ def _graph_scenario(
 
 
 def _fig2_builder(seed: int = DEFAULT_SCENARIO_SEED, **overrides) -> Fig2Scenario:
-    return build_scenario(ScenarioConfig(seed=seed, **overrides))
+    return _build_fig2(ScenarioConfig(seed=seed, **overrides))
 
 
 register_scenario(

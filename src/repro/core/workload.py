@@ -1,0 +1,814 @@
+"""Fault, churn & pathology workloads over federated scenarios.
+
+DiCE's exploration asks "what could a peer *say* to this node?".  This
+module asks the complementary operational question: "what happens to the
+whole federation when the environment misbehaves?" — links fail silently,
+prefixes flap, sessions reset mid-convergence, a primary path dies, a
+mis-filtered customer leaks, two domains originate the same space, a
+policy fix rolls out without route-refresh.
+
+Each :class:`Workload` is a *planner*: given a built scenario it emits a
+:class:`WorkloadPlan` — timed :class:`~repro.core.federation.InjectionEvent`\\ s
+that the :class:`~repro.core.federation.IsolatedFabric` interleaves with
+organic propagation — plus the names of the wave-level invariant
+checkers (:mod:`repro.core.checkers`) that judge the aftermath.  A
+workload whose pathology cannot exist on a topology (a wedged
+withdrawal needs a customer edge to wedge behind) raises
+:class:`~repro.util.errors.WorkloadNotApplicable` at planning time; the
+scenario matrix reports such cells as *skipped*.
+
+The :class:`ScenarioMatrix` composes the three orthogonal axes —
+topology × workload × checker — into runnable cells, each a full
+build → converge → explore → inject → check pipeline, runnable serial
+or streamed with identical finding sets (the workload wave is always
+serial and deterministic).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import ORIGIN_IGP, AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.nlri import NlriEntry
+from repro.concolic.engine import ExplorationBudget
+from repro.core.checkers import WAVE_CHECKERS
+from repro.core.federation import FabricStats, InjectionEvent, IsolatedFabric
+from repro.core.report import Finding
+from repro.core.scenario import (
+    DEFAULT_SCENARIO_SEED,
+    BuiltScenario,
+    get_scenario,
+)
+from repro.topology.graph import LOCAL_PREF, AsGraph, render_config
+from repro.util.errors import WorkloadError, WorkloadNotApplicable
+from repro.util.ip import Prefix
+
+#: A prefix no scenario originates (generated federations use 10/8,
+#: Figure 2 adds 203.0.113/24) — safe for flap storms to churn.
+FLAP_PREFIX = Prefix.parse("11.11.0.0/16")
+
+
+@dataclass
+class WorkloadPlan:
+    """A concrete, scenario-bound injection schedule plus its verdict rules."""
+
+    name: str
+    events: List[InjectionEvent] = field(default_factory=list)
+    #: Simulated-seconds convergence deadline the wave is held to.
+    deadline: float = 5.0
+    #: Wave-checker names (keys of :data:`~repro.core.checkers.WAVE_CHECKERS`)
+    #: that judge the post-wave ensemble.
+    checkers: Tuple[str, ...] = ()
+    #: Human-readable description of what was planned (CLI output).
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, topology-generic fault/churn pathology.
+
+    ``planner(built)`` binds it to a concrete scenario;
+    ``paired_checkers`` are the invariants its pathology violates (the
+    default ``--checker`` axis value); ``build_overrides`` are scenario
+    build kwargs the workload needs (the route-leak workload forces the
+    Gao–Rexford ``filter_mode="erroneous"`` knob).
+    """
+
+    name: str
+    description: str
+    planner: Callable[[BuiltScenario], WorkloadPlan]
+    paired_checkers: Tuple[str, ...] = ()
+    build_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def plan(self, built: BuiltScenario) -> WorkloadPlan:
+        plan = self.planner(built)
+        if not plan.checkers:
+            plan.checkers = self.paired_checkers
+        for checker in plan.checkers:
+            if checker not in WAVE_CHECKERS:
+                raise WorkloadError(
+                    f"workload {self.name!r} names unknown checker {checker!r}"
+                )
+        return plan
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, replace_existing: bool = False) -> Workload:
+    if workload.name in WORKLOADS and not replace_existing:
+        raise WorkloadError(f"workload {workload.name!r} already registered")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    workload = WORKLOADS.get(name)
+    if workload is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; registered: {', '.join(sorted(WORKLOADS))}"
+        )
+    return workload
+
+
+def list_workloads() -> List[Workload]:
+    return [WORKLOADS[name] for name in sorted(WORKLOADS)]
+
+
+# ---------------------------------------------------------------------------
+# Planner helpers.
+# ---------------------------------------------------------------------------
+
+
+def _graph_of(built: BuiltScenario, workload: str) -> AsGraph:
+    if built.graph is None:
+        raise WorkloadNotApplicable(
+            f"workload {workload!r} needs an AS graph; scenario "
+            f"{built.name!r} has none"
+        )
+    return built.graph
+
+
+def _fabric_nodes(built: BuiltScenario) -> List[str]:
+    """Graph nodes that are real routers (fig2's replayer is not)."""
+    return sorted(n for n in built.graph.nodes if n in built.routers)
+
+
+def _at_clone(node: str, action: Callable) -> Callable[[IsolatedFabric], None]:
+    """An injection action running ``action(clone_of(node))``."""
+
+    def run(fabric: IsolatedFabric) -> None:
+        action(fabric.clone_of(node))
+
+    return run
+
+
+def _fabricated_withdrawal(
+    node: str, peer: str, prefix: Prefix
+) -> Callable[[IsolatedFabric], None]:
+    """Deliver a withdrawal of ``prefix`` at ``node`` as if from ``peer``."""
+
+    def run(fabric: IsolatedFabric) -> None:
+        fabric.inject(
+            node, peer, UpdateMessage(withdrawn=[NlriEntry.from_prefix(prefix)])
+        )
+
+    return run
+
+
+def _leak_announcement(
+    built: BuiltScenario, graph: AsGraph, target: str, injector: str
+) -> Tuple[Prefix, UpdateMessage]:
+    """An exact-prefix hijack announcement ``injector`` -> ``target``.
+
+    Picks a victim prefix originated by a third party outside the
+    injector's customer cone, 16–24 bits long — inside the sloppy
+    disjunct of the ``erroneous`` Gao–Rexford customer filter, so a
+    mis-filtered import accepts it — and *preferred over the target's
+    current route* (higher local-pref by relation, or shorter AS path
+    at equal pref): a leak that loses the decision process perturbs
+    nothing.
+    """
+    relation = next(
+        (rel for peer, rel, _ in graph.neighbors(target) if peer == injector),
+        None,
+    )
+    if relation is None:
+        raise WorkloadNotApplicable(
+            f"{injector!r} is not a neighbor of {target!r}"
+        )
+    leak_pref = LOCAL_PREF[relation]
+    router = built.routers[target]
+    # Cone exclusion only means something for customer injectors: a
+    # correct customer filter admits exactly the cone, so a leak must sit
+    # outside it.  Peer/provider imports are not cone-filtered under
+    # Gao–Rexford; any third party's space is a hijack from them.
+    cone = (
+        set(graph.customer_cone(injector)) if relation == "customer" else set()
+    )
+    for name in sorted(graph.nodes):
+        if name in (target, injector):
+            continue
+        node = graph.nodes[name]
+        for prefix in node.networks:
+            if prefix in cone or not 16 <= prefix.length <= 24:
+                continue
+            current = router.loc_rib.get(prefix)
+            if current is not None:
+                current_pref = current.attributes.local_pref
+                current_pref = 100 if current_pref is None else current_pref
+                current_len = len(current.attributes.as_path)
+                # Mirror the decision ladder: local-pref, AS-path length,
+                # then (several always-tied steps later) lowest peer id.
+                leak_rank = (leak_pref, -1, injector)
+                current_rank = (
+                    current_pref, -current_len, current.peer or ""
+                )
+                wins = (
+                    leak_rank[:2] > current_rank[:2]
+                    or (leak_rank[:2] == current_rank[:2]
+                        and injector < (current.peer or ""))
+                )
+                if not wins:
+                    continue  # the leak would lose the decision process
+            update = UpdateMessage(
+                attributes=PathAttributes(
+                    # ORIGIN_IGP keeps the decision ladder's origin step a
+                    # tie against legitimately originated routes, so the
+                    # pref/length/peer-id ranking above actually decides.
+                    origin=ORIGIN_IGP,
+                    as_path=AsPath.sequence([graph.nodes[injector].asn]),
+                    next_hop=graph.nodes[injector].router_id,
+                ),
+                nlri=[NlriEntry.from_prefix(prefix)],
+            )
+            return prefix, update
+    raise WorkloadNotApplicable(
+        f"no winnable victim prefix outside {injector!r}'s cone at {target!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The workload library.
+# ---------------------------------------------------------------------------
+
+
+def _plan_baseline(built: BuiltScenario) -> WorkloadPlan:
+    """No injections: every paired checker must stay silent."""
+    return WorkloadPlan(
+        name="baseline",
+        events=[],
+        notes="clean wave — all checkers must stay silent",
+    )
+
+
+def _plan_link_failure(built: BuiltScenario) -> WorkloadPlan:
+    """A silent link cut wedges a withdrawal behind it.
+
+    Shape: relay ``b`` has a customer ``a`` (so ``b`` exports everything
+    down to it) and another neighbor ``c`` that originates address
+    space.  The ``a``–``b`` link fails *silently* (no session teardown),
+    then ``c`` withdraws its origination: the withdrawal reaches ``b``
+    but dies on the cut link, leaving ``a`` with a stale route its
+    neighbor no longer carries — the no-stuck-routes pathology.
+    """
+    graph = _graph_of(built, "link-failure")
+    nodes = _fabric_nodes(built)
+    for b in nodes:
+        customers = [a for a in graph.customers_of(b) if a in built.routers]
+        if not customers:
+            continue
+        a = customers[0]
+        others = [
+            peer for peer, _, _ in graph.neighbors(b)
+            if peer != a and peer in built.routers and graph.nodes[peer].networks
+        ]
+        if not others:
+            continue
+        c = others[0]
+        victim = graph.nodes[c].networks[0]
+        return WorkloadPlan(
+            name="link-failure",
+            events=[
+                InjectionEvent(
+                    at=0.01,
+                    label=f"silently cut link {a}<->{b}",
+                    action=lambda fabric, a=a, b=b: fabric.fail_link(a, b),
+                ),
+                InjectionEvent(
+                    at=0.02,
+                    label=f"{c} withdraws origination of {victim}",
+                    action=_at_clone(
+                        c, lambda clone, p=victim: clone.withdraw_origination(p)
+                    ),
+                ),
+            ],
+            notes=(
+                f"cut {a}<->{b}, then {c} withdraws {victim}; the withdrawal "
+                f"wedges behind the dead link, sticking the route at {a}"
+            ),
+        )
+    raise WorkloadNotApplicable(
+        "link-failure needs a relay with a customer below and a "
+        "networks-bearing neighbor beside (no transit edges here)"
+    )
+
+
+def _plan_flap_storm(built: BuiltScenario) -> WorkloadPlan:
+    """Rapid announce/withdraw churn that blows the convergence deadline.
+
+    Eight alternating originations/withdrawals of a fresh prefix at
+    80 ms intervals — each round re-floods the federation, so quiescence
+    arrives long after the 200 ms deadline the plan sets.  The storm
+    ends on a withdrawal, leaving no residue for other checkers.
+    """
+    graph = _graph_of(built, "flap-storm")
+    candidates = [n for n in _fabric_nodes(built) if graph.neighbors(n)]
+    if not candidates:
+        raise WorkloadNotApplicable("flap-storm needs a connected node")
+    origin = candidates[0]
+    events = []
+    for i in range(8):
+        if i % 2 == 0:
+            action = _at_clone(
+                origin, lambda clone: clone.originate(FLAP_PREFIX)
+            )
+            label = f"flap {i}: {origin} originates {FLAP_PREFIX}"
+        else:
+            action = _at_clone(
+                origin, lambda clone: clone.withdraw_origination(FLAP_PREFIX)
+            )
+            label = f"flap {i}: {origin} withdraws {FLAP_PREFIX}"
+        events.append(InjectionEvent(at=0.01 + 0.08 * i, label=label, action=action))
+    return WorkloadPlan(
+        name="flap-storm",
+        events=events,
+        deadline=0.2,
+        notes=(
+            f"{origin} flaps {FLAP_PREFIX} 8 times at 80ms intervals; "
+            "the storm outlasts the 200ms convergence deadline"
+        ),
+    )
+
+
+def _plan_session_reset(built: BuiltScenario) -> WorkloadPlan:
+    """Both ends of a session reset mid-convergence.
+
+    NOTIFICATIONs land at the two endpoints of one edge 5 ms apart (the
+    second arrives while the first teardown's withdrawals are still
+    propagating).  Both sides flush the session's routes and the
+    session stays down; prefixes whose only path crossed the edge
+    vanish while their origins still advertise them — blackholes.
+    """
+    graph = _graph_of(built, "session-reset")
+    edges = [
+        edge for edge in graph.edges
+        if edge.a in built.routers and edge.b in built.routers
+    ]
+    transit = [e for e in edges if e.kind == "transit"]
+    if not edges:
+        raise WorkloadNotApplicable("session-reset needs an in-fabric edge")
+    edge = (transit or edges)[0]
+    return WorkloadPlan(
+        name="session-reset",
+        events=[
+            InjectionEvent(
+                at=0.01,
+                label=f"NOTIFICATION at {edge.a} from {edge.b}",
+                action=lambda fabric, a=edge.a, b=edge.b: fabric.reset_session(a, b),
+            ),
+            InjectionEvent(
+                at=0.015,
+                label=f"NOTIFICATION at {edge.b} from {edge.a}",
+                action=lambda fabric, a=edge.a, b=edge.b: fabric.reset_session(b, a),
+            ),
+        ],
+        notes=(
+            f"session {edge.a}<->{edge.b} torn down from both ends "
+            "mid-convergence; routes through it are flushed with no recovery"
+        ),
+    )
+
+
+def _plan_failover(built: BuiltScenario) -> WorkloadPlan:
+    """The primary path to a prefix dies; does a backup take over?
+
+    A fabricated withdrawal of a node's own prefix lands at its primary
+    provider (as if the origin withdrew it there) while the origin keeps
+    originating.  Multihomed origins survive — the provider falls back
+    to the path via its peer and nothing blackholes; single-homed
+    origins leave every upstream node holding no route to
+    still-advertised space.
+    """
+    graph = _graph_of(built, "failover")
+    for m in _fabric_nodes(built):
+        node = graph.nodes[m]
+        if not node.networks:
+            continue
+        uplinks = [
+            p for p in graph.providers_of(m) + graph.peers_of(m)
+            if p in built.routers
+        ]
+        if not uplinks:
+            continue
+        primary = uplinks[0]
+        prefix = node.networks[0]
+        degree = len(uplinks)
+        return WorkloadPlan(
+            name="failover",
+            events=[
+                InjectionEvent(
+                    at=0.01,
+                    label=f"primary path {primary}<-{m} loses {prefix}",
+                    action=_fabricated_withdrawal(primary, m, prefix),
+                ),
+            ],
+            notes=(
+                f"{prefix} withdrawn from primary uplink {primary!r}; origin "
+                f"{m!r} has {degree} uplink(s) — "
+                + ("backup should absorb it" if degree > 1
+                   else "no backup exists, upstream tables blackhole")
+            ),
+        )
+    raise WorkloadNotApplicable(
+        "failover needs a networks-bearing node with an uplink"
+    )
+
+
+def _plan_route_leak(built: BuiltScenario) -> WorkloadPlan:
+    """A mis-filtered import accepts an exact-prefix hijack mid-wave.
+
+    Built with ``filter_mode="erroneous"`` (the Gao–Rexford knob): the
+    customer filter's sloppy length disjunct accepts a third party's
+    /16.  The victim's own static route keeps claiming the space, so
+    the federation ends in standing origin disagreement.
+    """
+    graph = _graph_of(built, "route-leak")
+    for target in _fabric_nodes(built):
+        injectors = [
+            k for k in graph.customers_of(target) if k in built.routers
+        ] + [
+            peer for peer, rel, _ in graph.neighbors(target)
+            if rel != "customer" and peer in built.routers
+        ]
+        for injector in injectors:
+            try:
+                victim, update = _leak_announcement(
+                    built, graph, target, injector
+                )
+            except WorkloadNotApplicable:
+                continue
+            break
+        else:
+            continue
+        return WorkloadPlan(
+            name="route-leak",
+            events=[
+                InjectionEvent(
+                    at=0.01,
+                    label=f"{injector} leaks {victim} to {target}",
+                    action=lambda fabric, t=target, i=injector, u=update:
+                        fabric.inject(t, i, u),
+                ),
+            ],
+            notes=(
+                f"{injector} announces {victim} (someone else's space) to "
+                f"{target}; the erroneous filter accepts it"
+            ),
+        )
+    raise WorkloadNotApplicable(
+        "route-leak needs an injector neighbor and a third-party victim prefix"
+    )
+
+
+def _plan_moas_conflict(built: BuiltScenario) -> WorkloadPlan:
+    """Two domains originate the same prefix (a MOAS conflict)."""
+    graph = _graph_of(built, "moas-conflict")
+    owners = [
+        n for n in _fabric_nodes(built) if graph.nodes[n].networks
+    ]
+    if len(owners) < 2:
+        raise WorkloadNotApplicable(
+            "moas-conflict needs two networks-bearing nodes"
+        )
+    x, y = owners[0], owners[-1]
+    prefix = graph.nodes[x].networks[0]
+    return WorkloadPlan(
+        name="moas-conflict",
+        events=[
+            InjectionEvent(
+                at=0.01,
+                label=f"{y} also originates {prefix} (owned by {x})",
+                action=_at_clone(y, lambda clone, p=prefix: clone.originate(p)),
+            ),
+        ],
+        notes=(
+            f"{y} starts originating {x}'s {prefix}; both static routes win "
+            "locally, so the two domains' origin views permanently disagree"
+        ),
+    )
+
+
+def _plan_policy_rollout(built: BuiltScenario) -> WorkloadPlan:
+    """A filter fix rolls out node by node — without route-refresh.
+
+    A leak is accepted under the erroneous filter, then every
+    customer-filtering node hot-swaps to the *corrected* configuration,
+    staggered 50 ms apart.  :meth:`~repro.bgp.router.BgpRouter.apply_config`
+    deliberately does not revalidate Adj-RIB-In, so the already-accepted
+    leaked route lingers after the fix — the classic "config is correct
+    but the table is not" pathology, visible as standing origin
+    disagreement.
+    """
+    graph = _graph_of(built, "policy-rollout")
+    providers = [
+        n for n in _fabric_nodes(built)
+        if any(c in built.routers for c in graph.customers_of(n))
+    ]
+    if not providers:
+        raise WorkloadNotApplicable(
+            "policy-rollout needs customer-filtering nodes (transit edges)"
+        )
+    target = injector = None
+    victim = update = None
+    for candidate in providers:
+        for customer in graph.customers_of(candidate):
+            if customer not in built.routers:
+                continue
+            try:
+                victim, update = _leak_announcement(
+                    built, graph, candidate, customer
+                )
+            except WorkloadNotApplicable:
+                continue
+            target, injector = candidate, customer
+            break
+        if target is not None:
+            break
+    if target is None:
+        raise WorkloadNotApplicable(
+            "policy-rollout found no customer leak that wins the decision "
+            "process anywhere"
+        )
+    events = [
+        InjectionEvent(
+            at=0.01,
+            label=f"{injector} leaks {victim} to {target} (pre-rollout)",
+            action=lambda fabric, t=target, i=injector, u=update:
+                fabric.inject(t, i, u),
+        ),
+    ]
+    # Render each corrected config at *plan* time: flip the graph node's
+    # filter knob, render, restore — the plan carries finished config
+    # text, so injection actions stay cheap and deterministic.
+    for index, name in enumerate(providers):
+        node = graph.nodes[name]
+        previous = node.filter_mode
+        node.filter_mode = "correct"
+        try:
+            corrected = render_config(graph, name)
+        finally:
+            node.filter_mode = previous
+        events.append(
+            InjectionEvent(
+                at=0.05 + 0.05 * index,
+                label=f"rollout: {name} applies corrected filter",
+                action=_at_clone(
+                    name, lambda clone, cfg=corrected: clone.apply_config(cfg)
+                ),
+            )
+        )
+    return WorkloadPlan(
+        name="policy-rollout",
+        events=events,
+        notes=(
+            f"leak accepted at {target}, then {len(providers)} node(s) "
+            "hot-swap to corrected filters; without route-refresh the "
+            "stale leaked route survives the fix"
+        ),
+    )
+
+
+register_workload(Workload(
+    "baseline",
+    "no injections — every checker must stay silent on a healthy wave",
+    _plan_baseline,
+    paired_checkers=(
+        "convergence-deadline", "no-stuck-routes", "no-blackhole",
+        "origin-agreement",
+    ),
+))
+register_workload(Workload(
+    "link-failure",
+    "silent link cut wedges a withdrawal, sticking a stale route",
+    _plan_link_failure,
+    paired_checkers=("no-stuck-routes",),
+))
+register_workload(Workload(
+    "flap-storm",
+    "rapid announce/withdraw churn that blows the convergence deadline",
+    _plan_flap_storm,
+    paired_checkers=("convergence-deadline",),
+))
+register_workload(Workload(
+    "session-reset",
+    "both ends of a session reset mid-convergence, blackholing prefixes",
+    _plan_session_reset,
+    paired_checkers=("no-blackhole",),
+))
+register_workload(Workload(
+    "failover",
+    "primary path to a prefix dies; multihomed origins survive, "
+    "single-homed ones blackhole",
+    _plan_failover,
+    paired_checkers=("no-blackhole",),
+))
+register_workload(Workload(
+    "route-leak",
+    "erroneous customer filter accepts an exact-prefix hijack mid-wave",
+    _plan_route_leak,
+    paired_checkers=("origin-agreement",),
+    build_overrides={"filter_mode": "erroneous"},
+))
+register_workload(Workload(
+    "moas-conflict",
+    "two domains originate the same prefix; origin views never reconcile",
+    _plan_moas_conflict,
+    paired_checkers=("origin-agreement",),
+))
+register_workload(Workload(
+    "policy-rollout",
+    "rolling filter fix without route-refresh leaves a stale leaked route",
+    _plan_policy_rollout,
+    paired_checkers=("origin-agreement",),
+    build_overrides={"filter_mode": "erroneous"},
+))
+
+
+# ---------------------------------------------------------------------------
+# The scenario matrix: topology x workload x checker.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (topology, workload, checkers) combination to run."""
+
+    topology: str
+    workload: str
+    checkers: Tuple[str, ...]
+    seed: int = DEFAULT_SCENARIO_SEED
+
+    def key(self) -> str:
+        return f"{self.topology}/{self.workload}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one matrix cell."""
+
+    cell: MatrixCell
+    status: str                              # "ok" | "skipped" | "error"
+    findings: List[Finding] = field(default_factory=list)
+    stats: Optional[FabricStats] = None
+    notes: str = ""
+    skip_reason: str = ""
+    error: str = ""
+    wall_seconds: float = 0.0
+    #: Exploration-side finding keys (for serial/stream parity checks).
+    finding_keys: List[tuple] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.findings)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "cell": self.cell.key(),
+            "status": self.status,
+            "findings": len(self.findings),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+        if self.stats is not None:
+            out["injected"] = self.stats.injected_events
+            out["delivered"] = self.stats.delivered
+            out["events"] = self.stats.events
+            out["sim_seconds"] = round(self.stats.sim_seconds, 4)
+        if self.skip_reason:
+            out["skip_reason"] = self.skip_reason
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+class ScenarioMatrix:
+    """Enumerate and run (topology × workload × checker) combinations.
+
+    ``checkers=None`` pairs each workload with its declared checkers
+    (the curated matrix); an explicit checker list overrides the pairing
+    for every cell — the orthogonal-axes mode.
+
+    Each cell is independent: build the topology (with the workload's
+    build overrides), converge it live, explore the scenario's seed
+    corpus through the federated engines (serial or streamed —
+    ``stream``/``workers`` pass straight through, and finding parity is
+    preserved because the workload wave itself is always serial), then
+    run the workload wave on a fresh fabric and judge it.
+    """
+
+    def __init__(
+        self,
+        topologies: Sequence[str],
+        workloads: Sequence[str],
+        checkers: Optional[Sequence[str]] = None,
+        seed: int = DEFAULT_SCENARIO_SEED,
+        budget: Optional[ExplorationBudget] = None,
+        workers: int = 1,
+        stream: bool = False,
+        max_seeds: Optional[int] = None,
+    ):
+        self.topologies = list(topologies)
+        self.workloads = list(workloads)
+        self.checkers = tuple(checkers) if checkers is not None else None
+        self.seed = seed
+        self.budget = budget
+        self.workers = workers
+        self.stream = stream
+        self.max_seeds = max_seeds
+        # Fail fast on unknown axis values, before any cell builds.
+        for name in self.topologies:
+            get_scenario(name)
+        for name in self.workloads:
+            get_workload(name)
+        for name in self.checkers or ():
+            if name not in WAVE_CHECKERS:
+                raise WorkloadError(
+                    f"unknown checker {name!r}; registered: "
+                    f"{', '.join(sorted(WAVE_CHECKERS))}"
+                )
+
+    def cells(self) -> List[MatrixCell]:
+        return [
+            MatrixCell(
+                topology=topology,
+                workload=workload,
+                checkers=(
+                    self.checkers
+                    if self.checkers is not None
+                    else get_workload(workload).paired_checkers
+                ),
+                seed=self.seed,
+            )
+            for topology in self.topologies
+            for workload in self.workloads
+        ]
+
+    def run_cell(self, cell: MatrixCell) -> CellResult:
+        started = time.perf_counter()
+        workload = get_workload(cell.workload)
+        try:
+            built = get_scenario(cell.topology).build(
+                cell.seed, **workload.build_overrides
+            )
+            built.converge()
+            try:
+                plan = workload.plan(built)
+            except WorkloadNotApplicable as exc:
+                return CellResult(
+                    cell=cell,
+                    status="skipped",
+                    skip_reason=str(exc),
+                    wall_seconds=time.perf_counter() - started,
+                )
+            plan = replace(plan, checkers=cell.checkers)
+            federation = built.federation()
+            seeds = built.seed_corpus()
+            if self.max_seeds is not None:
+                seeds = seeds[: self.max_seeds]
+            if seeds:
+                report = federation.explore(
+                    seeds,
+                    budget=self.budget,
+                    workers=self.workers,
+                    stream=self.stream,
+                    workload=plan,
+                )
+                findings = report.workload_findings
+                stats = report.workload_stats
+                finding_keys = report.finding_keys()
+            else:
+                findings, stats = federation.run_workload(plan)
+                finding_keys = sorted(
+                    ((f.node, f.dedup_key()) for f in findings), key=repr
+                )
+            return CellResult(
+                cell=cell,
+                status="ok",
+                findings=findings,
+                stats=stats,
+                notes=plan.notes,
+                wall_seconds=time.perf_counter() - started,
+                finding_keys=finding_keys,
+            )
+        except Exception as exc:  # a crashed cell must not sink the matrix
+            return CellResult(
+                cell=cell,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - started,
+            )
+
+    def run(
+        self,
+        progress: Optional[Callable[[CellResult], None]] = None,
+    ) -> List[CellResult]:
+        results = []
+        for cell in self.cells():
+            result = self.run_cell(cell)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results

@@ -79,6 +79,27 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
+    def schedule_repeating(
+        self, start: float, interval: float, count: int, callback: Callable[[int], None]
+    ) -> List[EventHandle]:
+        """Schedule ``count`` firings of ``callback(i)`` every ``interval``s.
+
+        All occurrences are enqueued up front (not re-armed from the
+        callback), so cancelling the returned handles reliably stops the
+        train — the shape fault workloads (flap storms, rolling
+        reconfigurations) need.
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeating interval must be > 0, got {interval}")
+        if count < 0:
+            raise SimulationError(f"repeat count must be >= 0, got {count}")
+        return [
+            self.schedule_at(
+                start + i * interval, (lambda i=i: callback(i))
+            )
+            for i in range(count)
+        ]
+
     def step(self) -> bool:
         """Execute the next pending event; False if the queue is empty."""
         while self._queue:

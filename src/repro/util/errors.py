@@ -94,3 +94,16 @@ class TransportedError(ReproError):
 
 class PrivacyViolation(ReproError):
     """Raw private state was about to cross an administrative boundary."""
+
+
+class WorkloadError(ReproError):
+    """A fault/churn workload could not be planned or injected."""
+
+
+class WorkloadNotApplicable(WorkloadError):
+    """The workload's pathology cannot exist on this topology.
+
+    Raised at planning time (e.g. a wedged-withdrawal workload on a
+    pure-peering ring, where nothing relays routes); the scenario matrix
+    reports such cells as *skipped* rather than failed.
+    """

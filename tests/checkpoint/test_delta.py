@@ -19,7 +19,7 @@ from repro.checkpoint.delta import (
     state_segments,
 )
 from repro.concolic.env import ExplorationEnvironment
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 from repro.util.errors import CheckpointError
 from repro.util.ip import Prefix, ip_to_int
 
@@ -51,8 +51,8 @@ class ToyNode:
 
 @pytest.fixture(scope="module")
 def converged_scenario():
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="erroneous", prefix_count=200, update_count=20)
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous", prefix_count=200, update_count=20
     )
     scenario.converge()
     return scenario

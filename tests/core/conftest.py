@@ -7,16 +7,14 @@ live routers (exploration via checkpoints never does).
 
 import pytest
 
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 
 
 def small_scenario(filter_mode, prefix_count=400, update_count=40):
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode=filter_mode,
-            prefix_count=prefix_count,
-            update_count=update_count,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode=filter_mode,
+        prefix_count=prefix_count,
+        update_count=update_count,
     )
     scenario.converge()
     return scenario

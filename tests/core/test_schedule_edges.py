@@ -195,10 +195,10 @@ class TestThroughputProbe:
         assert probe.updates_per_second == 0.0
 
     def test_measure_throughput_counts_router_updates(self):
-        from repro.core import ScenarioConfig, build_scenario
+        from repro.core import get_scenario
 
-        scenario = build_scenario(
-            ScenarioConfig(filter_mode="correct", prefix_count=200, update_count=20)
+        scenario = get_scenario("fig2").build(
+            filter_mode="correct", prefix_count=200, update_count=20
         )
         probe = measure_throughput(scenario.host, scenario.provider.counters)
         assert probe.updates_processed > 0

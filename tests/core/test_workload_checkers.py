@@ -1,0 +1,221 @@
+"""Unit tests for the wave-level invariant checkers.
+
+Each checker is driven directly against a hand-built violating state —
+no scenario build, no propagation — so a failure localizes to the
+checker's own judgement, not to the workload machinery.  The states are
+minimal duck-typed stand-ins exposing exactly the surface the checkers
+read (``adj_rib_in.peers()/peer_prefixes()``, ``sessions``, ``loc_rib``,
+``static_routes``, ``config.asn``).
+"""
+
+import pytest
+
+from repro.core.checkers import (
+    ConvergenceDeadlineChecker,
+    NoBlackholeChecker,
+    NoStuckRoutesChecker,
+    WAVE_CHECKERS,
+    WaveContext,
+    get_wave_checker,
+    list_wave_checkers,
+)
+from repro.core.report import FindingKind, Severity
+from repro.util.ip import Prefix
+
+P = Prefix.parse
+
+
+class FakeStats:
+    def __init__(self, converged=True, sim_seconds=0.0):
+        self.converged = converged
+        self.sim_seconds = sim_seconds
+
+
+class FakeSession:
+    def __init__(self, established=True):
+        self.established = established
+
+
+class FakeAdjRibIn:
+    """node -> peer -> [prefixes] in the shape the checker walks."""
+
+    def __init__(self, by_peer=None):
+        self.by_peer = by_peer or {}
+
+    def peers(self):
+        return sorted(self.by_peer)
+
+    def peer_prefixes(self, peer_id):
+        return list(self.by_peer.get(peer_id, ()))
+
+
+class FakeLocRib:
+    def __init__(self, prefixes=()):
+        self.prefixes = set(prefixes)
+
+    def get(self, prefix):
+        return object() if prefix in self.prefixes else None
+
+
+class FakeConfig:
+    def __init__(self, asn):
+        self.asn = asn
+
+
+class FakeRouter:
+    def __init__(self, asn, adj_rib_in=None, sessions=None, loc_rib=(),
+                 static_routes=()):
+        self.config = FakeConfig(asn)
+        self.adj_rib_in = adj_rib_in or FakeAdjRibIn()
+        self.sessions = sessions or {}
+        self.loc_rib = FakeLocRib(loc_rib)
+        self.static_routes = set(static_routes)
+
+
+def ctx(clones, stats=None, **kwargs):
+    return WaveContext(clones=clones, stats=stats or FakeStats(), **kwargs)
+
+
+class TestConvergenceDeadline:
+    def test_silent_on_timely_convergence(self):
+        findings = ConvergenceDeadlineChecker().check(
+            ctx({}, FakeStats(converged=True, sim_seconds=1.0), deadline=5.0)
+        )
+        assert findings == []
+
+    def test_cut_off_wave_is_critical(self):
+        findings = ConvergenceDeadlineChecker().check(
+            ctx({}, FakeStats(converged=False, sim_seconds=9.9))
+        )
+        assert [f.kind for f in findings] == [FindingKind.CONVERGENCE_TIMEOUT]
+        assert findings[0].severity == Severity.CRITICAL
+        assert findings[0].checker == "convergence-deadline"
+
+    def test_late_convergence_is_warning(self):
+        findings = ConvergenceDeadlineChecker().check(
+            ctx({}, FakeStats(converged=True, sim_seconds=6.0), deadline=5.0)
+        )
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert "deadline" in findings[0].summary
+
+
+class TestNoStuckRoutes:
+    def test_silent_when_neighbor_still_carries_prefix(self):
+        prefix = P("10.1.0.0/16")
+        holder = FakeRouter(
+            65001,
+            adj_rib_in=FakeAdjRibIn({"origin": [prefix]}),
+            sessions={"origin": FakeSession(established=True)},
+        )
+        origin = FakeRouter(65002, loc_rib=[prefix], static_routes=[prefix])
+        findings = NoStuckRoutesChecker().check(
+            ctx({"holder": holder, "origin": origin})
+        )
+        assert findings == []
+
+    def test_route_stuck_after_lost_withdrawal(self):
+        # The injected pathology: 'origin' dropped the prefix entirely,
+        # but 'holder' never saw the withdrawal (silently failed link).
+        prefix = P("10.1.0.0/16")
+        holder = FakeRouter(
+            65001,
+            adj_rib_in=FakeAdjRibIn({"origin": [prefix]}),
+            sessions={"origin": FakeSession(established=True)},
+        )
+        origin = FakeRouter(65002)  # empty Loc-RIB, nothing static
+        findings = NoStuckRoutesChecker().check(
+            ctx({"holder": holder, "origin": origin})
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.kind == FindingKind.STUCK_ROUTE
+        assert finding.node == "holder"
+        assert finding.peer == "origin"
+        assert finding.prefix == prefix
+        assert "withdrawal lost" in finding.summary
+
+    def test_route_surviving_a_down_session(self):
+        prefix = P("10.2.0.0/16")
+        holder = FakeRouter(
+            65001,
+            adj_rib_in=FakeAdjRibIn({"origin": [prefix]}),
+            sessions={"origin": FakeSession(established=False)},
+        )
+        findings = NoStuckRoutesChecker().check(ctx({"holder": holder}))
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.CRITICAL
+        assert "session" in findings[0].summary
+
+    def test_out_of_federation_peer_not_judged(self):
+        prefix = P("10.3.0.0/16")
+        holder = FakeRouter(
+            65001,
+            adj_rib_in=FakeAdjRibIn({"outsider": [prefix]}),
+            sessions={"outsider": FakeSession(established=True)},
+        )
+        assert NoStuckRoutesChecker().check(ctx({"holder": holder})) == []
+
+
+class TestNoBlackhole:
+    def test_silent_when_route_still_present(self):
+        prefix = P("10.1.0.0/16")
+        node = FakeRouter(65001, loc_rib=[prefix])
+        origin = FakeRouter(65002, loc_rib=[prefix], static_routes=[prefix])
+        findings = NoBlackholeChecker().check(ctx(
+            {"node": node, "origin": origin},
+            baseline={"node": {prefix: 65002}},
+        ))
+        assert findings == []
+
+    def test_blackholed_prefix_fires(self):
+        # Baseline says 'node' could reach the prefix; post-wave its
+        # table is empty while the origin clone still originates it.
+        prefix = P("10.1.0.0/16")
+        node = FakeRouter(65001)
+        origin = FakeRouter(65002, loc_rib=[prefix], static_routes=[prefix])
+        findings = NoBlackholeChecker().check(ctx(
+            {"node": node, "origin": origin},
+            baseline={"node": {prefix: 65002}},
+        ))
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.kind == FindingKind.BLACKHOLE
+        assert finding.node == "node"
+        assert finding.expected_origin == 65002
+        assert finding.checker == "no-blackhole"
+
+    def test_genuinely_withdrawn_origination_is_exempt(self):
+        prefix = P("10.1.0.0/16")
+        node = FakeRouter(65001)
+        origin = FakeRouter(65002)  # origination withdrawn during the wave
+        findings = NoBlackholeChecker().check(ctx(
+            {"node": node, "origin": origin},
+            baseline={"node": {prefix: 65002}},
+        ))
+        assert findings == []
+
+    def test_self_originated_prefix_is_exempt(self):
+        prefix = P("10.1.0.0/16")
+        node = FakeRouter(65001, static_routes=[prefix])  # own prefix
+        origin = FakeRouter(65002, loc_rib=[prefix], static_routes=[prefix])
+        findings = NoBlackholeChecker().check(ctx(
+            {"node": node, "origin": origin},
+            baseline={"node": {prefix: 65002}},
+        ))
+        assert findings == []
+
+
+class TestRegistry:
+    def test_every_checker_is_listed_with_a_description(self):
+        rows = list_wave_checkers()
+        assert sorted(name for name, _ in rows) == sorted(WAVE_CHECKERS)
+        assert all(description for _, description in rows)
+
+    def test_get_wave_checker_returns_fresh_instances(self):
+        a = get_wave_checker("no-blackhole")
+        b = get_wave_checker("no-blackhole")
+        assert a is not b
+
+    def test_unknown_checker_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="no-blackhole"):
+            get_wave_checker("definitely-not-a-checker")

@@ -1,0 +1,233 @@
+"""Workload subsystem tests: planning, injection, the scenario matrix.
+
+The acceptance shape mirrors the matrix itself: every pathology fires
+its paired wave checker on a topology where it applies, the baseline
+workload keeps every checker silent, inapplicable (topology, workload)
+cells skip honestly, and the serial/streamed exploration paths agree on
+the finding set when a workload rides along.
+"""
+
+import warnings
+
+import pytest
+
+from repro.concolic import ExplorationBudget
+from repro.core import get_scenario
+from repro.core.report import Finding, FindingKind
+from repro.core.workload import (
+    ScenarioMatrix,
+    WorkloadPlan,
+    get_workload,
+    list_workloads,
+)
+from repro.util.errors import WorkloadError, WorkloadNotApplicable
+
+BUDGET = ExplorationBudget(max_executions=4)
+
+
+def built_for(workload_name, topology="line-3", seed=7):
+    workload = get_workload(workload_name)
+    built = get_scenario(topology).build(seed=seed, **workload.build_overrides)
+    built.converge()
+    return built, workload
+
+
+def run_workload(workload_name, topology="line-3"):
+    built, workload = built_for(workload_name, topology)
+    plan = workload.plan(built)
+    findings, stats = built.federation().run_workload(plan)
+    return plan, findings, stats
+
+
+class TestRegistry:
+    def test_every_workload_is_described_and_paired(self):
+        workloads = list_workloads()
+        assert len(workloads) >= 4
+        for workload in workloads:
+            assert workload.description
+            if workload.name != "baseline":
+                assert workload.paired_checkers
+
+    def test_unknown_workload_names_the_known_ones(self):
+        with pytest.raises(WorkloadError, match="flap-storm"):
+            get_workload("definitely-not-a-workload")
+
+    def test_plan_binds_paired_checkers(self):
+        built, workload = built_for("link-failure")
+        plan = workload.plan(built)
+        assert isinstance(plan, WorkloadPlan)
+        assert plan.checkers == workload.paired_checkers
+        assert plan.events, "an injection workload must schedule events"
+
+
+class TestPathologiesFire:
+    """Each workload's pathology trips its paired checker; satellite
+    acceptance: fired on injection, silent on the clean run."""
+
+    def test_baseline_keeps_every_checker_silent(self):
+        plan, findings, stats = run_workload("baseline")
+        assert plan.events == []
+        assert findings == [], [f.describe() for f in findings]
+        assert stats.converged
+
+    @pytest.mark.parametrize("workload_name, kind", [
+        ("link-failure", FindingKind.STUCK_ROUTE),
+        ("flap-storm", FindingKind.CONVERGENCE_TIMEOUT),
+        ("session-reset", FindingKind.BLACKHOLE),
+        ("failover", FindingKind.BLACKHOLE),
+        ("route-leak", FindingKind.ORIGIN_CONFLICT),
+        ("moas-conflict", FindingKind.ORIGIN_CONFLICT),
+        ("policy-rollout", FindingKind.ORIGIN_CONFLICT),
+    ])
+    def test_pathology_fires_its_paired_checker(self, workload_name, kind):
+        plan, findings, stats = run_workload(workload_name)
+        assert stats.injected_events == len(plan.events)
+        assert findings, f"{workload_name} produced no findings"
+        assert {f.kind for f in findings} == {kind}
+        assert all(isinstance(f, Finding) for f in findings)
+        assert all(f.checker in plan.checkers for f in findings)
+        assert all(f.node or f.kind == FindingKind.CONVERGENCE_TIMEOUT
+                   for f in findings)
+
+    def test_inapplicable_workload_raises_at_plan_time(self):
+        # ring-4 is pure settlement-free peering: no transit edge exists
+        # for link-failure to wedge a relayed withdrawal on.
+        built, workload = built_for("link-failure", topology="ring-4")
+        with pytest.raises(WorkloadNotApplicable):
+            workload.plan(built)
+
+
+class TestScenarioMatrix:
+    def test_cells_are_the_cartesian_product(self):
+        matrix = ScenarioMatrix(
+            ("line-3", "star-6"), ("baseline", "flap-storm"), max_seeds=0
+        )
+        keys = [cell.key() for cell in matrix.cells()]
+        assert keys == [
+            "line-3/baseline", "line-3/flap-storm",
+            "star-6/baseline", "star-6/flap-storm",
+        ]
+        # Paired mode: each cell carries its workload's own checkers.
+        by_key = {cell.key(): cell.checkers for cell in matrix.cells()}
+        assert by_key["line-3/flap-storm"] == ("convergence-deadline",)
+
+    def test_explicit_checkers_override_every_cell(self):
+        matrix = ScenarioMatrix(
+            ("line-3",), ("baseline", "flap-storm"),
+            checkers=("no-blackhole",), max_seeds=0,
+        )
+        assert all(cell.checkers == ("no-blackhole",) for cell in matrix.cells())
+
+    def test_unknown_axis_values_fail_fast(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            ScenarioMatrix(("no-such-topology",), ("baseline",))
+        with pytest.raises(WorkloadError):
+            ScenarioMatrix(("line-3",), ("no-such-workload",))
+        with pytest.raises(WorkloadError, match="unknown checker"):
+            ScenarioMatrix(("line-3",), ("baseline",), checkers=("bogus",))
+
+    def test_run_reports_ok_skipped_and_fired(self):
+        matrix = ScenarioMatrix(
+            ("line-3", "ring-4"),
+            ("baseline", "link-failure"),
+            seed=7, max_seeds=0,
+        )
+        results = {result.cell.key(): result for result in matrix.run()}
+        assert results["line-3/baseline"].status == "ok"
+        assert not results["line-3/baseline"].fired
+        assert results["line-3/link-failure"].status == "ok"
+        assert results["line-3/link-failure"].fired
+        skipped = results["ring-4/link-failure"]
+        assert skipped.status == "skipped"
+        assert skipped.skip_reason
+        summary = results["line-3/link-failure"].summary()
+        assert summary["status"] == "ok" and summary["findings"] >= 1
+
+    def test_matrix_with_exploration_seeds_keeps_workload_findings(self):
+        matrix = ScenarioMatrix(
+            ("line-3",), ("link-failure",),
+            seed=7, max_seeds=1, budget=BUDGET,
+        )
+        (result,) = matrix.run()
+        assert result.status == "ok"
+        assert any(f.kind == FindingKind.STUCK_ROUTE for f in result.findings)
+
+
+class TestSerialStreamParity:
+    def test_finding_keys_agree_with_a_workload_riding_along(self):
+        def explore(stream):
+            built, workload = built_for("link-failure", seed=7)
+            plan = workload.plan(built)
+            return built.federation().explore(
+                built.seed_corpus()[:2],
+                budget=BUDGET,
+                workers=2 if stream else 1,
+                stream=stream,
+                workload=plan,
+            )
+
+        serial = explore(stream=False)
+        streamed = explore(stream=True)
+        assert serial.finding_keys() == streamed.finding_keys()
+        assert serial.workload_findings and streamed.workload_findings
+        assert serial.summary()["workload"] == "link-failure"
+
+
+class TestDeprecatedBuildScenario:
+    def test_shim_warns_and_still_builds_fig2(self):
+        import repro.core.scenario as scenario_module
+        from repro.core import Fig2Scenario, build_scenario
+
+        scenario_module._BUILD_SCENARIO_WARNED = False
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = build_scenario()
+            build_scenario()
+        assert isinstance(first, Fig2Scenario)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1  # warn-once
+        assert "get_scenario" in str(deprecations[0].message)
+
+    def test_registry_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            get_scenario("fig2").build(prefix_count=50, update_count=5)
+
+
+class TestCli:
+    def test_scenarios_lists_all_three_axes(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads (" in out and "wave checkers (" in out
+        assert "flap-storm" in out and "no-blackhole" in out
+
+    def test_matrix_cli_tiny_slice(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "matrix", "--topologies", "line-3",
+            "--workloads", "baseline,link-failure",
+            "--max-seeds", "0", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "line-3/link-failure" in out
+        assert "0 errored" in out
+
+    def test_explore_workload_renders_findings(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "explore", "--scenario", "line-3", "--workload", "link-failure",
+            "--executions", "4", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2  # findings present -> linter-style exit
+        assert "[workload] link-failure" in out
+        assert "stuck-route" in out

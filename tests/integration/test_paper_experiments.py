@@ -10,12 +10,7 @@ import pytest
 
 from repro.checkpoint.manager import CheckpointManager
 from repro.concolic.engine import ExplorationBudget
-from repro.core import (
-    DiceExplorer,
-    HijackChecker,
-    ScenarioConfig,
-    build_scenario,
-)
+from repro.core import DiceExplorer, HijackChecker, get_scenario
 from repro.core.checkers import default_checkers
 from repro.core.report import FindingKind
 from repro.util.ip import Prefix
@@ -26,13 +21,11 @@ BUDGET = ExplorationBudget(max_executions=32)
 
 
 def converged(filter_mode, **kwargs):
-    scenario = build_scenario(
-        ScenarioConfig(
-            filter_mode=filter_mode,
-            prefix_count=kwargs.pop("prefix_count", 600),
-            update_count=kwargs.pop("update_count", 60),
-            **kwargs,
-        )
+    scenario = get_scenario("fig2").build(
+        filter_mode=filter_mode,
+        prefix_count=kwargs.pop("prefix_count", 600),
+        update_count=kwargs.pop("update_count", 60),
+        **kwargs,
     )
     scenario.converge()
     return scenario
@@ -116,11 +109,9 @@ class TestRouteLeakDetection:
         leaked = baseline_report.leaked_prefixes()
         assert leaked
         # Re-run with every leaked prefix whitelisted as anycast.
-        whitelisted = build_scenario(
-            ScenarioConfig(
-                filter_mode="missing", prefix_count=600, update_count=60,
-                anycast_whitelist=list(leaked),
-            )
+        whitelisted = get_scenario("fig2").build(
+            filter_mode="missing", prefix_count=600, update_count=60,
+            anycast_whitelist=list(leaked),
         )
         whitelisted.converge()
         report = whitelisted.dice.run_round(peer="customer", budget=BUDGET)

@@ -7,13 +7,13 @@ routers, so sharing is safe.
 
 import pytest
 
-from repro.core import ScenarioConfig, build_scenario
+from repro.core import get_scenario
 
 
 @pytest.fixture(scope="module")
 def erroneous_scenario():
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="erroneous", prefix_count=300, update_count=40)
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous", prefix_count=300, update_count=40
     )
     scenario.converge()
     return scenario
@@ -24,8 +24,8 @@ def mutable_scenario():
     """A private (function-scoped) scenario for tests that mutate the
     live router — epoch-boundary tests feed it fresh updates between
     checkpoints, which would poison the shared module-scoped fixture."""
-    scenario = build_scenario(
-        ScenarioConfig(filter_mode="erroneous", prefix_count=200, update_count=20)
+    scenario = get_scenario("fig2").build(
+        filter_mode="erroneous", prefix_count=200, update_count=20
     )
     scenario.converge()
     return scenario
