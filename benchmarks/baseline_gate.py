@@ -1,0 +1,51 @@
+"""Shared regression-gate plumbing for the checked-in perf baselines.
+
+Several benchmarks gate a measured throughput figure against
+``baseline_hotpath.json``.  The file holds one flat JSON object — one
+key per figure — recorded on the development machine; gates scale it by
+``REPRO_BENCH_BASELINE_SCALE`` (default 0.25) to absorb slower CI
+hardware and then allow a further tolerance band below that.
+
+Recalibration (``REPRO_BENCH_WRITE_BASELINE=1``) is read-modify-write:
+each gate updates only its own key, so recalibrating one figure — or
+running a single bench file — never clobbers the others.
+"""
+
+import json
+import os
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline_hotpath.json")
+
+#: CI runners are slower than the machine the baseline was recorded on;
+#: a gate floor is baseline * SCALE * (1 - TOLERANCE).
+BASELINE_SCALE = float(os.environ.get("REPRO_BENCH_BASELINE_SCALE", "0.25"))
+REGRESSION_TOLERANCE = 0.30
+
+WRITE_BASELINE = os.environ.get("REPRO_BENCH_WRITE_BASELINE") == "1"
+
+
+def load_baseline() -> dict:
+    try:
+        with open(BASELINE_PATH) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {}
+
+
+def write_baseline(**figures) -> None:
+    """Merge ``figures`` into the baseline file (read-modify-write)."""
+    baseline = load_baseline()
+    baseline.update(figures)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate_floor(key: str) -> float:
+    """The minimum acceptable measurement for a baseline figure.
+
+    Returns 0.0 when the key has never been recorded, so a fresh gate
+    passes until its first recalibration run checks the figure in.
+    """
+    recorded = load_baseline().get(key, 0.0)
+    return recorded * BASELINE_SCALE * (1 - REGRESSION_TOLERANCE)

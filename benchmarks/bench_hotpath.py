@@ -10,25 +10,32 @@ The exploration loop's solver-facing costs, measured head-to-head:
 * **interning hit rate** — re-running a trace rebuilds structurally
   identical constraints; hash consing must serve them from the intern
   table instead of fresh allocations;
+* **propagate-stage throughput** — a fig1-style negation sweep is one
+  shared-prefix conjunction per branch; the batched sibling path
+  (:meth:`ConstraintSolver.solve_batch`) propagates the prefix once and
+  forks per negation, and the domain-box memo replays repeated
+  ``narrow`` steps.  Acceptance: >=2x propagate-stage reduction vs the
+  per-branch unmemoized sweep, plus a solves/s regression gate;
 * **stream-vs-batch findings/s** — the coverage-guided streaming
   pipeline must find the same faults as the batch engine over the same
   seeds, at a competitive rate.
 
-The regression gate compares measured keys/second against a checked-in
-baseline recorded on the development machine, scaled by 0.25 to absorb
-slower CI hardware, then requires measurements to stay within 30% of
-that floor.  Recalibrate with ``REPRO_BENCH_WRITE_BASELINE=1`` after an
-intentional perf change.
+The regression gates compare measured throughput against checked-in
+baselines (``baseline_hotpath.json``) recorded on the development
+machine, scaled by 0.25 to absorb slower CI hardware, then require
+measurements to stay within 30% of that floor.  Recalibrate with
+``REPRO_BENCH_WRITE_BASELINE=1`` after an intentional perf change
+(read-modify-write: only the keys a run measures are rewritten).
 
 Set ``REPRO_BENCH_SMOKE=1`` for the tiny-budget CI smoke run.
 """
 
-import json
 import os
 import time
 
 import pytest
 
+from baseline_gate import WRITE_BASELINE, gate_floor, load_baseline, write_baseline
 from repro.concolic import ExplorationBudget
 from repro.concolic.expr import (
     Const,
@@ -38,18 +45,14 @@ from repro.concolic.expr import (
     reset_intern_counters,
 )
 from repro.concolic.path import PathCondition
+from repro.concolic.solver import ConstraintSolver
 from repro.concolic.solver.cache import canonical_query_key, query_key_tail
+from repro.concolic.solver.intervals import propagate_memo_disabled
 from repro.concolic.tracer import BranchSite
 from repro.core import get_scenario
 from repro.parallel import ParallelExplorer, StreamingExplorer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline_hotpath.json")
-
-#: CI runners are slower than the machine the baseline was recorded on;
-#: the gate floor is baseline * SCALE * (1 - TOLERANCE).
-BASELINE_SCALE = float(os.environ.get("REPRO_BENCH_BASELINE_SCALE", "0.25"))
-REGRESSION_TOLERANCE = 0.30
 
 PATH_BRANCHES = 200 if SMOKE else 400
 VAR_POOL = 8
@@ -127,30 +130,143 @@ def test_key_throughput_regression_gate(benchmark, paper_rows):
     )
     measured = keys / rolling if rolling else float("inf")
 
-    if os.environ.get("REPRO_BENCH_WRITE_BASELINE") == "1":
-        with open(BASELINE_PATH, "w") as handle:
-            json.dump(
-                {"rolling_keys_per_sec": measured, "branches": keys},
-                handle, indent=2,
-            )
-            handle.write("\n")
+    if WRITE_BASELINE:
+        write_baseline(rolling_keys_per_sec=measured, branches=keys)
         pytest.skip(f"baseline rewritten: {measured:.0f} keys/s")
 
-    with open(BASELINE_PATH) as handle:
-        baseline = json.load(handle)
-    floor = (
-        baseline["rolling_keys_per_sec"] * BASELINE_SCALE * (1 - REGRESSION_TOLERANCE)
-    )
+    recorded = load_baseline().get("rolling_keys_per_sec", 0.0)
+    floor = gate_floor("rolling_keys_per_sec")
     paper_rows.add(
         "HOTPATH", "rolling keys/s vs regression floor",
-        f">= {floor:.0f} (baseline {baseline['rolling_keys_per_sec']:.0f} "
-        f"x {BASELINE_SCALE} scale, 30% tolerance)",
+        f">= {floor:.0f} (baseline {recorded:.0f} scaled, 30% tolerance)",
         f"{measured:.0f}",
         note="smoke" if SMOKE else "",
     )
     assert measured >= floor, (
         f"key throughput {measured:.0f}/s regressed below floor {floor:.0f}/s "
-        f"(baseline {baseline['rolling_keys_per_sec']:.0f}/s)"
+        f"(baseline {recorded:.0f}/s)"
+    )
+
+
+PROPAGATE_BRANCHES = 100 if SMOKE else 200
+PROPAGATE_HI = 2**20
+
+
+def build_propagate_profile(branches: int):
+    """A fig1-style negation sweep: tightening bounds over a variable pool.
+
+    ``prefix[i]`` is the held constraint of branch i (``3x + c <=
+    bound``, bounds decreasing per round over the pool); negating branch
+    i asks for ``prefix[:i] ∧ 3x + c > bound_i`` — satisfiable in the
+    gap below the previous round's bound on the same variable, so every
+    query is SAT and propagate-dominated (the hint misses, linear
+    inversion finishes).
+    """
+    variables = [Var(f"p{i}", 32) for i in range(VAR_POOL)]
+    prefix, negations = [], []
+    for i in range(branches):
+        var = variables[i % VAR_POOL]
+        expr = make_binary(
+            "add", make_binary("mul", var, Const(3)), Const(7 + i % 5)
+        )
+        bound = Const(PROPAGATE_HI - i * 37)
+        prefix.append(make_binary("le", expr, bound))
+        negations.append((i, make_binary("gt", expr, bound)))
+    domains = {var.name: (0, 2**32 - 1) for var in variables}
+    hint = {var.name: 0 for var in variables}
+    return prefix, negations, domains, hint
+
+
+def measure_propagate_throughput(branches: int):
+    """Per-branch unmemoized sweep vs batched+memoized, with model parity."""
+    prefix, negations, domains, hint = build_propagate_profile(branches)
+
+    serial = ConstraintSolver(deterministic_rng=True)
+    with propagate_memo_disabled():
+        started = time.perf_counter()
+        serial_models = [
+            serial.solve(list(prefix[:length]) + [negation], domains, hint=hint)
+            for length, negation in negations
+        ]
+        serial_seconds = time.perf_counter() - started
+
+    batched = ConstraintSolver(deterministic_rng=True)
+    started = time.perf_counter()
+    batch_models = batched.solve_batch(prefix, negations, domains, hint=hint)
+    batched_seconds = time.perf_counter() - started
+
+    assert batch_models == serial_models, "batched negation sweep diverged"
+    assert all(model is not None for model in batch_models), "sweep went UNSAT"
+    return {
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "serial_propagate": serial.stats.propagate_time,
+        "batched_propagate": batched.stats.propagate_time,
+        "solves": branches,
+    }
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_batched_propagate_at_least_2x_faster(benchmark, paper_rows):
+    """Acceptance: >=2x propagate-stage reduction on a fig1-style sweep."""
+    measure_propagate_throughput(PROPAGATE_BRANCHES)  # warm renderings + memo
+    timing = benchmark.pedantic(
+        measure_propagate_throughput,
+        args=(PROPAGATE_BRANCHES,),
+        rounds=3,
+        iterations=1,
+    )
+    speedup = (
+        timing["serial_propagate"] / timing["batched_propagate"]
+        if timing["batched_propagate"]
+        else float("inf")
+    )
+    paper_rows.add(
+        "HOTPATH", f"propagate time, {timing['solves']}-branch sweep",
+        ">=2x reduction (acceptance)",
+        f"{timing['serial_propagate'] * 1e3:.1f}ms -> "
+        f"{timing['batched_propagate'] * 1e3:.1f}ms ({speedup:.1f}x, "
+        f"{timing['solves'] / timing['batched_seconds']:.0f} solves/s)",
+        note="smoke" if SMOKE else "",
+    )
+    assert speedup >= 2.0, (
+        f"batched propagate only {speedup:.2f}x faster "
+        f"({timing['serial_propagate'] * 1e3:.2f}ms vs "
+        f"{timing['batched_propagate'] * 1e3:.2f}ms)"
+    )
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_propagate_throughput_regression_gate(benchmark, paper_rows):
+    """Fail CI when batched solves/s regresses >30% against the baseline."""
+    measure_propagate_throughput(PROPAGATE_BRANCHES)  # warm renderings + memo
+    timing = benchmark.pedantic(
+        measure_propagate_throughput,
+        args=(PROPAGATE_BRANCHES,),
+        rounds=3,
+        iterations=1,
+    )
+    measured = (
+        timing["solves"] / timing["batched_seconds"]
+        if timing["batched_seconds"]
+        else float("inf")
+    )
+
+    if WRITE_BASELINE:
+        write_baseline(propagate_solves_per_sec=measured)
+        pytest.skip(f"baseline rewritten: {measured:.0f} solves/s")
+
+    recorded = load_baseline().get("propagate_solves_per_sec", 0.0)
+    floor = gate_floor("propagate_solves_per_sec")
+    paper_rows.add(
+        "HOTPATH", "batched solves/s vs regression floor",
+        f">= {floor:.0f} (baseline {recorded:.0f} scaled, 30% tolerance)",
+        f"{measured:.0f}",
+        note="smoke" if SMOKE else "",
+    )
+    assert measured >= floor, (
+        f"propagate throughput {measured:.0f}/s regressed below floor "
+        f"{floor:.0f}/s (baseline {recorded:.0f}/s)"
     )
 
 

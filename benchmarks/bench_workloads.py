@@ -14,7 +14,10 @@ the isolated fabric's event queue, so two costs gate its use at scale:
 
 Both tests double as correctness gates: the baseline workload must keep
 every wave checker silent, and each pathology must fire its paired
-checker on a topology where it is applicable.
+checker on a topology where it is applicable.  Injection throughput is
+additionally gated against ``baseline_hotpath.json`` (per workload, per
+topology — smoke and full runs measure different topologies); missing
+keys pass until ``REPRO_BENCH_WRITE_BASELINE=1`` records them.
 
 Set ``REPRO_BENCH_SMOKE=1`` for a tiny smoke run (used by CI to keep
 this script from rotting without paying the full measurement).
@@ -25,6 +28,7 @@ import time
 
 import pytest
 
+from baseline_gate import WRITE_BASELINE, gate_floor, load_baseline, write_baseline
 from repro.core import get_scenario
 from repro.core.workload import ScenarioMatrix, get_workload
 from repro.util.errors import WorkloadNotApplicable
@@ -76,6 +80,18 @@ def test_workload_injection_throughput(benchmark, paper_rows, name, converged_bu
         f"({stats.events} events, {stats.injected_events} injected, "
         f"{len(findings)} findings)",
         note="smoke budget" if SMOKE else "",
+    )
+    figure = (
+        f"workload_{name}_events_per_sec_{TOPOLOGY}".replace("-", "_")
+    )
+    if WRITE_BASELINE:
+        write_baseline(**{figure: events_per_second})
+        pytest.skip(f"baseline rewritten: {events_per_second:,.0f} events/s")
+    floor = gate_floor(figure)
+    assert events_per_second >= floor, (
+        f"{name} injection throughput {events_per_second:,.0f} events/s "
+        f"regressed below floor {floor:,.0f}/s "
+        f"(baseline {load_baseline().get(figure, 0.0):,.0f}/s)"
     )
 
 

@@ -157,10 +157,12 @@ def _explore_parallel(scenario, args: argparse.Namespace) -> int:
 def _stream_progress(report) -> None:
     """The periodic streaming status line.
 
-    Seeds drained / findings, plus the cross-worker solver view: cache
-    hit rate and the per-stage time split (key computation, screening,
-    interval propagation, hint check, linear inversion, enumeration,
-    local search) so a slow stream shows *where* solver time goes.
+    Seeds drained / findings, plus the cross-worker solver view: hit
+    rates for all three cache layers (exact-key, semantic subsumption,
+    propagate memo) and the per-stage time split (key computation,
+    screening, interval propagation, hint check, linear inversion,
+    enumeration, local search) so a slow stream shows *where* solver
+    time goes.
     """
     solver = report.solver_totals()
     # Stage names derive from SolverStats's *_time counters, so a stage
@@ -180,6 +182,8 @@ def _stream_progress(report) -> None:
         f"{report.seeds_submitted - report.seeds_coalesced}"
         f" | findings {len(report.findings())}"
         f" | cache hit rate {solver['cache_hit_rate']:.0%}"
+        f" (semantic {solver.get('semantic_hit_rate', 0.0):.0%},"
+        f" memo {solver.get('propagate_memo_hit_rate', 0.0):.0%})"
         f" | solver {solver.get('total_time', 0.0):.2f}s"
         + (f" ({busiest})" if busiest else "")
     )

@@ -486,52 +486,73 @@ class ExplorationSession:
 
         # Expand: negate every eligible branch not already attempted.
         # This run's constraints join the aggregate set (section 2.3)
-        # because the attempted set persists across runs.
+        # because the attempted set persists across runs.  The sweep is
+        # batched: eligible branches are collected first, then solved in
+        # one ConstraintSolver.solve_batch call so the shared path
+        # prefix is propagated once instead of once per sibling.
         solver = self.engine.solver
-        key_tail: Optional[bytes] = None
+        eligible: List = []
         for branch in result.path.negation_targets(self.negate_concretizations):
             key = result.path.prefix_signature(branch.index + 1, flip_last=True)
             if key in self._attempted or key in self._seen_paths:
                 report.negations_skipped += 1
                 continue
             if report.solver_queries >= self.budget.max_solver_queries:
+                # The branches collected so far are still solved below —
+                # exactly the set the incremental loop would have solved
+                # before hitting the budget.
                 report.stop_reason = "solver-budget"
                 self._stopped = True
-                return False
+                break
             self._attempted.add(key)
             report.solver_queries += 1
-            query_key = None
+            eligible.append(branch)
+        if eligible:
+            keys = None
             if solver.wants_key:
                 # Rolling per-prefix digests: the key for negating branch
                 # i is O(|branch i|) given the cached prefix state, not
                 # O(whole conjunction) — the domains+hint tail is fixed
                 # for this execution and folded once.
                 key_started = time.perf_counter()
-                if key_tail is None:
-                    key_tail = query_key_tail(self._domains, result.assignment)
-                query_key = result.path.negation_key(branch.index, key_tail)
+                key_tail = query_key_tail(self._domains, result.assignment)
+                keys = [
+                    result.path.negation_key(branch.index, key_tail)
+                    for branch in eligible
+                ]
                 solver.stats.key_time += time.perf_counter() - key_started
-            model = solver.solve(
-                result.path.constraints_to_negate(branch.index),
+            semantic_keys = None
+            if solver.wants_semantic:
+                semantic_keys = [
+                    result.path.semantic_negation_key(branch.index)
+                    for branch in eligible
+                ]
+            models = solver.solve_batch(
+                result.path.held_constraints(),
+                [(branch.index, branch.negated_constraint()) for branch in eligible],
                 self._domains,
                 hint=result.assignment,
-                key=query_key,
+                keys=keys,
+                semantic_keys=semantic_keys,
             )
-            if model is None:
-                continue
-            report.candidates_generated += 1
-            priority = self.strategy.priority(
-                result, branch, report.coverage, new_outcomes, candidate.generation
-            )
-            self._queue.push(
-                priority,
-                Candidate(
-                    model,
-                    generation=candidate.generation + 1,
-                    negated_index=branch.index,
-                    parent_signature=signature,
-                ),
-            )
+            for branch, model in zip(eligible, models):
+                if model is None:
+                    continue
+                report.candidates_generated += 1
+                priority = self.strategy.priority(
+                    result, branch, report.coverage, new_outcomes, candidate.generation
+                )
+                self._queue.push(
+                    priority,
+                    Candidate(
+                        model,
+                        generation=candidate.generation + 1,
+                        negated_index=branch.index,
+                        parent_signature=signature,
+                    ),
+                )
+        if self._stopped:
+            return False
         return True
 
     def finish(self) -> ExplorationReport:

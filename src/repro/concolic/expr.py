@@ -126,9 +126,16 @@ class Expr:
 
     Nodes cache their hash, free-variable set, and canonical rendering;
     equality is structural, with identity fast paths for interned nodes.
+    ``_ivmemo``/``_nmemo`` are the interval layer's per-(node, domain-box)
+    memo tables (see :mod:`repro.concolic.solver.intervals`) — safe to
+    hang off the node because interned nodes are immutable, so an entry
+    never needs invalidation.
     """
 
-    __slots__ = ("_hash", "_vars", "_canon", "_interned", "__weakref__")
+    __slots__ = (
+        "_hash", "_vars", "_canon", "_interned",
+        "_ivmemo", "_nmemo", "__weakref__",
+    )
 
     def variables(self) -> FrozenSet[str]:
         """The set of variable names appearing in this expression."""
@@ -261,6 +268,8 @@ class Const(Expr):
         self._hash = None
         self._vars = None
         self._canon = None
+        self._ivmemo = None
+        self._nmemo = None
         self._interned = interning
         if interning:
             if -_SMALL_CONST_LIMIT <= value <= _SMALL_CONST_LIMIT:
@@ -321,6 +330,8 @@ class Var(Expr):
         self._hash = None
         self._vars = None
         self._canon = None
+        self._ivmemo = None
+        self._nmemo = None
         self._interned = interning
         if interning:
             _INTERN.entries[key] = self
@@ -449,6 +460,8 @@ class UnaryOp(Expr):
         self._hash = None
         self._vars = None
         self._canon = None
+        self._ivmemo = None
+        self._nmemo = None
         self._interned = interning
         if interning:
             _INTERN.entries[key] = self
@@ -522,6 +535,8 @@ class BinOp(Expr):
         self._hash = None
         self._vars = None
         self._canon = None
+        self._ivmemo = None
+        self._nmemo = None
         self._interned = interning
         if interning:
             _INTERN.entries[key] = self

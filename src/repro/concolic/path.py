@@ -227,6 +227,18 @@ class PathCondition:
         digest.update(tail)
         return digest.digest()
 
+    def semantic_negation_key(self, index: int) -> bytes:
+        """The constraints-only digest for negating branch ``index``, O(1).
+
+        Byte-identical to
+        :func:`repro.concolic.solver.cache.semantic_query_key` over
+        :meth:`constraints_to_negate` — it is :meth:`negation_key` with
+        an empty tail, served from the same rolling prefix states.  The
+        engine hands it to the solver's semantic (subsumption) cache
+        probe.
+        """
+        return self.negation_key(index, b"")
+
     def constraints_to_negate(self, index: int) -> List[Expr]:
         """The solver query for forcing the other side of branch ``index``.
 

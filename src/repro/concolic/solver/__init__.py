@@ -8,9 +8,18 @@ search) for testing and for the solver-ablation benchmark.
 from repro.concolic.solver.cache import (
     ConstraintCache,
     DictConstraintCache,
+    SemanticIndex,
     canonical_query_key,
+    semantic_query_key,
 )
-from repro.concolic.solver.intervals import Interval, eval_interval, narrow, propagate
+from repro.concolic.solver.intervals import (
+    Interval,
+    eval_interval,
+    narrow,
+    propagate,
+    propagate_memo_disabled,
+    propagate_memo_info,
+)
 from repro.concolic.solver.linear import NotLinear, linearize, solve_atom
 from repro.concolic.solver.search import (
     branch_distance,
@@ -33,9 +42,11 @@ __all__ = [
     "DictConstraintCache",
     "Interval",
     "NotLinear",
+    "SemanticIndex",
     "SolverStats",
     "merge_stats_dict",
     "canonical_query_key",
+    "semantic_query_key",
     "branch_distance",
     "enumerate_variable",
     "eval_interval",
@@ -43,6 +54,8 @@ __all__ = [
     "local_search",
     "narrow",
     "propagate",
+    "propagate_memo_disabled",
+    "propagate_memo_info",
     "satisfies",
     "solve_atom",
     "total_penalty",

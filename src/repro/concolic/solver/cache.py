@@ -22,7 +22,25 @@ Cached entries record the outcome category, so stats stay faithful:
 * ``("unsat",)`` — proved unsatisfiable;
 * ``("unknown",)`` — every pipeline stage gave up.
 
-This module defines the *hook* (key function, protocol, and an
+**Semantic (subsumption) lookups.**  Exact keys only hit when the whole
+query — constraints, domains, *and* hint — recurs bit-for-bit.  Near
+misses in practice share the constraint conjunction but differ in hint
+or box: the same negation reached from a different seed.  The
+:class:`SemanticIndex` maps a *constraints-only* digest
+(:func:`semantic_query_key`) to the domain boxes the conjunction has
+been solved under; on an exact miss the solver probes it and can reuse
+
+* an **UNSAT** proof cached under a box that subsumes (covers) the
+  query box — always sound *and* deterministic, since a fresh solve of
+  the narrower query must also return None;
+* a **SAT model** cached under a subsuming box, after re-checking that
+  the model lies inside the query box and satisfies the conjunction —
+  sound, but the *particular* model can depend on which worker populated
+  the index first, so the solver only does this when its results are not
+  required to be schedule-independent (see
+  ``ConstraintSolver.semantic_model_reuse``).
+
+This module defines the *hook* (key functions, protocol, and an
 in-process implementation).  The cross-process shared implementation
 lives in :mod:`repro.parallel.cache`, keeping the solver layer free of
 multiprocessing concerns.
@@ -31,7 +49,8 @@ multiprocessing concerns.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from collections import OrderedDict
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.concolic.expr import Expr
 from repro.concolic.solver.intervals import Interval
@@ -99,6 +118,89 @@ def canonical_query_key(
     return digest.digest()
 
 
+def semantic_query_key(constraints: Sequence[Expr]) -> bytes:
+    """A digest of the constraint conjunction alone (no domains, no hint).
+
+    This is the constraint-prefix slice of :func:`canonical_query_key`:
+    byte-identical to calling :meth:`PathCondition.negation_key` with an
+    empty tail, so the engine's rolling prefix digests yield semantic
+    keys in O(1) per branch exactly as they do exact keys.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for constraint in constraints:
+        digest.update(constraint.canonical_bytes())
+        digest.update(b"\x00")
+    return digest.digest()
+
+
+#: A domain box as hashable sorted items, the form the semantic index stores.
+BoxItems = Tuple[Tuple[str, Interval], ...]
+
+
+def box_items(domains: Dict[str, Interval]) -> BoxItems:
+    return tuple(sorted(domains.items()))
+
+
+def box_subsumes(wider: BoxItems, domains: Dict[str, Interval]) -> bool:
+    """True when the cached box covers the query box, var for var.
+
+    The variable *sets* must match exactly: a cached result over a
+    different variable population answers a different question (and a
+    reused model must cover exactly the query's domain variables).
+    """
+    if len(wider) != len(domains):
+        return False
+    for name, (lo, hi) in wider:
+        current = domains.get(name)
+        if current is None or current[0] < lo or current[1] > hi:
+            return False
+    return True
+
+
+class SemanticIndex:
+    """Constraint digest → the domain boxes it has been solved under.
+
+    A bounded, insertion-ordered two-level map: ``max_keys`` conjunctions
+    (FIFO-evicted), each holding at most ``max_boxes`` distinct
+    ``(box, entry)`` candidates (oldest dropped first).  ``unknown``
+    outcomes are never indexed — they assert nothing about other boxes.
+    """
+
+    def __init__(self, max_keys: int = 4096, max_boxes: int = 8) -> None:
+        self._index: "OrderedDict[bytes, List[Tuple[BoxItems, CacheEntry]]]" = (
+            OrderedDict()
+        )
+        self.max_keys = max_keys
+        self.max_boxes = max_boxes
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: bytes) -> Sequence[Tuple[BoxItems, CacheEntry]]:
+        """The cached (box, entry) candidates for a constraint digest."""
+        return self._index.get(key, ())
+
+    def put(self, key: bytes, domains: Dict[str, Interval], entry: CacheEntry) -> None:
+        if entry[0] == "unknown":
+            return
+        bucket = self._index.get(key)
+        if bucket is None:
+            if len(self._index) >= self.max_keys:
+                self._index.popitem(last=False)
+                self.evictions += 1
+            bucket = self._index[key] = []
+        box = box_items(domains)
+        for position, (existing, _) in enumerate(bucket):
+            if existing == box:
+                bucket[position] = (box, entry)
+                return
+        if len(bucket) >= self.max_boxes:
+            del bucket[0]
+            self.evictions += 1
+        bucket.append((box, entry))
+
+
 def entry_for_model(model: Optional[Assignment], proved_unsat: bool) -> CacheEntry:
     """Encode a solver outcome as a cache entry."""
     if model is not None:
@@ -125,12 +227,26 @@ class ConstraintCache(Protocol):
 
 
 class DictConstraintCache:
-    """A plain in-process cache (single worker / serial fallback)."""
+    """An in-process cache (single worker / serial fallback).
 
-    def __init__(self) -> None:
-        self._entries: Dict[bytes, CacheEntry] = {}
+    ``max_entries`` bounds the exact-key store as an LRU (long streaming
+    sessions otherwise grow it without limit); ``None`` keeps the
+    original unbounded behaviour.  Evicting an exact entry only loses a
+    shortcut — the semantic index is bounded separately — so eviction
+    never affects correctness, only hit rate.
+    """
+
+    def __init__(
+        self, max_entries: Optional[int] = None, semantic: bool = True
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: "OrderedDict[bytes, CacheEntry]" = OrderedDict()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._semantic = SemanticIndex() if semantic else None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -141,10 +257,39 @@ class DictConstraintCache:
             self.misses += 1
         else:
             self.hits += 1
+            if self.max_entries is not None:
+                self._entries.move_to_end(key)
         return entry
 
     def put(self, key: bytes, entry: CacheEntry) -> None:
-        self._entries[key] = entry
+        entries = self._entries
+        entries[key] = entry
+        if self.max_entries is not None:
+            entries.move_to_end(key)
+            while len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self.evictions += 1
+
+    def get_semantic(self, key: bytes) -> Sequence[Tuple[BoxItems, CacheEntry]]:
+        if self._semantic is None:
+            return ()
+        return self._semantic.get(key)
+
+    def put_semantic(
+        self, key: bytes, domains: Dict[str, Interval], entry: CacheEntry
+    ) -> None:
+        if self._semantic is not None:
+            self._semantic.put(key, domains, entry)
 
     def info(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        info = {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+        }
+        if self._semantic is not None:
+            info["semantic_keys"] = len(self._semantic)
+            info["semantic_evictions"] = self._semantic.evictions
+        return info

@@ -13,15 +13,98 @@ ways:
 The arithmetic is deliberately conservative: when an operator's precise
 bounds are awkward (bitwise ops on possibly-negative ranges, division by
 an interval containing zero), we fall back to a wide-but-finite interval.
+
+**Memoization.**  ``eval_interval`` and ``narrow`` are pure functions of
+(node, projected domain box): a node's interval depends only on the
+intervals of the variables it references, and a ``narrow`` call both
+reads and writes only ``vars(constraint)``.  Hash consing makes nodes
+immutable and shared, so results are cached *on the node itself*
+(``Expr._ivmemo`` / ``Expr._nmemo``), keyed by the tuple of referenced
+variables' intervals — no invalidation is ever needed.  Fixpoint
+propagation re-walks the same constraints against near-identical boxes
+round after round (and, with batched sibling negations, sibling after
+sibling), which is exactly the reuse pattern these tables capture.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.concolic.expr import BinOp, Const, Expr, UnaryOp, Var
 
 Interval = Tuple[int, int]
+
+#: A per-node memo table is cleared once it holds this many boxes; the
+#: pathological case is a node queried under endless distinct boxes
+#: (local search mutating domains), which must not leak memory.
+MEMO_LIMIT = 512
+
+_MISSING = object()
+
+
+class _MemoState:
+    """Process-wide switch and hit/miss counters for the node memos."""
+
+    __slots__ = ("enabled", "eval_hits", "eval_misses", "narrow_hits", "narrow_misses")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.eval_hits = 0
+        self.eval_misses = 0
+        self.narrow_hits = 0
+        self.narrow_misses = 0
+
+
+_MEMO = _MemoState()
+
+
+def propagate_memo_info() -> Dict[str, int]:
+    """Hit/miss counters of the per-node interval memos (for stats)."""
+    return {
+        "eval_hits": _MEMO.eval_hits,
+        "eval_misses": _MEMO.eval_misses,
+        "narrow_hits": _MEMO.narrow_hits,
+        "narrow_misses": _MEMO.narrow_misses,
+    }
+
+
+def memo_counters() -> Tuple[int, int]:
+    """(total hits, total misses) across the eval and narrow memos.
+
+    Cheap enough to snapshot around every solver query; the solver
+    attributes the deltas to its per-query stats.  Counters are
+    process-wide, which is exact here because solver queries never
+    interleave within a process.
+    """
+    return (
+        _MEMO.eval_hits + _MEMO.narrow_hits,
+        _MEMO.eval_misses + _MEMO.narrow_misses,
+    )
+
+
+def reset_propagate_memo_counters() -> None:
+    """Zero the memo counters (node tables are left alone)."""
+    _MEMO.eval_hits = 0
+    _MEMO.eval_misses = 0
+    _MEMO.narrow_hits = 0
+    _MEMO.narrow_misses = 0
+
+
+@contextmanager
+def propagate_memo_disabled() -> Iterator[None]:
+    """Bypass the node memos inside the block.
+
+    Used by the property tests (memoized vs. plain narrowing identity)
+    and by benchmarks measuring the unmemoized baseline.  Existing memo
+    entries are kept but not read or written.
+    """
+    previous = _MEMO.enabled
+    _MEMO.enabled = False
+    try:
+        yield
+    finally:
+        _MEMO.enabled = previous
 
 #: Fallback bound for operations whose tight interval is not worth computing.
 WIDE_BOUND = 1 << 70
@@ -48,13 +131,39 @@ def _bit_ceiling(iv: Interval) -> int:
 
 
 def eval_interval(expr: Expr, domains: Dict[str, Interval]) -> Interval:
-    """A sound over-approximation of the values ``expr`` can take."""
+    """A sound over-approximation of the values ``expr`` can take.
+
+    Results for compound nodes are memoized on the node per projected
+    domain box (see the module docstring); constants and variables are
+    cheaper to answer directly than to look up.
+    """
     if isinstance(expr, Const):
         return (expr.value, expr.value)
     if isinstance(expr, Var):
         if expr.name in domains:
             return domains[expr.name]
         return expr.domain
+    if _MEMO.enabled:
+        memo = expr._ivmemo
+        if memo is None:
+            memo = expr._ivmemo = (tuple(sorted(expr.variables())), {})
+        names, table = memo
+        box = tuple(map(domains.get, names))
+        result = table.get(box)
+        if result is not None:
+            _MEMO.eval_hits += 1
+            return result
+        _MEMO.eval_misses += 1
+        result = _eval_interval(expr, domains)
+        if len(table) >= MEMO_LIMIT:
+            table.clear()
+        table[box] = result
+        return result
+    return _eval_interval(expr, domains)
+
+
+def _eval_interval(expr: Expr, domains: Dict[str, Interval]) -> Interval:
+    """The uncached interval evaluation (children go back through the memo)."""
     if isinstance(expr, UnaryOp):
         inner = eval_interval(expr.operand, domains)
         if expr.op == "neg":
@@ -302,7 +411,45 @@ def narrow(constraint: Expr, domains: Dict[str, Interval]) -> Optional[bool]:
 
     Returns True if any domain changed, False if nothing changed, and None
     if the constraint is unsatisfiable under the current domains.
+
+    Memoized per (node, projected input box): a narrowing call reads and
+    writes only ``vars(constraint)``, every individual narrowing step is
+    a monotone shrink of the current box, and the changed flag is True
+    exactly when the projected output differs from the input — so a hit
+    replays the cached output box into ``domains`` with identical
+    semantics (None is cached as-is for UNSAT proofs).
     """
+    if not _MEMO.enabled:
+        return _narrow(constraint, domains)
+    memo = constraint._nmemo
+    if memo is None:
+        memo = constraint._nmemo = (tuple(sorted(constraint.variables())), {})
+    names, table = memo
+    box = tuple(map(domains.get, names))
+    cached = table.get(box, _MISSING)
+    if cached is not _MISSING:
+        _MEMO.narrow_hits += 1
+        if cached is None:
+            return None
+        changed = False
+        for name, interval in zip(names, cached):
+            if interval is not None and interval != domains.get(name):
+                domains[name] = interval
+                changed = True
+        return changed
+    _MEMO.narrow_misses += 1
+    result = _narrow(constraint, domains)
+    if len(table) >= MEMO_LIMIT:
+        table.clear()
+    if result is None:
+        table[box] = None
+        return None
+    table[box] = tuple(map(domains.get, names))
+    return result
+
+
+def _narrow(constraint: Expr, domains: Dict[str, Interval]) -> Optional[bool]:
+    """The uncached narrowing (sub-constraints go back through the memo)."""
     interval = eval_interval(constraint, domains)
     if interval == (0, 0):
         return None

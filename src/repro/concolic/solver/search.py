@@ -77,6 +77,26 @@ def satisfies(constraints: Sequence[Expr], env: Dict[str, int]) -> bool:
     return total_penalty(constraints, env) == 0
 
 
+def validate_model(
+    constraints: Sequence[Expr],
+    model: Dict[str, int],
+    domains: Dict[str, Interval],
+) -> bool:
+    """Is ``model`` an in-box satisfying assignment for the query?
+
+    The semantic cache re-checks borrowed models with this before reuse:
+    the model must cover exactly the query's variables, sit inside every
+    domain interval, and satisfy the full conjunction.
+    """
+    if len(model) != len(domains):
+        return False
+    for name, (lo, hi) in domains.items():
+        value = model.get(name)
+        if value is None or not lo <= value <= hi:
+            return False
+    return satisfies(constraints, model)
+
+
 def enumerate_variable(
     constraints: Sequence[Expr],
     env: Dict[str, int],

@@ -34,7 +34,8 @@ from contextlib import contextmanager
 from multiprocessing.managers import SyncManager
 from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.concolic.solver.cache import CacheEntry
+from repro.concolic.solver.cache import CacheEntry, SemanticIndex
+from repro.concolic.solver.intervals import Interval
 
 
 class ShardedConstraintCache:
@@ -45,6 +46,14 @@ class ShardedConstraintCache:
     determinism is untouched: a hit returns exactly the entry a local
     solve would have produced (the solver-layer invariant), wherever it
     was stored.
+
+    The **semantic (subsumption) index** is deliberately L1-only: a
+    probe on every exact miss would double the manager IPC it exists to
+    avoid, and a miss is always safe.  Each worker builds its own view
+    from the queries it solves; exact entries still cross processes.
+    Workers gate semantic *model* reuse off anyway (they run with
+    ``deterministic_rng``), so per-process indexes cannot introduce
+    schedule dependence — only per-process UNSAT shortcuts.
     """
 
     def __init__(self, shards: Sequence) -> None:
@@ -53,6 +62,7 @@ class ShardedConstraintCache:
             raise ValueError("at least one cache shard is required")
         self._shards = shards
         self._local: Dict[bytes, CacheEntry] = {}
+        self._semantic = SemanticIndex()
         self.hits = 0
         self.misses = 0
 
@@ -88,6 +98,15 @@ class ShardedConstraintCache:
         except Exception:
             pass
 
+    def get_semantic(self, key: bytes) -> Sequence:
+        """Candidate ``(box_items, entry)`` pairs from this process's index."""
+        return self._semantic.get(key)
+
+    def put_semantic(
+        self, key: bytes, domains: Dict[str, Interval], entry: CacheEntry
+    ) -> None:
+        self._semantic.put(key, domains, entry)
+
     def shared_size(self) -> int:
         """Entries visible across all shards (dead shards count 0)."""
         total = 0
@@ -106,6 +125,7 @@ class ShardedConstraintCache:
     def __setstate__(self, state: dict) -> None:
         self._shards = state["_shards"]
         self._local = {}
+        self._semantic = SemanticIndex()
         self.hits = 0
         self.misses = 0
 

@@ -98,10 +98,23 @@ class BatchReport:
         return sorted(prefixes)
 
     def cache_stats(self) -> Dict[str, int]:
-        """Summed per-worker solver cache counters."""
-        hits = sum(int(r.solver_stats.get("cache_hits", 0)) for r in self.reports)
-        misses = sum(int(r.solver_stats.get("cache_misses", 0)) for r in self.reports)
-        return {"cache_hits": hits, "cache_misses": misses}
+        """Summed per-worker solver cache counters, across all three layers.
+
+        Exact-key hits/misses, semantic (subsumption) probe counters, and
+        propagate-memo counters from each session's solver, summed.
+        """
+        keys = (
+            "cache_hits",
+            "cache_misses",
+            "semantic_lookups",
+            "semantic_hits",
+            "propagate_memo_hits",
+            "propagate_memo_misses",
+        )
+        return {
+            key: sum(int(r.solver_stats.get(key, 0)) for r in self.reports)
+            for key in keys
+        }
 
     def solver_totals(self) -> Dict[str, float]:
         """Summed per-worker solver counters, with derived rates recomputed.

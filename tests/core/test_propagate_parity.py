@@ -1,0 +1,67 @@
+"""Finding-set parity across execution modes with all cache layers hot.
+
+The propagate-stage overhaul (domain-box memoization, semantic
+subsumption lookups, batched sibling negations) must not change *what*
+exploration finds — only how fast.  This pins ``finding_keys()``
+equality across serial, batch-parallel, and streamed runs of the same
+corpus with the default configuration, i.e. with the node memos and the
+semantic cache enabled (memoization is process-global and always on
+outside ``propagate_memo_disabled`` blocks).
+"""
+
+import pytest
+
+from repro.concolic import ExplorationBudget
+from repro.core import get_scenario
+
+BUDGET = ExplorationBudget(max_executions=4)
+
+
+@pytest.fixture(scope="module")
+def tiered_built():
+    built = get_scenario("tiered-8").build(seed=42)
+    built.converge()
+    return built
+
+
+@pytest.fixture(scope="module")
+def serial_report(tiered_built):
+    return tiered_built.federation().explore(
+        tiered_built.seed_corpus(), budget=BUDGET, workers=1, force_serial=True
+    )
+
+
+class TestModeParity:
+    def test_batch_matches_serial(self, tiered_built, serial_report):
+        report = tiered_built.federation().explore(
+            tiered_built.seed_corpus(), budget=BUDGET, workers=2
+        )
+        assert report.finding_keys() == serial_report.finding_keys()
+
+    def test_stream_matches_serial(self, tiered_built, serial_report):
+        report = tiered_built.federation().explore(
+            tiered_built.seed_corpus(),
+            budget=BUDGET,
+            workers=2,
+            stream=True,
+            force_serial=True,
+        )
+        assert report.finding_keys() == serial_report.finding_keys()
+        # The overhaul's counters surface in the streamed summary.
+        summary = report.stream_summary
+        for key in (
+            "semantic_lookups",
+            "semantic_hits",
+            "propagate_memo_hits",
+            "propagate_memo_misses",
+        ):
+            assert key in summary
+        assert summary["propagate_memo_hits"] > 0
+
+    def test_serial_rerun_is_stable(self, tiered_built, serial_report):
+        """Memo/semantic state warmed by earlier runs must not leak into
+        results: a fresh serial run still produces the same findings."""
+        report = tiered_built.federation().explore(
+            tiered_built.seed_corpus(), budget=BUDGET, workers=1, force_serial=True
+        )
+        assert report.finding_keys() == serial_report.finding_keys()

@@ -137,7 +137,11 @@ class TestDictConstraintCache:
         assert cache.get(b"k") is None
         cache.put(b"k", ("sat", (("x", 1),)))
         assert cache.get(b"k") == ("sat", (("x", 1),))
-        assert cache.info() == {"entries": 1, "hits": 1, "misses": 1}
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["evictions"] == 0
 
 
 class TestSharedConstraintCache:

@@ -113,7 +113,14 @@ class TestBatchReports:
         )
         for report in batch.reports:
             assert report.solver_stats.get("queries", 0) >= 0
-        assert set(batch.cache_stats()) == {"cache_hits", "cache_misses"}
+        assert set(batch.cache_stats()) == {
+            "cache_hits",
+            "cache_misses",
+            "semantic_lookups",
+            "semantic_hits",
+            "propagate_memo_hits",
+            "propagate_memo_misses",
+        }
 
     def test_empty_seed_batch(self, erroneous_scenario):
         batch = ParallelExplorer(workers=2).explore_batch(
