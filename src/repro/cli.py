@@ -95,6 +95,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if args.scenario != "fig2":
         return _explore_federated(args)
+    if args.chaos:
+        print("error: --chaos requires a generated --scenario with --stream "
+              "(the shared streaming pool; see 'repro scenarios')",
+              file=sys.stderr)
+        return 2
     if args.workload:
         print("error: --workload requires a generated --scenario "
               "(see 'repro scenarios')", file=sys.stderr)
@@ -177,6 +182,28 @@ def _stream_progress(report) -> None:
         for name, seconds in sorted(stages.items(), key=lambda kv: -kv[1])[:3]
         if seconds > 0
     )
+    # Resilience counters appear only once something went wrong (and was
+    # survived): restarts/hangs/retries/quarantines from the supervisor,
+    # degraded shard count from the shared-cache liveness probe.
+    resilience = ""
+    recoveries = (
+        report.workers_restarted
+        + report.hangs_detected
+        + report.jobs_retried
+        + len(report.quarantined)
+    )
+    if recoveries:
+        resilience += (
+            f" | resilience restarts {report.workers_restarted}"
+            f" hangs {report.hangs_detected}"
+            f" retries {report.jobs_retried}"
+            f" quarantined {len(report.quarantined)}"
+        )
+    if report.degraded_shards:
+        resilience += (
+            f" | cache degraded "
+            f"{report.degraded_shards}/{report.cache_shards} shards"
+        )
     print(
         f"  [stream] seeds drained {report.jobs_completed}/"
         f"{report.seeds_submitted - report.seeds_coalesced}"
@@ -186,6 +213,7 @@ def _stream_progress(report) -> None:
         f" memo {solver.get('propagate_memo_hit_rate', 0.0):.0%})"
         f" | solver {solver.get('total_time', 0.0):.2f}s"
         + (f" ({busiest})" if busiest else "")
+        + resilience
     )
 
 
@@ -223,6 +251,22 @@ def _explore_federated(args: argparse.Namespace) -> int:
     """Federated exploration over a registry scenario's generated topology."""
     scenario = get_scenario(args.scenario)
     workload = get_workload(args.workload) if args.workload else None
+    chaos_plan = None
+    if args.chaos:
+        if not args.stream:
+            print("error: --chaos targets the shared streaming pool; "
+                  "add --stream", file=sys.stderr)
+            return 2
+        from repro.parallel.chaos import get_chaos_plan, list_chaos_plans
+
+        try:
+            chaos_plan = get_chaos_plan(args.chaos)
+        except ValueError:
+            print(f"error: unknown chaos plan {args.chaos!r}; known plans:",
+                  file=sys.stderr)
+            for name, description in list_chaos_plans():
+                print(f"  {name:18} {description}", file=sys.stderr)
+            return 2
     # An explicit --filter-mode overrides the scenario's registered
     # customer-filtering default; left unset, the CLI builds exactly
     # what get_scenario(name).build(seed=...) builds, so a finding
@@ -272,6 +316,7 @@ def _explore_federated(args: argparse.Namespace) -> int:
         strategy_seed=args.seed,
         as_rotation=args.as_rotation,
         workload=plan,
+        chaos=chaos_plan,
     )
     mode = "streamed" if args.stream else "batch"
     pool = (
@@ -307,6 +352,29 @@ def _explore_federated(args: argparse.Namespace) -> int:
     if not stats.converged:
         print("  warning: wave hit its hop/event budget before quiescing; "
               "post-propagation comparisons ran on a federation still in motion")
+    summary = report.stream_summary or {}
+    recoveries = (
+        summary.get("workers_restarted", 0)
+        + summary.get("hangs_detected", 0)
+        + summary.get("jobs_retried", 0)
+        + summary.get("jobs_quarantined", 0)
+        + summary.get("degraded_shards", 0)
+    )
+    if chaos_plan is not None or recoveries:
+        plan_note = f" plan={chaos_plan.name!r}" if chaos_plan else ""
+        print(
+            f"  [resilience]{plan_note} restarts "
+            f"{summary.get('workers_restarted', 0)}"
+            f" | hangs {summary.get('hangs_detected', 0)}"
+            f" | retries {summary.get('jobs_retried', 0)}"
+            f" | quarantined {summary.get('jobs_quarantined', 0)}"
+            f" | cache degraded {summary.get('degraded_shards', 0)}/"
+            f"{summary.get('cache_shards', 0)} shards"
+        )
+        for event in summary.get("chaos_events", []):
+            print(f"    chaos: {event}")
+        for entry in summary.get("quarantined", []):
+            print(f"    {entry}")
     if plan is not None:
         wstats = report.workload_stats
         print(
@@ -517,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the workload's paired wave "
                               "checkers (repeatable; see 'repro scenarios' "
                               "for the list)")
+    explore.add_argument("--chaos", default=None,
+                         help="inject a deterministic fault plan into the "
+                              "shared streaming pool (kill/hang/drop/"
+                              "cache-kill; e.g. 'kill-one-worker') and "
+                              "report the recovery counters; requires a "
+                              "generated --scenario with --stream")
     explore.set_defaults(func=cmd_explore)
 
     scenarios = commands.add_parser(

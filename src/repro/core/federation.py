@@ -45,6 +45,7 @@ from typing import (
 
 if TYPE_CHECKING:  # avoids the runtime core <-> topology import cycle
     from repro.core.workload import WorkloadPlan
+    from repro.parallel.chaos import ChaosPlan
     from repro.topology.graph import AsGraph
 
 from repro.bgp.messages import NotificationMessage, UpdateMessage
@@ -564,6 +565,7 @@ class FederatedExploration:
         stream_epochs: int = 1,
         shared_pool: bool = True,
         workload: Optional["WorkloadPlan"] = None,
+        chaos: Optional["ChaosPlan"] = None,
     ) -> FederatedReport:
         """Explore a federated seed corpus, then run the system-wide wave.
 
@@ -593,12 +595,24 @@ class FederatedExploration:
         workload wave is serial and deterministic regardless of
         ``workers``/``stream``, so serial/streamed finding-set parity
         is preserved.
+
+        ``chaos`` injects a deterministic fault plan
+        (:class:`~repro.parallel.chaos.ChaosPlan`) into the shared
+        streaming pool — the resilience layer's recovery counters come
+        back in ``report.stream_summary``.  Only meaningful against the
+        shared pool, so it requires ``stream=True`` and
+        ``shared_pool=True``.
         """
         if not seeds:
             raise ExplorationError("federated exploration needs a seed corpus")
         if stream_epochs < 1:
             raise ExplorationError(
                 f"stream_epochs must be >= 1, got {stream_epochs}"
+            )
+        if chaos is not None and not (stream and shared_pool):
+            raise ExplorationError(
+                "chaos injection targets the shared streaming pool; "
+                "it requires stream=True with shared_pool=True"
             )
         unknown = sorted({node for node, _, _ in seeds} - set(self.routers))
         if unknown:
@@ -614,7 +628,7 @@ class FederatedExploration:
             per_as, used_processes, scheduler_yield, stream_summary = (
                 self._explore_streamed(
                     by_node, budget, workers, policy, strategy, strategy_seed,
-                    force_serial, as_rotation, stream_epochs,
+                    force_serial, as_rotation, stream_epochs, chaos,
                 )
             )
             pools = 1
@@ -673,7 +687,7 @@ class FederatedExploration:
 
     def _explore_streamed(
         self, by_node, budget, workers, policy, strategy, strategy_seed,
-        force_serial, as_rotation, stream_epochs,
+        force_serial, as_rotation, stream_epochs, chaos=None,
     ) -> Tuple[Dict[str, List[SessionReport]], bool, Dict[str, float],
                Dict[str, object]]:
         """One shared streaming pool for the whole federation.
@@ -701,6 +715,7 @@ class FederatedExploration:
             # nodes — indices are fixed at submission.
             coverage_guided=False,
             as_rotation=as_rotation,
+            chaos=chaos,
         )
         pipeline.start_nodes({node: self.routers[node] for node in by_node})
         try:

@@ -42,6 +42,16 @@ class ScheduleConfig:
     #: Extra keyword arguments for ``DiCE.stream_start`` in streaming
     #: mode (e.g. ``{"force_serial": True}`` in tests/sandboxes).
     stream_options: Dict[str, object] = field(default_factory=dict)
+    #: Re-arm delay multiplier per *consecutive* failed round.  After k
+    #: failures in a row the next round is scheduled
+    #: ``min(cap, interval * failure_backoff ** k)`` seconds out, so a
+    #: persistently broken checkpoint (dead solver, full disk) stops
+    #: hammering the live node every interval.  One success resets the
+    #: streak and the cadence.
+    failure_backoff: float = 2.0
+    #: Cap on the backed-off delay, in simulated seconds.  ``0.0`` means
+    #: auto: ``interval * 16`` (four doublings at the default factor).
+    failure_backoff_cap: float = 0.0
 
 
 @dataclass
@@ -52,6 +62,9 @@ class ScheduleStats:
     wall_seconds: float = 0.0
     last_fired_at: float = 0.0
     last_error: str = ""              # message of the most recent failure
+    #: Extra delay applied to the *next* round after the most recent
+    #: failure (the full backed-off interval); 0.0 while rounds succeed.
+    backoff_seconds: float = 0.0
 
 
 class OnlineScheduler:
@@ -64,10 +77,12 @@ class OnlineScheduler:
         self.stats = ScheduleStats()
         self._stopped = False
         self._handle = None
+        self._consecutive_failures = 0
 
     def start(self) -> None:
         """Arm the first round (and open the stream, in streaming mode)."""
         self._stopped = False
+        self._consecutive_failures = 0
         if self.config.stream:
             self.dice.stream_start(
                 workers=max(1, self.config.parallel),
@@ -135,17 +150,34 @@ class OnlineScheduler:
         self.stats.wall_seconds += time.perf_counter() - started
         self.stats.last_fired_at = self.host.sim.now
         if not failed:
+            self._consecutive_failures = 0
+            self.stats.backoff_seconds = 0.0
             if report is None:
                 self.stats.rounds_skipped += 1
             else:
                 self.stats.rounds_fired += 1
+        else:
+            self._consecutive_failures += 1
         if (
             self.config.max_rounds is not None
             and self.stats.rounds_fired >= self.config.max_rounds
         ):
             self.stop()
             return
-        self._handle = self.host.set_timer(self.config.interval, self._fire)
+        delay = self.config.interval
+        if self._consecutive_failures:
+            # Exponential backoff with a cap: k straight failures push
+            # the next attempt interval * factor**k out (capped), so a
+            # wedged round source degrades to a slow probe instead of a
+            # hot loop.  The applied delay is surfaced in the stats.
+            delay = self._backoff_delay(self._consecutive_failures)
+            self.stats.backoff_seconds = delay
+        self._handle = self.host.set_timer(delay, self._fire)
+
+    def _backoff_delay(self, failures: int) -> float:
+        cap = self.config.failure_backoff_cap or self.config.interval * 16.0
+        factor = max(1.0, self.config.failure_backoff)
+        return min(cap, self.config.interval * factor**failures)
 
 
 @dataclass

@@ -33,6 +33,16 @@ from repro.parallel.cache import (
     SharedConstraintCache,
     shared_cache,
     sharded_cache,
+    shutdown_cache_managers,
+    start_sharded_cache,
+)
+from repro.parallel.chaos import (
+    CHAOS_PLANS,
+    ChaosDirective,
+    ChaosEvent,
+    ChaosPlan,
+    get_chaos_plan,
+    list_chaos_plans,
 )
 from repro.parallel.executors import SerialExecutor, make_executor
 from repro.parallel.explorer import (
@@ -42,13 +52,16 @@ from repro.parallel.explorer import (
     ParallelExplorer,
 )
 from repro.parallel.stream import (
+    QuarantinedJob,
     StreamJob,
     StreamReport,
     StreamingExplorer,
+    WorkerSupervisor,
     stream_worker_main,
 )
 from repro.parallel.worker import (
     EngineJob,
+    ProgressBeacon,
     SessionJob,
     run_engine_job,
     run_session_job,
@@ -56,10 +69,16 @@ from repro.parallel.worker import (
 
 __all__ = [
     "BatchReport",
+    "CHAOS_PLANS",
+    "ChaosDirective",
+    "ChaosEvent",
+    "ChaosPlan",
     "EngineBatch",
     "EngineBatchRun",
     "EngineJob",
     "ParallelExplorer",
+    "ProgressBeacon",
+    "QuarantinedJob",
     "SerialExecutor",
     "SessionJob",
     "ShardedConstraintCache",
@@ -67,10 +86,15 @@ __all__ = [
     "StreamJob",
     "StreamReport",
     "StreamingExplorer",
+    "WorkerSupervisor",
+    "get_chaos_plan",
+    "list_chaos_plans",
     "make_executor",
     "run_engine_job",
     "run_session_job",
     "shared_cache",
     "sharded_cache",
+    "shutdown_cache_managers",
+    "start_sharded_cache",
     "stream_worker_main",
 ]

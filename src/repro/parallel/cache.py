@@ -24,15 +24,21 @@ Two shared-layer shapes:
 The wrappers are picklable (workers receive them inside their jobs or at
 spawn); only the proxies travel — the local layer starts empty in each
 process.  Proxy operations can fail when the owning manager has shut
-down (a worker outliving its batch); the cache degrades to L1-only
-rather than erroring, since a cache miss is always safe.
+down (a worker outliving its batch, or a manager process killed under
+it); the cache degrades to L1-only rather than erroring, since a cache
+miss is always safe.  Degradation is *tracked*, not silent: a failing
+shard is marked dead (no further IPC attempts against it), the
+``degraded`` flag and ``degraded_ops`` counter record the loss, and
+:meth:`ShardedConstraintCache.info` reports per-shard liveness so the
+streaming progress line can surface "cache degraded 2/4 shards" instead
+of dead shards quietly counting zero entries.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from multiprocessing.managers import SyncManager
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.concolic.solver.cache import CacheEntry, SemanticIndex
 from repro.concolic.solver.intervals import Interval
@@ -65,24 +71,54 @@ class ShardedConstraintCache:
         self._semantic = SemanticIndex()
         self.hits = 0
         self.misses = 0
+        #: Shard indices whose manager has failed a proxy operation.
+        #: Marked once, skipped thereafter: retrying a dead manager costs
+        #: a connect timeout per call, which would turn one lost process
+        #: into a per-solve latency tax.
+        self._dead: Set[int] = set()
+        #: Operations that would have reached a dead shard (failed or
+        #: skipped) — the size of the degradation, for reports.
+        self.degraded_ops = 0
+
+    def _shard_index(self, key: bytes) -> int:
+        if len(self._shards) == 1:
+            return 0
+        return key[0] % len(self._shards)
 
     def _shard_for(self, key: bytes):
-        if len(self._shards) == 1:
-            return self._shards[0]
-        return self._shards[key[0] % len(self._shards)]
+        return self._shards[self._shard_index(key)]
 
     @property
     def shard_count(self) -> int:
         return len(self._shards)
+
+    @property
+    def degraded(self) -> bool:
+        """Has any shard's manager died under this process's view?"""
+        return bool(self._dead)
+
+    @property
+    def degraded_shards(self) -> int:
+        return len(self._dead)
+
+    def _mark_dead(self, index: int) -> None:
+        self._dead.add(index)
 
     def get(self, key: bytes) -> Optional[CacheEntry]:
         entry = self._local.get(key)
         if entry is not None:
             self.hits += 1
             return entry
+        index = self._shard_index(key)
+        if index in self._dead:
+            self.degraded_ops += 1
+            self.misses += 1
+            return None
         try:
-            entry = self._shard_for(key).get(key)
+            entry = self._shards[index].get(key)
         except Exception:  # manager gone: degrade to L1-only
+            self._mark_dead(index)
+            self.degraded_ops += 1
             entry = None
         if entry is None:
             self.misses += 1
@@ -93,10 +129,15 @@ class ShardedConstraintCache:
 
     def put(self, key: bytes, entry: CacheEntry) -> None:
         self._local[key] = entry
+        index = self._shard_index(key)
+        if index in self._dead:
+            self.degraded_ops += 1
+            return
         try:
-            self._shard_for(key)[key] = entry
+            self._shards[index][key] = entry
         except Exception:
-            pass
+            self._mark_dead(index)
+            self.degraded_ops += 1
 
     def get_semantic(self, key: bytes) -> Sequence:
         """Candidate ``(box_items, entry)`` pairs from this process's index."""
@@ -108,14 +149,53 @@ class ShardedConstraintCache:
         self._semantic.put(key, domains, entry)
 
     def shared_size(self) -> int:
-        """Entries visible across all shards (dead shards count 0)."""
+        """Entries visible across the *live* shards.
+
+        Dead shards contribute nothing — and get marked, so the probe
+        itself keeps the liveness view honest rather than letting a dead
+        shard masquerade as merely empty.
+        """
         total = 0
-        for shard in self._shards:
+        for index, shard in enumerate(self._shards):
+            if index in self._dead:
+                continue
             try:
                 total += len(shard)
             except Exception:
-                pass
+                self._mark_dead(index)
         return total
+
+    def info(self) -> Dict[str, object]:
+        """Per-shard liveness and entry counts, plus the L1 view.
+
+        Probes every shard not already known dead (one ``len`` each) and
+        marks the ones that fail, so the returned ``degraded_shards``
+        reflects managers that died since the last operation — not just
+        ones a get/put happened to trip over.  A dead shard reports
+        ``entries: None``, never a misleading 0.
+        """
+        per_shard: List[Dict[str, object]] = []
+        for index, shard in enumerate(self._shards):
+            entries: Optional[int] = None
+            if index not in self._dead:
+                try:
+                    entries = len(shard)
+                except Exception:
+                    self._mark_dead(index)
+            per_shard.append(
+                {"alive": index not in self._dead, "entries": entries}
+            )
+        return {
+            "shards": len(self._shards),
+            "alive_shards": len(self._shards) - len(self._dead),
+            "degraded_shards": len(self._dead),
+            "degraded": bool(self._dead),
+            "degraded_ops": self.degraded_ops,
+            "l1_entries": len(self._local),
+            "hits": self.hits,
+            "misses": self.misses,
+            "per_shard": per_shard,
+        }
 
     def __getstate__(self) -> dict:
         # Only the proxies cross the process boundary; the L1 and its
@@ -128,6 +208,8 @@ class ShardedConstraintCache:
         self._semantic = SemanticIndex()
         self.hits = 0
         self.misses = 0
+        self._dead = set()
+        self.degraded_ops = 0
 
 
 class SharedConstraintCache(ShardedConstraintCache):
@@ -153,13 +235,15 @@ def shared_cache() -> Iterator[SharedConstraintCache]:
         manager.shutdown()
 
 
-@contextmanager
-def sharded_cache(shards: int = 4) -> Iterator[ShardedConstraintCache]:
-    """A :class:`ShardedConstraintCache` over ``shards`` manager processes.
+def start_sharded_cache(
+    shards: int = 4,
+) -> Tuple[ShardedConstraintCache, List[SyncManager]]:
+    """Start ``shards`` manager processes and build the cache over them.
 
-    Each shard is a dict owned by its *own* manager process, so worker
-    IPC spreads across them instead of serializing through one.  All
-    managers live for the ``with`` block; a startup failure partway
+    The non-contextmanager shape: callers that need the manager handles
+    themselves — the streaming coordinator keeps them to shut down at
+    ``close()``, to probe liveness, and (under the chaos harness) to
+    kill mid-run — get ``(cache, managers)``.  A startup failure partway
     through (fork refused under memory pressure) shuts down the managers
     already started and propagates, so the caller can fall back to a
     smaller configuration or an in-process cache.
@@ -167,17 +251,38 @@ def sharded_cache(shards: int = 4) -> Iterator[ShardedConstraintCache]:
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     managers: List[SyncManager] = []
+    proxies = []
     try:
-        proxies = []
         for _ in range(shards):
             manager = SyncManager()
             manager.start()
             managers.append(manager)
             proxies.append(manager.dict())
-        yield ShardedConstraintCache(proxies)
+    except BaseException:
+        shutdown_cache_managers(managers)
+        raise
+    return ShardedConstraintCache(proxies), managers
+
+
+def shutdown_cache_managers(managers: Sequence[SyncManager]) -> None:
+    """Best-effort shutdown of shard managers (idempotent, never raises)."""
+    for manager in managers:
+        try:
+            manager.shutdown()
+        except Exception:
+            pass
+
+
+@contextmanager
+def sharded_cache(shards: int = 4) -> Iterator[ShardedConstraintCache]:
+    """A :class:`ShardedConstraintCache` over ``shards`` manager processes.
+
+    Each shard is a dict owned by its *own* manager process, so worker
+    IPC spreads across them instead of serializing through one.  All
+    managers live for the ``with`` block and are released on exit.
+    """
+    cache, managers = start_sharded_cache(shards)
+    try:
+        yield cache
     finally:
-        for manager in managers:
-            try:
-                manager.shutdown()
-            except Exception:
-                pass
+        shutdown_cache_managers(managers)

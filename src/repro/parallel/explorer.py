@@ -132,7 +132,7 @@ class BatchReport:
         return totals
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out = {
             "sessions": len(self.reports),
             "workers": self.workers,
             "used_processes": self.used_processes,
@@ -143,6 +143,9 @@ class BatchReport:
             "wall_seconds": round(self.wall_seconds, 4),
             **self.cache_stats(),
         }
+        if self.fallback_reason:
+            out["fallback_reason"] = self.fallback_reason
+        return out
 
 
 @contextmanager

@@ -47,10 +47,33 @@ equals ``ParallelExplorer.explore_batch`` over the same seeds — with one
 worker, N workers, or the in-process serial fallback
 (``tests/parallel/test_streaming.py`` asserts all three).
 
-Failure containment mirrors the batch engine's salvage: a worker process
-that dies has its in-flight jobs re-run on an in-process fallback worker
-(per-job determinism makes the salvage exact); a host that cannot fork
-at all runs the whole stream inline.
+Failure containment mirrors the batch engine's salvage — a worker
+process that dies has its in-flight jobs re-run on an in-process
+fallback worker (per-job determinism makes the salvage exact); a host
+that cannot fork at all runs the whole stream inline — and then goes
+further, because a *service* cannot let its pool shrink monotonically:
+
+* a :class:`WorkerSupervisor` **respawns** dead workers at their slot
+  with exponential backoff, deterministic jitter, and a per-slot restart
+  cap, re-shipping every node's current image to the replacement;
+* workers stamp a shared :class:`~repro.parallel.worker.ProgressBeacon`
+  per job, so the coordinator's supervision sweep detects **hangs**: a
+  job running past ``job_deadline`` gets its worker killed and the job
+  re-dispatched under a bounded ``retry_budget``; past the budget it
+  lands in **quarantine** (recorded on the report) instead of wedging
+  the drain loop;
+* the shared constraint cache **degrades gracefully** — dead shard
+  managers are marked, skipped, and counted
+  (:meth:`ShardedConstraintCache.info`), never raised through a solve;
+* every recovery path is injectable on purpose via a deterministic
+  :class:`~repro.parallel.chaos.ChaosPlan` (kill worker k after job n,
+  hang job n for t seconds, drop a result, kill the cache managers), so
+  tests and CI replay the exact same fault sequence every run.
+
+Recovery never bends determinism: a retried or salvaged job re-derives
+the same strategy RNG from its per-node index, so the drained finding
+set under any non-quarantining fault schedule is identical to the
+fault-free (and serial, and batch) run.
 """
 
 from __future__ import annotations
@@ -73,11 +96,17 @@ from repro.concolic.solver.cache import DictConstraintCache
 from repro.core.inputs import seed_signature
 from repro.core.checkers import FaultChecker
 from repro.core.report import SessionReport
-from repro.parallel.cache import ShardedConstraintCache, sharded_cache
+from repro.parallel.cache import (
+    ShardedConstraintCache,
+    shutdown_cache_managers,
+    start_sharded_cache,
+)
+from repro.parallel.chaos import ChaosDirective, ChaosPlan
 from repro.parallel.explorer import BatchReport
-from repro.parallel.worker import SessionJob, run_session_job
+from repro.parallel.worker import ProgressBeacon, SessionJob, run_session_job
 from repro.util.errors import CheckpointError, ExplorationError
 from repro.util.ip import Prefix
+from repro.util.rng import derive_rng
 
 Seed = Tuple[str, UpdateMessage]
 
@@ -128,6 +157,13 @@ class StreamJob:
     strategy_seed: int = 0
     anycast_whitelist: Tuple[Prefix, ...] = ()
     checkers: Optional[Sequence[FaultChecker]] = None
+    #: Dispatch sequence number, reassigned fresh on every (re)dispatch;
+    #: the value workers stamp into their progress beacon, mapping a
+    #: "busy since t" observation back to one JobKey.  Never feeds the
+    #: strategy RNG — retries stay bit-identical to the first attempt.
+    seq: int = 0
+    #: Injected fault (chaos harness only); ``None`` in production.
+    chaos: Optional[ChaosDirective] = None
 
     @property
     def key(self) -> JobKey:
@@ -136,6 +172,30 @@ class StreamJob:
     @property
     def image_key(self) -> Tuple[str, int]:
         return (self.node, self.epoch)
+
+
+@dataclass(frozen=True)
+class QuarantinedJob:
+    """A job that exhausted its hang-retry budget and was set aside.
+
+    Quarantine is the bounded alternative to wedging: the job's index
+    stays a hole in the harvest (like a dropped job), but the stream
+    keeps draining and the report records exactly what was given up on
+    — enough to re-run the seed offline under a debugger.
+    """
+
+    node: str
+    index: int
+    peer: str
+    retries: int
+    reason: str
+
+    def describe(self) -> str:
+        where = f"{self.node}:{self.peer}" if self.node else self.peer
+        return (
+            f"job {self.index} ({where}) quarantined after "
+            f"{self.retries} retries: {self.reason}"
+        )
 
 
 @dataclass
@@ -167,6 +227,26 @@ class StreamReport(BatchReport):
     #: Epoch boundaries crossed per federation node: how many deltas have
     #: been shipped against each node's image chain.
     deltas_by_node: Dict[str, int] = field(default_factory=dict)
+    #: Dead workers respawned at their slot by the supervisor.
+    workers_restarted: int = 0
+    #: Jobs caught running (or lost) past ``job_deadline`` by the
+    #: heartbeat sweep; each one cost its worker its life.
+    hangs_detected: int = 0
+    #: Re-dispatches of in-flight jobs after a hang kill (both the hung
+    #: job and innocent jobs queued behind it on the killed worker).
+    jobs_retried: int = 0
+    #: Jobs that exhausted their hang-retry budget; like dropped jobs,
+    #: their indices are holes the harvest never fills, so
+    #: ``jobs_completed + jobs_dropped + len(quarantined)`` accounts for
+    #: every dispatch attempt.
+    quarantined: List[QuarantinedJob] = field(default_factory=list)
+    #: Human-readable log of injected chaos faults as they fired.
+    chaos_events: List[str] = field(default_factory=list)
+    #: Shared-cache shard liveness, refreshed by the coordinator's probe
+    #: (0 shards means no sharded cache was in play).
+    cache_shards: int = 0
+    degraded_shards: int = 0
+    cache_degraded_ops: int = 0
 
     @property
     def jobs_completed(self) -> int:
@@ -229,6 +309,14 @@ class StreamReport(BatchReport):
                 "jobs_completed": self.jobs_completed,
                 "jobs_recovered": self.jobs_recovered,
                 "jobs_dropped": self.jobs_dropped,
+                "workers_restarted": self.workers_restarted,
+                "hangs_detected": self.hangs_detected,
+                "jobs_retried": self.jobs_retried,
+                "jobs_quarantined": len(self.quarantined),
+                "quarantined": [q.describe() for q in self.quarantined],
+                "chaos_events": list(self.chaos_events),
+                "cache_shards": self.cache_shards,
+                "degraded_shards": self.degraded_shards,
                 "errors": len(self.errors),
                 "checkpoint_bytes_shipped": self.checkpoint_bytes_shipped,
                 "checkpoint_bytes_per_job": round(self.checkpoint_bytes_per_job),
@@ -270,10 +358,19 @@ class _WorkerState:
             return None
         if kind == _MSG_JOB:
             job: StreamJob = msg[1]
+            # Chaos faults execute *around* the session, never inside it:
+            # the hang is a pre-run sleep (a wedged solver as seen from
+            # outside) and the drop swallows a finished result — so a
+            # recovered job's report is bit-identical to a clean run.
+            if job.chaos is not None and job.chaos.hang_seconds > 0:
+                time.sleep(job.chaos.hang_seconds)
             try:
-                return (_RES_REPORT, job.key, self._run(job))
+                result = (_RES_REPORT, job.key, self._run(job))
             except Exception as exc:
                 return (_RES_ERROR, job.key, f"{type(exc).__name__}: {exc}")
+            if job.chaos is not None and job.chaos.drop_result:
+                return None
+            return result
         return None
 
     def _apply_epoch(self, payload) -> None:
@@ -331,8 +428,16 @@ class _WorkerState:
         )
 
 
-def stream_worker_main(job_queue, result_queue, cache) -> None:
-    """Entry point of one persistent streaming worker process."""
+def stream_worker_main(job_queue, result_queue, cache, beacon=None) -> None:
+    """Entry point of one persistent streaming worker process.
+
+    ``beacon`` (a :class:`~repro.parallel.worker.ProgressBeacon`) is
+    stamped with the job's dispatch sequence before the session runs and
+    cleared after the result is queued — the worker's half of the hang-
+    detection protocol.  Stamping brackets the *whole* handle, including
+    result pickling: a job is only "done" once its result is safely in
+    the queue, so a worker dying mid-put still reads as busy.
+    """
     state = _WorkerState(cache, prune=True)
     while True:
         try:
@@ -341,24 +446,41 @@ def stream_worker_main(job_queue, result_queue, cache) -> None:
             break
         if msg[0] == _MSG_STOP:
             break
+        stamped = beacon is not None and msg[0] == _MSG_JOB
+        if stamped:
+            beacon.stamp(msg[1].seq)
         result = state.handle(msg)
         if result is not None:
             try:
                 result_queue.put(result)
             except Exception:  # pragma: no cover - coordinator gone
                 break
+        if stamped:
+            beacon.clear()
 
 
 class _ProcessWorker:
-    """A persistent worker process and its dedicated FIFO job queue."""
+    """A persistent worker process and its dedicated FIFO job queue.
 
-    def __init__(self, slot: int, result_queue, cache) -> None:
+    ``heartbeat=True`` (the supervised default) gives the worker a
+    :class:`ProgressBeacon` the supervision sweep reads for hang
+    detection.  ``images`` tracks which ``(node, epoch)`` images the
+    coordinator has shipped down this worker's queue — mirroring the
+    worker-side prune rule — so a retry referencing an older epoch can
+    be preceded by its retained base image instead of failing.
+    """
+
+    def __init__(self, slot: int, result_queue, cache, heartbeat: bool = True) -> None:
         self.slot = slot
         self.salvaged = False
+        self.beacon: Optional[ProgressBeacon] = (
+            ProgressBeacon() if heartbeat else None
+        )
+        self.images: Set[Tuple[str, int]] = set()
         self.queue: multiprocessing.Queue = multiprocessing.Queue()
         self.process = multiprocessing.Process(
             target=stream_worker_main,
-            args=(self.queue, result_queue, cache),
+            args=(self.queue, result_queue, cache, self.beacon),
             daemon=True,
             name=f"repro-stream-worker-{slot}",
         )
@@ -371,6 +493,29 @@ class _ProcessWorker:
     def send(self, msg: tuple) -> None:
         self.queue.put(msg)
 
+    def _release_queue(self) -> None:
+        try:
+            # The worker is gone either way; anything still buffered in
+            # the queue has no reader.  Without cancel_join_thread a
+            # feeder thread wedged mid-send (worker killed with a full
+            # pipe) deadlocks interpreter exit in the queue finalizer.
+            self.queue.cancel_join_thread()
+            self.queue.close()
+        except Exception:  # pragma: no cover
+            pass
+
+    def kill(self) -> None:
+        """Hard-stop a hung (or already dead) worker; no stop handshake.
+
+        A hung worker will never read a STOP message — its queue is
+        behind the job it is stuck on — so the handshake would just
+        stall the supervisor for the grace period.
+        """
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        self._release_queue()
+
     def stop(self, grace: float = 2.0) -> None:
         if self.process.is_alive():
             try:
@@ -381,15 +526,7 @@ class _ProcessWorker:
         if self.process.is_alive():  # pragma: no cover - stuck worker
             self.process.terminate()
             self.process.join(1.0)
-        try:
-            # The worker is gone either way; anything still buffered in
-            # the queue has no reader.  Without cancel_join_thread a
-            # feeder thread wedged mid-send (worker killed with a full
-            # pipe) deadlocks interpreter exit in the queue finalizer.
-            self.queue.cancel_join_thread()
-            self.queue.close()
-        except Exception:  # pragma: no cover
-            pass
+        self._release_queue()
 
 
 class _InlineWorker:
@@ -431,6 +568,93 @@ class _InlineWorker:
 
     def stop(self, grace: float = 0.0) -> None:
         self.alive = False
+
+
+class WorkerSupervisor:
+    """Respawn policy for dead worker slots: backoff, jitter, restart caps.
+
+    Pure bookkeeping — the coordinator owns the actual process spawning
+    and image re-shipping; the supervisor decides *whether* a slot may
+    come back and *when*.  The backoff schedule is deterministic: the
+    jitter for (slot, attempt) derives from the stream's strategy seed,
+    so two runs of the same chaos plan respawn at the same offsets and
+    the schedule is unit-testable as a pure function.
+
+    Jitter matters even single-host: N workers killed by one cause (an
+    OOM sweep, a chaos plan) would otherwise respawn in lockstep and
+    re-fork N processes in the same instant — the thundering herd the
+    backoff exists to avoid.
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if backoff <= 0 or backoff_cap < backoff:
+            raise ValueError(
+                f"need 0 < backoff <= backoff_cap, got {backoff}/{backoff_cap}"
+            )
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.seed = seed
+        #: Restart attempts consumed per slot (successful or failed).
+        self._attempts: Dict[int, int] = {}
+        #: Slots awaiting respawn, by due time.
+        self._due: Dict[int, float] = {}
+        #: Slots that burned through their restart budget; stay dead.
+        self.exhausted: Set[int] = set()
+
+    def backoff_delay(self, slot: int, attempt: int) -> float:
+        """Delay before restart ``attempt`` of ``slot`` (deterministic).
+
+        Exponential base capped at ``backoff_cap``, then jittered into
+        ``[0.5x, 1.5x]`` so the expected delay equals the base.
+        """
+        base = min(self.backoff_cap, self.backoff * (2.0 ** attempt))
+        rng = derive_rng(self.seed, "supervisor", slot, attempt)
+        return base * (0.5 + rng.random())
+
+    def note_death(self, slot: int, now: float) -> bool:
+        """A worker at ``slot`` died; schedule its respawn if budget allows.
+
+        Returns True when a respawn is (or already was) scheduled;
+        idempotent for a slot already pending.
+        """
+        if slot in self._due:
+            return True
+        attempt = self._attempts.get(slot, 0)
+        if attempt >= self.max_restarts:
+            self.exhausted.add(slot)
+            return False
+        self._due[slot] = now + self.backoff_delay(slot, attempt)
+        return True
+
+    def due_slots(self, now: float) -> List[int]:
+        return sorted(slot for slot, due in self._due.items() if due <= now)
+
+    def respawned(self, slot: int) -> None:
+        self._due.pop(slot, None)
+        self._attempts[slot] = self._attempts.get(slot, 0) + 1
+
+    def respawn_failed(self, slot: int, now: float) -> bool:
+        """The spawn itself failed; burn the attempt and rebook or give up."""
+        self._due.pop(slot, None)
+        self._attempts[slot] = self._attempts.get(slot, 0) + 1
+        return self.note_death(slot, now)
+
+    @property
+    def pending(self) -> bool:
+        """Is any slot scheduled to come back?"""
+        return bool(self._due)
+
+    def next_due(self) -> Optional[float]:
+        return min(self._due.values()) if self._due else None
 
 
 class StreamingExplorer:
@@ -479,6 +703,14 @@ class StreamingExplorer:
         cache_shards: int = 0,
         coverage_guided: bool = True,
         as_rotation: str = "yield",
+        supervise: bool = True,
+        heartbeat_interval: float = 0.05,
+        job_deadline: Optional[float] = 300.0,
+        retry_budget: int = 2,
+        max_restarts: int = 3,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        chaos: Optional[ChaosPlan] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -487,6 +719,14 @@ class StreamingExplorer:
         if as_rotation not in ("yield", "round-robin"):
             raise ValueError(
                 f"as_rotation must be 'yield' or 'round-robin', got {as_rotation!r}"
+            )
+        if job_deadline is not None and job_deadline <= 0:
+            raise ValueError(f"job_deadline must be > 0 or None, got {job_deadline}")
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
             )
         self.workers = workers
         self.policy = policy
@@ -523,6 +763,49 @@ class StreamingExplorer:
         self._fed_scheduler = (
             FederationScheduler() if as_rotation == "yield" else None
         )
+        #: Supervision: respawn dead workers and sweep for hangs.  Off,
+        #: the pool behaves exactly as before this layer existed (dies
+        #: shrink it permanently; hangs wedge drain) — kept for the
+        #: overhead benchmark and as an escape hatch.
+        self.supervise = supervise
+        #: Minimum seconds between supervision sweeps (beacon reads).
+        self.heartbeat_interval = heartbeat_interval
+        #: Seconds a single job may run (or its result may be missing)
+        #: before its worker is presumed hung and killed; None disables
+        #: hang detection.  Must comfortably exceed the slowest honest
+        #: session under the configured budget.
+        self.job_deadline = job_deadline
+        #: Hang-kill retries per job before quarantine.
+        self.retry_budget = retry_budget
+        self.chaos = chaos
+        if chaos is not None:
+            # A plan may carry knob overrides (hang plans ship a short
+            # deadline so detection takes ~1s in tests, not 5 minutes).
+            if chaos.job_deadline is not None:
+                self.job_deadline = chaos.job_deadline
+            if chaos.retry_budget is not None:
+                self.retry_budget = chaos.retry_budget
+        self._supervisor = WorkerSupervisor(
+            max_restarts=max_restarts,
+            backoff=restart_backoff,
+            backoff_cap=restart_backoff_cap,
+            seed=strategy_seed,
+        )
+        #: Dispatch seq -> JobKey, the beacon protocol's reverse map.
+        self._seq_keys: Dict[int, JobKey] = {}
+        self._next_seq = 0
+        #: JobKey -> monotonic dispatch time of the *latest* attempt.
+        self._dispatched_at: Dict[JobKey, float] = {}
+        #: JobKey -> hang-kills survived so far (the retry budget's meter).
+        self._hang_retries: Dict[JobKey, int] = {}
+        #: Jobs awaiting re-dispatch after a hang kill; still in
+        #: ``_inflight`` (their images stay retained, ``idle`` stays
+        #: False), so this queue is not bounded by ``max_inflight``.
+        self._retry_queue: Deque[StreamJob] = deque()
+        self._last_sweep = 0.0
+        #: First-dispatch counter driving the chaos clock (retries and
+        #: salvage re-runs do not advance it).
+        self._chaos_clock = 0
 
         self.report = StreamReport(workers=workers)
         self._pending: Dict[Tuple[str, str], Deque[Tuple[int, UpdateMessage]]] = {}
@@ -588,7 +871,12 @@ class StreamingExplorer:
                 self._result_queue = multiprocessing.Queue()
                 for slot in range(self.workers):
                     self._workers.append(
-                        _ProcessWorker(slot, self._result_queue, self._cache)
+                        _ProcessWorker(
+                            slot,
+                            self._result_queue,
+                            self._cache,
+                            heartbeat=self.supervise,
+                        )
                     )
                 self.report.used_processes = True
             except (OSError, PermissionError, ValueError) as exc:
@@ -600,6 +888,14 @@ class StreamingExplorer:
         if not self._workers:
             self._workers = [_InlineWorker(self._cache, prune=True)]
             self.report.used_processes = False
+        if self.chaos is not None and self._result_queue is None:
+            # An inline pool would execute injected hangs for real (the
+            # sleep runs on the coordinator thread); chaos only makes
+            # sense against process workers.
+            self.report.chaos_events.append(
+                f"chaos plan {self.chaos.name!r} disabled: no process workers"
+            )
+            self.chaos = None
         for worker in self._workers:
             for node in sorted(self._current):
                 self._ship(worker, self._current[node])
@@ -620,9 +916,8 @@ class StreamingExplorer:
         if multiprocess:
             shards = self.cache_shards or min(4, self.workers)
             try:
-                stack_cm = sharded_cache(shards)
-                self._cache = stack_cm.__enter__()
-                self._cache_managers.append(stack_cm)
+                self._cache, self._cache_managers = start_sharded_cache(shards)
+                self.report.cache_shards = shards
                 return
             except (OSError, PermissionError):
                 # No manager processes available: per-process L1-only is
@@ -786,9 +1081,33 @@ class StreamingExplorer:
         # per worker; job placement does not affect results.
         return alive[self.report.jobs_dispatched % len(alive)]
 
+    def _alive_process_workers(self) -> List["_ProcessWorker"]:
+        return [
+            worker
+            for worker in self._workers
+            if isinstance(worker, _ProcessWorker) and worker.alive
+        ]
+
+    def _assign_seq(self, job: StreamJob) -> None:
+        """Give this dispatch attempt a fresh beacon sequence number."""
+        self._seq_keys.pop(job.seq, None)
+        self._next_seq += 1
+        job.seq = self._next_seq
+        self._seq_keys[job.seq] = job.key
+        self._dispatched_at[job.key] = time.monotonic()
+
     def _dispatch(self) -> int:
-        dispatched = 0
+        dispatched = self._dispatch_retries()
         while len(self._inflight) < self.max_inflight:
+            if (
+                self._result_queue is not None
+                and not self._alive_process_workers()
+                and self._supervisor.pending
+            ):
+                # The whole pool is momentarily dead but respawns are
+                # booked: hold fresh seeds in the pending queues (where
+                # they still coalesce) rather than burning them inline.
+                break
             seed = self._next_seed()
             if seed is None:
                 break
@@ -828,6 +1147,12 @@ class StreamingExplorer:
                         f"picklable: {type(exc).__name__}: {exc}"
                     )
                     continue
+            # The chaos clock ticks on *first* dispatches only; retries
+            # and salvage re-runs never advance it, so a plan's later
+            # events land on the same seeds whatever recovery happened.
+            self._chaos_clock += 1
+            self._apply_chaos_attach(job)
+            self._assign_seq(job)
             worker.send((_MSG_JOB, job))
             if self._scheduler is not None:
                 self._scheduler.mark_scheduled(seed_signature(update))
@@ -835,7 +1160,296 @@ class StreamingExplorer:
             self._assignment[job.key] = worker.slot
             self.report.jobs_dispatched += 1
             dispatched += 1
+            self._fire_chaos_dispatch_events()
         return dispatched
+
+    def _dispatch_retries(self) -> int:
+        """Re-dispatch jobs recovered from hang-killed workers.
+
+        Not bounded by ``max_inflight``: retried jobs are already
+        in-flight (their images stay retained and ``idle`` stays False
+        while they wait).  Retries prefer live process workers, wait out
+        a pending respawn, and only fall back inline for jobs that were
+        never themselves hang suspects — an inline hang would wedge the
+        coordinator, which is the exact failure this layer removes.
+        """
+        sent = 0
+        while self._retry_queue:
+            job = self._retry_queue[0]
+            if job.key not in self._inflight:
+                # A late result from the killed worker's queue beat the
+                # retry; the job is done — drop the duplicate attempt.
+                self._retry_queue.popleft()
+                continue
+            alive = self._alive_process_workers()
+            if alive:
+                self._retry_queue.popleft()
+                worker = alive[sent % len(alive)]
+                if job.image_key not in worker.images:
+                    image = self._images.get(job.image_key)
+                    if image is None:  # pragma: no cover - invariant broken
+                        self._quarantine(job, "base image evicted before retry")
+                        continue
+                    self._ship(worker, image)
+                self._assign_seq(job)
+                worker.send((_MSG_JOB, job))
+                self._assignment[job.key] = worker.slot
+                sent += 1
+                continue
+            if self._supervisor.pending:
+                break  # the pool is coming back; hold the retries
+            # Pool permanently gone (restart caps exhausted, or
+            # supervision off): quarantine hang suspects, run the
+            # innocent bystanders inline like any other salvage.
+            self._retry_queue.popleft()
+            if self._hang_retries.get(job.key, 0) > 0:
+                self._quarantine(
+                    job, "no process worker left to retry a hang suspect"
+                )
+                continue
+            fallback = self._ensure_fallback()
+            if job.image_key not in self._fallback_images:
+                image = self._images.get(job.image_key)
+                if image is None:  # pragma: no cover - invariant broken
+                    self._quarantine(job, "base image evicted before retry")
+                    continue
+                fallback.send((_MSG_EPOCH, image))
+                self._fallback_images.add(job.image_key)
+            fallback.send((_MSG_JOB, job))
+            self._assignment[job.key] = fallback.slot
+            sent += 1
+        return sent
+
+    def _quarantine(self, job: StreamJob, reason: str) -> None:
+        """Give up on a poison job; record it and keep the stream alive."""
+        key = job.key
+        self._inflight.pop(key, None)
+        self._assignment.pop(key, None)
+        self._dispatched_at.pop(key, None)
+        self._seq_keys.pop(job.seq, None)
+        retries = self._hang_retries.pop(key, 0)
+        self.report.quarantined.append(
+            QuarantinedJob(
+                node=job.node,
+                index=job.index,
+                peer=job.peer,
+                retries=retries,
+                reason=reason,
+            )
+        )
+        self._prune_images()
+
+    # -- chaos injection -----------------------------------------------------
+
+    def _apply_chaos_attach(self, job: StreamJob) -> None:
+        """Attach any job-riding faults scheduled for this dispatch."""
+        if self.chaos is None:
+            return
+        hang, drop, sticky = 0.0, False, False
+        for event in self.chaos.events_at(self._chaos_clock):
+            if not event.attaches:
+                continue
+            directive = event.directive()
+            hang = max(hang, directive.hang_seconds)
+            drop = drop or directive.drop_result
+            sticky = sticky or directive.sticky
+            self.report.chaos_events.append(event.describe())
+        if hang > 0 or drop:
+            job.chaos = ChaosDirective(
+                hang_seconds=hang, drop_result=drop, sticky=sticky
+            )
+
+    def _fire_chaos_dispatch_events(self) -> None:
+        """Fire coordinator-side faults scheduled right after this dispatch."""
+        if self.chaos is None:
+            return
+        for event in self.chaos.events_at(self._chaos_clock):
+            if event.attaches:
+                continue
+            if event.kind == "kill-worker":
+                for worker in self._workers:
+                    if (
+                        isinstance(worker, _ProcessWorker)
+                        and worker.slot == event.worker
+                        and worker.alive
+                    ):
+                        # SIGTERM with no cleanup: indistinguishable from
+                        # an OOM kill as far as the coordinator can see.
+                        worker.process.terminate()
+                        worker.process.join(1.0)
+                        self.report.chaos_events.append(event.describe())
+                        break
+            elif event.kind == "kill-cache":
+                self._kill_cache_managers()
+                self.report.chaos_events.append(event.describe())
+                self._refresh_cache_health()
+
+    def _kill_cache_managers(self) -> None:
+        """Abruptly kill the shard manager processes (chaos only)."""
+        for manager in self._cache_managers:
+            process = getattr(manager, "_process", None)
+            try:
+                if process is not None:
+                    process.terminate()
+                    process.join(1.0)
+                else:  # pragma: no cover - manager without a process
+                    manager.shutdown()
+            except Exception:  # pragma: no cover
+                pass
+
+    # -- supervision ---------------------------------------------------------
+
+    def _note_death(self, slot: int) -> None:
+        if self.supervise:
+            self._supervisor.note_death(slot, time.monotonic())
+
+    def _supervise(self) -> bool:
+        """One supervision sweep: hang detection, then due respawns.
+
+        Rate-limited to ``heartbeat_interval`` so the per-collect cost
+        is a clock read on the hot path.
+        """
+        if not self.supervise or self._result_queue is None:
+            return False
+        now = time.monotonic()
+        if now - self._last_sweep < self.heartbeat_interval:
+            return False
+        self._last_sweep = now
+        progressed = self._sweep_hangs(now)
+        progressed |= self._respawn_due(now)
+        return progressed
+
+    def _sweep_hangs(self, now: float) -> bool:
+        if self.job_deadline is None:
+            return False
+        deadline = self.job_deadline
+        progressed = False
+        for worker in list(self._workers):
+            if not isinstance(worker, _ProcessWorker):
+                continue
+            if not worker.alive or worker.salvaged or worker.beacon is None:
+                continue
+            stamp, seq = worker.beacon.read()
+            if seq >= 0:
+                # Busy on a known job: hung if it has run past the
+                # deadline by the worker's own stamp.
+                if stamp > 0 and now - stamp > deadline:
+                    key = self._seq_keys.get(seq)
+                    self._handle_hang(
+                        worker,
+                        key,
+                        f"ran past its {deadline:g}s deadline",
+                    )
+                    progressed = True
+            else:
+                # Idle, yet a job dispatched to this worker a full
+                # deadline ago never produced a result: the result was
+                # lost (dropped, or died in the queue).  Require the
+                # worker to have been idle for a deadline too, so a job
+                # merely queued behind a long-running predecessor is
+                # never mistaken for a lost one.
+                idle_long = stamp == 0.0 or now - stamp > deadline
+                if not idle_long:
+                    continue
+                overdue = [
+                    key
+                    for key, slot in self._assignment.items()
+                    if slot == worker.slot
+                    and key in self._inflight
+                    and now - self._dispatched_at.get(key, now) > deadline
+                ]
+                if overdue:
+                    self._handle_hang(
+                        worker,
+                        min(overdue),
+                        f"result missing {deadline:g}s past its deadline",
+                    )
+                    progressed = True
+        return progressed
+
+    def _handle_hang(
+        self, worker: "_ProcessWorker", key: Optional[JobKey], reason: str
+    ) -> None:
+        """Kill a hung worker; meter the hung job, requeue the innocent.
+
+        ``salvaged`` is set *before* the kill so the generic crash
+        salvage never inline-runs a hang suspect — re-running a genuine
+        hang on the coordinator thread would wedge the exact loop this
+        detection protects.
+        """
+        self.report.hangs_detected += 1
+        worker.salvaged = True
+        worker.kill()
+        lost = [
+            k
+            for k, slot in self._assignment.items()
+            if slot == worker.slot and k in self._inflight
+        ]
+        for k in sorted(lost):
+            job = self._inflight[k]
+            self._assignment.pop(k, None)
+            self._dispatched_at.pop(k, None)
+            if k == key:
+                count = self._hang_retries.get(k, 0) + 1
+                self._hang_retries[k] = count
+                if count > self.retry_budget:
+                    self._quarantine(
+                        job,
+                        f"{reason}; retry budget ({self.retry_budget}) exhausted",
+                    )
+                    continue
+                if job.chaos is not None and not job.chaos.sticky:
+                    job.chaos = None  # one-shot fault: the retry runs clean
+            self._retry_queue.append(job)
+            self.report.jobs_retried += 1
+        self._note_death(worker.slot)
+        if not self._alive_process_workers() and not self._supervisor.pending:
+            self.report.used_processes = False
+
+    def _respawn_due(self, now: float) -> bool:
+        """Bring booked slots back: fresh process, current images re-shipped."""
+        progressed = False
+        for slot in self._supervisor.due_slots(now):
+            try:
+                replacement = _ProcessWorker(
+                    slot, self._result_queue, self._cache, heartbeat=True
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                if not self._supervisor.respawn_failed(slot, now):
+                    self.report.errors.append(
+                        f"worker {slot} respawn abandoned: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                continue
+            for position, worker in enumerate(self._workers):
+                if isinstance(worker, _ProcessWorker) and worker.slot == slot:
+                    worker.kill()  # release the dead predecessor's queue
+                    self._workers[position] = replacement
+                    break
+            else:  # pragma: no cover - slot vanished from the pool
+                self._workers.append(replacement)
+            for node in sorted(self._current):
+                self._ship(replacement, self._current[node])
+            self._supervisor.respawned(slot)
+            self.report.workers_restarted += 1
+            self.report.used_processes = True
+            progressed = True
+        return progressed
+
+    def _refresh_cache_health(self) -> None:
+        """Pull shard liveness from the cache into the report."""
+        info_fn = getattr(self._cache, "info", None)
+        if info_fn is None:
+            return
+        try:
+            info = info_fn()
+        except Exception:  # pragma: no cover - cache wholly unreachable
+            return
+        if "shards" not in info:
+            return  # in-process dict cache: nothing shard-shaped to report
+        self.report.cache_shards = int(info.get("shards", 0))
+        self.report.degraded_shards = int(info.get("degraded_shards", 0))
+        self.report.cache_degraded_ops = int(info.get("degraded_ops", 0))
 
     @staticmethod
     def _describe(node: str, peer: str) -> str:
@@ -863,6 +1477,7 @@ class StreamingExplorer:
                 self._handle_result(msg)
                 progressed = True
             progressed |= self._salvage_dead_workers()
+            progressed |= self._supervise()
         if pump_inline:
             for worker in self._inline_workers():
                 for msg in worker.pump():
@@ -880,9 +1495,17 @@ class StreamingExplorer:
         kind, key = msg[0], msg[1]
         if kind == _RES_REPORT:
             if key not in self._inflight:
-                return  # already salvaged elsewhere; first result won
+                # Already salvaged/retried elsewhere; first result won.
+                # Clear any bookkeeping a late duplicate left behind.
+                self._assignment.pop(key, None)
+                self._dispatched_at.pop(key, None)
+                return
+            job = self._inflight[key]
             del self._inflight[key]
             self._assignment.pop(key, None)
+            self._dispatched_at.pop(key, None)
+            self._hang_retries.pop(key, None)
+            self._seq_keys.pop(job.seq, None)
             self.report.add_stream_report(key, msg[2])
             session = msg[2]
             if self._scheduler is not None:
@@ -898,7 +1521,10 @@ class StreamingExplorer:
                 return
             job = self._inflight.pop(key, None)
             self._assignment.pop(key, None)
+            self._dispatched_at.pop(key, None)
+            self._hang_retries.pop(key, None)
             if job is not None:
+                self._seq_keys.pop(job.seq, None)
                 self.report.errors.append(
                     f"job {job.index} ({self._describe(job.node, job.peer)}): "
                     f"{msg[2]}"
@@ -961,10 +1587,16 @@ class StreamingExplorer:
                 self.report.fallback_reason = (
                     f"worker {worker.slot} died; in-flight jobs re-run in-process"
                 )
+            self._note_death(worker.slot)
             salvaged = True
-        if salvaged and not any(
-            w.alive for w in self._workers if isinstance(w, _ProcessWorker)
+        if (
+            salvaged
+            and not self._alive_process_workers()
+            and not self._supervisor.pending
         ):
+            # The pool is gone for good (supervision off, or restart
+            # caps exhausted).  With a respawn booked the flag stays up:
+            # the stream is still a process pool, just momentarily short.
             self.report.used_processes = False
         return salvaged
 
@@ -989,9 +1621,23 @@ class StreamingExplorer:
         if isinstance(payload, CheckpointDelta):
             self.report.checkpoint_bytes_shipped += payload.bytes_shipped
             self.report.checkpoint_segments_shipped += payload.segments_shipped
+            shipped_key = (payload.node, payload.epoch)
         else:
             self.report.checkpoint_bytes_shipped += payload.total_bytes
             self.report.checkpoint_segments_shipped += len(payload.segments)
+            shipped_key = payload.image_key
+        images = getattr(worker, "images", None)
+        if images is not None:
+            # Mirror the worker-side prune: a new epoch supersedes the
+            # node's older images *unless* the ship is itself an older
+            # full image (a retry's base), which prunes nothing.
+            images.add(shipped_key)
+            stale = {
+                key
+                for key in images
+                if key[0] == shipped_key[0] and key[1] < shipped_key[1]
+            }
+            images.difference_update(stale)
 
     def advance_epoch(self, node: str = DEFAULT_NODE) -> Dict[str, object]:
         """Epoch boundary for one node: re-checkpoint, ship only the diff.
@@ -1084,6 +1730,7 @@ class StreamingExplorer:
             if progress is not None and (
                 time.monotonic() - last_progress >= progress_interval
             ):
+                self._refresh_cache_health()
                 progress(self.report)
                 last_progress = time.monotonic()
             if deadline is not None and time.monotonic() > deadline:
@@ -1092,6 +1739,7 @@ class StreamingExplorer:
                     f"in flight and {self.pending_seeds} seeds pending"
                 )
         if progress is not None:
+            self._refresh_cache_health()
             progress(self.report)
         return self.report
 
@@ -1101,15 +1749,12 @@ class StreamingExplorer:
             return self.report
         if self._started and drain:
             self.drain(timeout=timeout)
+        self._refresh_cache_health()
         for worker in self._workers:
             worker.stop()
         if self._fallback is not None:
             self._fallback.stop()
-        for manager_cm in self._cache_managers:
-            try:
-                manager_cm.__exit__(None, None, None)
-            except Exception:
-                pass
+        shutdown_cache_managers(self._cache_managers)
         self._cache_managers = []
         self.report.wall_seconds = time.perf_counter() - self._started_at
         self._closed = True

@@ -28,6 +28,8 @@ hold in every worker, not just the process that built the expression.
 from __future__ import annotations
 
 import copy
+import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -43,6 +45,51 @@ from repro.core.isolation import restore_isolated
 from repro.core.report import SessionReport
 from repro.util.ip import Prefix
 from repro.util.rng import derive_seed
+
+
+class ProgressBeacon:
+    """A worker's shared-memory heartbeat: *which* job, stamped *when*.
+
+    Two doubles in a lock-protected :func:`multiprocessing.Array`:
+    ``(monotonic_stamp, job_seq)``.  The worker stamps the dispatch
+    sequence number just before running a job and clears back to idle
+    after; the coordinator's supervision sweep reads both and concludes
+    "busy on seq *s* since *t*" — the whole hang-detection protocol.
+
+    ``time.monotonic`` is ``CLOCK_MONOTONIC``, which is system-wide on
+    the platforms that can fork workers at all, so stamps written in the
+    worker compare directly against the coordinator's clock.  The write
+    is two array slots under one lock: cheap enough to pay per job, and
+    crash-safe — a worker dying mid-job leaves its last honest stamp in
+    place for the supervisor to read.
+    """
+
+    #: ``seq`` value meaning "no job running".
+    IDLE = -1.0
+
+    def __init__(self) -> None:
+        self._cells = multiprocessing.Array("d", [0.0, self.IDLE])
+
+    def stamp(self, seq: int) -> None:
+        """Mark this worker busy on dispatch sequence ``seq``, now."""
+        with self._cells.get_lock():
+            self._cells[0] = time.monotonic()
+            self._cells[1] = float(seq)
+
+    def clear(self) -> None:
+        """Mark this worker idle (job finished and result queued)."""
+        with self._cells.get_lock():
+            self._cells[0] = time.monotonic()
+            self._cells[1] = self.IDLE
+
+    def read(self) -> Tuple[float, int]:
+        """``(stamp, seq)``; ``seq`` is -1 when idle."""
+        with self._cells.get_lock():
+            return self._cells[0], int(self._cells[1])
+
+    @property
+    def busy(self) -> bool:
+        return self.read()[1] >= 0
 
 
 @dataclass

@@ -50,9 +50,9 @@ class TestSharedFederationPool:
         spawned = []
         original = stream_module._ProcessWorker.__init__
 
-        def counting_init(self, slot, result_queue, cache):
+        def counting_init(self, slot, result_queue, cache, **kwargs):
             spawned.append(self)
-            original(self, slot, result_queue, cache)
+            original(self, slot, result_queue, cache, **kwargs)
 
         monkeypatch.setattr(
             stream_module._ProcessWorker, "__init__", counting_init

@@ -120,9 +120,10 @@ class TestSchedulerFailureContainment:
         dice = _FlakyDice(failing_calls=(1,))
         scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
         scheduler.start()
-        host.run_until(35.0)
+        host.run_until(45.0)
         scheduler.stop()
-        # Round 1 raised; rounds 2 and 3 still fired on schedule.
+        # Round 1 raised at t=10; backoff pushes round 2 to t=30, which
+        # succeeds and restores the 10s cadence (round 3 at t=40).
         assert dice.calls == 3
         assert scheduler.stats.rounds_failed == 1
         assert scheduler.stats.rounds_fired == 2
@@ -133,7 +134,9 @@ class TestSchedulerFailureContainment:
         dice = _FlakyDice(failing_calls=(1, 2, 3))
         scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
         scheduler.start()
-        host.run_until(35.0)
+        # Failures at t=10, 30 (10+20), 70 (30+40): each one doubles the
+        # re-arm delay, so reaching three failures takes until t=70.
+        host.run_until(75.0)
         scheduler.stop()
         assert scheduler.stats.rounds_failed == 3
         assert scheduler.stats.rounds_fired == 0
@@ -159,7 +162,7 @@ class TestSchedulerFailureContainment:
         dice = _FlakyDice(failing_calls=(1,), error=CheckpointError("no fork"))
         scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
         scheduler.start()
-        host.run_until(25.0)
+        host.run_until(35.0)
         scheduler.stop()
         assert scheduler.stats.rounds_failed == 1
         assert scheduler.stats.rounds_fired == 1
@@ -175,11 +178,69 @@ class TestSchedulerFailureContainment:
         )
         scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
         scheduler.start()
-        host.run_until(25.0)
+        host.run_until(35.0)
         scheduler.stop()
         assert scheduler.stats.rounds_failed == 1
         assert scheduler.stats.rounds_fired == 1
         assert "PicklingError" in scheduler.stats.last_error
+
+
+class TestSchedulerFailureBackoff:
+    def test_backoff_doubles_per_consecutive_failure(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(1, 2, 3, 4))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        host.run_until(15.0)          # failure 1 at t=10
+        assert scheduler.stats.backoff_seconds == pytest.approx(20.0)
+        assert dice.calls == 1
+        host.run_until(35.0)          # failure 2 at t=30
+        assert scheduler.stats.backoff_seconds == pytest.approx(40.0)
+        assert dice.calls == 2
+        host.run_until(75.0)          # failure 3 at t=70
+        assert scheduler.stats.backoff_seconds == pytest.approx(80.0)
+        assert dice.calls == 3
+        scheduler.stop()
+
+    def test_backoff_capped(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=tuple(range(1, 20)))
+        scheduler = OnlineScheduler(
+            host,
+            dice,
+            ScheduleConfig(interval=10.0, failure_backoff_cap=25.0),
+        )
+        scheduler.start()
+        # Delays: 20 (min(25, 20)), then 25 forever after.
+        host.run_until(150.0)
+        scheduler.stop()
+        assert scheduler.stats.backoff_seconds == pytest.approx(25.0)
+        # t=10, 30, 55, 80, 105, 130 -> six failures by t=150.
+        assert scheduler.stats.rounds_failed == 6
+
+    def test_default_cap_is_sixteen_intervals(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=tuple(range(1, 20)))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        # 20, 40, 80, 160, then pinned at 160 (= interval * 16).
+        host.run_until(500.0)
+        scheduler.stop()
+        assert scheduler.stats.backoff_seconds == pytest.approx(160.0)
+
+    def test_success_resets_backoff(self):
+        host = NodeHost()
+        dice = _FlakyDice(failing_calls=(1, 2))
+        scheduler = OnlineScheduler(host, dice, ScheduleConfig(interval=10.0))
+        scheduler.start()
+        # Failures at t=10, 30; success at t=70 clears the streak and
+        # restores the plain interval (next round fires at t=80).
+        host.run_until(75.0)
+        assert scheduler.stats.rounds_fired == 1
+        assert scheduler.stats.backoff_seconds == 0.0
+        host.run_until(85.0)
+        scheduler.stop()
+        assert scheduler.stats.rounds_fired == 2
 
 
 class TestThroughputProbe:

@@ -280,12 +280,17 @@ class TestFailureSurfacing:
 class TestWorkerSalvage:
     def test_dead_worker_jobs_rerun_inline(self, erroneous_scenario):
         """Per-job determinism makes the salvage exact: killing a worker
-        mid-stream loses no seeds and changes no findings."""
+        mid-stream loses no seeds and changes no findings.
+
+        ``supervise=False`` pins the pre-supervisor contract — the pool
+        shrinks permanently and the inline fallback finishes the stream;
+        the supervised flavor (pool restored, ``used_processes`` stays
+        True) lives in ``tests/parallel/test_chaos.py``."""
         seeds = erroneous_scenario.dice.batch_seeds(all_seeds=True)[:4]
         baseline = run_stream(erroneous_scenario.provider, seeds, 1, True)
 
         stream = StreamingExplorer(
-            workers=1, budget=BUDGET, queue_capacity=len(seeds)
+            workers=1, budget=BUDGET, queue_capacity=len(seeds), supervise=False
         )
         stream.start(erroneous_scenario.provider)
         if not stream.report.used_processes:
