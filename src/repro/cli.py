@@ -429,9 +429,11 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         max_seeds = 1
         budget = ExplorationBudget(max_executions=4)
     else:
+        # Scale-tier scenarios (hierarchical-200/1000) are benchmark
+        # material, not matrix cells — name them explicitly to run one.
         topologies = _csv(args.topologies) or [
             scenario.name for scenario in list_scenarios()
-            if scenario.name != "fig2"
+            if scenario.name != "fig2" and scenario.kind != "scale"
         ]
         workloads = _csv(args.workloads) or [
             workload.name for workload in list_workloads()

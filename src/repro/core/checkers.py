@@ -703,31 +703,29 @@ class OriginAgreementChecker(WaveChecker):
         self.salt = salt
 
     def check(self, ctx: WaveContext) -> List[Finding]:
-        from repro.core.privacy import OriginDigest, digest_conflicts
+        from repro.core.privacy import OriginDigest, conflict_pairs
 
         findings: List[Finding] = []
         digests = {
             node_id: OriginDigest.from_router(clone, self.salt)
             for node_id, clone in ctx.clones.items()
         }
-        node_ids = sorted(digests)
-        for i, a in enumerate(node_ids):
-            for b in node_ids[i + 1:]:
-                for conflict in digest_conflicts(digests[a], digests[b]):
-                    findings.append(
-                        Finding(
-                            kind=FindingKind.ORIGIN_CONFLICT,
-                            severity=Severity.CRITICAL,
-                            summary=(
-                                f"domains {a!r} and {b!r} disagree on the "
-                                f"origin of a prefix "
-                                f"(digest {conflict.hex()[:12]}...)"
-                            ),
-                            peer=b,
-                            node=a,
-                            checker=self.name,
-                        )
+        for (a, b), conflicts in conflict_pairs(digests).items():
+            for conflict in conflicts:
+                findings.append(
+                    Finding(
+                        kind=FindingKind.ORIGIN_CONFLICT,
+                        severity=Severity.CRITICAL,
+                        summary=(
+                            f"domains {a!r} and {b!r} disagree on the "
+                            f"origin of a prefix "
+                            f"(digest {conflict.hex()[:12]}...)"
+                        ),
+                        peer=b,
+                        node=a,
+                        checker=self.name,
                     )
+                )
         return findings
 
 

@@ -56,7 +56,7 @@ from repro.checkpoint.snapshot import Checkpoint
 from repro.concolic.engine import ExplorationBudget
 from repro.concolic.env import ExplorationEnvironment
 from repro.core.checkers import WaveContext, get_wave_checker
-from repro.core.privacy import OriginDigest, digest_conflicts
+from repro.core.privacy import OriginDigest, conflict_pairs
 from repro.core.report import Finding, SessionReport
 from repro.net.sim import Simulator
 from repro.util.errors import ExplorationError, IsolationViolation, WorkloadError
@@ -172,12 +172,27 @@ class IsolatedFabric:
         max_rounds: int = 16,
         graph: Optional["AsGraph"] = None,
         default_latency: float = 0.001,
-        max_events: int = 100_000,
+        max_events: int = 1_000_000,
+        vectorized: bool = True,
     ):
         self.max_rounds = max_rounds
         self.max_events = max_events
         self.graph = graph
         self.default_latency = default_latency
+        #: ``vectorized=False`` restores the original one-closure-per-
+        #: delivery scheduling.  It exists only as the baseline side of
+        #: ``bench_federation.py``'s throughput comparison (like
+        #: ``shared_pool=False`` on the explorer) and should not be used
+        #: otherwise — both paths deliver identical waves.
+        self.vectorized = vectorized
+        #: Per-edge latencies, both directions, resolved once at build
+        #: time: the hot path must not pay a frozenset + two dict hops
+        #: per delivered message.
+        self._latency_table: Dict[Tuple[str, str], float] = {}
+        if graph is not None:
+            for edge in graph.edges:
+                self._latency_table[(edge.a, edge.b)] = edge.latency
+                self._latency_table[(edge.b, edge.a)] = edge.latency
         self.checkpoints: Dict[str, Checkpoint] = {}
         self.clones: Dict[str, BgpRouter] = {}
         self.envs: Dict[str, ExplorationEnvironment] = {}
@@ -203,11 +218,29 @@ class IsolatedFabric:
                 )
             self.clones[node_id] = clone
             self.envs[node_id] = env
+        self._checkpoint_times = {
+            node_id: checkpoint.node_time
+            for node_id, checkpoint in self.checkpoints.items()
+        }
+        #: The wave simulator currently driving deliveries (set per
+        #: :meth:`propagate` call; batched delivery records re-enter
+        #: :meth:`_schedule_outbound` through it).
+        self._wave_sim: Optional[Simulator] = None
+        #: Per-clone mutation versions backing :meth:`digest_tables`:
+        #: bumped by every path that can change a clone's RIBs (inject,
+        #: delivery, session reset, and :meth:`clone_of` — the public
+        #: handle workload actions mutate through), so cached digests
+        #: are reused exactly for clones the wave did not touch.
+        self._clone_versions: Dict[str, int] = {
+            node_id: 0 for node_id in routers
+        }
+        self._digest_cache: Dict[bytes, Dict[str, Tuple[int, OriginDigest]]] = {}
 
     def inject(self, node_id: str, peer_id: str, update: UpdateMessage) -> None:
         """Run an exploratory UPDATE at one clone's handler."""
         if node_id not in self.clones:
             raise ExplorationError(f"no clone for node {node_id!r}")
+        self._clone_versions[node_id] += 1
         self.clones[node_id].handle_update(peer_id, update)
 
     # -- fault-injection surface (used by InjectionEvent actions) ---------
@@ -245,17 +278,90 @@ class IsolatedFabric:
             raise WorkloadError(
                 f"reset_session: {node_id!r} has no session with {peer_id!r}"
             )
+        self._clone_versions[node_id] += 1
         clone.handle_notification(peer_id, NotificationMessage(code, subcode))
 
     def _latency(self, a: str, b: str) -> float:
-        if self.graph is not None:
-            return self.graph.latency(a, b, self.default_latency)
-        return self.default_latency
+        return self._latency_table.get((a, b), self.default_latency)
 
     def _schedule_outbound(self, sim: Simulator, source_id: str, hop: int) -> None:
-        """Capture ``source_id``'s fresh output as latency-delayed events."""
-        for captured in self.envs[source_id].drain_captured():
-            target_id = captured.destination
+        """Capture ``source_id``'s fresh output as latency-delayed events.
+
+        The vectorized path turns each captured message into one flat
+        delivery record ``(src, dst, payload, hop)`` and bulk-enqueues
+        the batch through :meth:`Simulator.schedule_batch` — one shared
+        bound-method handler, no per-message closure, no
+        :class:`~repro.net.sim.EventHandle` (wave deliveries are never
+        cancelled).  At 1000-AS wave volumes the per-message closure +
+        handle allocation of the original path dominated the queue cost.
+        """
+        captured = self.envs[source_id].drain_captured()
+        if not captured:
+            return
+        if not self.vectorized:
+            self._schedule_outbound_legacy(sim, source_id, hop, captured)
+            return
+        stats = self._wave_stats
+        clones = self.clones
+        failed = self.failed_links
+        latency = self._latency_table
+        default_latency = self.default_latency
+        batch = []
+        if hop > self.max_rounds:
+            # Hop budget exhausted: the wave is being cut short, and
+            # that must be visible — a non-converged wave means the
+            # post-propagation digest comparison ran on a federation
+            # still in motion.
+            for message in captured:
+                target_id = message.destination
+                if target_id not in clones:
+                    stats.dropped_no_target += 1
+                elif failed and frozenset((source_id, target_id)) in failed:
+                    stats.dropped_link_down += 1
+                else:
+                    stats.suppressed_hop_budget += 1
+                    stats.converged = False
+            return
+        for message in captured:
+            target_id = message.destination
+            if target_id not in clones:
+                stats.dropped_no_target += 1
+                continue
+            if failed and frozenset((source_id, target_id)) in failed:
+                stats.dropped_link_down += 1
+                continue
+            batch.append((
+                latency.get((source_id, target_id), default_latency),
+                (source_id, target_id, message.payload, hop),
+            ))
+        if batch:
+            sim.schedule_batch(batch, self._deliver_record)
+
+    def _deliver_record(self, record: Tuple[str, str, bytes, int]) -> None:
+        """Deliver one batched wave record and schedule the response."""
+        src, dst, data, hop = record
+        sim = self._wave_sim
+        # Advance the receiving clone's virtual clock to the arrival
+        # instant so learned_at timestamps (and any time-observing
+        # handler code) see wave time flowing.
+        env = self.envs[dst]
+        lag = (self._checkpoint_times[dst] + sim.now) - env.now()
+        if lag > 0:
+            env.advance(lag)
+        self._clone_versions[dst] += 1
+        self.clones[dst].on_message(src, data)
+        stats = self._wave_stats
+        stats.delivered += 1
+        if hop > stats.rounds:
+            stats.rounds = hop
+        self._schedule_outbound(sim, dst, hop + 1)
+
+    def _schedule_outbound_legacy(
+        self, sim: Simulator, source_id: str, hop: int, captured
+    ) -> None:
+        """The original per-message-closure scheduling (benchmark baseline)."""
+        for message in captured:
+            target_id = message.destination
             if target_id not in self.clones:
                 self._wave_stats.dropped_no_target += 1
                 continue
@@ -263,26 +369,20 @@ class IsolatedFabric:
                 self._wave_stats.dropped_link_down += 1
                 continue
             if hop > self.max_rounds:
-                # Hop budget exhausted: the wave is being cut short, and
-                # that must be visible — a non-converged wave means the
-                # post-propagation digest comparison ran on a federation
-                # still in motion.
                 self._wave_stats.suppressed_hop_budget += 1
                 self._wave_stats.converged = False
                 continue
-            payload = captured.payload
+            payload = message.payload
 
             def deliver(
                 src: str = source_id, dst: str = target_id,
                 data: bytes = payload, this_hop: int = hop,
             ) -> None:
-                # Advance the receiving clone's virtual clock to the
-                # arrival instant so learned_at timestamps (and any
-                # time-observing handler code) see wave time flowing.
                 env = self.envs[dst]
                 lag = (self.checkpoints[dst].node_time + sim.now) - env.now()
                 if lag > 0:
                     env.advance(lag)
+                self._clone_versions[dst] += 1
                 self.clones[dst].on_message(src, data)
                 self._wave_stats.delivered += 1
                 self._wave_stats.rounds = max(self._wave_stats.rounds, this_hop)
@@ -308,6 +408,7 @@ class IsolatedFabric:
         wave = FabricStats()
         self._wave_stats = wave
         sim = Simulator()
+        self._wave_sim = sim
         for source_id in self.envs:
             self._schedule_outbound(sim, source_id, hop=1)
         for event in events:
@@ -329,7 +430,35 @@ class IsolatedFabric:
         return wave
 
     def clone_of(self, node_id: str) -> BgpRouter:
+        # Handing out the clone is the sanctioned mutation surface
+        # (workload actions run ``action(clone_of(node))``), so assume
+        # the caller changes it and invalidate its cached digests.
+        self._clone_versions[node_id] += 1
         return self.clones[node_id]
+
+    def digest_tables(self, salt: bytes) -> Dict[str, OriginDigest]:
+        """Every clone's published origin digest, cached per salt.
+
+        A wave's pre- and post-propagation comparisons hash the same
+        few hundred RIB entries per *untouched* clone twice; at 200+
+        domains that re-hashing dominates the whole wave.  Digests are
+        recomputed only for clones whose mutation version moved since
+        the last call with this salt — every mutation path (inject,
+        delivery, session reset, :meth:`clone_of`) bumps the version,
+        so a cached digest is exactly the one ``OriginDigest.
+        from_router`` would rebuild.
+        """
+        cache = self._digest_cache.setdefault(salt, {})
+        versions = self._clone_versions
+        tables: Dict[str, OriginDigest] = {}
+        for node_id, clone in self.clones.items():
+            version = versions[node_id]
+            cached = cache.get(node_id)
+            if cached is None or cached[0] != version:
+                cached = (version, OriginDigest.from_router(clone, salt))
+                cache[node_id] = cached
+            tables[node_id] = cached[1]
+        return tables
 
 
 @dataclass
@@ -808,25 +937,32 @@ class FederatedExploration:
     def _compare_digests(
         self, fabric: IsolatedFabric, stage: str
     ) -> List[GlobalFinding]:
-        digests = {
-            node_id: OriginDigest.from_router(clone, self.salt)
-            for node_id, clone in fabric.clones.items()
-        }
+        """Cross-domain origin check over an inverted digest index.
+
+        One ``prefix digest -> origin digest -> carriers`` index replaces
+        the old all-pairs :func:`digest_conflicts` walk, so the check
+        costs O(nodes · table + conflicts) instead of O(nodes² · table) —
+        the difference between a 1000-AS federation check finishing in
+        milliseconds and dominating the whole wave.  The reported
+        findings are exactly the old pairwise set, pair-major sorted.
+        Digest tables come from :meth:`IsolatedFabric.digest_tables`,
+        so the post-propagation pass re-hashes only the clones the wave
+        actually touched.
+        """
+        digests = fabric.digest_tables(self.salt)
         findings: List[GlobalFinding] = []
-        node_ids = sorted(digests)
-        for i, a in enumerate(node_ids):
-            for b in node_ids[i + 1:]:
-                for conflict in digest_conflicts(digests[a], digests[b]):
-                    findings.append(
-                        GlobalFinding(
-                            prefix_digest=conflict,
-                            nodes=(a, b),
-                            summary=(
-                                f"domains {a!r} and {b!r} disagree on the origin "
-                                f"of a prefix (digest {conflict.hex()[:12]}..., "
-                                f"{stage})"
-                            ),
-                            stage=stage,
-                        )
+        for (a, b), conflicts in conflict_pairs(digests).items():
+            for conflict in conflicts:
+                findings.append(
+                    GlobalFinding(
+                        prefix_digest=conflict,
+                        nodes=(a, b),
+                        summary=(
+                            f"domains {a!r} and {b!r} disagree on the origin "
+                            f"of a prefix (digest {conflict.hex()[:12]}..., "
+                            f"{stage})"
+                        ),
+                        stage=stage,
                     )
+                )
         return findings

@@ -45,7 +45,7 @@ from repro.topology.graph import (
     build_routers,
     render_config,
 )
-from repro.topology import generators
+from repro.topology import caida, generators
 from repro.trace.mrt import Trace
 from repro.trace.replay import TraceReplayer
 from repro.trace.routeviews import (
@@ -412,7 +412,10 @@ def _build_fig2(config: ScenarioConfig) -> Fig2Scenario:
 
 
 def synthesize_hijack_corpus(
-    graph: AsGraph, seed: int = DEFAULT_SCENARIO_SEED, per_as: int = 1
+    graph: AsGraph,
+    seed: int = DEFAULT_SCENARIO_SEED,
+    per_as: int = 1,
+    targets: Optional[List[str]] = None,
 ) -> List[FederatedSeed]:
     """A deterministic route-leak corpus over a generated federation.
 
@@ -424,11 +427,13 @@ def synthesize_hijack_corpus(
     the wave observable end to end — the target's clone overrides its
     origin while other clones still hold the truth, so the salted origin
     digests disagree until (and unless) propagation reconciles them.
-    Pure function of (graph, seed).
+    Pure function of (graph, seed).  ``targets`` restricts which ASes
+    receive an exploratory announcement (default: all of them) — the
+    knob scale scenarios use to keep a 1000-AS corpus bounded.
     """
     rng = derive_rng(seed, "hijack-corpus", graph.name)
     corpus: List[FederatedSeed] = []
-    for name in graph.nodes:
+    for name in (targets if targets is not None else graph.nodes):
         neighbors = graph.neighbors(name)
         if not neighbors:
             continue
@@ -569,11 +574,32 @@ def list_scenarios() -> List[Scenario]:
     return [SCENARIOS[name] for name in sorted(SCENARIOS)]
 
 
+def _sampled_corpus(limit: int):
+    """A corpus factory targeting an evenly spread subset of the ASes.
+
+    The default corpus injects one exploratory announcement per AS —
+    the right density for small federations, but a 1000-seed corpus at
+    1000 ASes.  Scale scenarios cap it at ``limit`` targets, spread
+    across the hierarchy so core, transit, and stub injection points
+    all stay represented.
+    """
+
+    def factory(built: BuiltScenario) -> List[FederatedSeed]:
+        names = list(built.graph.nodes)
+        step = max(1, -(-len(names) // limit))
+        return synthesize_hijack_corpus(
+            built.graph, built.build_seed, targets=names[::step]
+        )
+
+    return factory
+
+
 def _graph_scenario(
     name: str,
     description: str,
     graph_factory: Callable[[int], AsGraph],
     corpus_factory: Optional[Callable[[BuiltScenario], List[FederatedSeed]]] = None,
+    kind: str = "topology",
 ) -> Scenario:
     def builder(seed: int = DEFAULT_SCENARIO_SEED, **overrides) -> BuiltScenario:
         started = time.perf_counter()
@@ -590,7 +616,7 @@ def _graph_scenario(
         )
 
     return register_scenario(
-        Scenario(name, description, builder, graph_factory=graph_factory)
+        Scenario(name, description, builder, graph_factory=graph_factory, kind=kind)
     )
 
 
@@ -656,6 +682,46 @@ _graph_scenario(
     lambda seed, filter_mode="missing": generators.tiered(
         2, 3, 3, seed=seed, filter_mode=filter_mode
     ),
+)
+
+_graph_scenario(
+    "caida-sample",
+    "a measured-format CAIDA AS-relationship excerpt (11 ASes): tier-1 "
+    "peering clique, multihomed regionals, stubs — parsed, not hand-built",
+    lambda seed, filter_mode="missing": caida.sample_graph(
+        seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "hierarchical-50",
+    "degree-distribution-sampled Internet-shaped hierarchy, 50 ASes "
+    "(clique core, preferential-attachment transit tier, stubs)",
+    lambda seed, filter_mode="missing": generators.hierarchical(
+        50, seed=seed, filter_mode=filter_mode
+    ),
+)
+
+_graph_scenario(
+    "hierarchical-200",
+    "Internet-shaped hierarchy at 200 ASes — the benchmark scale for "
+    "the vectorized propagation fabric",
+    lambda seed, filter_mode="missing": generators.hierarchical(
+        200, seed=seed, filter_mode=filter_mode
+    ),
+    corpus_factory=_sampled_corpus(16),
+    kind="scale",
+)
+
+_graph_scenario(
+    "hierarchical-1000",
+    "Internet-scale hierarchy: 1000 ASes, origination capped at 64 so "
+    "routing tables stay affordable (see README: scaling to 1000 ASes)",
+    lambda seed, filter_mode="missing", max_origins=64: generators.hierarchical(
+        1000, seed=seed, filter_mode=filter_mode, max_origins=max_origins
+    ),
+    corpus_factory=_sampled_corpus(16),
+    kind="scale",
 )
 
 _graph_scenario(

@@ -6,56 +6,81 @@ event loop with explicit simulated time.  Determinism matters more than
 wall-clock fidelity here — every experiment must replay identically from a
 seed — so events at equal timestamps are ordered by insertion sequence,
 and nothing ever reads the host clock.
+
+The queue is sized for federation-scale waves (a 1000-AS exploratory
+wave schedules hundreds of thousands of deliveries), so the internal
+representation is deliberately flat: each heap entry is a plain list
+``[time, seq, callback, state, payload]`` — no per-event object, and
+comparison never reaches the callback because ``seq`` is unique.
+:meth:`schedule_batch` is the bulk fast path: it enqueues many
+deliveries for one shared handler without allocating an
+:class:`EventHandle` (batch deliveries are uncancellable by contract),
+and :attr:`pending` is a maintained live-event counter rather than a
+scan over the heap's cancellation tombstones.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.util.errors import SimulationError
 
 EventCallback = Callable[[], None]
 
+#: ``entry[3]`` lifecycle states.
+_LIVE = 0
+_CANCELLED = 1
+_DONE = 2
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+#: ``entry[4]`` marker for classic no-argument callbacks; batch entries
+#: carry their payload there instead and are invoked as ``callback(payload)``.
+_NO_PAYLOAD = None
+
+# Entry layout indices (entries are lists, not objects — see module doc).
+_TIME, _SEQ, _CALLBACK, _STATE, _PAYLOAD = range(5)
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, event: _Event):
-        self._event = event
+    def __init__(self, entry: list, sim: "Simulator"):
+        self._entry = entry
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        # Only a still-live event can be cancelled: cancelling twice, or
+        # cancelling after the event fired, must not corrupt the live
+        # counter.
+        if self._entry[_STATE] == _LIVE:
+            self._entry[_STATE] = _CANCELLED
+            self._sim._live -= 1
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_STATE] == _CANCELLED
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Simulator:
     """Single-threaded priority-queue event loop with simulated time."""
 
     def __init__(self) -> None:
-        self._queue: List[_Event] = []
+        self._queue: List[list] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
+        #: Scheduled-but-not-yet-executed events, cancellations excluded.
+        #: Maintained incrementally so :attr:`pending` is O(1) — the old
+        #: implementation scanned the whole heap (tombstones included)
+        #: on every call, which convergence loops pay per wave.
+        self._live = 0
         self.events_executed = 0
 
     @property
@@ -67,17 +92,48 @@ class Simulator:
         """Run ``callback`` ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        event = _Event(self._now + delay, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        entry = [self._now + delay, next(self._sequence), callback, _LIVE,
+                 _NO_PAYLOAD]
+        heapq.heappush(self._queue, entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
         """Run ``callback`` at absolute simulated time ``when``."""
         if when < self._now:
             raise SimulationError(f"cannot schedule at {when} < now {self._now}")
-        event = _Event(when, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        entry = [when, next(self._sequence), callback, _LIVE, _NO_PAYLOAD]
+        heapq.heappush(self._queue, entry)
+        self._live += 1
+        return EventHandle(entry, self)
+
+    def schedule_batch(
+        self,
+        entries: Iterable[Tuple[float, object]],
+        handler: Callable[[object], None],
+    ) -> int:
+        """Bulk-schedule ``handler(payload)`` for every ``(delay, payload)``.
+
+        The fast path for fabric waves: one shared handler, one flat
+        payload per delivery, no closure and no :class:`EventHandle`
+        per message.  Batch deliveries cannot be cancelled — the fabric
+        models a message already on the wire, and the only consumer that
+        ever needed cancellation (timer re-arming) goes through
+        :meth:`schedule`.  Returns the number of events enqueued.
+        """
+        queue = self._queue
+        sequence = self._sequence
+        now = self._now
+        count = 0
+        for delay, payload in entries:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay}s in the past")
+            heapq.heappush(
+                queue, [now + delay, next(sequence), handler, _LIVE, payload]
+            )
+            count += 1
+        self._live += count
+        return count
 
     def schedule_repeating(
         self, start: float, interval: float, count: int, callback: Callable[[int], None]
@@ -100,17 +156,28 @@ class Simulator:
             for i in range(count)
         ]
 
+    def _pop_live(self) -> Optional[list]:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if entry[_STATE] == _LIVE:
+                entry[_STATE] = _DONE
+                self._live -= 1
+                return entry
+        return None
+
     def step(self) -> bool:
         """Execute the next pending event; False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.events_executed += 1
-            event.callback()
-            return True
-        return False
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self._now = entry[_TIME]
+        self.events_executed += 1
+        if entry[_PAYLOAD] is _NO_PAYLOAD:
+            entry[_CALLBACK]()
+        else:
+            entry[_CALLBACK](entry[_PAYLOAD])
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue (up to ``max_events``); returns events executed."""
@@ -118,15 +185,28 @@ class Simulator:
             raise SimulationError("simulator re-entered from within an event")
         self._running = True
         executed = 0
+        # Hot loop: bind once, pop inline.  Equivalent to repeated
+        # step() calls but without the per-event method dispatch.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue if max_events is None else (
-                self._queue and executed < max_events
+            while queue if max_events is None else (
+                queue and executed < max_events
             ):
-                if self.step():
-                    executed += 1
+                entry = heappop(queue)
+                if entry[_STATE] != _LIVE:
+                    continue
+                entry[_STATE] = _DONE
+                self._live -= 1
+                self._now = entry[_TIME]
+                payload = entry[_PAYLOAD]
+                if payload is _NO_PAYLOAD:
+                    entry[_CALLBACK]()
                 else:
-                    break
+                    entry[_CALLBACK](payload)
+                executed += 1
         finally:
+            self.events_executed += executed
             self._running = False
         return executed
 
@@ -137,10 +217,10 @@ class Simulator:
         executed = 0
         while self._queue:
             head = self._queue[0]
-            if head.cancelled:
+            if head[_STATE] != _LIVE:
                 heapq.heappop(self._queue)
                 continue
-            if head.time > deadline:
+            if head[_TIME] > deadline:
                 break
             self.step()
             executed += 1
@@ -149,8 +229,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events waiting (including cancelled tombstones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Events scheduled and not yet executed (cancellations excluded)."""
+        return self._live
 
     def idle(self) -> bool:
-        return self.pending == 0
+        return self._live == 0

@@ -1,0 +1,217 @@
+"""CAIDA AS-relationship ingestion: measured topologies, declaratively.
+
+CAIDA's serial-1 AS-relationship files are the standard public record of
+the Internet's business topology — one line per inferred relationship::
+
+    # comments run to end of line
+    <provider-asn>|<customer-asn>|-1
+    <peer-asn>|<peer-asn>|0
+
+(The serial-2 format appends a ``|source`` field, which this parser
+tolerates and ignores.)  :func:`parse_as_relationships` turns such text
+directly into a validated :class:`~repro.topology.graph.AsGraph` — the
+declarative replacement for hand-building an emulator hierarchy AS by
+AS: roles are inferred from the relationship structure, address space
+comes from the deterministic /20-per-AS plan, and latencies from a
+derived RNG, so a measured snippet becomes a runnable federation with
+one call.
+
+:func:`render_as_relationships` is the inverse (graph → canonical
+serial-1 text); parse∘render is the identity on canonical text, which
+the property tests round-trip.  :data:`SAMPLE_RELATIONSHIPS` is a small
+Internet-shaped excerpt in the measured format, registered as the
+``caida-sample`` scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.topology.generators import origin_indices, wide_prefixes
+from repro.topology.graph import AsGraph, TopologyError
+from repro.util.rng import derive_rng
+
+#: Relationship codes in the serial-1 format.
+PROVIDER_CUSTOMER = -1
+PEER_PEER = 0
+
+#: The /20-per-AS plan indexes sorted ASNs; (index + 1) << 12 < 2^24.
+MAX_ASES = 4000
+
+
+def parse_as_relationships(
+    text: str,
+    name: str = "caida",
+    seed: int = 0,
+    filter_mode: str = "missing",
+    max_origins: Optional[int] = None,
+) -> AsGraph:
+    """Build an :class:`AsGraph` from CAIDA serial-1 relationship lines.
+
+    Malformed lines — wrong field count, non-numeric ASNs, unknown
+    relationship codes, self-relationships, or a pair declared twice —
+    raise :class:`TopologyError` naming the offending line number.  The
+    resulting graph is validated (so a file whose transit relation is
+    cyclic, i.e. an AS transitively its own provider, is rejected), ASes
+    are named ``as<asn>``, roles are inferred (providers-with-no-
+    providers are ``tier1``, other providers ``tier2``, the rest
+    ``stub``), and networks/latencies follow the deterministic wide
+    address plan and derived RNG — the same ``(text, seed)`` always
+    yields the same federation.
+    """
+    relationships: List[Tuple[int, int, int]] = []
+    declared: Dict[frozenset, int] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split("|")
+        if len(fields) == 4:
+            fields = fields[:3]  # serial-2 appends an inference source
+        if len(fields) != 3:
+            raise TopologyError(
+                f"line {line_no}: expected <asn>|<asn>|<rel>, got {raw!r}"
+            )
+        try:
+            a, b, rel = (int(field) for field in fields)
+        except ValueError:
+            raise TopologyError(
+                f"line {line_no}: non-numeric field in {raw!r}"
+            ) from None
+        if rel not in (PROVIDER_CUSTOMER, PEER_PEER):
+            raise TopologyError(
+                f"line {line_no}: unknown relationship code {rel} "
+                f"(expected {PROVIDER_CUSTOMER} or {PEER_PEER})"
+            )
+        for asn in (a, b):
+            if not 0 < asn <= 0xFFFF:
+                # The simulated wire format is classic 2-byte-AS BGP
+                # (no RFC 6793 AS_TRANS), so 32-bit ASNs can't session.
+                raise TopologyError(
+                    f"line {line_no}: ASN {asn} outside 1..65535 "
+                    f"(2-byte AS numbers only)"
+                )
+        if a == b:
+            raise TopologyError(f"line {line_no}: AS{a} related to itself")
+        pair = frozenset((a, b))
+        if pair in declared:
+            raise TopologyError(
+                f"line {line_no}: AS{a}|AS{b} already declared on "
+                f"line {declared[pair]}"
+            )
+        declared[pair] = line_no
+        relationships.append((a, b, rel))
+
+    if not relationships:
+        raise TopologyError(f"no relationships in {name!r}")
+
+    # Canonical edge order (the order render_as_relationships emits):
+    # the same relationship *set* yields the identical federation no
+    # matter how the file happens to be ordered.
+    relationships.sort(
+        key=lambda entry: (
+            (entry[0], entry[1], entry[2]) if entry[2] == PROVIDER_CUSTOMER
+            else (min(entry[0], entry[1]), max(entry[0], entry[1]), entry[2])
+        )
+    )
+    asns = sorted({asn for a, b, _ in relationships for asn in (a, b)})
+    if len(asns) > MAX_ASES:
+        raise TopologyError(
+            f"{len(asns)} ASes exceeds the {MAX_ASES}-AS address plan"
+        )
+    providers: Set[int] = {a for a, _, rel in relationships
+                           if rel == PROVIDER_CUSTOMER}
+    customers: Set[int] = {b for _, b, rel in relationships
+                           if rel == PROVIDER_CUSTOMER}
+    origins = set(origin_indices(len(asns), max_origins))
+
+    graph = AsGraph(name)
+    for index, asn in enumerate(asns):
+        if asn in providers:
+            role = "tier2" if asn in customers else "tier1"
+        else:
+            role = "stub"
+        graph.add_as(
+            f"as{asn}",
+            asn=asn,
+            role=role,
+            networks=wide_prefixes(index) if index in origins else (),
+            filter_mode=filter_mode,
+        )
+    for a, b, rel in relationships:
+        # Latency derives from the pair identity, not draw order, so a
+        # reordered relationship file yields the identical federation.
+        edge_rng = derive_rng(seed, "topology", "caida", name, min(a, b), max(a, b))
+        latency = round(0.001 + edge_rng.random() * 0.019, 6)
+        if rel == PROVIDER_CUSTOMER:
+            graph.transit(f"as{a}", f"as{b}", latency=latency)
+        else:
+            # Peering is symmetric; normalize endpoint order so a
+            # ``b|a|0`` line yields the identical edge to ``a|b|0``.
+            graph.peer(f"as{min(a, b)}", f"as{max(a, b)}", latency=latency)
+    graph.validate()
+    return graph
+
+
+def render_as_relationships(graph: AsGraph) -> str:
+    """The graph's relationships as canonical serial-1 text.
+
+    Canonical: one relationship per line, transit as
+    ``provider|customer|-1``, peering as ``low-asn|high-asn|0``, sorted.
+    ``parse_as_relationships(render_as_relationships(g))`` reproduces
+    ``g``'s nodes and relationships exactly (identity fields included,
+    when ``g`` itself follows the deterministic plan).
+    """
+    lines = []
+    for edge in graph.edges:
+        a = graph.nodes[edge.a].asn
+        b = graph.nodes[edge.b].asn
+        if edge.kind == "transit":
+            lines.append((a, b, PROVIDER_CUSTOMER))
+        else:
+            lines.append((min(a, b), max(a, b), PEER_PEER))
+    return "\n".join(f"{a}|{b}|{rel}" for a, b, rel in sorted(lines)) + "\n"
+
+
+#: A small Internet-shaped excerpt in the measured serial-1 format:
+#: three tier-1s in a peering clique, four multihomed regionals with
+#: lateral peering, five stubs — the declarative stand-in for the
+#: hand-built emulator hierarchies that CAIDA-derived testbeds
+#: traditionally wire up node by node.
+SAMPLE_RELATIONSHIPS = """\
+# CAIDA AS-relationship sample (serial-1 format)
+# <provider-as>|<customer-as>|-1  transit
+# <peer-as>|<peer-as>|0           settlement-free peering
+174|3320|-1
+174|6939|-1
+174|30081|-1
+701|3320|-1
+701|20115|-1
+701|174|0
+1299|6939|-1
+1299|20115|-1
+1299|701|0
+1299|174|0
+3320|6939|0
+3320|39120|-1
+3320|41497|-1
+6939|14061|-1
+6939|8075|-1
+20115|14061|-1
+20115|30081|-1
+"""
+
+
+def sample_graph(
+    seed: int = 0,
+    filter_mode: str = "missing",
+    max_origins: Optional[int] = None,
+) -> AsGraph:
+    """The :data:`SAMPLE_RELATIONSHIPS` excerpt as a validated graph."""
+    return parse_as_relationships(
+        SAMPLE_RELATIONSHIPS,
+        name="caida-sample",
+        seed=seed,
+        filter_mode=filter_mode,
+        max_origins=max_origins,
+    )

@@ -34,11 +34,43 @@ from repro.util.rng import derive_rng
 #: Largest generated federation; keeps the /16-per-AS address plan valid.
 MAX_NODES = 200
 
+#: Largest :func:`hierarchical` federation; keeps the wide /20-per-AS
+#: address plan inside 10.0.0.0/8 ((index + 1) << 12 must stay below 2^24).
+MAX_HIERARCHICAL = 4000
+
 
 def _node_prefixes(index: int):
     """The deterministic address plan: one /16 (and a /24 inside) per AS."""
     base = (10 << 24) | ((index + 1) << 16)
     return (Prefix(base, 16), Prefix(base | (1 << 8), 24))
+
+
+def wide_prefixes(index: int):
+    """The Internet-scale address plan: one /20 (and a /24 inside) per AS.
+
+    The classic /16 plan caps at 200 ASes; packing a /20 per AS fits
+    ~4000 into 10.0.0.0/8.  Shared with :mod:`repro.topology.caida`,
+    which indexes real ASNs into the same plan.
+    """
+    base = (10 << 24) | ((index + 1) << 12)
+    return (Prefix(base, 20), Prefix(base | (1 << 8), 24))
+
+
+def origin_indices(n: int, max_origins) -> range:
+    """Which of ``n`` nodes originate prefixes, as an evenly spread subset.
+
+    At 1000 ASes a federation where *every* node originates produces a
+    multi-gigabyte route tensor (every router carries every prefix);
+    capping origination to an evenly spaced subset keeps tables — and
+    waves — proportional to ``max_origins`` while the topology itself
+    stays full-size.  ``None`` (or ``max_origins >= n``) means everyone
+    originates.
+    """
+    if max_origins is None or max_origins >= n:
+        return range(n)
+    if max_origins < 1:
+        raise TopologyError(f"max_origins must be >= 1, got {max_origins}")
+    return range(0, n, -(-n // max_origins))
 
 
 def _check_size(n: int, minimum: int = 1) -> None:
@@ -164,6 +196,104 @@ def tiered(
     return graph
 
 
+def _weighted_pick(rng, candidates, weights) -> int:
+    """Index into ``candidates`` drawn proportionally to ``weights``."""
+    total = sum(weights)
+    mark = rng.random() * total
+    acc = 0.0
+    for position, weight in enumerate(weights):
+        acc += weight
+        if mark < acc:
+            return position
+    return len(candidates) - 1
+
+
+def hierarchical(
+    n: int = 24,
+    seed: int = 0,
+    filter_mode: str = "missing",
+    max_origins=None,
+) -> AsGraph:
+    """A degree-distribution-sampled Internet-shaped hierarchy.
+
+    The measured Internet is not a textbook ``tiered()``: provider
+    choice is preferential (new networks attach to already-big transit
+    providers), so customer degrees come out power-law-ish.  This
+    generator reproduces that shape at any size up to
+    :data:`MAX_HIERARCHICAL`:
+
+    * a clique **core** of ~``n**0.3`` tier-1s (settlement-free mesh);
+    * a **transit tier** (~15% of ``n``) where each AS buys transit from
+      1–3 earlier-indexed transit-capable ASes, chosen with probability
+      proportional to current customer degree (preferential attachment
+      — this is what makes the degree distribution heavy-tailed), plus
+      lateral tier-2 peering;
+    * **stubs** for the rest, multihomed the same way.
+
+    Providers always have a smaller index than their customers, so the
+    transit relation is acyclic by construction (Gao–Rexford safe), and
+    every choice comes from a derived RNG — the same ``(n, seed)``
+    always yields the same federation.  ``max_origins`` caps how many
+    ASes originate prefixes (see :func:`origin_indices`); the knob that
+    keeps 1000-AS routing tables affordable.
+    """
+    if not 4 <= n <= MAX_HIERARCHICAL:
+        raise TopologyError(f"node count {n} outside 4..{MAX_HIERARCHICAL}")
+    rng = derive_rng(seed, "topology", "hierarchical", n)
+    core = min(n - 1, max(3, round(n ** 0.3)))
+    transit_count = min(n - core, max(core, round(n * 0.15)))
+    origins = set(origin_indices(n, max_origins))
+
+    graph = AsGraph(f"hierarchical-{n}")
+    for index in range(n):
+        if index < core:
+            role = "tier1"
+        elif index < core + transit_count:
+            role = "tier2"
+        else:
+            role = "stub"
+        graph.add_as(
+            f"as{index}",
+            # The default 65000+index plan overflows 2-byte AS numbers
+            # past index 535; start low so all 4000 slots stay wire-safe.
+            asn=2000 + index,
+            role=role,
+            networks=wide_prefixes(index) if index in origins else (),
+            filter_mode=filter_mode,
+        )
+
+    for a in range(core):
+        for b in range(a + 1, core):
+            graph.peer(f"as{a}", f"as{b}", latency=_latency(rng))
+
+    # Customer-degree weights for preferential attachment, maintained
+    # incrementally (graph.customers_of would rescan all edges per pick).
+    customer_degree = [0] * (core + transit_count)
+
+    def attach(index: int, providers_upto: int) -> None:
+        count = 1 + (rng.random() < 0.45) + (rng.random() < 0.15)
+        candidates = list(range(providers_upto))
+        weights = [customer_degree[c] + 1.0 for c in candidates]
+        for _ in range(min(count, len(candidates))):
+            position = _weighted_pick(rng, candidates, weights)
+            provider = candidates.pop(position)
+            weights.pop(position)
+            customer_degree[provider] += 1
+            graph.transit(f"as{provider}", f"as{index}", latency=_latency(rng))
+
+    for index in range(core, core + transit_count):
+        attach(index, providers_upto=index)
+        if index > core and rng.random() < 0.3:
+            lateral = rng.randrange(core, index)
+            if graph.edge_between(f"as{lateral}", f"as{index}") is None:
+                graph.peer(f"as{lateral}", f"as{index}", latency=_latency(rng))
+    for index in range(core + transit_count, n):
+        attach(index, providers_upto=core + transit_count)
+
+    graph.validate()
+    return graph
+
+
 #: Registered generators, each ``fn(*sizes, seed=..., filter_mode=...)``.
 GENERATORS: Dict[str, Callable[..., AsGraph]] = {
     "line": line,
@@ -171,4 +301,5 @@ GENERATORS: Dict[str, Callable[..., AsGraph]] = {
     "star": star,
     "clique": clique,
     "tiered": tiered,
+    "hierarchical": hierarchical,
 }

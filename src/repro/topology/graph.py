@@ -32,7 +32,7 @@ seed corpus.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.errors import TopologyError
 from repro.util.ip import Prefix, int_to_ip
@@ -273,21 +273,45 @@ class AsGraph:
         self._check_connected()
 
     def _check_transit_acyclic(self) -> None:
-        state: Dict[str, int] = {}  # 0 visiting, 1 done
-
-        def visit(name: str, trail: Tuple[str, ...]) -> None:
-            if state.get(name) == 1:
-                return
-            if state.get(name) == 0:
-                cycle = " -> ".join(trail[trail.index(name):] + (name,))
-                raise TopologyError(f"transit hierarchy has a cycle: {cycle}")
-            state[name] = 0
-            for customer in self.customers_of(name):
-                visit(customer, trail + (name,))
-            state[name] = 1
-
-        for name in self.nodes:
-            visit(name, ())
+        # Iterative DFS with an explicit stack: measured-Internet transit
+        # chains run deep enough that the old recursive walk could hit
+        # Python's recursion limit, and building the customer adjacency
+        # once avoids the O(nodes * edges) repeated neighbor scans.
+        customers: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for edge in self.edges:
+            if edge.kind == TRANSIT:
+                customers[edge.a].append(edge.b)
+        state: Dict[str, int] = {}  # 0 on the current path, 1 done
+        for root in self.nodes:
+            if state.get(root) == 1:
+                continue
+            state[root] = 0
+            trail = [root]
+            stack: List[Tuple[str, Iterator[str]]] = [
+                (root, iter(customers[root]))
+            ]
+            while stack:
+                name, children = stack[-1]
+                descended = False
+                for customer in children:
+                    if state.get(customer) == 1:
+                        continue
+                    if state.get(customer) == 0:
+                        cycle = " -> ".join(
+                            trail[trail.index(customer):] + [customer]
+                        )
+                        raise TopologyError(
+                            f"transit hierarchy has a cycle: {cycle}"
+                        )
+                    state[customer] = 0
+                    trail.append(customer)
+                    stack.append((customer, iter(customers[customer])))
+                    descended = True
+                    break
+                if not descended:
+                    state[name] = 1
+                    trail.pop()
+                    stack.pop()
 
     def _check_connected(self) -> None:
         if len(self.nodes) <= 1:
@@ -445,6 +469,100 @@ def _direction_filters(edge: AsEdge, name: str) -> Tuple[Optional[str], Optional
 
 
 # ---------------------------------------------------------------------------
+# Structural config cache.
+#
+# A generated hierarchy is made of a handful of *shapes*: every
+# single-homed stub renders the same configuration up to its ASN,
+# router id, networks, and neighbor identities.  The content-hash parse
+# cache can't see that (the identity fields make every text distinct),
+# so materializing hierarchical(1000) would still parse ~1000 texts.
+# This layer keys a parsed template by the node's *structure* — neighbor
+# relations and passive sides, in declaration order — and revives +
+# patches the template for every structurally identical node, skipping
+# render and parse entirely.  Nodes with customers are ineligible (their
+# cust-in-<peer> filters embed peer names), as are nodes with explicit
+# per-edge filters or extra_config; those fall back to the parse cache.
+# ---------------------------------------------------------------------------
+
+_STRUCTURAL_CACHE: Dict[tuple, bytes] = {}
+_STRUCTURAL_CACHE_MAX = 256
+_STRUCTURAL_STATS = {"hits": 0, "misses": 0, "ineligible": 0}
+
+
+def _structural_key(graph: AsGraph, name: str) -> Optional[tuple]:
+    """Template-cache key for ``name``, or None when ineligible."""
+    node = graph.nodes[name]
+    if node.extra_config:
+        return None
+    entries = []
+    for peer_name, relation, edge in graph.neighbors(name):
+        if relation == "customer":
+            # Customer import filters are named after the peer and embed
+            # its cone — node-specific, never template-shareable.
+            return None
+        if _direction_filters(edge, name) != (None, None):
+            return None
+        entries.append((relation, edge.passive == name))
+    return (len(node.networks), tuple(entries))
+
+
+def render_structured(graph: AsGraph, name: str):
+    """``name``'s :class:`RouterConfig`, via the structural template cache.
+
+    Equivalent to ``parse_config_cached(render_config(graph, name))`` —
+    and falls back to exactly that for ineligible nodes — but
+    structurally identical nodes share one parsed template, patched with
+    the node's identity fields.  Always returns a fresh, freely mutable
+    config instance.
+    """
+    import pickle
+    from dataclasses import replace
+
+    from repro.bgp.config import parse_config_cached
+
+    node = graph.nodes[name]
+    key = _structural_key(graph, name)
+    if key is None:
+        _STRUCTURAL_STATS["ineligible"] += 1
+        return parse_config_cached(render_config(graph, name))
+    blob = _STRUCTURAL_CACHE.get(key)
+    if blob is None:
+        _STRUCTURAL_STATS["misses"] += 1
+        config = parse_config_cached(render_config(graph, name))
+        if len(_STRUCTURAL_CACHE) >= _STRUCTURAL_CACHE_MAX:
+            _STRUCTURAL_CACHE.pop(next(iter(_STRUCTURAL_CACHE)))
+        _STRUCTURAL_CACHE[key] = pickle.dumps(config, pickle.HIGHEST_PROTOCOL)
+        return config
+    _STRUCTURAL_STATS["hits"] += 1
+    config = pickle.loads(blob)
+    config.asn = node.asn
+    config.router_id = node.router_id
+    config.networks = list(node.networks)
+    # The template's neighbor blocks line up with this node's neighbor
+    # list (both follow edge declaration order — that's what the key
+    # encodes), so only the identities need replacing.
+    config.neighbors = {
+        peer: replace(template, peer_id=peer, remote_as=graph.nodes[peer].asn)
+        for template, (peer, _, _) in zip(
+            config.neighbors.values(), graph.neighbors(name)
+        )
+    }
+    return config
+
+
+def structural_cache_info() -> Dict[str, int]:
+    """Hit/miss/ineligible counters plus size, for tests and benchmarks."""
+    return {**_STRUCTURAL_STATS, "size": len(_STRUCTURAL_CACHE)}
+
+
+def clear_structural_cache() -> None:
+    _STRUCTURAL_CACHE.clear()
+    _STRUCTURAL_STATS["hits"] = 0
+    _STRUCTURAL_STATS["misses"] = 0
+    _STRUCTURAL_STATS["ineligible"] = 0
+
+
+# ---------------------------------------------------------------------------
 # Materialization onto the simulated network.
 # ---------------------------------------------------------------------------
 
@@ -473,14 +591,22 @@ def build_routers(
         graph.validate()
     if host is None:
         host = NodeHost(seed=seed)
+    # The default factory takes parsed configs straight from the
+    # structural template cache (BgpRouter accepts both forms); custom
+    # factories keep receiving rendered text, since their third argument
+    # is config *text* by documented contract.
+    structured = router_factory is None
     if router_factory is None:
-        router_factory = lambda nid, env, text: BgpRouter(nid, env, text)
+        router_factory = lambda nid, env, config: BgpRouter(nid, env, config)
 
     routers = {}
     for name in graph.nodes:
-        text = render_config(graph, name)
+        config = (
+            render_structured(graph, name) if structured
+            else render_config(graph, name)
+        )
         routers[name] = host.add_node(
-            name, lambda nid, env, _text=text: router_factory(nid, env, _text)
+            name, lambda nid, env, _config=config: router_factory(nid, env, _config)
         )
     for edge in graph.edges:
         host.add_link(edge.a, edge.b, latency=edge.latency)

@@ -135,6 +135,65 @@ class TestCompareDigests:
             {f.prefix_digest for f in second}
         )
 
+    def test_digest_tables_cache_tracks_clone_mutations(self, clique_routers):
+        """Cached digests are reused only for untouched clones."""
+        graph, routers = clique_routers
+        fabric = IsolatedFabric(dict(routers), graph=graph)
+        first = fabric.digest_tables(b"s")
+        again = fabric.digest_tables(b"s")
+        assert all(again[n] is first[n] for n in first), (
+            "untouched clones must reuse the cached digest object"
+        )
+        victim = graph.nodes["as1"].networks[0]
+        fabric.inject("as0", "as2", hijack_update(victim, graph.nodes["as2"].asn))
+        third = fabric.digest_tables(b"s")
+        assert third["as0"] is not first["as0"]
+        assert third["as1"] is first["as1"] and third["as2"] is first["as2"]
+        # The recomputed entry matches a from-scratch digest build, and
+        # clone_of (the workload mutation surface) also invalidates.
+        fresh = OriginDigest.from_router(fabric.clones["as0"], b"s")
+        assert third["as0"].entries == fresh.entries
+        fabric.clone_of("as1")
+        assert fabric.digest_tables(b"s")["as1"] is not first["as1"]
+
+    def test_vectorized_and_legacy_waves_agree_exactly(self):
+        """The batched delivery path is a pure optimization.
+
+        Same injections through a vectorized and a legacy (per-closure)
+        fabric over a transit hierarchy must produce identical wave
+        stats and an identical post-propagation digest-conflict set.
+        """
+        from repro.core.scenario import synthesize_hijack_corpus
+        from repro.topology.generators import tiered
+
+        graph = tiered(1, 2, 3, seed=9)
+        host, routers = build_routers(graph)
+        host.run()
+        corpus = synthesize_hijack_corpus(graph, seed=9)
+        federation = FederatedExploration(dict(routers), graph=graph)
+
+        def wave(vectorized):
+            fabric = IsolatedFabric(
+                dict(routers), graph=graph, vectorized=vectorized
+            )
+            for node, peer, update in corpus:
+                fabric.inject(node, peer, update)
+            stats = fabric.propagate()
+            findings = federation._compare_digests(fabric, stage="post-propagation")
+            return stats, findings
+
+        fast_stats, fast_findings = wave(vectorized=True)
+        slow_stats, slow_findings = wave(vectorized=False)
+        assert (fast_stats.delivered, fast_stats.rounds, fast_stats.converged) == (
+            slow_stats.delivered, slow_stats.rounds, slow_stats.converged
+        )
+        assert fast_stats.delivered > 0, "a transit hierarchy must relay the wave"
+        assert [
+            (f.nodes, f.prefix_digest, f.stage) for f in fast_findings
+        ] == [
+            (f.nodes, f.prefix_digest, f.stage) for f in slow_findings
+        ]
+
     def test_moas_conflict_surfaces_on_any_topology(self):
         """Two domains originating the same prefix disagree symmetrically."""
         graph = AsGraph("moas")

@@ -87,6 +87,52 @@ class TestSimulator:
         handle.cancel()
         assert sim.idle()
 
+    def test_cancel_twice_keeps_pending_consistent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()  # double-cancel must not decrement twice
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        other.cancel()  # cancel-after-fire must not go negative
+        assert sim.pending == 0
+
+    def test_schedule_batch_orders_with_classic_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("classic"))
+        count = sim.schedule_batch(
+            [(1.0, "early"), (3.0, "late")], lambda p: order.append(p)
+        )
+        assert count == 2
+        assert sim.pending == 3
+        sim.run()
+        assert order == ["early", "classic", "late"]
+        assert sim.pending == 0
+
+    def test_schedule_batch_equal_times_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch([(1.0, p) for p in "abc"], order.append)
+        sim.schedule(1.0, lambda: order.append("d"))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_schedule_batch_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(1.0, "ok"), (-0.5, "bad")], lambda p: None)
+
+    def test_schedule_batch_payloads_survive_step(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch([(1.0, ("tuple", 7))], seen.append)
+        assert sim.step()
+        assert seen == [("tuple", 7)]
+        assert sim.events_executed == 1
+
 
 class Echo(SimNode):
     """Replies 'ack:<payload>' to every message."""

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bgp.config import parse_config
 from repro.topology import GENERATORS, build_routers, render_config
-from repro.topology.generators import tiered
+from repro.topology.generators import hierarchical, origin_indices, tiered
 from repro.util.errors import TopologyError
 
 
@@ -56,6 +56,63 @@ def test_tiered_shapes_are_valid_for_any_sizes(seed, n_tier1, n_tier2, n_stub):
     for node in graph.nodes.values():
         if node.role != "tier1":
             assert graph.providers_of(node.name), node.name
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=4, max_value=80),
+)
+@settings(max_examples=20, deadline=None)
+def test_hierarchical_is_deterministic_and_valid_across_sizes(seed, n):
+    graph = hierarchical(n, seed=seed)
+    graph.validate()
+    assert fingerprint(graph) == fingerprint(hierarchical(n, seed=seed))
+    assert len(graph.nodes) == n
+    roles = [node.role for node in graph.nodes.values()]
+    assert roles.count("tier1") >= 3 or n < 7
+    # Everyone below the core can reach it through a provider, and
+    # providers always precede their customers (acyclic by construction).
+    for node in graph.nodes.values():
+        if node.role != "tier1":
+            providers = graph.providers_of(node.name)
+            assert providers, node.name
+            assert all(
+                int(p[2:]) < int(node.name[2:]) for p in providers
+            ), node.name
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**10),
+    max_origins=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=15, deadline=None)
+def test_hierarchical_max_origins_caps_origination(seed, max_origins):
+    n = 60
+    graph = hierarchical(n, seed=seed, max_origins=max_origins)
+    graph.validate()
+    originating = [node for node in graph.nodes.values() if node.networks]
+    assert 1 <= len(originating) <= max_origins
+    assert len(list(origin_indices(n, max_origins))) == len(originating)
+
+
+def test_hierarchical_degree_distribution_is_heavy_tailed():
+    """Preferential attachment: a few providers collect many customers."""
+    graph = hierarchical(200, seed=7)
+    degrees = sorted(
+        (len(graph.customers_of(name)) for name in graph.nodes), reverse=True
+    )
+    customers = sum(degrees)
+    assert degrees[0] > customers / 20, "no hub emerged at 200 ASes"
+    assert degrees[0] >= 4 * max(1, degrees[len(degrees) // 4])
+
+
+def test_hierarchical_rejects_out_of_range_sizes():
+    with pytest.raises(TopologyError):
+        hierarchical(3)
+    with pytest.raises(TopologyError):
+        hierarchical(4001)
+    with pytest.raises(TopologyError):
+        hierarchical(60, max_origins=0)
 
 
 def test_seed_changes_the_multihoming_choices():

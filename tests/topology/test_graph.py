@@ -183,3 +183,78 @@ class TestMaterialization:
         graph.nodes["as1"].asn = graph.nodes["as2"].asn  # corrupt
         with pytest.raises(TopologyError):
             build_routers(graph)
+
+
+class TestTransitAcyclicAtScale:
+    def test_deep_transit_chain_validates_without_recursion(self):
+        """A 1500-deep provider chain must not hit the recursion limit."""
+        graph = AsGraph("deep-chain")
+        graph.add_as("as0", networks=(P("10.1.0.0/16"),))
+        for index in range(1, 1500):
+            graph.add_as(f"as{index}", asn=1000 + index)
+            graph.transit(f"as{index - 1}", f"as{index}")
+        graph.validate()
+
+    def test_cycle_trail_reported_from_iterative_walk(self):
+        graph = AsGraph("trail")
+        for name in ("a", "b", "c", "d"):
+            graph.add_as(name, networks=(P(f"10.{ord(name) - 96}.0.0/16"),))
+        graph.transit("a", "b")
+        graph.transit("b", "c")
+        graph.transit("c", "d")
+        graph.transit("d", "b")
+        with pytest.raises(TopologyError, match="b -> c -> d -> b"):
+            graph.validate()
+
+
+class TestStructuralConfigCache:
+    def test_cached_config_equals_fresh_parse(self):
+        """Template-patched configs are indistinguishable from parsed ones."""
+        from repro.bgp.config import parse_config
+        from repro.topology.generators import hierarchical
+        from repro.topology.graph import clear_structural_cache, render_structured
+
+        clear_structural_cache()
+        graph = hierarchical(30, seed=9)
+        for name in graph.nodes:
+            structured = render_structured(graph, name)
+            parsed = parse_config(render_config(graph, name))
+            assert structured == parsed, name
+
+    def test_hits_accumulate_on_identical_stubs(self):
+        from repro.topology.generators import hierarchical
+        from repro.topology.graph import (
+            clear_structural_cache,
+            render_structured,
+            structural_cache_info,
+        )
+
+        clear_structural_cache()
+        graph = hierarchical(40, seed=3)
+        for name in graph.nodes:
+            render_structured(graph, name)
+        info = structural_cache_info()
+        # Transit providers (cust-in filters) are ineligible; the stub
+        # majority shares a handful of templates.
+        assert info["hits"] > len(graph.nodes) // 2
+        assert info["misses"] <= 8
+        assert info["ineligible"] >= 1
+
+    def test_customer_bearing_nodes_bypass_the_template_cache(self):
+        from repro.topology.graph import _structural_key
+
+        graph = star(4, seed=0)
+        assert _structural_key(graph, "as0") is None      # has customers
+        assert _structural_key(graph, "as1") is not None  # pure stub
+
+    def test_build_routers_converges_through_the_cache(self):
+        from repro.topology.generators import hierarchical
+        from repro.topology.graph import clear_structural_cache
+
+        clear_structural_cache()
+        graph = hierarchical(12, seed=4)
+        host, routers = build_routers(graph)
+        host.run()
+        for node_name, router in routers.items():
+            expected = {peer for peer, _, _ in graph.neighbors(node_name)}
+            assert set(router.established_peers()) == expected, node_name
