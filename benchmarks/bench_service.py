@@ -1,0 +1,292 @@
+"""SERVICE — elasticity must be (nearly) free, and strictly isolated.
+
+The streaming pool's service mode (autoscaled workers, event-driven
+harvest, multi-tenant dispatch) exists to cut idle cost without giving
+back throughput or determinism.  This benchmark keeps all three claims
+honest:
+
+* **steady-state throughput** — an autoscaled pool (min 1, max N) under
+  sustained backlog must land within **10%** of a fixed N-worker pool's
+  executions/sec (best of N interleaved runs); the autoscaled figure is
+  recorded in ``baseline_hotpath.json`` as
+  ``stream_service_execs_per_sec`` and floor-gated like the other
+  hot-path figures;
+* **bursty economics** — over a bursty workload (bursts separated by
+  idle gaps) the autoscaled pool must spend *fewer worker-seconds* than
+  the fixed pool, which keeps every slot alive through the gaps;
+* **harvest latency** — the event-driven ``harvest()`` must beat the
+  legacy poll-plus-sleep service loop's per-seed round-trip, whose
+  fixed sleep is a latency floor on every result;
+* **tenant isolation** — two scenarios sharing one autoscaled pool must
+  each produce exactly the ``finding_keys()`` they produce running the
+  pool alone.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a tiny-budget smoke run (used by CI to
+keep this script from rotting without paying the full measurement).
+``REPRO_BENCH_WRITE_BASELINE=1`` recalibrates the recorded figure after
+an intentional perf change.
+"""
+
+import os
+import time
+
+import pytest
+
+from baseline_gate import WRITE_BASELINE, gate_floor, write_baseline
+from repro.concolic import ExplorationBudget
+from repro.core import get_scenario
+from repro.parallel import StreamingExplorer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+WORKERS = 2
+SEEDS = 8 if SMOKE else 16
+ROUNDS = 2 if SMOKE else 3
+BUDGET = ExplorationBudget(max_executions=6 if SMOKE else 16)
+TENANT_BUDGET = ExplorationBudget(max_executions=4 if SMOKE else 8)
+
+#: The acceptance gate: autoscaled throughput within 10% of fixed-pool.
+#: The smoke run is too short to amortize the one-time ramp from
+#: ``min_workers`` (a fixed ~tens-of-ms cost against a ~1s run), so it
+#: only sanity-checks at a looser bound.
+MAX_STEADY_GAP = 0.20 if SMOKE else 0.10
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    built = get_scenario("fig2").build(
+        filter_mode="erroneous",
+        prefix_count=150 if SMOKE else 400,
+        update_count=30 if SMOKE else 80,
+    )
+    built.converge()
+    return built
+
+
+def observed_seeds(scenario, count):
+    seeds = scenario.dice.batch_seeds(all_seeds=True)
+    assert len(seeds) >= min(count, 4)
+    return [seeds[i % len(seeds)] for i in range(count)]
+
+
+def make_stream(seeds, autoscale, budget=BUDGET, workers=WORKERS):
+    return StreamingExplorer(
+        workers=workers,
+        budget=budget,
+        queue_capacity=max(16, len(seeds)),
+        restart_backoff=0.01,
+        autoscale=autoscale,
+        # Fast ticks so elasticity ramps within a benchmark-sized burst;
+        # the production default (0.05s) is tuned for long-lived streams.
+        autoscale_interval=0.01 if autoscale else 0.05,
+    )
+
+
+def run_steady(scenario, seeds, autoscale):
+    stream = make_stream(seeds, autoscale)
+    stream.start(scenario.provider)
+    for peer, observed in seeds:
+        stream.submit(peer, observed)
+    return stream.close()
+
+
+def _rate(report):
+    return report.total_executions / max(report.wall_seconds, 1e-9)
+
+
+def finding_keys(report):
+    return frozenset(f.dedup_key() for f in report.findings())
+
+
+@pytest.mark.benchmark(group="service")
+def test_autoscaled_steady_throughput_within_ten_percent(
+    paper_rows, scenario
+):
+    """The acceptance gate: ramping from min_workers costs < 10%."""
+    seeds = observed_seeds(scenario, SEEDS)
+    probe = run_steady(scenario, seeds, autoscale=False)
+    if not probe.used_processes:
+        pytest.skip("no process workers on this host")
+    # Interleave the two configurations so machine drift (thermal, page
+    # cache) hits both equally; best-of-N discards scheduling noise.
+    # The probe only detects fallback — keeping it out of the fixed
+    # best-of keeps the sample counts equal.
+    fixed = []
+    elastic_reports = []
+    for _ in range(ROUNDS):
+        elastic_reports.append(run_steady(scenario, seeds, autoscale=True))
+        fixed.append(_rate(run_steady(scenario, seeds, autoscale=False)))
+    elastic_best = max(elastic_reports, key=_rate)
+    auto_rate, fixed_rate = _rate(elastic_best), max(fixed)
+    # Under sustained backlog the pool must actually have scaled up.
+    assert elastic_best.pool_high_water == WORKERS, (
+        elastic_best.resize_events
+    )
+    gap = 1.0 - auto_rate / fixed_rate
+    paper_rows.add(
+        "service",
+        "autoscaled-pool steady throughput gap",
+        f"< {MAX_STEADY_GAP:.0%}",
+        f"{gap:.1%} ({auto_rate:.1f} vs {fixed_rate:.1f} exec/s)",
+        note=f"best of {ROUNDS} interleaved runs",
+    )
+    assert auto_rate >= fixed_rate * (1.0 - MAX_STEADY_GAP), (
+        f"autoscale steady-state gap {gap:.1%} exceeds {MAX_STEADY_GAP:.0%} "
+        f"({auto_rate:.1f} vs {fixed_rate:.1f} exec/s)"
+    )
+    if WRITE_BASELINE:
+        write_baseline(stream_service_execs_per_sec=auto_rate)
+        return
+    floor = gate_floor("stream_service_execs_per_sec")
+    assert auto_rate >= floor, (
+        f"autoscaled stream throughput {auto_rate:.1f} exec/s fell below "
+        f"the baseline floor {floor:.1f}"
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_autoscaled_bursty_run_spends_fewer_worker_seconds(
+    paper_rows, scenario
+):
+    """Bursts separated by idle gaps: the fixed pool keeps every slot
+    alive through the gaps; the elastic pool shrinks and pays less."""
+    seeds = observed_seeds(scenario, SEEDS)
+    bursts = [seeds[: len(seeds) // 2], seeds[len(seeds) // 2:]]
+    gap_seconds = 0.4 if SMOKE else 0.8
+
+    def run_bursty(autoscale):
+        stream = make_stream(seeds, autoscale)
+        stream.start(scenario.provider)
+        for index, burst in enumerate(bursts):
+            for peer, observed in burst:
+                stream.submit(peer, observed)
+            stream.drain()
+            if index < len(bursts) - 1:
+                # Idle gap: keep harvesting so the coordinator (and its
+                # autoscale ticks) stay live, as a service loop would.
+                gap_deadline = time.monotonic() + gap_seconds
+                while time.monotonic() < gap_deadline:
+                    stream.harvest(timeout=0.05)
+        return stream.close()
+
+    fixed = run_bursty(autoscale=False)
+    if not fixed.used_processes:
+        pytest.skip("no process workers on this host")
+    elastic = run_bursty(autoscale=True)
+    assert elastic.jobs_completed == fixed.jobs_completed == len(seeds)
+    assert finding_keys(elastic) == finding_keys(fixed)
+    saved = 1.0 - elastic.worker_seconds / max(fixed.worker_seconds, 1e-9)
+    paper_rows.add(
+        "service",
+        "bursty worker-seconds saved by autoscale",
+        "> 0%",
+        f"{saved:.1%} ({elastic.worker_seconds:.2f}s vs "
+        f"{fixed.worker_seconds:.2f}s; "
+        f"retired {elastic.workers_retired})",
+        note=f"{len(bursts)} bursts, {gap_seconds}s idle gap",
+    )
+    assert elastic.worker_seconds < fixed.worker_seconds, (
+        f"elastic pool spent {elastic.worker_seconds:.2f} worker-seconds, "
+        f"fixed pool {fixed.worker_seconds:.2f} — elasticity saved nothing"
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_event_harvest_beats_the_poll_sleep_floor(paper_rows, scenario):
+    """Per-seed round-trip: harvest() wakes on the result pipe; the
+    legacy poll loop sleeps 50ms between polls, a floor every seed pays."""
+    count = 4 if SMOKE else 8
+    seeds = observed_seeds(scenario, count + 1)
+    fast_budget = ExplorationBudget(max_executions=2)
+
+    def roundtrips(wait):
+        stream = make_stream(seeds, autoscale=False, budget=fast_budget,
+                             workers=1)
+        stream.start(scenario.provider)
+        if not stream.report.used_processes:
+            stream.close()
+            return None, None
+        # Warm-up seed: first job pays image rebuild, not measured.
+        stream.submit(*seeds[0])
+        wait(stream)
+        times = []
+        for peer, observed in seeds[1:]:
+            before = stream.report.jobs_completed
+            started = time.perf_counter()
+            stream.submit(peer, observed)
+            wait(stream, before)
+            times.append(time.perf_counter() - started)
+        return sum(times) / len(times), stream.close()
+
+    def poll_sleep_wait(stream, before=0):
+        while stream.report.jobs_completed <= before:
+            stream.poll()
+            time.sleep(0.05)
+
+    def event_wait(stream, before=0):
+        while stream.report.jobs_completed <= before:
+            stream.harvest(timeout=5.0)
+
+    legacy_mean, _ = roundtrips(poll_sleep_wait)
+    if legacy_mean is None:
+        pytest.skip("no process workers on this host")
+    event_mean, event_report = roundtrips(event_wait)
+    paper_rows.add(
+        "service",
+        "event harvest vs poll+sleep round-trip",
+        "no 50ms sleep floor",
+        f"{event_mean * 1e3:.1f}ms vs {legacy_mean * 1e3:.1f}ms mean",
+        note=f"{count} seeds, 1 worker",
+    )
+    assert event_report.harvest_latency_count > 0
+    assert event_report.harvest_latency_mean > 0.0
+    assert event_mean < legacy_mean, (
+        f"event-driven harvest round-trip {event_mean * 1e3:.1f}ms did not "
+        f"beat the poll+sleep loop's {legacy_mean * 1e3:.1f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_two_tenant_service_matches_solo_runs(paper_rows):
+    """Isolation: every tenant of the shared autoscaled pool gets the
+    finding set it gets running the pool alone."""
+    from repro.core.federation import explore_tenants
+
+    builds = {}
+    for name in ("line-3", "star-6"):
+        built = get_scenario(name).build(seed=11)
+        built.converge()
+        builds[name] = built
+    solo = {
+        name: built.federation().explore(
+            built.seed_corpus(),
+            budget=TENANT_BUDGET,
+            workers=WORKERS,
+            stream=True,
+        )
+        for name, built in builds.items()
+    }
+    reports, summary = explore_tenants(
+        {
+            name: (built.federation(), built.seed_corpus())
+            for name, built in builds.items()
+        },
+        budget=TENANT_BUDGET,
+        workers=WORKERS,
+        autoscale=True,
+        autoscale_interval=0.01,
+    )
+    for name in builds:
+        assert reports[name].finding_keys() == solo[name].finding_keys(), (
+            f"tenant {name} diverged from its solo run"
+        )
+    assert summary["jobs_by_tenant"] == {
+        name: len(built.seed_corpus()) for name, built in builds.items()
+    }
+    paper_rows.add(
+        "service",
+        "two-tenant shared pool vs solo finding sets",
+        "byte-identical per tenant",
+        f"identical ({', '.join(sorted(builds))}; "
+        f"jobs {summary['jobs_by_tenant']})",
+    )

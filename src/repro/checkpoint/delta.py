@@ -312,6 +312,30 @@ class CheckpointImage:
             sequence=self.sequence,
         )
 
+    def dirty_segments_since(self, base: "CheckpointImage") -> int:
+        """How many segments changed (or vanished) since ``base``.
+
+        The churn probe behind churn-driven epochs: the streaming
+        coordinator captures a candidate image and asks this *before*
+        building a delta — below the churn threshold the capture is
+        discarded, nothing ships, and the node's epoch stands.  Both
+        sides' digests are memoized, so on the quiet path the only cost
+        is hashing the fresh capture (which a real advance would pay
+        anyway).
+        """
+        if base.node != self.node:
+            raise CheckpointError(
+                f"churn probe across federation nodes: image for node "
+                f"{self.node!r} cannot be compared to node {base.node!r}"
+            )
+        ours = self.segment_digests()
+        theirs = base.segment_digests()
+        changed = sum(
+            1 for name, digest in ours.items() if theirs.get(name) != digest
+        )
+        removed = len(set(theirs) - set(ours))
+        return changed + removed
+
     def diff(self, base: "CheckpointImage") -> "CheckpointDelta":
         """The delta that turns ``base`` into this image.
 
@@ -380,6 +404,11 @@ class CheckpointDelta:
     @property
     def segments_shipped(self) -> int:
         return len(self.changed)
+
+    @property
+    def dirty_segments(self) -> int:
+        """Changed plus removed segments — the delta's churn measure."""
+        return len(self.changed) + len(self.removed)
 
     def apply(self, base: CheckpointImage) -> CheckpointImage:
         """Reassemble the successor image from ``base`` plus this delta."""

@@ -93,8 +93,21 @@ def cmd_explore(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    service_flags = args.autoscale or args.epoch_churn is not None
+    if service_flags and not args.stream:
+        print("error: --autoscale/--epoch-churn configure the shared "
+              "streaming pool; add --stream with a generated --scenario",
+              file=sys.stderr)
+        return 2
+    scenario_names = _csv(args.scenario)
+    if len(scenario_names) > 1:
+        return _explore_tenants(args, scenario_names)
     if args.scenario != "fig2":
         return _explore_federated(args)
+    if service_flags or args.stream_epochs != 1:
+        print("error: --autoscale/--epoch-churn/--stream-epochs require a "
+              "generated --scenario (see 'repro scenarios')", file=sys.stderr)
+        return 2
     if args.chaos:
         print("error: --chaos requires a generated --scenario with --stream "
               "(the shared streaming pool; see 'repro scenarios')",
@@ -204,10 +217,17 @@ def _stream_progress(report) -> None:
             f" | cache degraded "
             f"{report.degraded_shards}/{report.cache_shards} shards"
         )
+    # Pool size is live under autoscale (peak shown once it diverges).
+    pool = ""
+    if report.pool_size:
+        pool = f" | pool {report.pool_size}"
+        if report.pool_high_water > report.pool_size:
+            pool += f" (peak {report.pool_high_water})"
     print(
         f"  [stream] seeds drained {report.jobs_completed}/"
         f"{report.seeds_submitted - report.seeds_coalesced}"
-        f" | findings {len(report.findings())}"
+        + pool
+        + f" | findings {len(report.findings())}"
         f" | cache hit rate {solver['cache_hit_rate']:.0%}"
         f" (semantic {solver.get('semantic_hit_rate', 0.0):.0%},"
         f" memo {solver.get('propagate_memo_hit_rate', 0.0):.0%})"
@@ -315,8 +335,12 @@ def _explore_federated(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         strategy_seed=args.seed,
         as_rotation=args.as_rotation,
+        stream_epochs=args.stream_epochs,
         workload=plan,
         chaos=chaos_plan,
+        epoch_churn=args.epoch_churn,
+        autoscale=args.autoscale,
+        autoscale_interval=args.autoscale_interval,
     )
     mode = "streamed" if args.stream else "batch"
     pool = (
@@ -375,6 +399,8 @@ def _explore_federated(args: argparse.Namespace) -> int:
             print(f"    chaos: {event}")
         for entry in summary.get("quarantined", []):
             print(f"    {entry}")
+    if args.autoscale or summary.get("resize_events"):
+        _print_service_summary(summary)
     if plan is not None:
         wstats = report.workload_stats
         print(
@@ -386,6 +412,132 @@ def _explore_federated(args: argparse.Namespace) -> int:
             print(f"    {finding.describe()}")
     return 2 if (report.findings() or report.global_findings
                  or report.workload_findings) else 0
+
+
+def _print_service_summary(summary: dict) -> None:
+    """The elastic-pool counters: sizing, retirement, epoch skips."""
+    print(
+        f"  [service] pool {summary.get('pool_size', 0)}"
+        f" (peak {summary.get('pool_high_water', 0)},"
+        f" low {summary.get('pool_low_water', 0)})"
+        f" | retired {summary.get('workers_retired', 0)}"
+        f" | worker-seconds {summary.get('worker_seconds', 0.0)}"
+        f" | epochs skipped quiet {summary.get('epochs_skipped_quiet', 0)}"
+        f" | harvest latency mean "
+        f"{summary.get('harvest_latency_mean', 0.0) * 1e3:.1f}ms"
+    )
+    for event in summary.get("resize_events", []):
+        print(f"    resize: {event}")
+
+
+def _explore_tenants(args: argparse.Namespace, names: List[str]) -> int:
+    """Service mode: several scenarios as tenants of ONE streaming pool."""
+    if not args.stream:
+        print("error: multiple --scenario values run as tenants of one "
+              "shared streaming pool; add --stream", file=sys.stderr)
+        return 2
+    if args.workload:
+        print("error: --workload composes with a single --scenario, not "
+              "the multi-tenant service path", file=sys.stderr)
+        return 2
+    if "fig2" in names:
+        print("error: fig2 is the single-node trace scenario; tenants must "
+              "be generated federations (see 'repro scenarios')",
+              file=sys.stderr)
+        return 2
+    chaos_plan = None
+    if args.chaos:
+        from repro.parallel.chaos import get_chaos_plan, list_chaos_plans
+
+        try:
+            chaos_plan = get_chaos_plan(args.chaos)
+        except ValueError:
+            print(f"error: unknown chaos plan {args.chaos!r}; known plans:",
+                  file=sys.stderr)
+            for name, description in list_chaos_plans():
+                print(f"  {name:18} {description}", file=sys.stderr)
+            return 2
+    from repro.core.federation import explore_tenants
+
+    # Duplicate scenario names are legal (the isolation benchmark runs
+    # the same scenario twice); tenant labels disambiguate as name#N.
+    labels: List[str] = []
+    counts = {name: names.count(name) for name in names}
+    seen: dict = {}
+    tenants = {}
+    for name in names:
+        label = name
+        if counts[name] > 1:
+            seen[name] = seen.get(name, 0) + 1
+            label = f"{name}#{seen[name]}"
+        overrides = (
+            {"filter_mode": args.filter_mode}
+            if args.filter_mode is not None else {}
+        )
+        built = get_scenario(name).build(seed=args.seed, **overrides)
+        built.converge()
+        violations = built.check_invariants()
+        if violations:
+            for violation in violations:
+                print(f"  invariant violated ({label}): "
+                      f"{violation.describe()}", file=sys.stderr)
+            return 1
+        corpus = built.seed_corpus()
+        if not corpus:
+            print(f"scenario {name!r} declares no exploration seeds")
+            return 1
+        tenants[label] = (built.federation(), corpus)
+        labels.append(label)
+    reports, summary = explore_tenants(
+        tenants,
+        budget=ExplorationBudget(max_executions=args.executions),
+        workers=args.workers,
+        policy=args.policy,
+        strategy=args.strategy,
+        strategy_seed=args.seed,
+        stream_epochs=args.stream_epochs,
+        epoch_churn=args.epoch_churn,
+        autoscale=args.autoscale,
+        autoscale_interval=args.autoscale_interval,
+        chaos=chaos_plan,
+    )
+    pool = f"1 shared pool × {args.workers} workers"
+    if args.autoscale:
+        pool += " (autoscaled)"
+    total_seeds = sum(len(corpus) for _, corpus in tenants.values())
+    print(f"service exploration ({len(tenants)} tenants, {pool}, "
+          f"{total_seeds} seeds):")
+    any_findings = False
+    for label in labels:
+        report = reports[label]
+        findings = report.findings()
+        any_findings = any_findings or bool(findings or report.global_findings)
+        stats = report.stats
+        print(
+            f"  tenant {label}: {len(report.sessions)} sessions"
+            f" | findings {len(findings)}"
+            f" | global findings {len(report.global_findings)}"
+            f" | wave delivered {stats.delivered} msgs"
+            f" converged={stats.converged}"
+        )
+    by_tenant = summary.get("jobs_by_tenant", {})
+    if by_tenant:
+        jobs = " ".join(
+            f"{tenant}:{count}" for tenant, count in sorted(by_tenant.items())
+        )
+        print(f"  [service] jobs by tenant: {jobs}")
+    print(
+        f"  [resilience] restarts {summary.get('workers_restarted', 0)}"
+        f" | hangs {summary.get('hangs_detected', 0)}"
+        f" | retries {summary.get('jobs_retried', 0)}"
+        f" | quarantined {summary.get('jobs_quarantined', 0)}"
+        f" | cache degraded {summary.get('degraded_shards', 0)}/"
+        f"{summary.get('cache_shards', 0)} shards"
+    )
+    for event in summary.get("chaos_events", []):
+        print(f"    chaos: {event}")
+    _print_service_summary(summary)
+    return 2 if any_findings else 0
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -552,7 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "federated exploration over the generated "
                               "topology (--filter-mode sets its customer "
                               "filtering; --prefixes/--updates are "
-                              "fig2-only trace knobs)")
+                              "fig2-only trace knobs); a comma-separated "
+                              "list runs each scenario as a TENANT of one "
+                              "shared streaming pool (requires --stream)")
     explore.add_argument("--executions", type=int, default=48)
     explore.add_argument("--strategy", default="generational",
                          choices=("generational", "dfs", "bfs", "random"))
@@ -593,6 +747,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "cache-kill; e.g. 'kill-one-worker') and "
                               "report the recovery counters; requires a "
                               "generated --scenario with --stream")
+    explore.add_argument("--autoscale", action="store_true",
+                         help="elastic shared pool: start at one worker, "
+                              "grow toward --workers on observed backlog, "
+                              "shrink (graceful drain) when load falls; "
+                              "requires --stream with a generated "
+                              "--scenario")
+    explore.add_argument("--autoscale-interval", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="autoscaler tick interval (default 0.05s); "
+                              "smoke runs use a smaller value so short "
+                              "bursts still trigger observable resizes")
+    explore.add_argument("--epoch-churn", type=int, default=None,
+                         metavar="SEGMENTS",
+                         help="churn-driven epochs: a --stream-epochs "
+                              "boundary re-checkpoints a node but ships a "
+                              "delta only when at least SEGMENTS table "
+                              "segments changed since its current image; "
+                              "quiet nodes keep their epoch (counted as "
+                              "epochs_skipped_quiet)")
+    explore.add_argument("--stream-epochs", type=int, default=1,
+                         help="split each node's seed corpus into this "
+                              "many re-checkpoint epochs (federated "
+                              "--stream only)")
     explore.set_defaults(func=cmd_explore)
 
     scenarios = commands.add_parser(

@@ -253,3 +253,19 @@ class FederationScheduler(CoverageScheduler):
     def yields(self) -> Dict[str, float]:
         """The current per-AS finding-yield EWMAs (for reports/CLI)."""
         return dict(self._peer_gain)
+
+
+class TenantScheduler(FederationScheduler):
+    """Fair dispatch budget across *tenants* sharing one worker pool.
+
+    Service mode runs several federations through a single streaming
+    pool; this is :class:`FederationScheduler`'s yield-weighted deficit
+    rotation applied one level further up.  The dispatcher picks a
+    tenant first (credit accrues per tenant while it waits, so a
+    high-yield federation wins proportionally more slots but can never
+    starve a quiet neighbor), then rotates across that tenant's ASes
+    with the per-federation scheduler as before.  Keys are tenant names
+    rather than node ids; the machinery is identical, which is the
+    point — tenancy changes who competes, not how the competition is
+    scored.
+    """

@@ -67,7 +67,6 @@ from repro.core.scenario import (
     SCENARIOS,
     Scenario,
     ScenarioConfig,
-    build_scenario,
     customer_config,
     fig2_graph,
     get_scenario,
@@ -153,7 +152,6 @@ __all__ = [
     "WaveContext",
     "Workload",
     "WorkloadPlan",
-    "build_scenario",
     "customer_config",
     "default_checkers",
     "digest_conflicts",

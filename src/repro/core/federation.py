@@ -695,6 +695,9 @@ class FederatedExploration:
         shared_pool: bool = True,
         workload: Optional["WorkloadPlan"] = None,
         chaos: Optional["ChaosPlan"] = None,
+        epoch_churn: Optional[int] = None,
+        autoscale: bool = False,
+        autoscale_interval: float = 0.05,
     ) -> FederatedReport:
         """Explore a federated seed corpus, then run the system-wide wave.
 
@@ -731,6 +734,15 @@ class FederatedExploration:
         back in ``report.stream_summary``.  Only meaningful against the
         shared pool, so it requires ``stream=True`` and
         ``shared_pool=True``.
+
+        ``epoch_churn`` makes the ``stream_epochs`` boundaries
+        *churn-driven*: each boundary re-captures every node but only
+        ships a delta for nodes whose table accumulated at least that
+        many dirty segments since their current image — quiet nodes
+        skip the ship and their epoch stands.  ``autoscale`` runs the
+        shared pool elastically (grow from one worker up to ``workers``
+        on observed backlog, shrink when drained).  Both require the
+        shared streaming pool.
         """
         if not seeds:
             raise ExplorationError("federated exploration needs a seed corpus")
@@ -741,6 +753,16 @@ class FederatedExploration:
         if chaos is not None and not (stream and shared_pool):
             raise ExplorationError(
                 "chaos injection targets the shared streaming pool; "
+                "it requires stream=True with shared_pool=True"
+            )
+        if epoch_churn is not None and not (stream and shared_pool):
+            raise ExplorationError(
+                "epoch_churn gates the shared stream's epoch boundaries; "
+                "it requires stream=True with shared_pool=True"
+            )
+        if autoscale and not (stream and shared_pool):
+            raise ExplorationError(
+                "autoscale elasticizes the shared streaming pool; "
                 "it requires stream=True with shared_pool=True"
             )
         unknown = sorted({node for node, _, _ in seeds} - set(self.routers))
@@ -758,6 +780,7 @@ class FederatedExploration:
                 self._explore_streamed(
                     by_node, budget, workers, policy, strategy, strategy_seed,
                     force_serial, as_rotation, stream_epochs, chaos,
+                    epoch_churn, autoscale, autoscale_interval,
                 )
             )
             pools = 1
@@ -817,6 +840,7 @@ class FederatedExploration:
     def _explore_streamed(
         self, by_node, budget, workers, policy, strategy, strategy_seed,
         force_serial, as_rotation, stream_epochs, chaos=None,
+        epoch_churn=None, autoscale=False, autoscale_interval=0.05,
     ) -> Tuple[Dict[str, List[SessionReport]], bool, Dict[str, float],
                Dict[str, object]]:
         """One shared streaming pool for the whole federation.
@@ -845,11 +869,15 @@ class FederatedExploration:
             coverage_guided=False,
             as_rotation=as_rotation,
             chaos=chaos,
+            autoscale=autoscale,
+            autoscale_interval=autoscale_interval,
         )
         pipeline.start_nodes({node: self.routers[node] for node in by_node})
         try:
             # Feed the corpus in stream_epochs chunks per node; every
-            # boundary re-checkpoints each node and ships its delta.
+            # boundary re-checkpoints each node and ships its delta
+            # (or, with epoch_churn, only for nodes churned past the
+            # threshold — quiet nodes keep their epoch).
             chunks = {
                 node: _split_chunks(node_seeds, stream_epochs)
                 for node, node_seeds in by_node.items()
@@ -857,7 +885,9 @@ class FederatedExploration:
             for chunk_index in range(stream_epochs):
                 if chunk_index > 0:
                     for node in sorted(by_node):
-                        pipeline.advance_epoch(node)
+                        pipeline.advance_epoch(
+                            node, churn_threshold=epoch_churn
+                        )
                 for node in by_node:
                     for peer, update in chunks[node][chunk_index]:
                         pipeline.submit(peer, update, node=node)
@@ -966,3 +996,148 @@ class FederatedExploration:
                     )
                 )
         return findings
+
+
+def explore_tenants(
+    tenants: Dict[str, Tuple[FederatedExploration, Sequence[FederatedSeed]]],
+    budget: Optional[ExplorationBudget] = None,
+    workers: int = 1,
+    policy: str = "selective",
+    strategy: str = "generational",
+    strategy_seed: int = 0,
+    max_rounds: int = 16,
+    force_serial: bool = False,
+    stream_epochs: int = 1,
+    epoch_churn: Optional[int] = None,
+    autoscale: bool = False,
+    autoscale_interval: float = 0.05,
+    chaos: Optional["ChaosPlan"] = None,
+) -> Tuple[Dict[str, FederatedReport], Dict[str, object]]:
+    """Run several federations through **one** shared streaming pool.
+
+    Service mode's entry point: each item of ``tenants`` maps a tenant
+    name to a ``(FederatedExploration, seed corpus)`` pair — typically
+    one scenario each.  All tenants' seeds stream through a single
+    worker pool (optionally autoscaled); node keys, worker image
+    tables, scheduler state, and the constraint cache are tenant-scoped
+    inside the pool, and cross-tenant dispatch is yield-weighted
+    deficit rotation (:class:`~repro.concolic.coverage.TenantScheduler`)
+    — a busy tenant wins proportionally more slots but can never starve
+    a quiet one.
+
+    Isolation is the contract: each tenant's :class:`FederatedReport`
+    (its own sessions, findings, and system-wide wave over its own
+    fabric) is byte-identical to the report the same scenario would
+    produce running the pool alone.  Returns ``(per-tenant reports,
+    shared-pool summary)`` — the summary is the pool's global
+    :meth:`~repro.parallel.stream.StreamReport.summary`, where the
+    service-level counters (pool sizing, resize events, per-tenant job
+    counts) live.
+    """
+    from repro.parallel.stream import StreamingExplorer
+
+    if not tenants:
+        raise ExplorationError("explore_tenants needs at least one tenant")
+    for name, (exploration, seeds) in tenants.items():
+        if not name:
+            raise ExplorationError("tenant names must be non-empty")
+        if not seeds:
+            raise ExplorationError(f"tenant {name!r} has an empty seed corpus")
+        unknown = sorted(
+            {node for node, _, _ in seeds} - set(exploration.routers)
+        )
+        if unknown:
+            raise ExplorationError(
+                f"tenant {name!r} seeds reference unknown nodes: {unknown}"
+            )
+    if stream_epochs < 1:
+        raise ExplorationError(
+            f"stream_epochs must be >= 1, got {stream_epochs}"
+        )
+
+    started = time.perf_counter()
+    by_tenant_node: Dict[str, Dict[str, List[Tuple[str, UpdateMessage]]]] = {}
+    for name, (_, seeds) in tenants.items():
+        by_node: Dict[str, List[Tuple[str, UpdateMessage]]] = {}
+        for node, peer, update in seeds:
+            by_node.setdefault(node, []).append((peer, update))
+        by_tenant_node[name] = by_node
+
+    capacity = max(
+        (len(node_seeds)
+         for by_node in by_tenant_node.values()
+         for node_seeds in by_node.values()),
+        default=1,
+    )
+    pipeline = StreamingExplorer(
+        workers=workers,
+        policy=policy,
+        strategy=strategy,
+        strategy_seed=strategy_seed,
+        budget=budget,
+        queue_capacity=capacity,
+        force_serial=force_serial,
+        coverage_guided=False,  # finite corpora: parity over reordering
+        as_rotation="yield",
+        chaos=chaos,
+        autoscale=autoscale,
+        autoscale_interval=autoscale_interval,
+    )
+    names = list(tenants)
+    first = names[0]
+    pipeline.start_nodes(
+        {node: tenants[first][0].routers[node]
+         for node in by_tenant_node[first]},
+        tenant=first,
+    )
+    try:
+        for name in names[1:]:
+            pipeline.add_tenant(
+                name,
+                {node: tenants[name][0].routers[node]
+                 for node in by_tenant_node[name]},
+            )
+        chunks = {
+            name: {
+                node: _split_chunks(node_seeds, stream_epochs)
+                for node, node_seeds in by_node.items()
+            }
+            for name, by_node in by_tenant_node.items()
+        }
+        for chunk_index in range(stream_epochs):
+            if chunk_index > 0:
+                for name in names:
+                    for node in sorted(by_tenant_node[name]):
+                        pipeline.advance_epoch(
+                            node, tenant=name, churn_threshold=epoch_churn
+                        )
+            # Interleave tenants within each chunk so the fair-dispatch
+            # rotation has real cross-tenant contention to arbitrate.
+            for name in names:
+                for node in by_tenant_node[name]:
+                    for peer, update in chunks[name][node][chunk_index]:
+                        pipeline.submit(peer, update, node=node, tenant=name)
+    finally:
+        pool_report = pipeline.close()
+
+    reports: Dict[str, FederatedReport] = {}
+    for name in names:
+        exploration, seeds = tenants[name]
+        treport = pipeline.tenant_report(name)
+        per_as = {
+            node: treport.reports_in_index_order(node)
+            for node in by_tenant_node[name]
+        }
+        fabric = exploration._fabric(max_rounds)
+        report = exploration._wave(fabric, seeds)
+        report.per_as_sessions = per_as
+        report.sessions = [r for rs in per_as.values() for r in rs]
+        report.workers = workers
+        report.streamed = True
+        report.used_processes = pool_report.used_processes
+        report.pools = 1
+        report.scheduler_yield = pipeline.federation_yields(tenant=name)
+        report.stream_summary = treport.summary()
+        report.wall_seconds = time.perf_counter() - started
+        reports[name] = report
+    return reports, pool_report.summary()

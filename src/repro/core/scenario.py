@@ -164,11 +164,8 @@ def customer_config() -> str:
 class ScenarioConfig:
     """Knobs for building the Figure 2 testbed.
 
-    .. deprecated::
-        Public use is deprecated along with :func:`build_scenario`;
-        pass the same knobs as keyword overrides to
-        ``get_scenario("fig2").build(seed=..., filter_mode=..., ...)``.
-        The dataclass remains the internal carrier for the fig2 builder.
+    Internal carrier for the fig2 builder — callers pass the same knobs
+    as keyword overrides to ``get_scenario("fig2").build(seed=..., ...)``.
     """
 
     filter_mode: str = "erroneous"
@@ -319,30 +316,6 @@ class Fig2Scenario(BuiltScenario):
     @property
     def provider_table_size(self) -> int:
         return self.provider.table_size()
-
-
-_BUILD_SCENARIO_WARNED = False
-
-
-def build_scenario(config: Optional[ScenarioConfig] = None) -> Fig2Scenario:
-    """Deprecated: use ``get_scenario("fig2").build(seed=..., **overrides)``.
-
-    Thin shim kept for callers of the original prototype API; warns
-    once per process, then builds the same testbed through the registry
-    path.
-    """
-    global _BUILD_SCENARIO_WARNED
-    if not _BUILD_SCENARIO_WARNED:
-        _BUILD_SCENARIO_WARNED = True
-        import warnings
-
-        warnings.warn(
-            "build_scenario()/ScenarioConfig are deprecated; use "
-            'get_scenario("fig2").build(seed=..., **overrides) instead',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return _build_fig2(config or ScenarioConfig())
 
 
 def _build_fig2(config: ScenarioConfig) -> Fig2Scenario:

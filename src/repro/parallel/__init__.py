@@ -31,6 +31,7 @@ the same again whether the seeds arrived as a batch or a stream.
 from repro.parallel.cache import (
     ShardedConstraintCache,
     SharedConstraintCache,
+    TenantCacheView,
     shared_cache,
     sharded_cache,
     shutdown_cache_managers,
@@ -52,6 +53,8 @@ from repro.parallel.explorer import (
     ParallelExplorer,
 )
 from repro.parallel.stream import (
+    DEFAULT_TENANT,
+    PoolAutoscaler,
     QuarantinedJob,
     StreamJob,
     StreamReport,
@@ -73,10 +76,12 @@ __all__ = [
     "ChaosDirective",
     "ChaosEvent",
     "ChaosPlan",
+    "DEFAULT_TENANT",
     "EngineBatch",
     "EngineBatchRun",
     "EngineJob",
     "ParallelExplorer",
+    "PoolAutoscaler",
     "ProgressBeacon",
     "QuarantinedJob",
     "SerialExecutor",
@@ -86,6 +91,7 @@ __all__ = [
     "StreamJob",
     "StreamReport",
     "StreamingExplorer",
+    "TenantCacheView",
     "WorkerSupervisor",
     "get_chaos_plan",
     "list_chaos_plans",

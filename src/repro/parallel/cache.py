@@ -36,6 +36,7 @@ of dead shards quietly counting zero entries.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from multiprocessing.managers import SyncManager
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
@@ -210,6 +211,62 @@ class ShardedConstraintCache:
         self.misses = 0
         self._dead = set()
         self.degraded_ops = 0
+
+
+class TenantCacheView:
+    """A tenant-scoped facade over a shared constraint cache.
+
+    When one streaming pool serves several federations (service mode),
+    their workers share one sharded cache — but two tenants exploring
+    different topologies must never read each other's entries, even if a
+    query key happens to collide.  The view appends a per-tenant digest
+    to every key before delegating, so each tenant sees a disjoint slice
+    of the same shards.
+
+    The scope is a *suffix*, not a prefix, on purpose: the sharded cache
+    routes by ``key[0]``, so a common prefix would funnel a whole tenant
+    into one shard and re-create the single-manager bottleneck the
+    shards exist to avoid.  Keys are uniform solver digests, so the
+    suffix preserves balance.
+
+    Everything that is not a keyed operation (``hits``, ``info()``,
+    ``shared_size()``) passes through to the underlying cache — the
+    counters are per-process observations, shared fate is the point.
+    """
+
+    def __init__(self, cache, tenant: str) -> None:
+        if not tenant:
+            raise ValueError("tenant must be a non-empty string")
+        self._cache = cache
+        self.tenant = tenant
+        self._suffix = hashlib.blake2b(
+            tenant.encode("utf-8"), digest_size=8
+        ).digest()
+
+    def _scoped(self, key: bytes) -> bytes:
+        return key + self._suffix
+
+    def get(self, key: bytes) -> Optional[CacheEntry]:
+        return self._cache.get(self._scoped(key))
+
+    def put(self, key: bytes, entry: CacheEntry) -> None:
+        self._cache.put(self._scoped(key), entry)
+
+    def get_semantic(self, key: bytes) -> Sequence:
+        return self._cache.get_semantic(self._scoped(key))
+
+    def put_semantic(
+        self, key: bytes, domains: Dict[str, Interval], entry: CacheEntry
+    ) -> None:
+        self._cache.put_semantic(self._scoped(key), domains, entry)
+
+    def __getattr__(self, name: str):
+        # Counters, liveness probes, anything unkeyed: shared fate with
+        # the cache underneath.  Dunder lookups (pickle protocol probes)
+        # must resolve on the view itself, never the delegate.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        return getattr(self._cache, name)
 
 
 class SharedConstraintCache(ShardedConstraintCache):

@@ -42,6 +42,9 @@ CHAOS_KINDS = ("kill-worker", "hang-job", "drop-result", "kill-cache")
 #: Event kinds that ride inside the job rather than firing at dispatch.
 _ATTACHED_KINDS = ("hang-job", "drop-result")
 
+#: ``kill-worker`` target meaning "the highest live slot at fire time".
+HIGHEST_SLOT = -1
+
 
 @dataclass(frozen=True)
 class ChaosDirective:
@@ -71,7 +74,10 @@ class ChaosEvent:
 
     kind: str
     at_job: int
-    #: Worker slot to kill (``kill-worker`` only).
+    #: Worker slot to kill (``kill-worker`` only).  ``HIGHEST_SLOT``
+    #: (-1) targets whichever live slot is highest at fire time — under
+    #: an autoscaled pool that is the most recently grown (or currently
+    #: retiring) worker, which no fixed slot number can name in advance.
     worker: int = 0
     #: Hang duration (``hang-job`` only); sized to dwarf any sane job
     #: deadline so detection — not patience — ends the hang.
@@ -87,8 +93,10 @@ class ChaosEvent:
             raise ValueError(f"at_job is 1-based, got {self.at_job}")
         if self.kind == "hang-job" and self.seconds <= 0:
             raise ValueError(f"hang-job needs seconds > 0, got {self.seconds}")
-        if self.kind == "kill-worker" and self.worker < 0:
-            raise ValueError(f"worker slot must be >= 0, got {self.worker}")
+        if self.kind == "kill-worker" and self.worker < HIGHEST_SLOT:
+            raise ValueError(
+                f"worker slot must be >= 0 (or HIGHEST_SLOT), got {self.worker}"
+            )
 
     @property
     def attaches(self) -> bool:
@@ -107,7 +115,11 @@ class ChaosEvent:
 
     def describe(self) -> str:
         if self.kind == "kill-worker":
-            return f"kill worker {self.worker} after job {self.at_job}"
+            target = (
+                "highest live worker" if self.worker == HIGHEST_SLOT
+                else f"worker {self.worker}"
+            )
+            return f"kill {target} after job {self.at_job}"
         if self.kind == "hang-job":
             sticky = " (sticky)" if self.sticky else ""
             return f"hang job {self.at_job} for {self.seconds:g}s{sticky}"
@@ -200,6 +212,12 @@ CHAOS_PLANS: Dict[str, ChaosPlan] = {
             [ChaosEvent(kind="hang-job", at_job=2, seconds=30.0, sticky=True)],
             job_deadline=1.0,
             retry_budget=1,
+        ),
+        _plan(
+            "kill-elastic-worker",
+            "kill the highest live slot after the 3rd job — under autoscale "
+            "that is the most recently grown (or retiring) worker",
+            [ChaosEvent(kind="kill-worker", at_job=3, worker=HIGHEST_SLOT)],
         ),
         _plan(
             "kill-and-hang",

@@ -74,6 +74,36 @@ Recovery never bends determinism: a retried or salvaged job re-derives
 the same strategy RNG from its per-node index, so the drained finding
 set under any non-quarantining fault schedule is identical to the
 fault-free (and serial, and batch) run.
+
+**Service mode.**  A long-lived deployment is a *service*, not a batch
+job sized at launch, so the pool can be elastic and shared:
+
+* a :class:`PoolAutoscaler` grows and shrinks the pool between
+  ``min_workers`` and ``max_workers`` on observed backlog and drain
+  rate (EWMA-smoothed, hysteresis-gated, deterministic jitter from the
+  strategy seed).  A shrink retires the *highest* slot gracefully — a
+  STOP message queues behind the slot's in-flight work, and the reap
+  prunes its images and resets its restart budget — while a slot lost
+  to a crash or chaos kill still respawns through the supervisor;
+* epoch advance can be **churn-driven**: ``advance_epoch(node,
+  churn_threshold=k)`` captures a candidate image, counts dirty
+  segments against the node's current one, and ships nothing when
+  fewer than ``k`` segments moved — quiet nodes stop re-shipping
+  deltas entirely;
+* the coordinator's wait loop is **event-driven**: instead of a fixed
+  sleep it blocks on the result-queue pipe and the worker process
+  sentinels with a timeout computed from the next supervision,
+  hang-sweep, or autoscale deadline, so harvest latency tracks result
+  arrival rather than a polling interval (:meth:`harvest` exposes the
+  same wait to service callers);
+* one pool serves many federations: a ``tenant`` key namespaces node
+  registration, image tables, scheduler state, and the shared
+  constraint cache (:class:`~repro.parallel.cache.TenantCacheView`),
+  with per-tenant :class:`StreamReport`\\s and a
+  :class:`~repro.concolic.coverage.TenantScheduler` keeping the
+  dispatch budget fair across tenants.  Per-tenant job indices and
+  cache scoping keep each tenant's finding set byte-identical to
+  running it alone.
 """
 
 from __future__ import annotations
@@ -84,13 +114,18 @@ import queue as queue_module
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.router import BgpRouter
 from repro.checkpoint.delta import CheckpointDelta, CheckpointImage
 from repro.checkpoint.snapshot import Checkpoint
-from repro.concolic.coverage import CoverageScheduler, FederationScheduler
+from repro.concolic.coverage import (
+    CoverageScheduler,
+    FederationScheduler,
+    TenantScheduler,
+)
 from repro.concolic.engine import ExplorationBudget, ExplorationReport
 from repro.concolic.solver.cache import DictConstraintCache
 from repro.core.inputs import seed_signature
@@ -98,10 +133,11 @@ from repro.core.checkers import FaultChecker
 from repro.core.report import SessionReport
 from repro.parallel.cache import (
     ShardedConstraintCache,
+    TenantCacheView,
     shutdown_cache_managers,
     start_sharded_cache,
 )
-from repro.parallel.chaos import ChaosDirective, ChaosPlan
+from repro.parallel.chaos import HIGHEST_SLOT, ChaosDirective, ChaosPlan
 from repro.parallel.explorer import BatchReport
 from repro.parallel.worker import ProgressBeacon, SessionJob, run_session_job
 from repro.util.errors import CheckpointError, ExplorationError
@@ -131,6 +167,16 @@ _NO_JOB = ("", -1)
 
 #: The node key of a single-node stream (``start(live_router)``).
 DEFAULT_NODE = ""
+
+#: The implicit tenant of a single-federation stream.  Tenancy is pure
+#: namespacing: with the default tenant every key reduces to the plain
+#: node name and the stream behaves exactly as before service mode.
+DEFAULT_TENANT = ""
+
+#: Separator between tenant and node inside a scoped node key.  A
+#: control character no topology generator or scenario name uses, so
+#: scoped keys cannot collide with plain ones.
+TENANT_SEP = "\x1f"
 
 
 @dataclass
@@ -164,6 +210,9 @@ class StreamJob:
     seq: int = 0
     #: Injected fault (chaos harness only); ``None`` in production.
     chaos: Optional[ChaosDirective] = None
+    #: Owning tenant (service mode); ``node`` is then the tenant-scoped
+    #: key.  Workers use this to scope their constraint-cache view.
+    tenant: str = DEFAULT_TENANT
 
     @property
     def key(self) -> JobKey:
@@ -172,6 +221,13 @@ class StreamJob:
     @property
     def image_key(self) -> Tuple[str, int]:
         return (self.node, self.epoch)
+
+    @property
+    def plain_node(self) -> str:
+        """The node name without its tenant scope (session provenance)."""
+        if self.tenant and self.node.startswith(self.tenant + TENANT_SEP):
+            return self.node[len(self.tenant) + 1:]
+        return self.node
 
 
 @dataclass(frozen=True)
@@ -247,10 +303,40 @@ class StreamReport(BatchReport):
     cache_shards: int = 0
     degraded_shards: int = 0
     cache_degraded_ops: int = 0
+    #: Service mode: the pool-size timeline.  ``pool_size`` is the
+    #: current dispatchable worker count; high/low water track the
+    #: extremes over the stream's life; ``resize_events`` is the
+    #: human-readable log of every grow/shrink/retire transition.
+    pool_size: int = 0
+    pool_high_water: int = 0
+    pool_low_water: int = 0
+    resize_events: List[str] = field(default_factory=list)
+    #: Workers retired gracefully by a shrink (drained, reaped).
+    workers_retired: int = 0
+    #: Accumulated worker lifetime — the bursty-workload economics an
+    #: elastic pool is judged by (fewer worker-seconds, same findings).
+    worker_seconds: float = 0.0
+    #: advance_epoch calls that shipped nothing because the node's table
+    #: churn stayed below the threshold.
+    epochs_skipped_quiet: int = 0
+    #: Dispatch→harvest latency of completed jobs (includes execution;
+    #: the event-driven loop is judged by the queue-wait share).
+    harvest_latency_total: float = 0.0
+    harvest_latency_max: float = 0.0
+    harvest_latency_count: int = 0
+    #: Completed jobs per tenant (service mode; empty when single-tenant).
+    jobs_by_tenant: Dict[str, int] = field(default_factory=dict)
 
     @property
     def jobs_completed(self) -> int:
         return len(self.reports)
+
+    @property
+    def harvest_latency_mean(self) -> float:
+        """Mean dispatch→harvest latency over completed jobs (seconds)."""
+        if not self.harvest_latency_count:
+            return 0.0
+        return self.harvest_latency_total / self.harvest_latency_count
 
     @property
     def node_count(self) -> int:
@@ -322,6 +408,16 @@ class StreamReport(BatchReport):
                 "checkpoint_bytes_per_job": round(self.checkpoint_bytes_per_job),
                 "full_checkpoint_bytes": self.full_checkpoint_bytes,
                 "deltas_by_node": dict(self.deltas_by_node),
+                "pool_size": self.pool_size,
+                "pool_high_water": self.pool_high_water,
+                "pool_low_water": self.pool_low_water,
+                "resize_events": list(self.resize_events),
+                "workers_retired": self.workers_retired,
+                "worker_seconds": round(self.worker_seconds, 3),
+                "epochs_skipped_quiet": self.epochs_skipped_quiet,
+                "harvest_latency_mean": round(self.harvest_latency_mean, 6),
+                "harvest_latency_max": round(self.harvest_latency_max, 6),
+                "jobs_by_tenant": dict(self.jobs_by_tenant),
             }
         )
         return base
@@ -346,6 +442,17 @@ class _WorkerState:
         self.prune = prune
         self.images: Dict[Tuple[str, int], CheckpointImage] = {}
         self.checkpoints: Dict[Tuple[str, int], Checkpoint] = {}
+        #: Tenant-scoped cache views, built once per tenant per worker.
+        self._tenant_caches: Dict[str, TenantCacheView] = {}
+
+    def _cache_for(self, tenant: str) -> Optional[object]:
+        if not tenant or self.cache is None:
+            return self.cache
+        view = self._tenant_caches.get(tenant)
+        if view is None:
+            view = TenantCacheView(self.cache, tenant)
+            self._tenant_caches[tenant] = view
+        return view
 
     def handle(self, msg: tuple) -> Optional[tuple]:
         """Process one coordinator message; job messages return a result."""
@@ -422,8 +529,8 @@ class _WorkerState:
                 strategy_seed=job.strategy_seed,
                 anycast_whitelist=job.anycast_whitelist,
                 checkers=job.checkers,
-                cache=self.cache,
-                node=job.node,
+                cache=self._cache_for(job.tenant),
+                node=job.plain_node,
             )
         )
 
@@ -473,6 +580,13 @@ class _ProcessWorker:
     def __init__(self, slot: int, result_queue, cache, heartbeat: bool = True) -> None:
         self.slot = slot
         self.salvaged = False
+        #: Graceful-shrink flag: a retiring worker takes no new jobs, and
+        #: its death is a reap (clean retire or salvage) — never a
+        #: supervisor respawn.
+        self.retiring = False
+        #: Lifetime accounting for the worker-seconds economics.
+        self.started_at = time.monotonic()
+        self.accounted = False
         self.beacon: Optional[ProgressBeacon] = (
             ProgressBeacon() if heartbeat else None
         )
@@ -548,6 +662,8 @@ class _InlineWorker:
     """
 
     slot = -1
+    retiring = False
+    started_at = None
 
     def __init__(self, cache: Optional[object], prune: bool = False) -> None:
         self._state = _WorkerState(cache, prune=prune)
@@ -656,6 +772,160 @@ class WorkerSupervisor:
     def next_due(self) -> Optional[float]:
         return min(self._due.values()) if self._due else None
 
+    def reset_slot(self, slot: int) -> None:
+        """Forget a slot's restart history (retire/re-create boundary).
+
+        A slot number names a *position*, not a worker: when a shrink
+        retires the worker at a slot and a later grow creates a fresh
+        one there, the replacement is a new logical worker and must get
+        the full restart budget.  Without this, attempts accrued by the
+        retired worker (or by a crash-looping predecessor) would leak
+        into its unrelated successor and could exhaust it on its first
+        real death.
+        """
+        self._attempts.pop(slot, None)
+        self._due.pop(slot, None)
+        self.exhausted.discard(slot)
+
+
+class PoolAutoscaler:
+    """Grow/shrink policy for an elastic streaming pool.
+
+    Pure bookkeeping, like :class:`WorkerSupervisor`: the coordinator
+    owns spawning and retiring; the autoscaler decides *whether* the
+    pool should change size, from the observed backlog and drain-rate
+    series alone.  Decisions are deterministic for a given observation
+    series — tick-interval jitter derives from the strategy seed — so a
+    replayed workload produces the same resize sequence.
+
+    The signal is **backlog per worker** (pending seeds plus in-flight
+    jobs, over the dispatchable pool), folded through an EWMA so one
+    bursty submit cannot flap the pool.  Hysteresis requires the signal
+    to hold above ``grow_threshold`` (or below ``shrink_threshold``)
+    for ``hysteresis`` consecutive ticks before a resize, and every
+    decision resets the streaks, so the pool moves one worker per
+    settled observation window — never a thundering resize.
+    """
+
+    def __init__(
+        self,
+        min_workers: int = 1,
+        max_workers: int = 1,
+        interval: float = 0.05,
+        grow_threshold: float = 3.0,
+        shrink_threshold: float = 0.5,
+        hysteresis: int = 2,
+        decay: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers < min_workers:
+            raise ValueError(
+                f"need min_workers <= max_workers, got "
+                f"{min_workers}/{max_workers}"
+            )
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if shrink_threshold < 0 or grow_threshold <= shrink_threshold:
+            raise ValueError(
+                f"need 0 <= shrink_threshold < grow_threshold, got "
+                f"{shrink_threshold}/{grow_threshold}"
+            )
+        if hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.interval = interval
+        self.grow_threshold = grow_threshold
+        self.shrink_threshold = shrink_threshold
+        self.hysteresis = hysteresis
+        self.decay = decay
+        self.seed = seed
+        self._ewma: Optional[float] = None
+        self._drain_rate = 0.0
+        self._high_streak = 0
+        self._low_streak = 0
+        self._ticks = 0
+        self._last_tick: Optional[float] = None
+        self._last_completed = 0
+
+    def _jittered_interval(self, tick: int) -> float:
+        """The tick period, jittered into [0.75x, 1.25x] (deterministic).
+
+        Same rationale as the supervisor's backoff jitter: many streams
+        on one host should not all re-evaluate (and possibly fork) in
+        the same instant.
+        """
+        rng = derive_rng(self.seed, "autoscaler", tick)
+        return self.interval * (0.75 + 0.5 * rng.random())
+
+    def next_tick(self) -> Optional[float]:
+        """When the next observation is due (None before the first)."""
+        if self._last_tick is None:
+            return None
+        return self._last_tick + self._jittered_interval(self._ticks)
+
+    @property
+    def drain_rate(self) -> float:
+        """EWMA of completed jobs per second (reports/benchmarks)."""
+        return self._drain_rate
+
+    def observe(
+        self,
+        now: float,
+        pending: int,
+        inflight: int,
+        completed: int,
+        alive: int,
+    ) -> Optional[str]:
+        """Fold one observation; returns ``"grow"``, ``"shrink"`` or None.
+
+        Rate-limited to the jittered tick interval: calls between ticks
+        are free (one comparison).  The caller re-validates the decision
+        against the live pool — the autoscaler's ``alive`` is a snapshot
+        that a chaos kill may have outdated by the time the resize runs.
+        """
+        if self._last_tick is None:
+            # First call establishes the baseline; no decision yet.
+            self._last_tick = now
+            self._last_completed = completed
+            return None
+        due = self.next_tick()
+        if due is not None and now < due:
+            return None
+        elapsed = max(now - self._last_tick, 1e-9)
+        self._ticks += 1
+        self._last_tick = now
+        drained = (completed - self._last_completed) / elapsed
+        self._last_completed = completed
+        self._drain_rate += self.decay * (drained - self._drain_rate)
+        load = (pending + inflight) / max(1, alive)
+        if self._ewma is None:
+            self._ewma = load
+        else:
+            self._ewma += self.decay * (load - self._ewma)
+        if self._ewma > self.grow_threshold:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif self._ewma < self.shrink_threshold:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if self._high_streak >= self.hysteresis and alive < self.max_workers:
+            self._high_streak = 0
+            self._low_streak = 0
+            return "grow"
+        if self._low_streak >= self.hysteresis and alive > self.min_workers:
+            self._high_streak = 0
+            self._low_streak = 0
+            return "shrink"
+        return None
+
 
 class StreamingExplorer:
     """Continuous exploration: observed seeds in, findings out, no barrier.
@@ -711,6 +981,11 @@ class StreamingExplorer:
         restart_backoff: float = 0.05,
         restart_backoff_cap: float = 2.0,
         chaos: Optional[ChaosPlan] = None,
+        autoscale: bool = False,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        autoscale_interval: float = 0.05,
+        event_harvest: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -791,6 +1066,27 @@ class StreamingExplorer:
             backoff_cap=restart_backoff_cap,
             seed=strategy_seed,
         )
+        #: Elastic service mode.  ``workers`` becomes the pool's
+        #: *capacity* (max unless overridden) and the pool starts at
+        #: ``min_workers`` — a fresh service has no load, so starting
+        #: small and growing on demand is the elastic behavior itself.
+        self.autoscale = autoscale
+        self._auto_inflight = max_inflight is None
+        self._autoscaler: Optional[PoolAutoscaler] = None
+        if autoscale:
+            self._autoscaler = PoolAutoscaler(
+                min_workers=min_workers if min_workers is not None else 1,
+                max_workers=max_workers if max_workers is not None else workers,
+                interval=autoscale_interval,
+                seed=strategy_seed,
+            )
+        elif min_workers is not None or max_workers is not None:
+            raise ValueError(
+                "min_workers/max_workers require autoscale=True"
+            )
+        #: Event-driven wait: block on the result-queue pipe and worker
+        #: sentinels with computed timeouts instead of a fixed sleep.
+        self.event_harvest = event_harvest
         #: Dispatch seq -> JobKey, the beacon protocol's reverse map.
         self._seq_keys: Dict[int, JobKey] = {}
         self._next_seq = 0
@@ -811,6 +1107,15 @@ class StreamingExplorer:
         self._pending: Dict[Tuple[str, str], Deque[Tuple[int, UpdateMessage]]] = {}
         self._last_peer: Optional[str] = None
         self._last_node: Optional[str] = None
+        #: Service mode: registered tenants, their private reports, and
+        #: the cross-tenant fairness layer (yield rotation only).
+        self._tenants: Set[str] = set()
+        self._tenant_reports: Dict[str, StreamReport] = {}
+        self._tenant_scheduler = (
+            TenantScheduler() if as_rotation == "yield" else None
+        )
+        self._last_tenant: Optional[str] = None
+        self._started_mono = 0.0
         self._next_index: Dict[str, int] = {}
         self._inflight: Dict[JobKey, StreamJob] = {}
         self._assignment: Dict[JobKey, int] = {}
@@ -835,41 +1140,58 @@ class StreamingExplorer:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @staticmethod
+    def _scoped(tenant: str, node: str) -> str:
+        """The internal node key: plain for the default tenant."""
+        return f"{tenant}{TENANT_SEP}{node}" if tenant else node
+
+    @staticmethod
+    def _tenant_of(scoped: str) -> str:
+        return scoped.split(TENANT_SEP, 1)[0] if TENANT_SEP in scoped else ""
+
+    @staticmethod
+    def _plain(scoped: str) -> str:
+        return scoped.split(TENANT_SEP, 1)[1] if TENANT_SEP in scoped else scoped
+
+    @staticmethod
+    def _display(scoped: str) -> str:
+        """Human-readable form of a scoped node key (reports, errors)."""
+        if TENANT_SEP in scoped:
+            tenant, node = scoped.split(TENANT_SEP, 1)
+            return f"{tenant}:{node}"
+        return scoped
+
     def start(self, live_router: BgpRouter) -> "StreamingExplorer":
         """Capture epoch 0, spin up the worker pool, ship the full image."""
         return self.start_nodes({DEFAULT_NODE: live_router})
 
     def start_nodes(
-        self, live_routers: Dict[str, BgpRouter]
+        self, live_routers: Dict[str, BgpRouter], tenant: str = DEFAULT_TENANT
     ) -> "StreamingExplorer":
         """Register a whole federation on one pool.
 
         Captures every node's epoch-0 image, starts the (single) worker
         pool, and ships each image — node-tagged — to every worker.
+        With ``tenant`` given the federation's keys are tenant-scoped;
+        further federations join the running pool via :meth:`add_tenant`.
         """
         if self._started:
             raise ExplorationError("stream already started")
         if not live_routers:
             raise ExplorationError("start_nodes needs at least one live router")
-        self._routers = dict(live_routers)
         self._started_at = time.perf_counter()
-
-        capture_started = time.perf_counter()
-        for node, router in self._routers.items():
-            label = f"stream-ckpt-{node}" if node else "stream-ckpt"
-            image = CheckpointImage.capture(router, label, epoch=0, node_id=node)
-            self._epochs[node] = 0
-            self._current[node] = image
-            self._images[(node, 0)] = image
-        self.report.checkpoint_seconds += time.perf_counter() - capture_started
-        self._refresh_image_economics()
+        self._started_mono = time.monotonic()
+        self._register_tenant(tenant, live_routers)
 
         multiprocess = not self.force_serial
         self._setup_cache(multiprocess)
+        initial = self.workers
+        if self._autoscaler is not None:
+            initial = min(self.workers, self._autoscaler.min_workers)
         if multiprocess:
             try:
                 self._result_queue = multiprocessing.Queue()
-                for slot in range(self.workers):
+                for slot in range(initial):
                     self._workers.append(
                         _ProcessWorker(
                             slot,
@@ -900,6 +1222,72 @@ class StreamingExplorer:
             for node in sorted(self._current):
                 self._ship(worker, self._current[node])
         self._started = True
+        self._sync_pool_metrics()
+        return self
+
+    def _register_tenant(
+        self, tenant: str, live_routers: Dict[str, BgpRouter]
+    ) -> None:
+        """Capture and retain a federation's epoch-0 images, scoped."""
+        if TENANT_SEP in tenant:
+            raise ExplorationError(f"invalid tenant name {tenant!r}")
+        if tenant and tenant in self._tenants:
+            raise ExplorationError(f"tenant {tenant!r} already registered")
+        capture_started = time.perf_counter()
+        for node, router in live_routers.items():
+            if TENANT_SEP in node:
+                raise ExplorationError(f"invalid node name {node!r}")
+            scoped = self._scoped(tenant, node)
+            if scoped in self._routers:
+                raise ExplorationError(
+                    f"node {self._display(scoped)!r} already registered"
+                )
+            label = (
+                f"stream-ckpt-{self._display(scoped)}" if scoped
+                else "stream-ckpt"
+            )
+            image = CheckpointImage.capture(
+                router, label, epoch=0, node_id=scoped
+            )
+            self._routers[scoped] = router
+            self._epochs[scoped] = 0
+            self._current[scoped] = image
+            self._images[(scoped, 0)] = image
+        self.report.checkpoint_seconds += time.perf_counter() - capture_started
+        self._tenants.add(tenant)
+        if tenant:
+            self._tenant_reports[tenant] = StreamReport(workers=self.workers)
+        self._refresh_image_economics()
+
+    def add_tenant(
+        self, tenant: str, live_routers: Dict[str, BgpRouter]
+    ) -> "StreamingExplorer":
+        """Register another federation on the *running* pool.
+
+        Captures the new tenant's epoch-0 images and ships them to every
+        live worker (and the salvage fallback, if one exists), so the
+        new tenant's jobs can dispatch anywhere the existing tenants'
+        can.  Keys, images, scheduler state, and the constraint cache
+        are all tenant-scoped — the federations share capacity, nothing
+        else.
+        """
+        self._require_open()
+        if not tenant:
+            raise ExplorationError("add_tenant needs a non-empty tenant name")
+        if not live_routers:
+            raise ExplorationError("add_tenant needs at least one live router")
+        self._register_tenant(tenant, live_routers)
+        fresh = [
+            self._scoped(tenant, node) for node in sorted(live_routers)
+        ]
+        for worker in self._workers:
+            if worker.alive and not worker.salvaged:
+                for scoped in fresh:
+                    self._ship(worker, self._current[scoped])
+        if self._fallback is not None:
+            for scoped in fresh:
+                self._ship(self._fallback, self._current[scoped])
+                self._fallback_images.add((scoped, 0))
         return self
 
     def __enter__(self) -> "StreamingExplorer":
@@ -938,7 +1326,11 @@ class StreamingExplorer:
     # -- seed intake ---------------------------------------------------------
 
     def submit(
-        self, peer: str, update: UpdateMessage, node: str = DEFAULT_NODE
+        self,
+        peer: str,
+        update: UpdateMessage,
+        node: str = DEFAULT_NODE,
+        tenant: str = DEFAULT_TENANT,
     ) -> int:
         """Enqueue an observed seed; returns its per-node arrival index.
 
@@ -946,12 +1338,16 @@ class StreamingExplorer:
         oldest unscheduled seed from that queue is superseded (coalescing
         backpressure) — mirroring the DiCE ring buffers — rather than
         blocking the observer, which sits on the live message path.
+        Indices count per *scoped* node, so each tenant's sessions derive
+        the same strategy RNGs as running that tenant alone.
         """
         self._require_open()
+        node = self._scoped(tenant, node)
         if node not in self._routers:
             raise ExplorationError(
-                f"seed for unregistered node {node!r} "
-                f"(stream serves {sorted(self._routers)})"
+                f"seed for unregistered node {self._display(node)!r} "
+                f"(stream serves "
+                f"{sorted(self._display(n) for n in self._routers)})"
             )
         index = self._next_index.get(node, 0)
         self._next_index[node] = index + 1
@@ -990,11 +1386,45 @@ class StreamingExplorer:
         """No seed waiting and no job running."""
         return not self.pending_seeds and not self._inflight
 
-    def federation_yields(self) -> Dict[str, float]:
-        """Per-AS finding-yield EWMAs driving cross-AS dispatch rotation."""
+    def federation_yields(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Per-AS finding-yield EWMAs driving cross-AS dispatch rotation.
+
+        With ``tenant`` given, only that tenant's nodes are returned,
+        unscoped — the view a federation running alone would see.
+        """
         if self._fed_scheduler is None:
             return {}
-        return self._fed_scheduler.yields()
+        yields = self._fed_scheduler.yields()
+        if tenant is None:
+            return yields
+        prefix = tenant + TENANT_SEP
+        return {
+            key[len(prefix):]: value
+            for key, value in yields.items()
+            if key.startswith(prefix)
+        }
+
+    @property
+    def tenants(self) -> List[str]:
+        """Registered named tenants (the default tenant is not listed)."""
+        return sorted(tenant for tenant in self._tenants if tenant)
+
+    def tenant_report(self, tenant: str) -> StreamReport:
+        """One tenant's private report (plain node keys, own findings)."""
+        report = self._tenant_reports.get(tenant)
+        if report is None:
+            raise ExplorationError(
+                f"unknown tenant {tenant!r} (registered: {self.tenants})"
+            )
+        return report
+
+    def tenant_yields(self) -> Dict[str, float]:
+        """Per-tenant finding-yield EWMAs behind cross-tenant fairness."""
+        if self._tenant_scheduler is None:
+            return {}
+        return self._tenant_scheduler.yields()
 
     # -- dispatch / harvest --------------------------------------------------
 
@@ -1018,6 +1448,19 @@ class StreamingExplorer:
         nodes = sorted({node for (node, _), buf in self._pending.items() if buf})
         if not nodes:
             return None
+        if self._tenant_scheduler is not None and len(self._tenants) > 1:
+            # Tenant first: the fairness layer picks which federation's
+            # turn it is (yield-weighted deficit rotation), then the
+            # regular per-AS rotation runs within that tenant's nodes.
+            tenants = sorted({self._tenant_of(node) for node in nodes})
+            if len(tenants) > 1:
+                picked = self._tenant_scheduler.pick(
+                    [(tenant, None) for tenant in tenants],
+                    after=self._last_tenant,
+                )
+                tenant = tenants[picked]
+                self._last_tenant = tenant
+                nodes = [n for n in nodes if self._tenant_of(n) == tenant]
         if len(nodes) == 1:
             choice = nodes[0]
         elif self._fed_scheduler is not None:
@@ -1074,7 +1517,11 @@ class StreamingExplorer:
         return node, index, peer, update
 
     def _pick_worker(self):
-        alive = [worker for worker in self._workers if worker.alive]
+        alive = [
+            worker
+            for worker in self._workers
+            if worker.alive and not worker.retiring
+        ]
         if not alive:
             return self._ensure_fallback()
         # Rotate by dispatch count so load spreads without bookkeeping
@@ -1086,6 +1533,14 @@ class StreamingExplorer:
             worker
             for worker in self._workers
             if isinstance(worker, _ProcessWorker) and worker.alive
+        ]
+
+    def _dispatchable_process_workers(self) -> List["_ProcessWorker"]:
+        """Live process workers that may still take new jobs."""
+        return [
+            worker
+            for worker in self._alive_process_workers()
+            if not worker.retiring
         ]
 
     def _assign_seq(self, job: StreamJob) -> None:
@@ -1101,7 +1556,7 @@ class StreamingExplorer:
         while len(self._inflight) < self.max_inflight:
             if (
                 self._result_queue is not None
-                and not self._alive_process_workers()
+                and not self._dispatchable_process_workers()
                 and self._supervisor.pending
             ):
                 # The whole pool is momentarily dead but respawns are
@@ -1125,6 +1580,7 @@ class StreamingExplorer:
                 strategy_seed=self.strategy_seed,
                 anycast_whitelist=self.anycast_whitelist,
                 checkers=self.checkers,
+                tenant=self._tenant_of(node),
             )
             worker = self._pick_worker()
             if isinstance(worker, _ProcessWorker):
@@ -1181,7 +1637,7 @@ class StreamingExplorer:
                 # retry; the job is done — drop the duplicate attempt.
                 self._retry_queue.popleft()
                 continue
-            alive = self._alive_process_workers()
+            alive = self._dispatchable_process_workers()
             if alive:
                 self._retry_queue.popleft()
                 worker = alive[sent % len(alive)]
@@ -1267,10 +1723,21 @@ class StreamingExplorer:
             if event.attaches:
                 continue
             if event.kind == "kill-worker":
+                target = event.worker
+                if target == HIGHEST_SLOT:
+                    # "Whatever slot is highest right now" — under an
+                    # elastic pool that is the most recently grown or
+                    # currently retiring worker.  Retiring workers are
+                    # deliberately eligible: killing one mid-drain is
+                    # the shrink/chaos interplay this mode exists for.
+                    live = self._alive_process_workers()
+                    if not live:
+                        continue
+                    target = max(worker.slot for worker in live)
                 for worker in self._workers:
                     if (
                         isinstance(worker, _ProcessWorker)
-                        and worker.slot == event.worker
+                        and worker.slot == target
                         and worker.alive
                     ):
                         # SIGTERM with no cleanup: indistinguishable from
@@ -1380,6 +1847,7 @@ class StreamingExplorer:
         self.report.hangs_detected += 1
         worker.salvaged = True
         worker.kill()
+        self._account_worker(worker)
         lost = [
             k
             for k, slot in self._assignment.items()
@@ -1402,7 +1870,11 @@ class StreamingExplorer:
                     job.chaos = None  # one-shot fault: the retry runs clean
             self._retry_queue.append(job)
             self.report.jobs_retried += 1
-        self._note_death(worker.slot)
+        if not worker.retiring:
+            # A retiring worker's death is the reap's business (clean
+            # retire or salvage); booking a respawn would undo the
+            # shrink the autoscaler just decided on.
+            self._note_death(worker.slot)
         if not self._alive_process_workers() and not self._supervisor.pending:
             self.report.used_processes = False
 
@@ -1436,6 +1908,170 @@ class StreamingExplorer:
             progressed = True
         return progressed
 
+    # -- elastic pool --------------------------------------------------------
+
+    def _pool_size(self) -> int:
+        """Current dispatchable pool size (inline pools count as 1)."""
+        if self._result_queue is None:
+            return len([w for w in self._workers if w.alive])
+        return len(self._dispatchable_process_workers())
+
+    def _account_worker(self, worker) -> None:
+        """Fold one worker's lifetime into ``worker_seconds`` (once)."""
+        started = getattr(worker, "started_at", None)
+        if started is None or getattr(worker, "accounted", True):
+            return
+        worker.accounted = True
+        self.report.worker_seconds += time.monotonic() - started
+
+    def _sync_pool_metrics(self) -> None:
+        size = self._pool_size()
+        self.report.pool_size = size
+        if size > self.report.pool_high_water:
+            self.report.pool_high_water = size
+        if self.report.pool_low_water == 0 or size < self.report.pool_low_water:
+            self.report.pool_low_water = size
+        if (
+            self._auto_inflight
+            and self._autoscaler is not None
+            and self._result_queue is not None
+        ):
+            # Elastic pools re-derive the in-flight window from the live
+            # size, so a grown pool is actually fed and a shrunk one
+            # keeps seeds in the (coalescing) pending queues.
+            self.max_inflight = max(2, 2 * size)
+
+    def _record_resize(self, kind: str, slot: int, now: float) -> None:
+        self._sync_pool_metrics()
+        self.report.resize_events.append(
+            f"t+{now - self._started_mono:.2f}s {kind}(worker {slot}) "
+            f"pool={self.report.pool_size}"
+        )
+
+    def _autoscale_tick(self) -> bool:
+        """Feed the autoscaler one observation; act on its decision."""
+        if self._autoscaler is None or self._result_queue is None:
+            return False
+        now = time.monotonic()
+        alive = len(self._dispatchable_process_workers())
+        decision = self._autoscaler.observe(
+            now,
+            pending=self.pending_seeds,
+            inflight=len(self._inflight),
+            completed=self.report.jobs_completed,
+            alive=alive,
+        )
+        if decision == "grow":
+            return self._grow_one(now)
+        if decision == "shrink":
+            return self._shrink_one(now)
+        return False
+
+    def _grow_one(self, now: float) -> bool:
+        """Add one worker at the lowest free slot; ship current images."""
+        if len(self._dispatchable_process_workers()) >= self._autoscaler.max_workers:
+            return False
+        occupied = {
+            worker.slot
+            for worker in self._workers
+            if isinstance(worker, _ProcessWorker)
+        }
+        slot = 0
+        while slot in occupied:
+            slot += 1
+        # A fresh logical worker at this position: no restart history.
+        self._supervisor.reset_slot(slot)
+        try:
+            worker = _ProcessWorker(
+                slot, self._result_queue, self._cache, heartbeat=self.supervise
+            )
+        except (OSError, PermissionError, ValueError) as exc:
+            self.report.errors.append(
+                f"autoscale grow at slot {slot} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return False
+        for node in sorted(self._current):
+            self._ship(worker, self._current[node])
+        self._workers.append(worker)
+        self._record_resize("grow", slot, now)
+        return True
+
+    def _shrink_one(self, now: float) -> bool:
+        """Retire the highest dispatchable slot, gracefully.
+
+        The STOP message queues *behind* anything already on the
+        worker's FIFO, so its in-flight jobs finish and their results
+        are harvested normally; the worker then exits and
+        :meth:`_reap_retired` prunes it.  The highest slot is the
+        deterministic victim — under grow-then-shrink the pool returns
+        to exactly the workers it started with.
+        """
+        candidates = self._dispatchable_process_workers()
+        if len(candidates) <= self._autoscaler.min_workers:
+            return False
+        worker = max(candidates, key=lambda w: w.slot)
+        worker.retiring = True
+        try:
+            worker.send((_MSG_STOP,))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        self._record_resize("shrink", worker.slot, now)
+        return True
+
+    def _reap_retired(self) -> bool:
+        """Collect retired workers that have exited; salvage chaos kills.
+
+        A retiring worker that died *with* jobs still assigned did not
+        drain — a crash or chaos kill beat the STOP message — so its
+        in-flight work is salvaged to the inline fallback exactly like
+        any dead worker's.  Either way the slot is pruned (worker list,
+        queue, supervisor history) rather than respawned: the shrink
+        decision stands.
+        """
+        progressed = False
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if not isinstance(worker, _ProcessWorker) or not worker.retiring:
+                continue
+            if worker.alive:
+                continue
+            lost = [
+                key
+                for key, slot in self._assignment.items()
+                if slot == worker.slot and key in self._inflight
+            ]
+            if lost and not worker.salvaged:
+                worker.salvaged = True
+                fallback = self._ensure_fallback()
+                for key in sorted(lost):
+                    job = self._inflight[key]
+                    if job.image_key not in self._fallback_images:
+                        image = self._images.get(job.image_key)
+                        if image is None:  # pragma: no cover - invariant broken
+                            self.report.errors.append(
+                                f"job {job.index} "
+                                f"({self._describe(job.node, job.peer)}): "
+                                f"salvage impossible, image for epoch "
+                                f"{job.epoch} evicted"
+                            )
+                            del self._inflight[key]
+                            self._assignment.pop(key, None)
+                            continue
+                        fallback.send((_MSG_EPOCH, image))
+                        self._fallback_images.add(job.image_key)
+                    fallback.send((_MSG_JOB, job))
+                    self._assignment[key] = fallback.slot
+                    self.report.jobs_recovered += 1
+            worker.kill()  # releases the queue; the process is gone
+            self._workers.remove(worker)
+            self._supervisor.reset_slot(worker.slot)
+            self._account_worker(worker)
+            self.report.workers_retired += 1
+            self._record_resize("retired", worker.slot, now)
+            progressed = True
+        return progressed
+
     def _refresh_cache_health(self) -> None:
         """Pull shard liveness from the cache into the report."""
         info_fn = getattr(self._cache, "info", None)
@@ -1451,20 +2087,81 @@ class StreamingExplorer:
         self.report.degraded_shards = int(info.get("degraded_shards", 0))
         self.report.cache_degraded_ops = int(info.get("degraded_ops", 0))
 
-    @staticmethod
-    def _describe(node: str, peer: str) -> str:
-        return f"{node}:{peer}" if node else peer
+    @classmethod
+    def _describe(cls, node: str, peer: str) -> str:
+        return f"{cls._display(node)}:{peer}" if node else peer
 
     def _touch_wall(self) -> None:
         """Keep the report's wall clock live so mid-stream summaries work."""
         if self._started and not self._closed:
             self.report.wall_seconds = time.perf_counter() - self._started_at
 
+    def _next_wakeup(self, now: float, cap: float = 0.25) -> float:
+        """Seconds until the soonest coordinator deadline, capped.
+
+        The event-driven wait must return in time for whatever the
+        coordinator owes next: a due respawn, the next hang sweep, an
+        overdue-job deadline, the next autoscale tick.  The cap bounds
+        clock drift when nothing is due.
+        """
+        deadlines = []
+        due = self._supervisor.next_due()
+        if due is not None:
+            deadlines.append(due)
+        if self.supervise:
+            deadlines.append(self._last_sweep + self.heartbeat_interval)
+            if self.job_deadline is not None and self._dispatched_at:
+                deadlines.append(
+                    min(self._dispatched_at.values()) + self.job_deadline
+                )
+        if self._autoscaler is not None:
+            tick = self._autoscaler.next_tick()
+            if tick is not None:
+                deadlines.append(tick)
+        if not deadlines:
+            return cap
+        return max(0.0, min(min(deadlines) - now, cap))
+
+    def _wait_events(self, max_wait: float) -> None:
+        """Block until a result can arrive, a worker dies, or a deadline.
+
+        ``multiprocessing.connection.wait`` over the result queue's
+        reader pipe and every live worker's process sentinel: a result
+        in the pipe *or* a worker death wakes the coordinator
+        immediately, so neither harvest latency nor crash detection has
+        a polling floor.  The timeout is the next computed deadline, so
+        supervision and autoscale still run on time with no results
+        flowing.
+        """
+        timeout = min(max_wait, self._next_wakeup(time.monotonic()))
+        if timeout <= 0:
+            return
+        reader = getattr(self._result_queue, "_reader", None)
+        if reader is None:  # pragma: no cover - exotic queue implementation
+            time.sleep(min(timeout, 0.005))
+            return
+        conns = [reader]
+        for worker in self._workers:
+            if isinstance(worker, _ProcessWorker) and worker.alive:
+                try:
+                    conns.append(worker.process.sentinel)
+                except Exception:  # pragma: no cover - process torn down
+                    pass
+        try:
+            mp_connection.wait(conns, timeout)
+        except OSError:  # pragma: no cover - sentinel closed mid-wait
+            pass
+
     def _collect(self, pump_inline: bool, block_seconds: float = 0.0) -> bool:
         """Drain ready results; returns True if anything progressed."""
         progressed = False
         self._touch_wall()
         if self._result_queue is not None:
+            if block_seconds > 0.0 and self.event_harvest:
+                self._wait_events(block_seconds)
+                # The wait already slept; take whatever landed with a
+                # tiny grace for the queue's feeder latency.
+                block_seconds = 0.01
             while True:
                 try:
                     if block_seconds > 0.0:
@@ -1476,8 +2173,10 @@ class StreamingExplorer:
                     break
                 self._handle_result(msg)
                 progressed = True
+            progressed |= self._reap_retired()
             progressed |= self._salvage_dead_workers()
             progressed |= self._supervise()
+            progressed |= self._autoscale_tick()
         if pump_inline:
             for worker in self._inline_workers():
                 for msg in worker.pump():
@@ -1503,11 +2202,30 @@ class StreamingExplorer:
             job = self._inflight[key]
             del self._inflight[key]
             self._assignment.pop(key, None)
-            self._dispatched_at.pop(key, None)
+            dispatched = self._dispatched_at.pop(key, None)
             self._hang_retries.pop(key, None)
             self._seq_keys.pop(job.seq, None)
+            if dispatched is not None:
+                latency = time.monotonic() - dispatched
+                self.report.harvest_latency_total += latency
+                self.report.harvest_latency_count += 1
+                if latency > self.report.harvest_latency_max:
+                    self.report.harvest_latency_max = latency
             self.report.add_stream_report(key, msg[2])
             session = msg[2]
+            tenant = self._tenant_of(key[0])
+            if tenant:
+                treport = self._tenant_reports.get(tenant)
+                if treport is not None:
+                    # Tenant reports carry *plain* node keys — the view
+                    # the federation would have running alone, which is
+                    # what the per-tenant parity checks compare against.
+                    treport.add_stream_report(
+                        (self._plain(key[0]), key[1]), session
+                    )
+                self.report.jobs_by_tenant[tenant] = (
+                    self.report.jobs_by_tenant.get(tenant, 0) + 1
+                )
             if self._scheduler is not None:
                 self._scheduler.note_session(
                     self._scheduler_key(key[0], session.peer),
@@ -1515,6 +2233,10 @@ class StreamingExplorer:
                 )
             if self._fed_scheduler is not None:
                 self._fed_scheduler.note_findings(key[0], len(session.findings))
+            if self._tenant_scheduler is not None and tenant:
+                self._tenant_scheduler.note_findings(
+                    tenant, len(session.findings)
+                )
         elif kind == _RES_ERROR:
             if key == _NO_JOB:
                 self.report.errors.append(str(msg[2]))
@@ -1525,10 +2247,15 @@ class StreamingExplorer:
             self._hang_retries.pop(key, None)
             if job is not None:
                 self._seq_keys.pop(job.seq, None)
-                self.report.errors.append(
+                message = (
                     f"job {job.index} ({self._describe(job.node, job.peer)}): "
                     f"{msg[2]}"
                 )
+                self.report.errors.append(message)
+                if job.tenant:
+                    treport = self._tenant_reports.get(job.tenant)
+                    if treport is not None:
+                        treport.errors.append(message)
         self._prune_images()
 
     def _ensure_fallback(self) -> _InlineWorker:
@@ -1552,7 +2279,10 @@ class StreamingExplorer:
         for worker in self._workers:
             if not isinstance(worker, _ProcessWorker):
                 continue
-            if worker.alive or worker.salvaged:
+            if worker.alive or worker.salvaged or worker.retiring:
+                # Retiring workers are handled by _reap_retired: their
+                # death is expected (STOP) or salvaged there, and never
+                # books a respawn.
                 continue
             worker.salvaged = True
             lost = [
@@ -1587,6 +2317,7 @@ class StreamingExplorer:
                 self.report.fallback_reason = (
                     f"worker {worker.slot} died; in-flight jobs re-run in-process"
                 )
+            self._account_worker(worker)
             self._note_death(worker.slot)
             salvaged = True
         if (
@@ -1639,7 +2370,12 @@ class StreamingExplorer:
             }
             images.difference_update(stale)
 
-    def advance_epoch(self, node: str = DEFAULT_NODE) -> Dict[str, object]:
+    def advance_epoch(
+        self,
+        node: str = DEFAULT_NODE,
+        tenant: str = DEFAULT_TENANT,
+        churn_threshold: Optional[int] = None,
+    ) -> Dict[str, object]:
         """Epoch boundary for one node: re-checkpoint, ship only the diff.
 
         Every live worker gets the node-tagged delta (its resident image
@@ -1649,41 +2385,71 @@ class StreamingExplorer:
         untouched — per-node delta bases are the whole point of the
         ``(node, epoch)`` keying.  Returns the shipping economics for
         logging/benchmarks.
+
+        ``churn_threshold`` makes the advance *churn-driven*: the fresh
+        capture's dirty-segment count against the node's current image
+        is measured first, and below the threshold nothing ships — the
+        epoch stands, the capture is discarded, and the skip is counted
+        (``epochs_skipped_quiet``).  Because the base image is unchanged,
+        churn accumulates across skipped boundaries: a node quiet for
+        five boundaries then suddenly busy ships one delta carrying all
+        five boundaries' worth of change.
         """
         self._require_open()
+        node = self._scoped(tenant, node)
         if node not in self._routers:
             raise ExplorationError(
-                f"advance_epoch for unregistered node {node!r} "
-                f"(stream serves {sorted(self._routers)})"
+                f"advance_epoch for unregistered node "
+                f"{self._display(node)!r} (stream serves "
+                f"{sorted(self._display(n) for n in self._routers)})"
             )
         capture_started = time.perf_counter()
         next_epoch = self._epochs[node] + 1
-        label = f"stream-ckpt-{node}-{next_epoch}" if node else (
+        display = self._display(node)
+        label = f"stream-ckpt-{display}-{next_epoch}" if node else (
             f"stream-ckpt-{next_epoch}"
         )
         image = CheckpointImage.capture(
             self._routers[node], label, epoch=next_epoch, node_id=node
         )
+        dirty = image.dirty_segments_since(self._current[node])
         self.report.checkpoint_seconds += time.perf_counter() - capture_started
+        if churn_threshold is not None and dirty < churn_threshold:
+            self.report.epochs_skipped_quiet += 1
+            return {
+                "node": self._plain(node),
+                "tenant": tenant,
+                "epoch": self._epochs[node],
+                "skipped": True,
+                "dirty_segments": dirty,
+                "churn_threshold": churn_threshold,
+                "segments_shipped": 0,
+                "bytes_shipped": 0,
+            }
         delta = image.diff(self._current[node])
         self._epochs[node] = image.epoch
         self._current[node] = image
         self._images[image.image_key] = image
         for worker in self._workers:
-            if worker.alive and not worker.salvaged:
+            # Retiring workers take no new jobs, so the new epoch would
+            # sit unread behind their STOP message — skip the pickle.
+            if worker.alive and not worker.salvaged and not worker.retiring:
                 self._ship(worker, delta)
         if self._fallback is not None:
             self._ship(self._fallback, delta)
             self._fallback_images.add(image.image_key)
         self.report.epochs += 1
-        self.report.deltas_by_node[node] = (
-            self.report.deltas_by_node.get(node, 0) + 1
+        self.report.deltas_by_node[display] = (
+            self.report.deltas_by_node.get(display, 0) + 1
         )
         self._refresh_image_economics()
         self._prune_images()
         return {
-            "node": node,
+            "node": self._plain(node),
+            "tenant": tenant,
             "epoch": image.epoch,
+            "skipped": False,
+            "dirty_segments": dirty,
             "segments_shipped": delta.segments_shipped,
             "segments_total": len(image.segments),
             "bytes_shipped": delta.bytes_shipped,
@@ -1707,6 +2473,44 @@ class StreamingExplorer:
                 break
         return list(self.report.reports)
 
+    def harvest(self, timeout: Optional[float] = None) -> List[SessionReport]:
+        """Event-driven harvest: block until new results, return them.
+
+        The service loop's primitive.  Where :meth:`poll` returns
+        immediately (forcing callers into a poll-plus-sleep loop whose
+        sleep is a latency floor on every result), ``harvest`` blocks on
+        the result-queue pipe and worker sentinels — waking the instant
+        a result lands — while still honoring supervision and autoscale
+        deadlines.  Returns the reports harvested by this call; an empty
+        list means the stream went idle (or the timeout expired) with
+        nothing new.
+        """
+        self._require_open()
+        before = self.report.jobs_completed
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            progressed = self._collect(pump_inline=True)
+            progressed |= self._dispatch() > 0
+            if self.report.jobs_completed > before:
+                break
+            if self.idle or self._result_queue is None:
+                # Inline pools execute during the collect above, so a
+                # still-incomplete harvest means there is nothing to
+                # wait for.
+                break
+            if progressed:
+                continue
+            now = time.monotonic()
+            remaining = None if deadline is None else deadline - now
+            if remaining is not None and remaining <= 0:
+                break
+            budget = 0.25 if remaining is None else min(0.25, remaining)
+            if self.event_harvest:
+                self._wait_events(budget)
+            else:
+                time.sleep(min(budget, 0.05))
+        return list(self.report.reports[before:])
+
     def drain(
         self,
         timeout: Optional[float] = None,
@@ -1725,8 +2529,17 @@ class StreamingExplorer:
         while not self.idle:
             progressed = self._collect(pump_inline=True)
             progressed |= self._dispatch() > 0
-            if not progressed and self._inflight and self._result_queue is not None:
-                self._collect(pump_inline=True, block_seconds=0.05)
+            if (
+                not progressed
+                and self._result_queue is not None
+                and (self._inflight or self._supervisor.pending)
+            ):
+                # Stuck until something external happens.  Event mode
+                # blocks on the result pipe/worker sentinels up to the
+                # next computed deadline; legacy mode keeps the fixed
+                # 50ms nap.
+                stall = 0.25 if self.event_harvest else 0.05
+                self._collect(pump_inline=True, block_seconds=stall)
             if progress is not None and (
                 time.monotonic() - last_progress >= progress_interval
             ):
@@ -1750,13 +2563,19 @@ class StreamingExplorer:
         if self._started and drain:
             self.drain(timeout=timeout)
         self._refresh_cache_health()
+        self._sync_pool_metrics()
         for worker in self._workers:
             worker.stop()
+            self._account_worker(worker)
         if self._fallback is not None:
             self._fallback.stop()
         shutdown_cache_managers(self._cache_managers)
         self._cache_managers = []
         self.report.wall_seconds = time.perf_counter() - self._started_at
+        for treport in self._tenant_reports.values():
+            treport.wall_seconds = self.report.wall_seconds
+            treport.used_processes = self.report.used_processes
+            treport.fallback_reason = self.report.fallback_reason
         self._closed = True
         return self.report
 

@@ -7,8 +7,6 @@ cells skip honestly, and the serial/streamed exploration paths agree on
 the finding set when a workload rides along.
 """
 
-import warnings
-
 import pytest
 
 from repro.concolic import ExplorationBudget
@@ -173,29 +171,6 @@ class TestSerialStreamParity:
         assert serial.finding_keys() == streamed.finding_keys()
         assert serial.workload_findings and streamed.workload_findings
         assert serial.summary()["workload"] == "link-failure"
-
-
-class TestDeprecatedBuildScenario:
-    def test_shim_warns_and_still_builds_fig2(self):
-        import repro.core.scenario as scenario_module
-        from repro.core import Fig2Scenario, build_scenario
-
-        scenario_module._BUILD_SCENARIO_WARNED = False
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = build_scenario()
-            build_scenario()
-        assert isinstance(first, Fig2Scenario)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1  # warn-once
-        assert "get_scenario" in str(deprecations[0].message)
-
-    def test_registry_path_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            get_scenario("fig2").build(prefix_count=50, update_count=5)
 
 
 class TestCli:

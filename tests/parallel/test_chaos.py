@@ -92,7 +92,10 @@ class TestChaosPlanRegistry:
         with pytest.raises(ValueError, match="seconds > 0"):
             ChaosEvent(kind="hang-job", at_job=1, seconds=0.0)
         with pytest.raises(ValueError, match="worker slot"):
-            ChaosEvent(kind="kill-worker", at_job=1, worker=-1)
+            ChaosEvent(kind="kill-worker", at_job=1, worker=-2)
+        # -1 is HIGHEST_SLOT: "whichever live slot is highest at fire time".
+        elastic = ChaosEvent(kind="kill-worker", at_job=1, worker=-1)
+        assert "highest live worker" in elastic.describe()
 
     def test_plan_override_validation(self):
         event = ChaosEvent(kind="kill-worker", at_job=1)
